@@ -1,0 +1,506 @@
+// Benchmarks regenerating every experiment of EXPERIMENTS.md as a
+// testing.B target (one per table/figure row family), plus the ablations
+// called out in DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+package speclin_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	speclin "repro"
+	"repro/internal/adt"
+	"repro/internal/almspec"
+	"repro/internal/cascons"
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/ioa"
+	"repro/internal/lin"
+	"repro/internal/mpcons"
+	"repro/internal/msgnet"
+	"repro/internal/paxos"
+	"repro/internal/quorum"
+	"repro/internal/rcons"
+	"repro/internal/shmem"
+	"repro/internal/smcons"
+	"repro/internal/smr"
+	"repro/internal/trace"
+	"repro/internal/uobj"
+	"repro/internal/workload"
+)
+
+func ids(prefix string, n int) []msgnet.ProcID {
+	out := make([]msgnet.ProcID, n)
+	for i := range out {
+		out[i] = msgnet.ProcID(fmt.Sprintf("%s%d", prefix, i+1))
+	}
+	return out
+}
+
+// ---- E1: fault-free latency, fast path vs Paxos ----
+
+func benchConsensusOnce(b *testing.B, protos []mpcons.PhaseProtocol, clients int, seed int64, jitter msgnet.Time) (totalDelays int64, ops int64) {
+	w := msgnet.New(msgnet.Config{Seed: seed, MinDelay: 1, MaxDelay: jitter})
+	obj, err := mpcons.Build(w, ids("c", clients), ids("s", 3), protos...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < clients; i++ {
+		obj.ProposeAt(msgnet.ProcID(fmt.Sprintf("c%d", i+1)), trace.Value(fmt.Sprintf("v%d", i)), 0)
+	}
+	obj.Run(500_000)
+	for _, r := range obj.Results() {
+		totalDelays += int64(r.Latency())
+		ops++
+	}
+	return
+}
+
+func BenchmarkE1FastPathLatency(b *testing.B) {
+	protos := []mpcons.PhaseProtocol{quorum.Protocol{Timeout: 10}, paxos.Protocol{}}
+	var delays, ops int64
+	for i := 0; i < b.N; i++ {
+		d, o := benchConsensusOnce(b, protos, 1, int64(i+1), 1)
+		delays, ops = delays+d, ops+o
+	}
+	b.ReportMetric(float64(delays)/float64(ops), "msgdelays/op")
+}
+
+func BenchmarkE1PaxosBaseline(b *testing.B) {
+	protos := []mpcons.PhaseProtocol{paxos.Protocol{}}
+	var delays, ops int64
+	for i := 0; i < b.N; i++ {
+		d, o := benchConsensusOnce(b, protos, 1, int64(i+1), 1)
+		delays, ops = delays+d, ops+o
+	}
+	b.ReportMetric(float64(delays)/float64(ops), "msgdelays/op")
+}
+
+// ---- E2: contention sweep ----
+
+func BenchmarkE2ContentionSweep(b *testing.B) {
+	protos := []mpcons.PhaseProtocol{quorum.Protocol{Timeout: 10, Retransmit: 6}, paxos.Protocol{}}
+	for _, clients := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("clients-%d", clients), func(b *testing.B) {
+			var delays, ops int64
+			for i := 0; i < b.N; i++ {
+				d, o := benchConsensusOnce(b, protos, clients, int64(i+1), 4)
+				delays, ops = delays+d, ops+o
+			}
+			b.ReportMetric(float64(delays)/float64(ops), "msgdelays/op")
+		})
+	}
+}
+
+// ---- E3: fault injection ----
+
+func BenchmarkE3FaultInjection(b *testing.B) {
+	for _, crash := range []int{0, 1, 2} {
+		b.Run(fmt.Sprintf("crash-%d", crash), func(b *testing.B) {
+			var delays, ops int64
+			for i := 0; i < b.N; i++ {
+				w := msgnet.New(msgnet.Config{Seed: int64(i + 1), MinDelay: 1, MaxDelay: 3})
+				obj, err := mpcons.Build(w, ids("c", 2), ids("s", 5),
+					quorum.Protocol{Timeout: 10, Retransmit: 6}, paxos.Protocol{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for k := 0; k < crash; k++ {
+					w.Crash(msgnet.ProcID(fmt.Sprintf("s%d", k+1)), 0)
+				}
+				obj.ProposeAt("c1", "a", 1)
+				obj.ProposeAt("c2", "b", 2)
+				obj.Run(500_000)
+				for _, r := range obj.Results() {
+					delays += int64(r.Latency())
+					ops++
+				}
+			}
+			b.ReportMetric(float64(delays)/float64(ops), "msgdelays/op")
+		})
+	}
+}
+
+// ---- E4: native register path vs CAS ----
+
+func BenchmarkE4RegisterVsCAS(b *testing.B) {
+	b.Run("register-write-read", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var r shmem.Register
+			r.Store("v")
+			_ = r.Load()
+		}
+	})
+	b.Run("cas-from-bottom", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var c shmem.CASCell
+			_ = c.CompareAndSwapFromBottom("v")
+		}
+	})
+	b.Run("rcons-fast-path", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := rcons.NewNativePhase()
+			if _, err := p.Invoke("c", adt.ProposeInput("v")); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cascons-switch-in", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := cascons.NewNativePhase()
+			if _, err := p.SwitchIn("c", adt.ProposeInput("v"), "v"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---- E5: shared-memory contention, speculative vs CAS-only ----
+
+func BenchmarkE5SharedMemContention(b *testing.B) {
+	for _, gs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("speculative-%d", gs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				obj, err := core.NewComposer(rcons.NewNativePhase(), cascons.NewNativePhase())
+				if err != nil {
+					b.Fatal(err)
+				}
+				var wg sync.WaitGroup
+				for g := 0; g < gs; g++ {
+					wg.Add(1)
+					go func(g int) {
+						defer wg.Done()
+						c := trace.ClientID(fmt.Sprintf("g%d", g))
+						_, _ = obj.Invoke(c, adt.Tag(adt.ProposeInput(fmt.Sprintf("v%d", g)), string(c)))
+					}(g)
+				}
+				wg.Wait()
+			}
+		})
+		b.Run(fmt.Sprintf("cas-only-%d", gs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var cell shmem.CASCell
+				var wg sync.WaitGroup
+				for g := 0; g < gs; g++ {
+					wg.Add(1)
+					go func(g int) {
+						defer wg.Done()
+						_ = cell.CompareAndSwapFromBottom(trace.Value(fmt.Sprintf("v%d", g)))
+					}(g)
+				}
+				wg.Wait()
+			}
+		})
+	}
+}
+
+// ---- E6: model checking throughput ----
+
+func BenchmarkE6ModelCheck(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys := smcons.New(smcons.Config{Values: []trace.Value{"a", "b"}, FoldEndpoints: true})
+		stats, err := check.ExhaustiveTraces(sys, func(s *smcons.System) error {
+			plain := s.Trace().Project(func(a trace.Action) bool { return a.Kind != trace.Swi })
+			res, err := lin.Check(adt.Consensus{}, plain, lin.Options{})
+			if err != nil {
+				return err
+			}
+			if !res.OK {
+				return fmt.Errorf("not linearizable")
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(stats.Runs), "schedules")
+	}
+}
+
+// ---- E7: composition refinement model check ----
+
+func BenchmarkE7Refinement(b *testing.B) {
+	clients := []trace.ClientID{"c1", "c2"}
+	inputs := []trace.Value{"u1", "u2"}
+	for i := 0; i < b.N; i++ {
+		first := almspec.Spec(almspec.Config{M: 1, N: 2, Clients: clients, Inputs: inputs})
+		second := almspec.Spec(almspec.Config{
+			M: 2, N: 3, Clients: clients, Inputs: inputs,
+			InitUniverse: []trace.History{{}, {"u1"}, {"u2"}, {"u1", "u2"}, {"u2", "u1"}},
+		})
+		impl := ioa.Compose(first, second)
+		spec := almspec.Spec(almspec.Config{M: 1, N: 3, Clients: clients, Inputs: inputs})
+		res, err := ioa.CheckTraceInclusion(impl, spec, ioa.InclusionOptions{
+			MaxPairs: 5_000_000,
+			Class:    almspec.ClassErasingLevels(1, 3),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.OK {
+			b.Fatal("refinement refuted")
+		}
+		b.ReportMetric(float64(res.Pairs), "subsetpairs")
+	}
+}
+
+// ---- E8: checker performance, new vs classical definition ----
+
+func e8Traces(n int) []trace.Trace {
+	r := rand.New(rand.NewSource(42))
+	inputs := []trace.Value{adt.ProposeInput("a"), adt.ProposeInput("b"), adt.ProposeInput("c")}
+	out := make([]trace.Trace, n)
+	for i := range out {
+		opts := workload.TraceOpts{Clients: 3, Ops: 6, Inputs: inputs, UniqueTags: true}
+		if i%2 == 1 {
+			opts.CorruptProb = 0.5
+		}
+		out[i] = workload.Random(adt.Consensus{}, r, opts)
+	}
+	return out
+}
+
+func BenchmarkE8Checkers(b *testing.B) {
+	traces := e8Traces(256)
+	b.Run("new-definition", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := lin.Check(adt.Consensus{}, traces[i%len(traces)], lin.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("classical", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := lin.CheckClassical(adt.Consensus{}, traces[i%len(traces)], lin.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("slin-first-phase", func(b *testing.B) {
+		r := rand.New(rand.NewSource(7))
+		phaseTraces := make([]trace.Trace, 256)
+		for i := range phaseTraces {
+			phaseTraces[i] = workload.FirstPhase(r, workload.PhaseOpts{Clients: 3, NoLateOps: true})
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := lintSLin(phaseTraces[i%len(phaseTraces)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func lintSLin(t trace.Trace) (bool, error) {
+	res, err := speclin.CheckSpeculativelyLinearizable(
+		speclin.ConsensusADT, speclin.ConsensusRInit, 1, 2, t, speclin.SLinOptions{})
+	return res.OK, err
+}
+
+// ---- E9: SMR throughput ----
+
+func BenchmarkE9SMRThroughput(b *testing.B) {
+	for _, fast := range []bool{true, false} {
+		name := "speculative"
+		if !fast {
+			name = "paxos-only"
+		}
+		b.Run(name, func(b *testing.B) {
+			var delays, cmds int64
+			for i := 0; i < b.N; i++ {
+				w := msgnet.New(msgnet.Config{Seed: int64(i + 1), MinDelay: 1, MaxDelay: 2})
+				cl, err := smr.Build(w, ids("c", 2), ids("s", 3),
+					smr.Config{FastPath: fast, QuorumTimeout: 8, Retransmit: 4})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := 0; j < 4; j++ {
+					cl.SubmitAt("c1", smr.SetCmd("a", fmt.Sprintf("x%d", j)), msgnet.Time(j*4))
+					cl.SubmitAt("c2", smr.SetCmd("b", fmt.Sprintf("y%d", j)), msgnet.Time(j*4+1))
+				}
+				cl.Run(1_000_000)
+				for _, r := range cl.Results() {
+					delays += int64(r.Latency())
+					cmds++
+				}
+				if err := cl.CheckConsistency(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(delays)/float64(cmds), "msgdelays/cmd")
+		})
+	}
+}
+
+// ---- E10: three-phase chain ----
+
+func BenchmarkE10PhaseChain(b *testing.B) {
+	protos := []mpcons.PhaseProtocol{
+		quorum.Protocol{Timeout: 10, Retransmit: 6},
+		quorum.Protocol{Timeout: 10, Retransmit: 6},
+		paxos.Protocol{},
+	}
+	var delays, ops int64
+	for i := 0; i < b.N; i++ {
+		d, o := benchConsensusOnce(b, protos, 3, int64(i+1), 4)
+		delays, ops = delays+d, ops+o
+	}
+	b.ReportMetric(float64(delays)/float64(ops), "msgdelays/op")
+}
+
+// ---- E11: universal construction (arbitrary ADTs over the log) ----
+
+func BenchmarkE11Replicated(b *testing.B) {
+	adts := []struct {
+		name string
+		f    adt.Folder
+		in   func(i int) trace.Value
+	}{
+		{"register", adt.Register{}, func(i int) trace.Value {
+			if i%2 == 0 {
+				return adt.WriteInput(fmt.Sprintf("v%d", i))
+			}
+			return adt.ReadInput()
+		}},
+		{"queue", adt.Queue{}, func(i int) trace.Value {
+			if i%2 == 0 {
+				return adt.EnqInput(fmt.Sprintf("v%d", i))
+			}
+			return adt.DeqInput()
+		}},
+	}
+	for _, tc := range adts {
+		b.Run(tc.name, func(b *testing.B) {
+			var delays, ops int64
+			for i := 0; i < b.N; i++ {
+				w := msgnet.New(msgnet.Config{Seed: int64(i + 1), MinDelay: 1, MaxDelay: 2})
+				o, err := uobj.Build(w, ids("c", 2), ids("s", 3), tc.f,
+					smr.Config{FastPath: true, QuorumTimeout: 10, Retransmit: 6})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := 0; j < 4; j++ {
+					if err := o.InvokeAt("c1", tc.in(j), msgnet.Time(j*12)); err != nil {
+						b.Fatal(err)
+					}
+					if err := o.InvokeAt("c2", tc.in(j+1), msgnet.Time(j*12+1)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				o.Run(1_000_000)
+				for _, r := range o.Results() {
+					delays += int64(r.Latency())
+					ops++
+				}
+				res, err := o.CheckLinearizable(lin.Options{})
+				if err != nil || !res.OK {
+					b.Fatalf("not linearizable: %+v %v", res, err)
+				}
+			}
+			b.ReportMetric(float64(delays)/float64(ops), "msgdelays/op")
+		})
+	}
+}
+
+// ---- Ablation: ADT state folding in the checkers (DESIGN.md ✎2) ----
+
+// unfoldedConsensus disables state collapse: the folded "state" is the
+// entire history, so the checker's memoization degrades to raw histories.
+type unfoldedConsensus struct{ adt.Consensus }
+
+func (unfoldedConsensus) Empty() adt.State { return "" }
+
+func (unfoldedConsensus) Step(s adt.State, in trace.Value) adt.State {
+	return s + adt.State("\x00"+in)
+}
+
+func (u unfoldedConsensus) Out(s adt.State, in trace.Value) trace.Value {
+	// Recover the first proposal from the replayed history.
+	first := in
+	if s != "" {
+		first = trace.Value(strings.SplitN(string(s), "\x00", 3)[1])
+	}
+	v, _ := adt.ProposalOf(adt.Untag(first))
+	return adt.DecideOutput(v)
+}
+
+func BenchmarkAblationStateFold(b *testing.B) {
+	traces := e8Traces(256)
+	// A backtracking-heavy workload: wide concurrent non-linearizable
+	// traces force the checker to exhaust its search space, which is
+	// where folded-state memoization pays (equivalent interleavings
+	// collapse to one state; unfolded, each permutation is distinct).
+	hard := func() trace.Trace {
+		var tr trace.Trace
+		n := 7
+		for i := 0; i < n; i++ {
+			c := trace.ClientID(fmt.Sprintf("h%d", i))
+			tr = append(tr, trace.Invoke(c, 1, adt.Tag(adt.ProposeInput(fmt.Sprintf("v%d", i)), string(c))))
+		}
+		for i := 0; i < n; i++ {
+			c := trace.ClientID(fmt.Sprintf("h%d", i))
+			in := adt.Tag(adt.ProposeInput(fmt.Sprintf("v%d", i)), string(c))
+			// Split decisions: never linearizable; full search required.
+			tr = append(tr, trace.Response(c, 1, in, adt.DecideOutput(fmt.Sprintf("v%d", i%2))))
+		}
+		return tr
+	}()
+	b.Run("folded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := lin.Check(adt.Consensus{}, traces[i%len(traces)], lin.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("unfolded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := lin.Check(unfoldedConsensus{}, traces[i%len(traces)], lin.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// Ablation finding: the backtracking-heavy workload costs the same
+	// with and without folding — the searcher's memoization necessarily
+	// keys on concrete commit chains (prefix-claim bookkeeping), so
+	// folding is a constant-factor win (incremental output computation),
+	// not an asymptotic one. DESIGN.md decision 2 records this.
+	b.Run("folded-hard", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := lin.Check(adt.Consensus{}, hard, lin.Options{Budget: 50_000_000})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.OK {
+				b.Fatal("split-decision trace accepted")
+			}
+		}
+	})
+	b.Run("unfolded-hard", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := lin.Check(unfoldedConsensus{}, hard, lin.Options{Budget: 50_000_000})
+			if err == nil && res.OK {
+				b.Fatal("split-decision trace accepted")
+			}
+		}
+	})
+}
+
+// ---- Ablation: simulator jitter cost (DESIGN.md ✎6) ----
+
+func BenchmarkAblationSimJitter(b *testing.B) {
+	protos := []mpcons.PhaseProtocol{quorum.Protocol{Timeout: 10, Retransmit: 6}, paxos.Protocol{}}
+	b.Run("unit-delay", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchConsensusOnce(b, protos, 4, int64(i+1), 1)
+		}
+	})
+	b.Run("jitter-1-5", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchConsensusOnce(b, protos, 4, int64(i+1), 5)
+		}
+	})
+}

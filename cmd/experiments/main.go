@@ -1,0 +1,46 @@
+// Command experiments regenerates the experiment tables of
+// EXPERIMENTS.md (the E1–E10 index of DESIGN.md).
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments -e E1,E9   # run a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	only := flag.String("e", "", "comma-separated experiment IDs to run (default: all)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[strings.ToUpper(id)] = true
+		}
+	}
+
+	failed := false
+	for _, e := range experiments.All() {
+		if len(want) > 0 && !want[strings.ToUpper(e.ID)] {
+			continue
+		}
+		tab, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			failed = true
+			continue
+		}
+		experiments.Render(os.Stdout, tab)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,131 @@
+// Command slin-check decides linearizability or speculative
+// linearizability of a JSON trace file.
+//
+// Usage:
+//
+//	slin-check -adt consensus trace.json                 # Lin (new def.)
+//	slin-check -adt consensus -mode classical trace.json # Lin (classical)
+//	slin-check -adt consensus -mode slin -m 1 -n 2 trace.json
+//
+// The trace format is a JSON array of actions:
+//
+//	[
+//	  {"kind":"inv","client":"c1","phase":1,"input":"p:a"},
+//	  {"kind":"res","client":"c1","phase":1,"input":"p:a","output":"d:a"},
+//	  {"kind":"swi","client":"c2","phase":2,"input":"p:b","value":"a"}
+//	]
+//
+// Exit status: 0 when the property holds, 1 when it does not, 2 on usage
+// or input errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/adt"
+	"repro/internal/lin"
+	"repro/internal/slin"
+	"repro/internal/trace"
+)
+
+func fail(code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(code)
+}
+
+func pickADT(name string) (adt.Folder, bool) {
+	switch name {
+	case "consensus":
+		return adt.Consensus{}, true
+	case "register":
+		return adt.Register{}, true
+	case "counter":
+		return adt.Counter{}, true
+	case "queue":
+		return adt.Queue{}, true
+	case "universal":
+		return adt.Universal{}, true
+	}
+	return nil, false
+}
+
+func main() {
+	adtName := flag.String("adt", "consensus", "abstract data type: consensus|register|counter|queue|universal")
+	mode := flag.String("mode", "lin", "property: lin|classical|slin")
+	m := flag.Int("m", 1, "slin: lower phase bound m")
+	n := flag.Int("n", 2, "slin: upper phase bound n")
+	temporal := flag.Bool("temporal", false, "slin: use the temporal Abort-Order variant")
+	budget := flag.Int("budget", 0, "search budget (0 = default)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fail(2, "usage: slin-check [flags] trace.json")
+	}
+	raw, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(2, "read: %v", err)
+	}
+	t, err := trace.DecodeJSON(raw)
+	if err != nil {
+		fail(2, "parse: %v", err)
+	}
+	f, ok := pickADT(*adtName)
+	if !ok {
+		fail(2, "unknown ADT %q", *adtName)
+	}
+
+	switch *mode {
+	case "lin", "classical":
+		var res lin.Result
+		if *mode == "lin" {
+			res, err = lin.Check(f, t, lin.Options{Budget: *budget})
+		} else {
+			res, err = lin.CheckClassical(f, t, lin.Options{Budget: *budget})
+		}
+		if err != nil {
+			fail(2, "check: %v", err)
+		}
+		if res.OK {
+			fmt.Println("linearizable")
+			if len(res.Witness) > 0 {
+				fmt.Println("witness (commit histories by response index):")
+				for i := 0; i < len(t); i++ {
+					if h, ok := res.Witness[i]; ok {
+						fmt.Printf("  %3d: %v\n", i, h)
+					}
+				}
+			}
+			return
+		}
+		fmt.Printf("NOT linearizable: %s\n", res.Reason)
+		os.Exit(1)
+	case "slin":
+		var rinit slin.RInit = slin.ConsensusRInit{}
+		if *adtName == "universal" {
+			rinit = slin.UniversalRInit{}
+		}
+		res, err := slin.Check(f, rinit, *m, *n, t, slin.Options{
+			Budget:             *budget,
+			TemporalAbortOrder: *temporal,
+		})
+		if err != nil {
+			fail(2, "check: %v", err)
+		}
+		if res.OK {
+			fmt.Printf("speculatively linearizable: SLin(%d,%d)\n", *m, *n)
+			return
+		}
+		fmt.Printf("NOT SLin(%d,%d): %s\n", *m, *n, res.Reason)
+		if res.FailedInit != nil {
+			fmt.Println("failing init interpretation:")
+			for i, h := range res.FailedInit {
+				fmt.Printf("  action %d ↦ %v\n", i, h)
+			}
+		}
+		os.Exit(1)
+	default:
+		fail(2, "unknown mode %q", *mode)
+	}
+}

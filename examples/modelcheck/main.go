@@ -1,0 +1,83 @@
+// modelcheck: exhaustively explore every register-granularity
+// interleaving of the §2.5 shared-memory composition (Figures 2+3) for
+// small client counts, validating each complete run against the
+// linearizability checker and the paper's invariants — the executable
+// analog of the paper's hand proofs for RCons and CASCons.
+//
+//	go run ./examples/modelcheck
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/adt"
+	"repro/internal/check"
+	"repro/internal/lin"
+	"repro/internal/slin"
+	"repro/internal/smcons"
+	"repro/internal/trace"
+)
+
+func oracle(sys *smcons.System) error {
+	tr := sys.Trace()
+	plain := tr.Project(func(a trace.Action) bool { return a.Kind != trace.Swi })
+	res, err := lin.Check(adt.Consensus{}, plain, lin.Options{})
+	if err != nil {
+		return err
+	}
+	if !res.OK {
+		return fmt.Errorf("not linearizable: %v", tr)
+	}
+	if err := slin.FirstPhaseInvariants(tr.ProjectSig(1, 2), 1, 2); err != nil {
+		return err
+	}
+	return slin.SecondPhaseInvariants(tr.ProjectSig(2, 3), 2, 3)
+}
+
+func main() {
+	// Exhaustive over all schedules, two clients with distinct values.
+	sys := smcons.New(smcons.Config{Values: []trace.Value{"a", "b"}, FoldEndpoints: true})
+	stats, err := check.ExhaustiveTraces(sys, oracle)
+	if err != nil {
+		log.Fatalf("counterexample: %v", err)
+	}
+	fmt.Printf("2 clients: %6d complete schedules, %7d steps — all linearizable, I1–I5 hold\n",
+		stats.Runs, stats.Steps)
+
+	// Duplicate proposals exercise repeated events.
+	sys = smcons.New(smcons.Config{Values: []trace.Value{"a", "a"}, FoldEndpoints: true})
+	stats, err = check.ExhaustiveTraces(sys, oracle)
+	if err != nil {
+		log.Fatalf("counterexample: %v", err)
+	}
+	fmt.Printf("2 clients (duplicate values): %d schedules — all pass\n", stats.Runs)
+
+	// Exhaustive state graph for three clients (invariants per state).
+	sys = smcons.New(smcons.Config{Values: []trace.Value{"a", "b", "c"}})
+	stats, err = check.ExhaustiveStates(sys, func(s *smcons.System) error {
+		winners := 0
+		for _, p := range s.Procs {
+			if p.SplitterWon() {
+				winners++
+			}
+		}
+		if winners > 1 {
+			return fmt.Errorf("splitter elected %d winners", winners)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatalf("counterexample: %v", err)
+	}
+	fmt.Printf("3 clients: %6d distinct states — splitter uniqueness holds everywhere\n",
+		stats.States)
+
+	// Random deep schedules for four clients.
+	sys = smcons.New(smcons.Config{Values: []trace.Value{"a", "b", "c", "d"}})
+	stats, err = check.RandomTraces(sys, 2000, 1, oracle)
+	if err != nil {
+		log.Fatalf("counterexample: %v", err)
+	}
+	fmt.Printf("4 clients: %6d random schedules — all pass\n", stats.Runs)
+}

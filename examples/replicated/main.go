@@ -1,0 +1,78 @@
+// replicated: the paper's §6 universal construction in action — a
+// linearizable object of an ARBITRARY abstract data type (here a FIFO
+// queue and a counter) built on the speculative replicated log. The ADT's
+// output function is applied to the log prefix at each operation's slot,
+// exactly as §6 prescribes for the universal ADT.
+//
+//	go run ./examples/replicated
+package main
+
+import (
+	"fmt"
+	"log"
+
+	speclin "repro"
+	"repro/internal/adt"
+	"repro/internal/lin"
+)
+
+func main() {
+	// --- A replicated FIFO queue shared by three application nodes. ---
+	net := speclin.NewNetwork(speclin.NetConfig{Seed: 21, MinDelay: 1, MaxDelay: 3})
+	clients := []speclin.ProcID{"n1", "n2", "n3"}
+	servers := []speclin.ProcID{"r1", "r2", "r3"}
+	q, err := speclin.NewReplicatedObject(net, clients, servers, speclin.QueueADT,
+		speclin.SMRConfig{FastPath: true, QuorumTimeout: 10, Retransmit: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	must(q.InvokeAt("n1", adt.EnqInput("job-A"), 0))
+	must(q.InvokeAt("n2", adt.EnqInput("job-B"), 0))
+	must(q.InvokeAt("n3", adt.DeqInput(), 5))
+	must(q.InvokeAt("n1", adt.DeqInput(), 25))
+	must(q.InvokeAt("n2", adt.DeqInput(), 26))
+	q.Run(500_000)
+
+	fmt.Println("replicated queue operations:")
+	for _, r := range q.Results() {
+		fmt.Printf("  %-3s %-12s → %-8s slot %d, %2d delays\n",
+			r.Client, adt.Untag(r.Input), r.Output, r.Slot, r.Latency())
+	}
+	res, err := q.CheckLinearizable(lin.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("queue trace linearizable: %v\n\n", res.OK)
+
+	// --- A replicated counter surviving a replica crash. ---
+	net2 := speclin.NewNetwork(speclin.NetConfig{Seed: 4, MinDelay: 1, MaxDelay: 2})
+	ctr, err := speclin.NewReplicatedObject(net2,
+		[]speclin.ProcID{"a", "b"}, []speclin.ProcID{"r1", "r2", "r3"},
+		speclin.CounterADT,
+		speclin.SMRConfig{FastPath: true, QuorumTimeout: 10, Retransmit: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	net2.Crash("r2", 10)
+	for j := 0; j < 4; j++ {
+		must(ctr.InvokeAt("a", adt.IncInput(), speclin.VTime(j*20)))
+	}
+	must(ctr.InvokeAt("b", adt.GetInput(), 90))
+	ctr.Run(500_000)
+
+	fmt.Println("replicated counter (one replica crashed at t=10):")
+	for _, r := range ctr.Results() {
+		fmt.Printf("  %-3s %-8s → %-6s %2d delays\n",
+			r.Client, adt.Untag(r.Input), r.Output, r.Latency())
+	}
+	res, err = ctr.CheckLinearizable(lin.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("counter trace linearizable: %v\n", res.OK)
+}

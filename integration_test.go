@@ -1,0 +1,163 @@
+package speclin_test
+
+import (
+	"strings"
+	"testing"
+
+	speclin "repro"
+	"repro/internal/experiments"
+)
+
+// The public facade end to end: build the shared-memory object, drive it,
+// check its trace through the exported checkers.
+func TestPublicAPISharedMemory(t *testing.T) {
+	obj, err := speclin.NewSharedMemoryConsensus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := obj.Invoke("me", speclin.TagInput(speclin.ProposeInput("x"), "me"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != speclin.DecideOutput("x") {
+		t.Fatalf("decided %q", out)
+	}
+	plain := obj.Trace().Project(func(a speclin.Action) bool { return !a.IsSwi() })
+	res, err := speclin.CheckLinearizable(speclin.ConsensusADT, plain, speclin.LinOptions{})
+	if err != nil || !res.OK {
+		t.Fatalf("linearizability: %+v %v", res, err)
+	}
+}
+
+// The public facade for the message-passing stack.
+func TestPublicAPIMessagePassing(t *testing.T) {
+	net := speclin.NewNetwork(speclin.NetConfig{Seed: 3})
+	obj, err := speclin.NewQuorumBackupConsensus(net,
+		[]speclin.ProcID{"c1", "c2"}, []speclin.ProcID{"s1", "s2", "s3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj.ProposeAt("c1", "a", 0)
+	obj.ProposeAt("c2", "b", 5)
+	obj.Run(100_000)
+	rs := obj.Results()
+	if len(rs) != 2 {
+		t.Fatalf("results: %v", rs)
+	}
+	if rs[0].Decision != rs[1].Decision {
+		t.Fatalf("split decisions: %v", rs)
+	}
+}
+
+// E1's shape as a test: the fast path beats the baseline by roughly 2×
+// in fault-free runs.
+func TestE1Shape(t *testing.T) {
+	tab, err := experiments.E1FastPathLatency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if row[1] != "2 delays" {
+			t.Fatalf("fast path not 2 delays: %v", row)
+		}
+		if row[2] == "2 delays" {
+			t.Fatalf("baseline as fast as fast path: %v", row)
+		}
+	}
+}
+
+// E6b's divergence finding as a regression test: the literal Abort-Order
+// rejects some unrestricted Quorum schedules while the temporal variant
+// accepts all; on switch-then-stop schedules the two agree.
+func TestE6bShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow sweep")
+	}
+	tab, err := experiments.E6bAbortOrderDivergence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows: %v", tab.Rows)
+	}
+	restricted, unrestricted := tab.Rows[0], tab.Rows[1]
+	if restricted[3] != "100%" || restricted[4] != "100%" {
+		t.Fatalf("restricted schedules must satisfy both variants: %v", restricted)
+	}
+	if unrestricted[3] == "100%" {
+		t.Fatalf("literal Abort-Order unexpectedly accepted all unrestricted schedules: %v", unrestricted)
+	}
+	if unrestricted[4] != "100%" {
+		t.Fatalf("temporal variant must accept all: %v", unrestricted)
+	}
+}
+
+// E9's shape as a test: sequential fast-path SMR is strictly faster than
+// the baseline, and both stay consistent.
+func TestE9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow sweep")
+	}
+	tab, err := experiments.E9SMRThroughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string][]string{}
+	for _, row := range tab.Rows {
+		byKey[row[0]+"/"+row[1]] = row
+		if row[5] != "yes" {
+			t.Fatalf("inconsistent run: %v", row)
+		}
+		if row[4] != "100%" {
+			t.Fatalf("commands lost: %v", row)
+		}
+	}
+	seq := byKey["sequential/speculative"]
+	base := byKey["sequential/paxos-only"]
+	if seq == nil || base == nil {
+		t.Fatalf("missing rows: %v", tab.Rows)
+	}
+	if !(seq[2] < base[2]) { // "2.00" < "4.00" lexically holds for these magnitudes
+		t.Fatalf("fast path not faster sequentially: %v vs %v", seq, base)
+	}
+}
+
+// E10 as a test: three phases compose without modification and all runs
+// stay linearizable.
+func TestE10ThreePhaseChain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow sweep")
+	}
+	tab, err := experiments.E10PhaseChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if row[1] != "100%" {
+			t.Fatalf("liveness lost in %v", row)
+		}
+		if row[5] != "yes" {
+			t.Fatalf("linearizability lost in %v", row)
+		}
+	}
+	// Under crash+contention the final phase must do real work.
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[4] == "0%" {
+		t.Fatalf("crash scenario never reached Paxos: %v", last)
+	}
+}
+
+// The experiment table renderer produces well-formed markdown.
+func TestRenderTable(t *testing.T) {
+	var sb strings.Builder
+	experiments.Render(&sb, experiments.Table{
+		ID: "X", Title: "demo", Header: []string{"a", "b"},
+		Rows: [][]string{{"1", "2"}}, Notes: []string{"note"},
+	})
+	out := sb.String()
+	for _, want := range []string{"## X — demo", "| a | b |", "| 1 | 2 |", "note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in %q", want, out)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package adt
+
+import "repro/internal/trace"
+
+// Bottom is the ⊥ placeholder used by register-like ADTs for "no value".
+// Proposals and written values must differ from it (the paper assumes
+// proposals differ from ⊥).
+const Bottom trace.Value = "⊥"
+
+// Consensus is the ADT of Figure 1 and Example 1: inputs are proposals
+// p(v), outputs are decisions d(v), and
+//
+//	f_Cons([p(v1), p(v2), ..., p(vn)]) = d(v1):
+//
+// in a sequential execution the first proposed value is decided by every
+// subsequent operation.
+//
+// Wire grammar: input "p:v", output "d:v".
+type Consensus struct{}
+
+var _ Folder = Consensus{}
+
+// Name implements ADT.
+func (Consensus) Name() string { return "consensus" }
+
+// ProposeInput returns the input p(v).
+func ProposeInput(v trace.Value) trace.Value { return "p:" + v }
+
+// DecideOutput returns the output d(v).
+func DecideOutput(v trace.Value) trace.Value { return "d:" + v }
+
+// ProposalOf extracts v from an input p(v); ok is false for other values.
+func ProposalOf(in trace.Value) (trace.Value, bool) {
+	op, arg, has := split2(in)
+	if !has || op != "p" || arg == string(Bottom) || arg == "" {
+		return "", false
+	}
+	return arg, true
+}
+
+// DecisionOf extracts v from an output d(v); ok is false for other values.
+func DecisionOf(out trace.Value) (trace.Value, bool) {
+	op, arg, has := split2(out)
+	if !has || op != "d" {
+		return "", false
+	}
+	return arg, true
+}
+
+// ValidInput implements ADT.
+func (Consensus) ValidInput(in trace.Value) bool {
+	_, ok := ProposalOf(Untag(in))
+	return ok
+}
+
+// Empty implements Folder: no proposal has been made.
+func (Consensus) Empty() State { return State(Bottom) }
+
+// Step implements Folder: the state is the first proposal.
+func (Consensus) Step(s State, in trace.Value) State {
+	if s != State(Bottom) {
+		return s
+	}
+	v, _ := ProposalOf(Untag(in))
+	return State(v)
+}
+
+// Out implements Folder: every operation decides the first proposal (which
+// is the operation's own proposal when the state is still ⊥).
+func (c Consensus) Out(s State, in trace.Value) trace.Value {
+	if s == State(Bottom) {
+		v, _ := ProposalOf(Untag(in))
+		return DecideOutput(v)
+	}
+	return DecideOutput(trace.Value(s))
+}
+
+// Apply implements ADT.
+func (c Consensus) Apply(h trace.History) (trace.Value, error) {
+	return ApplyFolded(c, h)
+}

@@ -1,0 +1,90 @@
+package adt
+
+import (
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Queue is a FIFO queue ADT, included to exercise the framework on a
+// multi-shot data type whose state does not collapse to a single value.
+// Inputs are "enq:v" and "deq:"; an enqueue outputs "ok:", a dequeue
+// outputs "v:x" for the removed front element or "v:⊥" on empty.
+type Queue struct{}
+
+var _ Folder = Queue{}
+
+// EnqInput returns the input enqueue(v).
+func EnqInput(v trace.Value) trace.Value { return "enq:" + v }
+
+// DeqInput returns the dequeue input.
+func DeqInput() trace.Value { return "deq:" }
+
+// Name implements ADT.
+func (Queue) Name() string { return "queue" }
+
+// ValidInput implements ADT.
+func (Queue) ValidInput(in trace.Value) bool {
+	op, arg, has := split2(Untag(in))
+	if !has {
+		return false
+	}
+	switch op {
+	case "enq":
+		return arg != "" && arg != string(Bottom) && !strings.ContainsRune(arg, '\x00')
+	case "deq":
+		return arg == ""
+	default:
+		return false
+	}
+}
+
+// The queue state is the remaining elements joined by NUL bytes; the empty
+// queue is the empty state.
+
+// Empty implements Folder.
+func (Queue) Empty() State { return "" }
+
+func queueElems(s State) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(string(s), "\x00")
+}
+
+func queueState(elems []string) State {
+	return State(strings.Join(elems, "\x00"))
+}
+
+// Step implements Folder.
+func (Queue) Step(s State, in trace.Value) State {
+	op, arg, _ := split2(Untag(in))
+	elems := queueElems(s)
+	switch op {
+	case "enq":
+		elems = append(elems, arg)
+	case "deq":
+		if len(elems) > 0 {
+			elems = elems[1:]
+		}
+	}
+	return queueState(elems)
+}
+
+// Out implements Folder.
+func (Queue) Out(s State, in trace.Value) trace.Value {
+	op, _, _ := split2(Untag(in))
+	if op == "enq" {
+		return WriteOutput()
+	}
+	elems := queueElems(s)
+	if len(elems) == 0 {
+		return ReadOutput(Bottom)
+	}
+	return ReadOutput(trace.Value(elems[0]))
+}
+
+// Apply implements ADT.
+func (q Queue) Apply(h trace.History) (trace.Value, error) {
+	return ApplyFolded(q, h)
+}

@@ -1,0 +1,128 @@
+package adt
+
+import (
+	"strconv"
+
+	"repro/internal/trace"
+)
+
+// Register is a read/write register ADT. Inputs are "w:v" (write v) and
+// "r:" (read); a write outputs "ok:" and a read outputs "v:x" where x is
+// the most recently written value, or "v:⊥" if none.
+type Register struct{}
+
+var _ Folder = Register{}
+
+// WriteInput returns the input write(v).
+func WriteInput(v trace.Value) trace.Value { return "w:" + v }
+
+// ReadInput returns the read input.
+func ReadInput() trace.Value { return "r:" }
+
+// ReadOutput returns the output of a read observing v.
+func ReadOutput(v trace.Value) trace.Value { return "v:" + v }
+
+// WriteOutput returns the output of a write.
+func WriteOutput() trace.Value { return "ok:" }
+
+// Name implements ADT.
+func (Register) Name() string { return "register" }
+
+// ValidInput implements ADT.
+func (Register) ValidInput(in trace.Value) bool {
+	op, arg, has := split2(Untag(in))
+	if !has {
+		return false
+	}
+	switch op {
+	case "w":
+		return arg != "" && arg != string(Bottom)
+	case "r":
+		return arg == ""
+	default:
+		return false
+	}
+}
+
+// Empty implements Folder.
+func (Register) Empty() State { return State(Bottom) }
+
+// Step implements Folder: the state is the last written value.
+func (Register) Step(s State, in trace.Value) State {
+	op, arg, _ := split2(Untag(in))
+	if op == "w" {
+		return State(arg)
+	}
+	return s
+}
+
+// Out implements Folder.
+func (Register) Out(s State, in trace.Value) trace.Value {
+	op, _, _ := split2(Untag(in))
+	if op == "w" {
+		return WriteOutput()
+	}
+	return ReadOutput(trace.Value(s))
+}
+
+// Apply implements ADT.
+func (r Register) Apply(h trace.History) (trace.Value, error) {
+	return ApplyFolded(r, h)
+}
+
+// Counter is a fetch-and-increment counter ADT. The input "inc:" outputs
+// "n:k" where k is the number of increments performed so far including this
+// one; the input "get:" outputs "n:k" for the current count k.
+type Counter struct{}
+
+var _ Folder = Counter{}
+
+// IncInput returns the increment input.
+func IncInput() trace.Value { return "inc:" }
+
+// GetInput returns the read-count input.
+func GetInput() trace.Value { return "get:" }
+
+// CountOutput returns the output reporting count k.
+func CountOutput(k int) trace.Value { return trace.Value("n:" + itoa(k)) }
+
+// Name implements ADT.
+func (Counter) Name() string { return "counter" }
+
+// ValidInput implements ADT.
+func (Counter) ValidInput(in trace.Value) bool {
+	in = Untag(in)
+	return in == IncInput() || in == GetInput()
+}
+
+// Empty implements Folder.
+func (Counter) Empty() State { return "0" }
+
+// Step implements Folder.
+func (Counter) Step(s State, in trace.Value) State {
+	if Untag(in) == IncInput() {
+		return State(itoa(atoi(string(s)) + 1))
+	}
+	return s
+}
+
+// Out implements Folder.
+func (Counter) Out(s State, in trace.Value) trace.Value {
+	k := atoi(string(s))
+	if Untag(in) == IncInput() {
+		k++
+	}
+	return CountOutput(k)
+}
+
+// Apply implements ADT.
+func (c Counter) Apply(h trace.History) (trace.Value, error) {
+	return ApplyFolded(c, h)
+}
+
+func itoa(k int) string { return strconv.Itoa(k) }
+
+func atoi(s string) int {
+	n, _ := strconv.Atoi(s)
+	return n
+}

@@ -1,0 +1,453 @@
+// Package almspec implements the §6 specification automaton of the paper
+// (the "Abortable Linearizable Module" of the AFP entry): speculative
+// linearizability instantiated for the universal ADT, whose output
+// function is the identity — responses carry the whole history.
+//
+// The automaton for a phase range (m, n) keeps:
+//
+//   - hist: the longest linearization made visible to a client;
+//   - a phase per client: Sleep, Pending, Ready or Aborted;
+//   - pending(c): the last input submitted by client c;
+//   - InitHists: the init histories received (m > 1);
+//   - booleans initialized and aborted.
+//
+// Steps A1–A4 follow the paper, with three refinements the prose leaves
+// implicit but that the trace property — and the composition theorem —
+// require (each was pinned down by a failing model check, see the inline
+// comments and EXPERIMENTS.md):
+//
+//   - A2 is split into an internal linearization step (append a pending
+//     input to hist) and an output response step (emit hist truncated
+//     just after the client's input), per the §6 remark "commit histories
+//     are obtained by truncating hist at a pending request";
+//   - hist freezes once any abort has been emitted — the §6 remark "at
+//     this point hist does not grow anymore", which is what makes
+//     Abort-Order hold — but responses to already-linearized operations
+//     remain enabled;
+//   - A4 emits histories that strictly extend the Init-Order baseline
+//     when m > 1, and only aborts Pending clients (so emitted traces are
+//     (m,n)-well-formed).
+//
+// Experiment E7 model-checks the intra-object composition theorem: the
+// composition Spec(1,2) ‖ Spec(2,3), with the interior switch actions
+// hidden, is trace-included in Spec(1,3).
+package almspec
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/adt"
+	"repro/internal/ioa"
+	"repro/internal/trace"
+)
+
+// Client phases of the automaton.
+const (
+	Sleep = iota
+	Pending
+	Ready
+	Aborted
+)
+
+// Inv is an invocation action at a phase level. Per the consistent
+// reading of Definition 16 (see trace.InSig), the operation actions of a
+// phase (m, n) carry levels in [m..n-1], so the alphabets of consecutive
+// single phases are disjoint and compositions interleave them. The SLin
+// predicates never depend on the level, and the refinement check erases
+// it via ClassErasingLevels.
+type Inv struct {
+	Level int
+	C     trace.ClientID
+	In    trace.Value
+}
+
+// Res is a response action; Out is the encoded history (universal ADT).
+type Res struct {
+	Level int
+	C     trace.ClientID
+	In    trace.Value
+	Out   trace.Value
+}
+
+// Swi is a switch action at a given level: the abort output of phase
+// (m, n) has Level == n and is the init input of phase (n, o). Hist is
+// the encoded switch history (r_init maps h to {h}, §6).
+type Swi struct {
+	Level int
+	C     trace.ClientID
+	In    trace.Value
+	Hist  trace.Value
+}
+
+// internalAct tags A1/A3 steps with the owning automaton's name so that
+// internal actions never synchronize across components.
+type internalAct struct {
+	Name string
+	Who  string
+}
+
+// state is the automaton state; fields are treated as immutable (steps
+// build fresh states).
+type state struct {
+	hist    trace.History
+	phases  map[trace.ClientID]int
+	pending map[trace.ClientID]trace.Value
+	// invoked marks clients that already submitted their operation in
+	// this phase range: each client performs at most one operation (the
+	// §6 formalization assumes unique inputs; repeated occurrences of an
+	// input would need occurrence identities the automaton lacks).
+	invoked     map[trace.ClientID]bool
+	initHists   []trace.History // in arrival order; LCP is order-free
+	initialized bool
+	aborted     bool
+	// abortEmitted freezes hist (disables A2) once any abort output
+	// happened.
+	abortEmitted bool
+	// baseLen is len(hist) right after A1; abort histories must exceed
+	// it when m > 1 (strict Init-Order).
+	baseLen int
+}
+
+func (s state) clone() state {
+	n := s
+	n.hist = s.hist.Clone()
+	n.phases = make(map[trace.ClientID]int, len(s.phases))
+	for c, p := range s.phases {
+		n.phases[c] = p
+	}
+	n.pending = make(map[trace.ClientID]trace.Value, len(s.pending))
+	for c, v := range s.pending {
+		n.pending[c] = v
+	}
+	n.invoked = make(map[trace.ClientID]bool, len(s.invoked))
+	for c, v := range s.invoked {
+		n.invoked[c] = v
+	}
+	n.initHists = append([]trace.History{}, s.initHists...)
+	return n
+}
+
+// Config parameterizes a Spec automaton.
+type Config struct {
+	// M and N delimit the phase range (M < N); init switches carry level
+	// M (only when M > 1), abort switches level N.
+	M, N int
+	// Clients lists the clients; ClientInput gives each client's single
+	// designated input (experiments use one unique input per client,
+	// sidestepping the duplicate-input subtleties the §6 prose assumes
+	// away).
+	Clients []trace.ClientID
+	// Inputs[i] is the designated input of Clients[i].
+	Inputs []trace.Value
+	// InitUniverse enumerates the init histories the environment may pass
+	// when M > 1 (used for standalone exploration; in compositions the
+	// previous phase's abort outputs drive these inputs).
+	InitUniverse []trace.History
+}
+
+// Name returns the canonical automaton name for a range.
+func name(m, n int) string { return "alm(" + strconv.Itoa(m) + "," + strconv.Itoa(n) + ")" }
+
+// Spec builds the §6 specification automaton for the range (cfg.M, cfg.N).
+func Spec(cfg Config) *ioa.Automaton {
+	an := name(cfg.M, cfg.N)
+	inputOf := map[trace.ClientID]trace.Value{}
+	for i, c := range cfg.Clients {
+		inputOf[c] = cfg.Inputs[i]
+	}
+
+	start := func() []ioa.State {
+		s := state{
+			phases:  map[trace.ClientID]int{},
+			pending: map[trace.ClientID]trace.Value{},
+			invoked: map[trace.ClientID]bool{},
+		}
+		for _, c := range cfg.Clients {
+			if cfg.M == 1 {
+				s.phases[c] = Ready
+			} else {
+				s.phases[c] = Sleep
+			}
+		}
+		if cfg.M == 1 {
+			s.initialized = true
+		}
+		return []ioa.State{s}
+	}
+
+	steps := func(is ioa.State) []ioa.Transition {
+		s := is.(state)
+		var ts []ioa.Transition
+
+		// Input: invocations (level M, canonical for this range). The
+		// automaton blocks ill-formed environment behavior — a client may
+		// invoke only when Ready — so explorations quantify over exactly
+		// the well-formed environments.
+		for _, c := range cfg.Clients {
+			in := inputOf[c]
+			if s.phases[c] == Ready && !s.invoked[c] {
+				n := s.clone()
+				n.phases[c] = Pending
+				n.pending[c] = in
+				n.invoked[c] = true
+				ts = append(ts, ioa.Transition{Action: Inv{cfg.M, c, in}, Next: n})
+			}
+		}
+
+		// Input: init switches (m > 1); accepted only while Sleep — a
+		// client enters a phase exactly once (Definition 34).
+		if cfg.M > 1 {
+			for _, c := range cfg.Clients {
+				in := inputOf[c]
+				if s.phases[c] != Sleep {
+					continue
+				}
+				for _, h := range cfg.InitUniverse {
+					act := Swi{Level: cfg.M, C: c, In: in, Hist: adt.HistoryOutput(h)}
+					n := s.clone()
+					n.phases[c] = Pending
+					n.pending[c] = in
+					n.invoked[c] = true
+					n.initHists = append(n.initHists, h)
+					ts = append(ts, ioa.Transition{Action: act, Next: n})
+				}
+			}
+		}
+
+		// Internal A1: initialize hist from the LCP of init histories.
+		if !s.initialized {
+			anyEntered := false
+			for _, c := range cfg.Clients {
+				if s.phases[c] != Sleep {
+					anyEntered = true
+				}
+			}
+			if anyEntered {
+				n := s.clone()
+				n.hist = trace.LCP(s.initHists)
+				n.initialized = true
+				n.baseLen = len(n.hist)
+				ts = append(ts, ioa.Transition{Action: internalAct{"a1", an}, Next: n})
+			}
+		}
+
+		// A2, split in two per the §6 remark "commit histories are
+		// obtained by truncating hist at a pending request":
+		//
+		// A2a (internal): linearize a pending input by appending it to
+		// hist, WITHOUT responding. This is what lets a composition's
+		// abort histories carry silently linearized operations of other
+		// clients; the one-step append-and-respond reading of the prose
+		// is strictly weaker and fails the composition refinement (the
+		// model check of E7 found the counterexample).
+		if s.initialized && !s.abortEmitted {
+			for _, c := range cfg.Clients {
+				if s.phases[c] == Pending && !s.hist.Contains(s.pending[c]) {
+					n := s.clone()
+					n.hist = n.hist.Append(s.pending[c])
+					ts = append(ts, ioa.Transition{
+						Action: internalAct{"a2lin|" + string(c), an},
+						Next:   n,
+					})
+				}
+			}
+		}
+		// A2b (output): respond to a client whose pending input has been
+		// linearized strictly beyond the Init-Order baseline, with hist
+		// truncated just after that input. Responding stays enabled after
+		// aborts begin — the commit is a prefix of the frozen hist and
+		// hence of every abort history.
+		for _, c := range cfg.Clients {
+			if s.phases[c] != Pending {
+				continue
+			}
+			pos := indexOf(s.hist, s.pending[c])
+			if pos < 0 || pos < s.baseLen {
+				continue // not linearized, or trapped inside L
+			}
+			n := s.clone()
+			n.phases[c] = Ready
+			act := Res{Level: cfg.M, C: c, In: s.pending[c], Out: adt.HistoryOutput(s.hist[:pos+1])}
+			ts = append(ts, ioa.Transition{Action: act, Next: n})
+		}
+
+		// Internal A3: start aborting.
+		if !s.aborted {
+			n := s.clone()
+			n.aborted = true
+			ts = append(ts, ioa.Transition{Action: internalAct{"a3", an}, Next: n})
+		}
+
+		// Output A4: abort a pending client with a history extending hist
+		// by pending inputs (every subset, every order).
+		if s.aborted && s.initialized {
+			var free []trace.Value // pending inputs not in hist
+			for _, c := range cfg.Clients {
+				if s.phases[c] == Pending && !s.hist.Contains(s.pending[c]) {
+					free = append(free, s.pending[c])
+				}
+			}
+			for _, c := range cfg.Clients {
+				if s.phases[c] != Pending {
+					continue
+				}
+				for _, ext := range orderings(free) {
+					h := s.hist.Concat(ext)
+					if cfg.M > 1 && len(h) <= s.baseLen {
+						continue // strict Init-Order for abort histories
+					}
+					n := s.clone()
+					n.phases[c] = Aborted
+					n.abortEmitted = true
+					act := Swi{Level: cfg.N, C: c, In: s.pending[c], Hist: adt.HistoryOutput(h)}
+					ts = append(ts, ioa.Transition{Action: act, Next: n})
+				}
+			}
+		}
+
+		return ts
+	}
+
+	return &ioa.Automaton{
+		Name:  an,
+		Start: start,
+		Steps: steps,
+		External: func(a ioa.Action) bool {
+			_, internal := a.(internalAct)
+			return !internal
+		},
+		InAlphabet: func(a ioa.Action) bool {
+			switch x := a.(type) {
+			case Inv:
+				return x.Level >= cfg.M && x.Level < cfg.N
+			case Res:
+				return x.Level >= cfg.M && x.Level < cfg.N
+			case Swi:
+				return x.Level >= cfg.M && x.Level <= cfg.N
+			case internalAct:
+				return x.Who == an
+			}
+			return false
+		},
+		StateKey:  stateKey,
+		ActionKey: ActionKey,
+	}
+}
+
+// indexOf returns the first position of v in h, or -1.
+func indexOf(h trace.History, v trace.Value) int {
+	for i, x := range h {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// orderings returns every ordering of every subset of vs (including the
+// empty one). vs is small (bounded by the client count).
+func orderings(vs []trace.Value) []trace.History {
+	out := []trace.History{{}}
+	var rec func(prefix trace.History, rest []trace.Value)
+	rec = func(prefix trace.History, rest []trace.Value) {
+		for i, v := range rest {
+			next := prefix.Append(v)
+			out = append(out, next)
+			nr := append(append([]trace.Value{}, rest[:i]...), rest[i+1:]...)
+			rec(next, nr)
+		}
+	}
+	rec(trace.History{}, vs)
+	return out
+}
+
+func stateKey(is ioa.State) string {
+	s := is.(state)
+	var b strings.Builder
+	b.WriteString(adt.HistoryOutput(s.hist))
+	b.WriteByte('|')
+	var cs []string
+	for c := range s.phases {
+		cs = append(cs, string(c))
+	}
+	sort.Strings(cs)
+	for _, c := range cs {
+		b.WriteString(c)
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(s.phases[trace.ClientID(c)]))
+		b.WriteByte(':')
+		b.WriteString(s.pending[trace.ClientID(c)])
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatBool(s.invoked[trace.ClientID(c)]))
+		b.WriteByte(';')
+	}
+	b.WriteByte('|')
+	var ih []string
+	for _, h := range s.initHists {
+		ih = append(ih, adt.HistoryOutput(h))
+	}
+	sort.Strings(ih)
+	b.WriteString(strings.Join(ih, "&"))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatBool(s.initialized))
+	b.WriteString(strconv.FormatBool(s.aborted))
+	b.WriteString(strconv.FormatBool(s.abortEmitted))
+	b.WriteString(strconv.Itoa(s.baseLen))
+	return b.String()
+}
+
+// ActionKey canonically encodes an external action for synchronization.
+func ActionKey(a ioa.Action) string {
+	switch x := a.(type) {
+	case Inv:
+		return "inv|" + strconv.Itoa(x.Level) + "|" + string(x.C) + "|" + x.In
+	case Res:
+		return "res|" + strconv.Itoa(x.Level) + "|" + string(x.C) + "|" + x.In + "|" + x.Out
+	case Swi:
+		return "swi|" + strconv.Itoa(x.Level) + "|" + string(x.C) + "|" + x.In + "|" + x.Hist
+	case internalAct:
+		return "int|" + x.Who + "|" + x.Name
+	}
+	return "?"
+}
+
+// ClassErasingLevels builds an action classifier for trace-inclusion
+// checks between a composition over [m..o] and the spec for (m, o): the
+// levels of operation actions are erased (SLin never depends on them) and
+// switch actions at interior levels are hidden (the projection onto
+// sig(m, o) of Theorem 3).
+func ClassErasingLevels(m, o int) func(ioa.Action) (string, bool) {
+	return func(a ioa.Action) (string, bool) {
+		switch x := a.(type) {
+		case Inv:
+			return "inv|" + string(x.C) + "|" + x.In, true
+		case Res:
+			return "res|" + string(x.C) + "|" + x.In + "|" + x.Out, true
+		case Swi:
+			if x.Level != m && x.Level != o {
+				return "", false // interior switch: hidden
+			}
+			return "swi|" + strconv.Itoa(x.Level) + "|" + string(x.C) + "|" + x.In + "|" + x.Hist, true
+		}
+		return "", false
+	}
+}
+
+// ToTrace converts an external action sequence into a trace for the slin
+// checker; every action keeps its own level.
+func ToTrace(actions []ioa.Action) trace.Trace {
+	var t trace.Trace
+	for _, a := range actions {
+		switch x := a.(type) {
+		case Inv:
+			t = append(t, trace.Invoke(x.C, x.Level, x.In))
+		case Res:
+			t = append(t, trace.Response(x.C, x.Level, x.In, x.Out))
+		case Swi:
+			t = append(t, trace.Switch(x.C, x.Level, x.In, x.Hist))
+		}
+	}
+	return t
+}

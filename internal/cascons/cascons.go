@@ -1,0 +1,106 @@
+// Package cascons implements the CAS-based speculative consensus of
+// Figure 3: switch-to-CASCons(val) returns CAS(D, ⊥, val), and propose()
+// by a client that already switched simply returns D.
+//
+// Like package rcons it provides a step Machine over simulated memory and
+// a NativePhase over sync/atomic for core.Composer.
+package cascons
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/adt"
+	"repro/internal/core"
+	"repro/internal/shmem"
+	"repro/internal/trace"
+)
+
+// Reg names the shared CAS register of one CASCons instance.
+type Reg struct {
+	D shmem.Loc
+}
+
+// DefaultReg returns the register name for an instance.
+func DefaultReg(instance string) Reg { return Reg{D: shmem.Loc(instance + ".D2")} }
+
+// Machine executes one switch-to-CASCons(val) or propose(val) call as
+// atomic steps (a single step each, per Figure 3).
+type Machine struct {
+	reg    Reg
+	val    trace.Value
+	swIn   bool // switch-to-CASCons (true) vs propose by switched client
+	done   bool
+	result trace.Value
+}
+
+// NewSwitchMachine prepares switch-to-CASCons(val).
+func NewSwitchMachine(reg Reg, val trace.Value) *Machine {
+	return &Machine{reg: reg, val: val, swIn: true}
+}
+
+// NewProposeMachine prepares propose() by a client that switched earlier
+// (Figure 3 line 7: just return D).
+func NewProposeMachine(reg Reg) *Machine {
+	return &Machine{reg: reg}
+}
+
+// Done reports completion.
+func (m *Machine) Done() bool { return m.done }
+
+// Result returns the decided value; valid only after Done.
+func (m *Machine) Result() trace.Value { return m.result }
+
+// Clone returns an independent copy.
+func (m *Machine) Clone() *Machine {
+	c := *m
+	return &c
+}
+
+// Key canonically encodes local state.
+func (m *Machine) Key() string {
+	return string(m.val) + "|" + strconv.FormatBool(m.swIn) + "|" +
+		strconv.FormatBool(m.done) + "|" + m.result
+}
+
+// Step performs the single atomic access of Figure 3.
+func (m *Machine) Step(mem *shmem.Mem) {
+	if m.done {
+		panic("cascons: step after completion")
+	}
+	if m.swIn {
+		after, _ := mem.CAS(m.reg.D, adt.Bottom, m.val)
+		m.result = after
+	} else {
+		m.result = mem.Read(m.reg.D)
+	}
+	m.done = true
+}
+
+// NativePhase is Figure 3 over a sync/atomic CAS cell, as a core.Phase.
+type NativePhase struct {
+	d shmem.CASCell
+}
+
+var _ core.Phase = (*NativePhase)(nil)
+
+// NewNativePhase returns a fresh CASCons instance.
+func NewNativePhase() *NativePhase { return &NativePhase{} }
+
+// Name implements core.Phase.
+func (p *NativePhase) Name() string { return "cascons" }
+
+// SwitchIn implements core.Phase: return CAS(D, ⊥, init).
+func (p *NativePhase) SwitchIn(c trace.ClientID, in, init trace.Value) (core.Outcome, error) {
+	return core.ReturnOutcome(adt.DecideOutput(p.d.CompareAndSwapFromBottom(init))), nil
+}
+
+// Invoke implements core.Phase: a client that switched earlier proposes
+// again; the consensus is already won, so return D (Figure 3 line 7).
+func (p *NativePhase) Invoke(c trace.ClientID, in trace.Value) (core.Outcome, error) {
+	d := p.d.Load()
+	if d == adt.Bottom {
+		return core.Outcome{}, fmt.Errorf("cascons: propose before any switch-in")
+	}
+	return core.ReturnOutcome(adt.DecideOutput(d)), nil
+}

@@ -1,0 +1,88 @@
+package cascons
+
+import (
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/shmem"
+)
+
+// Figure 3: the first switcher's CAS installs its value; later switchers
+// observe it; propose() by a switched client returns D.
+func TestFigure3Semantics(t *testing.T) {
+	mem := shmem.NewMem()
+	reg := DefaultReg("i")
+
+	m1 := NewSwitchMachine(reg, "a")
+	m1.Step(mem)
+	if !m1.Done() || m1.Result() != "a" {
+		t.Fatalf("first CAS result = %q", m1.Result())
+	}
+
+	m2 := NewSwitchMachine(reg, "b")
+	m2.Step(mem)
+	if m2.Result() != "a" {
+		t.Fatalf("second CAS result = %q, want incumbent", m2.Result())
+	}
+
+	p := NewProposeMachine(reg)
+	p.Step(mem)
+	if p.Result() != "a" {
+		t.Fatalf("propose after switch = %q", p.Result())
+	}
+}
+
+func TestMachineCloneAndKey(t *testing.T) {
+	mem := shmem.NewMem()
+	reg := DefaultReg("i")
+	m := NewSwitchMachine(reg, "a")
+	c := m.Clone()
+	m.Step(mem)
+	if c.Done() {
+		t.Fatal("clone aliases original")
+	}
+	if m.Key() == c.Key() {
+		t.Fatal("done and pending machines share a key")
+	}
+}
+
+func TestStepAfterDonePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	mem := shmem.NewMem()
+	m := NewSwitchMachine(DefaultReg("i"), "a")
+	m.Step(mem)
+	m.Step(mem)
+}
+
+func TestNativePhase(t *testing.T) {
+	p := NewNativePhase()
+	// Propose before any switch-in is a usage error.
+	if _, err := p.Invoke("c1", adt.ProposeInput("x")); err == nil {
+		t.Fatal("propose before switch-in must error")
+	}
+	out, err := p.SwitchIn("c1", adt.ProposeInput("x"), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Output != adt.DecideOutput("a") {
+		t.Fatalf("switch-in outcome = %+v", out)
+	}
+	out, err = p.SwitchIn("c2", adt.ProposeInput("y"), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Output != adt.DecideOutput("a") {
+		t.Fatalf("losing switch-in outcome = %+v", out)
+	}
+	out, err = p.Invoke("c1", adt.ProposeInput("z"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Output != adt.DecideOutput("a") {
+		t.Fatalf("re-invoke outcome = %+v", out)
+	}
+}

@@ -1,0 +1,151 @@
+package check
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// toy is a system of n processes that each perform k no-op steps,
+// emitting one action per step. Schedules = multinomial(n*k; k,...,k).
+type toy struct {
+	n, k  int
+	steps []int
+	tr    trace.Trace
+}
+
+func newToy(n, k int) *toy { return &toy{n: n, k: k, steps: make([]int, n)} }
+
+func (s *toy) Enabled() []int {
+	var e []int
+	for i, done := range s.steps {
+		if done < s.k {
+			e = append(e, i)
+		}
+	}
+	return e
+}
+
+func (s *toy) Step(i int) {
+	s.steps[i]++
+	s.tr = append(s.tr, trace.Invoke(trace.ClientID(rune('a'+i)), 1, trace.Value(strconv.Itoa(s.steps[i]))))
+}
+
+func (s *toy) Clone() *toy {
+	c := &toy{n: s.n, k: s.k, steps: append([]int{}, s.steps...), tr: s.tr.Clone()}
+	return c
+}
+
+func (s *toy) Trace() trace.Trace { return s.tr }
+
+func (s *toy) Key() string { return fmt.Sprint(s.steps) }
+
+func TestExhaustiveTracesCountsSchedules(t *testing.T) {
+	// 2 procs × 2 steps: C(4,2) = 6 interleavings.
+	st, err := ExhaustiveTraces(newToy(2, 2), func(*toy) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Runs != 6 {
+		t.Fatalf("runs = %d, want 6", st.Runs)
+	}
+	// 3 procs × 1 step: 3! = 6.
+	st, _ = ExhaustiveTraces(newToy(3, 1), func(*toy) error { return nil })
+	if st.Runs != 6 {
+		t.Fatalf("runs = %d, want 6", st.Runs)
+	}
+	// 2 procs × 3 steps: C(6,3) = 20.
+	st, _ = ExhaustiveTraces(newToy(2, 3), func(*toy) error { return nil })
+	if st.Runs != 20 {
+		t.Fatalf("runs = %d, want 20", st.Runs)
+	}
+}
+
+func TestExhaustiveTracesDistinctTraces(t *testing.T) {
+	seen := map[string]bool{}
+	_, err := ExhaustiveTraces(newToy(2, 2), func(s *toy) error {
+		k := s.Trace().String()
+		if seen[k] {
+			return fmt.Errorf("duplicate complete trace %s", k)
+		}
+		seen[k] = true
+		if len(s.Trace()) != 4 {
+			return fmt.Errorf("incomplete trace %s", k)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExhaustiveTracesStops(t *testing.T) {
+	count := 0
+	st, err := ExhaustiveTraces(newToy(2, 2), func(*toy) error {
+		count++
+		if count == 3 {
+			return ErrStop
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Runs != 3 {
+		t.Fatalf("stopped at %d runs", st.Runs)
+	}
+}
+
+func TestExhaustiveTracesPropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := ExhaustiveTraces(newToy(2, 1), func(*toy) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExhaustiveStatesDedup(t *testing.T) {
+	// States of the 2×2 toy: step vectors {0,1,2}² = 9 states.
+	st, err := ExhaustiveStates(newToy(2, 2), func(*toy) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.States != 9 {
+		t.Fatalf("states = %d, want 9", st.States)
+	}
+}
+
+func TestRandomTracesCompleteRuns(t *testing.T) {
+	st, err := RandomTraces(newToy(3, 2), 25, 7, func(s *toy) error {
+		if len(s.Trace()) != 6 {
+			return fmt.Errorf("incomplete random run")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Runs != 25 {
+		t.Fatalf("runs = %d", st.Runs)
+	}
+}
+
+func TestRandomTracesDeterministicSeed(t *testing.T) {
+	collect := func() []string {
+		var ts []string
+		_, _ = RandomTraces(newToy(2, 3), 10, 99, func(s *toy) error {
+			ts = append(ts, s.Trace().String())
+			return nil
+		})
+		return ts
+	}
+	a, b := collect(), collect()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different schedules")
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// scriptPhase resolves operations from a scripted table and records what
+// it saw; safe for concurrent use.
+type scriptPhase struct {
+	name string
+	mu   sync.Mutex
+	// resolve maps input -> outcome; switchIn handles transferred ops.
+	resolve  func(c trace.ClientID, in trace.Value) Outcome
+	switchIn func(c trace.ClientID, in, init trace.Value) Outcome
+	invokes  int
+	switches int
+}
+
+func (p *scriptPhase) Name() string { return p.name }
+
+func (p *scriptPhase) Invoke(c trace.ClientID, in trace.Value) (Outcome, error) {
+	p.mu.Lock()
+	p.invokes++
+	p.mu.Unlock()
+	return p.resolve(c, in), nil
+}
+
+func (p *scriptPhase) SwitchIn(c trace.ClientID, in, init trace.Value) (Outcome, error) {
+	p.mu.Lock()
+	p.switches++
+	p.mu.Unlock()
+	return p.switchIn(c, in, init), nil
+}
+
+func echoPhase(name string) *scriptPhase {
+	return &scriptPhase{
+		name:     name,
+		resolve:  func(_ trace.ClientID, in trace.Value) Outcome { return ReturnOutcome("out:" + in) },
+		switchIn: func(_ trace.ClientID, in, init trace.Value) Outcome { return ReturnOutcome("sw:" + init + ":" + in) },
+	}
+}
+
+func TestComposerDirectReturn(t *testing.T) {
+	p := echoPhase("fast")
+	o, err := NewComposer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := o.Invoke("c1", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "out:x" {
+		t.Fatalf("output = %q", out)
+	}
+	tr := o.Trace()
+	want := trace.Trace{
+		trace.Invoke("c1", 1, "x"),
+		trace.Response("c1", 1, "x", "out:x"),
+	}
+	if len(tr) != len(want) || tr[0] != want[0] || tr[1] != want[1] {
+		t.Fatalf("trace = %v", tr)
+	}
+}
+
+func TestComposerSwitch(t *testing.T) {
+	fast := echoPhase("fast")
+	fast.resolve = func(_ trace.ClientID, in trace.Value) Outcome { return SwitchOutcome("v-" + in) }
+	backup := echoPhase("backup")
+	o, err := NewComposer(fast, backup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := o.Invoke("c1", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "sw:v-x:x" {
+		t.Fatalf("output = %q", out)
+	}
+	tr := o.Trace()
+	want := trace.Trace{
+		trace.Invoke("c1", 1, "x"),
+		trace.Switch("c1", 2, "x", "v-x"),
+		trace.Response("c1", 2, "x", "sw:v-x:x"),
+	}
+	for i := range want {
+		if tr[i] != want[i] {
+			t.Fatalf("trace[%d] = %v, want %v", i, tr[i], want[i])
+		}
+	}
+	// The trace is well-formed for the composed signature (1,3).
+	if !tr.PhaseWellFormed(1, 3) {
+		t.Fatalf("composed trace not (1,3)-well-formed: %v", tr)
+	}
+	// After switching, the client's next invocation goes directly to the
+	// backup phase.
+	if _, err := o.Invoke("c1", "y"); err != nil {
+		t.Fatal(err)
+	}
+	if fast.invokes != 1 {
+		t.Fatalf("fast phase received %d invokes, want 1", fast.invokes)
+	}
+	tr = o.Trace()
+	last := tr[len(tr)-1]
+	if last.Phase != 2 {
+		t.Fatalf("post-switch response numbered %d, want 2", last.Phase)
+	}
+}
+
+func TestComposerThreePhaseChain(t *testing.T) {
+	p1 := echoPhase("p1")
+	p1.resolve = func(_ trace.ClientID, in trace.Value) Outcome { return SwitchOutcome("a") }
+	p2 := echoPhase("p2")
+	p2.switchIn = func(_ trace.ClientID, in, init trace.Value) Outcome { return SwitchOutcome(init + "b") }
+	p3 := echoPhase("p3")
+	o, err := NewComposer(p1, p2, p3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := o.Invoke("c1", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "sw:ab:x" {
+		t.Fatalf("output = %q", out)
+	}
+	tr := o.Trace()
+	// inv(1), swi(2), swi(3), res(3)
+	kinds := []trace.Kind{trace.Inv, trace.Swi, trace.Swi, trace.Res}
+	phases := []int{1, 2, 3, 3}
+	for i := range kinds {
+		if tr[i].Kind != kinds[i] || tr[i].Phase != phases[i] {
+			t.Fatalf("trace[%d] = %v", i, tr[i])
+		}
+	}
+	if !tr.PhaseWellFormed(1, 4) {
+		t.Fatalf("three-phase trace not (1,4)-well-formed: %v", tr)
+	}
+}
+
+func TestComposerLastPhaseMustNotSwitch(t *testing.T) {
+	p := echoPhase("only")
+	p.resolve = func(_ trace.ClientID, in trace.Value) Outcome { return SwitchOutcome("v") }
+	o, err := NewComposer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Invoke("c1", "x"); err == nil || !strings.Contains(err.Error(), "last phase") {
+		t.Fatalf("expected last-phase error, got %v", err)
+	}
+}
+
+func TestComposerNeedsPhases(t *testing.T) {
+	if _, err := NewComposer(); err == nil {
+		t.Fatal("empty composer must be rejected")
+	}
+}
+
+// Concurrent clients produce a well-formed trace; run with -race.
+func TestComposerConcurrentClients(t *testing.T) {
+	fast := echoPhase("fast")
+	n := 0
+	var mu sync.Mutex
+	fast.resolve = func(c trace.ClientID, in trace.Value) Outcome {
+		mu.Lock()
+		n++
+		odd := n%2 == 1
+		mu.Unlock()
+		if odd {
+			return SwitchOutcome("v")
+		}
+		return ReturnOutcome("ok")
+	}
+	backup := echoPhase("backup")
+	o, err := NewComposer(fast, backup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := trace.ClientID(rune('a' + i))
+			for j := 0; j < 5; j++ {
+				if _, err := o.Invoke(c, "x"); err != nil {
+					t.Errorf("invoke: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	tr := o.Trace()
+	if !tr.PhaseWellFormed(1, 3) {
+		t.Fatalf("concurrent trace not (1,3)-well-formed: %v", tr)
+	}
+	if len(tr) < 8*5*2 {
+		t.Fatalf("trace too short: %d actions", len(tr))
+	}
+}

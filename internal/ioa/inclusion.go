@@ -1,0 +1,187 @@
+package ioa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// InclusionOptions configures CheckTraceInclusion.
+type InclusionOptions struct {
+	// MaxPairs bounds the explored (implState, specSet) pairs; 0 means
+	// 1_000_000.
+	MaxPairs int
+	// Hide, when non-nil, marks impl actions to be treated as internal
+	// (invisible to the spec). Used to hide the interior switch actions
+	// of a composition before comparing against the wider spec (the
+	// proj(·, sig(m,o)) of Theorem 3).
+	Hide func(Action) bool
+	// Class, when non-nil, maps external actions (of both automata) to a
+	// matching class; actions match when their classes coincide. ok =
+	// false hides the action entirely (subsumes Hide). Used to erase
+	// irrelevant action structure — e.g. the phase level of operation
+	// actions, on which the SLin predicates never depend.
+	Class func(Action) (string, bool)
+}
+
+func (o InclusionOptions) maxPairs() int {
+	if o.MaxPairs <= 0 {
+		return 1_000_000
+	}
+	return o.MaxPairs
+}
+
+// InclusionResult reports a trace-inclusion check.
+type InclusionResult struct {
+	// OK is true when every external trace of impl (after hiding) is a
+	// trace of spec, over the explored bounded space.
+	OK bool
+	// Counterexample is a shortest-found impl trace not matched by spec.
+	Counterexample []Action
+	// Pairs is the number of explored (implState, specSet) pairs.
+	Pairs int
+}
+
+// CheckTraceInclusion decides traces(impl) ⊆ traces(spec) over the
+// reachable bounded space by the subset construction: it tracks, for each
+// reachable impl state along an external trace, the set of spec states
+// reachable over the same trace. The check is exact for finite systems
+// (both automata here are finite once the environment bounds operations):
+// if a reachable impl external action has no spec counterpart, the trace
+// so far plus that action witnesses non-inclusion.
+func CheckTraceInclusion(impl, spec *Automaton, opts InclusionOptions) (InclusionResult, error) {
+	type pair struct {
+		impl    State
+		specSet []State
+		trace   []Action
+	}
+
+	// class maps an external action to its matching class; ok = false
+	// means the action is hidden (treated as internal).
+	class := func(a *Automaton, x Action) (string, bool) {
+		if opts.Class != nil {
+			return opts.Class(x)
+		}
+		if opts.Hide != nil && opts.Hide(x) {
+			return "", false
+		}
+		return a.ActionKey(x), true
+	}
+
+	specClosure := func(set []State) []State { return internalClosure(spec, set, class) }
+
+	// specStep advances every spec state in the set over external action
+	// class k and closes under internal/hidden actions.
+	specStep := func(set []State, k string) []State {
+		var next []State
+		for _, s := range set {
+			for _, t := range spec.Steps(s) {
+				if !spec.External(t.Action) {
+					continue
+				}
+				ck, visible := class(spec, t.Action)
+				if visible && ck == k {
+					next = append(next, t.Next)
+				}
+			}
+		}
+		return specClosure(next)
+	}
+
+	setKey := func(set []State) string {
+		keys := make([]string, len(set))
+		for i, s := range set {
+			keys[i] = spec.StateKey(s)
+		}
+		sort.Strings(keys)
+		return strings.Join(keys, "∪")
+	}
+
+	visible := func(a Action) (string, bool) {
+		if !impl.External(a) {
+			return "", false
+		}
+		return class(impl, a)
+	}
+
+	start := specClosure(spec.Start())
+	if len(start) == 0 {
+		return InclusionResult{}, fmt.Errorf("ioa: spec %s has no start states", spec.Name)
+	}
+
+	seen := map[string]bool{}
+	var queue []pair
+	for _, s := range impl.Start() {
+		p := pair{impl: s, specSet: start}
+		k := impl.StateKey(s) + "¦" + setKey(start)
+		if !seen[k] {
+			seen[k] = true
+			queue = append(queue, p)
+		}
+	}
+
+	pairs := 0
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		pairs++
+		if pairs > opts.maxPairs() {
+			return InclusionResult{Pairs: pairs}, ErrBound
+		}
+		for _, t := range impl.Steps(p.impl) {
+			nextSet := p.specSet
+			tr := p.trace
+			if k, vis := visible(t.Action); vis {
+				nextSet = specStep(p.specSet, k)
+				tr = append(append([]Action{}, p.trace...), t.Action)
+				if len(nextSet) == 0 {
+					return InclusionResult{
+						OK:             false,
+						Counterexample: tr,
+						Pairs:          pairs,
+					}, nil
+				}
+			}
+			np := pair{impl: t.Next, specSet: nextSet, trace: tr}
+			k := impl.StateKey(t.Next) + "¦" + setKey(nextSet)
+			if !seen[k] {
+				seen[k] = true
+				queue = append(queue, np)
+			}
+		}
+	}
+	return InclusionResult{OK: true, Pairs: pairs}, nil
+}
+
+// internalClosure returns the closure of set under internal (and hidden)
+// transitions.
+func internalClosure(a *Automaton, set []State, class func(*Automaton, Action) (string, bool)) []State {
+	seen := map[string]bool{}
+	var out []State
+	var stack []State
+	for _, s := range set {
+		k := a.StateKey(s)
+		if !seen[k] {
+			seen[k] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, s)
+		for _, t := range a.Steps(s) {
+			if a.External(t.Action) {
+				if _, vis := class(a, t.Action); vis {
+					continue
+				}
+			}
+			k := a.StateKey(t.Next)
+			if !seen[k] {
+				seen[k] = true
+				stack = append(stack, t.Next)
+			}
+		}
+	}
+	return out
+}

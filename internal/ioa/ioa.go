@@ -1,0 +1,237 @@
+// Package ioa is a small I/O-automata framework in the style of Lynch &
+// Tuttle, mirroring the formal setting of the paper's §6 (which uses the
+// Isabelle/HOL IOA theory). It provides automata with input/output/
+// internal actions, parallel composition synchronizing on shared actions,
+// reachability exploration, and a bounded trace-inclusion check based on
+// the subset construction — the executable counterpart of the paper's
+// refinement-mapping proof (DESIGN.md, substitution 3).
+package ioa
+
+import (
+	"errors"
+	"fmt"
+)
+
+// State is an automaton state; automata provide canonical keys via
+// StateKey (states need not be comparable themselves).
+type State any
+
+// Action is a transition label. Concrete action types must be comparable
+// structs; ActionKey provides the canonical matching key.
+type Action any
+
+// Transition is one enabled step.
+type Transition struct {
+	Action Action
+	Next   State
+}
+
+// Automaton describes an I/O automaton operationally. Automata are
+// struct-of-functions so that specs, environments and compositions share
+// one representation.
+type Automaton struct {
+	// Name identifies the automaton in diagnostics.
+	Name string
+	// Start returns the initial states (non-empty).
+	Start func() []State
+	// Steps returns all enabled transitions from a state, including
+	// accepting transitions for input actions (I/O automata are input
+	// enabled: an input in the alphabet is always acceptable, possibly
+	// as a self-loop).
+	Steps func(State) []Transition
+	// External reports whether an action is externally visible (input or
+	// output); internal actions are invisible in traces.
+	External func(Action) bool
+	// InAlphabet reports whether the action belongs to this automaton's
+	// signature (internal actions of OTHER automata must not be in it).
+	InAlphabet func(Action) bool
+	// StateKey canonically encodes a state.
+	StateKey func(State) string
+	// ActionKey canonically encodes an action for synchronization and
+	// trace matching.
+	ActionKey func(Action) string
+}
+
+// pairState is the state of a binary composition.
+type pairState struct {
+	a, b State
+}
+
+// Compose returns the parallel composition a ‖ b: shared actions (in both
+// alphabets) synchronize, others interleave. Internal actions must be
+// private to each component (enforce by tagging them with the component
+// name); sharing an "internal" action is a modeling error.
+func Compose(a, b *Automaton) *Automaton {
+	name := a.Name + "‖" + b.Name
+	return &Automaton{
+		Name: name,
+		Start: func() []State {
+			var ss []State
+			for _, sa := range a.Start() {
+				for _, sb := range b.Start() {
+					ss = append(ss, pairState{sa, sb})
+				}
+			}
+			return ss
+		},
+		Steps: func(s State) []Transition {
+			p := s.(pairState)
+			var ts []Transition
+			bSteps := b.Steps(p.b)
+			for _, ta := range a.Steps(p.a) {
+				if !b.InAlphabet(ta.Action) {
+					ts = append(ts, Transition{ta.Action, pairState{ta.Next, p.b}})
+					continue
+				}
+				// Shared action: both must take it together.
+				key := a.ActionKey(ta.Action)
+				for _, tb := range bSteps {
+					if b.ActionKey(tb.Action) == key {
+						ts = append(ts, Transition{ta.Action, pairState{ta.Next, tb.Next}})
+					}
+				}
+			}
+			for _, tb := range bSteps {
+				if !a.InAlphabet(tb.Action) {
+					ts = append(ts, Transition{tb.Action, pairState{p.a, tb.Next}})
+				}
+			}
+			return ts
+		},
+		External: func(x Action) bool { return a.External(x) || b.External(x) },
+		InAlphabet: func(x Action) bool {
+			return a.InAlphabet(x) || b.InAlphabet(x)
+		},
+		StateKey: func(s State) string {
+			p := s.(pairState)
+			return a.StateKey(p.a) + "⊗" + b.StateKey(p.b)
+		},
+		ActionKey: func(x Action) string {
+			if a.InAlphabet(x) {
+				return a.ActionKey(x)
+			}
+			return b.ActionKey(x)
+		},
+	}
+}
+
+// ErrBound is returned when exploration exceeds its state bound.
+var ErrBound = errors.New("ioa: state bound exceeded")
+
+// ErrStop may be returned by visitors to end exploration early without
+// reporting an error.
+var ErrStop = errors.New("ioa: stop requested")
+
+// Reachable explores the automaton's reachable states (deduplicated) and
+// calls visit for each. maxStates bounds the exploration.
+func Reachable(a *Automaton, maxStates int, visit func(State) error) (int, error) {
+	seen := map[string]bool{}
+	var stack []State
+	for _, s := range a.Start() {
+		k := a.StateKey(s)
+		if !seen[k] {
+			seen[k] = true
+			stack = append(stack, s)
+		}
+	}
+	count := 0
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		count++
+		if count > maxStates {
+			return count, ErrBound
+		}
+		if visit != nil {
+			if err := visit(s); err != nil {
+				if errors.Is(err, ErrStop) {
+					return count, nil
+				}
+				return count, err
+			}
+		}
+		for _, t := range a.Steps(s) {
+			k := a.StateKey(t.Next)
+			if !seen[k] {
+				seen[k] = true
+				stack = append(stack, t.Next)
+			}
+		}
+	}
+	return count, nil
+}
+
+// ExternalTraces enumerates the automaton's external traces up to the
+// given external length, calling visit once per distinct trace (traces of
+// an automaton are prefix-closed; every prefix is visited). Exploration
+// deduplicates (state, trace) pairs, so cycles of internal actions and
+// input self-loops terminate. maxNodes bounds the explored pairs.
+func ExternalTraces(a *Automaton, maxLen int, maxNodes int, visit func([]Action) error) error {
+	type node struct {
+		s  State
+		tr []Action
+	}
+	seenPair := map[string]bool{}
+	seenTrace := map[string]bool{}
+	var stack []node
+	push := func(n node) {
+		k := a.StateKey(n.s) + "¶" + traceKey(a, n.tr)
+		if !seenPair[k] {
+			seenPair[k] = true
+			stack = append(stack, n)
+		}
+	}
+	for _, s := range a.Start() {
+		push(node{s, nil})
+	}
+	nodes := 0
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nodes++
+		if nodes > maxNodes {
+			return ErrBound
+		}
+		key := traceKey(a, n.tr)
+		if !seenTrace[key] {
+			seenTrace[key] = true
+			if err := visit(n.tr); err != nil {
+				if errors.Is(err, ErrStop) {
+					return nil
+				}
+				return err
+			}
+		}
+		for _, t := range a.Steps(n.s) {
+			tr := n.tr
+			if a.External(t.Action) {
+				if len(n.tr) >= maxLen {
+					continue
+				}
+				tr = append(append([]Action{}, n.tr...), t.Action)
+			}
+			push(node{t.Next, tr})
+		}
+	}
+	return nil
+}
+
+func traceKey(a *Automaton, tr []Action) string {
+	k := ""
+	for _, x := range tr {
+		k += a.ActionKey(x) + "§"
+	}
+	return k
+}
+
+// String renders an action sequence using the automaton's keys.
+func TraceString(a *Automaton, tr []Action) string {
+	s := "["
+	for i, x := range tr {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%v", x)
+	}
+	return s + "]"
+}

@@ -1,0 +1,198 @@
+package lin
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+
+	"repro/internal/adt"
+	"repro/internal/trace"
+)
+
+// operation pairs an invocation index with its response index (or -1 when
+// pending) in a well-formed trace.
+type operation struct {
+	inv, res int
+	input    trace.Value
+	output   trace.Value // meaningful when res >= 0
+}
+
+// collectOps extracts the operations of a well-formed trace in invocation
+// order.
+func collectOps(t trace.Trace) []operation {
+	var ops []operation
+	open := map[trace.ClientID]int{} // client -> index into ops
+	for i, a := range t {
+		switch a.Kind {
+		case trace.Inv:
+			open[a.Client] = len(ops)
+			ops = append(ops, operation{inv: i, res: -1, input: a.Input})
+		case trace.Res:
+			j := open[a.Client]
+			ops[j].res = i
+			ops[j].output = a.Output
+		}
+	}
+	return ops
+}
+
+// Linearization is the sequential-reordering witness of the classical
+// definition: operation indices (into the trace's invocation order) in
+// the order the operations appear in the witnessing sequential trace
+// (Definition 45's t_seq).
+type Linearization []int
+
+// CheckClassical decides linearizability* of t with respect to f
+// (Appendix A, Definitions 37–46): t is well-formed and some completion of
+// t can be reordered into a sequential trace that agrees with the ADT and
+// preserves the order of non-overlapping operations.
+//
+// Completions append a response for every pending invocation (Definition
+// 39 requires completions to be complete traces); since the output function
+// is total, the appended outputs are unconstrained by the original trace
+// and are chosen by the search.
+//
+// On success, Result.Sequential holds the witnessing operation order;
+// VerifySequential validates it against the definitions, and
+// WitnessFromSequential converts it into a new-definition witness by
+// Lemma 2's construction.
+func CheckClassical(f adt.Folder, t trace.Trace, opts Options) (Result, error) {
+	if !t.WellFormed() {
+		return Result{OK: false, Reason: "trace is not well-formed"}, nil
+	}
+	ops := collectOps(t)
+	if len(ops) > 63 {
+		return Result{}, ErrBudget // bitmask search caps at 63 operations
+	}
+	s := &classicalSearcher{
+		f:      f,
+		ops:    ops,
+		budget: opts.budget(),
+		failed: map[string]bool{},
+		order:  make([]int, len(ops)),
+	}
+	ok, err := s.run(0, f.Empty())
+	if err != nil {
+		return Result{}, err
+	}
+	if !ok {
+		return Result{OK: false, Reason: "no legal sequential reordering exists"}, nil
+	}
+	return Result{OK: true, Sequential: append(Linearization{}, s.order...)}, nil
+}
+
+type classicalSearcher struct {
+	f      adt.Folder
+	ops    []operation
+	budget int
+	failed map[string]bool
+	// order[k] is the k-th linearized operation on the successful path.
+	order []int
+}
+
+// run linearizes operations one at a time. placed is the bitmask of
+// already-linearized operations and st the folded ADT state they produced.
+// An operation j may be linearized next iff every operation k whose
+// response precedes j's invocation in real time is already placed
+// (Definition 44), and — when j completed in the original trace — its
+// output matches the ADT's output at the current state.
+func (s *classicalSearcher) run(placed uint64, st adt.State) (bool, error) {
+	s.budget--
+	if s.budget < 0 {
+		return false, ErrBudget
+	}
+	if placed == uint64(1)<<len(s.ops)-1 {
+		return true, nil
+	}
+	key := strconv.FormatUint(placed, 16) + "|" + string(st)
+	if s.failed[key] {
+		return false, nil
+	}
+	for j, op := range s.ops {
+		if placed&(1<<j) != 0 {
+			continue
+		}
+		// Real-time order: all operations completed before op's
+		// invocation must already be placed.
+		eligible := true
+		for k, other := range s.ops {
+			if placed&(1<<k) != 0 || k == j {
+				continue
+			}
+			if other.res >= 0 && other.res < op.inv {
+				eligible = false
+				break
+			}
+		}
+		if !eligible {
+			continue
+		}
+		// ADT agreement for completed operations; pending operations take
+		// whatever output the completion assigns, so nothing to check.
+		if op.res >= 0 && s.f.Out(st, op.input) != op.output {
+			continue
+		}
+		ok, err := s.run(placed|1<<j, s.f.Step(st, op.input))
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			s.order[bits.OnesCount64(placed)] = j
+			return true, nil
+		}
+	}
+	s.failed[key] = true
+	return false, nil
+}
+
+// VerifyWitness checks a linearization function against Definitions 6–12
+// directly: it explains every response, Validity holds at every commit
+// index, and commit histories are totally ordered by strict prefix. It is
+// used by tests to validate Check's positive verdicts independently of the
+// search that produced them.
+func VerifyWitness(f adt.Folder, t trace.Trace, w Witness) error {
+	var commits []int
+	for i, a := range t {
+		if a.Kind != trace.Res {
+			continue
+		}
+		commits = append(commits, i)
+		g, ok := w[i]
+		if !ok {
+			return fmtErr("no commit history for response index %d", i)
+		}
+		// Explains (Definition 7).
+		out, err := f.Apply(g)
+		if err != nil {
+			return err
+		}
+		if out != a.Output {
+			return fmtErr("index %d: history %v explains %q, trace has %q", i, g, out, a.Output)
+		}
+		// Validity (Definitions 10–11).
+		if len(g) == 0 || g.Last() != a.Input {
+			return fmtErr("index %d: history %v does not end with input %q", i, g, a.Input)
+		}
+		if !g.Elems().SubsetOf(t.InputsBeforeMultiset(i)) {
+			return fmtErr("index %d: history %v uses inputs not invoked before it", i, g)
+		}
+	}
+	// Commit-Order (Definition 12).
+	for x := 0; x < len(commits); x++ {
+		for y := x + 1; y < len(commits); y++ {
+			gi, gj := w[commits[x]], w[commits[y]]
+			if !gi.IsStrictPrefixOf(gj) && !gj.IsStrictPrefixOf(gi) {
+				return fmtErr("commit histories %v and %v are not strict-prefix ordered", gi, gj)
+			}
+		}
+	}
+	return nil
+}
+
+func fmtErr(format string, args ...any) error {
+	return &witnessError{msg: fmt.Sprintf(format, args...)}
+}
+
+type witnessError struct{ msg string }
+
+func (e *witnessError) Error() string { return "lin: invalid witness: " + e.msg }

@@ -1,0 +1,129 @@
+package lin
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Lemma 2's construction, mechanically: for random classically
+// linearizable traces, the sequential witness verifies against the
+// Appendix A definitions, and the linearization function built from it
+// verifies against the new definition (Definitions 6–12). Repeated inputs
+// (no occurrence tags) are included deliberately — this direction of
+// Theorem 1 survives them.
+func TestLemma2Construction(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	cases := []struct {
+		name   string
+		f      adt.Folder
+		inputs []trace.Value
+		unique bool
+	}{
+		{"consensus-unique", adt.Consensus{}, []trace.Value{adt.ProposeInput("a"), adt.ProposeInput("b")}, true},
+		{"counter-repeated", adt.Counter{}, []trace.Value{adt.IncInput(), adt.GetInput()}, false},
+		{"register-repeated", adt.Register{}, []trace.Value{adt.WriteInput("x"), adt.ReadInput()}, false},
+		{"queue-unique", adt.Queue{}, []trace.Value{adt.EnqInput("x"), adt.DeqInput()}, true},
+	}
+	iters := 200
+	if testing.Short() {
+		iters = 50
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			verified := 0
+			for i := 0; i < iters; i++ {
+				opts := workload.TraceOpts{
+					Clients: 3, Ops: 4 + r.Intn(3), Inputs: tc.inputs,
+					PendingProb: 0.2, UniqueTags: tc.unique,
+				}
+				if i%3 == 2 {
+					opts.CorruptProb = 0.5
+				}
+				tr := workload.Random(tc.f, r, opts)
+				res, err := CheckClassical(tc.f, tr, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.OK {
+					continue
+				}
+				// The sequential witness satisfies Definitions 41–45.
+				if err := VerifySequential(tc.f, tr, res.Sequential); err != nil {
+					t.Fatalf("invalid sequential witness: %v\ntrace: %v\nseq: %v", err, tr, res.Sequential)
+				}
+				// Lemma 2: it converts to a valid new-definition witness.
+				w, err := WitnessFromSequential(tr, res.Sequential)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := VerifyWitness(tc.f, tr, w); err != nil {
+					t.Fatalf("Lemma 2 construction failed: %v\ntrace: %v\nseq: %v\nwitness: %v",
+						err, tr, res.Sequential, w)
+				}
+				verified++
+			}
+			if verified == 0 {
+				t.Fatal("no linearizable traces generated")
+			}
+		})
+	}
+}
+
+// The sequential verifier rejects broken witnesses.
+func TestVerifySequentialRejects(t *testing.T) {
+	w, rd := adt.WriteInput("x"), adt.ReadInput()
+	tr := trace.Trace{
+		trace.Invoke("c1", 1, w),
+		trace.Response("c1", 1, w, adt.WriteOutput()),
+		trace.Invoke("c2", 1, rd),
+		trace.Response("c2", 1, rd, adt.ReadOutput("x")),
+	}
+	// Correct order: write (op 0) then read (op 1).
+	if err := VerifySequential(adt.Register{}, tr, Linearization{0, 1}); err != nil {
+		t.Fatalf("valid witness rejected: %v", err)
+	}
+	// Reversed order violates both real-time order and the read's output.
+	if err := VerifySequential(adt.Register{}, tr, Linearization{1, 0}); err == nil {
+		t.Fatal("reversed order accepted")
+	}
+	// Not a permutation.
+	if err := VerifySequential(adt.Register{}, tr, Linearization{0, 0}); err == nil {
+		t.Fatal("duplicate op accepted")
+	}
+	if err := VerifySequential(adt.Register{}, tr, Linearization{0}); err == nil {
+		t.Fatal("short witness accepted")
+	}
+}
+
+// Pending operations appear in the sequential witness (completions are
+// total, Definition 40) but carry no output constraint.
+func TestSequentialWithPendingOps(t *testing.T) {
+	tr := trace.Trace{
+		trace.Invoke("c1", 1, adt.ProposeInput("a")),
+		trace.Invoke("c2", 1, adt.ProposeInput("b")),
+		trace.Response("c2", 1, adt.ProposeInput("b"), adt.DecideOutput("a")),
+		// c1 stays pending.
+	}
+	res, err := CheckClassical(adt.Consensus{}, tr, Options{})
+	if err != nil || !res.OK {
+		t.Fatalf("check: %+v %v", res, err)
+	}
+	if len(res.Sequential) != 2 {
+		t.Fatalf("pending op missing from witness: %v", res.Sequential)
+	}
+	if err := VerifySequential(adt.Consensus{}, tr, res.Sequential); err != nil {
+		t.Fatal(err)
+	}
+	w, err := WitnessFromSequential(tr, res.Sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyWitness(adt.Consensus{}, tr, w); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,298 @@
+// Package lin decides linearizability of traces.
+//
+// It implements both definitions studied in the paper:
+//
+//   - Check implements the paper's new definition (§4, Definitions 5–15):
+//     a trace is linearizable iff it is well-formed and admits a
+//     linearization function mapping response indices to commit histories
+//     that explain the outputs, use only previously invoked inputs
+//     (Validity), and are totally ordered by strict prefix (Commit-Order).
+//
+//   - CheckClassical implements the classical Herlihy–Wing definition as
+//     formalized in Appendix A (Definitions 37–46): a trace is
+//     linearizable* iff some completion can be reordered into a sequential
+//     trace that agrees with the ADT and preserves the order of
+//     non-overlapping operations.
+//
+// Theorem 1/4 states the two definitions coincide; experiment E8 validates
+// that this package's two checkers agree on randomly generated traces.
+//
+// Both checkers are exact decision procedures (worst-case exponential, as
+// the problem is NP-hard) with memoization on folded ADT states. A step
+// budget bounds pathological searches; exceeding it yields ErrBudget
+// rather than a wrong verdict.
+package lin
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/adt"
+	"repro/internal/trace"
+)
+
+// ErrBudget is returned when a check exceeds its search budget; the
+// trace's status is then unknown rather than decided.
+var ErrBudget = errors.New("lin: search budget exhausted")
+
+// DefaultBudget bounds the number of search nodes explored per check.
+const DefaultBudget = 2_000_000
+
+// Options configures a check.
+type Options struct {
+	// Budget bounds search nodes; 0 means DefaultBudget.
+	Budget int
+}
+
+func (o Options) budget() int {
+	if o.Budget <= 0 {
+		return DefaultBudget
+	}
+	return o.Budget
+}
+
+// Witness is a linearization function restricted to commit indices: for
+// each response index of the trace it gives the commit history g(i)
+// (Definition 8).
+type Witness map[int]trace.History
+
+// Result reports the outcome of a linearizability check.
+type Result struct {
+	// OK is true when the trace is linearizable.
+	OK bool
+	// Reason documents a negative verdict.
+	Reason string
+	// Witness holds a linearization function when OK (new definition
+	// checker only).
+	Witness Witness
+	// Sequential holds the sequential-reordering witness when OK
+	// (classical checker only).
+	Sequential Linearization
+}
+
+// Check decides linearizability of t with respect to f under the paper's
+// new definition. The returned error is non-nil only for budget
+// exhaustion or malformed inputs, never for a (correct) negative verdict.
+func Check(f adt.Folder, t trace.Trace, opts Options) (Result, error) {
+	if !t.WellFormed() {
+		return Result{OK: false, Reason: "trace is not well-formed"}, nil
+	}
+	s := &searcher{
+		f:      f,
+		t:      t,
+		budget: opts.budget(),
+		failed: map[string]bool{},
+	}
+	ok, err := s.run(0, chain{f: f}, trace.Multiset{})
+	if err != nil {
+		return Result{}, err
+	}
+	if !ok {
+		return Result{OK: false, Reason: "no linearization function exists"}, nil
+	}
+	w := Witness{}
+	for i, k := range s.assigned {
+		w[i] = s.best.hist[:k].Clone()
+	}
+	return Result{OK: true, Witness: w}, nil
+}
+
+// chain is the current commit-history chain: Commit-Order (Definition 12)
+// totally orders commit histories by strict prefix, so all of them are
+// prefixes of a single maximal history. The chain tracks that maximal
+// history, the ADT state and output at every prefix length, and which
+// lengths are already assigned to a commit index (each response must get a
+// distinct prefix, but not necessarily in trace order).
+type chain struct {
+	f    adt.Folder
+	hist trace.History
+	// states[k] is the folded state of hist[:k]; len(states) == len(hist)+1
+	// once initialized (states[0] is the empty state).
+	states []adt.State
+	// outs[k-1] is f's output for the k-th input of hist applied at
+	// states[k-1], i.e. the output of the operation committing hist[:k].
+	outs []trace.Value
+	// used marks prefix lengths already assigned to a commit index.
+	used []bool
+}
+
+func (c chain) len() int { return len(c.hist) }
+
+func (c chain) state() adt.State {
+	if len(c.states) == 0 {
+		return c.f.Empty()
+	}
+	return c.states[len(c.states)-1]
+}
+
+// extend returns a copy of c with input in appended.
+func (c chain) extend(in trace.Value) chain {
+	st := c.state()
+	n := chain{f: c.f}
+	n.hist = c.hist.Append(in)
+	n.states = append(append([]adt.State{}, c.states...), c.f.Step(st, in))
+	if len(c.states) == 0 {
+		// states[0] (empty history) was implicit; materialize it.
+		n.states = append([]adt.State{c.f.Empty()}, n.states...)
+	}
+	n.outs = append(append([]trace.Value{}, c.outs...), c.f.Out(st, in))
+	n.used = append(append([]bool{}, c.used...), false)
+	return n
+}
+
+// markUsed returns a copy of c with prefix length k marked assigned.
+func (c chain) markUsed(k int) chain {
+	n := c
+	n.used = append([]bool{}, c.used...)
+	n.used[k-1] = true
+	return n
+}
+
+// key returns a canonical encoding of the chain for memoization.
+func (c chain) key() string {
+	var b strings.Builder
+	for i, v := range c.hist {
+		b.WriteString(v)
+		if c.used[i] {
+			b.WriteByte('*')
+		}
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}
+
+type searcher struct {
+	f      adt.Folder
+	t      trace.Trace
+	budget int
+	failed map[string]bool
+	// assigned maps commit (response) indices to the prefix length they
+	// claimed, on the successful path; best is the final chain.
+	assigned map[int]int
+	best     chain
+}
+
+func (s *searcher) spend() error {
+	s.budget--
+	if s.budget < 0 {
+		return ErrBudget
+	}
+	return nil
+}
+
+// run processes the trace from action index i with the given chain and
+// multiset of invoked-but-uncommitted inputs.
+func (s *searcher) run(i int, c chain, avail trace.Multiset) (bool, error) {
+	if err := s.spend(); err != nil {
+		return false, err
+	}
+	if i == len(s.t) {
+		s.best = c
+		if s.assigned == nil {
+			s.assigned = map[int]int{}
+		}
+		return true, nil
+	}
+	key := strconv.Itoa(i) + "|" + c.key() + "|" + avail.Key()
+	if s.failed[key] {
+		return false, nil
+	}
+	a := s.t[i]
+	var ok bool
+	var err error
+	switch a.Kind {
+	case trace.Inv:
+		na := avail.Clone()
+		na.Add(a.Input, 1)
+		ok, err = s.run(i+1, c, na)
+	case trace.Res:
+		ok, err = s.commit(i, c, avail, a)
+	default:
+		return false, fmt.Errorf("lin: action %v does not belong to sig_T", a)
+	}
+	if err != nil {
+		return false, err
+	}
+	if !ok {
+		s.failed[key] = true
+		return false, nil
+	}
+	return true, nil
+}
+
+// commit handles a response action: the commit history g(i) must be a
+// prefix of the chain (possibly created by extending it), ending with the
+// response's input and explaining its output, at a prefix length no other
+// commit has claimed.
+func (s *searcher) commit(i int, c chain, avail trace.Multiset, a trace.Action) (bool, error) {
+	// Option 1: claim an existing unused prefix length. Elements already
+	// in the chain were drawn from inputs invoked before the action that
+	// appended them, hence before i, so Validity holds automatically.
+	for k := 1; k <= c.len(); k++ {
+		if c.used[k-1] || c.hist[k-1] != a.Input || c.outs[k-1] != a.Output {
+			continue
+		}
+		ok, err := s.run(i+1, c.markUsed(k), avail)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			s.assigned[i] = k
+			return true, nil
+		}
+	}
+	// Option 2: extend the chain with fresh inputs from avail, the last
+	// being the response's own input. Intermediate appended elements
+	// create new (unused) prefix lengths that later commits may claim.
+	return s.extendAndCommit(i, c, avail, a, map[string]bool{})
+}
+
+// extendAndCommit explores extensions of the chain drawn from avail. At
+// every step it may close the extension by appending the response's input
+// (if the output matches) or append any other available input and
+// continue. visited prunes permutations reaching identical (chain, avail)
+// configurations within this response.
+func (s *searcher) extendAndCommit(i int, c chain, avail trace.Multiset, a trace.Action, visited map[string]bool) (bool, error) {
+	if err := s.spend(); err != nil {
+		return false, err
+	}
+	vkey := c.key() + "|" + avail.Key()
+	if visited[vkey] {
+		return false, nil
+	}
+	visited[vkey] = true
+
+	// Close: append the response's own input.
+	if avail.Count(a.Input) > 0 && s.f.Out(c.state(), a.Input) == a.Output {
+		nc := c.extend(a.Input)
+		nc = nc.markUsed(nc.len())
+		na := avail.Clone()
+		na.Add(a.Input, -1)
+		ok, err := s.run(i+1, nc, na)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			s.assigned[i] = nc.len()
+			return true, nil
+		}
+	}
+	// Continue: append some other available input as an intermediate.
+	for in, n := range avail {
+		if n <= 0 {
+			continue
+		}
+		na := avail.Clone()
+		na.Add(in, -1)
+		ok, err := s.extendAndCommit(i, c.extend(in), na, a, visited)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,312 @@
+package lin
+
+import (
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/trace"
+)
+
+func p(v string) trace.Value { return adt.ProposeInput(v) }
+func d(v string) trace.Value { return adt.DecideOutput(v) }
+
+func checkBoth(t *testing.T, f adt.Folder, tr trace.Trace) (newDef, classical bool) {
+	t.Helper()
+	r1, err := Check(f, tr, Options{})
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if r1.OK {
+		if err := VerifyWitness(f, tr, r1.Witness); err != nil {
+			t.Fatalf("checker produced invalid witness: %v", err)
+		}
+	}
+	r2, err := CheckClassical(f, tr, Options{})
+	if err != nil {
+		t.Fatalf("CheckClassical: %v", err)
+	}
+	if r1.OK != r2.OK {
+		t.Fatalf("definitions disagree (Theorem 1 violated): new=%v classical=%v on %v",
+			r1.OK, r2.OK, tr)
+	}
+	return r1.OK, r2.OK
+}
+
+// The linearizable example of §2.2: c1 proposes v1, c2 proposes v2, c2
+// decides v2, c1 decides v2. The history chain [p(v2)], [p(v2), p(v1)]
+// witnesses it.
+func TestSection22LinearizableExample(t *testing.T) {
+	tr := trace.Trace{
+		trace.Invoke("c1", 1, p("v1")),
+		trace.Invoke("c2", 1, p("v2")),
+		trace.Response("c2", 1, p("v2"), d("v2")),
+		trace.Response("c1", 1, p("v1"), d("v2")),
+	}
+	if ok, _ := checkBoth(t, adt.Consensus{}, tr); !ok {
+		t.Fatal("the §2.2 example must be linearizable")
+	}
+}
+
+// First non-linearizable example of §2.2: c1 proposes v1, c2 proposes v2,
+// c1 decides v1, c2 decides v2 — two different decisions.
+func TestSection22NonLinearizable1(t *testing.T) {
+	tr := trace.Trace{
+		trace.Invoke("c1", 1, p("v1")),
+		trace.Invoke("c2", 1, p("v2")),
+		trace.Response("c1", 1, p("v1"), d("v1")),
+		trace.Response("c2", 1, p("v2"), d("v2")),
+	}
+	if ok, _ := checkBoth(t, adt.Consensus{}, tr); ok {
+		t.Fatal("split decisions must not be linearizable")
+	}
+}
+
+// Second non-linearizable example of §2.2: c1 proposes v1 and decides v2
+// before v2 was ever proposed.
+func TestSection22NonLinearizable2(t *testing.T) {
+	tr := trace.Trace{
+		trace.Invoke("c1", 1, p("v1")),
+		trace.Response("c1", 1, p("v1"), d("v2")),
+		trace.Invoke("c2", 1, p("v2")),
+		trace.Response("c2", 1, p("v2"), d("v2")),
+	}
+	if ok, _ := checkBoth(t, adt.Consensus{}, tr); ok {
+		t.Fatal("deciding a not-yet-proposed value must not be linearizable")
+	}
+}
+
+// A later response may need a commit history shorter than an earlier one:
+// c1 (proposing a) decides b before c2 (proposing b) decides b. The only
+// witness assigns g(res c1) = [p(b), p(a)] and g(res c2) = [p(b)], with
+// commit histories out of trace order.
+func TestShorterCommitAfterLonger(t *testing.T) {
+	tr := trace.Trace{
+		trace.Invoke("c1", 1, p("a")),
+		trace.Invoke("c2", 1, p("b")),
+		trace.Response("c1", 1, p("a"), d("b")),
+		trace.Response("c2", 1, p("b"), d("b")),
+	}
+	if ok, _ := checkBoth(t, adt.Consensus{}, tr); !ok {
+		t.Fatal("out-of-order commit lengths must be found")
+	}
+}
+
+func TestSequentialTraces(t *testing.T) {
+	// Sequential executions of Figure 1: first proposal decided by all.
+	tr := trace.Trace{
+		trace.Invoke("c1", 1, p("x")),
+		trace.Response("c1", 1, p("x"), d("x")),
+		trace.Invoke("c2", 1, p("y")),
+		trace.Response("c2", 1, p("y"), d("x")),
+	}
+	if ok, _ := checkBoth(t, adt.Consensus{}, tr); !ok {
+		t.Fatal("sequential spec-following trace must be linearizable")
+	}
+	// A sequential trace violating the spec.
+	bad := trace.Trace{
+		trace.Invoke("c1", 1, p("x")),
+		trace.Response("c1", 1, p("x"), d("x")),
+		trace.Invoke("c2", 1, p("y")),
+		trace.Response("c2", 1, p("y"), d("y")),
+	}
+	if ok, _ := checkBoth(t, adt.Consensus{}, bad); ok {
+		t.Fatal("second proposer deciding own value sequentially is wrong")
+	}
+}
+
+func TestPendingInvocationsAllowed(t *testing.T) {
+	// A pending proposal may be linearized to explain another's decision.
+	tr := trace.Trace{
+		trace.Invoke("c1", 1, p("a")),
+		trace.Invoke("c2", 1, p("b")),
+		trace.Response("c2", 1, p("b"), d("a")),
+		// c1 never responds.
+	}
+	if ok, _ := checkBoth(t, adt.Consensus{}, tr); !ok {
+		t.Fatal("pending invocation must be linearizable as a side effect")
+	}
+}
+
+func TestRealTimeOrderRespected(t *testing.T) {
+	// Non-overlapping register operations: a write completes, then a read
+	// starts; the read must observe the write.
+	w, r := adt.WriteInput("x"), adt.ReadInput()
+	tr := trace.Trace{
+		trace.Invoke("c1", 1, w),
+		trace.Response("c1", 1, w, adt.WriteOutput()),
+		trace.Invoke("c2", 1, r),
+		trace.Response("c2", 1, r, adt.ReadOutput(adt.Bottom)),
+	}
+	if ok, _ := checkBoth(t, adt.Register{}, tr); ok {
+		t.Fatal("read after completed write must not miss it")
+	}
+	tr[3] = trace.Response("c2", 1, r, adt.ReadOutput("x"))
+	if ok, _ := checkBoth(t, adt.Register{}, tr); !ok {
+		t.Fatal("read observing the completed write must be linearizable")
+	}
+}
+
+func TestOverlappingRegisterOps(t *testing.T) {
+	// Overlapping write and read: the read may see either old or new.
+	w, r := adt.WriteInput("x"), adt.ReadInput()
+	for _, out := range []trace.Value{adt.ReadOutput(adt.Bottom), adt.ReadOutput("x")} {
+		tr := trace.Trace{
+			trace.Invoke("c1", 1, w),
+			trace.Invoke("c2", 1, r),
+			trace.Response("c2", 1, r, out),
+			trace.Response("c1", 1, w, adt.WriteOutput()),
+		}
+		if ok, _ := checkBoth(t, adt.Register{}, tr); !ok {
+			t.Fatalf("overlapping read returning %q must be linearizable", out)
+		}
+	}
+}
+
+func TestQueueLinearizability(t *testing.T) {
+	enqA, enqB, deq := adt.EnqInput("a"), adt.EnqInput("b"), adt.DeqInput()
+	// Sequential enq a, enq b, then two dequeues must pop a then b.
+	good := trace.Trace{
+		trace.Invoke("c1", 1, enqA),
+		trace.Response("c1", 1, enqA, adt.WriteOutput()),
+		trace.Invoke("c1", 1, enqB),
+		trace.Response("c1", 1, enqB, adt.WriteOutput()),
+		trace.Invoke("c2", 1, deq),
+		trace.Response("c2", 1, deq, adt.ReadOutput("a")),
+		trace.Invoke("c2", 1, deq),
+		trace.Response("c2", 1, deq, adt.ReadOutput("b")),
+	}
+	if ok, _ := checkBoth(t, adt.Queue{}, good); !ok {
+		t.Fatal("FIFO trace must be linearizable")
+	}
+	// Popping b before a sequentially is not linearizable.
+	bad := good.Clone()
+	bad[5] = trace.Response("c2", 1, deq, adt.ReadOutput("b"))
+	bad[7] = trace.Response("c2", 1, deq, adt.ReadOutput("a"))
+	if ok, _ := checkBoth(t, adt.Queue{}, bad); ok {
+		t.Fatal("LIFO pops of sequential enqueues must not be linearizable")
+	}
+}
+
+// Repeated events: the same input invoked by two clients; each decision
+// consumes its own occurrence (the paper: duplicates "are the norm in
+// practice").
+func TestRepeatedInputs(t *testing.T) {
+	tr := trace.Trace{
+		trace.Invoke("c1", 1, p("v")),
+		trace.Invoke("c2", 1, p("v")),
+		trace.Response("c1", 1, p("v"), d("v")),
+		trace.Response("c2", 1, p("v"), d("v")),
+	}
+	if ok, _ := checkBoth(t, adt.Consensus{}, tr); !ok {
+		t.Fatal("duplicate proposals deciding the common value must be linearizable")
+	}
+}
+
+// Duplicate-sensitivity of Validity: a single invocation cannot justify
+// two commit histories both ending in it at different lengths... it can,
+// via the chain [p(v)] ⊂ [p(v), p(w)] where only the second ends with the
+// other input. But two responses to ONE invocation are already ruled out
+// by well-formedness; here we check a client re-invoking the same input.
+func TestClientReinvokesSameInput(t *testing.T) {
+	tr := trace.Trace{
+		trace.Invoke("c1", 1, p("v")),
+		trace.Response("c1", 1, p("v"), d("v")),
+		trace.Invoke("c1", 1, p("v")),
+		trace.Response("c1", 1, p("v"), d("v")),
+	}
+	if ok, _ := checkBoth(t, adt.Consensus{}, tr); !ok {
+		t.Fatal("re-invoking the same proposal must be linearizable")
+	}
+}
+
+func TestNotWellFormedRejected(t *testing.T) {
+	tr := trace.Trace{trace.Response("c1", 1, p("v"), d("v"))}
+	r, err := Check(adt.Consensus{}, tr, Options{})
+	if err != nil || r.OK {
+		t.Fatalf("ill-formed trace accepted: %+v, %v", r, err)
+	}
+	r, err = CheckClassical(adt.Consensus{}, tr, Options{})
+	if err != nil || r.OK {
+		t.Fatalf("ill-formed trace accepted by classical: %+v, %v", r, err)
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	tr := trace.Trace{
+		trace.Invoke("c1", 1, p("a")),
+		trace.Invoke("c2", 1, p("b")),
+		trace.Response("c1", 1, p("a"), d("a")),
+		trace.Response("c2", 1, p("b"), d("a")),
+	}
+	if _, err := Check(adt.Consensus{}, tr, Options{Budget: 1}); err != ErrBudget {
+		t.Fatalf("expected ErrBudget, got %v", err)
+	}
+	if _, err := CheckClassical(adt.Consensus{}, tr, Options{Budget: 1}); err != ErrBudget {
+		t.Fatalf("expected ErrBudget from classical, got %v", err)
+	}
+}
+
+func TestWitnessVerifierCatchesBadWitnesses(t *testing.T) {
+	tr := trace.Trace{
+		trace.Invoke("c1", 1, p("v")),
+		trace.Response("c1", 1, p("v"), d("v")),
+	}
+	cases := []struct {
+		name string
+		w    Witness
+	}{
+		{"missing entry", Witness{}},
+		{"wrong output", Witness{1: trace.History{p("w")}}},
+		{"does not end with input", Witness{1: trace.History{p("v"), p("v")}}},
+		{"uses uninvoked input", Witness{1: trace.History{p("w"), p("v")}}},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := VerifyWitness(adt.Consensus{}, tr, tt.w); err == nil {
+				t.Fatal("verifier accepted an invalid witness")
+			}
+		})
+	}
+}
+
+func TestWitnessCommitOrderViolation(t *testing.T) {
+	tr := trace.Trace{
+		trace.Invoke("c1", 1, p("a")),
+		trace.Invoke("c2", 1, p("b")),
+		trace.Response("c1", 1, p("a"), d("a")),
+		trace.Response("c2", 1, p("b"), d("b")),
+	}
+	w := Witness{
+		2: trace.History{p("a")},
+		3: trace.History{p("b")},
+	}
+	if err := VerifyWitness(adt.Consensus{}, tr, w); err == nil {
+		t.Fatal("incomparable commit histories must be rejected")
+	}
+}
+
+// A large fault-free consensus trace must check quickly (the greedy chain
+// extension path): this guards against accidental exponential behavior on
+// the common case.
+func TestLargeAgreeingTrace(t *testing.T) {
+	var tr trace.Trace
+	n := 60
+	tr = append(tr, trace.Invoke("c0", 1, p("w")))
+	tr = append(tr, trace.Response("c0", 1, p("w"), d("w")))
+	for i := 1; i < n; i++ {
+		c := trace.ClientID("c" + string(rune('0'+i%10)) + "x" + string(rune('a'+i%26)))
+		in := p("v" + string(rune('a'+i%26)))
+		tr = append(tr, trace.Invoke(c, 1, in))
+		tr = append(tr, trace.Response(c, 1, in, d("w")))
+	}
+	r, err := Check(adt.Consensus{}, tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK {
+		t.Fatal("agreeing trace must be linearizable")
+	}
+	if err := VerifyWitness(adt.Consensus{}, tr, r.Witness); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,342 @@
+// Package mpcons composes message-passing consensus speculation phases
+// inside the msgnet simulator — the protocol-level counterpart of
+// core.Composer for the paper's first case study (§2.1).
+//
+// An object consists of client processes and server processes. Each
+// speculation phase contributes a client-side component to every client
+// and a server-side component to every server; messages are enveloped
+// with their phase index so phases never see each other's traffic, and
+// the only information that crosses a phase boundary is the switch value
+// a client carries when it aborts — the paper's black-box composition
+// rule, enforced by construction.
+//
+// The object records the interface-level trace (inv/res/swi actions,
+// numbered as in §5.1) for post-hoc checking by packages lin and slin.
+package mpcons
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/adt"
+	"repro/internal/core"
+	"repro/internal/msgnet"
+	"repro/internal/trace"
+)
+
+// ClientEnv is the interface a client-side phase component uses to act.
+// All methods must be called from within simulator callbacks.
+type ClientEnv interface {
+	// Self returns this client's process ID.
+	Self() msgnet.ProcID
+	// ClientIndex returns this client's index among all clients (for
+	// building unique ballot numbers and similar).
+	ClientIndex() int
+	// Clients returns all client process IDs.
+	Clients() []msgnet.ProcID
+	// Servers returns all server process IDs.
+	Servers() []msgnet.ProcID
+	// Send sends a payload to one process, enveloped for this phase.
+	Send(to msgnet.ProcID, payload any)
+	// Broadcast sends a payload to all servers.
+	Broadcast(payload any)
+	// SetTimer (re)arms a phase-local timer.
+	SetTimer(name string, d msgnet.Time)
+	// CancelTimer cancels a phase-local timer.
+	CancelTimer(name string)
+	// Now returns current virtual time.
+	Now() msgnet.Time
+	// Decide resolves the client's pending operation with a decision.
+	// Ignored if the client has no pending operation in this phase.
+	Decide(v trace.Value)
+	// SwitchTo aborts the client's pending operation to the next phase
+	// with switch value sv. Ignored if not pending in this phase.
+	SwitchTo(sv trace.Value)
+}
+
+// ClientPhase is the client-side component of one phase on one client.
+type ClientPhase interface {
+	// Propose starts the phase for a fresh proposal (first phase only).
+	Propose(v trace.Value)
+	// SwitchIn enters the phase with a pending proposal value and the
+	// switch value from the previous phase.
+	SwitchIn(pending trace.Value, sv trace.Value)
+	// OnMessage delivers a phase message.
+	OnMessage(from msgnet.ProcID, payload any)
+	// OnTimer fires a phase-local timer.
+	OnTimer(name string)
+}
+
+// ServerEnv is the interface a server-side phase component uses to act.
+type ServerEnv interface {
+	Self() msgnet.ProcID
+	Clients() []msgnet.ProcID
+	Servers() []msgnet.ProcID
+	Send(to msgnet.ProcID, payload any)
+	SetTimer(name string, d msgnet.Time)
+	Now() msgnet.Time
+}
+
+// ServerPhase is the server-side component of one phase on one server.
+type ServerPhase interface {
+	OnMessage(from msgnet.ProcID, payload any)
+	OnTimer(name string)
+}
+
+// PhaseProtocol builds the per-process components of one phase.
+type PhaseProtocol interface {
+	Name() string
+	NewClient(env ClientEnv) ClientPhase
+	NewServer(env ServerEnv) ServerPhase
+}
+
+// envelope tags protocol messages with their phase index.
+type envelope struct {
+	phase   int
+	payload any
+}
+
+// OpResult describes one completed operation.
+type OpResult struct {
+	Client   msgnet.ProcID
+	Value    trace.Value // proposed consensus value
+	Decision trace.Value // decided consensus value
+	Start    msgnet.Time
+	End      msgnet.Time
+	// Phase is the 1-based phase the decision came from.
+	Phase int
+	// Switches is the number of phase switches the operation performed.
+	Switches int
+}
+
+// Latency returns the operation's latency in message delays (virtual time
+// units under unit delay).
+func (r OpResult) Latency() msgnet.Time { return r.End - r.Start }
+
+// Object is a composed speculative consensus object running on a network.
+type Object struct {
+	net     *msgnet.Network
+	rec     *core.Recorder
+	protos  []PhaseProtocol
+	clients []msgnet.ProcID
+	servers []msgnet.ProcID
+	drivers map[msgnet.ProcID]*clientDriver
+
+	results []OpResult
+}
+
+// Build wires clients, servers and phases into net. Client and server
+// process IDs must be distinct.
+func Build(net *msgnet.Network, clients, servers []msgnet.ProcID, protos ...PhaseProtocol) (*Object, error) {
+	if len(protos) == 0 {
+		return nil, fmt.Errorf("mpcons: need at least one phase protocol")
+	}
+	if len(clients) == 0 || len(servers) == 0 {
+		return nil, fmt.Errorf("mpcons: need clients and servers")
+	}
+	o := &Object{
+		net:     net,
+		rec:     core.NewRecorder(),
+		protos:  protos,
+		clients: clients,
+		servers: servers,
+		drivers: map[msgnet.ProcID]*clientDriver{},
+	}
+	for i, c := range clients {
+		d := &clientDriver{obj: o, id: c, index: i}
+		o.drivers[c] = d
+		net.AddNode(c, d)
+	}
+	for _, s := range servers {
+		d := &serverDriver{obj: o, id: s}
+		net.AddNode(s, d)
+	}
+	return o, nil
+}
+
+// ProposeAt schedules client c to propose consensus value v at time t.
+// The client must not have an operation in flight at that time (clients
+// are sequential); violations surface as recorder well-formedness
+// failures in checks.
+func (o *Object) ProposeAt(c msgnet.ProcID, v trace.Value, t msgnet.Time) {
+	o.net.At(t, func() { o.drivers[c].startOp(v) })
+}
+
+// Run advances the simulation.
+func (o *Object) Run(maxTime msgnet.Time) msgnet.Time { return o.net.Run(maxTime) }
+
+// Trace returns the interface-level trace recorded so far.
+func (o *Object) Trace() trace.Trace { return o.rec.Trace() }
+
+// Results returns completed operations in completion order.
+func (o *Object) Results() []OpResult { return append([]OpResult{}, o.results...) }
+
+// clientDriver hosts a client's phase components and mediates switching.
+type clientDriver struct {
+	obj   *Object
+	id    msgnet.ProcID
+	index int
+	node  *msgnet.Node
+	comps []ClientPhase
+
+	phase   int // index of the phase the client currently executes in
+	pending bool
+	opSeq   int
+	current OpResult
+	input   trace.Value // tagged ADT input of the pending operation
+}
+
+func (d *clientDriver) Init(n *msgnet.Node) {
+	d.node = n
+	d.comps = make([]ClientPhase, len(d.obj.protos))
+	for k, p := range d.obj.protos {
+		d.comps[k] = p.NewClient(&clientEnv{driver: d, phase: k})
+	}
+}
+
+func (d *clientDriver) startOp(v trace.Value) {
+	if d.pending {
+		// A sequential client cannot have two operations in flight; drop
+		// the proposal and record nothing (workloads schedule correctly).
+		return
+	}
+	d.opSeq++
+	d.pending = true
+	d.input = adt.Tag(adt.ProposeInput(v), string(d.id)+"#"+strconv.Itoa(d.opSeq))
+	d.current = OpResult{Client: d.id, Value: v, Start: d.node.Now()}
+	d.obj.rec.Record(trace.Invoke(trace.ClientID(d.id), d.phase+1, d.input))
+	d.comps[d.phase].Propose(v)
+}
+
+func (d *clientDriver) decide(phase int, v trace.Value) {
+	if !d.pending || phase != d.phase {
+		return // stale callback from an older phase
+	}
+	d.pending = false
+	d.current.Decision = v
+	d.current.End = d.node.Now()
+	d.current.Phase = phase + 1
+	d.obj.rec.Record(trace.Response(trace.ClientID(d.id), d.phase+1, d.input, adt.DecideOutput(v)))
+	d.obj.results = append(d.obj.results, d.current)
+}
+
+func (d *clientDriver) switchTo(phase int, sv trace.Value) {
+	if !d.pending || phase != d.phase {
+		return
+	}
+	if d.phase+1 >= len(d.comps) {
+		panic(fmt.Sprintf("mpcons: last phase %s aborted on %s",
+			d.obj.protos[d.phase].Name(), d.id))
+	}
+	d.current.Switches++
+	d.obj.rec.Record(trace.Switch(trace.ClientID(d.id), d.phase+2, d.input, sv))
+	d.phase++
+	d.comps[d.phase].SwitchIn(d.current.Value, sv)
+}
+
+func (d *clientDriver) OnMessage(n *msgnet.Node, from msgnet.ProcID, payload any) {
+	env, ok := payload.(envelope)
+	if !ok || env.phase < 0 || env.phase >= len(d.comps) {
+		return
+	}
+	d.comps[env.phase].OnMessage(from, env.payload)
+}
+
+func (d *clientDriver) OnTimer(n *msgnet.Node, name string) {
+	k, rest, ok := splitTimer(name)
+	if !ok || k < 0 || k >= len(d.comps) {
+		return
+	}
+	d.comps[k].OnTimer(rest)
+}
+
+// clientEnv adapts a driver to one phase's view.
+type clientEnv struct {
+	driver *clientDriver
+	phase  int
+}
+
+func (e *clientEnv) Self() msgnet.ProcID      { return e.driver.id }
+func (e *clientEnv) ClientIndex() int         { return e.driver.index }
+func (e *clientEnv) Clients() []msgnet.ProcID { return e.driver.obj.clients }
+func (e *clientEnv) Servers() []msgnet.ProcID { return e.driver.obj.servers }
+func (e *clientEnv) Now() msgnet.Time         { return e.driver.node.Now() }
+func (e *clientEnv) Decide(v trace.Value)     { e.driver.decide(e.phase, v) }
+func (e *clientEnv) SwitchTo(sv trace.Value)  { e.driver.switchTo(e.phase, sv) }
+func (e *clientEnv) CancelTimer(name string)  { e.driver.node.CancelTimer(timerName(e.phase, name)) }
+func (e *clientEnv) Send(to msgnet.ProcID, p any) {
+	e.driver.node.Send(to, envelope{phase: e.phase, payload: p})
+}
+func (e *clientEnv) Broadcast(p any) {
+	for _, s := range e.driver.obj.servers {
+		e.Send(s, p)
+	}
+}
+func (e *clientEnv) SetTimer(name string, d msgnet.Time) {
+	e.driver.node.SetTimer(timerName(e.phase, name), d)
+}
+
+// serverDriver hosts a server's phase components.
+type serverDriver struct {
+	obj   *Object
+	id    msgnet.ProcID
+	node  *msgnet.Node
+	comps []ServerPhase
+}
+
+func (d *serverDriver) Init(n *msgnet.Node) {
+	d.node = n
+	d.comps = make([]ServerPhase, len(d.obj.protos))
+	for k, p := range d.obj.protos {
+		d.comps[k] = p.NewServer(&serverEnv{driver: d, phase: k})
+	}
+}
+
+func (d *serverDriver) OnMessage(n *msgnet.Node, from msgnet.ProcID, payload any) {
+	env, ok := payload.(envelope)
+	if !ok || env.phase < 0 || env.phase >= len(d.comps) {
+		return
+	}
+	d.comps[env.phase].OnMessage(from, env.payload)
+}
+
+func (d *serverDriver) OnTimer(n *msgnet.Node, name string) {
+	k, rest, ok := splitTimer(name)
+	if !ok || k < 0 || k >= len(d.comps) {
+		return
+	}
+	d.comps[k].OnTimer(rest)
+}
+
+type serverEnv struct {
+	driver *serverDriver
+	phase  int
+}
+
+func (e *serverEnv) Self() msgnet.ProcID      { return e.driver.id }
+func (e *serverEnv) Clients() []msgnet.ProcID { return e.driver.obj.clients }
+func (e *serverEnv) Servers() []msgnet.ProcID { return e.driver.obj.servers }
+func (e *serverEnv) Now() msgnet.Time         { return e.driver.node.Now() }
+func (e *serverEnv) Send(to msgnet.ProcID, p any) {
+	e.driver.node.Send(to, envelope{phase: e.phase, payload: p})
+}
+func (e *serverEnv) SetTimer(name string, d msgnet.Time) {
+	e.driver.node.SetTimer(timerName(e.phase, name), d)
+}
+
+func timerName(phase int, name string) string {
+	return strconv.Itoa(phase) + ":" + name
+}
+
+func splitTimer(full string) (phase int, name string, ok bool) {
+	i := strings.IndexByte(full, ':')
+	if i < 0 {
+		return 0, "", false
+	}
+	k, err := strconv.Atoi(full[:i])
+	if err != nil {
+		return 0, "", false
+	}
+	return k, full[i+1:], true
+}

@@ -1,0 +1,295 @@
+package mpcons_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/lin"
+	"repro/internal/mpcons"
+	"repro/internal/msgnet"
+	"repro/internal/paxos"
+	"repro/internal/quorum"
+	"repro/internal/slin"
+	"repro/internal/trace"
+)
+
+func procIDs(prefix string, n int) []msgnet.ProcID {
+	ids := make([]msgnet.ProcID, n)
+	for i := range ids {
+		ids[i] = msgnet.ProcID(fmt.Sprintf("%s%d", prefix, i+1))
+	}
+	return ids
+}
+
+func buildQB(t *testing.T, cfg msgnet.Config, nClients, nServers int) (*msgnet.Network, *mpcons.Object) {
+	t.Helper()
+	w := msgnet.New(cfg)
+	obj, err := mpcons.Build(w, procIDs("c", nClients), procIDs("s", nServers),
+		quorum.Protocol{Timeout: 6, Retransmit: 4}, paxos.Protocol{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, obj
+}
+
+// checkObject validates the composed object's run: the switch-free
+// projection of its trace is linearizable, phase projections satisfy
+// their invariants, and all decisions agree on a proposed value.
+func checkObject(t *testing.T, obj *mpcons.Object) {
+	t.Helper()
+	tr := obj.Trace()
+	if !tr.PhaseWellFormed(1, 3) {
+		t.Fatalf("trace not (1,3)-well-formed: %v", tr)
+	}
+	plain := tr.Project(func(a trace.Action) bool { return a.Kind != trace.Swi })
+	res, err := lin.Check(adt.Consensus{}, plain, lin.Options{})
+	if err != nil {
+		t.Fatalf("lin.Check: %v", err)
+	}
+	if !res.OK {
+		t.Fatalf("composed trace not linearizable: %s\n%v", res.Reason, tr)
+	}
+	if err := slin.FirstPhaseInvariants(tr.ProjectSig(1, 2), 1, 2); err != nil {
+		t.Fatalf("quorum projection: %v", err)
+	}
+	if err := slin.SecondPhaseInvariants(tr.ProjectSig(2, 3), 2, 3); err != nil {
+		t.Fatalf("backup projection: %v", err)
+	}
+	// All decisions agree.
+	results := obj.Results()
+	for _, r := range results[1:] {
+		if r.Decision != results[0].Decision {
+			t.Fatalf("split decisions: %v", results)
+		}
+	}
+}
+
+// E1 shape: fault-free, contention-free — the fast path decides in
+// exactly 2 message delays.
+func TestFastPathTwoDelays(t *testing.T) {
+	_, obj := buildQB(t, msgnet.Config{Seed: 1}, 1, 3)
+	obj.ProposeAt("c1", "v", 0)
+	obj.Run(1000)
+	rs := obj.Results()
+	if len(rs) != 1 {
+		t.Fatalf("results: %v", rs)
+	}
+	if rs[0].Latency() != 2 {
+		t.Fatalf("fast-path latency = %d message delays, want 2", rs[0].Latency())
+	}
+	if rs[0].Phase != 1 || rs[0].Switches != 0 {
+		t.Fatalf("decision did not come from the fast path: %+v", rs[0])
+	}
+	if rs[0].Decision != "v" {
+		t.Fatalf("decision = %q", rs[0].Decision)
+	}
+	checkObject(t, obj)
+}
+
+// Sequential (contention-free) proposals from several clients all take
+// the fast path; later clients decide the first value.
+func TestSequentialClientsFastPath(t *testing.T) {
+	_, obj := buildQB(t, msgnet.Config{Seed: 2}, 3, 3)
+	obj.ProposeAt("c1", "a", 0)
+	obj.ProposeAt("c2", "b", 10)
+	obj.ProposeAt("c3", "c", 20)
+	obj.Run(1000)
+	rs := obj.Results()
+	if len(rs) != 3 {
+		t.Fatalf("results: %v", rs)
+	}
+	for _, r := range rs {
+		if r.Latency() != 2 || r.Phase != 1 {
+			t.Fatalf("sequential op missed the fast path: %+v", r)
+		}
+		if r.Decision != "a" {
+			t.Fatalf("decision = %q, want first value", r.Decision)
+		}
+	}
+	checkObject(t, obj)
+}
+
+// Contention under jittered delays: concurrent proposals may reach
+// servers in different orders; conflicting accepts force switches to
+// Backup, and the composition still decides a single value.
+func TestContentionFallsBackToBackup(t *testing.T) {
+	sawSwitch := false
+	for seed := int64(1); seed <= 30; seed++ {
+		_, obj := buildQB(t, msgnet.Config{Seed: seed, MinDelay: 1, MaxDelay: 4}, 3, 3)
+		obj.ProposeAt("c1", "a", 0)
+		obj.ProposeAt("c2", "b", 0)
+		obj.ProposeAt("c3", "c", 1)
+		obj.Run(5000)
+		rs := obj.Results()
+		if len(rs) != 3 {
+			t.Fatalf("seed %d: only %d results: %v", seed, len(rs), rs)
+		}
+		for _, r := range rs {
+			if r.Switches > 0 {
+				sawSwitch = true
+			}
+		}
+		checkObject(t, obj)
+	}
+	if !sawSwitch {
+		t.Fatal("no seed produced contention switches; experiment vacuous")
+	}
+}
+
+// Crash faults: with a crashed server the fast path cannot complete
+// (accepts from ALL servers are required), so clients time out, switch
+// with a witnessed accept value, and Backup decides.
+func TestServerCrashFallsBackToBackup(t *testing.T) {
+	w, obj := buildQB(t, msgnet.Config{Seed: 3}, 2, 3)
+	w.Crash("s3", 0) // crash before any proposal
+	obj.ProposeAt("c1", "a", 1)
+	obj.ProposeAt("c2", "b", 1)
+	obj.Run(5000)
+	rs := obj.Results()
+	if len(rs) != 2 {
+		t.Fatalf("results: %v", rs)
+	}
+	for _, r := range rs {
+		if r.Phase != 2 || r.Switches != 1 {
+			t.Fatalf("operation did not fall back: %+v", r)
+		}
+	}
+	checkObject(t, obj)
+}
+
+// A crashed CLIENT must not block others (no agreement needed to switch).
+func TestClientCrashDoesNotBlockOthers(t *testing.T) {
+	w, obj := buildQB(t, msgnet.Config{Seed: 4, MinDelay: 1, MaxDelay: 3}, 3, 3)
+	obj.ProposeAt("c1", "a", 0)
+	obj.ProposeAt("c2", "b", 0)
+	obj.ProposeAt("c3", "c", 0)
+	w.Crash("c1", 2) // mid-protocol
+	obj.Run(5000)
+	rs := obj.Results()
+	// c2 and c3 must complete (c1 may or may not have).
+	done := map[msgnet.ProcID]bool{}
+	for _, r := range rs {
+		done[r.Client] = true
+	}
+	if !done["c2"] || !done["c3"] {
+		t.Fatalf("surviving clients blocked: %v", rs)
+	}
+	// Agreement among completed ops.
+	for _, r := range rs[1:] {
+		if r.Decision != rs[0].Decision {
+			t.Fatalf("split decisions: %v", rs)
+		}
+	}
+}
+
+// Paxos safety and composed-object linearizability under adversarial
+// conditions: random delays, 10% loss, duplication, and a crashed
+// minority of servers — across many seeds.
+func TestAdversarialSeeds(t *testing.T) {
+	seeds := int64(40)
+	if testing.Short() {
+		seeds = 10
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		cfg := msgnet.Config{Seed: seed, MinDelay: 1, MaxDelay: 5, DropProb: 0.10, DupProb: 0.05}
+		w, obj := buildQB(t, cfg, 3, 5)
+		w.Crash("s1", 3)
+		w.Crash("s2", 9)
+		obj.ProposeAt("c1", "a", 0)
+		obj.ProposeAt("c2", "b", 2)
+		obj.ProposeAt("c3", "c", 4)
+		obj.Run(100000)
+		rs := obj.Results()
+		if len(rs) != 3 {
+			t.Fatalf("seed %d: incomplete: %d/%d ops decided (liveness under minority crash)",
+				seed, len(rs), 3)
+		}
+		checkObject(t, obj)
+	}
+}
+
+// Repeated operations: clients run several consensus-like proposals in
+// sequence on the same single-shot object; later proposals must decide
+// the established value (this exercises repeated inputs and the Ready
+// client re-invoking).
+func TestClientsReinvoke(t *testing.T) {
+	_, obj := buildQB(t, msgnet.Config{Seed: 5}, 2, 3)
+	obj.ProposeAt("c1", "a", 0)
+	obj.ProposeAt("c2", "b", 5)
+	obj.ProposeAt("c1", "x", 10)
+	obj.ProposeAt("c2", "y", 15)
+	obj.Run(5000)
+	rs := obj.Results()
+	if len(rs) != 4 {
+		t.Fatalf("results: %v", rs)
+	}
+	for _, r := range rs {
+		if r.Decision != "a" {
+			t.Fatalf("decision drifted: %+v", r)
+		}
+	}
+	checkObject(t, obj)
+}
+
+// A network partition separating a client from one server forces that
+// client onto the backup path while a majority remains reachable; healing
+// the partition restores the fast path for later operations.
+func TestPartitionForcesFallback(t *testing.T) {
+	w, obj := buildQB(t, msgnet.Config{Seed: 6}, 1, 3)
+	w.Block("c1", "s3")
+	w.Block("s3", "c1")
+	obj.ProposeAt("c1", "a", 0)
+	// Heal before the second operation.
+	w.At(40, func() {
+		w.Unblock("c1", "s3")
+		w.Unblock("s3", "c1")
+	})
+	obj.ProposeAt("c1", "b", 50)
+	obj.Run(100000)
+	rs := obj.Results()
+	if len(rs) != 2 {
+		t.Fatalf("results: %v", rs)
+	}
+	if rs[0].Phase != 2 {
+		t.Fatalf("partitioned op should use the backup: %+v", rs[0])
+	}
+	if rs[1].Phase != 2 {
+		// After switching, the client stays in the backup phase for later
+		// operations (phases are never re-entered, §5.1) — the heal shows
+		// in latency, not in the phase.
+		t.Fatalf("post-switch ops stay in the backup phase: %+v", rs[1])
+	}
+	checkObject(t, obj)
+}
+
+// The SLin checker accepts the Quorum projection on conforming schedules
+// (temporal Abort-Order; see slin.Options), and the Backup projection
+// unconditionally.
+func TestPhaseProjectionsSpeculativelyLinearizable(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		_, obj := buildQB(t, msgnet.Config{Seed: seed, MinDelay: 1, MaxDelay: 4}, 3, 3)
+		obj.ProposeAt("c1", "a", 0)
+		obj.ProposeAt("c2", "b", 0)
+		obj.ProposeAt("c3", "c", 2)
+		obj.Run(5000)
+		tr := obj.Trace()
+		first := tr.ProjectSig(1, 2)
+		res, err := slin.Check(adt.Consensus{}, slin.ConsensusRInit{}, 1, 2, first,
+			slin.Options{TemporalAbortOrder: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.OK {
+			t.Fatalf("seed %d: quorum projection not SLin: %s\n%v", seed, res.Reason, first)
+		}
+		second := tr.ProjectSig(2, 3)
+		res, err = slin.Check(adt.Consensus{}, slin.ConsensusRInit{}, 2, 3, second, slin.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.OK {
+			t.Fatalf("seed %d: backup projection not SLin: %s\n%v", seed, res.Reason, second)
+		}
+	}
+}

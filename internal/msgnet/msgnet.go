@@ -1,0 +1,299 @@
+// Package msgnet is a deterministic discrete-event simulator of an
+// asynchronous message-passing system with crash faults — the substrate of
+// the paper's first case study (§2.1). It substitutes for a real cluster
+// (DESIGN.md, substitution 1): processes exchange messages over links with
+// configurable delay distributions, loss, duplication, link blocking
+// (partitions) and crash injection, all driven by a seeded RNG so that
+// every run is replayable bit-for-bit.
+//
+// Virtual time is measured in abstract delay units. With the default
+// unit-delay configuration, elapsed virtual time equals the number of
+// sequential message delays on the critical path, which is the latency
+// metric the paper uses ("Quorum decides in two message delays; Paxos has
+// a minimum latency of three").
+package msgnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is virtual time in abstract delay units.
+type Time int64
+
+// ProcID identifies a simulated process.
+type ProcID string
+
+// Handler implements a process's protocol logic. Handlers run in the
+// single-threaded event loop; they must not retain n across events (it is
+// stable, but must only be used from within callbacks).
+type Handler interface {
+	// Init runs when the simulation starts (before any event).
+	Init(n *Node)
+	// OnMessage delivers a message sent by from.
+	OnMessage(n *Node, from ProcID, payload any)
+	// OnTimer fires a timer previously set with SetTimer.
+	OnTimer(n *Node, name string)
+}
+
+// Config parameterizes the network.
+type Config struct {
+	// Seed drives all randomness; runs with equal seeds are identical.
+	Seed int64
+	// MinDelay and MaxDelay bound per-message delivery delay, drawn
+	// uniformly. Defaults to 1 and 1 (unit delay).
+	MinDelay, MaxDelay Time
+	// DropProb is the probability a message is lost.
+	DropProb float64
+	// DupProb is the probability a message is delivered twice.
+	DupProb float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinDelay <= 0 {
+		c.MinDelay = 1
+	}
+	if c.MaxDelay < c.MinDelay {
+		c.MaxDelay = c.MinDelay
+	}
+	return c
+}
+
+type eventKind uint8
+
+const (
+	evDeliver eventKind = iota
+	evTimer
+	evCrash
+	evCall
+)
+
+type event struct {
+	at   Time
+	seq  int64 // FIFO tie-break: determinism under equal times
+	kind eventKind
+
+	to      ProcID
+	from    ProcID
+	payload any
+
+	timerName string
+	timerGen  int64
+
+	call func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Network is the simulator. Create with New, add processes with AddNode,
+// then Run.
+type Network struct {
+	cfg   Config
+	rng   *rand.Rand
+	now   Time
+	seq   int64
+	queue eventHeap
+	nodes map[ProcID]*Node
+	order []*Node // insertion order, for deterministic Init
+	// blocked links (directed); messages over blocked links are dropped.
+	blocked map[[2]ProcID]bool
+
+	// Statistics.
+	sent      int64
+	delivered int64
+	dropped   int64
+}
+
+// New creates an empty network.
+func New(cfg Config) *Network {
+	cfg = cfg.withDefaults()
+	return &Network{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		nodes:   map[ProcID]*Node{},
+		blocked: map[[2]ProcID]bool{},
+	}
+}
+
+// Node is a process endpoint handed to Handler callbacks.
+type Node struct {
+	id          ProcID
+	net         *Network
+	handler     Handler
+	crashed     bool
+	initialized bool
+	// timerGen invalidates outstanding timers per name when reset.
+	timerGen map[string]int64
+}
+
+// AddNode registers a process. It panics if the ID is duplicated (a
+// configuration bug).
+func (w *Network) AddNode(id ProcID, h Handler) *Node {
+	if _, dup := w.nodes[id]; dup {
+		panic(fmt.Sprintf("msgnet: duplicate node %q", id))
+	}
+	n := &Node{id: id, net: w, handler: h, timerGen: map[string]int64{}}
+	w.nodes[id] = n
+	w.order = append(w.order, n)
+	return n
+}
+
+// Procs returns the number of registered processes.
+func (w *Network) Procs() int { return len(w.nodes) }
+
+// At schedules fn to run at absolute virtual time t (or now, if t is in
+// the past). Used to script workloads and fault injections.
+func (w *Network) At(t Time, fn func()) {
+	if t < w.now {
+		t = w.now
+	}
+	w.push(&event{at: t, kind: evCall, call: fn})
+}
+
+// Crash schedules process id to crash at time t: from then on it receives
+// no messages or timers and sends nothing.
+func (w *Network) Crash(id ProcID, t Time) {
+	w.At(t, func() {
+		if n := w.nodes[id]; n != nil {
+			n.crashed = true
+		}
+	})
+}
+
+// Block drops all messages from a to b until Unblock. Blocking both
+// directions of every pair across a cut simulates a partition.
+func (w *Network) Block(a, b ProcID) { w.blocked[[2]ProcID{a, b}] = true }
+
+// Unblock re-enables the link from a to b.
+func (w *Network) Unblock(a, b ProcID) { delete(w.blocked, [2]ProcID{a, b}) }
+
+// Now returns current virtual time.
+func (w *Network) Now() Time { return w.now }
+
+// Stats returns (sent, delivered, dropped) message counts.
+func (w *Network) Stats() (sent, delivered, dropped int64) {
+	return w.sent, w.delivered, w.dropped
+}
+
+func (w *Network) push(e *event) {
+	e.seq = w.seq
+	w.seq++
+	heap.Push(&w.queue, e)
+}
+
+// Run processes events until the queue is empty or virtual time would
+// exceed maxTime. It returns the virtual time of the last processed event.
+func (w *Network) Run(maxTime Time) Time {
+	for _, n := range w.order {
+		if !n.initialized {
+			n.initialized = true
+			n.handler.Init(n)
+		}
+	}
+	for len(w.queue) > 0 {
+		e := w.queue[0]
+		if e.at > maxTime {
+			break
+		}
+		heap.Pop(&w.queue)
+		w.now = e.at
+		w.dispatch(e)
+	}
+	return w.now
+}
+
+func (w *Network) dispatch(e *event) {
+	switch e.kind {
+	case evCall:
+		e.call()
+	case evDeliver:
+		n := w.nodes[e.to]
+		if n == nil || n.crashed {
+			return
+		}
+		w.delivered++
+		n.handler.OnMessage(n, e.from, e.payload)
+	case evTimer:
+		n := w.nodes[e.to]
+		if n == nil || n.crashed {
+			return
+		}
+		if n.timerGen[e.timerName] != e.timerGen {
+			return // cancelled or reset
+		}
+		n.handler.OnTimer(n, e.timerName)
+	}
+}
+
+// ID returns the node's process ID.
+func (n *Node) ID() ProcID { return n.id }
+
+// Now returns the network's current virtual time.
+func (n *Node) Now() Time { return n.net.now }
+
+// Crashed reports whether the node has crashed.
+func (n *Node) Crashed() bool { return n.crashed }
+
+// Send queues a message to the destination, subject to delay, loss and
+// duplication. Sends from crashed nodes are ignored.
+func (n *Node) Send(to ProcID, payload any) {
+	w := n.net
+	if n.crashed {
+		return
+	}
+	w.sent++
+	if w.blocked[[2]ProcID{n.id, to}] {
+		w.dropped++
+		return
+	}
+	if w.cfg.DropProb > 0 && w.rng.Float64() < w.cfg.DropProb {
+		w.dropped++
+		return
+	}
+	deliver := func() {
+		d := w.cfg.MinDelay
+		if w.cfg.MaxDelay > w.cfg.MinDelay {
+			d += Time(w.rng.Int63n(int64(w.cfg.MaxDelay - w.cfg.MinDelay + 1)))
+		}
+		w.push(&event{at: w.now + d, kind: evDeliver, to: to, from: n.id, payload: payload})
+	}
+	deliver()
+	if w.cfg.DupProb > 0 && w.rng.Float64() < w.cfg.DupProb {
+		deliver()
+	}
+}
+
+// SetTimer (re)arms the named timer to fire after d. Re-arming replaces
+// any outstanding instance of the same name.
+func (n *Node) SetTimer(name string, d Time) {
+	n.timerGen[name]++
+	n.net.push(&event{
+		at:        n.net.now + d,
+		kind:      evTimer,
+		to:        n.id,
+		timerName: name,
+		timerGen:  n.timerGen[name],
+	})
+}
+
+// CancelTimer cancels the named timer if armed.
+func (n *Node) CancelTimer(name string) { n.timerGen[name]++ }

@@ -1,0 +1,224 @@
+package msgnet
+
+import (
+	"testing"
+)
+
+// pingPong: "a" sends ping to "b" on init; "b" replies pong.
+type pingPong struct {
+	peer     ProcID
+	starter  bool
+	got      []string
+	gotTimes []Time
+}
+
+func (p *pingPong) Init(n *Node) {
+	if p.starter {
+		n.Send(p.peer, "ping")
+	}
+}
+
+func (p *pingPong) OnMessage(n *Node, from ProcID, payload any) {
+	if s, ok := payload.(string); ok {
+		p.got = append(p.got, s)
+	} else {
+		p.got = append(p.got, "?")
+	}
+	p.gotTimes = append(p.gotTimes, n.Now())
+	if payload == "ping" {
+		n.Send(from, "pong")
+	}
+}
+
+func (p *pingPong) OnTimer(n *Node, name string) {
+	p.got = append(p.got, "timer:"+name)
+	p.gotTimes = append(p.gotTimes, n.Now())
+}
+
+func TestUnitDelayRoundTrip(t *testing.T) {
+	w := New(Config{Seed: 1})
+	a := &pingPong{peer: "b", starter: true}
+	b := &pingPong{peer: "a"}
+	w.AddNode("a", a)
+	w.AddNode("b", b)
+	end := w.Run(100)
+	if len(b.got) != 1 || b.got[0] != "ping" {
+		t.Fatalf("b got %v", b.got)
+	}
+	if len(a.got) != 1 || a.got[0] != "pong" {
+		t.Fatalf("a got %v", a.got)
+	}
+	// Unit delays: ping at t=1, pong at t=2. Virtual time = message delays.
+	if b.gotTimes[0] != 1 || a.gotTimes[0] != 2 || end != 2 {
+		t.Fatalf("times: b=%v a=%v end=%d", b.gotTimes, a.gotTimes, end)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() (int64, int64, int64, Time) {
+		w := New(Config{Seed: 7, MinDelay: 1, MaxDelay: 5, DropProb: 0.2, DupProb: 0.1})
+		a := &pingPong{peer: "b", starter: true}
+		b := &pingPong{peer: "a"}
+		w.AddNode("a", a)
+		w.AddNode("b", b)
+		for i := Time(0); i < 50; i += 5 {
+			w.At(i, func() {
+				if n := w.nodes["a"]; !n.crashed {
+					n.Send("b", "ping")
+				}
+			})
+		}
+		end := w.Run(1000)
+		s, d, dr := w.Stats()
+		return s, d, dr, end
+	}
+	s1, d1, dr1, e1 := run()
+	s2, d2, dr2, e2 := run()
+	if s1 != s2 || d1 != d2 || dr1 != dr2 || e1 != e2 {
+		t.Fatalf("runs differ: (%d,%d,%d,%d) vs (%d,%d,%d,%d)", s1, d1, dr1, e1, s2, d2, dr2, e2)
+	}
+}
+
+func TestCrashStopsDelivery(t *testing.T) {
+	w := New(Config{Seed: 1})
+	a := &pingPong{peer: "b", starter: false}
+	b := &pingPong{peer: "a"}
+	w.AddNode("a", a)
+	w.AddNode("b", b)
+	w.Crash("b", 5)
+	w.At(3, func() { w.nodes["a"].Send("b", "early") })  // delivered at 4
+	w.At(10, func() { w.nodes["a"].Send("b", "late") })  // b crashed
+	w.At(12, func() { w.nodes["b"].Send("a", "ghost") }) // crashed sender
+	w.Run(100)
+	if len(b.got) != 1 || b.got[0] != "early" {
+		t.Fatalf("b got %v", b.got)
+	}
+	if len(a.got) != 0 {
+		t.Fatalf("a got %v from crashed sender", a.got)
+	}
+}
+
+func TestTimersFireAndCancel(t *testing.T) {
+	w := New(Config{Seed: 1})
+	a := &pingPong{}
+	w.AddNode("a", a)
+	w.At(0, func() {
+		n := w.nodes["a"]
+		n.SetTimer("t1", 5)
+		n.SetTimer("t2", 7)
+		n.SetTimer("t2", 9) // re-arm replaces
+		n.SetTimer("t3", 3)
+		n.CancelTimer("t3")
+	})
+	w.Run(100)
+	if len(a.got) != 2 || a.got[0] != "timer:t1" || a.got[1] != "timer:t2" {
+		t.Fatalf("timers fired: %v at %v", a.got, a.gotTimes)
+	}
+	if a.gotTimes[0] != 5 || a.gotTimes[1] != 9 {
+		t.Fatalf("timer times: %v", a.gotTimes)
+	}
+}
+
+func TestBlockDropsMessages(t *testing.T) {
+	w := New(Config{Seed: 1})
+	a := &pingPong{}
+	b := &pingPong{}
+	w.AddNode("a", a)
+	w.AddNode("b", b)
+	w.Block("a", "b")
+	w.At(1, func() { w.nodes["a"].Send("b", "x") })
+	w.At(2, func() { w.nodes["b"].Send("a", "y") }) // reverse direction open
+	w.Run(100)
+	if len(b.got) != 0 {
+		t.Fatalf("blocked message delivered: %v", b.got)
+	}
+	if len(a.got) != 1 || a.got[0] != "y" {
+		t.Fatalf("reverse direction broken: %v", a.got)
+	}
+	w.Unblock("a", "b")
+	w.At(10, func() { w.nodes["a"].Send("b", "z") })
+	w.Run(100)
+	if len(b.got) != 1 || b.got[0] != "z" {
+		t.Fatalf("unblock failed: %v", b.got)
+	}
+}
+
+func TestDropProbabilityRoughly(t *testing.T) {
+	w := New(Config{Seed: 3, DropProb: 0.5})
+	a := &pingPong{}
+	b := &pingPong{}
+	w.AddNode("a", a)
+	w.AddNode("b", b)
+	const total = 2000
+	for i := 0; i < total; i++ {
+		i := i
+		w.At(Time(i), func() { w.nodes["a"].Send("b", i) })
+	}
+	w.Run(Time(total + 10))
+	_, delivered, dropped := w.Stats()
+	if delivered+dropped != total {
+		t.Fatalf("accounting: %d + %d != %d", delivered, dropped, total)
+	}
+	frac := float64(dropped) / total
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("drop fraction %f far from 0.5", frac)
+	}
+}
+
+func TestDuplication(t *testing.T) {
+	w := New(Config{Seed: 5, DupProb: 1.0})
+	a := &pingPong{}
+	b := &pingPong{}
+	w.AddNode("a", a)
+	w.AddNode("b", b)
+	w.At(1, func() { w.nodes["a"].Send("b", "m") })
+	w.Run(100)
+	if len(b.got) != 2 {
+		t.Fatalf("expected duplicate delivery, got %v", b.got)
+	}
+}
+
+func TestFIFOTieBreakDeterminism(t *testing.T) {
+	// Two messages scheduled for the same instant deliver in send order.
+	w := New(Config{Seed: 1})
+	b := &pingPong{}
+	w.AddNode("a", &pingPong{})
+	w.AddNode("b", b)
+	w.At(1, func() {
+		w.nodes["a"].Send("b", "first")
+		w.nodes["a"].Send("b", "second")
+	})
+	w.Run(100)
+	if len(b.got) != 2 || b.got[0] != "first" || b.got[1] != "second" {
+		t.Fatalf("tie-break order: %v", b.got)
+	}
+}
+
+func TestRunHonorsMaxTime(t *testing.T) {
+	w := New(Config{Seed: 1})
+	a := &pingPong{}
+	w.AddNode("a", a)
+	w.At(0, func() { w.nodes["a"].SetTimer("t", 50) })
+	end := w.Run(10)
+	if len(a.got) != 0 {
+		t.Fatalf("event beyond maxTime ran: %v", a.got)
+	}
+	if end > 10 {
+		t.Fatalf("end = %d", end)
+	}
+	w.Run(100)
+	if len(a.got) != 1 {
+		t.Fatalf("resumed run lost the event: %v", a.got)
+	}
+}
+
+func TestDuplicateNodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate node")
+		}
+	}()
+	w := New(Config{Seed: 1})
+	w.AddNode("a", &pingPong{})
+	w.AddNode("a", &pingPong{})
+}

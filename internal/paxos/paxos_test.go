@@ -1,0 +1,218 @@
+package paxos
+
+import (
+	"testing"
+
+	"repro/internal/mpcons"
+	"repro/internal/msgnet"
+	"repro/internal/trace"
+)
+
+type sentMsg struct {
+	to msgnet.ProcID
+	m  any
+}
+
+type fakeEnv struct {
+	self    msgnet.ProcID
+	index   int
+	clients []msgnet.ProcID
+	servers []msgnet.ProcID
+	sent    []sentMsg
+	timers  map[string]msgnet.Time
+	decided *trace.Value
+}
+
+func newFakeEnv(index, nClients, nServers int) *fakeEnv {
+	e := &fakeEnv{index: index, timers: map[string]msgnet.Time{}}
+	for i := 0; i < nClients; i++ {
+		e.clients = append(e.clients, msgnet.ProcID(rune('c'+i)))
+	}
+	for i := 0; i < nServers; i++ {
+		e.servers = append(e.servers, msgnet.ProcID(rune('A'+i)))
+	}
+	e.self = e.clients[index]
+	return e
+}
+
+func (e *fakeEnv) Self() msgnet.ProcID          { return e.self }
+func (e *fakeEnv) ClientIndex() int             { return e.index }
+func (e *fakeEnv) Clients() []msgnet.ProcID     { return e.clients }
+func (e *fakeEnv) Servers() []msgnet.ProcID     { return e.servers }
+func (e *fakeEnv) Now() msgnet.Time             { return 0 }
+func (e *fakeEnv) Send(to msgnet.ProcID, m any) { e.sent = append(e.sent, sentMsg{to, m}) }
+func (e *fakeEnv) Broadcast(m any) {
+	for _, s := range e.servers {
+		e.Send(s, m)
+	}
+}
+func (e *fakeEnv) SetTimer(name string, d msgnet.Time) { e.timers[name] = d }
+func (e *fakeEnv) CancelTimer(name string)             { delete(e.timers, name) }
+func (e *fakeEnv) Decide(v trace.Value)                { e.decided = &v }
+func (e *fakeEnv) SwitchTo(sv trace.Value)             { panic("paxos never switches out") }
+
+var _ mpcons.ClientEnv = (*fakeEnv)(nil)
+
+func (e *fakeEnv) lastBallot(t *testing.T) int64 {
+	t.Helper()
+	for i := len(e.sent) - 1; i >= 0; i-- {
+		switch m := e.sent[i].m.(type) {
+		case prepareMsg:
+			return m.B
+		}
+	}
+	t.Fatal("no prepare sent")
+	return 0
+}
+
+func TestProposerHappyPath(t *testing.T) {
+	env := newFakeEnv(0, 2, 3)
+	p := Protocol{}.NewClient(env)
+	p.Propose("v")
+	b := env.lastBallot(t)
+	// Majority of empty promises -> accept(b, own value).
+	p.OnMessage("A", promiseMsg{B: b})
+	p.OnMessage("B", promiseMsg{B: b})
+	var acc *acceptMsg
+	for _, s := range env.sent {
+		if m, ok := s.m.(acceptMsg); ok {
+			acc = &m
+			break
+		}
+	}
+	if acc == nil || acc.V != "v" || acc.B != b {
+		t.Fatalf("phase 2 message wrong: %+v", acc)
+	}
+	// Majority of accepted -> decide + notify the other client.
+	p.OnMessage("A", acceptedMsg{B: b, V: "v"})
+	p.OnMessage("B", acceptedMsg{B: b, V: "v"})
+	if env.decided == nil || *env.decided != "v" {
+		t.Fatalf("decided = %v", env.decided)
+	}
+	informed := false
+	for _, s := range env.sent {
+		if _, ok := s.m.(decidedMsg); ok && s.to == "d" {
+			informed = true
+		}
+	}
+	if !informed {
+		t.Fatal("other learner not informed")
+	}
+}
+
+// A proposer must adopt the highest-ballot accepted value from promises.
+func TestProposerAdoptsAcceptedValue(t *testing.T) {
+	env := newFakeEnv(0, 2, 3)
+	p := Protocol{}.NewClient(env)
+	p.Propose("mine")
+	b := env.lastBallot(t)
+	p.OnMessage("A", promiseMsg{B: b, AcceptedB: 1, AcceptedV: "old"})
+	p.OnMessage("B", promiseMsg{B: b, AcceptedB: 2, AcceptedV: "newer"})
+	var acc *acceptMsg
+	for _, s := range env.sent {
+		if m, ok := s.m.(acceptMsg); ok {
+			acc = &m
+		}
+	}
+	if acc == nil || acc.V != "newer" {
+		t.Fatalf("must adopt highest accepted value; got %+v", acc)
+	}
+}
+
+func TestProposerRetriesWithHigherBallot(t *testing.T) {
+	env := newFakeEnv(1, 2, 3)
+	p := Protocol{}.NewClient(env)
+	p.Propose("v")
+	b1 := env.lastBallot(t)
+	p.OnTimer("retry")
+	b2 := env.lastBallot(t)
+	if b2 <= b1 {
+		t.Fatalf("retry ballot %d not higher than %d", b2, b1)
+	}
+	// Ballots of different clients never collide: b mod nClients encodes
+	// the client index (+1 offset).
+	if b1%2 == b2%2 && b1 == b2 {
+		t.Fatal("ballot collision")
+	}
+}
+
+func TestLearnerDecidesBeforeSwitchIn(t *testing.T) {
+	env := newFakeEnv(0, 2, 3)
+	p := Protocol{}.NewClient(env)
+	// Decision learned while idle (not yet switched in).
+	p.OnMessage("c", decidedMsg{V: "w"})
+	if env.decided != nil {
+		t.Fatal("idle learner resolved a non-pending operation")
+	}
+	p.SwitchIn("mine", "sv")
+	if env.decided == nil || *env.decided != "w" {
+		t.Fatalf("late switch-in must decide the learned value; got %v", env.decided)
+	}
+}
+
+func TestSwitchInProposesSwitchValue(t *testing.T) {
+	env := newFakeEnv(0, 2, 3)
+	p := Protocol{}.NewClient(env)
+	p.SwitchIn("pendingValue", "sv")
+	b := env.lastBallot(t)
+	p.OnMessage("A", promiseMsg{B: b})
+	p.OnMessage("B", promiseMsg{B: b})
+	var acc *acceptMsg
+	for _, s := range env.sent {
+		if m, ok := s.m.(acceptMsg); ok {
+			acc = &m
+		}
+	}
+	if acc == nil || acc.V != "sv" {
+		t.Fatalf("Backup must propose the switch value; got %+v", acc)
+	}
+}
+
+type serverSent struct {
+	to msgnet.ProcID
+	m  any
+}
+
+type fakeServerEnv struct{ sent []serverSent }
+
+func (e *fakeServerEnv) Self() msgnet.ProcID          { return "A" }
+func (e *fakeServerEnv) Clients() []msgnet.ProcID     { return nil }
+func (e *fakeServerEnv) Servers() []msgnet.ProcID     { return nil }
+func (e *fakeServerEnv) Now() msgnet.Time             { return 0 }
+func (e *fakeServerEnv) Send(to msgnet.ProcID, m any) { e.sent = append(e.sent, serverSent{to, m}) }
+func (e *fakeServerEnv) SetTimer(string, msgnet.Time) {}
+
+var _ mpcons.ServerEnv = (*fakeServerEnv)(nil)
+
+func TestAcceptorPromisesAndNacks(t *testing.T) {
+	env := &fakeServerEnv{}
+	a := Protocol{}.NewServer(env)
+	a.OnMessage("c1", prepareMsg{B: 5})
+	if _, ok := env.sent[0].m.(promiseMsg); !ok {
+		t.Fatalf("expected promise, got %v", env.sent[0].m)
+	}
+	a.OnMessage("c2", prepareMsg{B: 3}) // lower ballot
+	if m, ok := env.sent[1].m.(nackMsg); !ok || m.Promised != 5 {
+		t.Fatalf("expected nack(5), got %v", env.sent[1].m)
+	}
+}
+
+func TestAcceptorAcceptsAndReportsHistory(t *testing.T) {
+	env := &fakeServerEnv{}
+	a := Protocol{}.NewServer(env)
+	a.OnMessage("c1", prepareMsg{B: 5})
+	a.OnMessage("c1", acceptMsg{B: 5, V: "v"})
+	if m, ok := env.sent[1].m.(acceptedMsg); !ok || m.V != "v" || m.B != 5 {
+		t.Fatalf("expected accepted(5,v), got %v", env.sent[1].m)
+	}
+	// A later prepare must report the accepted value.
+	a.OnMessage("c2", prepareMsg{B: 9})
+	if m, ok := env.sent[2].m.(promiseMsg); !ok || m.AcceptedB != 5 || m.AcceptedV != "v" {
+		t.Fatalf("promise must carry accepted history, got %v", env.sent[2].m)
+	}
+	// An accept below the promise is refused.
+	a.OnMessage("c1", acceptMsg{B: 7, V: "w"})
+	if _, ok := env.sent[3].m.(nackMsg); !ok {
+		t.Fatalf("stale accept must be nacked, got %v", env.sent[3].m)
+	}
+}

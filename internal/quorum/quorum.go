@@ -1,0 +1,175 @@
+// Package quorum implements the Quorum speculation phase of §2.1: a
+// consensus fast path that decides in two message delays when there is
+// neither contention nor faults, and otherwise switches to the next phase
+// with the value the paper mandates.
+//
+// Protocol (verbatim from the paper):
+//
+//   - On propose(v), a client broadcasts its proposal to all servers,
+//     stores v and starts a local timer.
+//   - A server that receives a proposal replies with accept(v') where v'
+//     is the first proposal it ever received (it always re-sends the same
+//     accept).
+//   - A client that receives two different accept values switches with its
+//     own stored proposal.
+//   - A client that receives the same accept(v) from all servers decides v.
+//   - When the timer expires the client switches with the value of some
+//     accept it has received, waiting for at least one if necessary.
+//
+// Optional retransmission (off in the paper, configurable here) re-sends
+// the proposal so the phase stays live under message loss.
+package quorum
+
+import (
+	"repro/internal/mpcons"
+	"repro/internal/msgnet"
+	"repro/internal/trace"
+)
+
+// proposeMsg is a client proposal broadcast to servers.
+type proposeMsg struct{ V trace.Value }
+
+// acceptMsg is a server's accept reply.
+type acceptMsg struct{ V trace.Value }
+
+// Protocol is the Quorum phase protocol.
+type Protocol struct {
+	// Timeout is the client timer duration; it should exceed one round
+	// trip (2 message delays under unit delay). Default 6.
+	Timeout msgnet.Time
+	// Retransmit, when positive, re-broadcasts the proposal at this
+	// period while the operation is unresolved, masking message loss.
+	Retransmit msgnet.Time
+}
+
+var _ mpcons.PhaseProtocol = Protocol{}
+
+// Name implements PhaseProtocol.
+func (Protocol) Name() string { return "quorum" }
+
+func (p Protocol) timeout() msgnet.Time {
+	if p.Timeout <= 0 {
+		return 6
+	}
+	return p.Timeout
+}
+
+// NewClient implements PhaseProtocol.
+func (p Protocol) NewClient(env mpcons.ClientEnv) mpcons.ClientPhase {
+	return &client{proto: p, env: env}
+}
+
+// NewServer implements PhaseProtocol.
+func (p Protocol) NewServer(env mpcons.ServerEnv) mpcons.ServerPhase {
+	return &server{env: env}
+}
+
+type client struct {
+	proto    Protocol
+	env      mpcons.ClientEnv
+	proposal trace.Value
+	active   bool
+	// accepts maps server -> accepted value received.
+	accepts map[msgnet.ProcID]trace.Value
+	// expired marks that the timer fired with no accept received; the
+	// client switches upon the next accept (the paper's "waits for at
+	// least one message accept(v')").
+	expired bool
+}
+
+func (c *client) Propose(v trace.Value) {
+	c.proposal = v
+	c.active = true
+	c.expired = false
+	c.accepts = map[msgnet.ProcID]trace.Value{}
+	c.env.Broadcast(proposeMsg{V: v})
+	c.env.SetTimer("timeout", c.proto.timeout())
+	if c.proto.Retransmit > 0 {
+		c.env.SetTimer("retransmit", c.proto.Retransmit)
+	}
+}
+
+// SwitchIn treats a transferred operation as a proposal of the switch
+// value, allowing Quorum to serve as an intermediate retry phase (the
+// paper's phases treat switch calls "as regular proposals").
+func (c *client) SwitchIn(pending, sv trace.Value) { c.Propose(sv) }
+
+func (c *client) OnMessage(from msgnet.ProcID, payload any) {
+	acc, ok := payload.(acceptMsg)
+	if !ok || !c.active {
+		return
+	}
+	if _, seen := c.accepts[from]; !seen {
+		c.accepts[from] = acc.V
+	}
+	if c.expired {
+		// Timer already fired: switch with the value of this accept.
+		c.finish(func() { c.env.SwitchTo(acc.V) })
+		return
+	}
+	// Two different accept values: contention — switch with own proposal.
+	for _, v := range c.accepts {
+		if v != acc.V {
+			c.finish(func() { c.env.SwitchTo(c.proposal) })
+			return
+		}
+	}
+	// Same accept from all servers: decide.
+	if len(c.accepts) == len(c.env.Servers()) {
+		c.finish(func() { c.env.Decide(acc.V) })
+	}
+}
+
+func (c *client) OnTimer(name string) {
+	if !c.active {
+		return
+	}
+	switch name {
+	case "retransmit":
+		c.env.Broadcast(proposeMsg{V: c.proposal})
+		c.env.SetTimer("retransmit", c.proto.Retransmit)
+	case "timeout":
+		if len(c.accepts) == 0 {
+			// Wait for at least one accept, then switch with its value.
+			c.expired = true
+			return
+		}
+		// Switch with the value of some received accept; pick the one
+		// from the smallest server ID for determinism.
+		var best msgnet.ProcID
+		var bestV trace.Value
+		for s, v := range c.accepts {
+			if best == "" || s < best {
+				best, bestV = s, v
+			}
+		}
+		c.finish(func() { c.env.SwitchTo(bestV) })
+	}
+}
+
+func (c *client) finish(resolve func()) {
+	c.active = false
+	c.env.CancelTimer("timeout")
+	c.env.CancelTimer("retransmit")
+	resolve()
+}
+
+type server struct {
+	env      mpcons.ServerEnv
+	accepted trace.Value
+	has      bool
+}
+
+func (s *server) OnMessage(from msgnet.ProcID, payload any) {
+	prop, ok := payload.(proposeMsg)
+	if !ok {
+		return
+	}
+	if !s.has {
+		s.has = true
+		s.accepted = prop.V
+	}
+	s.env.Send(from, acceptMsg{V: s.accepted})
+}
+
+func (s *server) OnTimer(string) {}

@@ -1,0 +1,161 @@
+package quorum
+
+import (
+	"testing"
+
+	"repro/internal/mpcons"
+	"repro/internal/msgnet"
+	"repro/internal/trace"
+)
+
+// fakeClientEnv records a client component's actions.
+type fakeClientEnv struct {
+	servers []msgnet.ProcID
+	sent    []struct {
+		to msgnet.ProcID
+		m  any
+	}
+	timers   map[string]msgnet.Time
+	decided  *trace.Value
+	switched *trace.Value
+}
+
+func newFakeClientEnv(nServers int) *fakeClientEnv {
+	e := &fakeClientEnv{timers: map[string]msgnet.Time{}}
+	for i := 0; i < nServers; i++ {
+		e.servers = append(e.servers, msgnet.ProcID(rune('A'+i)))
+	}
+	return e
+}
+
+func (e *fakeClientEnv) Self() msgnet.ProcID      { return "client" }
+func (e *fakeClientEnv) ClientIndex() int         { return 0 }
+func (e *fakeClientEnv) Clients() []msgnet.ProcID { return []msgnet.ProcID{"client"} }
+func (e *fakeClientEnv) Servers() []msgnet.ProcID { return e.servers }
+func (e *fakeClientEnv) Now() msgnet.Time         { return 0 }
+func (e *fakeClientEnv) Send(to msgnet.ProcID, m any) {
+	e.sent = append(e.sent, struct {
+		to msgnet.ProcID
+		m  any
+	}{to, m})
+}
+func (e *fakeClientEnv) Broadcast(m any) {
+	for _, s := range e.servers {
+		e.Send(s, m)
+	}
+}
+func (e *fakeClientEnv) SetTimer(name string, d msgnet.Time) { e.timers[name] = d }
+func (e *fakeClientEnv) CancelTimer(name string)             { delete(e.timers, name) }
+func (e *fakeClientEnv) Decide(v trace.Value)                { e.decided = &v }
+func (e *fakeClientEnv) SwitchTo(sv trace.Value)             { e.switched = &sv }
+
+var _ mpcons.ClientEnv = (*fakeClientEnv)(nil)
+
+func TestClientDecidesOnUnanimousAccepts(t *testing.T) {
+	env := newFakeClientEnv(3)
+	c := Protocol{}.NewClient(env)
+	c.Propose("v")
+	if len(env.sent) != 3 {
+		t.Fatalf("proposal not broadcast: %v", env.sent)
+	}
+	c.OnMessage("A", acceptMsg{V: "v"})
+	c.OnMessage("B", acceptMsg{V: "v"})
+	if env.decided != nil {
+		t.Fatal("decided before all servers answered")
+	}
+	c.OnMessage("C", acceptMsg{V: "v"})
+	if env.decided == nil || *env.decided != "v" {
+		t.Fatalf("decided = %v", env.decided)
+	}
+	if env.switched != nil {
+		t.Fatal("switched as well as decided")
+	}
+}
+
+func TestClientSwitchesOnConflict(t *testing.T) {
+	env := newFakeClientEnv(3)
+	c := Protocol{}.NewClient(env)
+	c.Propose("mine")
+	c.OnMessage("A", acceptMsg{V: "x"})
+	c.OnMessage("B", acceptMsg{V: "y"})
+	if env.switched == nil || *env.switched != "mine" {
+		t.Fatalf("conflict must switch with own proposal; got %v", env.switched)
+	}
+}
+
+func TestClientTimeoutSwitchesWithWitnessedValue(t *testing.T) {
+	env := newFakeClientEnv(3)
+	c := Protocol{}.NewClient(env)
+	c.Propose("mine")
+	c.OnMessage("B", acceptMsg{V: "w"})
+	c.OnTimer("timeout")
+	if env.switched == nil || *env.switched != "w" {
+		t.Fatalf("timeout must switch with a witnessed accept value; got %v", env.switched)
+	}
+}
+
+func TestClientTimeoutWaitsForFirstAccept(t *testing.T) {
+	env := newFakeClientEnv(3)
+	c := Protocol{}.NewClient(env)
+	c.Propose("mine")
+	c.OnTimer("timeout")
+	if env.switched != nil {
+		t.Fatal("switched with no accept witnessed")
+	}
+	c.OnMessage("C", acceptMsg{V: "z"})
+	if env.switched == nil || *env.switched != "z" {
+		t.Fatalf("late accept must trigger the deferred switch; got %v", env.switched)
+	}
+}
+
+func TestClientIgnoresStrayMessagesWhenInactive(t *testing.T) {
+	env := newFakeClientEnv(3)
+	c := Protocol{}.NewClient(env)
+	c.OnMessage("A", acceptMsg{V: "v"}) // before any proposal
+	if env.decided != nil || env.switched != nil {
+		t.Fatal("inactive client acted on a stray message")
+	}
+}
+
+// fakeServerEnv records replies.
+type fakeServerEnv struct {
+	replies []struct {
+		to msgnet.ProcID
+		m  any
+	}
+}
+
+func (e *fakeServerEnv) Self() msgnet.ProcID      { return "S" }
+func (e *fakeServerEnv) Clients() []msgnet.ProcID { return nil }
+func (e *fakeServerEnv) Servers() []msgnet.ProcID { return nil }
+func (e *fakeServerEnv) Now() msgnet.Time         { return 0 }
+func (e *fakeServerEnv) Send(to msgnet.ProcID, m any) {
+	e.replies = append(e.replies, struct {
+		to msgnet.ProcID
+		m  any
+	}{to, m})
+}
+func (e *fakeServerEnv) SetTimer(string, msgnet.Time) {}
+
+var _ mpcons.ServerEnv = (*fakeServerEnv)(nil)
+
+// Figure-level behavior: a server always replies with the FIRST proposal
+// it received, to every proposer.
+func TestServerAcceptsFirstProposalForever(t *testing.T) {
+	env := &fakeServerEnv{}
+	s := Protocol{}.NewServer(env)
+	s.OnMessage("c1", proposeMsg{V: "first"})
+	s.OnMessage("c2", proposeMsg{V: "second"})
+	s.OnMessage("c1", proposeMsg{V: "third"})
+	if len(env.replies) != 3 {
+		t.Fatalf("replies: %v", env.replies)
+	}
+	for i, r := range env.replies {
+		if r.m.(acceptMsg).V != "first" {
+			t.Fatalf("reply %d = %v, want accept(first)", i, r.m)
+		}
+	}
+	if env.replies[0].to != "c1" || env.replies[1].to != "c2" {
+		t.Fatalf("replies addressed wrongly: %v", env.replies)
+	}
+}

@@ -1,0 +1,75 @@
+package rcons
+
+import (
+	"fmt"
+
+	"repro/internal/adt"
+	"repro/internal/core"
+	"repro/internal/shmem"
+	"repro/internal/trace"
+)
+
+// NativePhase is the Figure 2 algorithm over sync/atomic registers,
+// packaged as a core.Phase so it composes with cascons.NativePhase via
+// core.Composer. It is safe for concurrent use by many goroutines.
+//
+// One NativePhase implements one consensus instance (consensus is
+// single-shot; SMR builds multi-shot objects from many instances).
+type NativePhase struct {
+	v          shmem.Register
+	d          shmem.Register
+	contention shmem.Flag
+	x          shmem.Register
+	y          shmem.Flag
+}
+
+var _ core.Phase = (*NativePhase)(nil)
+
+// NewNativePhase returns a fresh RCons instance.
+func NewNativePhase() *NativePhase { return &NativePhase{} }
+
+// Name implements core.Phase.
+func (p *NativePhase) Name() string { return "rcons" }
+
+// splitter implements Figure 2 lines 26–36 for client c: at most one
+// client ever gets true, and in the absence of contention exactly one
+// does.
+func (p *NativePhase) splitter(c trace.ClientID) bool {
+	p.x.Store(trace.Value(c))
+	if p.y.Load() {
+		return false
+	}
+	p.y.Store(true)
+	return p.x.Load() == trace.Value(c)
+}
+
+// Invoke implements core.Phase: propose(val) of Figure 2.
+func (p *NativePhase) Invoke(c trace.ClientID, in trace.Value) (core.Outcome, error) {
+	val, ok := adt.ProposalOf(adt.Untag(in))
+	if !ok {
+		return core.Outcome{}, fmt.Errorf("rcons: input %q is not a proposal", in)
+	}
+	v := val
+	if d := p.d.Load(); d != adt.Bottom {
+		return core.ReturnOutcome(adt.DecideOutput(d)), nil
+	}
+	if p.splitter(c) {
+		p.v.Store(v)
+		if !p.contention.Load() {
+			p.d.Store(v)
+			return core.ReturnOutcome(adt.DecideOutput(v)), nil
+		}
+		return core.SwitchOutcome(v), nil
+	}
+	p.contention.Store(true)
+	if vv := p.v.Load(); vv != adt.Bottom {
+		v = vv
+	}
+	return core.SwitchOutcome(v), nil
+}
+
+// SwitchIn implements core.Phase. RCons is a first phase and never
+// receives switches; for generality it re-proposes the switch value.
+func (p *NativePhase) SwitchIn(c trace.ClientID, in, init trace.Value) (core.Outcome, error) {
+	return p.Invoke(c, adt.ProposeInput(init))
+}

@@ -1,0 +1,161 @@
+// Package rcons implements the register-based speculative consensus of
+// Figure 2: a splitter-guarded fast path that decides using only
+// read/write registers when there is no contention, and switches to the
+// CAS-based phase otherwise.
+//
+// Two forms are provided:
+//
+//   - Machine: a step machine over simulated shared memory where each
+//     step performs exactly one shared-memory access, mirroring Figure
+//     2's lines; the model checker (package check) interleaves Machines
+//     exhaustively.
+//   - NativePhase: a sync/atomic implementation of core.Phase for real
+//     concurrent execution and timing benchmarks.
+package rcons
+
+import (
+	"strconv"
+
+	"repro/internal/adt"
+	"repro/internal/shmem"
+	"repro/internal/trace"
+)
+
+// Result is the resolution of one propose() on the RCons phase.
+type Result struct {
+	// Switched is true when the operation aborts to the CAS phase with
+	// switch value Value; otherwise the operation decided Value.
+	Switched bool
+	Value    trace.Value
+}
+
+// Regs names the shared registers of one RCons instance in simulated
+// memory: V, D, Contention and the splitter's X and Y (Figure 2 lines
+// 2–4).
+type Regs struct {
+	V, D, Contention, X, Y shmem.Loc
+}
+
+// DefaultRegs returns register names prefixed by an instance name.
+func DefaultRegs(instance string) Regs {
+	return Regs{
+		V:          shmem.Loc(instance + ".V"),
+		D:          shmem.Loc(instance + ".D"),
+		Contention: shmem.Loc(instance + ".Contention"),
+		X:          shmem.Loc(instance + ".X"),
+		Y:          shmem.Loc(instance + ".Y"),
+	}
+}
+
+// Machine executes one propose(val) call as a sequence of atomic
+// shared-memory steps. Program counters follow Figure 2:
+//
+//	pc 0: read D; decided already? return it          (line 8)
+//	pc 1: X ← c                                       (line 27)
+//	pc 2: read Y; true → contention path              (line 28)
+//	pc 3: Y ← true                                    (line 31)
+//	pc 4: read X; ≠ c → contention path               (line 32)
+//	pc 5: V ← v                                       (line 12)
+//	pc 6: read Contention; true → switch with v       (line 13/17)
+//	pc 7: D ← v; return v                             (lines 14–15)
+//	pc 8: Contention ← true                           (line 20)
+//	pc 9: read V; ≠ ⊥ → v ← V; switch with v          (lines 21–24)
+type Machine struct {
+	regs   Regs
+	client trace.ClientID
+	v      trace.Value
+	pc     int
+	done   bool
+	won    bool // splitter returned true
+	result Result
+}
+
+// NewMachine prepares a propose(val) execution by client c.
+func NewMachine(regs Regs, c trace.ClientID, val trace.Value) *Machine {
+	return &Machine{regs: regs, client: c, v: val}
+}
+
+// Done reports whether the call has resolved.
+func (m *Machine) Done() bool { return m.done }
+
+// Result returns the resolution; valid only after Done.
+func (m *Machine) Result() Result { return m.result }
+
+// SplitterWon reports whether this call won the splitter (Figure 2's
+// guarantee: at most one caller ever does).
+func (m *Machine) SplitterWon() bool { return m.won }
+
+// Clone returns an independent copy for state-space branching.
+func (m *Machine) Clone() *Machine {
+	c := *m
+	return &c
+}
+
+// Key canonically encodes the machine's local state.
+func (m *Machine) Key() string {
+	return strconv.Itoa(m.pc) + "|" + string(m.v) + "|" + strconv.FormatBool(m.done) +
+		"|" + strconv.FormatBool(m.won) +
+		"|" + strconv.FormatBool(m.result.Switched) + "|" + m.result.Value
+}
+
+// Step performs the next atomic shared-memory access. It panics if called
+// after Done (a scheduler bug).
+func (m *Machine) Step(mem *shmem.Mem) {
+	if m.done {
+		panic("rcons: step after completion")
+	}
+	switch m.pc {
+	case 0: // if D ≠ ⊥ then return D
+		if d := mem.Read(m.regs.D); d != adt.Bottom {
+			m.finish(Result{Value: d})
+			return
+		}
+		m.pc = 1
+	case 1: // splitter: X ← c
+		mem.Write(m.regs.X, trace.Value(m.client))
+		m.pc = 2
+	case 2: // if Y = true then return false
+		if mem.Read(m.regs.Y) == "true" {
+			m.pc = 8
+			return
+		}
+		m.pc = 3
+	case 3: // Y ← true
+		mem.Write(m.regs.Y, "true")
+		m.pc = 4
+	case 4: // if X = c then true else false
+		if mem.Read(m.regs.X) == trace.Value(m.client) {
+			m.won = true
+			m.pc = 5
+		} else {
+			m.pc = 8
+		}
+	case 5: // V ← v
+		mem.Write(m.regs.V, m.v)
+		m.pc = 6
+	case 6: // if ¬Contention … else switch-to-CASCons(v)
+		if mem.Read(m.regs.Contention) == "true" {
+			m.finish(Result{Switched: true, Value: m.v})
+			return
+		}
+		m.pc = 7
+	case 7: // D ← v; return v
+		mem.Write(m.regs.D, m.v)
+		m.finish(Result{Value: m.v})
+	case 8: // Contention ← true
+		mem.Write(m.regs.Contention, "true")
+		m.pc = 9
+	case 9: // if V ≠ ⊥ then v ← V; switch-to-CASCons(v)
+		if vv := mem.Read(m.regs.V); vv != adt.Bottom {
+			m.v = vv
+		}
+		m.finish(Result{Switched: true, Value: m.v})
+	default:
+		panic("rcons: invalid pc")
+	}
+}
+
+func (m *Machine) finish(r Result) {
+	m.done = true
+	m.result = r
+}

@@ -1,0 +1,157 @@
+package rcons
+
+import (
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/shmem"
+)
+
+func runAlone(t *testing.T, m *Machine, mem *shmem.Mem) Result {
+	t.Helper()
+	for i := 0; i < 100 && !m.Done(); i++ {
+		m.Step(mem)
+	}
+	if !m.Done() {
+		t.Fatal("machine did not terminate")
+	}
+	return m.Result()
+}
+
+// Figure 2, uncontended: a lone proposer wins the splitter and decides
+// its own value through registers only.
+func TestFigure2Uncontended(t *testing.T) {
+	mem := shmem.NewMem()
+	regs := DefaultRegs("i")
+	m := NewMachine(regs, "c1", "a")
+	r := runAlone(t, m, mem)
+	if r.Switched || r.Value != "a" {
+		t.Fatalf("result = %+v", r)
+	}
+	if !m.SplitterWon() {
+		t.Fatal("lone proposer must win the splitter")
+	}
+	if mem.Read(regs.D) != "a" {
+		t.Fatal("decision register not written")
+	}
+}
+
+// A second, later proposer sees D and returns it immediately (line 8).
+func TestFigure2LateProposerReadsD(t *testing.T) {
+	mem := shmem.NewMem()
+	regs := DefaultRegs("i")
+	runAlone(t, NewMachine(regs, "c1", "a"), mem)
+	m2 := NewMachine(regs, "c2", "b")
+	m2.Step(mem) // pc 0 reads D
+	if !m2.Done() {
+		t.Fatal("late proposer must finish at the D check")
+	}
+	if r := m2.Result(); r.Switched || r.Value != "a" {
+		t.Fatalf("late proposer result = %+v", r)
+	}
+	if m2.SplitterWon() {
+		t.Fatal("late proposer never entered the splitter")
+	}
+}
+
+// Lock-step contention: two proposers interleave strictly; the splitter
+// elects at most one winner and losers take the contention path.
+func TestFigure2LockStepContention(t *testing.T) {
+	mem := shmem.NewMem()
+	regs := DefaultRegs("i")
+	m1 := NewMachine(regs, "c1", "a")
+	m2 := NewMachine(regs, "c2", "b")
+	for !m1.Done() || !m2.Done() {
+		if !m1.Done() {
+			m1.Step(mem)
+		}
+		if !m2.Done() {
+			m2.Step(mem)
+		}
+	}
+	if m1.SplitterWon() && m2.SplitterWon() {
+		t.Fatal("both proposers won the splitter")
+	}
+	// In lock-step both see contention; at least one must switch, and
+	// any non-switched result must carry a proposed value.
+	r1, r2 := m1.Result(), m2.Result()
+	if !r1.Switched && !r2.Switched {
+		t.Fatalf("lock-step contention with no switch: %+v %+v", r1, r2)
+	}
+	for _, r := range []Result{r1, r2} {
+		if r.Value != "a" && r.Value != "b" {
+			t.Fatalf("unproposed value in result %+v", r)
+		}
+	}
+}
+
+// The splitter loser adopts V when the winner already wrote it (line 21).
+func TestFigure2LoserAdoptsWinnersValue(t *testing.T) {
+	mem := shmem.NewMem()
+	regs := DefaultRegs("i")
+	m1 := NewMachine(regs, "c1", "a")
+	// Winner runs up to and including V ← v (pc 5), then pauses.
+	for i := 0; i < 6; i++ {
+		m1.Step(mem)
+	}
+	// Loser runs fully: loses the splitter (Y set), sets Contention,
+	// reads V = "a" and switches with it.
+	m2 := NewMachine(regs, "c2", "b")
+	r2 := runAlone(t, m2, mem)
+	if !r2.Switched || r2.Value != "a" {
+		t.Fatalf("loser must switch with the winner's value: %+v", r2)
+	}
+	// Winner resumes: it reads Contention = true and must switch with a.
+	r1 := runAlone(t, m1, mem)
+	if !r1.Switched || r1.Value != "a" {
+		t.Fatalf("winner under contention must switch with its value: %+v", r1)
+	}
+}
+
+func TestMachineCloneIndependent(t *testing.T) {
+	mem := shmem.NewMem()
+	m := NewMachine(DefaultRegs("i"), "c1", "a")
+	m.Step(mem)
+	c := m.Clone()
+	c.Step(mem)
+	if m.Key() == c.Key() {
+		t.Fatal("clone shares state with original")
+	}
+}
+
+func TestStepAfterDonePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	mem := shmem.NewMem()
+	m := NewMachine(DefaultRegs("i"), "c1", "a")
+	for !m.Done() {
+		m.Step(mem)
+	}
+	m.Step(mem)
+}
+
+// Native phase: uncontended invoke decides; invalid input errors.
+func TestNativePhaseBasics(t *testing.T) {
+	p := NewNativePhase()
+	out, err := p.Invoke("c1", adt.ProposeInput("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != 0 || out.Output != adt.DecideOutput("a") {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if _, err := p.Invoke("c1", "garbage"); err == nil {
+		t.Fatal("invalid input must error")
+	}
+	// A later client reads the decision directly.
+	out, err = p.Invoke("c2", adt.Tag(adt.ProposeInput("b"), "c2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Output != adt.DecideOutput("a") {
+		t.Fatalf("late client outcome = %+v", out)
+	}
+}

@@ -1,0 +1,132 @@
+// Package shmem is the shared-memory substrate of the paper's second case
+// study (§2.5). It provides two backends (DESIGN.md, substitution 2):
+//
+//   - a simulated memory of atomic single-word registers with copyable
+//     state, used by the model checker to explore instruction-level
+//     interleavings of the Figure 2/3 algorithms exhaustively;
+//   - thin wrappers over sync/atomic (Register, Flag, CASCell) used by the
+//     native implementations to measure real hardware costs of the
+//     register path versus the CAS path.
+package shmem
+
+import (
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/adt"
+	"repro/internal/trace"
+)
+
+// Loc names a simulated shared register.
+type Loc string
+
+// Mem is a simulated shared memory. All locations read as ⊥ (adt.Bottom)
+// until written. Mem is not safe for concurrent use: the model checker is
+// single-threaded and interleaves processes at Step granularity.
+type Mem struct {
+	regs map[Loc]trace.Value
+}
+
+// NewMem returns an empty memory.
+func NewMem() *Mem { return &Mem{regs: map[Loc]trace.Value{}} }
+
+// Read returns the current value of l (⊥ if unwritten).
+func (m *Mem) Read(l Loc) trace.Value {
+	if v, ok := m.regs[l]; ok {
+		return v
+	}
+	return adt.Bottom
+}
+
+// Write stores v at l.
+func (m *Mem) Write(l Loc, v trace.Value) { m.regs[l] = v }
+
+// CAS atomically replaces the value at l with new if it currently equals
+// expect; it returns the value held after the operation and whether the
+// swap happened.
+func (m *Mem) CAS(l Loc, expect, new trace.Value) (trace.Value, bool) {
+	cur := m.Read(l)
+	if cur == expect {
+		m.regs[l] = new
+		return new, true
+	}
+	return cur, false
+}
+
+// Clone returns an independent copy (for state-space branching).
+func (m *Mem) Clone() *Mem {
+	c := NewMem()
+	for l, v := range m.regs {
+		c.regs[l] = v
+	}
+	return c
+}
+
+// Key returns a canonical encoding of the memory contents.
+func (m *Mem) Key() string {
+	locs := make([]string, 0, len(m.regs))
+	for l := range m.regs {
+		locs = append(locs, string(l))
+	}
+	sort.Strings(locs)
+	var b strings.Builder
+	for _, l := range locs {
+		b.WriteString(l)
+		b.WriteByte('=')
+		b.WriteString(m.regs[Loc(l)])
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}
+
+// Register is a native atomic register holding a trace.Value; the zero
+// value reads as ⊥.
+type Register struct {
+	p atomic.Pointer[trace.Value]
+}
+
+// Load returns the register's value (⊥ if never stored).
+func (r *Register) Load() trace.Value {
+	if v := r.p.Load(); v != nil {
+		return *v
+	}
+	return adt.Bottom
+}
+
+// Store sets the register's value.
+func (r *Register) Store(v trace.Value) { r.p.Store(&v) }
+
+// Flag is a native atomic boolean register.
+type Flag struct {
+	b atomic.Bool
+}
+
+// Load returns the flag.
+func (f *Flag) Load() bool { return f.b.Load() }
+
+// Store sets the flag.
+func (f *Flag) Store(v bool) { f.b.Store(v) }
+
+// CASCell is a native compare-and-swap cell over trace.Value, initially ⊥.
+type CASCell struct {
+	p atomic.Pointer[trace.Value]
+}
+
+// CompareAndSwapFromBottom attempts CAS(cell, ⊥, v) and returns the value
+// held after the operation (v on success, the incumbent otherwise) —
+// exactly the return convention of Figure 3.
+func (c *CASCell) CompareAndSwapFromBottom(v trace.Value) trace.Value {
+	if c.p.CompareAndSwap(nil, &v) {
+		return v
+	}
+	return *c.p.Load()
+}
+
+// Load returns the cell's value (⊥ if never swapped).
+func (c *CASCell) Load() trace.Value {
+	if v := c.p.Load(); v != nil {
+		return *v
+	}
+	return adt.Bottom
+}

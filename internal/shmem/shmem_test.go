@@ -1,0 +1,107 @@
+package shmem
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/adt"
+)
+
+func TestMemReadWriteCAS(t *testing.T) {
+	m := NewMem()
+	if m.Read("x") != adt.Bottom {
+		t.Fatal("unwritten location must read ⊥")
+	}
+	m.Write("x", "1")
+	if m.Read("x") != "1" {
+		t.Fatal("write lost")
+	}
+	after, ok := m.CAS("x", "1", "2")
+	if !ok || after != "2" {
+		t.Fatalf("CAS success wrong: %q %v", after, ok)
+	}
+	after, ok = m.CAS("x", "1", "3")
+	if ok || after != "2" {
+		t.Fatalf("CAS failure wrong: %q %v", after, ok)
+	}
+	after, ok = m.CAS("y", adt.Bottom, "v")
+	if !ok || after != "v" {
+		t.Fatalf("CAS from ⊥ wrong: %q %v", after, ok)
+	}
+}
+
+func TestMemCloneIndependent(t *testing.T) {
+	m := NewMem()
+	m.Write("x", "1")
+	c := m.Clone()
+	c.Write("x", "2")
+	if m.Read("x") != "1" {
+		t.Fatal("clone aliases original")
+	}
+	if m.Key() == c.Key() {
+		t.Fatal("different contents share a key")
+	}
+	c.Write("x", "1")
+	if m.Key() != c.Key() {
+		t.Fatal("equal contents have different keys")
+	}
+}
+
+func TestNativeRegister(t *testing.T) {
+	var r Register
+	if r.Load() != adt.Bottom {
+		t.Fatal("zero register must read ⊥")
+	}
+	r.Store("v")
+	if r.Load() != "v" {
+		t.Fatal("store lost")
+	}
+}
+
+func TestNativeFlag(t *testing.T) {
+	var f Flag
+	if f.Load() {
+		t.Fatal("zero flag must be false")
+	}
+	f.Store(true)
+	if !f.Load() {
+		t.Fatal("flag store lost")
+	}
+}
+
+func TestNativeCASCell(t *testing.T) {
+	var c CASCell
+	if c.Load() != adt.Bottom {
+		t.Fatal("zero cell must read ⊥")
+	}
+	if got := c.CompareAndSwapFromBottom("a"); got != "a" {
+		t.Fatalf("first CAS = %q", got)
+	}
+	if got := c.CompareAndSwapFromBottom("b"); got != "a" {
+		t.Fatalf("second CAS = %q, want incumbent", got)
+	}
+	if c.Load() != "a" {
+		t.Fatal("cell value changed by losing CAS")
+	}
+}
+
+// Exactly one of N concurrent CASers wins (run with -race).
+func TestNativeCASCellConcurrent(t *testing.T) {
+	var c CASCell
+	const n = 16
+	results := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = string(c.CompareAndSwapFromBottom(string(rune('a' + i))))
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("CAS results disagree: %v", results)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package slin
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/lin"
+	"repro/internal/workload"
+)
+
+// CheckLin routes plain traces through the SLin machinery (Theorem 2's
+// reduction in the m = 1 direction) and must agree with package lin's
+// direct checker on universal-ADT traces.
+func TestCheckLinAgainstLin(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	inputs := []string{"a", "b", "c"}
+	iters := 150
+	if testing.Short() {
+		iters = 40
+	}
+	for i := 0; i < iters; i++ {
+		opts := workload.TraceOpts{
+			Clients: 2, Ops: 2 + r.Intn(3), Inputs: inputs, UniqueTags: true,
+		}
+		if i%2 == 1 {
+			opts.CorruptProb = 0.5
+		}
+		tr := workload.Random(adt.Universal{}, r, opts)
+		direct, err := lin.Check(adt.Universal{}, tr, lin.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaSLin, err := CheckLin(adt.Universal{}, tr, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if direct.OK != viaSLin.OK {
+			t.Fatalf("CheckLin disagrees with lin.Check: %v vs %v on %v",
+				viaSLin.OK, direct.OK, tr)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package slin
+
+import (
+	"fmt"
+
+	"repro/internal/adt"
+	"repro/internal/trace"
+)
+
+// This file implements the linear-time invariant checks the paper uses to
+// abstract its consensus case studies (§2.4, §2.5): I1–I3 characterize
+// first-phase algorithms (Quorum, RCons) and I4–I5 second-phase algorithms
+// (Backup, CASCons). The paper proves I1–I3 imply SLin(m,n) for the first
+// phase and I4–I5 imply SLin(n,o) for the second; experiment E6 validates
+// those reductions against the full Check on generated traces.
+//
+// Conventions: traces are consensus-phase traces where responses carry
+// outputs d(v) and switch values are the raw consensus values v (matching
+// ConsensusRInit).
+
+// FirstPhaseInvariants checks I1, I2 and I3 on a first-phase consensus
+// trace in sig(m,n). It returns nil when all three hold:
+//
+//	I1: if some client decides v then all clients that switch, either
+//	    before or after the decision, do so with value v;
+//	I2: all clients that decide do so with the same value;
+//	I3: every decision and switch carries a value proposed before it.
+func FirstPhaseInvariants(t trace.Trace, m, n int) error {
+	decided := trace.Value("")
+	haveDecision := false
+	// I2 and the decision value.
+	for _, a := range t {
+		if a.Kind != trace.Res {
+			continue
+		}
+		v, ok := adt.DecisionOf(a.Output)
+		if !ok {
+			return fmt.Errorf("slin: response output %q is not a decision", a.Output)
+		}
+		if haveDecision && v != decided {
+			return fmt.Errorf("slin: I2 violated: decisions %q and %q", decided, v)
+		}
+		decided, haveDecision = v, true
+	}
+	// I1: all switch values equal the decision, regardless of order.
+	if haveDecision {
+		for _, a := range t {
+			if a.IsAbort(n) && a.SwitchValue != decided {
+				return fmt.Errorf("slin: I1 violated: switch value %q after decision %q",
+					a.SwitchValue, decided)
+			}
+		}
+	}
+	// I3: decided/switched values proposed before the decide/switch.
+	proposed := trace.Multiset{}
+	for _, a := range t {
+		switch {
+		case a.Kind == trace.Inv:
+			if v, ok := adt.ProposalOf(adt.Untag(a.Input)); ok {
+				proposed.Add(v, 1)
+			}
+		case a.Kind == trace.Res:
+			v, _ := adt.DecisionOf(a.Output)
+			if proposed.Count(v) == 0 {
+				return fmt.Errorf("slin: I3 violated: decision %q not proposed before it", v)
+			}
+		case a.IsAbort(n):
+			if proposed.Count(a.SwitchValue) == 0 {
+				return fmt.Errorf("slin: I3 violated: switch value %q not proposed before it",
+					a.SwitchValue)
+			}
+		}
+	}
+	return nil
+}
+
+// SecondPhaseInvariants checks I4 and I5 on a second-phase consensus trace
+// in sig(m,n) (the phase receives init actions numbered m):
+//
+//	I4: all clients decide the same value;
+//	I5: every decision is a switch value previously submitted by some
+//	    client.
+func SecondPhaseInvariants(t trace.Trace, m, n int) error {
+	decided := trace.Value("")
+	haveDecision := false
+	submitted := trace.Multiset{}
+	for _, a := range t {
+		switch {
+		case a.IsInit(m):
+			submitted.Add(a.SwitchValue, 1)
+		case a.Kind == trace.Res:
+			v, ok := adt.DecisionOf(a.Output)
+			if !ok {
+				return fmt.Errorf("slin: response output %q is not a decision", a.Output)
+			}
+			if haveDecision && v != decided {
+				return fmt.Errorf("slin: I4 violated: decisions %q and %q", decided, v)
+			}
+			decided, haveDecision = v, true
+			if submitted.Count(v) == 0 {
+				return fmt.Errorf("slin: I5 violated: decision %q not submitted as a switch value", v)
+			}
+		}
+	}
+	return nil
+}

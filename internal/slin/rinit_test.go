@@ -1,0 +1,128 @@
+package slin
+
+import (
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/trace"
+)
+
+func TestConsensusRInitAdmits(t *testing.T) {
+	r := ConsensusRInit{}
+	tests := []struct {
+		v    trace.Value
+		h    trace.History
+		want bool
+	}{
+		{"a", trace.History{adt.ProposeInput("a")}, true},
+		{"a", trace.History{adt.Tag(adt.ProposeInput("a"), "c9")}, true},
+		{"a", trace.History{adt.ProposeInput("a"), adt.ProposeInput("b")}, true},
+		{"a", trace.History{adt.ProposeInput("b")}, false},
+		{"a", trace.History{}, false},
+		{"a", trace.History{adt.ProposeInput("a"), "not-a-proposal"}, false},
+	}
+	for _, tt := range tests {
+		if got := r.Admits(tt.v, tt.h); got != tt.want {
+			t.Errorf("Admits(%q, %v) = %v, want %v", tt.v, tt.h, got, tt.want)
+		}
+	}
+}
+
+func TestConsensusRInitRepresentatives(t *testing.T) {
+	plain := ConsensusRInit{}
+	reps := plain.Representatives("v")
+	if len(reps) != 1 {
+		t.Fatalf("reps = %v", reps)
+	}
+	if !plain.Admits("v", reps[0]) {
+		t.Fatal("representative not admitted by its own relation")
+	}
+	probe := ConsensusRInit{Probe: true}
+	reps = probe.Representatives("v")
+	if len(reps) != 2 {
+		t.Fatalf("probe reps = %v", reps)
+	}
+	for _, h := range reps {
+		if !probe.Admits("v", h) {
+			t.Fatalf("probe representative %v not admitted", h)
+		}
+	}
+}
+
+func TestUniversalRInit(t *testing.T) {
+	r := UniversalRInit{}
+	h := trace.History{"a", "b"}
+	v := EncodeHistory(h)
+	reps := r.Representatives(v)
+	if len(reps) != 1 || !reps[0].Equal(h) {
+		t.Fatalf("reps = %v", reps)
+	}
+	if !r.Admits(v, h) {
+		t.Fatal("exact history not admitted")
+	}
+	if r.Admits(v, h.Append("c")) {
+		t.Fatal("extension admitted by singleton relation")
+	}
+	if r.Admits("not-encoded", h) {
+		t.Fatal("garbage value admitted")
+	}
+	if got := r.Representatives("not-encoded"); got != nil {
+		t.Fatalf("garbage value has representatives: %v", got)
+	}
+}
+
+func TestPrefixRInit(t *testing.T) {
+	r := PrefixRInit{}
+	base := trace.History{"a"}
+	v := EncodeHistory(base)
+	if !r.Admits(v, base) {
+		t.Fatal("base not admitted")
+	}
+	if !r.Admits(v, base.Append("b")) {
+		t.Fatal("extension not admitted")
+	}
+	if r.Admits(v, trace.History{"b"}) {
+		t.Fatal("non-extension admitted")
+	}
+	reps := r.Representatives(v)
+	if len(reps) != 1 || !reps[0].Equal(base) {
+		t.Fatalf("reps = %v", reps)
+	}
+}
+
+// A second-phase check under PrefixRInit: the abort interpretation may
+// extend the init history freely, so a middle phase that appends new
+// operations before aborting is accepted — unlike under UniversalRInit,
+// whose singleton interpretations cannot absorb the extension.
+func TestPrefixRInitMiddlePhase(t *testing.T) {
+	initH := trace.History{"x"}
+	tr := trace.Trace{
+		trace.Switch("c1", 2, "y", EncodeHistory(initH)),
+		trace.Response("c1", 2, "y", adt.HistoryOutput(trace.History{"x", "y"})),
+		trace.Switch("c2", 2, "z", EncodeHistory(initH)),
+		trace.Switch("c2", 3, "z", EncodeHistory(trace.History{"x", "y"})),
+	}
+	res, err := Check(adt.Universal{}, PrefixRInit{}, 2, 3, tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("prefix relation must accept the extended abort: %s", res.Reason)
+	}
+	for _, w := range res.Witnesses {
+		if err := VerifyWitness(adt.Universal{}, PrefixRInit{}, 2, 3, tr, w, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Under the singleton relation the same abort value's interpretation
+	// is exactly [x y]; the abort must still cover the commit [x y] — it
+	// does — but c2's pending input z is not in the abort history, which
+	// is allowed. Sanity: the singleton relation also accepts here.
+	res, err = Check(adt.Universal{}, UniversalRInit{}, 2, 3, tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("singleton relation should also accept: %s", res.Reason)
+	}
+}

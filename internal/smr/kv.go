@@ -1,0 +1,36 @@
+package smr
+
+import (
+	"sort"
+	"strings"
+)
+
+// This file gives replicated-log commands a concrete interpretation as a
+// key-value store, used by the kvstore example and the E9 experiment.
+
+// SetCmd encodes a KV write command.
+func SetCmd(key, value string) Command { return Command("set\x1f" + key + "\x1f" + value) }
+
+// DelCmd encodes a KV delete command.
+func DelCmd(key string) Command { return Command("del\x1f" + key) }
+
+// ApplyKV folds log entries (in slot order) into a key-value map.
+// Unknown commands are ignored, which lets mixed workloads share a log.
+func ApplyKV(log map[int]Command) map[string]string {
+	slots := make([]int, 0, len(log))
+	for s := range log {
+		slots = append(slots, s)
+	}
+	sort.Ints(slots)
+	kv := map[string]string{}
+	for _, s := range slots {
+		parts := strings.Split(string(log[s]), "\x1f")
+		switch {
+		case len(parts) == 3 && parts[0] == "set":
+			kv[parts[1]] = parts[2]
+		case len(parts) == 2 && parts[0] == "del":
+			delete(kv, parts[1])
+		}
+	}
+	return kv
+}

@@ -1,0 +1,448 @@
+// Package smr builds multi-shot State Machine Replication from the
+// paper's speculative consensus: each log slot is an independent composed
+// consensus instance (Quorum fast path + Paxos backup, or Paxos alone as
+// the non-speculative baseline). This is the SMR use case that motivates
+// the paper (§1, §6): a replicated log whose common-case latency is the
+// fast path's two message delays, falling back per-slot under contention
+// or faults without giving up safety.
+//
+// Clients submit commands; a submission repeatedly proposes the command
+// in the lowest slot the client does not know the decision of, advancing
+// past slots won by other clients, until the command lands. Phase
+// protocols are reused verbatim from packages quorum and paxos through
+// slot-scoped environment adapters.
+package smr
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/mpcons"
+	"repro/internal/msgnet"
+	"repro/internal/paxos"
+	"repro/internal/quorum"
+	"repro/internal/trace"
+)
+
+// Command is an opaque replicated-log entry.
+type Command = trace.Value
+
+// Config parameterizes a cluster.
+type Config struct {
+	// FastPath enables the Quorum first phase; without it slots run
+	// Paxos only (the baseline).
+	FastPath bool
+	// QuorumTimeout, Retransmit and PaxosRetry tune the phase protocols
+	// (zero values use the protocol defaults).
+	QuorumTimeout msgnet.Time
+	Retransmit    msgnet.Time
+	PaxosRetry    msgnet.Time
+}
+
+func (c Config) protos() []mpcons.PhaseProtocol {
+	px := paxos.Protocol{RetryBase: c.PaxosRetry}
+	if !c.FastPath {
+		return []mpcons.PhaseProtocol{px}
+	}
+	return []mpcons.PhaseProtocol{
+		quorum.Protocol{Timeout: c.QuorumTimeout, Retransmit: c.Retransmit},
+		px,
+	}
+}
+
+// SubmitResult describes one landed command.
+type SubmitResult struct {
+	Client   msgnet.ProcID
+	Cmd      Command
+	Slot     int
+	Start    msgnet.Time
+	End      msgnet.Time
+	Attempts int // slots tried (including the winning one)
+	Switches int // phase switches across all attempts
+}
+
+// Latency returns the submission's end-to-end latency.
+func (r SubmitResult) Latency() msgnet.Time { return r.End - r.Start }
+
+// Cluster is an SMR deployment on a simulated network.
+type Cluster struct {
+	net     *msgnet.Network
+	cfg     Config
+	protos  []mpcons.PhaseProtocol
+	clients []msgnet.ProcID
+	servers []msgnet.ProcID
+	byID    map[msgnet.ProcID]*client
+
+	results []SubmitResult
+
+	// Optional hooks, set before Run (see SetHooks). onStart fires when a
+	// queued submission actually begins (its invocation point); onLand
+	// when it resolves.
+	onStart func(c msgnet.ProcID, cmd Command, at msgnet.Time)
+	onLand  func(SubmitResult)
+}
+
+// SetHooks registers observation callbacks: start fires when a submission
+// begins executing (its invocation point under the client-sequential
+// discipline), land when it resolves. Either may be nil.
+func (cl *Cluster) SetHooks(start func(c msgnet.ProcID, cmd Command, at msgnet.Time), land func(SubmitResult)) {
+	cl.onStart = start
+	cl.onLand = land
+}
+
+// Build wires an SMR cluster into net.
+func Build(net *msgnet.Network, clients, servers []msgnet.ProcID, cfg Config) (*Cluster, error) {
+	if len(clients) == 0 || len(servers) == 0 {
+		return nil, fmt.Errorf("smr: need clients and servers")
+	}
+	cl := &Cluster{
+		net:     net,
+		cfg:     cfg,
+		protos:  cfg.protos(),
+		clients: clients,
+		servers: servers,
+		byID:    map[msgnet.ProcID]*client{},
+	}
+	for i, id := range clients {
+		c := &client{cluster: cl, id: id, index: i, log: map[int]Command{}, slots: map[int]*slotInstance{}}
+		cl.byID[id] = c
+		net.AddNode(id, c)
+	}
+	for _, id := range servers {
+		r := &replica{cluster: cl, id: id, slots: map[int][]mpcons.ServerPhase{}}
+		net.AddNode(id, r)
+	}
+	return cl, nil
+}
+
+// SubmitAt schedules client c to submit cmd at time t. Submissions queue
+// per client and execute sequentially.
+func (cl *Cluster) SubmitAt(c msgnet.ProcID, cmd Command, t msgnet.Time) {
+	cl.net.At(t, func() { cl.byID[c].enqueue(cmd) })
+}
+
+// Run advances the simulation.
+func (cl *Cluster) Run(maxTime msgnet.Time) msgnet.Time { return cl.net.Run(maxTime) }
+
+// Results returns landed submissions in completion order.
+func (cl *Cluster) Results() []SubmitResult { return append([]SubmitResult{}, cl.results...) }
+
+// Log returns client c's view of the replicated log as a dense prefix
+// plus any holes it never participated in (holes are simply absent).
+func (cl *Cluster) Log(c msgnet.ProcID) map[int]Command {
+	out := map[int]Command{}
+	for s, v := range cl.byID[c].log {
+		out[s] = v
+	}
+	return out
+}
+
+// CheckConsistency verifies SMR safety across all clients: no two clients
+// disagree on a slot's decision, and every decided command was submitted
+// by some client.
+func (cl *Cluster) CheckConsistency() error {
+	slotVal := map[int]Command{}
+	submitted := map[Command]bool{}
+	for _, c := range cl.byID {
+		for _, cmd := range c.submittedCmds {
+			submitted[cmd] = true
+		}
+	}
+	var ids []msgnet.ProcID
+	for id := range cl.byID {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		for s, v := range cl.byID[id].log {
+			if prev, ok := slotVal[s]; ok && prev != v {
+				return fmt.Errorf("smr: slot %d decided both %q and %q", s, prev, v)
+			}
+			slotVal[s] = v
+			if !submitted[v] {
+				return fmt.Errorf("smr: slot %d decided unsubmitted command %q", s, v)
+			}
+		}
+	}
+	// Every landed command sits in exactly one slot.
+	bySlot := map[Command]int{}
+	for s, v := range slotVal {
+		if other, dup := bySlot[v]; dup {
+			return fmt.Errorf("smr: command %q decided in slots %d and %d", v, other, s)
+		}
+		bySlot[v] = s
+	}
+	return nil
+}
+
+// slotEnvelope routes a phase message of one slot instance.
+type slotEnvelope struct {
+	slot    int
+	phase   int
+	payload any
+}
+
+// client is the SMR client node: it serializes submissions and drives a
+// consensus instance per attempted slot.
+type client struct {
+	cluster *Cluster
+	id      msgnet.ProcID
+	index   int
+	node    *msgnet.Node
+
+	slots map[int]*slotInstance
+	log   map[int]Command
+
+	queue         []Command
+	submittedCmds []Command
+	current       *submission
+}
+
+type submission struct {
+	cmd      Command
+	start    msgnet.Time
+	attempts int
+	switches int
+	slot     int // slot currently attempted
+}
+
+type slotInstance struct {
+	comps   []mpcons.ClientPhase
+	phase   int
+	pending bool
+}
+
+func (c *client) Init(n *msgnet.Node) { c.node = n }
+
+func (c *client) enqueue(cmd Command) {
+	c.queue = append(c.queue, cmd)
+	c.submittedCmds = append(c.submittedCmds, cmd)
+	if c.current == nil {
+		c.startNext()
+	}
+}
+
+func (c *client) startNext() {
+	if len(c.queue) == 0 {
+		c.current = nil
+		return
+	}
+	cmd := c.queue[0]
+	c.queue = c.queue[1:]
+	c.current = &submission{cmd: cmd, start: c.node.Now()}
+	if c.cluster.onStart != nil {
+		c.cluster.onStart(c.id, cmd, c.node.Now())
+	}
+	c.attempt(c.firstUnknownSlot())
+}
+
+func (c *client) firstUnknownSlot() int {
+	s := 0
+	for {
+		if _, ok := c.log[s]; !ok {
+			return s
+		}
+		s++
+	}
+}
+
+// attempt proposes the current command in slot s.
+func (c *client) attempt(s int) {
+	c.current.attempts++
+	c.current.slot = s
+	inst := &slotInstance{pending: true}
+	inst.comps = make([]mpcons.ClientPhase, len(c.cluster.protos))
+	for k, p := range c.cluster.protos {
+		inst.comps[k] = p.NewClient(&slotClientEnv{client: c, slot: s, phase: k})
+	}
+	c.slots[s] = inst
+	inst.comps[0].Propose(c.current.cmd)
+}
+
+// decide resolves slot s with value v (called from a phase component).
+func (c *client) decide(s, phase int, v Command) {
+	inst := c.slots[s]
+	if inst == nil || !inst.pending || inst.phase != phase {
+		return
+	}
+	inst.pending = false
+	c.log[s] = v
+	if c.current == nil || c.current.slot != s {
+		return
+	}
+	if v == c.current.cmd {
+		result := SubmitResult{
+			Client:   c.id,
+			Cmd:      v,
+			Slot:     s,
+			Start:    c.current.start,
+			End:      c.node.Now(),
+			Attempts: c.current.attempts,
+			Switches: c.current.switches,
+		}
+		c.cluster.results = append(c.cluster.results, result)
+		if c.cluster.onLand != nil {
+			c.cluster.onLand(result)
+		}
+		c.startNext()
+		return
+	}
+	// Lost the slot to another command; try the next one.
+	c.attempt(c.firstUnknownSlot())
+}
+
+func (c *client) switchTo(s, phase int, sv trace.Value) {
+	inst := c.slots[s]
+	if inst == nil || !inst.pending || inst.phase != phase {
+		return
+	}
+	if phase+1 >= len(inst.comps) {
+		panic("smr: last phase aborted")
+	}
+	if c.current != nil && c.current.slot == s {
+		c.current.switches++
+	}
+	inst.phase++
+	inst.comps[inst.phase].SwitchIn(c.current.cmd, sv)
+}
+
+func (c *client) OnMessage(n *msgnet.Node, from msgnet.ProcID, payload any) {
+	env, ok := payload.(slotEnvelope)
+	if !ok {
+		return
+	}
+	inst := c.slots[env.slot]
+	if inst == nil || env.phase < 0 || env.phase >= len(inst.comps) {
+		return
+	}
+	inst.comps[env.phase].OnMessage(from, env.payload)
+}
+
+func (c *client) OnTimer(n *msgnet.Node, name string) {
+	slot, phase, rest, ok := splitSlotTimer(name)
+	if !ok {
+		return
+	}
+	inst := c.slots[slot]
+	if inst == nil || phase < 0 || phase >= len(inst.comps) {
+		return
+	}
+	inst.comps[phase].OnTimer(rest)
+}
+
+// slotClientEnv adapts a client to one slot and phase.
+type slotClientEnv struct {
+	client *client
+	slot   int
+	phase  int
+}
+
+func (e *slotClientEnv) Self() msgnet.ProcID      { return e.client.id }
+func (e *slotClientEnv) ClientIndex() int         { return e.client.index }
+func (e *slotClientEnv) Clients() []msgnet.ProcID { return e.client.cluster.clients }
+func (e *slotClientEnv) Servers() []msgnet.ProcID { return e.client.cluster.servers }
+func (e *slotClientEnv) Now() msgnet.Time         { return e.client.node.Now() }
+func (e *slotClientEnv) Decide(v trace.Value)     { e.client.decide(e.slot, e.phase, v) }
+func (e *slotClientEnv) SwitchTo(sv trace.Value)  { e.client.switchTo(e.slot, e.phase, sv) }
+func (e *slotClientEnv) Send(to msgnet.ProcID, p any) {
+	e.client.node.Send(to, slotEnvelope{slot: e.slot, phase: e.phase, payload: p})
+}
+func (e *slotClientEnv) Broadcast(p any) {
+	for _, s := range e.client.cluster.servers {
+		e.Send(s, p)
+	}
+}
+func (e *slotClientEnv) SetTimer(name string, d msgnet.Time) {
+	e.client.node.SetTimer(slotTimerName(e.slot, e.phase, name), d)
+}
+func (e *slotClientEnv) CancelTimer(name string) {
+	e.client.node.CancelTimer(slotTimerName(e.slot, e.phase, name))
+}
+
+// replica is the SMR server node: per-slot phase server components,
+// created lazily.
+type replica struct {
+	cluster *Cluster
+	id      msgnet.ProcID
+	node    *msgnet.Node
+	slots   map[int][]mpcons.ServerPhase
+}
+
+func (r *replica) Init(n *msgnet.Node) { r.node = n }
+
+func (r *replica) components(slot int) []mpcons.ServerPhase {
+	if comps, ok := r.slots[slot]; ok {
+		return comps
+	}
+	comps := make([]mpcons.ServerPhase, len(r.cluster.protos))
+	for k, p := range r.cluster.protos {
+		comps[k] = p.NewServer(&slotServerEnv{replica: r, slot: slot, phase: k})
+	}
+	r.slots[slot] = comps
+	return comps
+}
+
+func (r *replica) OnMessage(n *msgnet.Node, from msgnet.ProcID, payload any) {
+	env, ok := payload.(slotEnvelope)
+	if !ok {
+		return
+	}
+	comps := r.components(env.slot)
+	if env.phase < 0 || env.phase >= len(comps) {
+		return
+	}
+	comps[env.phase].OnMessage(from, env.payload)
+}
+
+func (r *replica) OnTimer(n *msgnet.Node, name string) {
+	slot, phase, rest, ok := splitSlotTimer(name)
+	if !ok {
+		return
+	}
+	comps := r.components(slot)
+	if phase < 0 || phase >= len(comps) {
+		return
+	}
+	comps[phase].OnTimer(rest)
+}
+
+type slotServerEnv struct {
+	replica *replica
+	slot    int
+	phase   int
+}
+
+func (e *slotServerEnv) Self() msgnet.ProcID      { return e.replica.id }
+func (e *slotServerEnv) Clients() []msgnet.ProcID { return e.replica.cluster.clients }
+func (e *slotServerEnv) Servers() []msgnet.ProcID { return e.replica.cluster.servers }
+func (e *slotServerEnv) Now() msgnet.Time         { return e.replica.node.Now() }
+func (e *slotServerEnv) Send(to msgnet.ProcID, p any) {
+	e.replica.node.Send(to, slotEnvelope{slot: e.slot, phase: e.phase, payload: p})
+}
+func (e *slotServerEnv) SetTimer(name string, d msgnet.Time) {
+	e.replica.node.SetTimer(slotTimerName(e.slot, e.phase, name), d)
+}
+
+func slotTimerName(slot, phase int, name string) string {
+	return "s" + strconv.Itoa(slot) + "p" + strconv.Itoa(phase) + ":" + name
+}
+
+func splitSlotTimer(full string) (slot, phase int, name string, ok bool) {
+	if !strings.HasPrefix(full, "s") {
+		return 0, 0, "", false
+	}
+	rest := full[1:]
+	p := strings.IndexByte(rest, 'p')
+	colon := strings.IndexByte(rest, ':')
+	if p < 0 || colon < 0 || p > colon {
+		return 0, 0, "", false
+	}
+	slot, err1 := strconv.Atoi(rest[:p])
+	phase, err2 := strconv.Atoi(rest[p+1 : colon])
+	if err1 != nil || err2 != nil {
+		return 0, 0, "", false
+	}
+	return slot, phase, rest[colon+1:], true
+}

@@ -1,0 +1,116 @@
+// Package trace implements the trace model of Section 3 of the paper
+// "Speculative Linearizability" (Guerraoui, Kuncak, Losa; PLDI 2012):
+// actions, traces, histories, multisets, signatures, projections, client
+// sub-traces and the two well-formedness conditions (the plain one of §4.5
+// and the phase-indexed one of §5.4).
+//
+// Conventions. The paper indexes sequences from 1; this package uses Go's
+// native 0-based indexing and documents each definition's index shift where
+// it matters. Inputs, outputs and switch values are opaque comparable
+// strings (see DESIGN.md, decision 1); abstract data types interpret them.
+package trace
+
+import "fmt"
+
+// ClientID identifies a client process.
+type ClientID string
+
+// Value is an opaque input, output or switch value. ADTs (package adt)
+// give values meaning; the trace layer only compares them for equality.
+type Value = string
+
+// Kind discriminates the three kinds of actions of §5.1.
+type Kind uint8
+
+const (
+	// Inv is an invocation action inv(c, o, in).
+	Inv Kind = iota
+	// Res is a response action res(c, o, in, out).
+	Res
+	// Swi is a switch action swi(c, o, in, v). Relative to a speculation
+	// phase (m, n), a switch with Phase == m is an init action and a
+	// switch with Phase == n is an abort action.
+	Swi
+)
+
+// String returns the lowercase name of the action kind.
+func (k Kind) String() string {
+	switch k {
+	case Inv:
+		return "inv"
+	case Res:
+		return "res"
+	case Swi:
+		return "swi"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Action is an event at the interface between a system and its environment
+// (§3). An action occurs at a point in time and has no duration.
+//
+// The Phase field carries the natural-number parameter written as the second
+// argument of inv/res/swi in the paper. For objects without speculation
+// phases (plain linearizability, §4) the field is conventionally 1.
+type Action struct {
+	Kind   Kind
+	Client ClientID
+	Phase  int
+	// Input is the ADT input in ∈ I_T carried by every action kind:
+	// the invoked input for Inv, the input being responded to for Res,
+	// and the pending input transferred by a switch for Swi.
+	Input Value
+	// Output is the ADT output out ∈ O_T; meaningful only for Res.
+	Output Value
+	// SwitchValue is the initialization value v ∈ Init; meaningful only
+	// for Swi.
+	SwitchValue Value
+}
+
+// Invoke returns the invocation action inv(c, phase, in).
+func Invoke(c ClientID, phase int, in Value) Action {
+	return Action{Kind: Inv, Client: c, Phase: phase, Input: in}
+}
+
+// Response returns the response action res(c, phase, in, out).
+func Response(c ClientID, phase int, in, out Value) Action {
+	return Action{Kind: Res, Client: c, Phase: phase, Input: in, Output: out}
+}
+
+// Switch returns the switch action swi(c, phase, in, v): client c transfers
+// its pending input in to phase number `phase`, passing switch value v.
+func Switch(c ClientID, phase int, in, v Value) Action {
+	return Action{Kind: Swi, Client: c, Phase: phase, Input: in, SwitchValue: v}
+}
+
+// String renders the action in the paper's notation.
+func (a Action) String() string {
+	switch a.Kind {
+	case Inv:
+		return fmt.Sprintf("inv(%s,%d,%s)", a.Client, a.Phase, a.Input)
+	case Res:
+		return fmt.Sprintf("res(%s,%d,%s,%s)", a.Client, a.Phase, a.Input, a.Output)
+	case Swi:
+		return fmt.Sprintf("swi(%s,%d,%s,%s)", a.Client, a.Phase, a.Input, a.SwitchValue)
+	default:
+		return fmt.Sprintf("action(%v)", a.Kind)
+	}
+}
+
+// IsInv reports whether the action is an invocation.
+func (a Action) IsInv() bool { return a.Kind == Inv }
+
+// IsRes reports whether the action is a response.
+func (a Action) IsRes() bool { return a.Kind == Res }
+
+// IsSwi reports whether the action is a switch.
+func (a Action) IsSwi() bool { return a.Kind == Swi }
+
+// IsInit reports whether the action is an init action of speculation phase
+// (m, n), i.e. a switch whose phase parameter equals m (Definition 23).
+func (a Action) IsInit(m int) bool { return a.Kind == Swi && a.Phase == m }
+
+// IsAbort reports whether the action is an abort action of speculation
+// phase (m, n), i.e. a switch whose phase parameter equals n (Definition 24).
+func (a Action) IsAbort(n int) bool { return a.Kind == Swi && a.Phase == n }

@@ -1,0 +1,129 @@
+package trace
+
+import "strings"
+
+// History is a sequence of ADT inputs (§4.4: "we call sequences of inputs
+// histories"). Histories represent sequential executions: for deterministic
+// objects the response to the last input of a history is determined by the
+// whole history, so a sequential execution is identified with its input
+// sequence.
+type History []Value
+
+// Clone returns an independent copy of h.
+func (h History) Clone() History {
+	if h == nil {
+		return nil
+	}
+	c := make(History, len(h))
+	copy(c, h)
+	return c
+}
+
+// Equal reports whether h and g are the same sequence.
+func (h History) Equal(g History) bool {
+	if len(h) != len(g) {
+		return false
+	}
+	for i := range h {
+		if h[i] != g[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPrefixOf reports whether h is a (not necessarily strict) prefix of g
+// (§3: h is a prefix of g iff g = h ::: h” for some h”).
+func (h History) IsPrefixOf(g History) bool {
+	if len(h) > len(g) {
+		return false
+	}
+	for i := range h {
+		if h[i] != g[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsStrictPrefixOf reports whether h is a strict prefix of g (§3: the
+// residual h” is non-empty).
+func (h History) IsStrictPrefixOf(g History) bool {
+	return len(h) < len(g) && h.IsPrefixOf(g)
+}
+
+// Append returns h :: v, a fresh history extending h with input v. The
+// receiver is not modified and does not share storage with the result.
+func (h History) Append(v Value) History {
+	c := make(History, len(h)+1)
+	copy(c, h)
+	c[len(h)] = v
+	return c
+}
+
+// Concat returns h ::: g, the concatenation of h and g, as a fresh history.
+func (h History) Concat(g History) History {
+	c := make(History, 0, len(h)+len(g))
+	c = append(c, h...)
+	c = append(c, g...)
+	return c
+}
+
+// Elems returns the multiset of inputs occurring in h (the elems function
+// of §3).
+func (h History) Elems() Multiset {
+	m := Multiset{}
+	for _, v := range h {
+		m.Add(v, 1)
+	}
+	return m
+}
+
+// Contains reports whether v occurs in h (the "e ∈ s" notation of §3).
+func (h History) Contains(v Value) bool {
+	for _, x := range h {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Last returns the final input of h. It panics if h is empty; callers
+// guard with len(h) > 0.
+func (h History) Last() Value { return h[len(h)-1] }
+
+// String renders the history as [a b c].
+func (h History) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, v := range h {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(v)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// LCP returns the longest common prefix of a set of histories (§3). By the
+// paper's convention (after Definition 31) the longest common prefix of an
+// empty set is the empty history.
+func LCP(hs []History) History {
+	if len(hs) == 0 {
+		return History{}
+	}
+	p := hs[0]
+	for _, h := range hs[1:] {
+		n := 0
+		for n < len(p) && n < len(h) && p[n] == h[n] {
+			n++
+		}
+		p = p[:n]
+		if len(p) == 0 {
+			break
+		}
+	}
+	return p.Clone()
+}

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistoryPrefix(t *testing.T) {
+	tests := []struct {
+		name         string
+		h, g         History
+		prefix       bool
+		strictPrefix bool
+	}{
+		{"empty prefix of empty", History{}, History{}, true, false},
+		{"empty prefix of any", History{}, History{"a"}, true, true},
+		{"equal histories", History{"a", "b"}, History{"a", "b"}, true, false},
+		{"proper prefix", History{"a"}, History{"a", "b"}, true, true},
+		{"mismatch", History{"b"}, History{"a", "b"}, false, false},
+		{"longer than target", History{"a", "b", "c"}, History{"a", "b"}, false, false},
+		{"mid mismatch", History{"a", "x"}, History{"a", "b", "c"}, false, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.h.IsPrefixOf(tt.g); got != tt.prefix {
+				t.Errorf("IsPrefixOf = %v, want %v", got, tt.prefix)
+			}
+			if got := tt.h.IsStrictPrefixOf(tt.g); got != tt.strictPrefix {
+				t.Errorf("IsStrictPrefixOf = %v, want %v", got, tt.strictPrefix)
+			}
+		})
+	}
+}
+
+func TestHistoryAppendDoesNotAlias(t *testing.T) {
+	h := make(History, 0, 4)
+	h = append(h, "a")
+	g1 := h.Append("b")
+	g2 := h.Append("c")
+	if g1[1] != "b" || g2[1] != "c" {
+		t.Fatalf("Append aliased storage: g1=%v g2=%v", g1, g2)
+	}
+}
+
+func TestHistoryConcat(t *testing.T) {
+	h := History{"a", "b"}
+	g := History{"c"}
+	got := h.Concat(g)
+	if !got.Equal(History{"a", "b", "c"}) {
+		t.Fatalf("Concat = %v", got)
+	}
+	if !h.Equal(History{"a", "b"}) || !g.Equal(History{"c"}) {
+		t.Fatal("Concat modified its operands")
+	}
+}
+
+func TestLCP(t *testing.T) {
+	tests := []struct {
+		name string
+		hs   []History
+		want History
+	}{
+		{"empty set", nil, History{}},
+		{"singleton", []History{{"a", "b"}}, History{"a", "b"}},
+		{"common prefix", []History{{"a", "b", "c"}, {"a", "b", "d"}}, History{"a", "b"}},
+		{"disjoint", []History{{"a"}, {"b"}}, History{}},
+		{"one empty", []History{{}, {"a"}}, History{}},
+		{"nested", []History{{"a"}, {"a", "b"}, {"a", "b", "c"}}, History{"a"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := LCP(tt.hs); !got.Equal(tt.want) {
+				t.Errorf("LCP(%v) = %v, want %v", tt.hs, got, tt.want)
+			}
+		})
+	}
+}
+
+func randomHistory(r *rand.Rand, n int) History {
+	h := make(History, r.Intn(n))
+	letters := []Value{"a", "b", "c"}
+	for i := range h {
+		h[i] = letters[r.Intn(len(letters))]
+	}
+	return h
+}
+
+// The LCP of a set is a prefix of every member and cannot be extended.
+func TestLCPProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	prop := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		k := 1 + rr.Intn(4)
+		hs := make([]History, k)
+		for i := range hs {
+			hs[i] = randomHistory(rr, 6)
+		}
+		p := LCP(hs)
+		for _, h := range hs {
+			if !p.IsPrefixOf(h) {
+				return false
+			}
+		}
+		// Maximality: p extended by any value is not a common prefix.
+		if len(hs) > 0 {
+			ext := p.Append("a")
+			allPrefix := true
+			for _, h := range hs {
+				if !ext.IsPrefixOf(h) {
+					allPrefix = false
+				}
+			}
+			// If "a"-extension is a common prefix, LCP was not maximal —
+			// unless the true next common element is "a" for all, which
+			// contradicts maximality of LCP. So allPrefix must be false
+			// except when every history literally continues with "a",
+			// which LCP would have captured.
+			if allPrefix {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: r}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistoryElems(t *testing.T) {
+	h := History{"a", "b", "a"}
+	m := h.Elems()
+	if m.Count("a") != 2 || m.Count("b") != 1 || m.Count("c") != 0 {
+		t.Fatalf("Elems = %v", m)
+	}
+}

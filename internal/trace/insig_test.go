@@ -1,0 +1,51 @@
+package trace
+
+import "testing"
+
+// Direct tests of the signature-membership reading documented on InSig
+// (operation actions span [m..n-1], switch actions [m..n]).
+func TestInSig(t *testing.T) {
+	tests := []struct {
+		a    Action
+		m, n int
+		want bool
+	}{
+		{Invoke("c", 1, "x"), 1, 2, true},
+		{Invoke("c", 2, "x"), 1, 2, false}, // op at the upper bound is the next phase's
+		{Invoke("c", 2, "x"), 1, 3, true},
+		{Response("c", 1, "x", "y"), 1, 2, true},
+		{Response("c", 2, "x", "y"), 2, 3, true},
+		{Response("c", 3, "x", "y"), 2, 3, false},
+		{Switch("c", 1, "x", "v"), 1, 2, true},
+		{Switch("c", 2, "x", "v"), 1, 2, true},  // abort bound included
+		{Switch("c", 2, "x", "v"), 2, 3, true},  // init bound included
+		{Switch("c", 3, "x", "v"), 1, 2, false}, // beyond the range
+		{Switch("c", 2, "x", "v"), 1, 3, true},  // interior switch stays in acts
+	}
+	for _, tt := range tests {
+		if got := InSig(tt.a, tt.m, tt.n); got != tt.want {
+			t.Errorf("InSig(%v, %d, %d) = %v, want %v", tt.a, tt.m, tt.n, got, tt.want)
+		}
+	}
+}
+
+// Appendix C's union equation under the consistent reading:
+// acts(sig(m,n)) ∪ acts(sig(n,o)) = acts(sig(m,o)).
+func TestSignatureUnionEquation(t *testing.T) {
+	m, n, o := 1, 2, 3
+	actions := []Action{}
+	for phase := 0; phase <= 4; phase++ {
+		actions = append(actions,
+			Invoke("c", phase, "x"),
+			Response("c", phase, "x", "y"),
+			Switch("c", phase, "x", "v"),
+		)
+	}
+	for _, a := range actions {
+		union := InSig(a, m, n) || InSig(a, n, o)
+		whole := InSig(a, m, o)
+		if union != whole {
+			t.Errorf("union equation fails for %v: (m,n)∪(n,o)=%v, (m,o)=%v", a, union, whole)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonAction is the on-disk representation of an action used by the CLI
+// tools. Example:
+//
+//	{"kind":"inv","client":"c1","phase":1,"input":"p:a"}
+//	{"kind":"res","client":"c1","phase":1,"input":"p:a","output":"d:a"}
+//	{"kind":"swi","client":"c1","phase":2,"input":"p:a","value":"a"}
+type jsonAction struct {
+	Kind   string   `json:"kind"`
+	Client ClientID `json:"client"`
+	Phase  int      `json:"phase"`
+	Input  Value    `json:"input"`
+	Output Value    `json:"output,omitempty"`
+	Value  Value    `json:"value,omitempty"`
+}
+
+// MarshalJSON encodes the action in the CLI wire format.
+func (a Action) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonAction{
+		Kind:   a.Kind.String(),
+		Client: a.Client,
+		Phase:  a.Phase,
+		Input:  a.Input,
+		Output: a.Output,
+		Value:  a.SwitchValue,
+	})
+}
+
+// UnmarshalJSON decodes the CLI wire format.
+func (a *Action) UnmarshalJSON(b []byte) error {
+	var j jsonAction
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	switch j.Kind {
+	case "inv":
+		a.Kind = Inv
+	case "res":
+		a.Kind = Res
+	case "swi":
+		a.Kind = Swi
+	default:
+		return fmt.Errorf("trace: unknown action kind %q", j.Kind)
+	}
+	a.Client = j.Client
+	a.Phase = j.Phase
+	a.Input = j.Input
+	a.Output = j.Output
+	a.SwitchValue = j.Value
+	return nil
+}
+
+// EncodeJSON renders the trace as a JSON array of actions.
+func (t Trace) EncodeJSON() ([]byte, error) {
+	return json.MarshalIndent(t, "", "  ")
+}
+
+// DecodeJSON parses a JSON array of actions into a trace.
+func DecodeJSON(b []byte) (Trace, error) {
+	var t Trace
+	if err := json.Unmarshal(b, &t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

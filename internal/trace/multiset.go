@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"sort"
+	"strings"
+)
+
+// Multiset represents a multiset of values by its multiplicity function
+// (§3). The zero value is the empty multiset; entries with multiplicity
+// zero are never stored.
+type Multiset map[Value]int
+
+// NewMultiset returns a multiset containing each argument once.
+func NewMultiset(vs ...Value) Multiset {
+	m := Multiset{}
+	for _, v := range vs {
+		m.Add(v, 1)
+	}
+	return m
+}
+
+// Count returns the multiplicity of v in m.
+func (m Multiset) Count(v Value) int { return m[v] }
+
+// Add increases the multiplicity of v by n (n may be negative; the entry is
+// removed when it reaches zero and it panics if it would become negative,
+// which would indicate a bookkeeping bug in the caller).
+func (m Multiset) Add(v Value, n int) {
+	c := m[v] + n
+	switch {
+	case c < 0:
+		panic("trace: multiset multiplicity became negative")
+	case c == 0:
+		delete(m, v)
+	default:
+		m[v] = c
+	}
+}
+
+// Clone returns an independent copy of m.
+func (m Multiset) Clone() Multiset {
+	c := make(Multiset, len(m))
+	for v, n := range m {
+		c[v] = n
+	}
+	return c
+}
+
+// Union returns m ∪ o, the pointwise maximum of multiplicities (§3).
+func (m Multiset) Union(o Multiset) Multiset {
+	c := m.Clone()
+	for v, n := range o {
+		if n > c[v] {
+			c[v] = n
+		}
+	}
+	return c
+}
+
+// Sum returns m ⊎ o, the pointwise sum of multiplicities (§3).
+func (m Multiset) Sum(o Multiset) Multiset {
+	c := m.Clone()
+	for v, n := range o {
+		c.Add(v, n)
+	}
+	return c
+}
+
+// SubsetOf reports m ⊆ o: every multiplicity in m is at most that in o (§3).
+func (m Multiset) SubsetOf(o Multiset) bool {
+	for v, n := range m {
+		if n > o[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether m and o have identical multiplicities.
+func (m Multiset) Equal(o Multiset) bool {
+	return m.SubsetOf(o) && o.SubsetOf(m)
+}
+
+// Size returns the total number of occurrences in m.
+func (m Multiset) Size() int {
+	t := 0
+	for _, n := range m {
+		t += n
+	}
+	return t
+}
+
+// Key returns a canonical string for m, usable as a memoization map key.
+func (m Multiset) Key() string {
+	vs := make([]string, 0, len(m))
+	for v := range m {
+		vs = append(vs, v)
+	}
+	sort.Strings(vs)
+	var b strings.Builder
+	for _, v := range vs {
+		b.WriteString(v)
+		b.WriteByte('\x01')
+		for i := 0; i < m[v]; i++ {
+			b.WriteByte('#')
+		}
+		b.WriteByte('\x02')
+	}
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMultisetBasics(t *testing.T) {
+	m := NewMultiset("a", "b", "a")
+	if m.Count("a") != 2 || m.Count("b") != 1 {
+		t.Fatalf("counts wrong: %v", m)
+	}
+	if m.Size() != 3 {
+		t.Fatalf("Size = %d", m.Size())
+	}
+	m.Add("a", -2)
+	if _, ok := m["a"]; ok {
+		t.Fatal("zero-multiplicity entry retained")
+	}
+}
+
+func TestMultisetAddNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative multiplicity")
+		}
+	}()
+	NewMultiset("a").Add("a", -2)
+}
+
+func TestMultisetUnionSum(t *testing.T) {
+	m := NewMultiset("a", "a", "b")
+	o := NewMultiset("a", "c")
+	u := m.Union(o)
+	if u.Count("a") != 2 || u.Count("b") != 1 || u.Count("c") != 1 {
+		t.Fatalf("Union = %v", u)
+	}
+	s := m.Sum(o)
+	if s.Count("a") != 3 || s.Count("b") != 1 || s.Count("c") != 1 {
+		t.Fatalf("Sum = %v", s)
+	}
+	// Operands unchanged.
+	if m.Count("a") != 2 || o.Count("a") != 1 {
+		t.Fatal("Union/Sum modified operands")
+	}
+}
+
+func TestMultisetSubset(t *testing.T) {
+	m := NewMultiset("a")
+	o := NewMultiset("a", "a", "b")
+	if !m.SubsetOf(o) || o.SubsetOf(m) {
+		t.Fatal("SubsetOf wrong")
+	}
+	if !(Multiset{}).SubsetOf(m) {
+		t.Fatal("empty multiset must be subset of everything")
+	}
+}
+
+func randomMultiset(r *rand.Rand) Multiset {
+	m := Multiset{}
+	letters := []Value{"a", "b", "c", "d"}
+	for i, n := 0, r.Intn(6); i < n; i++ {
+		m.Add(letters[r.Intn(len(letters))], 1+r.Intn(3))
+	}
+	return m
+}
+
+// Algebraic laws of §3: union is the pointwise max (idempotent, commutative,
+// absorbs subsets), sum is pointwise plus, and both interact with ⊆ as
+// expected.
+func TestMultisetLaws(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomMultiset(r), randomMultiset(r)
+		if !a.Union(a).Equal(a) {
+			return false // idempotence
+		}
+		if !a.Union(b).Equal(b.Union(a)) {
+			return false // commutativity
+		}
+		if !a.SubsetOf(a.Union(b)) || !b.SubsetOf(a.Union(b)) {
+			return false // upper bound
+		}
+		if !a.SubsetOf(a.Sum(b)) {
+			return false // sum dominates
+		}
+		if !a.Union(b).SubsetOf(a.Sum(b)) {
+			return false // max ≤ plus
+		}
+		if a.Sum(b).Size() != a.Size()+b.Size() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultisetKeyCanonical(t *testing.T) {
+	a := NewMultiset("x", "y", "x")
+	b := NewMultiset("y", "x", "x")
+	if a.Key() != b.Key() {
+		t.Fatal("Key not canonical for equal multisets")
+	}
+	c := NewMultiset("x", "y")
+	if a.Key() == c.Key() {
+		t.Fatal("Key collides for different multisets")
+	}
+	// Values containing the separator-ish characters must not collide.
+	d := NewMultiset("x\x01", "y")
+	e := NewMultiset("x", "\x01y")
+	if d.Key() == e.Key() {
+		t.Fatal("Key collides on adversarial values")
+	}
+}

@@ -1,0 +1,291 @@
+package trace
+
+import "strings"
+
+// Trace is a finite sequence of actions observed at the interface of a
+// concurrent object (§3). This package deals with safety properties only,
+// so all traces are finite.
+type Trace []Action
+
+// Clone returns an independent copy of t.
+func (t Trace) Clone() Trace {
+	if t == nil {
+		return nil
+	}
+	c := make(Trace, len(t))
+	copy(c, t)
+	return c
+}
+
+// Project returns proj(t, A): the subsequence of t whose actions satisfy
+// keep (§3, Definition 2 uses projection onto a set of actions; an action
+// predicate represents the set).
+func (t Trace) Project(keep func(Action) bool) Trace {
+	var p Trace
+	for _, a := range t {
+		if keep(a) {
+			p = append(p, a)
+		}
+	}
+	return p
+}
+
+// InputsBefore returns inputs(t, i): the sequence of all inputs submitted
+// by invocation actions strictly before index i (Definition 9, shifted to
+// 0-based indexing: actions t[0..i-1] are considered).
+//
+// Only invocation actions contribute; pending inputs carried by switch
+// actions are accounted for separately through the initially-valid-inputs
+// multiset of Definition 25 (see package slin).
+func (t Trace) InputsBefore(i int) History {
+	var h History
+	for j := 0; j < i && j < len(t); j++ {
+		if t[j].Kind == Inv {
+			h = append(h, t[j].Input)
+		}
+	}
+	return h
+}
+
+// InputsBeforeMultiset returns elems(inputs(t, i)).
+func (t Trace) InputsBeforeMultiset(i int) Multiset {
+	m := Multiset{}
+	for j := 0; j < i && j < len(t); j++ {
+		if t[j].Kind == Inv {
+			m.Add(t[j].Input, 1)
+		}
+	}
+	return m
+}
+
+// Clients returns the set of clients with at least one action in t, in
+// first-appearance order.
+func (t Trace) Clients() []ClientID {
+	seen := map[ClientID]bool{}
+	var cs []ClientID
+	for _, a := range t {
+		if !seen[a.Client] {
+			seen[a.Client] = true
+			cs = append(cs, a.Client)
+		}
+	}
+	return cs
+}
+
+// ClientSub returns the client sub-trace sub(t, c) for the plain signature
+// sig_T (Definition 13): the projection of t onto the invocation and
+// response actions of client c. Switch actions are excluded, matching
+// Act_T(c) of §4.5.
+func (t Trace) ClientSub(c ClientID) Trace {
+	return t.Project(func(a Action) bool {
+		return a.Client == c && a.Kind != Swi
+	})
+}
+
+// InSig reports whether action a belongs to acts(sig_T(m, n, Init)) of
+// Definition 16.
+//
+// Note on numbering: the paper's Definition 16 says all three action kinds
+// range over o ∈ [m..n], but that literal reading contradicts both the §5.1
+// example trace and Definition 34's "an abort action is the last element"
+// (the response a client obtains in the next phase carries number n and
+// would re-enter the (m,n) sub-trace after its abort). The consistent
+// reading — which also makes Appendix C's equation
+// acts(sig(m,n)) ∪ acts(sig(n,o)) = acts(sig(m,o)) hold — is that a
+// speculation phase (m,n) comprises the operation actions (inv/res)
+// numbered o ∈ [m..n-1] and the switch actions numbered o ∈ [m..n]:
+// swi(·,m,·,·) are its init actions, swi(·,n,·,·) its abort actions, and
+// interior switch numbers occur only inside compositions. We implement that
+// reading throughout.
+func InSig(a Action, m, n int) bool {
+	switch a.Kind {
+	case Inv, Res:
+		return a.Phase >= m && a.Phase < n
+	case Swi:
+		return a.Phase >= m && a.Phase <= n
+	default:
+		return false
+	}
+}
+
+// ProjectSig returns proj(t, acts(sig_T(m, n, Init))): the subsequence of
+// actions belonging to the (m,n) phase signature. This is the projection
+// used by the intra-object composition theorem (Theorem 3 / Appendix C).
+func (t Trace) ProjectSig(m, n int) Trace {
+	return t.Project(func(a Action) bool { return InSig(a, m, n) })
+}
+
+// PhaseClientSub returns the (m,n)-client-sub-trace sub(t, m, n, c) of
+// Definition 33: operation actions of client c belonging to sig(m,n), plus
+// switch actions of client c whose phase parameter is exactly m (init) or
+// n (abort). Interior switch actions are projected away (the note after
+// Definition 33).
+func (t Trace) PhaseClientSub(m, n int, c ClientID) Trace {
+	return t.Project(func(a Action) bool {
+		if a.Client != c {
+			return false
+		}
+		switch a.Kind {
+		case Inv, Res:
+			return a.Phase >= m && a.Phase < n
+		case Swi:
+			return a.Phase == m || a.Phase == n
+		default:
+			return false
+		}
+	})
+}
+
+// String renders the trace as a bracketed action list.
+func (t Trace) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, a := range t {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.String())
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// WellFormed reports whether t is well-formed in the plain sense of
+// Definitions 14–15: every client sub-trace alternates invocations and
+// matching responses, starting with an invocation. Invocations with no
+// response (pending invocations) may terminate a sub-trace.
+func (t Trace) WellFormed() bool {
+	type st struct {
+		pending bool
+		input   Value
+	}
+	states := map[ClientID]*st{}
+	for _, a := range t {
+		s := states[a.Client]
+		if s == nil {
+			s = &st{}
+			states[a.Client] = s
+		}
+		switch a.Kind {
+		case Inv:
+			if s.pending {
+				return false // client invoked while an invocation is pending
+			}
+			s.pending, s.input = true, a.Input
+		case Res:
+			if !s.pending || s.input != a.Input {
+				return false // response without matching pending invocation
+			}
+			s.pending = false
+		case Swi:
+			return false // switch actions do not belong to sig_T
+		}
+	}
+	return true
+}
+
+// Complete reports whether t is a complete trace (Definition 39): it is
+// well-formed and has no pending invocations.
+func (t Trace) Complete() bool {
+	if !t.WellFormed() {
+		return false
+	}
+	pending := map[ClientID]bool{}
+	for _, a := range t {
+		switch a.Kind {
+		case Inv:
+			pending[a.Client] = true
+		case Res:
+			pending[a.Client] = false
+		}
+	}
+	for _, p := range pending {
+		if p {
+			return false
+		}
+	}
+	return true
+}
+
+// phaseClientState is the per-client state machine implementing
+// Definition 34 (well-formed (m,n)-client sub-trace).
+type phaseClientState uint8
+
+const (
+	phaseIdle    phaseClientState = iota // not yet entered the phase
+	phasePending                         // waiting for a response or abort
+	phaseReady                           // received a response, may invoke again
+	phaseDone                            // aborted out of the phase
+)
+
+// PhaseWellFormed reports whether t is (m,n)-well-formed (Definition 35):
+// every (m,n)-client sub-trace is well-formed per Definition 34. Concretely,
+// per client:
+//
+//   - if m == 1 the client enters by an invocation and no init action
+//     (switch with phase m) may occur;
+//   - if m != 1 the client enters by exactly one init action, which must be
+//     its first action;
+//   - every invocation or init action is followed (within the sub-trace) by
+//     a response or an abort action carrying the same input;
+//   - an abort action (switch with phase n) is the last action of the
+//     sub-trace.
+func (t Trace) PhaseWellFormed(m, n int) bool {
+	if m >= n {
+		return false
+	}
+	for _, c := range t.Clients() {
+		if !phaseSubWellFormed(t.PhaseClientSub(m, n, c), m, n) {
+			return false
+		}
+	}
+	return true
+}
+
+func phaseSubWellFormed(tc Trace, m, n int) bool {
+	state := phaseIdle
+	var pendingInput Value
+	for _, a := range tc {
+		switch {
+		case a.Kind == Inv:
+			// An invocation is allowed when the client has no pending
+			// operation and has already entered the phase (or enters by
+			// invoking, which requires m == 1).
+			switch state {
+			case phaseIdle:
+				if m != 1 {
+					return false
+				}
+			case phaseReady:
+				// ok: next operation
+			default:
+				return false
+			}
+			state, pendingInput = phasePending, a.Input
+		case a.IsInit(m):
+			// Init actions exist only for m != 1 and must come first.
+			if m == 1 || state != phaseIdle {
+				return false
+			}
+			state, pendingInput = phasePending, a.Input
+		case a.Kind == Res:
+			if state != phasePending || a.Input != pendingInput {
+				return false
+			}
+			state = phaseReady
+		case a.IsAbort(n):
+			if state != phasePending || a.Input != pendingInput {
+				return false
+			}
+			state = phaseDone
+		default:
+			// A switch with phase parameter other than m or n cannot occur
+			// in an (m,n)-client sub-trace by construction; seeing one means
+			// the caller passed an unprojected trace.
+			return false
+		}
+	}
+	// Any action after an abort is rejected by the state machine above
+	// (phaseDone accepts nothing), so "abort is last" holds on success.
+	return true
+}

@@ -1,0 +1,209 @@
+package trace
+
+import "testing"
+
+// The §5.1 example trace: client c1 invokes in1 on S1; c2 invokes in2 on
+// S1; c2 switches to S2 with value v; c1 returns out1 from S1; c2 returns
+// out2 from S2.
+func exampleTrace() Trace {
+	return Trace{
+		Invoke("c1", 1, "in1"),
+		Invoke("c2", 1, "in2"),
+		Switch("c2", 2, "in2", "v"),
+		Response("c1", 1, "in1", "out1"),
+		Response("c2", 2, "in2", "out2"),
+	}
+}
+
+func TestActionString(t *testing.T) {
+	tests := []struct {
+		a    Action
+		want string
+	}{
+		{Invoke("c", 1, "x"), "inv(c,1,x)"},
+		{Response("c", 2, "x", "y"), "res(c,2,x,y)"},
+		{Switch("c", 3, "x", "v"), "swi(c,3,x,v)"},
+	}
+	for _, tt := range tests {
+		if got := tt.a.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestProjectExample(t *testing.T) {
+	// proj([x, y, x', z, y', z, y, z, y], {x', y'}) = [x', y'] (§3).
+	mk := func(name string) Action { return Invoke(ClientID(name), 1, Value(name)) }
+	tr := Trace{mk("x"), mk("y"), mk("x'"), mk("z"), mk("y'"), mk("z"), mk("y"), mk("z"), mk("y")}
+	got := tr.Project(func(a Action) bool { return a.Input == "x'" || a.Input == "y'" })
+	if len(got) != 2 || got[0].Input != "x'" || got[1].Input != "y'" {
+		t.Fatalf("projection = %v", got)
+	}
+}
+
+func TestInputsBefore(t *testing.T) {
+	tr := exampleTrace()
+	if h := tr.InputsBefore(0); len(h) != 0 {
+		t.Errorf("InputsBefore(0) = %v", h)
+	}
+	if h := tr.InputsBefore(2); !h.Equal(History{"in1", "in2"}) {
+		t.Errorf("InputsBefore(2) = %v", h)
+	}
+	// Switch actions do not contribute inputs.
+	if h := tr.InputsBefore(5); !h.Equal(History{"in1", "in2"}) {
+		t.Errorf("InputsBefore(5) = %v", h)
+	}
+	m := tr.InputsBeforeMultiset(5)
+	if m.Count("in1") != 1 || m.Count("in2") != 1 {
+		t.Errorf("InputsBeforeMultiset = %v", m)
+	}
+}
+
+func TestClientSub(t *testing.T) {
+	tr := exampleTrace()
+	c2 := tr.ClientSub("c2")
+	// The plain client sub-trace drops the switch action.
+	if len(c2) != 2 || !c2[0].IsInv() || !c2[1].IsRes() {
+		t.Fatalf("ClientSub(c2) = %v", c2)
+	}
+}
+
+func TestPhaseClientSub(t *testing.T) {
+	tr := exampleTrace()
+	// In signature (1,2) the switch of c2 (phase 2 = n) is an abort action,
+	// and it is c2's last action there: the phase-2 response belongs to the
+	// next phase's operation actions.
+	c2 := tr.PhaseClientSub(1, 2, "c2")
+	if len(c2) != 2 {
+		t.Fatalf("PhaseClientSub(1,2,c2) = %v", c2)
+	}
+	if !c2[1].IsAbort(2) {
+		t.Fatalf("expected abort action, got %v", c2[1])
+	}
+	// In signature (2,3) the same switch is an init action.
+	c2 = tr.PhaseClientSub(2, 3, "c2")
+	if len(c2) != 2 || !c2[0].IsInit(2) || !c2[1].IsRes() {
+		t.Fatalf("PhaseClientSub(2,3,c2) = %v", c2)
+	}
+	// c1 never switches: its (2,3)-sub-trace is empty.
+	if c1 := tr.PhaseClientSub(2, 3, "c1"); len(c1) != 0 {
+		t.Fatalf("PhaseClientSub(2,3,c1) = %v", c1)
+	}
+}
+
+func TestWellFormed(t *testing.T) {
+	tests := []struct {
+		name string
+		t    Trace
+		want bool
+	}{
+		{"empty", Trace{}, true},
+		{"single invocation (pending)", Trace{Invoke("c", 1, "x")}, true},
+		{"inv then res", Trace{Invoke("c", 1, "x"), Response("c", 1, "x", "y")}, true},
+		{"response first", Trace{Response("c", 1, "x", "y")}, false},
+		{"double invocation", Trace{Invoke("c", 1, "x"), Invoke("c", 1, "z")}, false},
+		{"mismatched response input", Trace{Invoke("c", 1, "x"), Response("c", 1, "z", "y")}, false},
+		{"double response", Trace{
+			Invoke("c", 1, "x"), Response("c", 1, "x", "y"), Response("c", 1, "x", "y"),
+		}, false},
+		{"interleaved clients", Trace{
+			Invoke("c1", 1, "x"), Invoke("c2", 1, "z"),
+			Response("c2", 1, "z", "y"), Response("c1", 1, "x", "y"),
+		}, true},
+		{"switch action not in sig_T", Trace{Invoke("c", 1, "x"), Switch("c", 2, "x", "v")}, false},
+		{"repeated ops same client", Trace{
+			Invoke("c", 1, "x"), Response("c", 1, "x", "y"),
+			Invoke("c", 1, "x"), Response("c", 1, "x", "y"),
+		}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.t.WellFormed(); got != tt.want {
+				t.Errorf("WellFormed = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestComplete(t *testing.T) {
+	if (Trace{Invoke("c", 1, "x")}).Complete() {
+		t.Fatal("pending invocation must not be complete")
+	}
+	tr := Trace{Invoke("c", 1, "x"), Response("c", 1, "x", "y")}
+	if !tr.Complete() {
+		t.Fatal("responded trace must be complete")
+	}
+}
+
+func TestPhaseWellFormed(t *testing.T) {
+	tests := []struct {
+		name string
+		t    Trace
+		m, n int
+		want bool
+	}{
+		{"example (1,2) projection", exampleTrace().ProjectSig(1, 2), 1, 2, true},
+		{"example (2,3) projection", exampleTrace().ProjectSig(2, 3), 2, 3, true},
+		{"example as (1,3) composite", exampleTrace(), 1, 3, true},
+		{"init required when m!=1", Trace{Invoke("c", 2, "x")}, 2, 3, false},
+		{"init enters phase", Trace{Switch("c", 2, "x", "v"), Response("c", 2, "x", "y")}, 2, 3, true},
+		{"double init", Trace{
+			Switch("c", 2, "x", "v"), Response("c", 2, "x", "y"), Switch("c", 2, "x", "v"),
+		}, 2, 3, false},
+		{"init forbidden when m==1", Trace{Switch("c", 1, "x", "v")}, 1, 2, false},
+		{"abort must be last", Trace{
+			Invoke("c", 1, "x"), Switch("c", 2, "x", "v"), Invoke("c", 1, "z"),
+		}, 1, 2, false},
+		{"abort without pending", Trace{
+			Invoke("c", 1, "x"), Response("c", 1, "x", "y"), Switch("c", 2, "x", "v"),
+		}, 1, 2, false},
+		{"abort input mismatch", Trace{Invoke("c", 1, "x"), Switch("c", 2, "z", "v")}, 1, 2, false},
+		{"ok abort", Trace{Invoke("c", 1, "x"), Switch("c", 2, "x", "v")}, 1, 2, true},
+		{"m >= n rejected", Trace{}, 2, 2, false},
+		{"pending inv ok", Trace{Invoke("c", 1, "x")}, 1, 2, true},
+		{"second op after response", Trace{
+			Invoke("c", 1, "x"), Response("c", 1, "x", "y"), Invoke("c", 1, "z"),
+		}, 1, 2, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.t.PhaseWellFormed(tt.m, tt.n); got != tt.want {
+				t.Errorf("PhaseWellFormed(%d,%d) = %v, want %v", tt.m, tt.n, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := exampleTrace()
+	b, err := tr.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeJSON(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(tr) {
+		t.Fatalf("round trip length %d != %d", len(got), len(tr))
+	}
+	for i := range tr {
+		if got[i] != tr[i] {
+			t.Errorf("action %d: %v != %v", i, got[i], tr[i])
+		}
+	}
+}
+
+func TestDecodeJSONBadKind(t *testing.T) {
+	if _, err := DecodeJSON([]byte(`[{"kind":"zap","client":"c","phase":1,"input":"x"}]`)); err == nil {
+		t.Fatal("expected error for unknown kind")
+	}
+}
+
+func TestClients(t *testing.T) {
+	tr := exampleTrace()
+	cs := tr.Clients()
+	if len(cs) != 2 || cs[0] != "c1" || cs[1] != "c2" {
+		t.Fatalf("Clients = %v", cs)
+	}
+}

@@ -1,0 +1,222 @@
+package uobj
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/lin"
+	"repro/internal/msgnet"
+	"repro/internal/smr"
+	"repro/internal/trace"
+)
+
+func ids(prefix string, n int) []msgnet.ProcID {
+	out := make([]msgnet.ProcID, n)
+	for i := range out {
+		out[i] = msgnet.ProcID(fmt.Sprintf("%s%d", prefix, i+1))
+	}
+	return out
+}
+
+func buildObj(t *testing.T, f adt.Folder, seed int64, jitter msgnet.Time, clients int) *Object {
+	t.Helper()
+	w := msgnet.New(msgnet.Config{Seed: seed, MinDelay: 1, MaxDelay: jitter})
+	o, err := Build(w, ids("c", clients), ids("s", 3), f,
+		smr.Config{FastPath: true, QuorumTimeout: 10, Retransmit: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func mustLinearizable(t *testing.T, o *Object, seed int64) {
+	t.Helper()
+	res, err := o.CheckLinearizable(lin.Options{})
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	if !res.OK {
+		t.Fatalf("seed %d: replicated object trace not linearizable: %s\n%v",
+			seed, res.Reason, o.Trace())
+	}
+	if err := lin.VerifyWitness(o.f, o.Trace(), res.Witness); err != nil {
+		t.Fatalf("seed %d: invalid witness: %v", seed, err)
+	}
+}
+
+// A replicated REGISTER: concurrent writes and reads from two clients
+// stay linearizable across seeds — the §6 universal construction carries
+// any ADT, not just consensus.
+func TestReplicatedRegister(t *testing.T) {
+	for seed := int64(1); seed <= 15; seed++ {
+		o := buildObj(t, adt.Register{}, seed, 3, 2)
+		if err := o.InvokeAt("c1", adt.WriteInput("x"), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.InvokeAt("c2", adt.ReadInput(), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.InvokeAt("c1", adt.WriteInput("y"), 15); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.InvokeAt("c2", adt.ReadInput(), 16); err != nil {
+			t.Fatal(err)
+		}
+		o.Run(500_000)
+		if len(o.Results()) != 4 {
+			t.Fatalf("seed %d: completed %d/4", seed, len(o.Results()))
+		}
+		mustLinearizable(t, o, seed)
+	}
+}
+
+// A sequential read after a completed write observes it (real-time order
+// through the replicated log).
+func TestRegisterReadsOwnWrite(t *testing.T) {
+	o := buildObj(t, adt.Register{}, 3, 1, 1)
+	if err := o.InvokeAt("c1", adt.WriteInput("v"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.InvokeAt("c1", adt.ReadInput(), 50); err != nil {
+		t.Fatal(err)
+	}
+	o.Run(500_000)
+	rs := o.Results()
+	if len(rs) != 2 {
+		t.Fatalf("completed %d/2", len(rs))
+	}
+	if rs[1].Output != adt.ReadOutput("v") {
+		t.Fatalf("read returned %q", rs[1].Output)
+	}
+	mustLinearizable(t, o, 3)
+}
+
+// A replicated QUEUE: concurrent enqueues and dequeues from three clients
+// preserve FIFO per the linearizability oracle.
+func TestReplicatedQueue(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		o := buildObj(t, adt.Queue{}, seed, 3, 3)
+		if err := o.InvokeAt("c1", adt.EnqInput("a"), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.InvokeAt("c2", adt.EnqInput("b"), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.InvokeAt("c3", adt.DeqInput(), 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.InvokeAt("c1", adt.DeqInput(), 20); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.InvokeAt("c2", adt.DeqInput(), 21); err != nil {
+			t.Fatal(err)
+		}
+		o.Run(500_000)
+		if len(o.Results()) != 5 {
+			t.Fatalf("seed %d: completed %d/5", seed, len(o.Results()))
+		}
+		mustLinearizable(t, o, seed)
+	}
+}
+
+// A replicated COUNTER under a crashed replica: the object survives a
+// minority crash and stays linearizable.
+func TestReplicatedCounterUnderCrash(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		w := msgnet.New(msgnet.Config{Seed: seed, MinDelay: 1, MaxDelay: 2})
+		o, err := Build(w, ids("c", 2), ids("s", 3), adt.Counter{},
+			smr.Config{FastPath: true, QuorumTimeout: 10, Retransmit: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Crash("s1", 3)
+		for j := 0; j < 3; j++ {
+			if err := o.InvokeAt("c1", adt.IncInput(), msgnet.Time(j*30)); err != nil {
+				t.Fatal(err)
+			}
+			if err := o.InvokeAt("c2", adt.GetInput(), msgnet.Time(j*30+1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		o.Run(500_000)
+		if len(o.Results()) != 6 {
+			t.Fatalf("seed %d: completed %d/6", seed, len(o.Results()))
+		}
+		mustLinearizable(t, o, seed)
+	}
+}
+
+// The final counter value equals the number of increments (a semantic
+// end-to-end check beyond linearizability).
+func TestCounterFinalValue(t *testing.T) {
+	o := buildObj(t, adt.Counter{}, 9, 1, 1)
+	for j := 0; j < 5; j++ {
+		if err := o.InvokeAt("c1", adt.IncInput(), msgnet.Time(j*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := o.InvokeAt("c1", adt.GetInput(), 100); err != nil {
+		t.Fatal(err)
+	}
+	o.Run(500_000)
+	rs := o.Results()
+	if len(rs) != 6 {
+		t.Fatalf("completed %d/6", len(rs))
+	}
+	last := rs[len(rs)-1]
+	if last.Output != adt.CountOutput(5) {
+		t.Fatalf("final count %q, want n:5", last.Output)
+	}
+	mustLinearizable(t, o, 9)
+}
+
+func TestInvalidInputRejected(t *testing.T) {
+	o := buildObj(t, adt.Register{}, 1, 1, 1)
+	if err := o.InvokeAt("c1", "garbage", 0); err == nil {
+		t.Fatal("invalid input accepted")
+	}
+}
+
+// Repeated identical semantic inputs from different clients (occurrence
+// tagging at work): two clients write the same value, two read.
+func TestRepeatedInputsAcrossClients(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		o := buildObj(t, adt.Register{}, seed, 3, 2)
+		if err := o.InvokeAt("c1", adt.WriteInput("same"), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.InvokeAt("c2", adt.WriteInput("same"), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.InvokeAt("c1", adt.ReadInput(), 20); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.InvokeAt("c2", adt.ReadInput(), 20); err != nil {
+			t.Fatal(err)
+		}
+		o.Run(500_000)
+		if len(o.Results()) != 4 {
+			t.Fatalf("seed %d: completed %d/4", seed, len(o.Results()))
+		}
+		mustLinearizable(t, o, seed)
+	}
+}
+
+// trace sanity: the recorded object trace is plain (no switch actions) and
+// well-formed.
+func TestTraceShape(t *testing.T) {
+	o := buildObj(t, adt.Register{}, 5, 2, 2)
+	_ = o.InvokeAt("c1", adt.WriteInput("x"), 0)
+	_ = o.InvokeAt("c2", adt.ReadInput(), 1)
+	o.Run(500_000)
+	tr := o.Trace()
+	if !tr.WellFormed() {
+		t.Fatalf("trace ill-formed: %v", tr)
+	}
+	for _, a := range tr {
+		if a.Kind == trace.Swi {
+			t.Fatal("object trace must not contain switch actions")
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/adt"
+	"repro/internal/trace"
+)
+
+// PhaseOpts configures random speculative consensus phase traces.
+type PhaseOpts struct {
+	// Clients is the number of clients (default 3).
+	Clients int
+	// Values is the pool of consensus values (default a,b,c).
+	Values []trace.Value
+	// SwitchProb is the probability a pending client switches instead of
+	// deciding (default 0.4).
+	SwitchProb float64
+	// ViolateProb is the probability of injecting an invariant violation
+	// (wrong decision or wrong switch value).
+	ViolateProb float64
+	// NoLateOps, when true, stops invoking new operations once any client
+	// has switched — the schedule family on which the paper's Quorum
+	// satisfies the literal Abort-Order (see slin.Options).
+	NoLateOps bool
+}
+
+func (o PhaseOpts) withDefaults() PhaseOpts {
+	if o.Clients <= 0 {
+		o.Clients = 3
+	}
+	if len(o.Values) == 0 {
+		o.Values = []trace.Value{"a", "b", "c"}
+	}
+	if o.SwitchProb == 0 {
+		o.SwitchProb = 0.4
+	}
+	return o
+}
+
+// FirstPhase generates a consensus first-phase trace in sig(1,2) in the
+// shape of Quorum's abstract behavior: a winner value is fixed by the
+// first effect; deciders decide it; switchers switch with it (after a
+// decision exists) or with their own proposal (contention, before any
+// decision). With ViolateProb == 0 the trace satisfies invariants I1–I3.
+func FirstPhase(r *rand.Rand, opts PhaseOpts) trace.Trace {
+	opts = opts.withDefaults()
+	type clientState struct {
+		pending bool
+		done    bool
+		value   trace.Value
+		input   trace.Value
+	}
+	states := make([]clientState, opts.Clients)
+	var t trace.Trace
+	winner := trace.Value("")
+	decided := false
+	switched := false
+	// poisoned models Quorum's conflict case: once any client switches
+	// with its own (non-winner) proposal, servers disagree on the first
+	// value and no client can ever decide (I1 would otherwise break).
+	poisoned := false
+	invoked := 0
+
+	clientID := func(i int) trace.ClientID { return trace.ClientID("q" + string(rune('1'+i))) }
+
+	for guard := 0; guard < opts.Clients*10; guard++ {
+		type move struct{ kind, client int }
+		var moves []move
+		for c := range states {
+			if !states[c].pending && !states[c].done && invoked < opts.Clients &&
+				!(opts.NoLateOps && switched) {
+				moves = append(moves, move{0, c})
+			}
+			if states[c].pending {
+				moves = append(moves, move{1, c})
+			}
+		}
+		if len(moves) == 0 {
+			break
+		}
+		mv := moves[r.Intn(len(moves))]
+		c := mv.client
+		switch mv.kind {
+		case 0:
+			v := opts.Values[r.Intn(len(opts.Values))]
+			in := adt.Tag(adt.ProposeInput(v), string(clientID(c)))
+			states[c] = clientState{pending: true, value: v, input: in}
+			t = append(t, trace.Invoke(clientID(c), 1, in))
+			invoked++
+		case 1:
+			in := states[c].input
+			if winner == "" {
+				winner = states[c].value
+			}
+			if poisoned || r.Float64() < opts.SwitchProb {
+				sv := winner
+				if !decided && r.Float64() < 0.5 {
+					sv = states[c].value // contention switch with own proposal
+					if sv != winner {
+						poisoned = true
+					}
+				}
+				if r.Float64() < opts.ViolateProb {
+					sv = "viol-" + sv
+				}
+				t = append(t, trace.Switch(clientID(c), 2, in, sv))
+				switched = true
+				states[c] = clientState{done: true} // aborted clients leave the phase
+			} else {
+				dv := winner
+				if r.Float64() < opts.ViolateProb {
+					dv = states[c].value // may split the decision
+				}
+				t = append(t, trace.Response(clientID(c), 1, in, adt.DecideOutput(dv)))
+				decided = true
+				states[c] = clientState{}
+			}
+		}
+	}
+	return t
+}
+
+// SecondPhase generates a consensus second-phase trace in sig(m, m+1) in
+// the shape of Backup's abstract behavior: clients switch in with values,
+// and all deciders decide a common previously submitted value. With
+// ViolateProb == 0 the trace satisfies invariants I4–I5.
+func SecondPhase(r *rand.Rand, m int, opts PhaseOpts) trace.Trace {
+	opts = opts.withDefaults()
+	var t trace.Trace
+	clientID := func(i int) trace.ClientID { return trace.ClientID("b" + string(rune('1'+i))) }
+
+	// Every client switches in first (possibly interleaved), then decides.
+	type clientState struct {
+		in      trace.Value
+		sv      trace.Value
+		entered bool
+		done    bool
+	}
+	states := make([]clientState, opts.Clients)
+	for c := range states {
+		states[c].in = adt.Tag(adt.ProposeInput(opts.Values[r.Intn(len(opts.Values))]), string(clientID(c)))
+		states[c].sv = opts.Values[r.Intn(len(opts.Values))]
+	}
+	decision := trace.Value("")
+	for guard := 0; guard < opts.Clients*10; guard++ {
+		type move struct{ kind, client int }
+		var moves []move
+		for c := range states {
+			if !states[c].entered {
+				moves = append(moves, move{0, c})
+			} else if !states[c].done {
+				moves = append(moves, move{1, c})
+			}
+		}
+		if len(moves) == 0 {
+			break
+		}
+		mv := moves[r.Intn(len(moves))]
+		c := mv.client
+		switch mv.kind {
+		case 0:
+			t = append(t, trace.Switch(clientID(c), m, states[c].in, states[c].sv))
+			states[c].entered = true
+			if decision == "" {
+				decision = states[c].sv // first submitted value wins
+			}
+		case 1:
+			dv := decision
+			if r.Float64() < opts.ViolateProb {
+				dv = "viol-" + dv
+			}
+			t = append(t, trace.Response(clientID(c), m, states[c].in, adt.DecideOutput(dv)))
+			states[c].done = true
+		}
+	}
+	return t
+}

@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/trace"
+)
+
+func TestRandomWellFormed(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	inputs := []trace.Value{adt.ProposeInput("a"), adt.ProposeInput("b")}
+	for i := 0; i < 200; i++ {
+		tr := Random(adt.Consensus{}, r, TraceOpts{Inputs: inputs, PendingProb: 0.3})
+		if !tr.WellFormed() {
+			t.Fatalf("ill-formed generated trace: %v", tr)
+		}
+	}
+}
+
+func TestRandomUniqueTags(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	inputs := []trace.Value{adt.IncInput(), adt.GetInput()}
+	tr := Random(adt.Counter{}, r, TraceOpts{Ops: 8, Inputs: inputs, UniqueTags: true})
+	seen := map[trace.Value]bool{}
+	for _, a := range tr {
+		if a.Kind != trace.Inv {
+			continue
+		}
+		if seen[a.Input] {
+			t.Fatalf("duplicate tagged input %q", a.Input)
+		}
+		seen[a.Input] = true
+		if adt.Untag(a.Input) == a.Input {
+			t.Fatalf("input %q not tagged", a.Input)
+		}
+	}
+}
+
+func TestFirstPhaseShapes(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	sawSwitch, sawDecide := false, false
+	for i := 0; i < 200; i++ {
+		tr := FirstPhase(r, PhaseOpts{})
+		if !tr.PhaseWellFormed(1, 2) {
+			t.Fatalf("ill-formed phase trace: %v", tr)
+		}
+		for _, a := range tr {
+			if a.IsAbort(2) {
+				sawSwitch = true
+			}
+			if a.IsRes() {
+				sawDecide = true
+			}
+		}
+	}
+	if !sawSwitch || !sawDecide {
+		t.Fatalf("generator not exercising both outcomes: switch=%v decide=%v", sawSwitch, sawDecide)
+	}
+}
+
+func TestFirstPhaseNoLateOps(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		tr := FirstPhase(r, PhaseOpts{NoLateOps: true})
+		switched := false
+		for _, a := range tr {
+			if a.IsAbort(2) {
+				switched = true
+			}
+			if a.Kind == trace.Inv && switched {
+				t.Fatalf("invocation after switch despite NoLateOps: %v", tr)
+			}
+		}
+	}
+}
+
+func TestSecondPhaseShapes(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		tr := SecondPhase(r, 2, PhaseOpts{})
+		if !tr.PhaseWellFormed(2, 3) {
+			t.Fatalf("ill-formed second-phase trace: %v", tr)
+		}
+	}
+}

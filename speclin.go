@@ -1,0 +1,236 @@
+// Package speclin is the public API of this reproduction of
+// "Speculative Linearizability" (Guerraoui, Kuncak, Losa; PLDI 2012).
+//
+// The package re-exports the building blocks a user composes:
+//
+//   - the trace model (Trace, Action, History) and abstract data types;
+//   - the linearizability checkers (the paper's new definition and the
+//     classical one) and the speculative linearizability checker
+//     SLin(m,n) with its r_init interpretation relations;
+//   - the phase-composition runtime (Phase, Composer) with the shared
+//     memory phases of Figures 2 and 3 ready to plug in;
+//   - the message-passing stack: simulated network, the Quorum fast path,
+//     the Paxos backup, composed consensus objects and SMR clusters.
+//
+// See the examples/ directory for runnable end-to-end programs and
+// DESIGN.md for the map from the paper's sections to packages.
+package speclin
+
+import (
+	"repro/internal/adt"
+	"repro/internal/cascons"
+	"repro/internal/core"
+	"repro/internal/lin"
+	"repro/internal/mpcons"
+	"repro/internal/msgnet"
+	"repro/internal/paxos"
+	"repro/internal/quorum"
+	"repro/internal/rcons"
+	"repro/internal/slin"
+	"repro/internal/smr"
+	"repro/internal/trace"
+	"repro/internal/uobj"
+)
+
+// Trace model.
+type (
+	// Trace is a finite sequence of interface actions (§3).
+	Trace = trace.Trace
+	// Action is an invocation, response or switch event.
+	Action = trace.Action
+	// History is a sequence of ADT inputs (§4.4).
+	History = trace.History
+	// ClientID identifies a client process.
+	ClientID = trace.ClientID
+	// Value is an opaque input/output/switch value.
+	Value = trace.Value
+)
+
+// Action constructors.
+var (
+	// Invoke builds inv(c, phase, in).
+	Invoke = trace.Invoke
+	// Response builds res(c, phase, in, out).
+	Response = trace.Response
+	// SwitchAction builds swi(c, phase, in, v).
+	SwitchAction = trace.Switch
+)
+
+// Abstract data types (Definition 4).
+type (
+	// ADT is a data type given by its output function.
+	ADT = adt.ADT
+	// Folder is an ADT with a canonical state machine.
+	Folder = adt.Folder
+)
+
+// Built-in ADTs.
+var (
+	// ConsensusADT is Figure 1's consensus (inputs p:v, outputs d:v).
+	ConsensusADT = adt.Consensus{}
+	// RegisterADT is a read/write register.
+	RegisterADT = adt.Register{}
+	// CounterADT is a fetch-and-increment counter.
+	CounterADT = adt.Counter{}
+	// QueueADT is a FIFO queue.
+	QueueADT = adt.Queue{}
+	// UniversalADT is §6's identity-output ADT.
+	UniversalADT = adt.Universal{}
+)
+
+// Consensus value helpers.
+var (
+	// ProposeInput builds the consensus input p(v).
+	ProposeInput = adt.ProposeInput
+	// DecideOutput builds the consensus output d(v).
+	DecideOutput = adt.DecideOutput
+	// TagInput attaches an occurrence tag to an input (repeated events).
+	TagInput = adt.Tag
+)
+
+// Linearizability checking (§4, Appendix A).
+type (
+	// LinOptions configures the linearizability checkers.
+	LinOptions = lin.Options
+	// LinResult is a checker verdict with optional witness.
+	LinResult = lin.Result
+)
+
+// CheckLinearizable decides the paper's new definition of
+// linearizability (Definitions 5–15).
+func CheckLinearizable(f Folder, t Trace, opts LinOptions) (LinResult, error) {
+	return lin.Check(f, t, opts)
+}
+
+// CheckClassicallyLinearizable decides the classical definition
+// (Appendix A); by Theorem 1 the two agree on unique-input traces.
+func CheckClassicallyLinearizable(f Folder, t Trace, opts LinOptions) (LinResult, error) {
+	return lin.CheckClassical(f, t, opts)
+}
+
+// Speculative linearizability checking (§5).
+type (
+	// RInit is the r_init interpretation relation of §5.2.
+	RInit = slin.RInit
+	// SLinOptions configures the SLin checker.
+	SLinOptions = slin.Options
+	// SLinResult is the SLin checker verdict.
+	SLinResult = slin.Result
+)
+
+// Interpretation relations for the built-in case studies.
+var (
+	// ConsensusRInit interprets switch value v as histories starting
+	// with p(v) (§2.4).
+	ConsensusRInit = slin.ConsensusRInit{}
+	// UniversalRInit maps an encoded history to itself (§6).
+	UniversalRInit = slin.UniversalRInit{}
+)
+
+// CheckSpeculativelyLinearizable decides SLin(m,n) (Definition 36).
+func CheckSpeculativelyLinearizable(f Folder, r RInit, m, n int, t Trace, opts SLinOptions) (SLinResult, error) {
+	return slin.Check(f, r, m, n, t, opts)
+}
+
+// Phase composition runtime (§2.3, §5.1).
+type (
+	// Phase is one speculation phase of a concurrent object.
+	Phase = core.Phase
+	// Outcome is a phase's resolution of an operation.
+	Outcome = core.Outcome
+	// Composer chains phases 1..n into one object.
+	Composer = core.Composer
+)
+
+// Outcome constructors for Phase implementations.
+var (
+	// ReturnOutcome resolves an operation with a response.
+	ReturnOutcome = core.ReturnOutcome
+	// SwitchOutcome aborts an operation to the next phase.
+	SwitchOutcome = core.SwitchOutcome
+)
+
+// NewObject composes speculation phases into a concurrent object whose
+// trace is recorded for post-hoc checking.
+func NewObject(phases ...Phase) (*Composer, error) { return core.NewComposer(phases...) }
+
+// NewSharedMemoryConsensus builds the §2.5 object: the register-based
+// RCons fast path (Figure 2) composed with the CAS-based CASCons backup
+// (Figure 3), over native atomics. Inputs are consensus proposals
+// (ProposeInput, optionally tagged); outputs are decisions.
+func NewSharedMemoryConsensus() (*Composer, error) {
+	return core.NewComposer(rcons.NewNativePhase(), cascons.NewNativePhase())
+}
+
+// Message-passing stack (§2.1).
+type (
+	// Network is the deterministic discrete-event network simulator.
+	Network = msgnet.Network
+	// NetConfig parameterizes the network (seed, delays, loss, dup).
+	NetConfig = msgnet.Config
+	// ProcID identifies a simulated process.
+	ProcID = msgnet.ProcID
+	// VTime is virtual time in message-delay units.
+	VTime = msgnet.Time
+	// ConsensusObject is a composed message-passing consensus object.
+	ConsensusObject = mpcons.Object
+	// OpResult describes one completed consensus operation.
+	OpResult = mpcons.OpResult
+	// PhaseProtocol is a message-passing speculation phase.
+	PhaseProtocol = mpcons.PhaseProtocol
+	// QuorumProtocol is the §2.1 fast path.
+	QuorumProtocol = quorum.Protocol
+	// PaxosProtocol is the §2.1 Backup.
+	PaxosProtocol = paxos.Protocol
+)
+
+// NewNetwork creates a simulator.
+func NewNetwork(cfg NetConfig) *Network { return msgnet.New(cfg) }
+
+// NewConsensus wires a composed consensus object (e.g. Quorum + Paxos)
+// into a network.
+func NewConsensus(net *Network, clients, servers []ProcID, phases ...PhaseProtocol) (*ConsensusObject, error) {
+	return mpcons.Build(net, clients, servers, phases...)
+}
+
+// NewQuorumBackupConsensus wires the paper's §2.1 composition with
+// default protocol parameters.
+func NewQuorumBackupConsensus(net *Network, clients, servers []ProcID) (*ConsensusObject, error) {
+	return mpcons.Build(net, clients, servers, quorum.Protocol{}, paxos.Protocol{})
+}
+
+// State machine replication (E9).
+type (
+	// SMRCluster is a replicated-log deployment.
+	SMRCluster = smr.Cluster
+	// SMRConfig selects the fast path and protocol tuning.
+	SMRConfig = smr.Config
+	// SubmitResult describes one landed log command.
+	SubmitResult = smr.SubmitResult
+)
+
+// NewSMR wires an SMR cluster into a network.
+func NewSMR(net *Network, clients, servers []ProcID, cfg SMRConfig) (*SMRCluster, error) {
+	return smr.Build(net, clients, servers, cfg)
+}
+
+// KV helpers for SMR logs.
+var (
+	// SetCmd encodes a KV write.
+	SetCmd = smr.SetCmd
+	// DelCmd encodes a KV delete.
+	DelCmd = smr.DelCmd
+	// ApplyKV folds a log into a map.
+	ApplyKV = smr.ApplyKV
+)
+
+// ReplicatedObject is a linearizable object of an arbitrary ADT over
+// speculative SMR — the §6 universal construction (see internal/uobj).
+type ReplicatedObject = uobj.Object
+
+// NewReplicatedObject builds a linearizable replicated object of ADT f:
+// operations append to the replicated log and outputs are f's output
+// function applied to the log prefix.
+func NewReplicatedObject(net *Network, clients, servers []ProcID, f Folder, cfg SMRConfig) (*ReplicatedObject, error) {
+	return uobj.Build(net, clients, servers, f, cfg)
+}
