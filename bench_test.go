@@ -3,6 +3,10 @@
 // called out in DESIGN.md. Run with:
 //
 //	go test -bench=. -benchmem
+//
+// The checker-memoization benchmarks and the machine-readable perf
+// summary (BENCH_1.json) live in bench1_test.go; TestWriteBench1JSON
+// regenerates the summary on every plain `go test .` run.
 package speclin_test
 
 import (

@@ -1,11 +1,16 @@
 // Command slin-check decides linearizability or speculative
-// linearizability of a JSON trace file.
+// linearizability of JSON trace files.
 //
 // Usage:
 //
 //	slin-check -adt consensus trace.json                 # Lin (new def.)
 //	slin-check -adt consensus -mode classical trace.json # Lin (classical)
 //	slin-check -adt consensus -mode slin -m 1 -n 2 trace.json
+//	slin-check -adt consensus a.json b.json c.json       # batch, parallel
+//
+// With more than one trace file the independent checks are sharded across
+// a worker pool (-workers, default GOMAXPROCS) and one verdict line is
+// printed per file, prefixed with its name.
 //
 // The trace format is a JSON array of actions:
 //
@@ -15,16 +20,18 @@
 //	  {"kind":"swi","client":"c2","phase":2,"input":"p:b","value":"a"}
 //	]
 //
-// Exit status: 0 when the property holds, 1 when it does not, 2 on usage
-// or input errors.
+// Exit status: 0 when the property holds for every trace, 1 when some
+// trace violates it, 2 on usage or input errors.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/adt"
+	"repro/internal/check"
 	"repro/internal/lin"
 	"repro/internal/slin"
 	"repro/internal/trace"
@@ -51,6 +58,13 @@ func pickADT(name string) (adt.Folder, bool) {
 	return nil, false
 }
 
+// verdict is one file's check outcome: the report text and whether the
+// property holds.
+type verdict struct {
+	ok     bool
+	report string
+}
+
 func main() {
 	adtName := flag.String("adt", "consensus", "abstract data type: consensus|register|counter|queue|universal")
 	mode := flag.String("mode", "lin", "property: lin|classical|slin")
@@ -58,74 +72,120 @@ func main() {
 	n := flag.Int("n", 2, "slin: upper phase bound n")
 	temporal := flag.Bool("temporal", false, "slin: use the temporal Abort-Order variant")
 	budget := flag.Int("budget", 0, "search budget (0 = default)")
+	workers := flag.Int("workers", 0, "worker pool size for multi-file batches (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	if flag.NArg() != 1 {
-		fail(2, "usage: slin-check [flags] trace.json")
-	}
-	raw, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fail(2, "read: %v", err)
-	}
-	t, err := trace.DecodeJSON(raw)
-	if err != nil {
-		fail(2, "parse: %v", err)
+	if flag.NArg() < 1 {
+		fail(2, "usage: slin-check [flags] trace.json [trace.json ...]")
 	}
 	f, ok := pickADT(*adtName)
 	if !ok {
 		fail(2, "unknown ADT %q", *adtName)
 	}
-
 	switch *mode {
-	case "lin", "classical":
-		var res lin.Result
-		if *mode == "lin" {
-			res, err = lin.Check(f, t, lin.Options{Budget: *budget})
-		} else {
-			res, err = lin.CheckClassical(f, t, lin.Options{Budget: *budget})
-		}
-		if err != nil {
-			fail(2, "check: %v", err)
-		}
-		if res.OK {
-			fmt.Println("linearizable")
-			if len(res.Witness) > 0 {
-				fmt.Println("witness (commit histories by response index):")
-				for i := 0; i < len(t); i++ {
-					if h, ok := res.Witness[i]; ok {
-						fmt.Printf("  %3d: %v\n", i, h)
-					}
-				}
-			}
-			return
-		}
-		fmt.Printf("NOT linearizable: %s\n", res.Reason)
-		os.Exit(1)
-	case "slin":
-		var rinit slin.RInit = slin.ConsensusRInit{}
-		if *adtName == "universal" {
-			rinit = slin.UniversalRInit{}
-		}
-		res, err := slin.Check(f, rinit, *m, *n, t, slin.Options{
-			Budget:             *budget,
-			TemporalAbortOrder: *temporal,
-		})
-		if err != nil {
-			fail(2, "check: %v", err)
-		}
-		if res.OK {
-			fmt.Printf("speculatively linearizable: SLin(%d,%d)\n", *m, *n)
-			return
-		}
-		fmt.Printf("NOT SLin(%d,%d): %s\n", *m, *n, res.Reason)
-		if res.FailedInit != nil {
-			fmt.Println("failing init interpretation:")
-			for i, h := range res.FailedInit {
-				fmt.Printf("  action %d ↦ %v\n", i, h)
-			}
-		}
-		os.Exit(1)
+	case "lin", "classical", "slin":
 	default:
 		fail(2, "unknown mode %q", *mode)
 	}
+
+	// Parse every file up front so usage errors (exit 2) are reported
+	// before any verdict is printed.
+	files := flag.Args()
+	traces := make([]trace.Trace, len(files))
+	for i, name := range files {
+		raw, err := os.ReadFile(name)
+		if err != nil {
+			fail(2, "read: %v", err)
+		}
+		traces[i], err = trace.DecodeJSON(raw)
+		if err != nil {
+			fail(2, "parse %s: %v", name, err)
+		}
+	}
+
+	var rinit slin.RInit = slin.ConsensusRInit{}
+	if *adtName == "universal" {
+		rinit = slin.UniversalRInit{}
+	}
+
+	// Shard the independent checks across the worker pool; verdicts come
+	// back in file order.
+	verdicts, err := check.Parallel(traces, *workers, func(i int, t trace.Trace) (verdict, error) {
+		switch *mode {
+		case "lin", "classical":
+			var res lin.Result
+			var err error
+			if *mode == "lin" {
+				res, err = lin.Check(f, t, lin.Options{Budget: *budget})
+			} else {
+				res, err = lin.CheckClassical(f, t, lin.Options{Budget: *budget})
+			}
+			if err != nil {
+				return verdict{}, fmt.Errorf("%s: %w", files[i], err)
+			}
+			return linVerdict(t, res), nil
+		default:
+			res, err := slin.Check(f, rinit, *m, *n, t, slin.Options{
+				Budget:             *budget,
+				TemporalAbortOrder: *temporal,
+			})
+			if err != nil {
+				return verdict{}, fmt.Errorf("%s: %w", files[i], err)
+			}
+			return slinVerdict(*m, *n, res), nil
+		}
+	})
+	if err != nil {
+		fail(2, "check: %v", err)
+	}
+
+	allOK := true
+	for i, v := range verdicts {
+		report := v.report
+		if len(files) > 1 {
+			// Prefix every line (verdicts, witnesses, failing inits) so
+			// per-file grep works on multi-line reports.
+			lines := strings.Split(strings.TrimRight(report, "\n"), "\n")
+			report = files[i] + ": " + strings.Join(lines, "\n"+files[i]+": ") + "\n"
+		}
+		fmt.Print(report)
+		allOK = allOK && v.ok
+	}
+	if !allOK {
+		os.Exit(1)
+	}
+}
+
+func linVerdict(t trace.Trace, res lin.Result) verdict {
+	var b strings.Builder
+	if res.OK {
+		b.WriteString("linearizable\n")
+		if len(res.Witness) > 0 {
+			b.WriteString("witness (commit histories by response index):\n")
+			for i := 0; i < len(t); i++ {
+				if h, ok := res.Witness[i]; ok {
+					fmt.Fprintf(&b, "  %3d: %v\n", i, h)
+				}
+			}
+		}
+		return verdict{ok: true, report: b.String()}
+	}
+	fmt.Fprintf(&b, "NOT linearizable: %s\n", res.Reason)
+	return verdict{ok: false, report: b.String()}
+}
+
+func slinVerdict(m, n int, res slin.Result) verdict {
+	var b strings.Builder
+	if res.OK {
+		fmt.Fprintf(&b, "speculatively linearizable: SLin(%d,%d)\n", m, n)
+		return verdict{ok: true, report: b.String()}
+	}
+	fmt.Fprintf(&b, "NOT SLin(%d,%d): %s\n", m, n, res.Reason)
+	if res.FailedInit != nil {
+		b.WriteString("failing init interpretation:\n")
+		for i, h := range res.FailedInit {
+			fmt.Fprintf(&b, "  action %d ↦ %v\n", i, h)
+		}
+	}
+	return verdict{ok: false, report: b.String()}
 }

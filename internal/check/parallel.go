@@ -1,0 +1,79 @@
+package check
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count option: n when positive, otherwise
+// GOMAXPROCS (the batch checkers' default of one worker per core).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Parallel applies fn to every item on a pool of workers and returns the
+// results in item order. Items are independent; they are handed out by an
+// atomic cursor, so the pool load-balances uneven item costs. The first
+// error stops the pool (in-flight items finish; remaining items are not
+// started) and is returned alongside the partial results — result slots
+// whose items never ran hold the zero value.
+//
+// It is the worker-pool path shared by the batch checkers (lin.CheckAll,
+// slin.CheckAll), the E8 equivalence sweeps and cmd/slin-check, which
+// shard independent traces across GOMAXPROCS cores.
+func Parallel[T, R any](items []T, workers int, fn func(i int, item T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	if len(items) == 0 {
+		return out, nil
+	}
+	workers = Workers(workers)
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers == 1 {
+		for i, it := range items {
+			r, err := fn(i, it)
+			if err != nil {
+				return out, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+	var (
+		cursor atomic.Int64
+		failed atomic.Bool
+		mu     sync.Mutex
+		first  error
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(items) || failed.Load() {
+					return
+				}
+				r, err := fn(i, items[i])
+				if err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+					return
+				}
+				out[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	return out, first
+}

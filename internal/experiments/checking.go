@@ -268,10 +268,12 @@ func E8DefinitionEquivalence() (Table, error) {
 		{"queue", adt.Queue{}, []trace.Value{adt.EnqInput("x"), adt.DeqInput()}},
 	}
 	for _, tc := range cases {
+		// Trace generation is sequential (one deterministic seed stream);
+		// the two checker sweeps shard the batch across GOMAXPROCS cores.
 		r := rand.New(rand.NewSource(42))
-		agree, yes, no := 0, 0, 0
 		const n = 400
-		for i := 0; i < n; i++ {
+		traces := make([]trace.Trace, n)
+		for i := range traces {
 			opts := workload.TraceOpts{
 				Clients: 3, Ops: 4 + r.Intn(3), Inputs: tc.inputs,
 				PendingProb: 0.2, UniqueTags: true,
@@ -279,19 +281,22 @@ func E8DefinitionEquivalence() (Table, error) {
 			if i%2 == 1 {
 				opts.CorruptProb = 0.5
 			}
-			tr := workload.Random(tc.f, r, opts)
-			r1, err := lin.Check(tc.f, tr, lin.Options{})
-			if err != nil {
-				return t, err
-			}
-			r2, err := lin.CheckClassical(tc.f, tr, lin.Options{})
-			if err != nil {
-				return t, err
-			}
-			if r1.OK == r2.OK {
+			traces[i] = workload.Random(tc.f, r, opts)
+		}
+		newRes, err := lin.CheckAll(tc.f, traces, lin.Options{})
+		if err != nil {
+			return t, err
+		}
+		classicalRes, err := lin.CheckClassicalAll(tc.f, traces, lin.Options{})
+		if err != nil {
+			return t, err
+		}
+		agree, yes, no := 0, 0, 0
+		for i := range traces {
+			if newRes[i].OK == classicalRes[i].OK {
 				agree++
 			}
-			if r1.OK {
+			if newRes[i].OK {
 				yes++
 			} else {
 				no++

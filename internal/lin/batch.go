@@ -1,0 +1,28 @@
+package lin
+
+import (
+	"repro/internal/adt"
+	"repro/internal/check"
+	"repro/internal/trace"
+)
+
+// CheckAll decides linearizability of each trace independently, sharding
+// the batch across a worker pool of Options.Workers goroutines (GOMAXPROCS
+// when zero). Results are in trace order; each check gets its own budget
+// of Options.Budget nodes. The first error (budget exhaustion, malformed
+// action) stops the batch and is returned with partial results.
+//
+// Folder implementations must be safe for concurrent use; every ADT in
+// package adt is stateless and qualifies.
+func CheckAll(f adt.Folder, ts []trace.Trace, opts Options) ([]Result, error) {
+	return check.Parallel(ts, opts.Workers, func(_ int, t trace.Trace) (Result, error) {
+		return Check(f, t, opts)
+	})
+}
+
+// CheckClassicalAll is CheckAll for the classical checker.
+func CheckClassicalAll(f adt.Folder, ts []trace.Trace, opts Options) ([]Result, error) {
+	return check.Parallel(ts, opts.Workers, func(_ int, t trace.Trace) (Result, error) {
+		return CheckClassical(f, t, opts)
+	})
+}

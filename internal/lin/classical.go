@@ -3,7 +3,6 @@ package lin
 import (
 	"fmt"
 	"math/bits"
-	"strconv"
 
 	"repro/internal/adt"
 	"repro/internal/trace"
@@ -65,29 +64,51 @@ func CheckClassical(f adt.Folder, t trace.Trace, opts Options) (Result, error) {
 		return Result{}, ErrBudget // bitmask search caps at 63 operations
 	}
 	s := &classicalSearcher{
-		f:      f,
-		ops:    ops,
-		budget: opts.budget(),
-		failed: map[string]bool{},
-		order:  make([]int, len(ops)),
+		f:        f,
+		ops:      ops,
+		budget:   opts.budget(),
+		failed:   map[classicalKey]struct{}{},
+		stateIDs: map[adt.State]uint32{},
+		order:    make([]int, len(ops)),
 	}
 	ok, err := s.run(0, f.Empty())
 	if err != nil {
 		return Result{}, err
 	}
 	if !ok {
-		return Result{OK: false, Reason: "no legal sequential reordering exists"}, nil
+		return Result{OK: false, Reason: "no legal sequential reordering exists", Nodes: s.nodes}, nil
 	}
-	return Result{OK: true, Sequential: append(Linearization{}, s.order...)}, nil
+	return Result{OK: true, Sequential: append(Linearization{}, s.order...), Nodes: s.nodes}, nil
+}
+
+// classicalKey is the fixed-size memoization key of the classical search:
+// the placed-operations bitmask and the interned folded ADT state. States
+// are interned to dense ids so the key carries no string and lookups do
+// not re-serialize the state.
+type classicalKey struct {
+	placed  uint64
+	stateID uint32
 }
 
 type classicalSearcher struct {
-	f      adt.Folder
-	ops    []operation
-	budget int
-	failed map[string]bool
+	f        adt.Folder
+	ops      []operation
+	budget   int
+	nodes    int
+	failed   map[classicalKey]struct{}
+	stateIDs map[adt.State]uint32
 	// order[k] is the k-th linearized operation on the successful path.
 	order []int
+}
+
+// stateID interns a folded ADT state to a dense id.
+func (s *classicalSearcher) stateID(st adt.State) uint32 {
+	if id, ok := s.stateIDs[st]; ok {
+		return id
+	}
+	id := uint32(len(s.stateIDs))
+	s.stateIDs[st] = id
+	return id
 }
 
 // run linearizes operations one at a time. placed is the bitmask of
@@ -97,15 +118,15 @@ type classicalSearcher struct {
 // (Definition 44), and — when j completed in the original trace — its
 // output matches the ADT's output at the current state.
 func (s *classicalSearcher) run(placed uint64, st adt.State) (bool, error) {
-	s.budget--
-	if s.budget < 0 {
+	s.nodes++
+	if s.nodes > s.budget {
 		return false, ErrBudget
 	}
 	if placed == uint64(1)<<len(s.ops)-1 {
 		return true, nil
 	}
-	key := strconv.FormatUint(placed, 16) + "|" + string(st)
-	if s.failed[key] {
+	key := classicalKey{placed: placed, stateID: s.stateID(st)}
+	if _, hit := s.failed[key]; hit {
 		return false, nil
 	}
 	for j, op := range s.ops {
@@ -141,7 +162,7 @@ func (s *classicalSearcher) run(placed uint64, st adt.State) (bool, error) {
 			return true, nil
 		}
 	}
-	s.failed[key] = true
+	s.failed[key] = struct{}{}
 	return false, nil
 }
 

@@ -21,13 +21,18 @@
 // the problem is NP-hard) with memoization on folded ADT states. A step
 // budget bounds pathological searches; exceeding it yields ErrBudget
 // rather than a wrong verdict.
+//
+// Performance. The searches memoize on incrementally-maintained 128-bit
+// digests of interned-symbol search states (DESIGN.md, decision 7) and
+// mutate one chain/multiset in place with undo on backtrack, so the hot
+// loop performs no per-node allocation or re-serialization. CheckReference
+// retains the original string-keyed search as an executable specification;
+// property tests assert the two agree.
 package lin
 
 import (
 	"errors"
 	"fmt"
-	"strconv"
-	"strings"
 
 	"repro/internal/adt"
 	"repro/internal/trace"
@@ -42,8 +47,16 @@ const DefaultBudget = 2_000_000
 
 // Options configures a check.
 type Options struct {
-	// Budget bounds search nodes; 0 means DefaultBudget.
+	// Budget bounds the total number of search nodes per Check /
+	// CheckClassical call; 0 means DefaultBudget. A search node is one
+	// recursive step of the search (the granularity is uniform across
+	// Check, CheckClassical and slin.Check: every recursive descent —
+	// trace step, chain extension, reordering step — spends one node).
 	Budget int
+	// Workers bounds the worker pool used by the batch checkers
+	// (CheckAll, CheckClassicalAll); 0 means GOMAXPROCS. Single-trace
+	// checks ignore it.
+	Workers int
 }
 
 func (o Options) budget() int {
@@ -70,6 +83,9 @@ type Result struct {
 	// Sequential holds the sequential-reordering witness when OK
 	// (classical checker only).
 	Sequential Linearization
+	// Nodes is the number of search nodes the check spent (always at most
+	// the budget; comparable across Check, CheckClassical and slin.Check).
+	Nodes int
 }
 
 // Check decides linearizability of t with respect to f under the paper's
@@ -79,24 +95,19 @@ func Check(f adt.Folder, t trace.Trace, opts Options) (Result, error) {
 	if !t.WellFormed() {
 		return Result{OK: false, Reason: "trace is not well-formed"}, nil
 	}
-	s := &searcher{
-		f:      f,
-		t:      t,
-		budget: opts.budget(),
-		failed: map[string]bool{},
-	}
-	ok, err := s.run(0, chain{f: f}, trace.Multiset{})
+	s := newSearcher(f, t, opts.budget())
+	ok, err := s.run(0)
 	if err != nil {
 		return Result{}, err
 	}
 	if !ok {
-		return Result{OK: false, Reason: "no linearization function exists"}, nil
+		return Result{OK: false, Reason: "no linearization function exists", Nodes: s.nodes}, nil
 	}
 	w := Witness{}
 	for i, k := range s.assigned {
-		w[i] = s.best.hist[:k].Clone()
+		w[i] = s.best[:k].Clone()
 	}
-	return Result{OK: true, Witness: w}, nil
+	return Result{OK: true, Witness: w, Nodes: s.nodes}, nil
 }
 
 // chain is the current commit-history chain: Commit-Order (Definition 12)
@@ -105,98 +116,136 @@ func Check(f adt.Folder, t trace.Trace, opts Options) (Result, error) {
 // history, the ADT state and output at every prefix length, and which
 // lengths are already assigned to a commit index (each response must get a
 // distinct prefix, but not necessarily in trace order).
+//
+// The chain is mutated in place along the search path (push/pop,
+// setUsed/clearUsed) and maintains a canonical digest of its
+// (symbol, used)-sequence incrementally in O(1) per mutation.
 type chain struct {
 	f    adt.Folder
 	hist trace.History
-	// states[k] is the folded state of hist[:k]; len(states) == len(hist)+1
-	// once initialized (states[0] is the empty state).
+	syms []trace.Sym
+	// states[k] is the folded state of hist[:k]; states[0] is the empty
+	// state, so len(states) == len(hist)+1.
 	states []adt.State
 	// outs[k-1] is f's output for the k-th input of hist applied at
 	// states[k-1], i.e. the output of the operation committing hist[:k].
 	outs []trace.Value
 	// used marks prefix lengths already assigned to a commit index.
 	used []bool
+	dig  trace.Digest
 }
 
-func (c chain) len() int { return len(c.hist) }
-
-func (c chain) state() adt.State {
-	if len(c.states) == 0 {
-		return c.f.Empty()
-	}
-	return c.states[len(c.states)-1]
+func newChain(f adt.Folder) chain {
+	return chain{f: f, states: []adt.State{f.Empty()}}
 }
 
-// extend returns a copy of c with input in appended.
-func (c chain) extend(in trace.Value) chain {
+func (c *chain) len() int { return len(c.hist) }
+
+func (c *chain) state() adt.State { return c.states[len(c.states)-1] }
+
+// push appends input in (interned as sym) to the chain.
+func (c *chain) push(in trace.Value, sym trace.Sym) {
 	st := c.state()
-	n := chain{f: c.f}
-	n.hist = c.hist.Append(in)
-	n.states = append(append([]adt.State{}, c.states...), c.f.Step(st, in))
-	if len(c.states) == 0 {
-		// states[0] (empty history) was implicit; materialize it.
-		n.states = append([]adt.State{c.f.Empty()}, n.states...)
-	}
-	n.outs = append(append([]trace.Value{}, c.outs...), c.f.Out(st, in))
-	n.used = append(append([]bool{}, c.used...), false)
-	return n
+	c.dig = c.dig.Add(trace.HashElem(len(c.hist), sym, false))
+	c.hist = append(c.hist, in)
+	c.syms = append(c.syms, sym)
+	c.states = append(c.states, c.f.Step(st, in))
+	c.outs = append(c.outs, c.f.Out(st, in))
+	c.used = append(c.used, false)
 }
 
-// markUsed returns a copy of c with prefix length k marked assigned.
-func (c chain) markUsed(k int) chain {
-	n := c
-	n.used = append([]bool{}, c.used...)
-	n.used[k-1] = true
-	return n
+// pop undoes the most recent push. The popped element must be unused.
+func (c *chain) pop() {
+	n := len(c.hist) - 1
+	c.dig = c.dig.Sub(trace.HashElem(n, c.syms[n], false))
+	c.hist = c.hist[:n]
+	c.syms = c.syms[:n]
+	c.states = c.states[:n+1]
+	c.outs = c.outs[:n]
+	c.used = c.used[:n]
 }
 
-// key returns a canonical encoding of the chain for memoization.
-func (c chain) key() string {
-	var b strings.Builder
-	for i, v := range c.hist {
-		b.WriteString(v)
-		if c.used[i] {
-			b.WriteByte('*')
-		}
-		b.WriteByte('\x00')
-	}
-	return b.String()
+// setUsed marks prefix length k as assigned to a commit index.
+func (c *chain) setUsed(k int) {
+	c.dig = c.dig.Sub(trace.HashElem(k-1, c.syms[k-1], false)).Add(trace.HashElem(k-1, c.syms[k-1], true))
+	c.used[k-1] = true
+}
+
+// clearUsed undoes setUsed(k).
+func (c *chain) clearUsed(k int) {
+	c.dig = c.dig.Sub(trace.HashElem(k-1, c.syms[k-1], true)).Add(trace.HashElem(k-1, c.syms[k-1], false))
+	c.used[k-1] = false
+}
+
+// memoKey is the fixed-size memoization key of a search node: the action
+// index plus the digests of the chain and the availability multiset.
+type memoKey struct {
+	i    int32
+	c, a trace.Digest
 }
 
 type searcher struct {
 	f      adt.Folder
 	t      trace.Trace
 	budget int
-	failed map[string]bool
+	nodes  int
+	in     *trace.Interner
+	// isyms[i] is the interned symbol of t[i].Input.
+	isyms  []trace.Sym
+	failed map[memoKey]struct{}
+	chain  chain
+	avail  trace.SymMultiset
+	// visitedPool recycles the per-response visited sets of
+	// extendAndCommit, keeping commit handling allocation-free after
+	// warmup.
+	visitedPool trace.SetPool[visKey]
 	// assigned maps commit (response) indices to the prefix length they
-	// claimed, on the successful path; best is the final chain.
+	// claimed, on the successful path; best is the final chain's history.
 	assigned map[int]int
-	best     chain
+	best     trace.History
+}
+
+func newSearcher(f adt.Folder, t trace.Trace, budget int) *searcher {
+	s := &searcher{
+		f:      f,
+		t:      t,
+		budget: budget,
+		in:     trace.NewInterner(),
+		isyms:  make([]trace.Sym, len(t)),
+		failed: make(map[memoKey]struct{}),
+		chain:  newChain(f),
+	}
+	for i, a := range t {
+		s.isyms[i] = s.in.Sym(a.Input)
+	}
+	s.avail = trace.NewSymMultiset(s.in.Len())
+	return s
 }
 
 func (s *searcher) spend() error {
-	s.budget--
-	if s.budget < 0 {
+	s.nodes++
+	if s.nodes > s.budget {
 		return ErrBudget
 	}
 	return nil
 }
 
-// run processes the trace from action index i with the given chain and
-// multiset of invoked-but-uncommitted inputs.
-func (s *searcher) run(i int, c chain, avail trace.Multiset) (bool, error) {
+// run processes the trace from action index i against the searcher's
+// current chain and multiset of invoked-but-uncommitted inputs; both are
+// restored before it returns.
+func (s *searcher) run(i int) (bool, error) {
 	if err := s.spend(); err != nil {
 		return false, err
 	}
 	if i == len(s.t) {
-		s.best = c
+		s.best = s.chain.hist.Clone()
 		if s.assigned == nil {
 			s.assigned = map[int]int{}
 		}
 		return true, nil
 	}
-	key := strconv.Itoa(i) + "|" + c.key() + "|" + avail.Key()
-	if s.failed[key] {
+	key := memoKey{i: int32(i), c: s.chain.dig, a: s.avail.Digest()}
+	if _, hit := s.failed[key]; hit {
 		return false, nil
 	}
 	a := s.t[i]
@@ -204,11 +253,11 @@ func (s *searcher) run(i int, c chain, avail trace.Multiset) (bool, error) {
 	var err error
 	switch a.Kind {
 	case trace.Inv:
-		na := avail.Clone()
-		na.Add(a.Input, 1)
-		ok, err = s.run(i+1, c, na)
+		s.avail.Add(s.isyms[i], 1)
+		ok, err = s.run(i + 1)
+		s.avail.Add(s.isyms[i], -1)
 	case trace.Res:
-		ok, err = s.commit(i, c, avail, a)
+		ok, err = s.commit(i, a)
 	default:
 		return false, fmt.Errorf("lin: action %v does not belong to sig_T", a)
 	}
@@ -216,7 +265,7 @@ func (s *searcher) run(i int, c chain, avail trace.Multiset) (bool, error) {
 		return false, err
 	}
 	if !ok {
-		s.failed[key] = true
+		s.failed[key] = struct{}{}
 		return false, nil
 	}
 	return true, nil
@@ -226,15 +275,18 @@ func (s *searcher) run(i int, c chain, avail trace.Multiset) (bool, error) {
 // prefix of the chain (possibly created by extending it), ending with the
 // response's input and explaining its output, at a prefix length no other
 // commit has claimed.
-func (s *searcher) commit(i int, c chain, avail trace.Multiset, a trace.Action) (bool, error) {
+func (s *searcher) commit(i int, a trace.Action) (bool, error) {
+	asym := s.isyms[i]
 	// Option 1: claim an existing unused prefix length. Elements already
 	// in the chain were drawn from inputs invoked before the action that
 	// appended them, hence before i, so Validity holds automatically.
-	for k := 1; k <= c.len(); k++ {
-		if c.used[k-1] || c.hist[k-1] != a.Input || c.outs[k-1] != a.Output {
+	for k := 1; k <= s.chain.len(); k++ {
+		if s.chain.used[k-1] || s.chain.syms[k-1] != asym || s.chain.outs[k-1] != a.Output {
 			continue
 		}
-		ok, err := s.run(i+1, c.markUsed(k), avail)
+		s.chain.setUsed(k)
+		ok, err := s.run(i + 1)
+		s.chain.clearUsed(k)
 		if err != nil {
 			return false, err
 		}
@@ -246,47 +298,59 @@ func (s *searcher) commit(i int, c chain, avail trace.Multiset, a trace.Action) 
 	// Option 2: extend the chain with fresh inputs from avail, the last
 	// being the response's own input. Intermediate appended elements
 	// create new (unused) prefix lengths that later commits may claim.
-	return s.extendAndCommit(i, c, avail, a, map[string]bool{})
+	visited := s.visitedPool.Get()
+	ok, err := s.extendAndCommit(i, a, asym, visited)
+	s.visitedPool.Put(visited)
+	return ok, err
 }
+
+// visKey identifies a (chain, avail) configuration within one response's
+// extension search.
+type visKey struct{ c, a trace.Digest }
 
 // extendAndCommit explores extensions of the chain drawn from avail. At
 // every step it may close the extension by appending the response's input
 // (if the output matches) or append any other available input and
 // continue. visited prunes permutations reaching identical (chain, avail)
 // configurations within this response.
-func (s *searcher) extendAndCommit(i int, c chain, avail trace.Multiset, a trace.Action, visited map[string]bool) (bool, error) {
+func (s *searcher) extendAndCommit(i int, a trace.Action, asym trace.Sym, visited map[visKey]struct{}) (bool, error) {
 	if err := s.spend(); err != nil {
 		return false, err
 	}
-	vkey := c.key() + "|" + avail.Key()
-	if visited[vkey] {
+	vk := visKey{c: s.chain.dig, a: s.avail.Digest()}
+	if _, hit := visited[vk]; hit {
 		return false, nil
 	}
-	visited[vkey] = true
+	visited[vk] = struct{}{}
 
 	// Close: append the response's own input.
-	if avail.Count(a.Input) > 0 && s.f.Out(c.state(), a.Input) == a.Output {
-		nc := c.extend(a.Input)
-		nc = nc.markUsed(nc.len())
-		na := avail.Clone()
-		na.Add(a.Input, -1)
-		ok, err := s.run(i+1, nc, na)
+	if s.avail.Count(asym) > 0 && s.f.Out(s.chain.state(), a.Input) == a.Output {
+		s.chain.push(a.Input, asym)
+		k := s.chain.len()
+		s.chain.setUsed(k)
+		s.avail.Add(asym, -1)
+		ok, err := s.run(i + 1)
+		s.avail.Add(asym, 1)
+		s.chain.clearUsed(k)
+		s.chain.pop()
 		if err != nil {
 			return false, err
 		}
 		if ok {
-			s.assigned[i] = nc.len()
+			s.assigned[i] = k
 			return true, nil
 		}
 	}
 	// Continue: append some other available input as an intermediate.
-	for in, n := range avail {
-		if n <= 0 {
+	for sym := trace.Sym(0); int(sym) < s.avail.NumSyms(); sym++ {
+		if s.avail.Count(sym) <= 0 {
 			continue
 		}
-		na := avail.Clone()
-		na.Add(in, -1)
-		ok, err := s.extendAndCommit(i, c.extend(in), na, a, visited)
+		s.avail.Add(sym, -1)
+		s.chain.push(s.in.Value(sym), sym)
+		ok, err := s.extendAndCommit(i, a, asym, visited)
+		s.chain.pop()
+		s.avail.Add(sym, 1)
 		if err != nil {
 			return false, err
 		}

@@ -1,0 +1,226 @@
+package lin
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestHashedMemoAgreesWithReference is the optimization's property test
+// (extending experiment E8): the digest-keyed, mutate-in-place Check must
+// return the same verdict as the retained string-keyed CheckReference on
+// randomized traces across four ADTs, corrupted and clean, with and
+// without occurrence tags. On negative verdicts the two must also spend
+// exactly the same number of search nodes: a failed search explores the
+// whole memoized DAG, whose size is independent of branch order (the
+// reference iterates Go maps, so only its successful-path length is
+// order-sensitive).
+func TestHashedMemoAgreesWithReference(t *testing.T) {
+	cases := []struct {
+		name   string
+		f      adt.Folder
+		inputs []trace.Value
+	}{
+		{"consensus", adt.Consensus{}, []trace.Value{adt.ProposeInput("a"), adt.ProposeInput("b")}},
+		{"register", adt.Register{}, []trace.Value{adt.WriteInput("x"), adt.ReadInput()}},
+		{"counter", adt.Counter{}, []trace.Value{adt.IncInput(), adt.GetInput()}},
+		{"queue", adt.Queue{}, []trace.Value{adt.EnqInput("x"), adt.DeqInput()}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(1234))
+			for i := 0; i < 300; i++ {
+				opts := workload.TraceOpts{
+					Clients: 3, Ops: 4 + r.Intn(3), Inputs: tc.inputs,
+					PendingProb: 0.2, UniqueTags: i%3 != 2,
+				}
+				if i%2 == 1 {
+					opts.CorruptProb = 0.5
+				}
+				tr := workload.Random(tc.f, r, opts)
+				got, err := Check(tc.f, tr, Options{})
+				if err != nil {
+					t.Fatalf("optimized: %v", err)
+				}
+				want, err := CheckReference(tc.f, tr, Options{})
+				if err != nil {
+					t.Fatalf("reference: %v", err)
+				}
+				if got.OK != want.OK {
+					t.Fatalf("verdict mismatch on %v: optimized %v, reference %v", tr, got.OK, want.OK)
+				}
+				if !got.OK && got.Nodes != want.Nodes {
+					t.Fatalf("node count mismatch on %v: optimized %d, reference %d", tr, got.Nodes, want.Nodes)
+				}
+				if got.OK {
+					if err := VerifyWitness(tc.f, tr, got.Witness); err != nil {
+						t.Fatalf("optimized witness invalid: %v", err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// linearizableTrace returns a small fixed linearizable trace for the
+// allocation and budget tests.
+func linearizableTrace() trace.Trace {
+	inA := adt.Tag(adt.ProposeInput("a"), "c1")
+	inB := adt.Tag(adt.ProposeInput("b"), "c2")
+	inC := adt.Tag(adt.ProposeInput("c"), "c3")
+	return trace.Trace{
+		trace.Invoke("c1", 1, inA),
+		trace.Invoke("c2", 1, inB),
+		trace.Response("c2", 1, inB, adt.DecideOutput("b")),
+		trace.Invoke("c3", 1, inC),
+		trace.Response("c1", 1, inA, adt.DecideOutput("b")),
+		trace.Response("c3", 1, inC, adt.DecideOutput("b")),
+	}
+}
+
+// TestCheckAllocsRegression pins the allocation budget of the hot path.
+// The string-key baseline spent ~400 allocs on traces of this size; the
+// hashed-memo checker spends a small constant amount of setup plus the
+// witness assembly. The bound is deliberately loose (2× current) so the
+// test fails on an accidental return to per-node allocation, not on noise.
+func TestCheckAllocsRegression(t *testing.T) {
+	tr := linearizableTrace()
+	f := adt.Consensus{}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := Check(f, tr, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("lin.Check: %.1f allocs/op", allocs)
+	if allocs > 120 {
+		t.Errorf("lin.Check allocates %.1f times per op; budget is 120 (hot path regressed to per-node allocation?)", allocs)
+	}
+	allocs = testing.AllocsPerRun(50, func() {
+		if _, err := CheckClassical(f, tr, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("lin.CheckClassical: %.1f allocs/op", allocs)
+	if allocs > 60 {
+		t.Errorf("lin.CheckClassical allocates %.1f times per op; budget is 60", allocs)
+	}
+}
+
+// TestBudgetUniform verifies the uniform budget semantics: the budget
+// bounds total search nodes per call, Result.Nodes never exceeds it, and
+// exhausting it yields ErrBudget from both checkers.
+func TestBudgetUniform(t *testing.T) {
+	tr := linearizableTrace()
+	f := adt.Consensus{}
+
+	full, err := Check(f, tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Nodes <= 0 {
+		t.Fatalf("expected positive node count, got %d", full.Nodes)
+	}
+	// A budget exactly equal to the spent nodes succeeds; one less fails.
+	if _, err := Check(f, tr, Options{Budget: full.Nodes}); err != nil {
+		t.Fatalf("budget == nodes should succeed, got %v", err)
+	}
+	if _, err := Check(f, tr, Options{Budget: full.Nodes - 1}); !errors.Is(err, ErrBudget) {
+		t.Fatalf("budget == nodes-1 should exhaust, got %v", err)
+	}
+
+	fullC, err := CheckClassical(f, tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fullC.Nodes <= 0 {
+		t.Fatalf("expected positive classical node count, got %d", fullC.Nodes)
+	}
+	if _, err := CheckClassical(f, tr, Options{Budget: fullC.Nodes}); err != nil {
+		t.Fatalf("classical budget == nodes should succeed, got %v", err)
+	}
+	if _, err := CheckClassical(f, tr, Options{Budget: fullC.Nodes - 1}); !errors.Is(err, ErrBudget) {
+		t.Fatalf("classical budget == nodes-1 should exhaust, got %v", err)
+	}
+
+	// The reference checker counts identically on a failed search (full
+	// exploration is branch-order independent; see the property test).
+	bad := trace.Trace{
+		trace.Invoke("c1", 1, adt.Tag(adt.ProposeInput("a"), "c1")),
+		trace.Invoke("c2", 1, adt.Tag(adt.ProposeInput("b"), "c2")),
+		trace.Response("c1", 1, adt.Tag(adt.ProposeInput("a"), "c1"), adt.DecideOutput("a")),
+		trace.Response("c2", 1, adt.Tag(adt.ProposeInput("b"), "c2"), adt.DecideOutput("b")),
+	}
+	opt, err := Check(f, bad, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := CheckReference(f, bad, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.OK || ref.OK {
+		t.Fatalf("split-decision trace accepted: optimized %v, reference %v", opt.OK, ref.OK)
+	}
+	if ref.Nodes != opt.Nodes {
+		t.Fatalf("reference spent %d nodes, optimized %d", ref.Nodes, opt.Nodes)
+	}
+}
+
+// TestCheckAllMatchesSequential verifies the batch checker returns the
+// same verdicts as sequential checks, in order, for several pool sizes.
+func TestCheckAllMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := adt.Consensus{}
+	inputs := []trace.Value{adt.ProposeInput("a"), adt.ProposeInput("b")}
+	traces := make([]trace.Trace, 64)
+	for i := range traces {
+		opts := workload.TraceOpts{Clients: 3, Ops: 5, Inputs: inputs, UniqueTags: true}
+		if i%2 == 1 {
+			opts.CorruptProb = 0.5
+		}
+		traces[i] = workload.Random(f, r, opts)
+	}
+	want := make([]bool, len(traces))
+	for i, tr := range traces {
+		res, err := Check(f, tr, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.OK
+	}
+	for _, workers := range []int{0, 1, 3, 16} {
+		got, err := CheckAll(f, traces, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range traces {
+			if got[i].OK != want[i] {
+				t.Fatalf("workers=%d trace %d: batch %v, sequential %v", workers, i, got[i].OK, want[i])
+			}
+		}
+		gotC, err := CheckClassicalAll(f, traces, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("classical workers=%d: %v", workers, err)
+		}
+		for i := range traces {
+			if gotC[i].OK != want[i] {
+				t.Fatalf("classical workers=%d trace %d: batch %v, new-definition %v", workers, i, gotC[i].OK, want[i])
+			}
+		}
+	}
+}
+
+// TestCheckAllPropagatesError verifies a budget exhaustion inside the
+// batch surfaces as an error instead of a silent wrong verdict.
+func TestCheckAllPropagatesError(t *testing.T) {
+	f := adt.Consensus{}
+	traces := []trace.Trace{linearizableTrace(), linearizableTrace()}
+	_, err := CheckAll(f, traces, Options{Budget: 1})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("expected ErrBudget, got %v", err)
+	}
+}

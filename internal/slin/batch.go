@@ -1,0 +1,21 @@
+package slin
+
+import (
+	"repro/internal/adt"
+	"repro/internal/check"
+	"repro/internal/trace"
+)
+
+// CheckAll decides SLin_T(m,n) for each trace independently, sharding the
+// batch across a worker pool of Options.Workers goroutines (GOMAXPROCS
+// when zero). Results are in trace order; each check gets its own budget
+// of Options.Budget nodes shared across its interpretation combinations.
+// The first error stops the batch and is returned with partial results.
+//
+// Folder and RInit implementations must be safe for concurrent use; every
+// implementation in packages adt and slin is stateless and qualifies.
+func CheckAll(f adt.Folder, rinit RInit, m, n int, ts []trace.Trace, opts Options) ([]Result, error) {
+	return check.Parallel(ts, opts.Workers, func(_ int, t trace.Trace) (Result, error) {
+		return Check(f, rinit, m, n, t, opts)
+	})
+}

@@ -1,0 +1,202 @@
+package slin
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestHashedMemoAgreesWithReference is the optimization's property test:
+// the digest-keyed, mutate-in-place Check must return the same verdict as
+// the retained string-keyed CheckReference on randomized phase traces, for
+// first phases (m = 1, no Init-Order), second phases (m = 2, init actions
+// with representative interpretations), both Abort-Order semantics, and
+// clean as well as violating schedules. On negative verdicts the two must
+// also spend the same number of search nodes (failed searches explore the
+// whole memoized DAG, whose size is branch-order independent).
+func TestHashedMemoAgreesWithReference(t *testing.T) {
+	t.Run("first-phase", func(t *testing.T) {
+		r := rand.New(rand.NewSource(99))
+		for i := 0; i < 300; i++ {
+			opts := workload.PhaseOpts{Clients: 2 + r.Intn(2), NoLateOps: i%2 == 0}
+			if i%3 == 0 {
+				opts.ViolateProb = 0.4
+			}
+			tr := workload.FirstPhase(r, opts)
+			sopts := Options{TemporalAbortOrder: i%4 < 2}
+			compareImpls(t, adt.Consensus{}, ConsensusRInit{Probe: i%5 == 0}, 1, 2, tr, sopts)
+		}
+	})
+	t.Run("second-phase", func(t *testing.T) {
+		r := rand.New(rand.NewSource(299))
+		for i := 0; i < 300; i++ {
+			opts := workload.PhaseOpts{Clients: 2 + r.Intn(2)}
+			if i%3 == 0 {
+				opts.ViolateProb = 0.4
+			}
+			tr := workload.SecondPhase(r, 2, opts)
+			sopts := Options{TemporalAbortOrder: i%4 < 2}
+			compareImpls(t, adt.Consensus{}, ConsensusRInit{Probe: i%5 == 0}, 2, 3, tr, sopts)
+		}
+	})
+	t.Run("switch-free", func(t *testing.T) {
+		// Abort-free traces (plain operations checked as SLin(1,2) per
+		// Theorem 2) exercise the exact node-count parity on failures.
+		r := rand.New(rand.NewSource(399))
+		inputs := []trace.Value{adt.ProposeInput("a"), adt.ProposeInput("b")}
+		for i := 0; i < 200; i++ {
+			opts := workload.TraceOpts{Clients: 3, Ops: 4 + r.Intn(3), Inputs: inputs, UniqueTags: true}
+			if i%2 == 1 {
+				opts.CorruptProb = 0.5
+			}
+			tr := workload.Random(adt.Consensus{}, r, opts)
+			compareImpls(t, adt.Consensus{}, UniversalRInit{}, 1, 2, tr, Options{})
+		}
+	})
+}
+
+func compareImpls(t *testing.T, f adt.Folder, rinit RInit, m, n int, tr trace.Trace, opts Options) {
+	t.Helper()
+	got, err := Check(f, rinit, m, n, tr, opts)
+	if err != nil {
+		t.Fatalf("optimized: %v", err)
+	}
+	want, err := CheckReference(f, rinit, m, n, tr, opts)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	if got.OK != want.OK {
+		t.Fatalf("verdict mismatch on %v (m=%d n=%d temporal=%v): optimized %v, reference %v",
+			tr, m, n, opts.TemporalAbortOrder, got.OK, want.OK)
+	}
+	// Node counts are comparable only on negative verdicts of abort-free
+	// traces: a failed commit search explores the whole memoized DAG
+	// (branch-order independent), but a successful abort-history
+	// sub-search stops at the first admitted history, whose cost depends
+	// on the reference's map-iteration order.
+	hasAbort := false
+	for _, a := range tr {
+		if a.IsAbort(n) {
+			hasAbort = true
+			break
+		}
+	}
+	if !got.OK && !hasAbort && got.Nodes != want.Nodes {
+		t.Fatalf("node count mismatch on %v: optimized %d, reference %d", tr, got.Nodes, want.Nodes)
+	}
+	if got.OK {
+		for _, w := range got.Witnesses {
+			if err := VerifyWitness(f, rinit, m, n, tr, w, opts.TemporalAbortOrder); err != nil {
+				t.Fatalf("optimized witness invalid on %v: %v", tr, err)
+			}
+		}
+	}
+}
+
+// slinTestTrace is a small first-phase trace with a switch, exercising
+// commit, abort-discharge and the consensus r_init.
+func slinTestTrace() trace.Trace {
+	inA := adt.Tag(adt.ProposeInput("a"), "q1")
+	inB := adt.Tag(adt.ProposeInput("b"), "q2")
+	return trace.Trace{
+		trace.Invoke("q1", 1, inA),
+		trace.Invoke("q2", 1, inB),
+		trace.Response("q1", 1, inA, adt.DecideOutput("a")),
+		trace.Switch("q2", 2, inB, "a"),
+	}
+}
+
+// TestCheckAllocsRegression pins the allocation budget of the slin hot
+// path; the bound is loose (≈2× current) so it catches a return to
+// per-node allocation, not noise.
+func TestCheckAllocsRegression(t *testing.T) {
+	tr := slinTestTrace()
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := Check(adt.Consensus{}, ConsensusRInit{}, 1, 2, tr, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("slin.Check: %.1f allocs/op", allocs)
+	if allocs > 120 {
+		t.Errorf("slin.Check allocates %.1f times per op; budget is 120 (hot path regressed to per-node allocation?)", allocs)
+	}
+}
+
+// TestBudgetSharedAcrossInterpretations verifies the uniform budget
+// semantics: one budget per Check call, shared across all
+// init-interpretation combinations, with Result.Nodes never exceeding it.
+func TestBudgetSharedAcrossInterpretations(t *testing.T) {
+	// A second-phase trace with an init action checked under Probe has two
+	// representative interpretations, so Check runs existsWitness at least
+	// twice; with a shared budget the total node count must still be
+	// bounded by one budget, not one per combination.
+	r := rand.New(rand.NewSource(5))
+	var tr trace.Trace
+	for i := 0; i < 50; i++ {
+		tr = workload.SecondPhase(r, 2, workload.PhaseOpts{Clients: 3})
+		res, err := Check(adt.Consensus{}, ConsensusRInit{Probe: true}, 2, 3, tr, Options{})
+		if err != nil || !res.OK || len(res.Witnesses) < 2 {
+			continue
+		}
+		// Found a trace exercising ≥2 combinations.
+		full := res
+		if full.Nodes <= 0 {
+			t.Fatalf("expected positive node count, got %d", full.Nodes)
+		}
+		if _, err := Check(adt.Consensus{}, ConsensusRInit{Probe: true}, 2, 3, tr, Options{Budget: full.Nodes}); err != nil {
+			t.Fatalf("budget == nodes should succeed, got %v", err)
+		}
+		if _, err := Check(adt.Consensus{}, ConsensusRInit{Probe: true}, 2, 3, tr, Options{Budget: full.Nodes - 1}); !errors.Is(err, ErrBudget) {
+			t.Fatalf("budget == nodes-1 should exhaust, got %v", err)
+		}
+		return
+	}
+	t.Fatal("no generated trace exercised two interpretation combinations")
+}
+
+// TestBudgetExhaustionSurfaces verifies a tiny budget yields ErrBudget.
+func TestBudgetExhaustionSurfaces(t *testing.T) {
+	if _, err := Check(adt.Consensus{}, ConsensusRInit{}, 1, 2, slinTestTrace(), Options{Budget: 1}); !errors.Is(err, ErrBudget) {
+		t.Fatalf("expected ErrBudget, got %v", err)
+	}
+	if _, err := CheckReference(adt.Consensus{}, ConsensusRInit{}, 1, 2, slinTestTrace(), Options{Budget: 1}); !errors.Is(err, ErrBudget) {
+		t.Fatalf("reference: expected ErrBudget, got %v", err)
+	}
+}
+
+// TestCheckAllMatchesSequential verifies the batch checker returns the
+// same verdicts as sequential checks, in order, for several pool sizes.
+func TestCheckAllMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	traces := make([]trace.Trace, 48)
+	for i := range traces {
+		opts := workload.PhaseOpts{Clients: 3, NoLateOps: true}
+		if i%3 == 0 {
+			opts.ViolateProb = 0.4
+		}
+		traces[i] = workload.FirstPhase(r, opts)
+	}
+	want := make([]bool, len(traces))
+	for i, tr := range traces {
+		res, err := Check(adt.Consensus{}, ConsensusRInit{}, 1, 2, tr, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.OK
+	}
+	for _, workers := range []int{0, 1, 4} {
+		got, err := CheckAll(adt.Consensus{}, ConsensusRInit{}, 1, 2, traces, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range traces {
+			if got[i].OK != want[i] {
+				t.Fatalf("workers=%d trace %d: batch %v, sequential %v", workers, i, got[i].OK, want[i])
+			}
+		}
+	}
+}

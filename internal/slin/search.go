@@ -1,9 +1,6 @@
 package slin
 
 import (
-	"strconv"
-	"strings"
-
 	"repro/internal/adt"
 	"repro/internal/trace"
 )
@@ -22,16 +19,24 @@ import (
 // trace: an abort history must have every commit history as a prefix —
 // including commits later in the trace than the abort — so the chain's
 // final claimed maximum determines the candidates.
-func existsWitness(f adt.Folder, rinit RInit, m, n int, t trace.Trace, finit map[int]trace.History, opts Options) (bool, Witness, error) {
+//
+// This is the optimized implementation: inputs are interned to dense
+// symbols, the chain and all multisets carry incrementally-maintained
+// 128-bit digests, memoization keys are fixed-size structs, and the search
+// mutates one chain in place with undo on backtrack (DESIGN.md, decision
+// 7). CheckReference retains the original string-keyed search; property
+// tests assert the two agree.
+func existsWitness(f adt.Folder, rinit RInit, m, n int, t trace.Trace, finit map[int]trace.History, opts Options, sp *spender) (bool, Witness, error) {
 	s := &searcher{
 		f:         f,
 		rinit:     rinit,
 		m:         m,
 		n:         n,
 		t:         t,
-		budget:    opts.budget(),
+		sp:        sp,
 		temporal:  opts.TemporalAbortOrder,
-		failed:    map[string]bool{},
+		in:        trace.NewInterner(),
+		failed:    make(map[slinKey]struct{}),
 		commitLen: map[int]int{},
 		abortHist: map[int]trace.History{},
 	}
@@ -48,33 +53,59 @@ func existsWitness(f adt.Folder, rinit RInit, m, n int, t trace.Trace, finit map
 		s.L = trace.LCP(initHists)
 	}
 
-	// Precompute the valid-inputs components per index (Definitions 25–26):
-	// ivi[i] is the max-union of init contributions before i, invoked[i]
-	// the multiset of inputs invoked before i.
-	s.ivi = make([]trace.Multiset, len(t)+1)
-	s.invoked = make([]trace.Multiset, len(t)+1)
-	ivi, invoked := trace.Multiset{}, trace.Multiset{}
-	s.ivi[0], s.invoked[0] = ivi, invoked
+	// Intern every value the search can touch: trace inputs, the L anchor
+	// and init-history elements (vi contents are drawn from these).
+	s.isyms = make([]trace.Sym, len(t))
 	for i, a := range t {
+		s.isyms[i] = s.in.Sym(a.Input)
+	}
+	for _, in := range s.L {
+		s.in.Sym(in)
+	}
+	for _, h := range finit {
+		for _, in := range h {
+			s.in.Sym(in)
+		}
+	}
+
+	// Precompute vi(m, t, finit, i) per index (Definitions 25–26): the
+	// max-union of init contributions before i summed with the multiset of
+	// inputs invoked before i. vi is monotone and changes only at Inv and
+	// init actions, so consecutive indices share one snapshot.
+	ivi, invoked := trace.Multiset{}, trace.Multiset{}
+	s.vi = make([]*trace.SymMultiset, len(t)+1)
+	cur := s.toSym(ivi.Sum(invoked))
+	s.vi[0] = &cur
+	for i, a := range t {
+		changed := false
 		switch {
 		case a.Kind == trace.Inv:
-			invoked = invoked.Clone()
 			invoked.Add(a.Input, 1)
+			changed = true
 		case a.IsInit(m) && m != 1:
 			contrib := finit[i].Elems().Union(trace.NewMultiset(a.Input))
 			ivi = ivi.Union(contrib)
+			changed = true
 		}
-		s.ivi[i+1], s.invoked[i+1] = ivi, invoked
+		if changed {
+			next := s.toSym(ivi.Sum(invoked))
+			s.vi[i+1] = &next
+		} else {
+			s.vi[i+1] = s.vi[i]
+		}
 	}
 
 	// Abort obligations, in trace order.
 	for i, a := range t {
 		if a.IsAbort(n) {
-			s.obligations = append(s.obligations, obligation{idx: i, input: a.Input, value: a.SwitchValue})
+			s.obligations = append(s.obligations, obligation{
+				idx: i, input: a.Input, sym: s.isyms[i], value: a.SwitchValue,
+			})
 		}
 	}
 
-	ok, err := s.run(0, s.newChain())
+	s.newChain()
+	ok, err := s.run(0)
 	if err != nil || !ok {
 		return ok, Witness{}, err
 	}
@@ -87,7 +118,7 @@ func existsWitness(f adt.Folder, rinit RInit, m, n int, t trace.Trace, finit map
 		w.Init[i] = h.Clone()
 	}
 	for i, k := range s.commitLen {
-		w.Commits[i] = s.finalChain.hist[:k].Clone()
+		w.Commits[i] = s.finalHist[:k].Clone()
 	}
 	for i, h := range s.abortHist {
 		w.Aborts[i] = h.Clone()
@@ -98,120 +129,170 @@ func existsWitness(f adt.Folder, rinit RInit, m, n int, t trace.Trace, finit map
 type obligation struct {
 	idx   int
 	input trace.Value
+	sym   trace.Sym
 	value trace.Value
 }
+
+// slinKey is the fixed-size memoization key of a search node: the action
+// index plus the chain digest (the availability at a response index is
+// derived from vi(i) and the chain, so the chain digest determines it).
+type slinKey struct {
+	i   int32
+	dig trace.Digest
+}
+
+// visKey identifies a (chain, avail) configuration within one response's
+// extension search.
+type visKey struct{ c, a trace.Digest }
 
 type searcher struct {
 	f           adt.Folder
 	rinit       RInit
 	m, n        int
 	t           trace.Trace
-	budget      int
+	sp          *spender
 	temporal    bool
-	failed      map[string]bool
+	failed      map[slinKey]struct{}
 	initOrder   bool
 	L           trace.History
-	ivi         []trace.Multiset
-	invoked     []trace.Multiset
+	in          *trace.Interner
+	isyms       []trace.Sym
+	vi          []*trace.SymMultiset
 	obligations []obligation
+	chain       schain
+
+	// scratch pools multisets reused by commit/dischargeAt frames, and
+	// the set pools the per-frame visited sets of extendAndCommit and
+	// findAbortHistory, keeping the hot path allocation-free after
+	// warmup.
+	scratch      []*trace.SymMultiset
+	visitedPool  trace.SetPool[visKey]
+	avisitedPool trace.SetPool[trace.Digest]
+
+	// Abort-history search buffer (histories under construction share one
+	// stack; abort searches never nest).
+	abuf  trace.History
+	asyms []trace.Sym
+	adig  trace.Digest
 
 	// Witness assembly (filled on the successful search path).
-	commitLen  map[int]int
-	abortHist  map[int]trace.History
-	finalChain chain
+	commitLen map[int]int
+	abortHist map[int]trace.History
+	finalHist trace.History
 }
 
-// vi returns vi(m, t, finit, i) (Definition 26).
-func (s *searcher) vi(i int) trace.Multiset {
-	return s.ivi[i].Sum(s.invoked[i])
-}
-
-func (s *searcher) spend() error {
-	s.budget--
-	if s.budget < 0 {
-		return ErrBudget
+// toSym converts a plain multiset to an interned vector (setup only).
+func (s *searcher) toSym(m trace.Multiset) trace.SymMultiset {
+	sm := trace.NewSymMultiset(s.in.Len())
+	for v, n := range m {
+		sm.Add(s.in.Sym(v), n)
 	}
-	return nil
+	return sm
 }
 
-// chain is the commit-history chain anchored at L. hist always has L as a
+func (s *searcher) getScratch(src *trace.SymMultiset) *trace.SymMultiset {
+	var m *trace.SymMultiset
+	if n := len(s.scratch); n > 0 {
+		m = s.scratch[n-1]
+		s.scratch = s.scratch[:n-1]
+	} else {
+		m = &trace.SymMultiset{}
+	}
+	m.CopyFrom(src)
+	return m
+}
+
+func (s *searcher) putScratch(m *trace.SymMultiset) { s.scratch = append(s.scratch, m) }
+
+// schain is the commit-history chain anchored at L. hist always has L as a
 // prefix; prefix lengths ≤ base are never claimable (commit histories must
 // be strict extensions of L). After the first commit the chain's endpoint
 // is always claimed, so hist as a whole is the longest commit history.
-type chain struct {
+//
+// The chain is mutated in place along the search path and maintains both a
+// digest of its (symbol, used)-sequence and the multiset of its elements
+// incrementally.
+type schain struct {
 	f      adt.Folder
 	base   int
 	hist   trace.History
+	syms   []trace.Sym
 	states []adt.State // states[k] folds hist[:k]; len == len(hist)+1
 	outs   []trace.Value
 	used   []bool
 	nused  int
+	dig    trace.Digest
+	elems  trace.SymMultiset
 }
 
-func (s *searcher) newChain() chain {
-	c := chain{f: s.f, base: len(s.L)}
+func (s *searcher) newChain() {
+	c := schain{f: s.f, base: len(s.L)}
 	c.states = make([]adt.State, 1, len(s.L)+1)
 	c.states[0] = s.f.Empty()
+	c.elems = trace.NewSymMultiset(s.in.Len())
+	s.chain = c
 	for _, in := range s.L {
-		st := c.states[len(c.states)-1]
-		c.hist = append(c.hist, in)
-		c.outs = append(c.outs, s.f.Out(st, in))
-		c.states = append(c.states, s.f.Step(st, in))
-		c.used = append(c.used, false)
+		s.chain.push(in, s.in.Sym(in))
 	}
-	return c
 }
 
-func (c chain) state() adt.State { return c.states[len(c.states)-1] }
+func (c *schain) len() int { return len(c.hist) }
 
-func (c chain) extend(in trace.Value) chain {
+func (c *schain) state() adt.State { return c.states[len(c.states)-1] }
+
+func (c *schain) push(in trace.Value, sym trace.Sym) {
 	st := c.state()
-	n := chain{f: c.f, base: c.base, nused: c.nused}
-	n.hist = c.hist.Append(in)
-	n.states = append(append(make([]adt.State, 0, len(c.states)+1), c.states...), c.f.Step(st, in))
-	n.outs = append(append(make([]trace.Value, 0, len(c.outs)+1), c.outs...), c.f.Out(st, in))
-	n.used = append(append(make([]bool, 0, len(c.used)+1), c.used...), false)
-	return n
+	c.dig = c.dig.Add(trace.HashElem(len(c.hist), sym, false))
+	c.elems.Add(sym, 1)
+	c.hist = append(c.hist, in)
+	c.syms = append(c.syms, sym)
+	c.states = append(c.states, c.f.Step(st, in))
+	c.outs = append(c.outs, c.f.Out(st, in))
+	c.used = append(c.used, false)
 }
 
-func (c chain) markUsed(k int) chain {
-	n := c
-	n.used = append(make([]bool, 0, len(c.used)), c.used...)
-	n.used[k-1] = true
-	n.nused++
-	return n
+func (c *schain) pop() {
+	n := len(c.hist) - 1
+	c.dig = c.dig.Sub(trace.HashElem(n, c.syms[n], false))
+	c.elems.Add(c.syms[n], -1)
+	c.hist = c.hist[:n]
+	c.syms = c.syms[:n]
+	c.states = c.states[:n+1]
+	c.outs = c.outs[:n]
+	c.used = c.used[:n]
 }
 
-func (c chain) key() string {
-	var b strings.Builder
-	for i, v := range c.hist {
-		b.WriteString(v)
-		if c.used[i] {
-			b.WriteByte('*')
-		}
-		b.WriteByte('\x00')
-	}
-	return b.String()
+func (c *schain) setUsed(k int) {
+	c.dig = c.dig.Sub(trace.HashElem(k-1, c.syms[k-1], false)).Add(trace.HashElem(k-1, c.syms[k-1], true))
+	c.used[k-1] = true
+	c.nused++
 }
 
-// run processes the trace from action index i.
-func (s *searcher) run(i int, c chain) (bool, error) {
-	if err := s.spend(); err != nil {
+func (c *schain) clearUsed(k int) {
+	c.dig = c.dig.Sub(trace.HashElem(k-1, c.syms[k-1], true)).Add(trace.HashElem(k-1, c.syms[k-1], false))
+	c.used[k-1] = false
+	c.nused--
+}
+
+// run processes the trace from action index i against the current chain;
+// the chain is restored before it returns.
+func (s *searcher) run(i int) (bool, error) {
+	if err := s.sp.spend(); err != nil {
 		return false, err
 	}
 	if i == len(s.t) {
 		if s.temporal {
-			s.finalChain = c
+			s.finalHist = s.chain.hist.Clone()
 			return true, nil // obligations were discharged inline
 		}
-		ok, err := s.dischargeObligations(c)
+		ok, err := s.dischargeObligations()
 		if ok {
-			s.finalChain = c
+			s.finalHist = s.chain.hist.Clone()
 		}
 		return ok, err
 	}
-	key := strconv.Itoa(i) + "|" + c.key()
-	if s.failed[key] {
+	key := slinKey{i: int32(i), dig: s.chain.dig}
+	if _, hit := s.failed[key]; hit {
 		return false, nil
 	}
 	a := s.t[i]
@@ -219,39 +300,42 @@ func (s *searcher) run(i int, c chain) (bool, error) {
 	var err error
 	switch {
 	case a.Kind == trace.Res:
-		ok, err = s.commit(i, c, a)
+		ok, err = s.commit(i, a)
 	case a.IsAbort(s.n) && s.temporal:
 		// Temporal Abort-Order: the abort history must cover only commits
 		// made so far, so its interpretation can be chosen immediately.
-		ok, err = s.dischargeAt(obligation{idx: i, input: a.Input, value: a.SwitchValue}, c)
+		ok, err = s.dischargeAt(obligation{idx: i, input: a.Input, sym: s.isyms[i], value: a.SwitchValue})
 		if err == nil && ok {
-			ok, err = s.run(i+1, c)
+			ok, err = s.run(i + 1)
 		}
 	default:
 		// Invocations and switch actions carry no search choice: their
 		// effects (invoked inputs, ivi contributions, abort obligations)
 		// are precomputed per index.
-		ok, err = s.run(i+1, c)
+		ok, err = s.run(i + 1)
 	}
 	if err != nil {
 		return false, err
 	}
 	if !ok {
-		s.failed[key] = true
+		s.failed[key] = struct{}{}
 	}
 	return ok, nil
 }
 
 // commit handles a response action at index i.
-func (s *searcher) commit(i int, c chain, a trace.Action) (bool, error) {
+func (s *searcher) commit(i int, a trace.Action) (bool, error) {
+	asym := s.isyms[i]
 	// Claim an unused prefix length strictly beyond the L anchor. Elements
 	// of the chain were validated against vi at the index that appended
 	// them; vi is monotone, so Validity holds at i automatically.
-	for k := c.base + 1; k <= len(c.hist); k++ {
-		if c.used[k-1] || c.hist[k-1] != a.Input || c.outs[k-1] != a.Output {
+	for k := s.chain.base + 1; k <= s.chain.len(); k++ {
+		if s.chain.used[k-1] || s.chain.syms[k-1] != asym || s.chain.outs[k-1] != a.Output {
 			continue
 		}
-		ok, err := s.run(i+1, c.markUsed(k))
+		s.chain.setUsed(k)
+		ok, err := s.run(i + 1)
+		s.chain.clearUsed(k)
 		if ok {
 			s.commitLen[i] = k
 		}
@@ -262,52 +346,63 @@ func (s *searcher) commit(i int, c chain, a trace.Action) (bool, error) {
 	// Extend the chain. The whole extended history must satisfy Validity
 	// at i: elems(hist) ⊆ vi(i). The chain prefix may fail this when L
 	// contains inputs whose init actions occur after i.
-	vi := s.vi(i)
-	if !c.hist.Elems().SubsetOf(vi) {
+	vi := s.vi[i]
+	if !s.chain.elems.SubsetOf(vi) {
 		return false, nil
 	}
-	avail := vi.Clone()
-	for _, in := range c.hist {
-		avail.Add(in, -1)
-	}
-	return s.extendAndCommit(i, c, avail, a, map[string]bool{})
+	avail := s.getScratch(vi)
+	avail.SubtractAll(&s.chain.elems)
+	visited := s.visitedPool.Get()
+	ok, err := s.extendAndCommit(i, a, asym, avail, visited)
+	s.visitedPool.Put(visited)
+	s.putScratch(avail)
+	return ok, err
 }
 
 // extendAndCommit explores chain extensions whose last element is the
 // response's input. Intermediate appended elements create new unclaimed
 // prefix lengths that later commits may claim.
-func (s *searcher) extendAndCommit(i int, c chain, avail trace.Multiset, a trace.Action, visited map[string]bool) (bool, error) {
-	if err := s.spend(); err != nil {
+func (s *searcher) extendAndCommit(i int, a trace.Action, asym trace.Sym, avail *trace.SymMultiset, visited map[visKey]struct{}) (bool, error) {
+	if err := s.sp.spend(); err != nil {
 		return false, err
 	}
-	vkey := c.key() + "|" + avail.Key()
-	if visited[vkey] {
+	vk := visKey{c: s.chain.dig, a: avail.Digest()}
+	if _, hit := visited[vk]; hit {
 		return false, nil
 	}
-	visited[vkey] = true
+	visited[vk] = struct{}{}
 
 	// Close the extension with the response's own input.
-	if avail.Count(a.Input) > 0 && s.f.Out(c.state(), a.Input) == a.Output {
-		nc := c.extend(a.Input)
-		nc = nc.markUsed(len(nc.hist))
-		if s.commitCompatibleWithAborts(i, nc) {
-			ok, err := s.run(i+1, nc)
+	if avail.Count(asym) > 0 && s.f.Out(s.chain.state(), a.Input) == a.Output {
+		s.chain.push(a.Input, asym)
+		k := s.chain.len()
+		s.chain.setUsed(k)
+		if s.commitCompatibleWithAborts(i) {
+			avail.Add(asym, -1)
+			ok, err := s.run(i + 1)
+			avail.Add(asym, 1)
 			if ok {
-				s.commitLen[i] = len(nc.hist)
+				s.commitLen[i] = k
 			}
 			if err != nil || ok {
+				s.chain.clearUsed(k)
+				s.chain.pop()
 				return ok, err
 			}
 		}
+		s.chain.clearUsed(k)
+		s.chain.pop()
 	}
 	// Append some other available input as an intermediate element.
-	for in, cnt := range avail {
-		if cnt <= 0 {
+	for sym := trace.Sym(0); int(sym) < avail.NumSyms(); sym++ {
+		if avail.Count(sym) <= 0 {
 			continue
 		}
-		na := avail.Clone()
-		na.Add(in, -1)
-		ok, err := s.extendAndCommit(i, c.extend(in), na, a, visited)
+		avail.Add(sym, -1)
+		s.chain.push(s.in.Value(sym), sym)
+		ok, err := s.extendAndCommit(i, a, asym, avail, visited)
+		s.chain.pop()
+		avail.Add(sym, 1)
 		if err != nil || ok {
 			return ok, err
 		}
@@ -322,16 +417,15 @@ func (s *searcher) extendAndCommit(i int, c chain, avail trace.Multiset, a trace
 // abort index seen so far. This is a necessary condition checked eagerly;
 // full obligations are discharged at the end of the trace. Under temporal
 // Abort-Order, commits after an abort are unconstrained by it.
-func (s *searcher) commitCompatibleWithAborts(i int, c chain) bool {
+func (s *searcher) commitCompatibleWithAborts(i int) bool {
 	if s.temporal {
 		return true
 	}
-	elems := c.hist.Elems()
 	for _, ob := range s.obligations {
 		if ob.idx >= i {
 			break
 		}
-		if !elems.SubsetOf(s.vi(ob.idx)) {
+		if !s.chain.elems.SubsetOf(s.vi[ob.idx]) {
 			return false
 		}
 	}
@@ -350,9 +444,9 @@ func (s *searcher) commitCompatibleWithAborts(i int, c chain) bool {
 //
 // Obligations are independent of each other, so they are discharged one by
 // one.
-func (s *searcher) dischargeObligations(c chain) (bool, error) {
+func (s *searcher) dischargeObligations() (bool, error) {
 	for _, ob := range s.obligations {
-		ok, err := s.dischargeAt(ob, c)
+		ok, err := s.dischargeAt(ob)
 		if err != nil || !ok {
 			return false, err
 		}
@@ -361,57 +455,77 @@ func (s *searcher) dischargeObligations(c chain) (bool, error) {
 }
 
 // dischargeAt finds an interpretation for a single abort obligation given
-// the chain covering the commits it must extend.
-func (s *searcher) dischargeAt(ob obligation, c chain) (bool, error) {
-	vi := s.vi(ob.idx)
-	if vi.Count(ob.input) < 1 {
+// the current chain covering the commits it must extend. When no commit
+// exists the chain is exactly L (extensions persist only on committed
+// paths), matching the reference's explicit base = L case.
+func (s *searcher) dischargeAt(ob obligation) (bool, error) {
+	vi := s.vi[ob.idx]
+	if vi.Count(ob.sym) < 1 {
 		return false, nil
 	}
-	base := c.hist
-	if c.nused == 0 {
-		// No commits: abort histories need only extend L strictly
-		// (when Init-Order applies); the chain is exactly L.
-		base = s.L
-	}
-	if !base.Elems().SubsetOf(vi) {
+	if !s.chain.elems.SubsetOf(vi) {
 		return false, nil
 	}
-	budget := vi.Clone()
-	for _, in := range base {
-		budget.Add(in, -1)
+	budget := s.getScratch(vi)
+	budget.SubtractAll(&s.chain.elems)
+	// Seed the shared abort-history buffer with the base (the chain). The
+	// buffer digest ignores used-bits (they are chain bookkeeping, not
+	// part of the abort history), so it is rebuilt rather than copied.
+	s.abuf = append(s.abuf[:0], s.chain.hist...)
+	s.asyms = append(s.asyms[:0], s.chain.syms...)
+	s.adig = trace.Digest{}
+	for p, sym := range s.asyms {
+		s.adig = s.adig.Add(trace.HashElem(p, sym, false))
 	}
-	needStrict := s.initOrder && c.nused == 0
-	h, ok, err := s.findAbortHistory(ob, base, budget, needStrict, map[string]bool{})
-	if ok {
-		s.abortHist[ob.idx] = h
-	}
+	needStrict := s.initOrder && s.chain.nused == 0
+	visited := s.avisitedPool.Get()
+	ok, err := s.findAbortHistory(ob, budget, needStrict, visited)
+	s.avisitedPool.Put(visited)
+	s.putScratch(budget)
 	return ok, err
 }
 
-// findAbortHistory searches extensions of base admitted by r_init(v),
-// returning the first admitted history found.
-func (s *searcher) findAbortHistory(ob obligation, h trace.History, budget trace.Multiset, needStrict bool, visited map[string]bool) (trace.History, bool, error) {
-	if err := s.spend(); err != nil {
-		return nil, false, err
+// apush/apop extend and retract the shared abort-history buffer.
+func (s *searcher) apush(sym trace.Sym) {
+	s.adig = s.adig.Add(trace.HashElem(len(s.abuf), sym, false))
+	s.abuf = append(s.abuf, s.in.Value(sym))
+	s.asyms = append(s.asyms, sym)
+}
+
+func (s *searcher) apop(sym trace.Sym) {
+	n := len(s.abuf) - 1
+	s.adig = s.adig.Sub(trace.HashElem(n, sym, false))
+	s.abuf = s.abuf[:n]
+	s.asyms = s.asyms[:n]
+}
+
+// findAbortHistory searches extensions of the buffered base admitted by
+// r_init(v). On success the admitted history is recorded in abortHist
+// before the stack unwinds.
+func (s *searcher) findAbortHistory(ob obligation, budget *trace.SymMultiset, needStrict bool, visited map[trace.Digest]struct{}) (bool, error) {
+	if err := s.sp.spend(); err != nil {
+		return false, err
 	}
-	key := historyKey(h)
-	if visited[key] {
-		return nil, false, nil
+	if _, hit := visited[s.adig]; hit {
+		return false, nil
 	}
-	visited[key] = true
-	if !needStrict && s.rinit.Admits(ob.value, h) {
-		return h, true, nil
+	visited[s.adig] = struct{}{}
+	if !needStrict && s.rinit.Admits(ob.value, s.abuf) {
+		s.abortHist[ob.idx] = s.abuf.Clone()
+		return true, nil
 	}
-	for in, cnt := range budget {
-		if cnt <= 0 {
+	for sym := trace.Sym(0); int(sym) < budget.NumSyms(); sym++ {
+		if budget.Count(sym) <= 0 {
 			continue
 		}
-		nb := budget.Clone()
-		nb.Add(in, -1)
-		found, ok, err := s.findAbortHistory(ob, h.Append(in), nb, false, visited)
+		budget.Add(sym, -1)
+		s.apush(sym)
+		ok, err := s.findAbortHistory(ob, budget, false, visited)
+		s.apop(sym)
+		budget.Add(sym, 1)
 		if err != nil || ok {
-			return found, ok, err
+			return ok, err
 		}
 	}
-	return nil, false, nil
+	return false, nil
 }

@@ -11,15 +11,21 @@ import (
 // ErrBudget is returned when a check exceeds its search budget.
 var ErrBudget = errors.New("slin: search budget exhausted")
 
-// DefaultBudget bounds the number of search nodes explored per
-// interpretation combination.
+// DefaultBudget bounds the number of search nodes explored per check.
 const DefaultBudget = 2_000_000
 
 // Options configures a check.
 type Options struct {
-	// Budget bounds search nodes per interpretation combination; 0 means
-	// DefaultBudget.
+	// Budget bounds the total number of search nodes per Check call,
+	// shared across all init-interpretation combinations; 0 means
+	// DefaultBudget. A search node is one recursive step of the search
+	// (the granularity is uniform with lin.Check and lin.CheckClassical:
+	// every recursive descent — trace step, chain extension, abort-history
+	// extension — spends one node).
 	Budget int
+	// Workers bounds the worker pool used by CheckAll; 0 means
+	// GOMAXPROCS. Single-trace checks ignore it.
+	Workers int
 	// TemporalAbortOrder weakens Abort-Order (Definition 32) to constrain
 	// only commit histories of responses occurring before the abort action
 	// in the trace.
@@ -77,7 +83,30 @@ type Result struct {
 	// Witnesses holds one witness per checked init-interpretation
 	// combination when OK.
 	Witnesses []Witness
+	// Nodes is the number of search nodes the check spent across all
+	// interpretation combinations (always at most the budget; comparable
+	// with lin.Result.Nodes).
+	Nodes int
 }
+
+// spender is the per-call search budget, shared by every interpretation
+// combination and sub-search of one Check call.
+type spender struct {
+	nodes  int
+	budget int
+}
+
+func (sp *spender) spend() error {
+	sp.nodes++
+	if sp.nodes > sp.budget {
+		return ErrBudget
+	}
+	return nil
+}
+
+// existsFn is the signature shared by the optimized and reference
+// implementations of Definition 19's existential part.
+type existsFn func(f adt.Folder, rinit RInit, m, n int, t trace.Trace, finit map[int]trace.History, opts Options, sp *spender) (bool, Witness, error)
 
 // Check decides whether t satisfies SLin_T(m,n) (Definition 36) for the
 // ADT f and the phase-agreed relation rinit. Switch actions with phase
@@ -85,6 +114,13 @@ type Result struct {
 // switch actions with interior parameters (m < o < n) may occur in
 // composed traces and are ignored, mirroring Definition 33's projection.
 func Check(f adt.Folder, rinit RInit, m, n int, t trace.Trace, opts Options) (Result, error) {
+	return checkWith(f, rinit, m, n, t, opts, existsWitness)
+}
+
+// checkWith is the common driver for Check and CheckReference: it
+// enumerates init-interpretation combinations and delegates the
+// existential search, with one budget shared across the whole call.
+func checkWith(f adt.Folder, rinit RInit, m, n int, t trace.Trace, opts Options, exists existsFn) (Result, error) {
 	if m >= n || m < 1 {
 		return Result{}, fmt.Errorf("slin: invalid phase range (%d,%d)", m, n)
 	}
@@ -115,12 +151,13 @@ func Check(f adt.Folder, rinit RInit, m, n int, t trace.Trace, opts Options) (Re
 
 	combo := make([]int, len(initIdx))
 	var witnesses []Witness
+	sp := &spender{budget: opts.budget()}
 	for {
 		finit := map[int]trace.History{}
 		for k, i := range initIdx {
 			finit[i] = choices[k][combo[k]]
 		}
-		ok, w, err := existsWitness(f, rinit, m, n, t, finit, opts)
+		ok, w, err := exists(f, rinit, m, n, t, finit, opts, sp)
 		if err != nil {
 			return Result{}, err
 		}
@@ -129,6 +166,7 @@ func Check(f adt.Folder, rinit RInit, m, n int, t trace.Trace, opts Options) (Re
 				OK:         false,
 				Reason:     "no speculative linearization function for some init interpretation",
 				FailedInit: finit,
+				Nodes:      sp.nodes,
 			}, nil
 		}
 		witnesses = append(witnesses, w)
@@ -145,7 +183,7 @@ func Check(f adt.Folder, rinit RInit, m, n int, t trace.Trace, opts Options) (Re
 			break
 		}
 	}
-	return Result{OK: true, Witnesses: witnesses}, nil
+	return Result{OK: true, Witnesses: witnesses, Nodes: sp.nodes}, nil
 }
 
 // CheckLin decides plain linearizability of a switch-free trace via the
