@@ -1,0 +1,109 @@
+// The machine-readable summary for the sharded-SMR refactor (ISSUE 2):
+// TestWriteBench2JSON runs the E12 shard sweep — a keyed KV workload
+// hash-partitioned across 1..16 independent speculative replicated logs
+// sharing one simulated network — and records BENCH_2.json. At the
+// largest configuration the sweep lands one million simulated commands;
+// every shard's history is decomposed per key and checked linearizable
+// with the exact checker, and per-shard log agreement is verified.
+package speclin_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+type bench2Summary struct {
+	Issue       int    `json:"issue"`
+	Description string `json:"description"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	Config      struct {
+		Clients      int   `json:"clients"`
+		Servers      int   `json:"servers"`
+		PaceDelays   int64 `json:"pace_delays"`
+		CompactEvery int   `json:"compact_every"`
+		Seed         int64 `json:"seed"`
+	} `json:"config"`
+	Rows []experiments.ShardRunResult `json:"shard_sweep"`
+}
+
+// TestWriteBench2JSON regenerates BENCH_2.json on every plain `go test .`
+// run. Under -short or the race detector it runs a scaled-down smoke
+// sweep and leaves the recorded artifact untouched.
+func TestWriteBench2JSON(t *testing.T) {
+	shards, perShard, zipfPerShard := experiments.E12Shards, experiments.E12PerShard, experiments.E12ZipfPerShard
+	full := !raceEnabled && !testing.Short()
+	if !full {
+		shards, perShard, zipfPerShard = []int{1, 4}, 2_000, 500
+	}
+	rows, err := experiments.E12Rows(shards, perShard, zipfPerShard)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, r := range rows {
+		if !r.Linearizable {
+			t.Errorf("shards=%d %s: per-key histories not all linearizable", r.Shards, r.Distribution)
+		}
+		if !r.Consistent {
+			t.Errorf("shards=%d %s: per-shard log agreement failed", r.Shards, r.Distribution)
+		}
+		if int64(r.Commands) != r.CheckedOps {
+			t.Errorf("shards=%d %s: checked %d ops of %d landed commands",
+				r.Shards, r.Distribution, r.CheckedOps, r.Commands)
+		}
+		t.Logf("shards=%2d %-10s commands=%7d cmds/delay=%.3f fast-path=%.1f%% latency=%.1f checked=%d histories (%.0fms)",
+			r.Shards, r.Distribution, r.Commands, r.CmdsPerDelay,
+			100*r.FastPathRate, r.MeanLatency, r.KeyHistories, r.CheckWallMs)
+	}
+
+	// Weak scaling: constant per-shard offered load must sustain
+	// near-linear total throughput.
+	first, last := rows[0], rows[len(rows)-2] // last uniform row (zipf row is appended after)
+	wantRatio := float64(last.Shards) / float64(first.Shards)
+	gotRatio := last.CmdsPerDelay / first.CmdsPerDelay
+	if gotRatio < 0.7*wantRatio {
+		t.Errorf("throughput scaled %.2fx from %d to %d shards (want ≥ %.2fx)",
+			gotRatio, first.Shards, last.Shards, 0.7*wantRatio)
+	}
+
+	if !full {
+		t.Log("short/race mode: BENCH_2.json left untouched")
+		return
+	}
+	if top := rows[len(rows)-2]; top.Commands < 1_000_000 {
+		t.Errorf("largest configuration landed %d commands (want ≥ 1,000,000)", top.Commands)
+	}
+	sum := bench2Summary{
+		Issue: 2,
+		Description: "sharded replicated-log SMR: keyed KV workload hash-partitioned across " +
+			"independent speculative logs (Quorum fast path + Paxos backup per slot) sharing " +
+			"one simulated network; weak scaling at 62,500 commands/shard, paced open-loop " +
+			"submission, log compaction on; per-key histories checked linearizable " +
+			"(lin.CheckAll) and per-shard log agreement verified",
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Rows:       rows,
+	}
+	sum.Config.Clients = experiments.E12Base.Clients
+	sum.Config.Servers = experiments.E12Base.Servers
+	sum.Config.PaceDelays = int64(experiments.E12Base.Pace)
+	sum.Config.CompactEvery = experiments.E12Base.CompactEvery
+	sum.Config.Seed = experiments.E12Base.Seed
+
+	out, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_2.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println("wrote BENCH_2.json")
+}

@@ -1,0 +1,129 @@
+// Command smr-bench drives the sharded SMR cluster: a keyed KV workload
+// (uniform or zipf-skewed keys) hash-partitioned across N independent
+// speculative replicated logs sharing one simulated network, with
+// per-shard log agreement and per-key linearizability checked after the
+// run (experiment E12 / BENCH_2.json).
+//
+// Usage:
+//
+//	smr-bench                          # one run with the defaults
+//	smr-bench -shards 8 -commands 500000
+//	smr-bench -sweep 1,2,4,8,16 -per-shard 62500 -json BENCH.json
+//	smr-bench -zipf 1.2 -read-frac 0.5 -pace 0   # skewed, closed-loop
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/msgnet"
+)
+
+func main() {
+	var (
+		shards   = flag.Int("shards", 4, "number of shards (independent replicated logs)")
+		commands = flag.Int("commands", 100_000, "total commands (single run)")
+		sweep    = flag.String("sweep", "", "comma-separated shard counts; runs a weak-scaling sweep instead of a single run")
+		perShard = flag.Int("per-shard", 62_500, "commands per shard in sweep mode")
+		clients  = flag.Int("clients", 4, "client processes")
+		servers  = flag.Int("servers", 3, "server processes")
+		keys     = flag.Int("keys", 0, "distinct keys (0: commands/64)")
+		readFrac = flag.Float64("read-frac", 0.3, "fraction of reads (negative: pure-write)")
+		zipf     = flag.Float64("zipf", 0, "zipf key-skew exponent (must be > 1); 0 = uniform")
+		pace     = flag.Int64("pace", 12, "per-client feed period in message delays (0: closed-loop burst at t=0)")
+		seed     = flag.Int64("seed", 1, "workload and network seed")
+		compact  = flag.Int("compact-every", 64, "log compaction window (0: off)")
+		budget   = flag.Int("budget", 0, "per-history check budget (0: checker default)")
+		noCheck  = flag.Bool("skip-check", false, "skip the per-key linearizability check")
+		jsonOut  = flag.String("json", "", "write results as JSON to this file")
+	)
+	flag.Parse()
+
+	if *zipf > 0 && *zipf <= 1 {
+		fmt.Fprintln(os.Stderr, "smr-bench: -zipf must exceed 1 (use 0 for uniform)")
+		os.Exit(2)
+	}
+
+	base := experiments.ShardRunConfig{
+		Shards:       *shards,
+		Commands:     *commands,
+		Clients:      *clients,
+		Servers:      *servers,
+		Keys:         *keys,
+		ReadFrac:     *readFrac,
+		ZipfS:        *zipf,
+		Pace:         msgnet.Time(*pace),
+		Seed:         *seed,
+		CompactEvery: *compact,
+		Budget:       *budget,
+		SkipCheck:    *noCheck,
+	}
+
+	var rows []experiments.ShardRunResult
+	if *sweep != "" {
+		var counts []int
+		for _, s := range strings.Split(*sweep, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "smr-bench: bad -sweep entry %q\n", s)
+				os.Exit(2)
+			}
+			counts = append(counts, n)
+		}
+		var err error
+		rows, err = experiments.ShardSweep(counts, *perShard, base)
+		if err != nil {
+			fail(rows, err)
+		}
+	} else {
+		r, err := experiments.RunSharded(base)
+		if err != nil {
+			fail(rows, err)
+		}
+		rows = append(rows, r)
+	}
+
+	for _, r := range rows {
+		report(r)
+	}
+	if len(rows) > 1 {
+		fmt.Printf("throughput scaling %d→%d shards: %.2fx\n",
+			rows[0].Shards, rows[len(rows)-1].Shards,
+			rows[len(rows)-1].CmdsPerDelay/rows[0].CmdsPerDelay)
+	}
+	if *jsonOut != "" {
+		out, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			fail(nil, err)
+		}
+		if err := os.WriteFile(*jsonOut, append(out, '\n'), 0o644); err != nil {
+			fail(nil, err)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+}
+
+func report(r experiments.ShardRunResult) {
+	check := "skipped"
+	if r.KeyHistories > 0 {
+		check = fmt.Sprintf("%d key histories linearizable (%d ops, %.0fms)",
+			r.KeyHistories, r.CheckedOps, r.CheckWallMs)
+	}
+	fmt.Printf("shards=%-2d %-10s commands=%-8d sim=%d delays  %.3f cmds/delay  "+
+		"fast-path=%.1f%%  latency=%.1f  wall=%.0fms (%.0f cmds/s)\n  consistency ok; %s\n",
+		r.Shards, r.Distribution, r.Commands, r.SimTime, r.CmdsPerDelay,
+		100*r.FastPathRate, r.MeanLatency, r.WallMs, r.CmdsPerSecWall, check)
+}
+
+func fail(rows []experiments.ShardRunResult, err error) {
+	for _, r := range rows {
+		report(r)
+	}
+	fmt.Fprintf(os.Stderr, "smr-bench: %v\n", err)
+	os.Exit(1)
+}

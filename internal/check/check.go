@@ -88,11 +88,48 @@ func dfsTraces[S System[S]](sys S, visit func(S) error, st *Stats) error {
 // deduplication on Key and calls visit once per distinct state (including
 // the initial one). Traces are not meaningful across merged paths; the
 // visitor receives the system for state inspection only.
+//
+// Deduplication interns each canonical Key string to a 128-bit digest
+// (trace.HashString) and retains only the digest, so the visited set
+// costs 16 bytes per state instead of a full state encoding and lookups
+// compare fixed-size values (the ROADMAP "model-checker state interning"
+// item; same rationale as the checker memo keys of DESIGN.md decision
+// 7). A digest collision (~2⁻¹²⁸ per state pair) would silently merge
+// two distinct states; ExhaustiveStatesReference retains the exact
+// string-keyed exploration, and the property tests assert the two visit
+// identical state counts.
 func ExhaustiveStates[S System[S]](sys S, visit func(S) error) (Stats, error) {
-	var st Stats
+	seen := map[trace.Digest]struct{}{}
+	return exhaustiveStates(sys, visit, func(k string) bool {
+		d := trace.HashString(k)
+		if _, ok := seen[d]; ok {
+			return false
+		}
+		seen[d] = struct{}{}
+		return true
+	})
+}
+
+// ExhaustiveStatesReference is ExhaustiveStates with the original
+// string-keyed visited set, retained as the executable specification of
+// the digest-interned exploration.
+func ExhaustiveStatesReference[S System[S]](sys S, visit func(S) error) (Stats, error) {
 	seen := map[string]bool{}
+	return exhaustiveStates(sys, visit, func(k string) bool {
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+		return true
+	})
+}
+
+// exhaustiveStates is the exploration loop; admit reports whether a
+// canonical state key is new (and marks it seen).
+func exhaustiveStates[S System[S]](sys S, visit func(S) error, admit func(string) bool) (Stats, error) {
+	var st Stats
 	stack := []S{sys}
-	seen[sys.Key()] = true
+	admit(sys.Key())
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -107,9 +144,7 @@ func ExhaustiveStates[S System[S]](sys S, visit func(S) error) (Stats, error) {
 			next := cur.Clone()
 			next.Step(i)
 			st.Steps++
-			k := next.Key()
-			if !seen[k] {
-				seen[k] = true
+			if admit(next.Key()) {
 				stack = append(stack, next)
 			}
 		}

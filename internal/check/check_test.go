@@ -118,6 +118,39 @@ func TestExhaustiveStatesDedup(t *testing.T) {
 	}
 }
 
+// The digest-interned exploration visits exactly the states the
+// string-keyed reference visits, in the same order.
+func TestExhaustiveStatesMatchesReference(t *testing.T) {
+	for _, shape := range []struct{ n, k int }{{2, 2}, {3, 2}, {2, 4}, {4, 1}} {
+		var interned, reference []string
+		sti, err := ExhaustiveStates(newToy(shape.n, shape.k), func(s *toy) error {
+			interned = append(interned, s.Key())
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		str, err := ExhaustiveStatesReference(newToy(shape.n, shape.k), func(s *toy) error {
+			reference = append(reference, s.Key())
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sti != str {
+			t.Fatalf("%d×%d: stats diverged: %+v vs %+v", shape.n, shape.k, sti, str)
+		}
+		if len(interned) != len(reference) {
+			t.Fatalf("%d×%d: visited %d vs %d states", shape.n, shape.k, len(interned), len(reference))
+		}
+		for i := range interned {
+			if interned[i] != reference[i] {
+				t.Fatalf("%d×%d: visit %d diverged: %q vs %q", shape.n, shape.k, i, interned[i], reference[i])
+			}
+		}
+	}
+}
+
 func TestRandomTracesCompleteRuns(t *testing.T) {
 	st, err := RandomTraces(newToy(3, 2), 25, 7, func(s *toy) error {
 		if len(s.Trace()) != 6 {

@@ -1,5 +1,5 @@
 // Package experiments regenerates every experiment table of
-// EXPERIMENTS.md (the E1–E10 index of DESIGN.md). Each experiment is a
+// EXPERIMENTS.md (the E1–E12 index of DESIGN.md). Each experiment is a
 // function returning a Table; cmd/experiments prints them and the root
 // benchmarks wrap the same primitives in testing.B loops.
 //
@@ -60,6 +60,7 @@ func All() []Experiment {
 		{"E9", E9SMRThroughput},
 		{"E10", E10PhaseChain},
 		{"E11", E11UniversalConstruction},
+		{"E12", E12ShardSweep},
 	}
 }
 

@@ -55,13 +55,17 @@ type Linearization []int
 // VerifySequential validates it against the definitions, and
 // WitnessFromSequential converts it into a new-definition witness by
 // Lemma 2's construction.
+//
+// The search represents placed operations as a uint64 bitmask, so traces
+// with more than 63 operations return ErrTooManyOps (a representation
+// cap, distinct from ErrBudget's search cap).
 func CheckClassical(f adt.Folder, t trace.Trace, opts Options) (Result, error) {
 	if !t.WellFormed() {
 		return Result{OK: false, Reason: "trace is not well-formed"}, nil
 	}
 	ops := collectOps(t)
 	if len(ops) > 63 {
-		return Result{}, ErrBudget // bitmask search caps at 63 operations
+		return Result{}, ErrTooManyOps
 	}
 	s := &classicalSearcher{
 		f:        f,

@@ -42,6 +42,15 @@ import (
 // trace's status is then unknown rather than decided.
 var ErrBudget = errors.New("lin: search budget exhausted")
 
+// ErrTooManyOps is returned by CheckClassical for traces with more than
+// 63 operations: the classical search represents the placed-operation
+// set as a uint64 bitmask, a representation cap rather than a search
+// budget. Callers can distinguish "the search was too big" (ErrBudget —
+// retry with a larger Options.Budget) from "the trace cannot be
+// represented" (ErrTooManyOps — no budget helps; use Check, which has no
+// operation cap).
+var ErrTooManyOps = errors.New("lin: classical checker capped at 63 operations (bitmask representation)")
+
 // DefaultBudget bounds the number of search nodes explored per check.
 const DefaultBudget = 2_000_000
 
@@ -203,6 +212,9 @@ type searcher struct {
 	// claimed, on the successful path; best is the final chain's history.
 	assigned map[int]int
 	best     trace.History
+	// audit shadows the failed set with full string keys under the
+	// memocheck build tag (digest-collision counting); a no-op otherwise.
+	audit memoAudit
 }
 
 func newSearcher(f adt.Folder, t trace.Trace, budget int) *searcher {
@@ -246,6 +258,9 @@ func (s *searcher) run(i int) (bool, error) {
 	}
 	key := memoKey{i: int32(i), c: s.chain.dig, a: s.avail.Digest()}
 	if _, hit := s.failed[key]; hit {
+		if memocheckEnabled {
+			s.auditHit(key)
+		}
 		return false, nil
 	}
 	a := s.t[i]
@@ -266,6 +281,9 @@ func (s *searcher) run(i int) (bool, error) {
 	}
 	if !ok {
 		s.failed[key] = struct{}{}
+		if memocheckEnabled {
+			s.auditInsert(key)
+		}
 		return false, nil
 	}
 	return true, nil

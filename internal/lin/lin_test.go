@@ -1,6 +1,8 @@
 package lin
 
 import (
+	"errors"
+	"fmt"
 	"testing"
 
 	"repro/internal/adt"
@@ -308,5 +310,45 @@ func TestLargeAgreeingTrace(t *testing.T) {
 	}
 	if err := VerifyWitness(adt.Consensus{}, tr, r.Witness); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// CheckClassical distinguishes its 63-operation representation cap
+// (ErrTooManyOps) from search-budget exhaustion (ErrBudget).
+func TestClassicalTooManyOpsSentinel(t *testing.T) {
+	long := make(trace.Trace, 0, 128)
+	for i := 0; i < 64; i++ {
+		c := trace.ClientID(fmt.Sprintf("c%d", i))
+		in := adt.Tag(adt.ProposeInput("v"), fmt.Sprintf("%d", i))
+		long = append(long, trace.Invoke(c, 1, in))
+		long = append(long, trace.Response(c, 1, in, adt.DecideOutput("v")))
+	}
+	_, err := CheckClassical(adt.Consensus{}, long, Options{})
+	if !errors.Is(err, ErrTooManyOps) {
+		t.Fatalf("64-op trace: err = %v, want ErrTooManyOps", err)
+	}
+	if errors.Is(err, ErrBudget) {
+		t.Fatal("ErrTooManyOps must not alias ErrBudget")
+	}
+	// 63 operations are representable: the same trace shape one
+	// operation shorter is decided (budget errors aside).
+	if _, err := CheckClassical(adt.Consensus{}, long[:63*2], Options{}); errors.Is(err, ErrTooManyOps) {
+		t.Fatalf("63-op trace rejected: %v", err)
+	}
+	// A representable but oversized search still reports ErrBudget.
+	hard := make(trace.Trace, 0, 40)
+	for i := 0; i < 20; i++ {
+		c := trace.ClientID(fmt.Sprintf("h%d", i))
+		in := adt.Tag(adt.ProposeInput(fmt.Sprintf("v%d", i)), fmt.Sprintf("%d", i))
+		hard = append(hard, trace.Invoke(c, 1, in))
+	}
+	for i := 0; i < 20; i++ {
+		c := trace.ClientID(fmt.Sprintf("h%d", i))
+		in := adt.Tag(adt.ProposeInput(fmt.Sprintf("v%d", i)), fmt.Sprintf("%d", i))
+		hard = append(hard, trace.Response(c, 1, in, adt.DecideOutput(fmt.Sprintf("v%d", i%2))))
+	}
+	_, err = CheckClassical(adt.Consensus{}, hard, Options{Budget: 50})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("tiny budget: err = %v, want ErrBudget", err)
 	}
 }

@@ -88,6 +88,9 @@ func linearizableTrace() trace.Trace {
 // witness assembly. The bound is deliberately loose (2× current) so the
 // test fails on an accidental return to per-node allocation, not on noise.
 func TestCheckAllocsRegression(t *testing.T) {
+	if memocheckEnabled {
+		t.Skip("memocheck audit allocates by design")
+	}
 	tr := linearizableTrace()
 	f := adt.Consensus{}
 	allocs := testing.AllocsPerRun(50, func() {

@@ -1,0 +1,21 @@
+//go:build !memocheck
+
+package lin
+
+// memocheckEnabled gates the digest-collision audit (DESIGN.md decision
+// 7 risk): the default build compiles the audit calls away entirely, so
+// the hot path stays allocation-free. Build with -tags memocheck to
+// store the full string key alongside every 128-bit memo digest and
+// count collisions (expected zero); the tagged test asserts the count.
+const memocheckEnabled = false
+
+// memoAudit is the no-op audit table of the default build.
+type memoAudit struct{}
+
+func (s *searcher) auditInsert(memoKey) {}
+func (s *searcher) auditHit(memoKey)    {}
+
+// MemoCollisions reports digest collisions observed in the memo tables;
+// always zero without the memocheck build tag (the audit is compiled
+// out).
+func MemoCollisions() uint64 { return 0 }

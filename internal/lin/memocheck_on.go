@@ -1,0 +1,74 @@
+//go:build memocheck
+
+package lin
+
+import (
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/trace"
+)
+
+// The memocheck build: every entry of the digest-keyed memo table also
+// stores the full string encoding of the state it stands for, and every
+// digest hit re-derives the encoding and compares. A mismatch means two
+// distinct search states collided in the 128-bit digest space — the
+// residual soundness risk of DESIGN.md decision 7 — and increments the
+// process-wide collision counter, which the tagged test asserts is zero.
+const memocheckEnabled = true
+
+var memoCollisions atomic.Uint64
+
+// MemoCollisions reports digest collisions observed in the memo tables
+// since process start.
+func MemoCollisions() uint64 { return memoCollisions.Load() }
+
+// memoAudit shadows one searcher's failed-set with full string keys.
+type memoAudit struct {
+	keys map[memoKey]string
+}
+
+// memoString is the exact state the memo digest stands for: the action
+// index, the chain's (value, used) sequence and the availability
+// multiset.
+func (s *searcher) memoString(i int) string {
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(i))
+	b.WriteByte('|')
+	for p, v := range s.chain.hist {
+		b.WriteString(string(v))
+		if s.chain.used[p] {
+			b.WriteByte('*')
+		}
+		b.WriteByte(0)
+	}
+	b.WriteByte('|')
+	for sym := 0; sym < s.avail.NumSyms(); sym++ {
+		if c := s.avail.Count(trace.Sym(sym)); c > 0 {
+			b.WriteString(strconv.Itoa(sym))
+			b.WriteByte(':')
+			b.WriteString(strconv.Itoa(c))
+			b.WriteByte(',')
+		}
+	}
+	return b.String()
+}
+
+func (s *searcher) auditInsert(k memoKey) {
+	if s.audit.keys == nil {
+		s.audit.keys = map[memoKey]string{}
+	}
+	full := s.memoString(int(k.i))
+	if prev, ok := s.audit.keys[k]; ok && prev != full {
+		memoCollisions.Add(1)
+		return
+	}
+	s.audit.keys[k] = full
+}
+
+func (s *searcher) auditHit(k memoKey) {
+	if prev, ok := s.audit.keys[k]; ok && prev != s.memoString(int(k.i)) {
+		memoCollisions.Add(1)
+	}
+}

@@ -297,3 +297,13 @@ func (n *Node) SetTimer(name string, d Time) {
 
 // CancelTimer cancels the named timer if armed.
 func (n *Node) CancelTimer(name string) { n.timerGen[name]++ }
+
+// ReleaseTimer cancels the named timer and forgets its generation
+// bookkeeping. SetTimer/CancelTimer retain one map entry per distinct
+// timer name for the node's lifetime; handlers that scope timer names to
+// short-lived instances (e.g. one replicated-log slot) release the names
+// when the instance retires so memory stays proportional to live
+// instances. A released name must never be armed again: a stale
+// in-flight event of the old name could then fire against the fresh
+// generation counter.
+func (n *Node) ReleaseTimer(name string) { delete(n.timerGen, name) }

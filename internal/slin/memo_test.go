@@ -114,6 +114,9 @@ func slinTestTrace() trace.Trace {
 // path; the bound is loose (≈2× current) so it catches a return to
 // per-node allocation, not noise.
 func TestCheckAllocsRegression(t *testing.T) {
+	if memocheckEnabled {
+		t.Skip("memocheck audit allocates by design")
+	}
 	tr := slinTestTrace()
 	allocs := testing.AllocsPerRun(50, func() {
 		if _, err := Check(adt.Consensus{}, ConsensusRInit{}, 1, 2, tr, Options{}); err != nil {

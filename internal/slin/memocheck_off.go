@@ -1,0 +1,18 @@
+//go:build !memocheck
+
+package slin
+
+// memocheckEnabled gates the digest-collision audit of the slin memo
+// table; see internal/lin/memocheck_off.go for the scheme. The default
+// build compiles the audit away.
+const memocheckEnabled = false
+
+// memoAudit is the no-op audit table of the default build.
+type memoAudit struct{}
+
+func (s *searcher) auditInsert(slinKey) {}
+func (s *searcher) auditHit(slinKey)    {}
+
+// MemoCollisions reports digest collisions observed in the memo tables;
+// always zero without the memocheck build tag.
+func MemoCollisions() uint64 { return 0 }

@@ -1,0 +1,61 @@
+//go:build memocheck
+
+package slin
+
+import (
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// The memocheck build: the slin memo table stores the full string
+// encoding of the chain alongside each (index, digest) key and counts
+// digest collisions (expected zero; DESIGN.md decision 7 risk).
+const memocheckEnabled = true
+
+var memoCollisions atomic.Uint64
+
+// MemoCollisions reports digest collisions observed in the memo tables
+// since process start.
+func MemoCollisions() uint64 { return memoCollisions.Load() }
+
+// memoAudit shadows one searcher's failed-set with full string keys.
+type memoAudit struct {
+	keys map[slinKey]string
+}
+
+// memoString is the exact state the slin memo digest stands for: the
+// action index plus the chain's (value, used) sequence (availability at
+// an index is derived from vi and the chain, so the chain determines
+// the rest).
+func (s *searcher) memoString(i int) string {
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(i))
+	b.WriteByte('|')
+	for p, v := range s.chain.hist {
+		b.WriteString(string(v))
+		if s.chain.used[p] {
+			b.WriteByte('*')
+		}
+		b.WriteByte(0)
+	}
+	return b.String()
+}
+
+func (s *searcher) auditInsert(k slinKey) {
+	if s.audit.keys == nil {
+		s.audit.keys = map[slinKey]string{}
+	}
+	full := s.memoString(int(k.i))
+	if prev, ok := s.audit.keys[k]; ok && prev != full {
+		memoCollisions.Add(1)
+		return
+	}
+	s.audit.keys[k] = full
+}
+
+func (s *searcher) auditHit(k slinKey) {
+	if prev, ok := s.audit.keys[k]; ok && prev != s.memoString(int(k.i)) {
+		memoCollisions.Add(1)
+	}
+}

@@ -1,0 +1,67 @@
+//go:build memocheck
+
+package slin
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestMemoDigestCollisionsZero is the slin counterpart of the lin
+// collision audit: a broad sweep of first-phase traces (both Abort-Order
+// readings) plus a contended exhaustive search, asserting zero 128-bit
+// digest collisions in the memo table.
+//
+// Run with: go test -tags memocheck ./internal/slin
+func TestMemoDigestCollisionsZero(t *testing.T) {
+	r := rand.New(rand.NewSource(4321))
+	checks := 0
+	for i := 0; i < 400; i++ {
+		tr := workload.FirstPhase(r, workload.PhaseOpts{
+			Clients:     3,
+			NoLateOps:   i%2 == 0,
+			ViolateProb: 0.2,
+		})
+		for _, temporal := range []bool{false, true} {
+			if _, err := Check(adt.Consensus{}, ConsensusRInit{}, 1, 2, tr,
+				Options{TemporalAbortOrder: temporal}); err != nil {
+				t.Fatalf("trace %d temporal=%v: %v", i, temporal, err)
+			}
+			checks++
+		}
+	}
+	// Contended never-SLin trace: exhausts the extension space.
+	var hard trace.Trace
+	const n = 5
+	for i := 0; i < n; i++ {
+		c := trace.ClientID(fmt.Sprintf("q%d", i))
+		hard = append(hard, trace.Invoke(c, 1, adt.Tag(adt.ProposeInput(fmt.Sprintf("v%d", i)), string(c))))
+	}
+	for i := 0; i < n; i++ {
+		c := trace.ClientID(fmt.Sprintf("q%d", i))
+		in := adt.Tag(adt.ProposeInput(fmt.Sprintf("v%d", i)), string(c))
+		if i < 2 {
+			hard = append(hard, trace.Response(c, 1, in, adt.DecideOutput(fmt.Sprintf("v%d", i))))
+		} else {
+			hard = append(hard, trace.Switch(c, 2, in, fmt.Sprintf("v%d", i)))
+		}
+	}
+	res, err := Check(adt.Consensus{}, ConsensusRInit{}, 1, 2, hard, Options{Budget: 50_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK {
+		t.Fatal("split-decision trace checked SLin")
+	}
+	checks++
+
+	if c := MemoCollisions(); c != 0 {
+		t.Fatalf("%d memo digest collisions across %d checks (expected zero)", c, checks)
+	}
+	t.Logf("0 collisions across %d checks", checks)
+}

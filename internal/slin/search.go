@@ -179,6 +179,10 @@ type searcher struct {
 	commitLen map[int]int
 	abortHist map[int]trace.History
 	finalHist trace.History
+
+	// audit shadows the failed set with full string keys under the
+	// memocheck build tag (digest-collision counting); a no-op otherwise.
+	audit memoAudit
 }
 
 // toSym converts a plain multiset to an interned vector (setup only).
@@ -293,6 +297,9 @@ func (s *searcher) run(i int) (bool, error) {
 	}
 	key := slinKey{i: int32(i), dig: s.chain.dig}
 	if _, hit := s.failed[key]; hit {
+		if memocheckEnabled {
+			s.auditHit(key)
+		}
 		return false, nil
 	}
 	a := s.t[i]
@@ -319,6 +326,9 @@ func (s *searcher) run(i int) (bool, error) {
 	}
 	if !ok {
 		s.failed[key] = struct{}{}
+		if memocheckEnabled {
+			s.auditInsert(key)
+		}
 	}
 	return ok, nil
 }

@@ -1,0 +1,547 @@
+package smr
+
+import (
+	"fmt"
+
+	"repro/internal/adt"
+	"repro/internal/lin"
+	"repro/internal/msgnet"
+	"repro/internal/trace"
+)
+
+// ShardedConfig parameterizes a sharded deployment.
+type ShardedConfig struct {
+	Config
+	// Shards is the number of independent replicated logs (default 1).
+	// Commands are hash-partitioned across them by key (ShardOf).
+	Shards int
+	// RetainResults keeps every SubmitResult in memory (Results). Off by
+	// default: million-command sweeps only need the running aggregates
+	// in Stats.
+	RetainResults bool
+}
+
+// ShardedStats aggregates submission outcomes across all shards.
+type ShardedStats struct {
+	Submitted    int64
+	Landed       int64
+	TotalLatency int64 // sum of per-submission latencies (message delays)
+	Switches     int64
+	Attempts     int64
+	// FastPath counts submissions that resolved without a single phase
+	// switch (every attempted slot decided on the fast path).
+	FastPath       int64
+	PerShardLanded []int64
+}
+
+// MeanLatency returns the mean end-to-end latency in message delays.
+func (s ShardedStats) MeanLatency() float64 {
+	if s.Landed == 0 {
+		return 0
+	}
+	return float64(s.TotalLatency) / float64(s.Landed)
+}
+
+// FastPathRate returns the fraction of landed submissions that never
+// left the fast path.
+func (s ShardedStats) FastPathRate() float64 {
+	if s.Landed == 0 {
+		return 0
+	}
+	return float64(s.FastPath) / float64(s.Landed)
+}
+
+// ShardedCluster is an SMR deployment whose key space is hash-partitioned
+// across N independent Shards (one speculative replicated log each)
+// sharing one simulated network. Every client process runs a router that
+// multiplexes its in-flight submissions per shard: submissions to the
+// same shard queue sequentially (the single-log client discipline), while
+// submissions to different shards proceed concurrently. Every server
+// process hosts one replica engine per shard behind a demultiplexer.
+//
+// Because linearizability is compositional and keys never cross shards,
+// correctness decomposes: per-shard log agreement (CheckConsistency) and
+// per-key linearizability of the recorded histories (CheckLinearizable)
+// — see DESIGN.md, decision 10.
+type ShardedCluster struct {
+	net     *msgnet.Network
+	cfg     ShardedConfig
+	clients []msgnet.ProcID
+	servers []msgnet.ProcID
+	shards  []*Shard
+	routers map[msgnet.ProcID]*router
+	recs    []*shardRecorder
+	stats   ShardedStats
+}
+
+// BuildSharded wires a sharded SMR cluster into net.
+func BuildSharded(net *msgnet.Network, clients, servers []msgnet.ProcID, cfg ShardedConfig) (*ShardedCluster, error) {
+	if len(clients) == 0 || len(servers) == 0 {
+		return nil, fmt.Errorf("smr: need clients and servers")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	sc := &ShardedCluster{
+		net:     net,
+		cfg:     cfg,
+		clients: clients,
+		servers: servers,
+		routers: map[msgnet.ProcID]*router{},
+	}
+	sc.stats.PerShardLanded = make([]int64, cfg.Shards)
+	for k := 0; k < cfg.Shards; k++ {
+		sh := newShard(net, k, clients, servers, cfg.Config)
+		sh.keepResults = cfg.RetainResults
+		rec := newShardRecorder(sc, sh)
+		sh.onStart = rec.start
+		sh.onLearn = rec.learn
+		sh.onLand = rec.land
+		sc.shards = append(sc.shards, sh)
+		sc.recs = append(sc.recs, rec)
+	}
+	for _, id := range clients {
+		r := &router{perShard: make([]*client, cfg.Shards)}
+		for k, sh := range sc.shards {
+			r.perShard[k] = sh.byID[id]
+		}
+		sc.routers[id] = r
+		net.AddNode(id, r)
+	}
+	for _, id := range servers {
+		m := &serverMux{perShard: make([]*replica, cfg.Shards)}
+		for k, sh := range sc.shards {
+			m.perShard[k] = sh.reps[id]
+		}
+		net.AddNode(id, m)
+	}
+	return sc, nil
+}
+
+// Shards returns the shard count.
+func (sc *ShardedCluster) Shards() int { return len(sc.shards) }
+
+// shardFor routes a command: by its KV key when it has one, by its whole
+// encoding otherwise (deterministic either way).
+func (sc *ShardedCluster) shardFor(cmd Command) int {
+	key, ok := CmdKey(cmd)
+	if !ok {
+		key = string(cmd)
+	}
+	return ShardOf(key, len(sc.shards))
+}
+
+// SubmitAt schedules client c to submit cmd at time t. Submissions to
+// the same shard queue sequentially per client; submissions to different
+// shards run concurrently (the router multiplexes them).
+func (sc *ShardedCluster) SubmitAt(c msgnet.ProcID, cmd Command, t msgnet.Time) {
+	k := sc.shardFor(cmd)
+	sc.stats.Submitted++
+	sc.net.At(t, func() {
+		sc.recs[k].submit(cmd)
+		sc.shards[k].byID[c].enqueue(cmd)
+	})
+}
+
+// SubmitManyAt schedules a batch of submissions by client c at time t
+// with a single simulator event, preserving cmds order per shard. Large
+// sweeps use it to avoid one heap event per command.
+func (sc *ShardedCluster) SubmitManyAt(c msgnet.ProcID, cmds []Command, t msgnet.Time) {
+	sc.stats.Submitted += int64(len(cmds))
+	sc.net.At(t, func() {
+		for _, cmd := range cmds {
+			k := sc.shardFor(cmd)
+			sc.recs[k].submit(cmd)
+			sc.shards[k].byID[c].enqueue(cmd)
+		}
+	})
+}
+
+// SubmitPaced schedules client c's commands as an open-loop feed: the
+// commands partition into per-shard streams (preserving order), and
+// every period starting at start the client enqueues the next command of
+// every stream — one simulator event per step, self-rescheduling, so a
+// million-command feed never materializes a million heap events. A
+// non-positive period degenerates to SubmitManyAt (a closed-loop burst).
+//
+// Pacing models sustained load: each (client, shard) pipeline receives
+// one command per period, so slot contention stays at realistic levels
+// and clients advance their learned watermarks together (which is what
+// lets compaction keep memory bounded on long runs).
+func (sc *ShardedCluster) SubmitPaced(c msgnet.ProcID, cmds []Command, start, period msgnet.Time) {
+	if period <= 0 {
+		sc.SubmitManyAt(c, cmds, start)
+		return
+	}
+	streams := make([][]Command, len(sc.shards))
+	for _, cmd := range cmds {
+		k := sc.shardFor(cmd)
+		streams[k] = append(streams[k], cmd)
+	}
+	sc.stats.Submitted += int64(len(cmds))
+	step := 0
+	var feed func()
+	feed = func() {
+		more := false
+		for k, s := range streams {
+			if step >= len(s) {
+				continue
+			}
+			sc.recs[k].submit(s[step])
+			sc.shards[k].byID[c].enqueue(s[step])
+			if step+1 < len(s) {
+				more = true
+			}
+		}
+		step++
+		if more {
+			sc.net.At(sc.net.Now()+period, feed)
+		}
+	}
+	sc.net.At(start, feed)
+}
+
+// Run advances the simulation.
+func (sc *ShardedCluster) Run(maxTime msgnet.Time) msgnet.Time { return sc.net.Run(maxTime) }
+
+// Stats returns the aggregated submission statistics.
+func (sc *ShardedCluster) Stats() ShardedStats {
+	s := sc.stats
+	s.PerShardLanded = append([]int64{}, sc.stats.PerShardLanded...)
+	return s
+}
+
+// Results returns landed submissions grouped by shard (completion order
+// within a shard). Empty unless ShardedConfig.RetainResults.
+func (sc *ShardedCluster) Results() []SubmitResult {
+	var out []SubmitResult
+	for _, sh := range sc.shards {
+		out = append(out, sh.results...)
+	}
+	return out
+}
+
+// Log returns client c's view of shard k's replicated log (see
+// Cluster.Log; trimmed prefixes are absent under compaction).
+func (sc *ShardedCluster) Log(k int, c msgnet.ProcID) map[int]Command {
+	out := map[int]Command{}
+	for s, v := range sc.shards[k].byID[c].log {
+		out[s] = v
+	}
+	return out
+}
+
+// CheckConsistency verifies per-shard log agreement: the online checks
+// accumulated over every learn (agreement with the first learned value,
+// decisions were submitted to that shard, every command in at most one
+// slot, keys routed to their hash shard) plus the cross-client pass over
+// the retained (untrimmed) log suffixes.
+func (sc *ShardedCluster) CheckConsistency() error {
+	for k, rec := range sc.recs {
+		if rec.err != nil {
+			return fmt.Errorf("smr: shard %d: %w", k, rec.err)
+		}
+		if err := sc.shards[k].checkConsistency(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// KeyTraces returns shard k's recorded per-key histories: one trace per
+// key, each a well-formed register history (writes for sets, tagged
+// reads for gets) in real-time order. The returned traces alias the
+// recorder's buffers and must not be mutated.
+func (sc *ShardedCluster) KeyTraces(k int) []trace.Trace {
+	rec := sc.recs[k]
+	out := make([]trace.Trace, len(rec.traces))
+	copy(out, rec.traces)
+	return out
+}
+
+// HistoryCheck summarizes a CheckLinearizable pass.
+type HistoryCheck struct {
+	Shards int
+	Traces int   // per-key histories checked
+	Ops    int64 // total operations across all histories
+	Nodes  int64 // total search nodes spent
+}
+
+// CheckLinearizable feeds every shard's per-key histories through
+// lin.CheckAll (per-key register ADT), sharding each batch across
+// Options.Workers (GOMAXPROCS by default). It returns an error for the
+// first non-linearizable history or checker failure.
+func (sc *ShardedCluster) CheckLinearizable(opts lin.Options) (HistoryCheck, error) {
+	sum := HistoryCheck{Shards: len(sc.shards)}
+	for k := range sc.shards {
+		ts := sc.KeyTraces(k)
+		rs, err := lin.CheckAll(adt.Register{}, ts, opts)
+		if err != nil {
+			return sum, fmt.Errorf("smr: shard %d history check: %w", k, err)
+		}
+		for i, r := range rs {
+			sum.Nodes += int64(r.Nodes)
+			if !r.OK {
+				return sum, fmt.Errorf("smr: shard %d key %q history not linearizable: %s",
+					k, sc.recs[k].keys[i], r.Reason)
+			}
+		}
+		sum.Traces += len(ts)
+		for _, t := range ts {
+			sum.Ops += int64(len(t)) / 2
+		}
+	}
+	return sum, nil
+}
+
+// router is the client-side node handler of a sharded deployment: one
+// shard-local client engine per shard, sharing the node.
+type router struct {
+	perShard []*client
+}
+
+func (r *router) Init(n *msgnet.Node) {
+	for _, c := range r.perShard {
+		c.Init(n)
+	}
+}
+
+func (r *router) OnMessage(n *msgnet.Node, from msgnet.ProcID, payload any) {
+	env, ok := payload.(slotEnvelope)
+	if !ok || env.shard < 0 || env.shard >= len(r.perShard) {
+		return
+	}
+	r.perShard[env.shard].handleEnvelope(from, env)
+}
+
+func (r *router) OnTimer(n *msgnet.Node, name string) {
+	shard, slot, phase, rest, ok := splitSlotTimer(name)
+	if !ok || shard < 0 || shard >= len(r.perShard) {
+		return
+	}
+	r.perShard[shard].handleTimer(slot, phase, rest)
+}
+
+// serverMux is the server-side node handler: one replica engine per
+// shard, sharing the node.
+type serverMux struct {
+	perShard []*replica
+}
+
+func (m *serverMux) Init(n *msgnet.Node) {
+	for _, r := range m.perShard {
+		r.Init(n)
+	}
+}
+
+func (m *serverMux) OnMessage(n *msgnet.Node, from msgnet.ProcID, payload any) {
+	switch env := payload.(type) {
+	case slotEnvelope:
+		if env.shard >= 0 && env.shard < len(m.perShard) {
+			m.perShard[env.shard].handleEnvelope(from, env)
+		}
+	case learnedEnvelope:
+		if env.shard >= 0 && env.shard < len(m.perShard) {
+			m.perShard[env.shard].handleLearned(from, env.watermark)
+		}
+	}
+}
+
+func (m *serverMux) OnTimer(n *msgnet.Node, name string) {
+	shard, slot, phase, rest, ok := splitSlotTimer(name)
+	if !ok || shard < 0 || shard >= len(m.perShard) {
+		return
+	}
+	m.perShard[shard].handleTimer(slot, phase, rest)
+}
+
+// shardRecorder observes one shard through its hooks: it records per-key
+// register histories for the linearizability check, replays the log in
+// slot order to produce read outputs, verifies log agreement online
+// (which is what permits clients to trim their logs under compaction),
+// and aggregates submission statistics.
+type shardRecorder struct {
+	sc  *ShardedCluster
+	sh  *Shard
+	reg adt.Register
+
+	// subSlot tracks every command submitted to this shard: -1 until its
+	// decision is first learned, then the slot it landed in. It backs the
+	// online checks (decided ⇒ submitted; at most one slot per command).
+	subSlot map[Command]int
+	// slotVal and learns back the online agreement check: the first
+	// learned value per slot, compared against every later learn; entries
+	// are freed once all clients have learned the slot and it has been
+	// replayed.
+	slotVal map[int]Command
+	learns  map[int]int
+	err     error
+
+	// Slot-order replay: pending holds decided-but-unreplayed commands
+	// (parsed once at first learn), applied is the next slot to replay,
+	// keyState the per-key register states, slotOut the replayed
+	// operations awaiting their response.
+	pending  map[int]slotEntry
+	applied  int
+	keyState map[string]adt.State
+	slotOut  map[int]slotReplay
+
+	// Per-key histories in real-time order.
+	traces []trace.Trace
+	keys   []string
+	keyIdx map[string]int
+}
+
+// slotEntry is a decided command with its KV projection, parsed once at
+// first learn.
+type slotEntry struct {
+	key string
+	in  trace.Value
+	reg bool // projects onto the per-key register (set/get)
+}
+
+// slotReplay is a replayed slot awaiting its submitter's response.
+type slotReplay struct {
+	key string
+	in  trace.Value
+	out trace.Value
+	reg bool
+}
+
+func newShardRecorder(sc *ShardedCluster, sh *Shard) *shardRecorder {
+	return &shardRecorder{
+		sc:       sc,
+		sh:       sh,
+		subSlot:  map[Command]int{},
+		slotVal:  map[int]Command{},
+		learns:   map[int]int{},
+		pending:  map[int]slotEntry{},
+		keyState: map[string]adt.State{},
+		slotOut:  map[int]slotReplay{},
+		keyIdx:   map[string]int{},
+	}
+}
+
+// fail records the first violation (later ones would be cascades).
+func (rec *shardRecorder) fail(format string, args ...any) {
+	if rec.err == nil {
+		rec.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (rec *shardRecorder) submit(cmd Command) {
+	if _, dup := rec.subSlot[cmd]; dup {
+		rec.fail("command %q submitted twice (log entries must be unique)", cmd)
+		return
+	}
+	rec.subSlot[cmd] = -1
+}
+
+// start records the invocation of a keyed command's register operation.
+func (rec *shardRecorder) start(c msgnet.ProcID, cmd Command, at msgnet.Time) {
+	key, in, ok := RegisterInput(cmd)
+	if !ok {
+		return
+	}
+	i, seen := rec.keyIdx[key]
+	if !seen {
+		i = len(rec.traces)
+		rec.keyIdx[key] = i
+		rec.traces = append(rec.traces, nil)
+		rec.keys = append(rec.keys, key)
+	}
+	rec.traces[i] = append(rec.traces[i], trace.Invoke(trace.ClientID(c), 1, in))
+}
+
+// learn runs the online consistency checks for one (client, slot,
+// decision) observation and queues the decision for slot-order replay.
+// The command is parsed exactly once, at first learn.
+//
+// slotVal/learns entries are freed once every client has learned the
+// slot and it has been replayed. If a client's stream ends early it
+// stops learning, so entries for later slots persist to the end of the
+// run (the same straggler residue that pins the server compaction
+// floor); the ROADMAP follow-on "passive decision gossip" would lift
+// both.
+func (rec *shardRecorder) learn(c msgnet.ProcID, slot int, cmd Command) {
+	if prev, ok := rec.slotVal[slot]; ok {
+		if prev != cmd {
+			rec.fail("slot %d decided both %q and %q", slot, prev, cmd)
+		}
+	} else {
+		rec.slotVal[slot] = cmd
+		switch s, submitted := rec.subSlot[cmd]; {
+		case !submitted:
+			rec.fail("slot %d decided unsubmitted command %q", slot, cmd)
+		case s >= 0 && s != slot:
+			rec.fail("command %q decided in slots %d and %d", cmd, s, slot)
+		default:
+			rec.subSlot[cmd] = slot
+		}
+		entry := slotEntry{}
+		if kind, key, arg, ok := cmdParts(cmd); ok {
+			if want := ShardOf(key, len(rec.sc.shards)); want != rec.sh.id {
+				rec.fail("key %q (shard %d) leaked into shard %d", key, want, rec.sh.id)
+			}
+			entry.key = key
+			entry.in, entry.reg = registerInput(kind, arg)
+		}
+		rec.pending[slot] = entry
+	}
+	rec.learns[slot]++
+	if rec.learns[slot] == len(rec.sh.clients) && slot < rec.applied {
+		delete(rec.slotVal, slot)
+		delete(rec.learns, slot)
+	}
+}
+
+// land replays the log up to the landed slot and records the response.
+func (rec *shardRecorder) land(r SubmitResult) {
+	st := &rec.sc.stats
+	st.Landed++
+	st.TotalLatency += int64(r.Latency())
+	st.Switches += int64(r.Switches)
+	st.Attempts += int64(r.Attempts)
+	if r.Switches == 0 {
+		st.FastPath++
+	}
+	st.PerShardLanded[rec.sh.id]++
+
+	for rec.applied <= r.Slot {
+		e, ok := rec.pending[rec.applied]
+		if !ok {
+			// Unreachable by the dense-walk discipline: the landing client
+			// learned every slot below its landing slot first.
+			rec.fail("hole at slot %d below landed slot %d", rec.applied, r.Slot)
+			return
+		}
+		rp := slotReplay{key: e.key, in: e.in, reg: e.reg}
+		if e.reg {
+			s, seen := rec.keyState[e.key]
+			if !seen {
+				s = rec.reg.Empty()
+			}
+			rp.out = rec.reg.Out(s, e.in)
+			rec.keyState[e.key] = rec.reg.Step(s, e.in)
+		}
+		rec.slotOut[rec.applied] = rp
+		delete(rec.pending, rec.applied)
+		if rec.learns[rec.applied] == len(rec.sh.clients) {
+			delete(rec.slotVal, rec.applied)
+			delete(rec.learns, rec.applied)
+		}
+		rec.applied++
+	}
+
+	rp, ok := rec.slotOut[r.Slot]
+	if !ok {
+		rec.fail("no replayed output for slot %d", r.Slot)
+		return
+	}
+	delete(rec.slotOut, r.Slot)
+	if !rp.reg {
+		return // command has no register projection (e.g. del); no trace
+	}
+	i := rec.keyIdx[rp.key]
+	rec.traces[i] = append(rec.traces[i], trace.Response(trace.ClientID(r.Client), 1, rp.in, rp.out))
+}

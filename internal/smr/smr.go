@@ -6,6 +6,14 @@
 // fast path's two message delays, falling back per-slot under contention
 // or faults without giving up safety.
 //
+// The engine is the Shard: ONE speculative replicated log with its own
+// per-slot compositions, client submission queues and replica state.
+// Cluster (cluster.go) deploys a single shard — the paper's §6 system
+// verbatim — while ShardedCluster (sharded.go) hash-partitions keyed
+// commands across N independent shards sharing one simulated network,
+// which is sound because linearizability is compositional per key and
+// keys never cross shards (DESIGN.md, decision 10).
+//
 // Clients submit commands; a submission repeatedly proposes the command
 // in the lowest slot the client does not know the decision of, advancing
 // past slots won by other clients, until the command lands. Phase
@@ -39,6 +47,17 @@ type Config struct {
 	QuorumTimeout msgnet.Time
 	Retransmit    msgnet.Time
 	PaxosRetry    msgnet.Time
+	// CompactEvery enables log compaction when positive: every time a
+	// client's learned watermark (its first unknown slot) advances by
+	// this many slots it broadcasts the watermark to the servers and
+	// trims its own log below it; servers free per-slot replica state
+	// below the minimum watermark reported by all clients (no client can
+	// ever propose there again). This bounds memory by the compaction
+	// window instead of the log length, at the cost of extra (tiny)
+	// watermark messages. With compaction on, Log and the retained
+	// per-client logs only cover the untrimmed suffix; ShardedCluster
+	// checks log agreement online instead (sharded.go).
+	CompactEvery int
 }
 
 func (c Config) protos() []mpcons.PhaseProtocol {
@@ -56,6 +75,7 @@ func (c Config) protos() []mpcons.PhaseProtocol {
 type SubmitResult struct {
 	Client   msgnet.ProcID
 	Cmd      Command
+	Shard    int
 	Slot     int
 	Start    msgnet.Time
 	End      msgnet.Time
@@ -66,103 +86,83 @@ type SubmitResult struct {
 // Latency returns the submission's end-to-end latency.
 func (r SubmitResult) Latency() msgnet.Time { return r.End - r.Start }
 
-// Cluster is an SMR deployment on a simulated network.
-type Cluster struct {
+// Shard is one speculative replicated log: per-slot consensus
+// compositions over a fixed set of clients and servers. Shards do not
+// register themselves on the network — their owner (Cluster or
+// ShardedCluster) routes messages and timers in, so several shards can
+// share the same client and server processes.
+type Shard struct {
 	net     *msgnet.Network
+	id      int
 	cfg     Config
 	protos  []mpcons.PhaseProtocol
 	clients []msgnet.ProcID
 	servers []msgnet.ProcID
 	byID    map[msgnet.ProcID]*client
+	reps    map[msgnet.ProcID]*replica
 
-	results []SubmitResult
+	keepResults bool
+	results     []SubmitResult
 
-	// Optional hooks, set before Run (see SetHooks). onStart fires when a
-	// queued submission actually begins (its invocation point); onLand
-	// when it resolves.
+	// Optional hooks, set before Run. onStart fires when a queued
+	// submission actually begins (its invocation point); onLand when it
+	// resolves; onLearn every time a client learns a slot's decision
+	// (including decisions won by other clients), before any onLand for
+	// that slot.
 	onStart func(c msgnet.ProcID, cmd Command, at msgnet.Time)
 	onLand  func(SubmitResult)
+	onLearn func(c msgnet.ProcID, slot int, cmd Command)
 }
 
-// SetHooks registers observation callbacks: start fires when a submission
-// begins executing (its invocation point under the client-sequential
-// discipline), land when it resolves. Either may be nil.
-func (cl *Cluster) SetHooks(start func(c msgnet.ProcID, cmd Command, at msgnet.Time), land func(SubmitResult)) {
-	cl.onStart = start
-	cl.onLand = land
+// newShard builds a shard's client and replica engines without touching
+// the network's node table.
+func newShard(net *msgnet.Network, id int, clients, servers []msgnet.ProcID, cfg Config) *Shard {
+	sh := &Shard{
+		net:         net,
+		id:          id,
+		cfg:         cfg,
+		protos:      cfg.protos(),
+		clients:     clients,
+		servers:     servers,
+		byID:        map[msgnet.ProcID]*client{},
+		reps:        map[msgnet.ProcID]*replica{},
+		keepResults: true,
+	}
+	for i, cid := range clients {
+		sh.byID[cid] = &client{sh: sh, id: cid, index: i, log: map[int]Command{}, slots: map[int]*slotInstance{}}
+	}
+	for _, sid := range servers {
+		sh.reps[sid] = &replica{sh: sh, id: sid, slots: map[int][]mpcons.ServerPhase{}, wm: map[msgnet.ProcID]int{}}
+	}
+	return sh
 }
 
-// Build wires an SMR cluster into net.
-func Build(net *msgnet.Network, clients, servers []msgnet.ProcID, cfg Config) (*Cluster, error) {
-	if len(clients) == 0 || len(servers) == 0 {
-		return nil, fmt.Errorf("smr: need clients and servers")
-	}
-	cl := &Cluster{
-		net:     net,
-		cfg:     cfg,
-		protos:  cfg.protos(),
-		clients: clients,
-		servers: servers,
-		byID:    map[msgnet.ProcID]*client{},
-	}
-	for i, id := range clients {
-		c := &client{cluster: cl, id: id, index: i, log: map[int]Command{}, slots: map[int]*slotInstance{}}
-		cl.byID[id] = c
-		net.AddNode(id, c)
-	}
-	for _, id := range servers {
-		r := &replica{cluster: cl, id: id, slots: map[int][]mpcons.ServerPhase{}}
-		net.AddNode(id, r)
-	}
-	return cl, nil
-}
-
-// SubmitAt schedules client c to submit cmd at time t. Submissions queue
-// per client and execute sequentially.
-func (cl *Cluster) SubmitAt(c msgnet.ProcID, cmd Command, t msgnet.Time) {
-	cl.net.At(t, func() { cl.byID[c].enqueue(cmd) })
-}
-
-// Run advances the simulation.
-func (cl *Cluster) Run(maxTime msgnet.Time) msgnet.Time { return cl.net.Run(maxTime) }
-
-// Results returns landed submissions in completion order.
-func (cl *Cluster) Results() []SubmitResult { return append([]SubmitResult{}, cl.results...) }
-
-// Log returns client c's view of the replicated log as a dense prefix
-// plus any holes it never participated in (holes are simply absent).
-func (cl *Cluster) Log(c msgnet.ProcID) map[int]Command {
-	out := map[int]Command{}
-	for s, v := range cl.byID[c].log {
-		out[s] = v
-	}
-	return out
-}
-
-// CheckConsistency verifies SMR safety across all clients: no two clients
-// disagree on a slot's decision, and every decided command was submitted
-// by some client.
-func (cl *Cluster) CheckConsistency() error {
+// checkConsistency verifies SMR safety across the shard's clients: no two
+// clients disagree on a slot's decision, every decided command was
+// submitted by some client, and every command sits in at most one slot.
+// With compaction enabled it only covers the untrimmed log suffixes; the
+// sharded recorder performs the same checks online over every learn.
+func (sh *Shard) checkConsistency() error {
 	slotVal := map[int]Command{}
 	submitted := map[Command]bool{}
-	for _, c := range cl.byID {
+	for _, c := range sh.byID {
 		for _, cmd := range c.submittedCmds {
 			submitted[cmd] = true
 		}
 	}
 	var ids []msgnet.ProcID
-	for id := range cl.byID {
+	for id := range sh.byID {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
-		for s, v := range cl.byID[id].log {
+		for s, v := range sh.byID[id].log {
 			if prev, ok := slotVal[s]; ok && prev != v {
-				return fmt.Errorf("smr: slot %d decided both %q and %q", s, prev, v)
+				return fmt.Errorf("smr: shard %d slot %d decided both %q and %q", sh.id, s, prev, v)
 			}
 			slotVal[s] = v
 			if !submitted[v] {
-				return fmt.Errorf("smr: slot %d decided unsubmitted command %q", s, v)
+				return fmt.Errorf("smr: shard %d slot %d decided unsubmitted command %q", sh.id, s, v)
 			}
 		}
 	}
@@ -170,30 +170,47 @@ func (cl *Cluster) CheckConsistency() error {
 	bySlot := map[Command]int{}
 	for s, v := range slotVal {
 		if other, dup := bySlot[v]; dup {
-			return fmt.Errorf("smr: command %q decided in slots %d and %d", v, other, s)
+			return fmt.Errorf("smr: shard %d command %q decided in slots %d and %d", sh.id, v, other, s)
 		}
 		bySlot[v] = s
 	}
 	return nil
 }
 
-// slotEnvelope routes a phase message of one slot instance.
+// slotEnvelope routes a phase message of one slot instance of one shard.
 type slotEnvelope struct {
+	shard   int
 	slot    int
 	phase   int
 	payload any
 }
 
-// client is the SMR client node: it serializes submissions and drives a
-// consensus instance per attempted slot.
+// learnedEnvelope carries a client's learned watermark to the servers
+// (compaction only): every slot below watermark is decided and known to
+// the sender, which will therefore never propose in those slots again.
+type learnedEnvelope struct {
+	shard     int
+	watermark int
+}
+
+// client is the per-shard SMR client engine: it serializes submissions
+// and drives a consensus instance per attempted slot.
 type client struct {
-	cluster *Cluster
-	id      msgnet.ProcID
-	index   int
-	node    *msgnet.Node
+	sh    *Shard
+	id    msgnet.ProcID
+	index int
+	node  *msgnet.Node
 
 	slots map[int]*slotInstance
 	log   map[int]Command
+	// frontier caches the first slot not in log (the dense-prefix
+	// length); log only grows at or above it, so it advances monotonically
+	// and firstUnknownSlot is O(1) amortized.
+	frontier int
+	// reported and trimmed track the compaction watermark last broadcast
+	// and the prefix already trimmed from log.
+	reported int
+	trimmed  int
 
 	queue         []Command
 	submittedCmds []Command
@@ -210,6 +227,7 @@ type submission struct {
 
 type slotInstance struct {
 	comps   []mpcons.ClientPhase
+	envs    []*slotClientEnv
 	phase   int
 	pending bool
 }
@@ -227,25 +245,22 @@ func (c *client) enqueue(cmd Command) {
 func (c *client) startNext() {
 	if len(c.queue) == 0 {
 		c.current = nil
+		// Going idle: an idle client learns no further slots, so its last
+		// report would pin the servers' compaction floor until new
+		// submissions arrive. Flush at a quarter of the usual window —
+		// enough to keep the floor within O(CompactEvery) of the log tip
+		// without broadcasting per landed command when a paced feed
+		// briefly drains the queue between submissions.
+		c.reportWatermark(true)
 		return
 	}
 	cmd := c.queue[0]
 	c.queue = c.queue[1:]
 	c.current = &submission{cmd: cmd, start: c.node.Now()}
-	if c.cluster.onStart != nil {
-		c.cluster.onStart(c.id, cmd, c.node.Now())
+	if c.sh.onStart != nil {
+		c.sh.onStart(c.id, cmd, c.node.Now())
 	}
-	c.attempt(c.firstUnknownSlot())
-}
-
-func (c *client) firstUnknownSlot() int {
-	s := 0
-	for {
-		if _, ok := c.log[s]; !ok {
-			return s
-		}
-		s++
-	}
+	c.attempt(c.frontier)
 }
 
 // attempt proposes the current command in slot s.
@@ -253,9 +268,12 @@ func (c *client) attempt(s int) {
 	c.current.attempts++
 	c.current.slot = s
 	inst := &slotInstance{pending: true}
-	inst.comps = make([]mpcons.ClientPhase, len(c.cluster.protos))
-	for k, p := range c.cluster.protos {
-		inst.comps[k] = p.NewClient(&slotClientEnv{client: c, slot: s, phase: k})
+	inst.comps = make([]mpcons.ClientPhase, len(c.sh.protos))
+	inst.envs = make([]*slotClientEnv, len(c.sh.protos))
+	for k, p := range c.sh.protos {
+		env := &slotClientEnv{client: c, slot: s, phase: k}
+		inst.envs[k] = env
+		inst.comps[k] = p.NewClient(env)
 	}
 	c.slots[s] = inst
 	inst.comps[0].Propose(c.current.cmd)
@@ -269,6 +287,11 @@ func (c *client) decide(s, phase int, v Command) {
 	}
 	inst.pending = false
 	c.log[s] = v
+	c.retire(s, inst)
+	c.advanceFrontier()
+	if c.sh.onLearn != nil {
+		c.sh.onLearn(c.id, s, v)
+	}
 	if c.current == nil || c.current.slot != s {
 		return
 	}
@@ -276,21 +299,77 @@ func (c *client) decide(s, phase int, v Command) {
 		result := SubmitResult{
 			Client:   c.id,
 			Cmd:      v,
+			Shard:    c.sh.id,
 			Slot:     s,
 			Start:    c.current.start,
 			End:      c.node.Now(),
 			Attempts: c.current.attempts,
 			Switches: c.current.switches,
 		}
-		c.cluster.results = append(c.cluster.results, result)
-		if c.cluster.onLand != nil {
-			c.cluster.onLand(result)
+		if c.sh.keepResults {
+			c.sh.results = append(c.sh.results, result)
+		}
+		if c.sh.onLand != nil {
+			c.sh.onLand(result)
 		}
 		c.startNext()
 		return
 	}
 	// Lost the slot to another command; try the next one.
-	c.attempt(c.firstUnknownSlot())
+	c.attempt(c.frontier)
+}
+
+// retire drops the slot's phase components and timer bookkeeping: the
+// slot is decided for this client, so its components can never resolve
+// again and late messages for it are dropped. This keeps client memory
+// proportional to in-flight slots rather than log length.
+func (c *client) retire(s int, inst *slotInstance) {
+	for _, env := range inst.envs {
+		for _, name := range env.timers {
+			c.node.ReleaseTimer(slotTimerName(c.sh.id, s, env.phase, name))
+		}
+	}
+	delete(c.slots, s)
+}
+
+// advanceFrontier moves the cached first-unknown-slot cursor and, with
+// compaction enabled, broadcasts the watermark and trims the local log.
+func (c *client) advanceFrontier() {
+	for {
+		if _, ok := c.log[c.frontier]; !ok {
+			break
+		}
+		c.frontier++
+	}
+	c.reportWatermark(false)
+}
+
+// reportWatermark broadcasts the client's learned watermark to the
+// servers and trims the local log below it (compaction only). Periodic
+// reports fire every CompactEvery slots of frontier progress; idle
+// reports (on queue drain) fire at a quarter of that window so an idle
+// client neither pins the compaction floor by a full window nor
+// broadcasts per landed command.
+func (c *client) reportWatermark(idle bool) {
+	ce := c.sh.cfg.CompactEvery
+	if ce <= 0 || c.frontier == c.reported {
+		return
+	}
+	window := ce
+	if idle {
+		window = (ce + 3) / 4
+	}
+	if c.frontier-c.reported < window {
+		return
+	}
+	c.reported = c.frontier
+	for _, srv := range c.sh.servers {
+		c.node.Send(srv, learnedEnvelope{shard: c.sh.id, watermark: c.frontier})
+	}
+	for s := c.trimmed; s < c.frontier; s++ {
+		delete(c.log, s)
+	}
+	c.trimmed = c.frontier
 }
 
 func (c *client) switchTo(s, phase int, sv trace.Value) {
@@ -308,11 +387,8 @@ func (c *client) switchTo(s, phase int, sv trace.Value) {
 	inst.comps[inst.phase].SwitchIn(c.current.cmd, sv)
 }
 
-func (c *client) OnMessage(n *msgnet.Node, from msgnet.ProcID, payload any) {
-	env, ok := payload.(slotEnvelope)
-	if !ok {
-		return
-	}
+// handleEnvelope delivers a routed phase message.
+func (c *client) handleEnvelope(from msgnet.ProcID, env slotEnvelope) {
 	inst := c.slots[env.slot]
 	if inst == nil || env.phase < 0 || env.phase >= len(inst.comps) {
 		return
@@ -320,11 +396,8 @@ func (c *client) OnMessage(n *msgnet.Node, from msgnet.ProcID, payload any) {
 	inst.comps[env.phase].OnMessage(from, env.payload)
 }
 
-func (c *client) OnTimer(n *msgnet.Node, name string) {
-	slot, phase, rest, ok := splitSlotTimer(name)
-	if !ok {
-		return
-	}
+// handleTimer delivers a routed, already-parsed timer.
+func (c *client) handleTimer(slot, phase int, rest string) {
 	inst := c.slots[slot]
 	if inst == nil || phase < 0 || phase >= len(inst.comps) {
 		return
@@ -332,63 +405,100 @@ func (c *client) OnTimer(n *msgnet.Node, name string) {
 	inst.comps[phase].OnTimer(rest)
 }
 
-// slotClientEnv adapts a client to one slot and phase.
+// OnMessage/OnTimer implement msgnet.Handler for the single-shard
+// deployment, where the client engine is the node handler itself.
+func (c *client) OnMessage(n *msgnet.Node, from msgnet.ProcID, payload any) {
+	env, ok := payload.(slotEnvelope)
+	if !ok || env.shard != c.sh.id {
+		return
+	}
+	c.handleEnvelope(from, env)
+}
+
+func (c *client) OnTimer(n *msgnet.Node, name string) {
+	shard, slot, phase, rest, ok := splitSlotTimer(name)
+	if !ok || shard != c.sh.id {
+		return
+	}
+	c.handleTimer(slot, phase, rest)
+}
+
+// slotClientEnv adapts a client to one slot and phase. It records the
+// timer names the phase component uses so retire can release them.
 type slotClientEnv struct {
 	client *client
 	slot   int
 	phase  int
+	timers []string
 }
 
 func (e *slotClientEnv) Self() msgnet.ProcID      { return e.client.id }
 func (e *slotClientEnv) ClientIndex() int         { return e.client.index }
-func (e *slotClientEnv) Clients() []msgnet.ProcID { return e.client.cluster.clients }
-func (e *slotClientEnv) Servers() []msgnet.ProcID { return e.client.cluster.servers }
+func (e *slotClientEnv) Clients() []msgnet.ProcID { return e.client.sh.clients }
+func (e *slotClientEnv) Servers() []msgnet.ProcID { return e.client.sh.servers }
 func (e *slotClientEnv) Now() msgnet.Time         { return e.client.node.Now() }
 func (e *slotClientEnv) Decide(v trace.Value)     { e.client.decide(e.slot, e.phase, v) }
 func (e *slotClientEnv) SwitchTo(sv trace.Value)  { e.client.switchTo(e.slot, e.phase, sv) }
 func (e *slotClientEnv) Send(to msgnet.ProcID, p any) {
-	e.client.node.Send(to, slotEnvelope{slot: e.slot, phase: e.phase, payload: p})
+	e.client.node.Send(to, slotEnvelope{shard: e.client.sh.id, slot: e.slot, phase: e.phase, payload: p})
 }
 func (e *slotClientEnv) Broadcast(p any) {
-	for _, s := range e.client.cluster.servers {
+	for _, s := range e.client.sh.servers {
 		e.Send(s, p)
 	}
 }
 func (e *slotClientEnv) SetTimer(name string, d msgnet.Time) {
-	e.client.node.SetTimer(slotTimerName(e.slot, e.phase, name), d)
+	seen := false
+	for _, n := range e.timers {
+		if n == name {
+			seen = true
+			break
+		}
+	}
+	if !seen {
+		e.timers = append(e.timers, name)
+	}
+	e.client.node.SetTimer(slotTimerName(e.client.sh.id, e.slot, e.phase, name), d)
 }
 func (e *slotClientEnv) CancelTimer(name string) {
-	e.client.node.CancelTimer(slotTimerName(e.slot, e.phase, name))
+	e.client.node.CancelTimer(slotTimerName(e.client.sh.id, e.slot, e.phase, name))
 }
 
-// replica is the SMR server node: per-slot phase server components,
-// created lazily.
+// replica is the per-shard SMR server engine: per-slot phase server
+// components, created lazily and freed below the compaction floor.
 type replica struct {
-	cluster *Cluster
-	id      msgnet.ProcID
-	node    *msgnet.Node
-	slots   map[int][]mpcons.ServerPhase
+	sh    *Shard
+	id    msgnet.ProcID
+	node  *msgnet.Node
+	slots map[int][]mpcons.ServerPhase
+	// wm holds per-client learned watermarks; slots below their minimum
+	// are freed and refused (gcFloor). Compaction only.
+	wm      map[msgnet.ProcID]int
+	gcFloor int
 }
 
 func (r *replica) Init(n *msgnet.Node) { r.node = n }
 
+// components returns the slot's server phases, creating them on first
+// touch. It returns nil for slots retired by compaction: no correct
+// client proposes there anymore, so late (duplicated/delayed) messages
+// are dropped rather than resurrecting state.
 func (r *replica) components(slot int) []mpcons.ServerPhase {
+	if slot < r.gcFloor {
+		return nil
+	}
 	if comps, ok := r.slots[slot]; ok {
 		return comps
 	}
-	comps := make([]mpcons.ServerPhase, len(r.cluster.protos))
-	for k, p := range r.cluster.protos {
+	comps := make([]mpcons.ServerPhase, len(r.sh.protos))
+	for k, p := range r.sh.protos {
 		comps[k] = p.NewServer(&slotServerEnv{replica: r, slot: slot, phase: k})
 	}
 	r.slots[slot] = comps
 	return comps
 }
 
-func (r *replica) OnMessage(n *msgnet.Node, from msgnet.ProcID, payload any) {
-	env, ok := payload.(slotEnvelope)
-	if !ok {
-		return
-	}
+func (r *replica) handleEnvelope(from msgnet.ProcID, env slotEnvelope) {
 	comps := r.components(env.slot)
 	if env.phase < 0 || env.phase >= len(comps) {
 		return
@@ -396,16 +506,59 @@ func (r *replica) OnMessage(n *msgnet.Node, from msgnet.ProcID, payload any) {
 	comps[env.phase].OnMessage(from, env.payload)
 }
 
-func (r *replica) OnTimer(n *msgnet.Node, name string) {
-	slot, phase, rest, ok := splitSlotTimer(name)
-	if !ok {
+// handleLearned advances the compaction floor: once every client has
+// reported a watermark, slots below the minimum can never be proposed in
+// again and their phase state is freed.
+func (r *replica) handleLearned(from msgnet.ProcID, w int) {
+	if w > r.wm[from] {
+		r.wm[from] = w
+	}
+	if len(r.wm) < len(r.sh.clients) {
 		return
 	}
+	min := -1
+	for _, cid := range r.sh.clients {
+		if v := r.wm[cid]; min < 0 || v < min {
+			min = v
+		}
+	}
+	for s := r.gcFloor; s < min; s++ {
+		delete(r.slots, s)
+	}
+	if min > r.gcFloor {
+		r.gcFloor = min
+	}
+}
+
+func (r *replica) handleTimer(slot, phase int, rest string) {
 	comps := r.components(slot)
 	if phase < 0 || phase >= len(comps) {
 		return
 	}
 	comps[phase].OnTimer(rest)
+}
+
+// OnMessage/OnTimer implement msgnet.Handler for the single-shard
+// deployment.
+func (r *replica) OnMessage(n *msgnet.Node, from msgnet.ProcID, payload any) {
+	switch env := payload.(type) {
+	case slotEnvelope:
+		if env.shard == r.sh.id {
+			r.handleEnvelope(from, env)
+		}
+	case learnedEnvelope:
+		if env.shard == r.sh.id {
+			r.handleLearned(from, env.watermark)
+		}
+	}
+}
+
+func (r *replica) OnTimer(n *msgnet.Node, name string) {
+	shard, slot, phase, rest, ok := splitSlotTimer(name)
+	if !ok || shard != r.sh.id {
+		return
+	}
+	r.handleTimer(slot, phase, rest)
 }
 
 type slotServerEnv struct {
@@ -415,34 +568,36 @@ type slotServerEnv struct {
 }
 
 func (e *slotServerEnv) Self() msgnet.ProcID      { return e.replica.id }
-func (e *slotServerEnv) Clients() []msgnet.ProcID { return e.replica.cluster.clients }
-func (e *slotServerEnv) Servers() []msgnet.ProcID { return e.replica.cluster.servers }
+func (e *slotServerEnv) Clients() []msgnet.ProcID { return e.replica.sh.clients }
+func (e *slotServerEnv) Servers() []msgnet.ProcID { return e.replica.sh.servers }
 func (e *slotServerEnv) Now() msgnet.Time         { return e.replica.node.Now() }
 func (e *slotServerEnv) Send(to msgnet.ProcID, p any) {
-	e.replica.node.Send(to, slotEnvelope{slot: e.slot, phase: e.phase, payload: p})
+	e.replica.node.Send(to, slotEnvelope{shard: e.replica.sh.id, slot: e.slot, phase: e.phase, payload: p})
 }
 func (e *slotServerEnv) SetTimer(name string, d msgnet.Time) {
-	e.replica.node.SetTimer(slotTimerName(e.slot, e.phase, name), d)
+	e.replica.node.SetTimer(slotTimerName(e.replica.sh.id, e.slot, e.phase, name), d)
 }
 
-func slotTimerName(slot, phase int, name string) string {
-	return "s" + strconv.Itoa(slot) + "p" + strconv.Itoa(phase) + ":" + name
+func slotTimerName(shard, slot, phase int, name string) string {
+	return "h" + strconv.Itoa(shard) + "s" + strconv.Itoa(slot) + "p" + strconv.Itoa(phase) + ":" + name
 }
 
-func splitSlotTimer(full string) (slot, phase int, name string, ok bool) {
-	if !strings.HasPrefix(full, "s") {
-		return 0, 0, "", false
+func splitSlotTimer(full string) (shard, slot, phase int, name string, ok bool) {
+	if !strings.HasPrefix(full, "h") {
+		return 0, 0, 0, "", false
 	}
 	rest := full[1:]
+	s := strings.IndexByte(rest, 's')
 	p := strings.IndexByte(rest, 'p')
 	colon := strings.IndexByte(rest, ':')
-	if p < 0 || colon < 0 || p > colon {
-		return 0, 0, "", false
+	if s < 0 || p < 0 || colon < 0 || s > p || p > colon {
+		return 0, 0, 0, "", false
 	}
-	slot, err1 := strconv.Atoi(rest[:p])
+	shard, err0 := strconv.Atoi(rest[:s])
+	slot, err1 := strconv.Atoi(rest[s+1 : p])
 	phase, err2 := strconv.Atoi(rest[p+1 : colon])
-	if err1 != nil || err2 != nil {
-		return 0, 0, "", false
+	if err0 != nil || err1 != nil || err2 != nil {
+		return 0, 0, 0, "", false
 	}
-	return slot, phase, rest[colon+1:], true
+	return shard, slot, phase, rest[colon+1:], true
 }

@@ -180,12 +180,15 @@ func TestBuildValidation(t *testing.T) {
 }
 
 func TestSlotTimerRoundTrip(t *testing.T) {
-	name := slotTimerName(12, 1, "retry")
-	slot, phase, rest, ok := splitSlotTimer(name)
-	if !ok || slot != 12 || phase != 1 || rest != "retry" {
-		t.Fatalf("round trip: %d %d %q %v", slot, phase, rest, ok)
+	name := slotTimerName(3, 12, 1, "retry")
+	shard, slot, phase, rest, ok := splitSlotTimer(name)
+	if !ok || shard != 3 || slot != 12 || phase != 1 || rest != "retry" {
+		t.Fatalf("round trip: %d %d %d %q %v", shard, slot, phase, rest, ok)
 	}
-	if _, _, _, ok := splitSlotTimer("bogus"); ok {
+	if _, _, _, _, ok := splitSlotTimer("bogus"); ok {
 		t.Fatal("bogus timer accepted")
+	}
+	if _, _, _, _, ok := splitSlotTimer("h1p2s3:x"); ok {
+		t.Fatal("misordered timer accepted")
 	}
 }

@@ -99,6 +99,30 @@ func HashCount(s Sym, count int) Digest {
 	return hash2(uint64(s)<<32 | uint64(uint32(count)) | 1<<63)
 }
 
+// HashString hashes an arbitrary string to a 128-bit digest: two
+// independently-seeded FNV-1a lanes, each finished with the splitmix64
+// avalanche and mixed with the length. The model checker's state
+// deduplication keys on these digests instead of retaining full
+// canonical state strings (check.ExhaustiveStates); as with the checker
+// memo keys, accidental collisions (~2⁻¹²⁸ per pair) would merge two
+// distinct states, and ExhaustiveStatesReference retains the exact
+// string-keyed exploration as the cross-checked reference.
+func HashString(s string) Digest {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	a := uint64(fnvOffset) ^ laneKey0
+	b := uint64(fnvOffset) ^ laneKey1
+	for i := 0; i < len(s); i++ {
+		c := uint64(s[i])
+		a = (a ^ c) * fnvPrime
+		b = (b ^ (c << 1)) * fnvPrime
+	}
+	n := uint64(len(s))
+	return Digest{mix64(a ^ n), mix64(b + n)}
+}
+
 // SymMultiset is a multiset over interned symbols: a dense count vector
 // with an incrementally-maintained canonical Digest. The zero value is an
 // empty multiset.

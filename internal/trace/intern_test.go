@@ -1,6 +1,9 @@
 package trace
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 func TestInternerRoundTrip(t *testing.T) {
 	in := NewInterner()
@@ -106,4 +109,31 @@ func TestSymMultisetNegativePanics(t *testing.T) {
 	}()
 	m := NewSymMultiset(1)
 	m.Add(0, -1)
+}
+
+func TestHashStringDistinctAndStable(t *testing.T) {
+	seen := map[Digest]string{}
+	add := func(s string) {
+		d := HashString(s)
+		if d != HashString(s) {
+			t.Fatalf("HashString(%q) unstable", s)
+		}
+		if prev, dup := seen[d]; dup && prev != s {
+			t.Fatalf("digest collision: %q vs %q", prev, s)
+		}
+		seen[d] = s
+	}
+	// Near-miss families: shared prefixes, transpositions, length-1
+	// deltas, embedded NULs — the shapes canonical state keys produce.
+	add("")
+	add("\x00")
+	add("\x00\x00")
+	for i := 0; i < 2000; i++ {
+		add(fmt.Sprintf("state[%d 0 1]", i))
+		add(fmt.Sprintf("state[0 %d 1]", i))
+		add(fmt.Sprintf("s%d\x00t%d", i, 2000-i))
+	}
+	if HashString("ab") == HashString("ba") {
+		t.Fatal("transposition collided")
+	}
 }

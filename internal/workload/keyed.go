@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"math/rand"
+	"strconv"
+)
+
+// KeyedOp is one operation of a keyed KV workload: a write of a unique
+// value or a read, against a key drawn from a uniform or zipf-skewed
+// distribution. The SMR experiments encode these as replicated-log
+// commands (smr.SetCmd / smr.GetCmd) and hash-partition them by key.
+type KeyedOp struct {
+	// Client is the submitting client's index in [0, Clients).
+	Client int
+	// Key is the operated key ("k<i>").
+	Key string
+	// Read selects a read; otherwise the op writes Value.
+	Read bool
+	// Value is the written value, unique across the workload (replicated
+	// logs need distinct entries), or the read's occurrence tag.
+	Value string
+}
+
+// KeyedOpts configures Keyed.
+type KeyedOpts struct {
+	// Clients is the number of submitting clients (default 3).
+	Clients int
+	// Ops is the total number of operations (default 1000).
+	Ops int
+	// Keys is the number of distinct keys (default max(16, Ops/64), so
+	// per-key histories stay short enough for the exact checker).
+	Keys int
+	// ReadFrac is the fraction of reads. Zero means the default (0.3);
+	// pass a negative value for a pure-write workload.
+	ReadFrac float64
+	// ZipfS skews the key distribution with a zipf law of this exponent,
+	// which must exceed 1 (rand.Zipf's domain; Keyed panics otherwise so
+	// a skew request can never silently degrade to uniform). Zero draws
+	// keys uniformly.
+	ZipfS float64
+}
+
+func (o KeyedOpts) withDefaults() KeyedOpts {
+	if o.Clients <= 0 {
+		o.Clients = 3
+	}
+	if o.Ops <= 0 {
+		o.Ops = 1000
+	}
+	if o.Keys <= 0 {
+		o.Keys = o.Ops / 64
+		if o.Keys < 16 {
+			o.Keys = 16
+		}
+	}
+	if o.ReadFrac == 0 {
+		o.ReadFrac = 0.3
+	} else if o.ReadFrac < 0 {
+		o.ReadFrac = 0
+	}
+	if o.ZipfS > 0 && o.ZipfS <= 1 {
+		panic("workload: KeyedOpts.ZipfS must exceed 1 (zipf exponent); use 0 for uniform")
+	}
+	return o
+}
+
+// Keyed generates a keyed KV workload: Ops operations assigned
+// round-robin to clients (every client gets an equal, interleaved
+// share), each on a key drawn uniformly or zipf-skewed, a ReadFrac
+// fraction of them reads. Write values and read tags are unique across
+// the workload. The same seed reproduces the same workload.
+func Keyed(r *rand.Rand, opts KeyedOpts) []KeyedOp {
+	opts = opts.withDefaults()
+	var zipf *rand.Zipf
+	if opts.ZipfS > 0 {
+		zipf = rand.NewZipf(r, opts.ZipfS, 1, uint64(opts.Keys-1))
+	}
+	ops := make([]KeyedOp, opts.Ops)
+	for i := range ops {
+		var k int
+		if zipf != nil {
+			k = int(zipf.Uint64())
+		} else {
+			k = r.Intn(opts.Keys)
+		}
+		ops[i] = KeyedOp{
+			Client: i % opts.Clients,
+			Key:    "k" + strconv.Itoa(k),
+			Read:   r.Float64() < opts.ReadFrac,
+			Value:  "v" + strconv.Itoa(i),
+		}
+	}
+	return ops
+}

@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestKeyedDeterministicAndUnique(t *testing.T) {
+	a := Keyed(rand.New(rand.NewSource(5)), KeyedOpts{Ops: 500, Keys: 32, ZipfS: 1.2})
+	b := Keyed(rand.New(rand.NewSource(5)), KeyedOpts{Ops: 500, Keys: 32, ZipfS: 1.2})
+	if len(a) != 500 {
+		t.Fatalf("ops: %d", len(a))
+	}
+	values := map[string]bool{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d: %+v vs %+v", i, a[i], b[i])
+		}
+		if values[a[i].Value] {
+			t.Fatalf("duplicate value %q", a[i].Value)
+		}
+		values[a[i].Value] = true
+	}
+}
+
+func TestKeyedClientBalance(t *testing.T) {
+	ops := Keyed(rand.New(rand.NewSource(1)), KeyedOpts{Clients: 4, Ops: 400})
+	counts := map[int]int{}
+	for _, op := range ops {
+		counts[op.Client]++
+	}
+	for c := 0; c < 4; c++ {
+		if counts[c] != 100 {
+			t.Fatalf("client %d got %d/100 ops", c, counts[c])
+		}
+	}
+}
+
+func TestKeyedZipfSkewsAndUniformSpreads(t *testing.T) {
+	const ops, keys = 20000, 64
+	count := func(s float64) map[string]int {
+		m := map[string]int{}
+		for _, op := range Keyed(rand.New(rand.NewSource(7)), KeyedOpts{Ops: ops, Keys: keys, ZipfS: s}) {
+			m[op.Key]++
+		}
+		return m
+	}
+	uni, skew := count(0), count(1.5)
+	if len(uni) != keys {
+		t.Fatalf("uniform hit %d/%d keys", len(uni), keys)
+	}
+	maxUni, maxSkew := 0, 0
+	for _, n := range uni {
+		if n > maxUni {
+			maxUni = n
+		}
+	}
+	for _, n := range skew {
+		if n > maxSkew {
+			maxSkew = n
+		}
+	}
+	// Uniform: every key near ops/keys. Zipf: a dominant hot key.
+	if maxUni > 3*ops/keys {
+		t.Fatalf("uniform hottest key got %d ops (expected ~%d)", maxUni, ops/keys)
+	}
+	if maxSkew < 3*ops/keys {
+		t.Fatalf("zipf hottest key got only %d ops", maxSkew)
+	}
+}
+
+func TestKeyedReadFraction(t *testing.T) {
+	ops := Keyed(rand.New(rand.NewSource(3)), KeyedOpts{Ops: 10000, ReadFrac: 0.5})
+	reads := 0
+	for _, op := range ops {
+		if op.Read {
+			reads++
+		}
+	}
+	if reads < 4500 || reads > 5500 {
+		t.Fatalf("reads %d/10000 with ReadFrac 0.5", reads)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package speclin_test
+
+// raceEnabled reports whether the race detector is compiled in; the
+// heavyweight sweep tests scale down under it (CI runs them at full
+// scale in the plain test pass).
+const raceEnabled = false

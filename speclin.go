@@ -96,6 +96,20 @@ type (
 	LinResult = lin.Result
 )
 
+// Checker error sentinels (match with errors.Is).
+var (
+	// ErrBudget reports that a lin check exceeded its search budget:
+	// the verdict is unknown, and a larger LinOptions.Budget may decide
+	// it.
+	ErrBudget = lin.ErrBudget
+	// ErrTooManyOps reports that CheckClassicallyLinearizable was given
+	// a trace beyond its 63-operation representation cap; no budget
+	// helps — use CheckLinearizable, which has no cap.
+	ErrTooManyOps = lin.ErrTooManyOps
+	// ErrSLinBudget is ErrBudget's counterpart for the SLin checker.
+	ErrSLinBudget = slin.ErrBudget
+)
+
 // CheckLinearizable decides the paper's new definition of
 // linearizability (Definitions 5–15).
 func CheckLinearizable(f Folder, t Trace, opts LinOptions) (LinResult, error) {
@@ -199,19 +213,39 @@ func NewQuorumBackupConsensus(net *Network, clients, servers []ProcID) (*Consens
 	return mpcons.Build(net, clients, servers, quorum.Protocol{}, paxos.Protocol{})
 }
 
-// State machine replication (E9).
+// State machine replication (E9, E12).
 type (
-	// SMRCluster is a replicated-log deployment.
+	// SMRCluster is a single-log replicated-log deployment.
 	SMRCluster = smr.Cluster
-	// SMRConfig selects the fast path and protocol tuning.
+	// SMRConfig selects the fast path, protocol tuning and log
+	// compaction.
 	SMRConfig = smr.Config
 	// SubmitResult describes one landed log command.
 	SubmitResult = smr.SubmitResult
+	// ShardedSMRCluster hash-partitions keyed commands across N
+	// independent replicated logs sharing one simulated network, records
+	// per-key histories and checks them linearizable per shard.
+	ShardedSMRCluster = smr.ShardedCluster
+	// ShardedSMRConfig parameterizes a sharded deployment.
+	ShardedSMRConfig = smr.ShardedConfig
+	// ShardedSMRStats aggregates submission outcomes across shards.
+	ShardedSMRStats = smr.ShardedStats
+	// SMRHistoryCheck summarizes a per-key linearizability pass.
+	SMRHistoryCheck = smr.HistoryCheck
 )
 
 // NewSMR wires an SMR cluster into a network.
 func NewSMR(net *Network, clients, servers []ProcID, cfg SMRConfig) (*SMRCluster, error) {
 	return smr.Build(net, clients, servers, cfg)
+}
+
+// NewShardedSMR wires a sharded SMR cluster into a network: commands are
+// routed to shards by key hash, each shard is an independent speculative
+// replicated log, and per-key linearizability plus per-shard log
+// agreement are checkable after the run (linearizability is local, so
+// shard-by-shard checking loses no soundness).
+func NewShardedSMR(net *Network, clients, servers []ProcID, cfg ShardedSMRConfig) (*ShardedSMRCluster, error) {
+	return smr.BuildSharded(net, clients, servers, cfg)
 }
 
 // KV helpers for SMR logs.
@@ -220,6 +254,12 @@ var (
 	SetCmd = smr.SetCmd
 	// DelCmd encodes a KV delete.
 	DelCmd = smr.DelCmd
+	// GetCmd encodes a KV read with an occurrence tag.
+	GetCmd = smr.GetCmd
+	// CmdKey extracts the key a KV command operates on.
+	CmdKey = smr.CmdKey
+	// ShardOf maps a key to its shard.
+	ShardOf = smr.ShardOf
 	// ApplyKV folds a log into a map.
 	ApplyKV = smr.ApplyKV
 )
