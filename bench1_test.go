@@ -12,6 +12,7 @@
 package speclin_test
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/adt"
+	"repro/internal/check"
 	"repro/internal/lin"
 	"repro/internal/slin"
 	"repro/internal/trace"
@@ -58,11 +60,11 @@ func slinBenchTraces(n int) []trace.Trace {
 func BenchmarkMemoLinCheckers(b *testing.B) {
 	traces := e8Traces(256)
 	hard := hardLinTrace(6)
-	opts := lin.Options{Budget: 50_000_000}
+	opts := check.WithBudget(50_000_000)
 	b.Run("hashed", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := lin.Check(adt.Consensus{}, traces[i%len(traces)], opts); err != nil {
+			if _, err := lin.Check(context.Background(), adt.Consensus{}, traces[i%len(traces)], opts); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -79,7 +81,7 @@ func BenchmarkMemoLinCheckers(b *testing.B) {
 		b.ReportAllocs()
 		var nodes int64
 		for i := 0; i < b.N; i++ {
-			res, err := lin.Check(adt.Consensus{}, hard, opts)
+			res, err := lin.Check(context.Background(), adt.Consensus{}, hard, opts)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -106,7 +108,7 @@ func BenchmarkMemoSLinCheckers(b *testing.B) {
 	b.Run("hashed", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := slin.Check(adt.Consensus{}, slin.ConsensusRInit{}, 1, 2, traces[i%len(traces)], slin.Options{}); err != nil {
+			if _, err := slin.Check(context.Background(), adt.Consensus{}, slin.ConsensusRInit{}, 1, 2, traces[i%len(traces)]); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -114,7 +116,7 @@ func BenchmarkMemoSLinCheckers(b *testing.B) {
 	b.Run("string-key-reference", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := slin.CheckReference(adt.Consensus{}, slin.ConsensusRInit{}, 1, 2, traces[i%len(traces)], slin.Options{}); err != nil {
+			if _, err := slin.CheckReference(adt.Consensus{}, slin.ConsensusRInit{}, 1, 2, traces[i%len(traces)]); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -127,14 +129,14 @@ func BenchmarkBatchCheckAll(b *testing.B) {
 	traces := e8Traces(256)
 	b.Run("sequential", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := lin.CheckAll(adt.Consensus{}, traces, lin.Options{Workers: 1}); err != nil {
+			if _, err := lin.CheckAll(context.Background(), adt.Consensus{}, traces, check.WithWorkers(1)); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("gomaxprocs", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := lin.CheckAll(adt.Consensus{}, traces, lin.Options{}); err != nil {
+			if _, err := lin.CheckAll(context.Background(), adt.Consensus{}, traces); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -202,7 +204,7 @@ func TestWriteBench1JSON(t *testing.T) {
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
-	opts := lin.Options{Budget: 50_000_000}
+	opts := check.WithBudget(50_000_000)
 
 	rows := []struct {
 		name      string
@@ -213,7 +215,7 @@ func TestWriteBench1JSON(t *testing.T) {
 		{
 			name: "lin-split-decision-6",
 			optimized: func() (int, error) {
-				r, err := lin.Check(adt.Consensus{}, hardLinTrace(6), opts)
+				r, err := lin.Check(context.Background(), adt.Consensus{}, hardLinTrace(6), opts)
 				return r.Nodes, err
 			},
 			baseline: func() (int, error) {
@@ -225,11 +227,11 @@ func TestWriteBench1JSON(t *testing.T) {
 		{
 			name: "slin-contended-first-phase",
 			optimized: func() (int, error) {
-				r, err := slin.Check(adt.Consensus{}, slin.ConsensusRInit{}, 1, 2, hardSLinTrace(), slin.Options{Budget: 50_000_000})
+				r, err := slin.Check(context.Background(), adt.Consensus{}, slin.ConsensusRInit{}, 1, 2, hardSLinTrace(), check.WithBudget(50_000_000))
 				return r.Nodes, err
 			},
 			baseline: func() (int, error) {
-				r, err := slin.CheckReference(adt.Consensus{}, slin.ConsensusRInit{}, 1, 2, hardSLinTrace(), slin.Options{Budget: 50_000_000})
+				r, err := slin.CheckReference(adt.Consensus{}, slin.ConsensusRInit{}, 1, 2, hardSLinTrace(), check.WithBudget(50_000_000))
 				return r.Nodes, err
 			},
 			reps: 30,
@@ -282,12 +284,12 @@ func TestWriteBench1JSON(t *testing.T) {
 		traces[i] = hardLinTrace(5)
 	}
 	start := time.Now()
-	if _, err := lin.CheckAll(adt.Consensus{}, traces, lin.Options{Workers: 1, Budget: 50_000_000}); err != nil {
+	if _, err := lin.CheckAll(context.Background(), adt.Consensus{}, traces, check.WithWorkers(1), check.WithBudget(50_000_000)); err != nil {
 		t.Fatal(err)
 	}
 	seq := time.Since(start)
 	start = time.Now()
-	if _, err := lin.CheckAll(adt.Consensus{}, traces, lin.Options{Budget: 50_000_000}); err != nil {
+	if _, err := lin.CheckAll(context.Background(), adt.Consensus{}, traces, check.WithBudget(50_000_000)); err != nil {
 		t.Fatal(err)
 	}
 	par := time.Since(start)

@@ -8,6 +8,7 @@
 package speclin_test
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -42,7 +43,7 @@ func TestWriteBench2JSON(t *testing.T) {
 	if !full {
 		shards, perShard, zipfPerShard = []int{1, 4}, 2_000, 500
 	}
-	rows, err := experiments.E12Rows(shards, perShard, zipfPerShard)
+	rows, err := experiments.E12Rows(context.Background(), shards, perShard, zipfPerShard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,4 +107,47 @@ func TestWriteBench2JSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	fmt.Println("wrote BENCH_2.json")
+}
+
+// TestOnlineCheckingThroughputParity is the checker-API-v2 acceptance
+// gate for E12: the sharded run with online (streaming) per-key checking
+// enabled must complete with the same simulated schedule — hence no worse
+// simulated throughput — as the post-hoc baseline BENCH_2.json records,
+// and reach the same verdicts. (Checking happens outside the simulated
+// network either way; online mode merely overlaps it with the run and
+// drops the post-hoc history buffering.)
+func TestOnlineCheckingThroughputParity(t *testing.T) {
+	cfg := experiments.E12Base
+	cfg.Shards = 4
+	cfg.Commands = 20_000
+	if testing.Short() || raceEnabled {
+		cfg.Commands = 4_000
+	}
+
+	post, err := experiments.RunSharded(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	online := cfg
+	online.Online = true
+	onl, err := experiments.RunSharded(context.Background(), online)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !post.Linearizable || !onl.Linearizable {
+		t.Fatalf("linearizability: post-hoc %v, online %v", post.Linearizable, onl.Linearizable)
+	}
+	if onl.SimTime != post.SimTime {
+		t.Errorf("online checking changed the simulated schedule: %d vs %d delays", onl.SimTime, post.SimTime)
+	}
+	if onl.CmdsPerDelay < post.CmdsPerDelay {
+		t.Errorf("online throughput %.3f cmds/delay below post-hoc baseline %.3f", onl.CmdsPerDelay, post.CmdsPerDelay)
+	}
+	if onl.KeyHistories != post.KeyHistories || onl.CheckedOps != post.CheckedOps {
+		t.Errorf("online checked %d histories/%d ops, post-hoc %d/%d",
+			onl.KeyHistories, onl.CheckedOps, post.KeyHistories, post.CheckedOps)
+	}
+	t.Logf("post-hoc: %.3f cmds/delay, check %.0fms; online: %.3f cmds/delay, check %.0fms",
+		post.CmdsPerDelay, post.CheckWallMs, onl.CmdsPerDelay, onl.CheckWallMs)
 }

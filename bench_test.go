@@ -10,6 +10,7 @@
 package speclin_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -209,7 +210,7 @@ func BenchmarkE6ModelCheck(b *testing.B) {
 		sys := smcons.New(smcons.Config{Values: []trace.Value{"a", "b"}, FoldEndpoints: true})
 		stats, err := check.ExhaustiveTraces(sys, func(s *smcons.System) error {
 			plain := s.Trace().Project(func(a trace.Action) bool { return a.Kind != trace.Swi })
-			res, err := lin.Check(adt.Consensus{}, plain, lin.Options{})
+			res, err := lin.Check(context.Background(), adt.Consensus{}, plain)
 			if err != nil {
 				return err
 			}
@@ -272,14 +273,14 @@ func BenchmarkE8Checkers(b *testing.B) {
 	traces := e8Traces(256)
 	b.Run("new-definition", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := lin.Check(adt.Consensus{}, traces[i%len(traces)], lin.Options{}); err != nil {
+			if _, err := lin.Check(context.Background(), adt.Consensus{}, traces[i%len(traces)]); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("classical", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := lin.CheckClassical(adt.Consensus{}, traces[i%len(traces)], lin.Options{}); err != nil {
+			if _, err := lin.CheckClassical(context.Background(), adt.Consensus{}, traces[i%len(traces)]); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -300,9 +301,11 @@ func BenchmarkE8Checkers(b *testing.B) {
 }
 
 func lintSLin(t trace.Trace) (bool, error) {
-	res, err := speclin.CheckSpeculativelyLinearizable(
-		speclin.ConsensusADT, speclin.ConsensusRInit, 1, 2, t, speclin.SLinOptions{})
-	return res.OK, err
+	rep, err := speclin.Check(context.Background(), speclin.CheckSpec{
+		Folder: speclin.ConsensusADT, Mode: speclin.SLin,
+		RInit: speclin.ConsensusRInit, M: 1, N: 2,
+	}, t)
+	return rep.Verdict == speclin.Linearizable, err
 }
 
 // ---- E9: SMR throughput ----
@@ -400,7 +403,7 @@ func BenchmarkE11Replicated(b *testing.B) {
 					delays += int64(r.Latency())
 					ops++
 				}
-				res, err := o.CheckLinearizable(lin.Options{})
+				res, err := o.CheckLinearizable(context.Background())
 				if err != nil || !res.OK {
 					b.Fatalf("not linearizable: %+v %v", res, err)
 				}
@@ -455,14 +458,14 @@ func BenchmarkAblationStateFold(b *testing.B) {
 	}()
 	b.Run("folded", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := lin.Check(adt.Consensus{}, traces[i%len(traces)], lin.Options{}); err != nil {
+			if _, err := lin.Check(context.Background(), adt.Consensus{}, traces[i%len(traces)]); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("unfolded", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := lin.Check(unfoldedConsensus{}, traces[i%len(traces)], lin.Options{}); err != nil {
+			if _, err := lin.Check(context.Background(), unfoldedConsensus{}, traces[i%len(traces)]); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -474,7 +477,7 @@ func BenchmarkAblationStateFold(b *testing.B) {
 	// not an asymptotic one. DESIGN.md decision 2 records this.
 	b.Run("folded-hard", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			res, err := lin.Check(adt.Consensus{}, hard, lin.Options{Budget: 50_000_000})
+			res, err := lin.Check(context.Background(), adt.Consensus{}, hard, check.WithBudget(50_000_000))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -485,7 +488,7 @@ func BenchmarkAblationStateFold(b *testing.B) {
 	})
 	b.Run("unfolded-hard", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			res, err := lin.Check(unfoldedConsensus{}, hard, lin.Options{Budget: 50_000_000})
+			res, err := lin.Check(context.Background(), unfoldedConsensus{}, hard, check.WithBudget(50_000_000))
 			if err == nil && res.OK {
 				b.Fatal("split-decision trace accepted")
 			}

@@ -13,11 +13,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/adt"
+	"repro/internal/check"
 	"repro/internal/lin"
 	"repro/internal/mpcons"
 	"repro/internal/msgnet"
@@ -80,7 +82,7 @@ func main() {
 
 	tr := obj.Trace()
 	plain := tr.Project(func(a trace.Action) bool { return a.Kind != trace.Swi })
-	res, err := lin.Check(adt.Consensus{}, plain, lin.Options{})
+	res, err := lin.Check(context.Background(), adt.Consensus{}, plain)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lin check:", err)
 		os.Exit(2)
@@ -88,13 +90,13 @@ func main() {
 	fmt.Printf("\nlinearizable: %v\n", res.OK)
 
 	first := tr.ProjectSig(1, 2)
-	sres, err := slin.Check(adt.Consensus{}, slin.ConsensusRInit{}, 1, 2, first,
-		slin.Options{TemporalAbortOrder: true})
+	sres, err := slin.Check(context.Background(), adt.Consensus{}, slin.ConsensusRInit{}, 1, 2, first,
+		check.WithTemporalAbortOrder(true))
 	if err == nil {
 		fmt.Printf("quorum projection SLin(1,2) [temporal]: %v\n", sres.OK)
 	}
 	second := tr.ProjectSig(2, 3)
-	sres, err = slin.Check(adt.Consensus{}, slin.ConsensusRInit{}, 2, 3, second, slin.Options{})
+	sres, err = slin.Check(context.Background(), adt.Consensus{}, slin.ConsensusRInit{}, 2, 3, second)
 	if err == nil {
 		fmt.Printf("backup projection SLin(2,3): %v\n", sres.OK)
 	}

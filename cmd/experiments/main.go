@@ -3,11 +3,14 @@
 //
 // Usage:
 //
-//	experiments            # run everything
-//	experiments -e E1,E9   # run a subset
+//	experiments                # run everything
+//	experiments -e E1,E9       # run a subset
+//	experiments -timeout 5m    # bound the whole run (checker API v2:
+//	                           # cancellation aborts in-flight searches)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,7 +21,15 @@ import (
 
 func main() {
 	only := flag.String("e", "", "comma-separated experiment IDs to run (default: all)")
+	timeout := flag.Duration("timeout", 0, "overall deadline for the run (0 = none)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
@@ -32,7 +43,7 @@ func main() {
 		if len(want) > 0 && !want[strings.ToUpper(e.ID)] {
 			continue
 		}
-		tab, err := e.Run()
+		tab, err := e.Run(ctx)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
 			failed = true

@@ -7,6 +7,9 @@
 //	slin-check -adt consensus -mode classical trace.json # Lin (classical)
 //	slin-check -adt consensus -mode slin -m 1 -n 2 trace.json
 //	slin-check -adt consensus a.json b.json c.json       # batch, parallel
+//	slin-check -adt consensus -check-workers 8 big.json  # parallel inside one check
+//	slin-check -adt register -stream trace.json          # incremental Session
+//	slin-check -timeout 30s trace.json                   # context deadline
 //
 // With more than one trace file the independent checks are sharded across
 // a worker pool (-workers, default GOMAXPROCS) and one verdict line is
@@ -25,6 +28,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -73,7 +77,17 @@ func main() {
 	temporal := flag.Bool("temporal", false, "slin: use the temporal Abort-Order variant")
 	budget := flag.Int("budget", 0, "search budget (0 = default)")
 	workers := flag.Int("workers", 0, "worker pool size for multi-file batches (0 = GOMAXPROCS)")
+	inWorkers := flag.Int("check-workers", 0, "intra-trace workers: >1 runs the breadth engine inside each check")
+	timeout := flag.Duration("timeout", 0, "overall deadline; exceeded checks report unknown (exit 2)")
+	stream := flag.Bool("stream", false, "lin mode: feed each trace through an incremental Session instead of one-shot Check")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if flag.NArg() < 1 {
 		fail(2, "usage: slin-check [flags] trace.json [trace.json ...]")
@@ -108,27 +122,35 @@ func main() {
 		rinit = slin.UniversalRInit{}
 	}
 
-	// Shard the independent checks across the worker pool; verdicts come
-	// back in file order.
-	verdicts, err := check.Parallel(traces, *workers, func(i int, t trace.Trace) (verdict, error) {
+	// Shard the independent checks across the worker pool (checker API
+	// v2: context-aware, functional options); verdicts come back in file
+	// order.
+	opts := []check.Option{check.WithBudget(*budget), check.WithWorkers(*inWorkers)}
+	verdicts, err := check.Parallel(ctx, traces, *workers, func(i int, t trace.Trace) (verdict, error) {
 		switch *mode {
 		case "lin", "classical":
 			var res lin.Result
 			var err error
-			if *mode == "lin" {
-				res, err = lin.Check(f, t, lin.Options{Budget: *budget})
-			} else {
-				res, err = lin.CheckClassical(f, t, lin.Options{Budget: *budget})
+			switch {
+			case *mode == "lin" && *stream:
+				// Incremental session: one action at a time, same verdict
+				// as the one-shot check on every prefix.
+				sess := lin.NewSession(ctx, f, opts...)
+				if err = sess.FeedAll(t); err == nil {
+					res, err = sess.Result()
+				}
+			case *mode == "lin":
+				res, err = lin.Check(ctx, f, t, opts...)
+			default:
+				res, err = lin.CheckClassical(ctx, f, t, opts...)
 			}
 			if err != nil {
 				return verdict{}, fmt.Errorf("%s: %w", files[i], err)
 			}
 			return linVerdict(t, res), nil
 		default:
-			res, err := slin.Check(f, rinit, *m, *n, t, slin.Options{
-				Budget:             *budget,
-				TemporalAbortOrder: *temporal,
-			})
+			res, err := slin.Check(ctx, f, rinit, *m, *n, t,
+				append(opts, check.WithTemporalAbortOrder(*temporal))...)
 			if err != nil {
 				return verdict{}, fmt.Errorf("%s: %w", files[i], err)
 			}

@@ -10,9 +10,11 @@
 //	smr-bench -shards 8 -commands 500000
 //	smr-bench -sweep 1,2,4,8,16 -per-shard 62500 -json BENCH.json
 //	smr-bench -zipf 1.2 -read-frac 0.5 -pace 0   # skewed, closed-loop
+//	smr-bench -online                  # check per-key histories during the run
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -40,9 +42,18 @@ func main() {
 		compact  = flag.Int("compact-every", 64, "log compaction window (0: off)")
 		budget   = flag.Int("budget", 0, "per-history check budget (0: checker default)")
 		noCheck  = flag.Bool("skip-check", false, "skip the per-key linearizability check")
+		online   = flag.Bool("online", false, "stream per-key histories through incremental checker sessions during the run")
+		timeout  = flag.Duration("timeout", 0, "overall deadline for the run (0 = none)")
 		jsonOut  = flag.String("json", "", "write results as JSON to this file")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *zipf > 0 && *zipf <= 1 {
 		fmt.Fprintln(os.Stderr, "smr-bench: -zipf must exceed 1 (use 0 for uniform)")
@@ -62,6 +73,7 @@ func main() {
 		CompactEvery: *compact,
 		Budget:       *budget,
 		SkipCheck:    *noCheck,
+		Online:       *online,
 	}
 
 	var rows []experiments.ShardRunResult
@@ -76,12 +88,12 @@ func main() {
 			counts = append(counts, n)
 		}
 		var err error
-		rows, err = experiments.ShardSweep(counts, *perShard, base)
+		rows, err = experiments.ShardSweep(ctx, counts, *perShard, base)
 		if err != nil {
 			fail(rows, err)
 		}
 	} else {
-		r, err := experiments.RunSharded(base)
+		r, err := experiments.RunSharded(ctx, base)
 		if err != nil {
 			fail(rows, err)
 		}
@@ -111,8 +123,12 @@ func main() {
 func report(r experiments.ShardRunResult) {
 	check := "skipped"
 	if r.KeyHistories > 0 {
-		check = fmt.Sprintf("%d key histories linearizable (%d ops, %.0fms)",
-			r.KeyHistories, r.CheckedOps, r.CheckWallMs)
+		how := "post-hoc"
+		if r.Online {
+			how = "online"
+		}
+		check = fmt.Sprintf("%d key histories linearizable (%s, %d ops, %.0fms)",
+			r.KeyHistories, how, r.CheckedOps, r.CheckWallMs)
 	}
 	fmt.Printf("shards=%-2d %-10s commands=%-8d sim=%d delays  %.3f cmds/delay  "+
 		"fast-path=%.1f%%  latency=%.1f  wall=%.0fms (%.0f cmds/s)\n  consistency ok; %s\n",

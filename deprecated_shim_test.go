@@ -1,0 +1,32 @@
+package speclin_test
+
+import (
+	"testing"
+
+	speclin "repro"
+)
+
+// The deprecated v1 shims must keep returning the v2 engines' verdicts:
+// external users migrate on their own schedule (DESIGN.md decision 11's
+// deprecation policy), so each shim is pinned by a small smoke test.
+func TestDeprecatedShimsStillWork(t *testing.T) {
+	in := speclin.TagInput(speclin.ProposeInput("a"), "c1")
+	tr := speclin.Trace{
+		speclin.Invoke("c1", 1, in),
+		speclin.Response("c1", 1, in, "d:a"),
+	}
+
+	res, err := speclin.CheckLinearizable(speclin.ConsensusADT, tr, speclin.LinOptions{})
+	if err != nil || !res.OK {
+		t.Fatalf("CheckLinearizable shim: %+v %v", res, err)
+	}
+	res, err = speclin.CheckClassicallyLinearizable(speclin.ConsensusADT, tr, speclin.LinOptions{Budget: 10_000})
+	if err != nil || !res.OK {
+		t.Fatalf("CheckClassicallyLinearizable shim: %+v %v", res, err)
+	}
+	sres, err := speclin.CheckSpeculativelyLinearizable(
+		speclin.ConsensusADT, speclin.ConsensusRInit, 1, 2, tr, speclin.SLinOptions{})
+	if err != nil || !sres.OK {
+		t.Fatalf("CheckSpeculativelyLinearizable shim: %+v %v", sres, err)
+	}
+}

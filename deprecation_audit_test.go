@@ -1,0 +1,57 @@
+package speclin_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestDeprecatedShimsOnlyInFacade is the checker-API-v2 deprecation
+// audit (DESIGN.md decision 11): the v1 entry points and their Options
+// structs survive only as shims in the facade (speclin.go) plus their
+// dedicated shim test; no internal package, cmd, example or other test
+// may call them. CI runs the same audit as a grep step so the rule is
+// enforced on plain source checkouts too.
+func TestDeprecatedShimsOnlyInFacade(t *testing.T) {
+	// The v1 surface: the facade Options structs and the three disjoint
+	// entry points they configure. (lin.Options/slin.Options are fully
+	// deleted, so the compiler enforces those.)
+	deprecated := regexp.MustCompile(
+		`\bLinOptions\b|\bSLinOptions\b|CheckClassicallyLinearizable\(|CheckSpeculativelyLinearizable\(|speclin\.CheckLinearizable\(`)
+	allowed := map[string]bool{
+		"speclin.go":                true, // defines the shims
+		"deprecated_shim_test.go":   true, // tests the shims keep working
+		"deprecation_audit_test.go": true, // this audit
+	}
+
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if strings.HasPrefix(d.Name(), ".") && path != "." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || allowed[filepath.ToSlash(path)] {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			if deprecated.MatchString(line) {
+				t.Errorf("%s:%d still uses the deprecated v1 checker surface: %s",
+					path, i+1, strings.TrimSpace(line))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

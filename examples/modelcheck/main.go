@@ -8,8 +8,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro/internal/adt"
 	"repro/internal/check"
@@ -19,10 +21,16 @@ import (
 	"repro/internal/trace"
 )
 
-func oracle(sys *smcons.System) error {
+func oracle(ctx context.Context) func(sys *smcons.System) error {
+	return func(sys *smcons.System) error {
+		return checkRun(ctx, sys)
+	}
+}
+
+func checkRun(ctx context.Context, sys *smcons.System) error {
 	tr := sys.Trace()
 	plain := tr.Project(func(a trace.Action) bool { return a.Kind != trace.Swi })
-	res, err := lin.Check(adt.Consensus{}, plain, lin.Options{})
+	res, err := lin.Check(ctx, adt.Consensus{}, plain)
 	if err != nil {
 		return err
 	}
@@ -36,9 +44,12 @@ func oracle(sys *smcons.System) error {
 }
 
 func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
 	// Exhaustive over all schedules, two clients with distinct values.
 	sys := smcons.New(smcons.Config{Values: []trace.Value{"a", "b"}, FoldEndpoints: true})
-	stats, err := check.ExhaustiveTraces(sys, oracle)
+	stats, err := check.ExhaustiveTraces(sys, oracle(ctx))
 	if err != nil {
 		log.Fatalf("counterexample: %v", err)
 	}
@@ -47,7 +58,7 @@ func main() {
 
 	// Duplicate proposals exercise repeated events.
 	sys = smcons.New(smcons.Config{Values: []trace.Value{"a", "a"}, FoldEndpoints: true})
-	stats, err = check.ExhaustiveTraces(sys, oracle)
+	stats, err = check.ExhaustiveTraces(sys, oracle(ctx))
 	if err != nil {
 		log.Fatalf("counterexample: %v", err)
 	}
@@ -75,7 +86,7 @@ func main() {
 
 	// Random deep schedules for four clients.
 	sys = smcons.New(smcons.Config{Values: []trace.Value{"a", "b", "c", "d"}})
-	stats, err = check.RandomTraces(sys, 2000, 1, oracle)
+	stats, err = check.RandomTraces(sys, 2000, 1, oracle(ctx))
 	if err != nil {
 		log.Fatalf("counterexample: %v", err)
 	}

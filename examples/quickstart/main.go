@@ -1,19 +1,28 @@
 // Quickstart: compose the paper's two message-passing speculation phases
 // — the Quorum fast path and the Paxos backup — into one consensus
 // object, run three concurrent clients on the simulated network, and
-// check the recorded trace against the linearizability oracle.
+// check the recorded trace with the unified checker API: one
+// context-aware Check call parameterized by a CheckSpec, plus an
+// incremental Session fed one action at a time.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	speclin "repro"
 )
 
 func main() {
+	// Every check in this program shares one deadline (checker API v2:
+	// cancellation aborts in-flight searches with verdict Unknown).
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
 	// A deterministic asynchronous network: seed 7, delays 1–3.
 	net := speclin.NewNetwork(speclin.NetConfig{Seed: 7, MinDelay: 1, MaxDelay: 3})
 
@@ -42,20 +51,44 @@ func main() {
 	// projected away, must be linearizable for the consensus ADT.
 	tr := obj.Trace()
 	plain := tr.Project(func(a speclin.Action) bool { return !a.IsSwi() })
-	res, err := speclin.CheckLinearizable(speclin.ConsensusADT, plain, speclin.LinOptions{})
+	rep, err := speclin.Check(ctx, speclin.CheckSpec{Folder: speclin.ConsensusADT}, plain)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\ntrace actions: %d, linearizable: %v\n", len(tr), res.OK)
+	fmt.Printf("\ntrace actions: %d, verdict: %s (%d nodes, %s)\n",
+		len(tr), rep.Verdict, rep.Nodes, rep.Wall.Round(time.Microsecond))
+
+	// The same verdict, incrementally: a Session is fed one action at a
+	// time and re-checks the growing trace from persistent search state —
+	// the shape a monitor embedded in a running system uses.
+	sess, err := speclin.NewSession(ctx, speclin.CheckSpec{Folder: speclin.ConsensusADT})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range plain {
+		if err := sess.Feed(a); err != nil {
+			log.Fatal(err)
+		}
+	}
+	srep, err := sess.Report()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("incremental session agrees: %v\n", srep.Verdict == rep.Verdict)
 
 	// Each phase's projection satisfies its speculative linearizability
 	// property in isolation — the intra-object composition theorem then
 	// gives linearizability of the whole (Theorem 3).
 	backup := tr.ProjectSig(2, 3)
-	sres, err := speclin.CheckSpeculativelyLinearizable(
-		speclin.ConsensusADT, speclin.ConsensusRInit, 2, 3, backup, speclin.SLinOptions{})
+	brep, err := speclin.Check(ctx, speclin.CheckSpec{
+		Folder: speclin.ConsensusADT,
+		Mode:   speclin.SLin,
+		RInit:  speclin.ConsensusRInit,
+		M:      2,
+		N:      3,
+	}, backup)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("backup phase satisfies SLin(2,3): %v\n", sres.OK)
+	fmt.Printf("backup phase satisfies SLin(2,3): %v\n", brep.Verdict == speclin.Linearizable)
 }

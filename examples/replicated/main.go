@@ -8,15 +8,19 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	speclin "repro"
 	"repro/internal/adt"
-	"repro/internal/lin"
 )
 
 func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
 	// --- A replicated FIFO queue shared by three application nodes. ---
 	net := speclin.NewNetwork(speclin.NetConfig{Seed: 21, MinDelay: 1, MaxDelay: 3})
 	clients := []speclin.ProcID{"n1", "n2", "n3"}
@@ -43,7 +47,7 @@ func main() {
 		fmt.Printf("  %-3s %-12s → %-8s slot %d, %2d delays\n",
 			r.Client, adt.Untag(r.Input), r.Output, r.Slot, r.Latency())
 	}
-	res, err := q.CheckLinearizable(lin.Options{})
+	res, err := q.CheckLinearizable(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,7 +74,7 @@ func main() {
 		fmt.Printf("  %-3s %-8s → %-6s %2d delays\n",
 			r.Client, adt.Untag(r.Input), r.Output, r.Latency())
 	}
-	res, err = ctr.CheckLinearizable(lin.Options{})
+	res, err = ctr.CheckLinearizable(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

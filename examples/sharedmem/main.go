@@ -8,15 +8,20 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
+	"time"
 
 	speclin "repro"
 )
 
 func main() {
 	const rounds = 2000
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
 
 	run := func(goroutines int) (fastPath int) {
 		for r := 0; r < rounds; r++ {
@@ -52,11 +57,11 @@ func main() {
 			// checker is exact but rounds are many).
 			if r%100 == 0 {
 				plain := obj.Trace().Project(func(a speclin.Action) bool { return !a.IsSwi() })
-				res, err := speclin.CheckLinearizable(speclin.ConsensusADT, plain, speclin.LinOptions{})
+				rep, err := speclin.Check(ctx, speclin.CheckSpec{Folder: speclin.ConsensusADT}, plain)
 				if err != nil {
 					log.Fatal(err)
 				}
-				if !res.OK {
+				if rep.Verdict != speclin.Linearizable {
 					log.Fatalf("round %d not linearizable: %v", r, obj.Trace())
 				}
 			}

@@ -1,6 +1,7 @@
 package speclin_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -23,9 +24,24 @@ func TestPublicAPISharedMemory(t *testing.T) {
 		t.Fatalf("decided %q", out)
 	}
 	plain := obj.Trace().Project(func(a speclin.Action) bool { return !a.IsSwi() })
-	res, err := speclin.CheckLinearizable(speclin.ConsensusADT, plain, speclin.LinOptions{})
-	if err != nil || !res.OK {
-		t.Fatalf("linearizability: %+v %v", res, err)
+	rep, err := speclin.Check(context.Background(), speclin.CheckSpec{Folder: speclin.ConsensusADT}, plain)
+	if err != nil || rep.Verdict != speclin.Linearizable {
+		t.Fatalf("linearizability: %+v %v", rep, err)
+	}
+
+	// The same trace through the incremental facade session.
+	sess, err := speclin.NewSession(context.Background(), speclin.CheckSpec{Folder: speclin.ConsensusADT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range plain {
+		if err := sess.Feed(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srep, err := sess.Report()
+	if err != nil || srep.Verdict != speclin.Linearizable {
+		t.Fatalf("session: %+v %v", srep, err)
 	}
 }
 
@@ -52,7 +68,7 @@ func TestPublicAPIMessagePassing(t *testing.T) {
 // E1's shape as a test: the fast path beats the baseline by roughly 2×
 // in fault-free runs.
 func TestE1Shape(t *testing.T) {
-	tab, err := experiments.E1FastPathLatency()
+	tab, err := experiments.E1FastPathLatency(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +89,7 @@ func TestE6bShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow sweep")
 	}
-	tab, err := experiments.E6bAbortOrderDivergence()
+	tab, err := experiments.E6bAbortOrderDivergence(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +114,7 @@ func TestE9Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow sweep")
 	}
-	tab, err := experiments.E9SMRThroughput()
+	tab, err := experiments.E9SMRThroughput(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +144,7 @@ func TestE10ThreePhaseChain(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow sweep")
 	}
-	tab, err := experiments.E10PhaseChain()
+	tab, err := experiments.E10PhaseChain(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

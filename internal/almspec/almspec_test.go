@@ -1,6 +1,7 @@
 package almspec
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/adt"
@@ -26,7 +27,7 @@ func TestSpecTracesSatisfySLinFirstPhase(t *testing.T) {
 	checked := 0
 	err := ioa.ExternalTraces(a, 6, 3_000_000, func(actions []ioa.Action) error {
 		tr := ToTrace(actions)
-		res, err := slin.Check(adt.Universal{}, slin.UniversalRInit{}, 1, 2, tr, slin.Options{})
+		res, err := slin.Check(context.Background(), adt.Universal{}, slin.UniversalRInit{}, 1, 2, tr)
 		if err != nil {
 			return err
 		}
@@ -60,7 +61,7 @@ func TestSpecTracesSatisfySLinSecondPhase(t *testing.T) {
 	checked := 0
 	err := ioa.ExternalTraces(a, 6, 3_000_000, func(actions []ioa.Action) error {
 		tr := ToTrace(actions)
-		res, err := slin.Check(adt.Universal{}, slin.UniversalRInit{}, 2, 3, tr, slin.Options{})
+		res, err := slin.Check(context.Background(), adt.Universal{}, slin.UniversalRInit{}, 2, 3, tr)
 		if err != nil {
 			return err
 		}
@@ -184,7 +185,7 @@ func TestCompositionTracesSatisfySLin(t *testing.T) {
 		// Project onto sig(1,3): interior switches at level 2 drop out of
 		// client well-formedness but stay in the signature; the slin
 		// checker ignores them (Definition 33's note).
-		res, err := slin.Check(adt.Universal{}, slin.UniversalRInit{}, 1, 3, full, slin.Options{})
+		res, err := slin.Check(context.Background(), adt.Universal{}, slin.UniversalRInit{}, 1, 3, full)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,117 @@
+package check
+
+// This file defines the option and verdict vocabulary of the checker API
+// v2 (DESIGN.md, decision 11): one functional-option set shared by the
+// lin and slin checkers (one-shot and incremental Session forms) in place
+// of the near-duplicate per-package Options structs of the v1 surface.
+
+// Verdict is a three-valued checker outcome. The zero value is Unknown,
+// which a checker reports only alongside an error (budget or memo-limit
+// exhaustion, context cancellation) — never as a decided answer.
+type Verdict int
+
+const (
+	// Unknown means the check did not run to completion (budget, memo
+	// limit, cancellation); a larger budget may decide it.
+	Unknown Verdict = iota
+	// Linearizable means the property holds (Lin, Lin* or SLin(m,n),
+	// depending on the check's mode).
+	Linearizable
+	// NotLinearizable means the property was refuted.
+	NotLinearizable
+)
+
+// String returns the lowercase verdict name.
+func (v Verdict) String() string {
+	switch v {
+	case Linearizable:
+		return "linearizable"
+	case NotLinearizable:
+		return "not linearizable"
+	default:
+		return "unknown"
+	}
+}
+
+// Settings is the resolved option set of one checker call or session.
+// Callers normally build it through NewSettings and the With* options;
+// the zero value of each field selects the documented default.
+type Settings struct {
+	// Budget bounds the total number of search nodes per one-shot check
+	// (shared across all init-interpretation combinations for SLin) or
+	// per Session lifetime (cumulative across Feed calls); 0 means the
+	// checker's DefaultBudget. A search node is one recursive step of
+	// the search, uniform across checkers and engines.
+	Budget int
+	// Workers selects intra-check parallelism. 0 or 1 runs the default
+	// sequential depth-first search. n > 1 switches the check to the
+	// breadth (frontier) engine — the same engine Sessions use — and
+	// expands each frontier with n workers over a sharded memo set, so
+	// one pathological trace uses all cores. Batch checkers (CheckAll)
+	// interpret Workers differently: there it sizes the worker pool that
+	// shards independent traces, 0 meaning GOMAXPROCS, and each
+	// per-trace search stays sequential.
+	Workers int
+	// Witness controls whether positive verdicts assemble linearization
+	// witnesses. NewSettings defaults it to true; WithWitness(false)
+	// skips witness assembly (the SLin breadth engine never assembles
+	// witnesses regardless).
+	Witness bool
+	// MemoLimit bounds the checker's memoization structures, in entries;
+	// 0 means unlimited. The depth-first engines stop inserting new memo
+	// entries beyond the limit (search stays exact, possibly slower);
+	// the breadth engines report ErrMemo when a frontier alone exceeds
+	// it, since frontier configurations are live state that cannot be
+	// dropped soundly.
+	MemoLimit int
+	// TemporalAbortOrder selects the temporal variant of the SLin
+	// checker's Abort-Order (slin package documentation); ignored by the
+	// lin checkers.
+	TemporalAbortOrder bool
+}
+
+// Option mutates one Settings field; checker entry points accept a
+// variadic ...Option.
+type Option func(*Settings)
+
+// NewSettings resolves opts over the defaults (Witness on, everything
+// else zero).
+func NewSettings(opts ...Option) Settings {
+	s := Settings{Witness: true}
+	for _, o := range opts {
+		if o != nil {
+			o(&s)
+		}
+	}
+	return s
+}
+
+// BudgetOr returns the configured budget, or def when unset.
+func (s Settings) BudgetOr(def int) int {
+	if s.Budget <= 0 {
+		return def
+	}
+	return s.Budget
+}
+
+// WithBudget bounds the search to n nodes (see Settings.Budget).
+func WithBudget(n int) Option { return func(s *Settings) { s.Budget = n } }
+
+// WithWorkers sets intra-check parallelism (see Settings.Workers): n > 1
+// runs the breadth engine with n workers inside a single check; 0 or 1
+// keeps the sequential depth-first engine. Batch checkers use it to size
+// the pool sharding independent traces (0 = GOMAXPROCS).
+func WithWorkers(n int) Option { return func(s *Settings) { s.Workers = n } }
+
+// WithWitness toggles witness assembly on positive verdicts.
+func WithWitness(on bool) Option { return func(s *Settings) { s.Witness = on } }
+
+// WithMemoLimit bounds the memoization structures to n entries (see
+// Settings.MemoLimit).
+func WithMemoLimit(n int) Option { return func(s *Settings) { s.MemoLimit = n } }
+
+// WithTemporalAbortOrder selects the temporal Abort-Order variant of the
+// SLin checker.
+func WithTemporalAbortOrder(on bool) Option {
+	return func(s *Settings) { s.TemporalAbortOrder = on }
+}

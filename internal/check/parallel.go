@@ -1,13 +1,17 @@
 package check
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
 
-// Workers normalizes a worker-count option: n when positive, otherwise
-// GOMAXPROCS (the batch checkers' default of one worker per core).
+// Workers normalizes a batch worker-count option: n when positive,
+// otherwise GOMAXPROCS. Zero therefore means "one worker per core" for
+// the batch checkers; note that single-trace checks interpret a zero or
+// one Workers setting as the sequential engine instead (Settings.Workers
+// documents the two readings).
 func Workers(n int) int {
 	if n > 0 {
 		return n
@@ -18,17 +22,21 @@ func Workers(n int) int {
 // Parallel applies fn to every item on a pool of workers and returns the
 // results in item order. Items are independent; they are handed out by an
 // atomic cursor, so the pool load-balances uneven item costs. The first
-// error stops the pool (in-flight items finish; remaining items are not
-// started) and is returned alongside the partial results — result slots
+// error — or a cancellation of ctx — stops the pool: in-flight items
+// finish, remaining items are never started, and the error (respectively
+// ctx.Err()) is returned alongside the partial results. Result slots
 // whose items never ran hold the zero value.
 //
 // It is the worker-pool path shared by the batch checkers (lin.CheckAll,
-// slin.CheckAll), the E8 equivalence sweeps and cmd/slin-check, which
-// shard independent traces across GOMAXPROCS cores.
-func Parallel[T, R any](items []T, workers int, fn func(i int, item T) (R, error)) ([]R, error) {
+// slin.CheckAll), the breadth engines' frontier expansion, the E8
+// equivalence sweeps and cmd/slin-check.
+func Parallel[T, R any](ctx context.Context, items []T, workers int, fn func(i int, item T) (R, error)) ([]R, error) {
+	if ctx == nil {
+		ctx = context.Background() // nil tolerated like every other v2 entry point
+	}
 	out := make([]R, len(items))
 	if len(items) == 0 {
-		return out, nil
+		return out, ctx.Err()
 	}
 	workers = Workers(workers)
 	if workers > len(items) {
@@ -36,6 +44,9 @@ func Parallel[T, R any](items []T, workers int, fn func(i int, item T) (R, error
 	}
 	if workers == 1 {
 		for i, it := range items {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
 			r, err := fn(i, it)
 			if err != nil {
 				return out, err
@@ -57,7 +68,7 @@ func Parallel[T, R any](items []T, workers int, fn func(i int, item T) (R, error
 			defer wg.Done()
 			for {
 				i := int(cursor.Add(1)) - 1
-				if i >= len(items) || failed.Load() {
+				if i >= len(items) || failed.Load() || ctx.Err() != nil {
 					return
 				}
 				r, err := fn(i, items[i])
@@ -75,5 +86,54 @@ func Parallel[T, R any](items []T, workers int, fn func(i int, item T) (R, error
 		}()
 	}
 	wg.Wait()
+	if first == nil {
+		first = ctx.Err()
+	}
 	return out, first
 }
+
+// shardedSetStripes is the stripe count of ShardedSet: enough to keep
+// contention negligible at realistic worker counts, small enough that an
+// empty set stays cheap.
+const shardedSetStripes = 64
+
+// ShardedSet is a striped-lock concurrent set used as the shared memo /
+// deduplication table of the parallel breadth engines: frontier-expansion
+// workers claim successor digests with TryInsert so every distinct
+// configuration is materialized exactly once across workers.
+type ShardedSet[K comparable] struct {
+	hash   func(K) uint64
+	shards [shardedSetStripes]struct {
+		mu sync.Mutex
+		m  map[K]struct{}
+	}
+	size atomic.Int64
+}
+
+// NewShardedSet returns an empty set distributing keys by hash.
+func NewShardedSet[K comparable](hash func(K) uint64) *ShardedSet[K] {
+	s := &ShardedSet[K]{hash: hash}
+	for i := range s.shards {
+		s.shards[i].m = make(map[K]struct{})
+	}
+	return s
+}
+
+// TryInsert inserts k and reports whether it was absent (i.e. whether the
+// caller won the claim).
+func (s *ShardedSet[K]) TryInsert(k K) bool {
+	sh := &s.shards[s.hash(k)%shardedSetStripes]
+	sh.mu.Lock()
+	_, dup := sh.m[k]
+	if !dup {
+		sh.m[k] = struct{}{}
+	}
+	sh.mu.Unlock()
+	if !dup {
+		s.size.Add(1)
+	}
+	return !dup
+}
+
+// Len returns the number of keys inserted so far.
+func (s *ShardedSet[K]) Len() int { return int(s.size.Load()) }

@@ -1,6 +1,7 @@
 package check
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -13,7 +14,7 @@ func TestParallelOrderAndCompleteness(t *testing.T) {
 		items[i] = i
 	}
 	for _, workers := range []int{0, 1, 3, 64} {
-		out, err := Parallel(items, workers, func(_ int, x int) (int, error) {
+		out, err := Parallel(context.Background(), items, workers, func(_ int, x int) (int, error) {
 			return x * 2, nil
 		})
 		if err != nil {
@@ -28,7 +29,7 @@ func TestParallelOrderAndCompleteness(t *testing.T) {
 }
 
 func TestParallelEmpty(t *testing.T) {
-	out, err := Parallel(nil, 0, func(_ int, x int) (int, error) { return x, nil })
+	out, err := Parallel(context.Background(), nil, 0, func(_ int, x int) (int, error) { return x, nil })
 	if err != nil || len(out) != 0 {
 		t.Fatalf("got %v, %v", out, err)
 	}
@@ -38,7 +39,7 @@ func TestParallelStopsOnError(t *testing.T) {
 	boom := errors.New("boom")
 	var ran atomic.Int64
 	items := make([]int, 500)
-	_, err := Parallel(items, 4, func(i int, _ int) (int, error) {
+	_, err := Parallel(context.Background(), items, 4, func(i int, _ int) (int, error) {
 		ran.Add(1)
 		if i == 0 {
 			return 0, boom
@@ -62,5 +63,55 @@ func TestWorkersDefault(t *testing.T) {
 	}
 	if Workers(7) != 7 {
 		t.Fatal("explicit worker count must be respected")
+	}
+}
+
+func TestParallelStopsOnCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	items := make([]int, 500)
+	_, err := Parallel(ctx, items, 4, func(i int, _ int) (int, error) {
+		if ran.Add(1) == 1 {
+			cancel()
+		}
+		time.Sleep(50 * time.Microsecond)
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+	if n := ran.Load(); n == int64(len(items)) {
+		t.Fatalf("all %d items ran despite cancellation", n)
+	}
+}
+
+func TestParallelCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := 0
+	_, err := Parallel(ctx, []int{1, 2, 3}, 1, func(_ int, x int) (int, error) {
+		ran++
+		return x, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+	if ran != 0 {
+		t.Fatalf("%d items ran on a pre-cancelled context", ran)
+	}
+}
+
+func TestShardedSet(t *testing.T) {
+	s := NewShardedSet(func(k uint64) uint64 { return k })
+	for i := uint64(0); i < 1000; i++ {
+		if !s.TryInsert(i) {
+			t.Fatalf("fresh key %d reported duplicate", i)
+		}
+		if s.TryInsert(i) {
+			t.Fatalf("duplicate key %d reported fresh", i)
+		}
+	}
+	if s.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", s.Len())
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -18,7 +19,7 @@ import (
 // E6ModelCheck: exhaustive and randomized model checking of the §2.5
 // shared-memory composition (Figures 2+3) against the lin/slin oracles
 // and the paper's invariants I1–I5.
-func E6ModelCheck() (Table, error) {
+func E6ModelCheck(ctx context.Context) (Table, error) {
 	t := Table{
 		ID:     "E6",
 		Title:  "model checking RCons+CASCons (values distinct per client)",
@@ -33,7 +34,7 @@ func E6ModelCheck() (Table, error) {
 	fullOracle := func(s *smcons.System) error {
 		tr := s.Trace()
 		plain := tr.Project(func(a trace.Action) bool { return a.Kind != trace.Swi })
-		res, err := lin.Check(adt.Consensus{}, plain, lin.Options{})
+		res, err := lin.Check(ctx, adt.Consensus{}, plain)
 		if err != nil {
 			return err
 		}
@@ -46,15 +47,15 @@ func E6ModelCheck() (Table, error) {
 		if err := slin.SecondPhaseInvariants(tr.ProjectSig(2, 3), 2, 3); err != nil {
 			return err
 		}
-		sres, err := slin.Check(adt.Consensus{}, slin.ConsensusRInit{}, 1, 2, tr.ProjectSig(1, 2),
-			slin.Options{TemporalAbortOrder: true})
+		sres, err := slin.Check(ctx, adt.Consensus{}, slin.ConsensusRInit{}, 1, 2, tr.ProjectSig(1, 2),
+			check.WithTemporalAbortOrder(true))
 		if err != nil {
 			return err
 		}
 		if !sres.OK {
 			return fmt.Errorf("RCons projection not SLin: %v", tr)
 		}
-		sres, err = slin.Check(adt.Consensus{}, slin.ConsensusRInit{}, 2, 3, tr.ProjectSig(2, 3), slin.Options{})
+		sres, err = slin.Check(ctx, adt.Consensus{}, slin.ConsensusRInit{}, 2, 3, tr.ProjectSig(2, 3))
 		if err != nil {
 			return err
 		}
@@ -114,10 +115,10 @@ func E6ModelCheck() (Table, error) {
 }
 
 // E6bAbortOrderDivergence quantifies the literal-vs-temporal Abort-Order
-// gap this reproduction uncovered (see slin.Options): Quorum schedules
+// gap this reproduction uncovered (see package slin): Quorum schedules
 // with operations invoked after a switch satisfy the paper's I1–I3 and
 // the temporal variant, but fail the literal Definitions 28+32.
-func E6bAbortOrderDivergence() (Table, error) {
+func E6bAbortOrderDivergence(ctx context.Context) (Table, error) {
 	t := Table{
 		ID:     "E6b",
 		Title:  "literal vs temporal Abort-Order on generated Quorum-shaped traces (seeds 1–400)",
@@ -145,15 +146,15 @@ func E6bAbortOrderDivergence() (Table, error) {
 			if slin.FirstPhaseInvariants(tr, 1, 2) == nil {
 				inv++
 			}
-			res, err := slin.Check(adt.Consensus{}, slin.ConsensusRInit{}, 1, 2, tr, slin.Options{})
+			res, err := slin.Check(ctx, adt.Consensus{}, slin.ConsensusRInit{}, 1, 2, tr)
 			if err != nil {
 				return t, err
 			}
 			if res.OK {
 				litOK++
 			}
-			res, err = slin.Check(adt.Consensus{}, slin.ConsensusRInit{}, 1, 2, tr,
-				slin.Options{TemporalAbortOrder: true})
+			res, err = slin.Check(ctx, adt.Consensus{}, slin.ConsensusRInit{}, 1, 2, tr,
+				check.WithTemporalAbortOrder(true))
 			if err != nil {
 				return t, err
 			}
@@ -169,7 +170,7 @@ func E6bAbortOrderDivergence() (Table, error) {
 
 // E7CompositionRefinement: the intra-object composition theorem
 // (Theorem 3) model-checked on the §6 automaton.
-func E7CompositionRefinement() (Table, error) {
+func E7CompositionRefinement(ctx context.Context) (Table, error) {
 	t := Table{
 		ID:     "E7",
 		Title:  "Theorem 3 model check: Spec(1,2) ‖ Spec(2,3) ⊑ Spec(1,3)",
@@ -209,7 +210,7 @@ func E7CompositionRefinement() (Table, error) {
 	count := 0
 	err = ioa.ExternalTraces(impl, 6, 3_000_000, func(actions []ioa.Action) error {
 		tr := almspec.ToTrace(actions)
-		sres, err := slin.Check(adt.Universal{}, slin.UniversalRInit{}, 1, 3, tr, slin.Options{})
+		sres, err := slin.Check(ctx, adt.Universal{}, slin.UniversalRInit{}, 1, 3, tr)
 		if err != nil {
 			return err
 		}
@@ -244,7 +245,7 @@ func allNoRepeatSeqs(inputs []trace.Value) []trace.History {
 // E8DefinitionEquivalence: Theorem 1 — the new and classical definitions
 // of linearizability agree on unique-input traces, across four ADTs; and
 // the repeated-events counterexample this reproduction found.
-func E8DefinitionEquivalence() (Table, error) {
+func E8DefinitionEquivalence(ctx context.Context) (Table, error) {
 	t := Table{
 		ID:     "E8",
 		Title:  "definition equivalence on random traces (seed 42, 400 traces per ADT)",
@@ -283,11 +284,11 @@ func E8DefinitionEquivalence() (Table, error) {
 			}
 			traces[i] = workload.Random(tc.f, r, opts)
 		}
-		newRes, err := lin.CheckAll(tc.f, traces, lin.Options{})
+		newRes, err := lin.CheckAll(ctx, tc.f, traces)
 		if err != nil {
 			return t, err
 		}
-		classicalRes, err := lin.CheckClassicalAll(tc.f, traces, lin.Options{})
+		classicalRes, err := lin.CheckClassicalAll(ctx, tc.f, traces)
 		if err != nil {
 			return t, err
 		}

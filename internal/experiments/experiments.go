@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -39,10 +40,12 @@ func Render(w io.Writer, t Table) {
 	fmt.Fprintln(w)
 }
 
-// Experiment pairs an ID with its runner.
+// Experiment pairs an ID with its runner. Runners are context-aware
+// (checker API v2): cancelling ctx aborts the checker searches inside an
+// experiment; cmd/experiments wires its -timeout flag through here.
 type Experiment struct {
 	ID  string
-	Run func() (Table, error)
+	Run func(ctx context.Context) (Table, error)
 }
 
 // All lists every experiment in order.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/adt"
@@ -46,9 +47,9 @@ func runConsensus(cfg msgnet.Config, nClients, nServers int, protos []mpcons.Pha
 }
 
 // checkLinearizable verifies the composed object's switch-free trace.
-func checkLinearizable(obj *mpcons.Object) error {
+func checkLinearizable(ctx context.Context, obj *mpcons.Object) error {
 	plain := obj.Trace().Project(func(a trace.Action) bool { return a.Kind != trace.Swi })
-	res, err := lin.Check(adt.Consensus{}, plain, lin.Options{})
+	res, err := lin.Check(ctx, adt.Consensus{}, plain)
 	if err != nil {
 		return err
 	}
@@ -62,7 +63,7 @@ func checkLinearizable(obj *mpcons.Object) error {
 // message delays; Paxos needs two round trips (4 delays as proposer, plus
 // one more for remote learners). Fault-free, contention-free, unit
 // delays; latency is exact virtual time.
-func E1FastPathLatency() (Table, error) {
+func E1FastPathLatency(ctx context.Context) (Table, error) {
 	t := Table{
 		ID:     "E1",
 		Title:  "fault-free latency in message delays (1 client, unit delay, seed 1)",
@@ -88,7 +89,7 @@ func E1FastPathLatency() (Table, error) {
 				return t, fmt.Errorf("E1: no decision with %d servers", servers)
 			}
 			lat[i] = rs[0].Latency()
-			if err := checkLinearizable(obj); err != nil {
+			if err := checkLinearizable(ctx, obj); err != nil {
 				return t, err
 			}
 		}
@@ -105,7 +106,7 @@ func E1FastPathLatency() (Table, error) {
 // E2ContentionSweep: concurrent proposers under jittered delays. The
 // fast path wins at low contention; as contention grows, switches to
 // Backup dominate and latency approaches Paxos'.
-func E2ContentionSweep() (Table, error) {
+func E2ContentionSweep(ctx context.Context) (Table, error) {
 	t := Table{
 		ID:     "E2",
 		Title:  "contention sweep (3 servers, delays 1–4, seeds 1–30, all ops concurrent)",
@@ -139,7 +140,7 @@ func E2ContentionSweep() (Table, error) {
 					switched++
 				}
 			}
-			if err := checkLinearizable(obj); err != nil {
+			if err := checkLinearizable(ctx, obj); err != nil {
 				return t, fmt.Errorf("seed %d: %w", seed, err)
 			}
 		}
@@ -156,7 +157,7 @@ func E2ContentionSweep() (Table, error) {
 
 // E3FaultInjection: crashes and message loss force the fast path to time
 // out; the composition stays safe and live while a server majority is up.
-func E3FaultInjection() (Table, error) {
+func E3FaultInjection(ctx context.Context) (Table, error) {
 	t := Table{
 		ID:     "E3",
 		Title:  "fault injection (2 clients, 5 servers, delays 1–3, seeds 1–20)",
@@ -195,7 +196,7 @@ func E3FaultInjection() (Table, error) {
 					fast++
 				}
 			}
-			if err := checkLinearizable(obj); err != nil {
+			if err := checkLinearizable(ctx, obj); err != nil {
 				return t, fmt.Errorf("crash=%d drop=%.2f seed %d: %w", tc.crash, tc.drop, seed, err)
 			}
 		}
@@ -219,7 +220,7 @@ func E3FaultInjection() (Table, error) {
 // without modifying any of them — the paper's scalability claim (§1, §5.1:
 // adding a dimension of speculation is just another phase). Clients
 // switch independently; the deciding phase varies with conditions.
-func E10PhaseChain() (Table, error) {
+func E10PhaseChain(ctx context.Context) (Table, error) {
 	t := Table{
 		ID:     "E10",
 		Title:  "three-phase chain Quorum→Quorum→Paxos (3 servers, seeds 1–30)",
@@ -274,7 +275,7 @@ func E10PhaseChain() (Table, error) {
 			if !tr.PhaseWellFormed(1, 4) {
 				return t, fmt.Errorf("E10: trace not (1,4)-well-formed at seed %d", seed)
 			}
-			if err := checkLinearizable(obj); err != nil {
+			if err := checkLinearizable(ctx, obj); err != nil {
 				return t, fmt.Errorf("E10 %s seed %d: %w", sc.name, seed, err)
 			}
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -18,7 +19,7 @@ import (
 // native sync/atomic backend; absolute numbers are hardware-dependent,
 // the shape (registers competitive with or cheaper than CAS, and the
 // composed fast path avoiding CAS entirely) is the claim.
-func E4RegisterVsCAS() (Table, error) {
+func E4RegisterVsCAS(ctx context.Context) (Table, error) {
 	t := Table{
 		ID:     "E4",
 		Title:  "uncontended native cost per operation (single goroutine)",
@@ -66,7 +67,7 @@ func E4RegisterVsCAS() (Table, error) {
 // versus plain CAS consensus as goroutines contend. Uncontended, the
 // speculative object matches the register path; contended, it degrades
 // to CAS plus the splitter overhead.
-func E5SharedMemContention() (Table, error) {
+func E5SharedMemContention(ctx context.Context) (Table, error) {
 	t := Table{
 		ID:     "E5",
 		Title:  "native consensus instances/second by contention (fresh instance per op)",

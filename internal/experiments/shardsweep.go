@@ -1,11 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
 
-	"repro/internal/lin"
+	"repro/internal/check"
 	"repro/internal/msgnet"
 	"repro/internal/smr"
 	"repro/internal/workload"
@@ -44,6 +45,11 @@ type ShardRunConfig struct {
 	Budget int
 	// SkipCheck skips history checking (pure throughput runs).
 	SkipCheck bool
+	// Online streams per-key histories through incremental checker
+	// sessions during the run (smr.ShardedConfig.OnlineCheck) instead of
+	// buffering them for a post-hoc pass; CheckLinearizable then
+	// collects the sessions' verdicts.
+	Online bool
 }
 
 func (c ShardRunConfig) withDefaults() ShardRunConfig {
@@ -80,6 +86,7 @@ type ShardRunResult struct {
 	WallMs         float64 `json:"wall_ms"`
 	CmdsPerSecWall float64 `json:"commands_per_sec_wall"`
 
+	Online       bool    `json:"online_check"`
 	KeyHistories int     `json:"key_histories_checked"`
 	CheckedOps   int64   `json:"checked_ops"`
 	CheckNodes   int64   `json:"check_nodes"`
@@ -89,7 +96,7 @@ type ShardRunResult struct {
 }
 
 // RunSharded executes one sharded run and verifies it.
-func RunSharded(cfg ShardRunConfig) (ShardRunResult, error) {
+func RunSharded(ctx context.Context, cfg ShardRunConfig) (ShardRunResult, error) {
 	cfg = cfg.withDefaults()
 	wl := workload.KeyedOpts{
 		Clients:  cfg.Clients,
@@ -119,6 +126,7 @@ func RunSharded(cfg ShardRunConfig) (ShardRunResult, error) {
 		Commands:     cfg.Commands,
 		Keys:         len(keys),
 		Distribution: "uniform",
+		Online:       cfg.Online,
 	}
 	if cfg.ZipfS > 0 {
 		res.Distribution = fmt.Sprintf("zipf(%.2g)", cfg.ZipfS)
@@ -133,7 +141,10 @@ func RunSharded(cfg ShardRunConfig) (ShardRunResult, error) {
 			Retransmit:    6,
 			CompactEvery:  cfg.CompactEvery,
 		},
-		Shards: cfg.Shards,
+		Shards:       cfg.Shards,
+		OnlineCheck:  cfg.Online,
+		CheckBudget:  cfg.Budget,
+		CheckContext: ctx,
 	})
 	if err != nil {
 		return res, err
@@ -169,7 +180,7 @@ func RunSharded(cfg ShardRunConfig) (ShardRunResult, error) {
 	}
 	if !cfg.SkipCheck {
 		cstart := time.Now()
-		sum, err := sc.CheckLinearizable(lin.Options{Budget: cfg.Budget})
+		sum, err := sc.CheckLinearizable(ctx, check.WithBudget(cfg.Budget))
 		res.CheckWallMs = float64(time.Since(cstart).Microseconds()) / 1000
 		if err != nil {
 			return res, err
@@ -185,13 +196,13 @@ func RunSharded(cfg ShardRunConfig) (ShardRunResult, error) {
 // ShardSweep runs RunSharded across shard counts with a fixed per-shard
 // command load (weak scaling: the offered load per shard is constant, so
 // sustained total throughput should grow linearly with the shard count).
-func ShardSweep(shards []int, perShard int, base ShardRunConfig) ([]ShardRunResult, error) {
+func ShardSweep(ctx context.Context, shards []int, perShard int, base ShardRunConfig) ([]ShardRunResult, error) {
 	var out []ShardRunResult
 	for _, n := range shards {
 		cfg := base
 		cfg.Shards = n
 		cfg.Commands = perShard * n
-		r, err := RunSharded(cfg)
+		r, err := RunSharded(ctx, cfg)
 		if err != nil {
 			return out, fmt.Errorf("E12 shards=%d: %w", n, err)
 		}
@@ -213,8 +224,8 @@ var (
 // followed by one zipf(1.2) row at 4 shards — at the given scale. The
 // E12 table and TestWriteBench2JSON (BENCH_2.json) share this builder
 // so the recorded artifact can never drift from the experiment.
-func E12Rows(shards []int, perShard, zipfPerShard int) ([]ShardRunResult, error) {
-	rows, err := ShardSweep(shards, perShard, E12Base)
+func E12Rows(ctx context.Context, shards []int, perShard, zipfPerShard int) ([]ShardRunResult, error) {
+	rows, err := ShardSweep(ctx, shards, perShard, E12Base)
 	if err != nil {
 		return rows, err
 	}
@@ -222,7 +233,7 @@ func E12Rows(shards []int, perShard, zipfPerShard int) ([]ShardRunResult, error)
 	zipf.ZipfS = 1.2
 	zipf.Shards = 4
 	zipf.Commands = 4 * zipfPerShard
-	zrow, err := RunSharded(zipf)
+	zrow, err := RunSharded(ctx, zipf)
 	if err != nil {
 		return rows, fmt.Errorf("E12 zipf: %w", err)
 	}
@@ -247,7 +258,7 @@ var E12Base = ShardRunConfig{
 // agreement continue to hold, checked exactly. Reduced here only in
 // table form; TestWriteBench2JSON runs the identical sweep and records
 // BENCH_2.json.
-func E12ShardSweep() (Table, error) {
+func E12ShardSweep(ctx context.Context) (Table, error) {
 	t := Table{
 		ID:    "E12",
 		Title: "sharded SMR shard sweep (4 clients, 3 servers, paced open-loop keyed KV, seed 1)",
@@ -261,7 +272,7 @@ func E12ShardSweep() (Table, error) {
 				"Machine-readable results: BENCH_2.json (TestWriteBench2JSON).",
 		},
 	}
-	rows, err := E12Rows(E12Shards, E12PerShard, E12ZipfPerShard)
+	rows, err := E12Rows(ctx, E12Shards, E12PerShard, E12ZipfPerShard)
 	if err != nil {
 		return t, err
 	}

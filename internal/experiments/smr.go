@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/msgnet"
@@ -10,7 +11,7 @@ import (
 // E9SMRThroughput: the end-to-end system claim — speculative SMR gives
 // fast-path latency in the common case and degrades gracefully, while
 // staying exactly as safe as the Paxos-only baseline.
-func E9SMRThroughput() (Table, error) {
+func E9SMRThroughput(ctx context.Context) (Table, error) {
 	t := Table{
 		ID:     "E9",
 		Title:  "SMR: speculative vs Paxos-only (3 servers, 24 commands/client, seeds 1–10)",

@@ -1,10 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/adt"
-	"repro/internal/lin"
 	"repro/internal/msgnet"
 	"repro/internal/smr"
 	"repro/internal/uobj"
@@ -14,7 +14,7 @@ import (
 // ADT's output function to a linearizable universal object (the
 // speculative replicated log) yields a linearizable object of that ADT.
 // Every run's object-level trace is validated by the exact checker.
-func E11UniversalConstruction() (Table, error) {
+func E11UniversalConstruction(ctx context.Context) (Table, error) {
 	t := Table{
 		ID:     "E11",
 		Title:  "universal construction: arbitrary ADTs over the speculative log (3 servers, seeds 1–10)",
@@ -94,7 +94,7 @@ func E11UniversalConstruction() (Table, error) {
 				done++
 				totalLat += int(r.Latency())
 			}
-			res, err := o.CheckLinearizable(lin.Options{})
+			res, err := o.CheckLinearizable(ctx)
 			if err != nil {
 				return t, err
 			}

@@ -49,7 +49,31 @@ type InclusionResult struct {
 // (both automata here are finite once the environment bounds operations):
 // if a reachable impl external action has no spec counterpart, the trace
 // so far plus that action witnesses non-inclusion.
+//
+// The explored (implState, specSet) pairs are deduplicated on 128-bit
+// trace.HashString digests of their canonical encodings instead of the
+// encodings themselves (the ROADMAP "model-checker state interning" item,
+// finished here; same rationale as check.ExhaustiveStates and the checker
+// memo keys of DESIGN.md decision 7): the visited set costs 16 bytes per
+// pair and compares fixed-size values. A digest collision (~2⁻¹²⁸ per
+// pair) would silently merge two pairs; CheckTraceInclusionReference
+// retains the exact string-keyed construction, and the ioa tests assert
+// the two explore identical pair counts on the E7-style instances.
 func CheckTraceInclusion(impl, spec *Automaton, opts InclusionOptions) (InclusionResult, error) {
+	return checkTraceInclusion(impl, spec, opts, digestAdmitter())
+}
+
+// CheckTraceInclusionReference is CheckTraceInclusion with the original
+// string-keyed visited set, retained as the executable specification of
+// the digest-interned construction.
+func CheckTraceInclusionReference(impl, spec *Automaton, opts InclusionOptions) (InclusionResult, error) {
+	return checkTraceInclusion(impl, spec, opts, stringAdmitter())
+}
+
+// checkTraceInclusion is the subset-construction loop; admit reports
+// whether a canonical (implState, specSet) encoding is new (marking it
+// seen).
+func checkTraceInclusion(impl, spec *Automaton, opts InclusionOptions, admit func(string) bool) (InclusionResult, error) {
 	type pair struct {
 		impl    State
 		specSet []State
@@ -109,13 +133,10 @@ func CheckTraceInclusion(impl, spec *Automaton, opts InclusionOptions) (Inclusio
 		return InclusionResult{}, fmt.Errorf("ioa: spec %s has no start states", spec.Name)
 	}
 
-	seen := map[string]bool{}
 	var queue []pair
 	for _, s := range impl.Start() {
 		p := pair{impl: s, specSet: start}
-		k := impl.StateKey(s) + "¦" + setKey(start)
-		if !seen[k] {
-			seen[k] = true
+		if admit(impl.StateKey(s) + "¦" + setKey(start)) {
 			queue = append(queue, p)
 		}
 	}
@@ -143,9 +164,7 @@ func CheckTraceInclusion(impl, spec *Automaton, opts InclusionOptions) (Inclusio
 				}
 			}
 			np := pair{impl: t.Next, specSet: nextSet, trace: tr}
-			k := impl.StateKey(t.Next) + "¦" + setKey(nextSet)
-			if !seen[k] {
-				seen[k] = true
+			if admit(impl.StateKey(t.Next) + "¦" + setKey(nextSet)) {
 				queue = append(queue, np)
 			}
 		}

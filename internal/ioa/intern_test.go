@@ -1,0 +1,69 @@
+package ioa
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The digest-interned explorations must agree exactly with their retained
+// string-keyed references (the model-checker state interning of DESIGN.md
+// decision 7 applied to the §7/E7 subset construction): identical state /
+// pair counts and identical verdicts mean no digest collision merged two
+// distinct encodings on these instances.
+
+func internTestAutomata() (impl, spec *Automaton) {
+	// Composed counters sharing tick actions vs a wider spec, the same
+	// shapes the inclusion tests use, large enough to exercise nontrivial
+	// subset sets.
+	a := counter("a", []string{"x", "y", "z"}, true)
+	b := counter("b", []string{"x", "w"}, true)
+	return Compose(a, b), Compose(counter("a2", []string{"x", "y", "z"}, true), counter("b2", []string{"x", "w"}, true))
+}
+
+func TestReachableAgreesWithReference(t *testing.T) {
+	impl, _ := internTestAutomata()
+	n1, err1 := Reachable(impl, 100000, nil)
+	n2, err2 := ReachableReference(impl, 100000, nil)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errors: %v, %v", err1, err2)
+	}
+	if n1 != n2 {
+		t.Fatalf("interned exploration visited %d states, reference %d", n1, n2)
+	}
+}
+
+func TestExternalTracesAgreesWithReference(t *testing.T) {
+	impl, _ := internTestAutomata()
+	count1, count2 := 0, 0
+	if err := ExternalTraces(impl, 4, 1_000_000, func([]Action) error { count1++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ExternalTracesReference(impl, 4, 1_000_000, func([]Action) error { count2++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count1 == 0 || count1 != count2 {
+		t.Fatalf("interned enumeration visited %d traces, reference %d", count1, count2)
+	}
+}
+
+func TestTraceInclusionAgreesWithReference(t *testing.T) {
+	for i, tc := range []struct {
+		impl, spec *Automaton
+	}{
+		{counter("i", []string{"x", "y"}, false), counter("s", []string{"x", "y"}, true)},
+		{counter("i", []string{"x", "y"}, true), counter("s", []string{"x", "y"}, false)},
+	} {
+		tc := tc
+		t.Run(fmt.Sprintf("case-%d", i), func(t *testing.T) {
+			r1, err1 := CheckTraceInclusion(tc.impl, tc.spec, InclusionOptions{})
+			r2, err2 := CheckTraceInclusionReference(tc.impl, tc.spec, InclusionOptions{})
+			if err1 != nil || err2 != nil {
+				t.Fatalf("errors: %v, %v", err1, err2)
+			}
+			if r1.OK != r2.OK || r1.Pairs != r2.Pairs {
+				t.Fatalf("interned (ok=%v pairs=%d) vs reference (ok=%v pairs=%d)",
+					r1.OK, r1.Pairs, r2.OK, r2.Pairs)
+			}
+		})
+	}
+}

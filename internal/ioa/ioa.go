@@ -10,6 +10,8 @@ package ioa
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/trace"
 )
 
 // State is an automaton state; automata provide canonical keys via
@@ -115,6 +117,35 @@ func Compose(a, b *Automaton) *Automaton {
 	}
 }
 
+// digestAdmitter returns a fresh admit function deduplicating canonical
+// string encodings on 128-bit trace.HashString digests (the model-checker
+// state interning of DESIGN.md decision 7): the set retains 16 bytes per
+// entry and compares fixed-size values.
+func digestAdmitter() func(string) bool {
+	seen := map[trace.Digest]bool{}
+	return func(k string) bool {
+		d := trace.HashString(k)
+		if seen[d] {
+			return false
+		}
+		seen[d] = true
+		return true
+	}
+}
+
+// stringAdmitter is digestAdmitter's exact string-keyed counterpart,
+// backing the retained Reference explorations.
+func stringAdmitter() func(string) bool {
+	seen := map[string]bool{}
+	return func(k string) bool {
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+		return true
+	}
+}
+
 // ErrBound is returned when exploration exceeds its state bound.
 var ErrBound = errors.New("ioa: state bound exceeded")
 
@@ -122,15 +153,28 @@ var ErrBound = errors.New("ioa: state bound exceeded")
 // reporting an error.
 var ErrStop = errors.New("ioa: stop requested")
 
-// Reachable explores the automaton's reachable states (deduplicated) and
-// calls visit for each. maxStates bounds the exploration.
+// Reachable explores the automaton's reachable states (deduplicated on
+// 128-bit trace.HashString digests of the canonical state keys — the
+// model-checker state interning of DESIGN.md decision 7; see
+// ReachableReference for the retained string-keyed exploration) and calls
+// visit for each. maxStates bounds the exploration.
 func Reachable(a *Automaton, maxStates int, visit func(State) error) (int, error) {
-	seen := map[string]bool{}
+	return reachable(a, maxStates, visit, digestAdmitter())
+}
+
+// ReachableReference is Reachable with the original string-keyed visited
+// set, retained as the executable specification of the digest-interned
+// exploration.
+func ReachableReference(a *Automaton, maxStates int, visit func(State) error) (int, error) {
+	return reachable(a, maxStates, visit, stringAdmitter())
+}
+
+// reachable is the exploration loop; admit reports whether a canonical
+// state key is new (and marks it seen).
+func reachable(a *Automaton, maxStates int, visit func(State) error, admit func(string) bool) (int, error) {
 	var stack []State
 	for _, s := range a.Start() {
-		k := a.StateKey(s)
-		if !seen[k] {
-			seen[k] = true
+		if admit(a.StateKey(s)) {
 			stack = append(stack, s)
 		}
 	}
@@ -151,9 +195,7 @@ func Reachable(a *Automaton, maxStates int, visit func(State) error) (int, error
 			}
 		}
 		for _, t := range a.Steps(s) {
-			k := a.StateKey(t.Next)
-			if !seen[k] {
-				seen[k] = true
+			if admit(a.StateKey(t.Next)) {
 				stack = append(stack, t.Next)
 			}
 		}
@@ -164,20 +206,33 @@ func Reachable(a *Automaton, maxStates int, visit func(State) error) (int, error
 // ExternalTraces enumerates the automaton's external traces up to the
 // given external length, calling visit once per distinct trace (traces of
 // an automaton are prefix-closed; every prefix is visited). Exploration
-// deduplicates (state, trace) pairs, so cycles of internal actions and
-// input self-loops terminate. maxNodes bounds the explored pairs.
+// deduplicates (state, trace) pairs and visited traces on 128-bit
+// trace.HashString digests of their canonical encodings (the same state
+// interning as Reachable/CheckTraceInclusion; ExternalTracesReference
+// retains the string-keyed enumeration), so cycles of internal actions
+// and input self-loops terminate. maxNodes bounds the explored pairs.
 func ExternalTraces(a *Automaton, maxLen int, maxNodes int, visit func([]Action) error) error {
+	return externalTraces(a, maxLen, maxNodes, visit, digestAdmitter(), digestAdmitter())
+}
+
+// ExternalTracesReference is ExternalTraces with the original
+// string-keyed deduplication, retained as the executable specification of
+// the digest-interned enumeration.
+func ExternalTracesReference(a *Automaton, maxLen int, maxNodes int, visit func([]Action) error) error {
+	return externalTraces(a, maxLen, maxNodes, visit, stringAdmitter(), stringAdmitter())
+}
+
+// externalTraces is the enumeration loop; admitPair and admitTrace report
+// whether a canonical (state, trace) pair respectively trace encoding is
+// new (marking it seen).
+func externalTraces(a *Automaton, maxLen int, maxNodes int, visit func([]Action) error, admitPair, admitTrace func(string) bool) error {
 	type node struct {
 		s  State
 		tr []Action
 	}
-	seenPair := map[string]bool{}
-	seenTrace := map[string]bool{}
 	var stack []node
 	push := func(n node) {
-		k := a.StateKey(n.s) + "¶" + traceKey(a, n.tr)
-		if !seenPair[k] {
-			seenPair[k] = true
+		if admitPair(a.StateKey(n.s) + "¶" + traceKey(a, n.tr)) {
 			stack = append(stack, n)
 		}
 	}
@@ -192,9 +247,7 @@ func ExternalTraces(a *Automaton, maxLen int, maxNodes int, visit func([]Action)
 		if nodes > maxNodes {
 			return ErrBound
 		}
-		key := traceKey(a, n.tr)
-		if !seenTrace[key] {
-			seenTrace[key] = true
+		if admitTrace(traceKey(a, n.tr)) {
 			if err := visit(n.tr); err != nil {
 				if errors.Is(err, ErrStop) {
 					return nil

@@ -1,28 +1,42 @@
 package lin
 
 import (
+	"context"
+
 	"repro/internal/adt"
 	"repro/internal/check"
 	"repro/internal/trace"
 )
 
 // CheckAll decides linearizability of each trace independently, sharding
-// the batch across a worker pool of Options.Workers goroutines (GOMAXPROCS
-// when zero). Results are in trace order; each check gets its own budget
-// of Options.Budget nodes. The first error (budget exhaustion, malformed
-// action) stops the batch and is returned with partial results.
+// the batch across a worker pool of check.WithWorkers goroutines
+// (GOMAXPROCS when unset). Results are in trace order; each check gets
+// its own budget of check.WithBudget nodes. The first error (budget
+// exhaustion, malformed action, cancellation of ctx) stops the batch and
+// is returned with partial results.
+//
+// Inside a batch every per-trace search runs the sequential depth-first
+// engine — the workers option shards traces here, not searches (use a
+// single-trace Check with WithWorkers(n > 1) for intra-trace
+// parallelism).
 //
 // Folder implementations must be safe for concurrent use; every ADT in
 // package adt is stateless and qualifies.
-func CheckAll(f adt.Folder, ts []trace.Trace, opts Options) ([]Result, error) {
-	return check.Parallel(ts, opts.Workers, func(_ int, t trace.Trace) (Result, error) {
-		return Check(f, t, opts)
+func CheckAll(ctx context.Context, f adt.Folder, ts []trace.Trace, opts ...check.Option) ([]Result, error) {
+	set := check.NewSettings(opts...)
+	perTrace := set
+	perTrace.Workers = 1
+	return check.Parallel(ctx, ts, set.Workers, func(_ int, t trace.Trace) (Result, error) {
+		return checkSettings(ctx, f, t, perTrace)
 	})
 }
 
 // CheckClassicalAll is CheckAll for the classical checker.
-func CheckClassicalAll(f adt.Folder, ts []trace.Trace, opts Options) ([]Result, error) {
-	return check.Parallel(ts, opts.Workers, func(_ int, t trace.Trace) (Result, error) {
-		return CheckClassical(f, t, opts)
+func CheckClassicalAll(ctx context.Context, f adt.Folder, ts []trace.Trace, opts ...check.Option) ([]Result, error) {
+	set := check.NewSettings(opts...)
+	perTrace := set
+	perTrace.Workers = 1
+	return check.Parallel(ctx, ts, set.Workers, func(_ int, t trace.Trace) (Result, error) {
+		return checkClassicalSettings(ctx, f, t, perTrace)
 	})
 }

@@ -1,10 +1,12 @@
 package lin
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
 	"repro/internal/adt"
+	"repro/internal/check"
 	"repro/internal/trace"
 )
 
@@ -59,7 +61,22 @@ type Linearization []int
 // The search represents placed operations as a uint64 bitmask, so traces
 // with more than 63 operations return ErrTooManyOps (a representation
 // cap, distinct from ErrBudget's search cap).
-func CheckClassical(f adt.Folder, t trace.Trace, opts Options) (Result, error) {
+//
+// The classical search is not structured per trace action, so it has no
+// breadth engine: check.WithWorkers is ignored for single-trace classical
+// checks (CheckClassicalAll still shards batches across workers), and
+// there is no classical Session — use Check, which agrees with
+// CheckClassical on unique-input traces by Theorem 1.
+func CheckClassical(ctx context.Context, f adt.Folder, t trace.Trace, opts ...check.Option) (Result, error) {
+	return checkClassicalSettings(ctx, f, t, check.NewSettings(opts...))
+}
+
+func checkClassicalSettings(ctx context.Context, f adt.Folder, t trace.Trace, set check.Settings) (Result, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+	}
 	if !t.WellFormed() {
 		return Result{OK: false, Reason: "trace is not well-formed"}, nil
 	}
@@ -68,12 +85,14 @@ func CheckClassical(f adt.Folder, t trace.Trace, opts Options) (Result, error) {
 		return Result{}, ErrTooManyOps
 	}
 	s := &classicalSearcher{
-		f:        f,
-		ops:      ops,
-		budget:   opts.budget(),
-		failed:   map[classicalKey]struct{}{},
-		stateIDs: map[adt.State]uint32{},
-		order:    make([]int, len(ops)),
+		ctx:       ctx,
+		f:         f,
+		ops:       ops,
+		budget:    set.BudgetOr(DefaultBudget),
+		memoLimit: set.MemoLimit,
+		failed:    map[classicalKey]struct{}{},
+		stateIDs:  map[adt.State]uint32{},
+		order:     make([]int, len(ops)),
 	}
 	ok, err := s.run(0, f.Empty())
 	if err != nil {
@@ -95,12 +114,14 @@ type classicalKey struct {
 }
 
 type classicalSearcher struct {
-	f        adt.Folder
-	ops      []operation
-	budget   int
-	nodes    int
-	failed   map[classicalKey]struct{}
-	stateIDs map[adt.State]uint32
+	ctx       context.Context
+	f         adt.Folder
+	ops       []operation
+	budget    int
+	memoLimit int
+	nodes     int
+	failed    map[classicalKey]struct{}
+	stateIDs  map[adt.State]uint32
 	// order[k] is the k-th linearized operation on the successful path.
 	order []int
 }
@@ -125,6 +146,11 @@ func (s *classicalSearcher) run(placed uint64, st adt.State) (bool, error) {
 	s.nodes++
 	if s.nodes > s.budget {
 		return false, ErrBudget
+	}
+	if s.nodes&ctxPollMask == 0 && s.ctx != nil {
+		if err := s.ctx.Err(); err != nil {
+			return false, err
+		}
 	}
 	if placed == uint64(1)<<len(s.ops)-1 {
 		return true, nil
@@ -166,7 +192,9 @@ func (s *classicalSearcher) run(placed uint64, st adt.State) (bool, error) {
 			return true, nil
 		}
 	}
-	s.failed[key] = struct{}{}
+	if s.memoLimit <= 0 || len(s.failed) < s.memoLimit {
+		s.failed[key] = struct{}{}
+	}
 	return false, nil
 }
 

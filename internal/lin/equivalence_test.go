@@ -1,6 +1,7 @@
 package lin
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -54,11 +55,11 @@ func TestE8DefinitionEquivalence(t *testing.T) {
 					opts.CorruptProb = 0.5
 				}
 				tr := workload.Random(tc.f, r, opts)
-				r1, err := Check(tc.f, tr, Options{})
+				r1, err := Check(context.Background(), tc.f, tr)
 				if err != nil {
 					t.Fatalf("Check: %v on %v", err, tr)
 				}
-				r2, err := CheckClassical(tc.f, tr, Options{})
+				r2, err := CheckClassical(context.Background(), tc.f, tr)
 				if err != nil {
 					t.Fatalf("CheckClassical: %v on %v", err, tr)
 				}
@@ -119,11 +120,11 @@ func TestRepeatedEventsDivergence(t *testing.T) {
 		trace.Response("c2", 1, rd, adt.ReadOutput("x")),
 		trace.Response("c1", 1, w, adt.WriteOutput()),
 	}
-	rNew, err := Check(adt.Register{}, tr, Options{})
+	rNew, err := Check(context.Background(), adt.Register{}, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rCls, err := CheckClassical(adt.Register{}, tr, Options{})
+	rCls, err := CheckClassical(context.Background(), adt.Register{}, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,14 +155,14 @@ func TestClassicalImpliesNewWithRepeats(t *testing.T) {
 			opts.CorruptProb = 0.4
 		}
 		tr := workload.Random(adt.Counter{}, r, opts)
-		rCls, err := CheckClassical(adt.Counter{}, tr, Options{})
+		rCls, err := CheckClassical(context.Background(), adt.Counter{}, tr)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !rCls.OK {
 			continue
 		}
-		rNew, err := Check(adt.Counter{}, tr, Options{})
+		rNew, err := Check(context.Background(), adt.Counter{}, tr)
 		if err != nil {
 			t.Fatal(err)
 		}

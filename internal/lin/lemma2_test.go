@@ -1,6 +1,7 @@
 package lin
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -45,7 +46,7 @@ func TestLemma2Construction(t *testing.T) {
 					opts.CorruptProb = 0.5
 				}
 				tr := workload.Random(tc.f, r, opts)
-				res, err := CheckClassical(tc.f, tr, Options{})
+				res, err := CheckClassical(context.Background(), tc.f, tr)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -109,7 +110,7 @@ func TestSequentialWithPendingOps(t *testing.T) {
 		trace.Response("c2", 1, adt.ProposeInput("b"), adt.DecideOutput("a")),
 		// c1 stays pending.
 	}
-	res, err := CheckClassical(adt.Consensus{}, tr, Options{})
+	res, err := CheckClassical(context.Background(), adt.Consensus{}, tr)
 	if err != nil || !res.OK {
 		t.Fatalf("check: %+v %v", res, err)
 	}

@@ -31,16 +31,25 @@
 package lin
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"repro/internal/adt"
+	"repro/internal/check"
 	"repro/internal/trace"
 )
 
 // ErrBudget is returned when a check exceeds its search budget; the
 // trace's status is then unknown rather than decided.
 var ErrBudget = errors.New("lin: search budget exhausted")
+
+// ErrMemo is returned by the breadth (frontier) engine — Sessions and
+// checks with WithWorkers(n > 1) — when a frontier exceeds the configured
+// WithMemoLimit; the trace's status is then unknown. The depth-first
+// engine never returns it (beyond the limit it stops inserting memo
+// entries instead, trading time for bounded memory).
+var ErrMemo = errors.New("lin: memo limit exceeded")
 
 // ErrTooManyOps is returned by CheckClassical for traces with more than
 // 63 operations: the classical search represents the placed-operation
@@ -53,27 +62,6 @@ var ErrTooManyOps = errors.New("lin: classical checker capped at 63 operations (
 
 // DefaultBudget bounds the number of search nodes explored per check.
 const DefaultBudget = 2_000_000
-
-// Options configures a check.
-type Options struct {
-	// Budget bounds the total number of search nodes per Check /
-	// CheckClassical call; 0 means DefaultBudget. A search node is one
-	// recursive step of the search (the granularity is uniform across
-	// Check, CheckClassical and slin.Check: every recursive descent —
-	// trace step, chain extension, reordering step — spends one node).
-	Budget int
-	// Workers bounds the worker pool used by the batch checkers
-	// (CheckAll, CheckClassicalAll); 0 means GOMAXPROCS. Single-trace
-	// checks ignore it.
-	Workers int
-}
-
-func (o Options) budget() int {
-	if o.Budget <= 0 {
-		return DefaultBudget
-	}
-	return o.Budget
-}
 
 // Witness is a linearization function restricted to commit indices: for
 // each response index of the trace it gives the commit history g(i)
@@ -98,25 +86,49 @@ type Result struct {
 }
 
 // Check decides linearizability of t with respect to f under the paper's
-// new definition. The returned error is non-nil only for budget
-// exhaustion or malformed inputs, never for a (correct) negative verdict.
-func Check(f adt.Folder, t trace.Trace, opts Options) (Result, error) {
+// new definition. The check is context-aware: cancellation of ctx aborts
+// the search with ctx's error. The returned error is non-nil only for
+// budget/memo exhaustion, cancellation or malformed inputs, never for a
+// (correct) negative verdict.
+//
+// With check.WithWorkers(n) for n > 1 the check runs on the breadth
+// (frontier) engine — the same engine Sessions use — expanding each
+// response's frontier across n workers over a sharded memo set, so a
+// single pathological trace uses all cores (DESIGN.md, decision 11). The
+// default is the sequential depth-first search.
+func Check(ctx context.Context, f adt.Folder, t trace.Trace, opts ...check.Option) (Result, error) {
+	return checkSettings(ctx, f, t, check.NewSettings(opts...))
+}
+
+func checkSettings(ctx context.Context, f adt.Folder, t trace.Trace, set check.Settings) (Result, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+	}
 	if !t.WellFormed() {
 		return Result{OK: false, Reason: "trace is not well-formed"}, nil
 	}
-	s := newSearcher(f, t, opts.budget())
+	if set.Workers > 1 {
+		return checkStreaming(ctx, f, t, set)
+	}
+	s := newSearcher(ctx, f, t, set)
 	ok, err := s.run(0)
 	if err != nil {
-		return Result{}, err
+		return Result{Nodes: s.nodes}, err
 	}
 	if !ok {
 		return Result{OK: false, Reason: "no linearization function exists", Nodes: s.nodes}, nil
 	}
-	w := Witness{}
-	for i, k := range s.assigned {
-		w[i] = s.best[:k].Clone()
+	r := Result{OK: true, Nodes: s.nodes}
+	if set.Witness {
+		w := Witness{}
+		for i, k := range s.assigned {
+			w[i] = s.best[:k].Clone()
+		}
+		r.Witness = w
 	}
-	return Result{OK: true, Witness: w, Nodes: s.nodes}, nil
+	return r, nil
 }
 
 // chain is the current commit-history chain: Commit-Order (Definition 12)
@@ -194,11 +206,13 @@ type memoKey struct {
 }
 
 type searcher struct {
-	f      adt.Folder
-	t      trace.Trace
-	budget int
-	nodes  int
-	in     *trace.Interner
+	ctx       context.Context
+	f         adt.Folder
+	t         trace.Trace
+	budget    int
+	memoLimit int
+	nodes     int
+	in        *trace.Interner
 	// isyms[i] is the interned symbol of t[i].Input.
 	isyms  []trace.Sym
 	failed map[memoKey]struct{}
@@ -217,15 +231,17 @@ type searcher struct {
 	audit memoAudit
 }
 
-func newSearcher(f adt.Folder, t trace.Trace, budget int) *searcher {
+func newSearcher(ctx context.Context, f adt.Folder, t trace.Trace, set check.Settings) *searcher {
 	s := &searcher{
-		f:      f,
-		t:      t,
-		budget: budget,
-		in:     trace.NewInterner(),
-		isyms:  make([]trace.Sym, len(t)),
-		failed: make(map[memoKey]struct{}),
-		chain:  newChain(f),
+		ctx:       ctx,
+		f:         f,
+		t:         t,
+		budget:    set.BudgetOr(DefaultBudget),
+		memoLimit: set.MemoLimit,
+		in:        trace.NewInterner(),
+		isyms:     make([]trace.Sym, len(t)),
+		failed:    make(map[memoKey]struct{}),
+		chain:     newChain(f),
 	}
 	for i, a := range t {
 		s.isyms[i] = s.in.Sym(a.Input)
@@ -234,10 +250,19 @@ func newSearcher(f adt.Folder, t trace.Trace, budget int) *searcher {
 	return s
 }
 
+// ctxPollMask throttles context polling in the search hot loops: the
+// context is consulted once every ctxPollMask+1 spent nodes.
+const ctxPollMask = 0x3ff
+
 func (s *searcher) spend() error {
 	s.nodes++
 	if s.nodes > s.budget {
 		return ErrBudget
+	}
+	if s.nodes&ctxPollMask == 0 && s.ctx != nil {
+		if err := s.ctx.Err(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -280,9 +305,11 @@ func (s *searcher) run(i int) (bool, error) {
 		return false, err
 	}
 	if !ok {
-		s.failed[key] = struct{}{}
-		if memocheckEnabled {
-			s.auditInsert(key)
+		if s.memoLimit <= 0 || len(s.failed) < s.memoLimit {
+			s.failed[key] = struct{}{}
+			if memocheckEnabled {
+				s.auditInsert(key)
+			}
 		}
 		return false, nil
 	}

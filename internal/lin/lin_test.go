@@ -1,11 +1,13 @@
 package lin
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
 
 	"repro/internal/adt"
+	"repro/internal/check"
 	"repro/internal/trace"
 )
 
@@ -14,7 +16,7 @@ func d(v string) trace.Value { return adt.DecideOutput(v) }
 
 func checkBoth(t *testing.T, f adt.Folder, tr trace.Trace) (newDef, classical bool) {
 	t.Helper()
-	r1, err := Check(f, tr, Options{})
+	r1, err := Check(context.Background(), f, tr)
 	if err != nil {
 		t.Fatalf("Check: %v", err)
 	}
@@ -23,7 +25,7 @@ func checkBoth(t *testing.T, f adt.Folder, tr trace.Trace) (newDef, classical bo
 			t.Fatalf("checker produced invalid witness: %v", err)
 		}
 	}
-	r2, err := CheckClassical(f, tr, Options{})
+	r2, err := CheckClassical(context.Background(), f, tr)
 	if err != nil {
 		t.Fatalf("CheckClassical: %v", err)
 	}
@@ -223,11 +225,11 @@ func TestClientReinvokesSameInput(t *testing.T) {
 
 func TestNotWellFormedRejected(t *testing.T) {
 	tr := trace.Trace{trace.Response("c1", 1, p("v"), d("v"))}
-	r, err := Check(adt.Consensus{}, tr, Options{})
+	r, err := Check(context.Background(), adt.Consensus{}, tr)
 	if err != nil || r.OK {
 		t.Fatalf("ill-formed trace accepted: %+v, %v", r, err)
 	}
-	r, err = CheckClassical(adt.Consensus{}, tr, Options{})
+	r, err = CheckClassical(context.Background(), adt.Consensus{}, tr)
 	if err != nil || r.OK {
 		t.Fatalf("ill-formed trace accepted by classical: %+v, %v", r, err)
 	}
@@ -240,10 +242,10 @@ func TestBudgetExhaustion(t *testing.T) {
 		trace.Response("c1", 1, p("a"), d("a")),
 		trace.Response("c2", 1, p("b"), d("a")),
 	}
-	if _, err := Check(adt.Consensus{}, tr, Options{Budget: 1}); err != ErrBudget {
+	if _, err := Check(context.Background(), adt.Consensus{}, tr, check.WithBudget(1)); err != ErrBudget {
 		t.Fatalf("expected ErrBudget, got %v", err)
 	}
-	if _, err := CheckClassical(adt.Consensus{}, tr, Options{Budget: 1}); err != ErrBudget {
+	if _, err := CheckClassical(context.Background(), adt.Consensus{}, tr, check.WithBudget(1)); err != ErrBudget {
 		t.Fatalf("expected ErrBudget from classical, got %v", err)
 	}
 }
@@ -301,7 +303,7 @@ func TestLargeAgreeingTrace(t *testing.T) {
 		tr = append(tr, trace.Invoke(c, 1, in))
 		tr = append(tr, trace.Response(c, 1, in, d("w")))
 	}
-	r, err := Check(adt.Consensus{}, tr, Options{})
+	r, err := Check(context.Background(), adt.Consensus{}, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,7 +325,7 @@ func TestClassicalTooManyOpsSentinel(t *testing.T) {
 		long = append(long, trace.Invoke(c, 1, in))
 		long = append(long, trace.Response(c, 1, in, adt.DecideOutput("v")))
 	}
-	_, err := CheckClassical(adt.Consensus{}, long, Options{})
+	_, err := CheckClassical(context.Background(), adt.Consensus{}, long)
 	if !errors.Is(err, ErrTooManyOps) {
 		t.Fatalf("64-op trace: err = %v, want ErrTooManyOps", err)
 	}
@@ -332,7 +334,7 @@ func TestClassicalTooManyOpsSentinel(t *testing.T) {
 	}
 	// 63 operations are representable: the same trace shape one
 	// operation shorter is decided (budget errors aside).
-	if _, err := CheckClassical(adt.Consensus{}, long[:63*2], Options{}); errors.Is(err, ErrTooManyOps) {
+	if _, err := CheckClassical(context.Background(), adt.Consensus{}, long[:63*2]); errors.Is(err, ErrTooManyOps) {
 		t.Fatalf("63-op trace rejected: %v", err)
 	}
 	// A representable but oversized search still reports ErrBudget.
@@ -347,7 +349,7 @@ func TestClassicalTooManyOpsSentinel(t *testing.T) {
 		in := adt.Tag(adt.ProposeInput(fmt.Sprintf("v%d", i)), fmt.Sprintf("%d", i))
 		hard = append(hard, trace.Response(c, 1, in, adt.DecideOutput(fmt.Sprintf("v%d", i%2))))
 	}
-	_, err = CheckClassical(adt.Consensus{}, hard, Options{Budget: 50})
+	_, err = CheckClassical(context.Background(), adt.Consensus{}, hard, check.WithBudget(50))
 	if !errors.Is(err, ErrBudget) {
 		t.Fatalf("tiny budget: err = %v, want ErrBudget", err)
 	}

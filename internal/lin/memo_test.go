@@ -1,11 +1,13 @@
 package lin
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
 
 	"repro/internal/adt"
+	"repro/internal/check"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -42,11 +44,11 @@ func TestHashedMemoAgreesWithReference(t *testing.T) {
 					opts.CorruptProb = 0.5
 				}
 				tr := workload.Random(tc.f, r, opts)
-				got, err := Check(tc.f, tr, Options{})
+				got, err := Check(context.Background(), tc.f, tr)
 				if err != nil {
 					t.Fatalf("optimized: %v", err)
 				}
-				want, err := CheckReference(tc.f, tr, Options{})
+				want, err := CheckReference(tc.f, tr)
 				if err != nil {
 					t.Fatalf("reference: %v", err)
 				}
@@ -94,7 +96,7 @@ func TestCheckAllocsRegression(t *testing.T) {
 	tr := linearizableTrace()
 	f := adt.Consensus{}
 	allocs := testing.AllocsPerRun(50, func() {
-		if _, err := Check(f, tr, Options{}); err != nil {
+		if _, err := Check(context.Background(), f, tr); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -103,7 +105,7 @@ func TestCheckAllocsRegression(t *testing.T) {
 		t.Errorf("lin.Check allocates %.1f times per op; budget is 120 (hot path regressed to per-node allocation?)", allocs)
 	}
 	allocs = testing.AllocsPerRun(50, func() {
-		if _, err := CheckClassical(f, tr, Options{}); err != nil {
+		if _, err := CheckClassical(context.Background(), f, tr); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -120,7 +122,7 @@ func TestBudgetUniform(t *testing.T) {
 	tr := linearizableTrace()
 	f := adt.Consensus{}
 
-	full, err := Check(f, tr, Options{})
+	full, err := Check(context.Background(), f, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,24 +130,24 @@ func TestBudgetUniform(t *testing.T) {
 		t.Fatalf("expected positive node count, got %d", full.Nodes)
 	}
 	// A budget exactly equal to the spent nodes succeeds; one less fails.
-	if _, err := Check(f, tr, Options{Budget: full.Nodes}); err != nil {
+	if _, err := Check(context.Background(), f, tr, check.WithBudget(full.Nodes)); err != nil {
 		t.Fatalf("budget == nodes should succeed, got %v", err)
 	}
-	if _, err := Check(f, tr, Options{Budget: full.Nodes - 1}); !errors.Is(err, ErrBudget) {
+	if _, err := Check(context.Background(), f, tr, check.WithBudget(full.Nodes-1)); !errors.Is(err, ErrBudget) {
 		t.Fatalf("budget == nodes-1 should exhaust, got %v", err)
 	}
 
-	fullC, err := CheckClassical(f, tr, Options{})
+	fullC, err := CheckClassical(context.Background(), f, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if fullC.Nodes <= 0 {
 		t.Fatalf("expected positive classical node count, got %d", fullC.Nodes)
 	}
-	if _, err := CheckClassical(f, tr, Options{Budget: fullC.Nodes}); err != nil {
+	if _, err := CheckClassical(context.Background(), f, tr, check.WithBudget(fullC.Nodes)); err != nil {
 		t.Fatalf("classical budget == nodes should succeed, got %v", err)
 	}
-	if _, err := CheckClassical(f, tr, Options{Budget: fullC.Nodes - 1}); !errors.Is(err, ErrBudget) {
+	if _, err := CheckClassical(context.Background(), f, tr, check.WithBudget(fullC.Nodes-1)); !errors.Is(err, ErrBudget) {
 		t.Fatalf("classical budget == nodes-1 should exhaust, got %v", err)
 	}
 
@@ -157,11 +159,11 @@ func TestBudgetUniform(t *testing.T) {
 		trace.Response("c1", 1, adt.Tag(adt.ProposeInput("a"), "c1"), adt.DecideOutput("a")),
 		trace.Response("c2", 1, adt.Tag(adt.ProposeInput("b"), "c2"), adt.DecideOutput("b")),
 	}
-	opt, err := Check(f, bad, Options{})
+	opt, err := Check(context.Background(), f, bad)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref, err := CheckReference(f, bad, Options{})
+	ref, err := CheckReference(f, bad)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,14 +191,14 @@ func TestCheckAllMatchesSequential(t *testing.T) {
 	}
 	want := make([]bool, len(traces))
 	for i, tr := range traces {
-		res, err := Check(f, tr, Options{})
+		res, err := Check(context.Background(), f, tr)
 		if err != nil {
 			t.Fatal(err)
 		}
 		want[i] = res.OK
 	}
 	for _, workers := range []int{0, 1, 3, 16} {
-		got, err := CheckAll(f, traces, Options{Workers: workers})
+		got, err := CheckAll(context.Background(), f, traces, check.WithWorkers(workers))
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -205,7 +207,7 @@ func TestCheckAllMatchesSequential(t *testing.T) {
 				t.Fatalf("workers=%d trace %d: batch %v, sequential %v", workers, i, got[i].OK, want[i])
 			}
 		}
-		gotC, err := CheckClassicalAll(f, traces, Options{Workers: workers})
+		gotC, err := CheckClassicalAll(context.Background(), f, traces, check.WithWorkers(workers))
 		if err != nil {
 			t.Fatalf("classical workers=%d: %v", workers, err)
 		}
@@ -222,7 +224,7 @@ func TestCheckAllMatchesSequential(t *testing.T) {
 func TestCheckAllPropagatesError(t *testing.T) {
 	f := adt.Consensus{}
 	traces := []trace.Trace{linearizableTrace(), linearizableTrace()}
-	_, err := CheckAll(f, traces, Options{Budget: 1})
+	_, err := CheckAll(context.Background(), f, traces, check.WithBudget(1))
 	if !errors.Is(err, ErrBudget) {
 		t.Fatalf("expected ErrBudget, got %v", err)
 	}

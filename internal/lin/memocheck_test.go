@@ -3,11 +3,13 @@
 package lin
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
 
 	"repro/internal/adt"
+	"repro/internal/check"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -40,7 +42,7 @@ func TestMemoDigestCollisionsZero(t *testing.T) {
 				opts.CorruptProb = 0.5
 			}
 			tr := workload.Random(tc.f, r, opts)
-			if _, err := Check(tc.f, tr, Options{}); err != nil {
+			if _, err := Check(context.Background(), tc.f, tr); err != nil {
 				t.Fatalf("%s trace %d: %v", tc.f.Name(), i, err)
 			}
 			checks++
@@ -58,7 +60,7 @@ func TestMemoDigestCollisionsZero(t *testing.T) {
 		in := adt.Tag(adt.ProposeInput(fmt.Sprintf("v%d", i)), string(c))
 		hard = append(hard, trace.Response(c, 1, in, adt.DecideOutput(fmt.Sprintf("v%d", i%2))))
 	}
-	res, err := Check(adt.Consensus{}, hard, Options{Budget: 50_000_000})
+	res, err := Check(context.Background(), adt.Consensus{}, hard, check.WithBudget(50_000_000))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/adt"
+	"repro/internal/check"
 	"repro/internal/trace"
 )
 
@@ -15,15 +16,16 @@ import (
 // incremental digests and mutates its search state in place, and the
 // equivalence property tests assert the two return identical verdicts on
 // randomized traces (extending experiment E8). New semantic changes land
-// here first, then in the optimized checker.
-func CheckReference(f adt.Folder, t trace.Trace, opts Options) (Result, error) {
+// here first, then in the optimized checker. Being a specification it
+// takes no context and honors only the budget option.
+func CheckReference(f adt.Folder, t trace.Trace, opts ...check.Option) (Result, error) {
 	if !t.WellFormed() {
 		return Result{OK: false, Reason: "trace is not well-formed"}, nil
 	}
 	s := &refSearcher{
 		f:      f,
 		t:      t,
-		budget: opts.budget(),
+		budget: check.NewSettings(opts...).BudgetOr(DefaultBudget),
 		failed: map[string]bool{},
 	}
 	ok, err := s.run(0, refChain{f: f}, trace.Multiset{})

@@ -1,0 +1,391 @@
+package lin
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"repro/internal/adt"
+	"repro/internal/check"
+	"repro/internal/trace"
+)
+
+// Session is an incremental linearizability checker (checker API v2,
+// DESIGN.md decision 11): actions are fed one at a time, and a growing
+// trace is re-checked in time proportional to the new actions instead of
+// from scratch.
+//
+// The engine maintains the breadth counterpart of Check's depth-first
+// search: the frontier of all reachable search configurations — commit
+// chains with their claimed-prefix marks, interned and deduplicated by
+// their incremental 128-bit digests — after the actions fed so far.
+// Because the per-action transition relation of the search never looks
+// ahead in the trace, the frontier after k actions is independent of the
+// future, so Feed advances it in place:
+//
+//   - an invocation only extends the invoked-inputs multiset (every
+//     configuration's availability is derived from it);
+//   - a response replaces the frontier by its successor set: each
+//     configuration either has the response claim an unused chain prefix
+//     or extends the chain through available inputs, exactly Check's
+//     branch set, deduplicated across configurations.
+//
+// The fed trace is linearizable iff the frontier is non-empty, and a
+// NotLinearizable verdict is final: no continuation can revive an empty
+// frontier. Verdicts therefore provably agree with one-shot Check on
+// every prefix (the session property tests assert this on randomized
+// traces).
+//
+// One budget (check.WithBudget) spans the whole session, spent with the
+// same per-step granularity as Check; check.WithMemoLimit bounds the
+// frontier size (exceeding it returns ErrMemo — frontier configurations
+// are live state and cannot be dropped soundly). check.WithWorkers(n > 1)
+// expands each response's frontier on n workers over a sharded
+// deduplication set. Errors (budget, memo limit, context cancellation,
+// non-sig actions) are terminal: the session sticks to the error and
+// reports verdict Unknown.
+//
+// A Session is not safe for concurrent use by multiple goroutines (its
+// workers parallelize internally).
+type Session struct {
+	ctx    context.Context
+	f      adt.Folder
+	set    check.Settings
+	budget int
+
+	in      *trace.Interner
+	invoked trace.SymMultiset
+	pending map[trace.ClientID]pendingInv
+
+	frontier []*cfg
+	nodes    atomic.Int64
+	fed      int
+
+	err   error  // terminal error, sticky
+	notWF string // non-empty once the fed trace went ill-formed, sticky
+}
+
+type pendingInv struct {
+	pending bool
+	input   trace.Value
+}
+
+// cfg is one frontier configuration: a commit-history chain with its
+// claimed-prefix marks. Configurations are immutable once constructed —
+// successors copy what they change and share the rest — and are
+// identified by the same (position, symbol, claimed)-digest as Check's
+// chain, which (together with the session-global invoked multiset)
+// determines the derived availability multiset too.
+type cfg struct {
+	syms  []trace.Sym
+	outs  []trace.Value
+	used  []bool
+	end   adt.State
+	elems trace.SymMultiset
+	dig   trace.Digest
+	// asn is the assignment trail (response index -> claimed prefix
+	// length) that produced this configuration, for witness assembly.
+	asn *asnNode
+}
+
+type asnNode struct {
+	prev *asnNode
+	res  int
+	k    int
+}
+
+// NewSession starts an incremental check of an initially empty trace
+// against ADT f. See Session for the engine and option semantics.
+func NewSession(ctx context.Context, f adt.Folder, opts ...check.Option) *Session {
+	return newSessionSettings(ctx, f, check.NewSettings(opts...))
+}
+
+func newSessionSettings(ctx context.Context, f adt.Folder, set check.Settings) *Session {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Session{
+		ctx:      ctx,
+		f:        f,
+		set:      set,
+		budget:   set.BudgetOr(DefaultBudget),
+		in:       trace.NewInterner(),
+		pending:  map[trace.ClientID]pendingInv{},
+		frontier: []*cfg{{end: f.Empty()}},
+	}
+}
+
+// spend charges n search nodes against the session budget and polls the
+// context at ctxPollMask boundaries. Safe for concurrent use by expansion
+// workers.
+func (s *Session) spend(n int) error {
+	if n <= 0 {
+		return nil
+	}
+	v := s.nodes.Add(int64(n))
+	if v > int64(s.budget) {
+		return ErrBudget
+	}
+	if v&ctxPollMask < int64(n) {
+		if err := s.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len returns the number of actions fed so far.
+func (s *Session) Len() int { return s.fed }
+
+// Nodes returns the cumulative number of search nodes spent.
+func (s *Session) Nodes() int { return int(s.nodes.Load()) }
+
+// Feed appends action a to the trace under check and advances the
+// frontier. The returned error is terminal (budget or memo exhaustion,
+// context cancellation, an action outside sig_T fed as a switch is
+// instead treated as ill-formedness, matching Check); ill-formed traces
+// yield a NotLinearizable verdict, not an error.
+func (s *Session) Feed(a trace.Action) error {
+	if s.err != nil {
+		return s.err
+	}
+	if err := s.ctx.Err(); err != nil {
+		s.err = err
+		return err
+	}
+	idx := s.fed
+	s.fed++
+	if s.notWF != "" {
+		return nil // verdict already final
+	}
+	switch a.Kind {
+	case trace.Inv:
+		st := s.pending[a.Client]
+		if st.pending {
+			s.notWF = "trace is not well-formed"
+			return nil
+		}
+		s.pending[a.Client] = pendingInv{pending: true, input: a.Input}
+		s.invoked.Add(s.in.Sym(a.Input), 1)
+		if err := s.spend(len(s.frontier)); err != nil {
+			s.err = err
+			return err
+		}
+	case trace.Res:
+		st := s.pending[a.Client]
+		if !st.pending || st.input != a.Input {
+			s.notWF = "trace is not well-formed"
+			return nil
+		}
+		s.pending[a.Client] = pendingInv{}
+		if err := s.expand(a, idx); err != nil {
+			s.err = err
+			return err
+		}
+	default:
+		// Switch actions do not belong to sig_T; Check classifies such
+		// traces as ill-formed.
+		s.notWF = "trace is not well-formed"
+	}
+	return nil
+}
+
+// FeedAll feeds every action of t in order, stopping at the first
+// terminal error.
+func (s *Session) FeedAll(t trace.Trace) error {
+	for _, a := range t {
+		if err := s.Feed(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Verdict reports the current three-valued verdict for the trace fed so
+// far: Unknown after a terminal error, otherwise Linearizable iff the
+// frontier is non-empty and the trace is well-formed.
+func (s *Session) Verdict() check.Verdict {
+	switch {
+	case s.err != nil:
+		return check.Unknown
+	case s.notWF != "" || len(s.frontier) == 0:
+		return check.NotLinearizable
+	default:
+		return check.Linearizable
+	}
+}
+
+// Result returns the verdict for the trace fed so far in Check's Result
+// form (with a witness on positive verdicts unless WithWitness(false)),
+// or the session's terminal error.
+func (s *Session) Result() (Result, error) {
+	if s.err != nil {
+		return Result{Nodes: s.Nodes()}, s.err
+	}
+	if s.notWF != "" {
+		return Result{OK: false, Reason: s.notWF, Nodes: s.Nodes()}, nil
+	}
+	if len(s.frontier) == 0 {
+		return Result{OK: false, Reason: "no linearization function exists", Nodes: s.Nodes()}, nil
+	}
+	r := Result{OK: true, Nodes: s.Nodes()}
+	if s.set.Witness {
+		r.Witness = s.witness(s.frontier[0])
+	}
+	return r, nil
+}
+
+// witness reconstructs the linearization function of one surviving
+// configuration: its chain is the maximal commit history, and the
+// assignment trail maps each response index to its claimed prefix length.
+func (s *Session) witness(c *cfg) Witness {
+	hist := make(trace.History, len(c.syms))
+	for i, sym := range c.syms {
+		hist[i] = s.in.Value(sym)
+	}
+	w := Witness{}
+	for n := c.asn; n != nil; n = n.prev {
+		w[n.res] = hist[:n.k].Clone()
+	}
+	return w
+}
+
+// expand replaces the frontier by its successor set under response a.
+func (s *Session) expand(a trace.Action, resIdx int) error {
+	asym := s.in.Sym(a.Input)
+	next, err := check.ExpandFrontier(s.ctx, s.frontier, s.set, s.spend,
+		func(c *cfg) trace.Digest { return c.dig },
+		func(c *cfg, emit func(*cfg)) error {
+			return s.expandCfg(c, a, asym, resIdx, emit)
+		})
+	if err != nil {
+		if errors.Is(err, check.ErrFrontierLimit) {
+			return ErrMemo
+		}
+		return err
+	}
+	s.frontier = next
+	return nil
+}
+
+// expandCfg emits every successor of configuration c under response a:
+// claims of matching unused prefix lengths, plus every chain extension
+// through available inputs that closes with the response's own input —
+// exactly the branch set of the depth-first commit handler, enumerated
+// exhaustively instead of short-circuiting on the first success.
+func (s *Session) expandCfg(c *cfg, a trace.Action, asym trace.Sym, resIdx int, emit func(*cfg)) error {
+	// Option 1: claim an existing unused prefix length.
+	for k, sym := range c.syms {
+		if !c.used[k] && sym == asym && c.outs[k] == a.Output {
+			emit(s.claim(c, k, resIdx))
+		}
+	}
+	// Option 2: extend the chain with fresh inputs from the derived
+	// availability multiset (invoked inputs minus chain elements), the
+	// last being the response's own input.
+	avail := s.invoked.Clone()
+	avail.SubtractAll(&c.elems)
+	if avail.Size() == 0 {
+		return nil
+	}
+	visited := make(map[trace.Digest]struct{}, 8)
+	return s.extend(c, a, asym, resIdx, &avail, visited, nil, nil, c.end, c.dig, emit)
+}
+
+// claim returns c with prefix length k+1 marked claimed by resIdx.
+func (s *Session) claim(c *cfg, k, resIdx int) *cfg {
+	used := append([]bool(nil), c.used...)
+	used[k] = true
+	return &cfg{
+		syms:  c.syms,
+		outs:  c.outs,
+		used:  used,
+		end:   c.end,
+		elems: c.elems,
+		dig:   c.dig.Sub(trace.HashElem(k, c.syms[k], false)).Add(trace.HashElem(k, c.syms[k], true)),
+		asn:   &asnNode{prev: c.asn, res: resIdx, k: k + 1},
+	}
+}
+
+// extend explores chain extensions of c drawn from avail, emitting a
+// successor whenever the extension can close with the response's input.
+// ext/extOuts are the appended symbols and their outputs along the
+// current search path (shared backing across siblings is safe: emit
+// snapshots copy them); st and dig track the extended chain's end state
+// and digest. visited prunes permutations reaching identical extended
+// chains, mirroring the depth-first engine's per-response visited set
+// (the availability is derived from the chain, so the chain digest alone
+// identifies the configuration).
+func (s *Session) extend(c *cfg, a trace.Action, asym trace.Sym, resIdx int,
+	avail *trace.SymMultiset, visited map[trace.Digest]struct{},
+	ext []trace.Sym, extOuts []trace.Value, st adt.State, dig trace.Digest, emit func(*cfg)) error {
+
+	if err := s.spend(1); err != nil {
+		return err
+	}
+	if _, hit := visited[dig]; hit {
+		return nil
+	}
+	visited[dig] = struct{}{}
+
+	// Close: append the response's own input as a claimed element.
+	if avail.Count(asym) > 0 && s.f.Out(st, a.Input) == a.Output {
+		emit(s.closeExt(c, ext, extOuts, st, dig, asym, a, resIdx))
+	}
+	// Continue: append any available input as an intermediate element.
+	for sym := trace.Sym(0); int(sym) < avail.NumSyms(); sym++ {
+		if avail.Count(sym) <= 0 {
+			continue
+		}
+		avail.Add(sym, -1)
+		in := s.in.Value(sym)
+		pos := len(c.syms) + len(ext)
+		err := s.extend(c, a, asym, resIdx, avail, visited,
+			append(ext, sym), append(extOuts, s.f.Out(st, in)),
+			s.f.Step(st, in), dig.Add(trace.HashElem(pos, sym, false)), emit)
+		avail.Add(sym, 1)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// closeExt materializes the successor configuration that extends c by ext
+// and closes with the response's input, claimed by resIdx.
+func (s *Session) closeExt(c *cfg, ext []trace.Sym, extOuts []trace.Value,
+	st adt.State, dig trace.Digest, asym trace.Sym, a trace.Action, resIdx int) *cfg {
+
+	n := len(c.syms) + len(ext) + 1
+	syms := make([]trace.Sym, 0, n)
+	syms = append(append(append(syms, c.syms...), ext...), asym)
+	outs := make([]trace.Value, 0, n)
+	outs = append(append(append(outs, c.outs...), extOuts...), a.Output)
+	used := make([]bool, n)
+	copy(used, c.used)
+	used[n-1] = true
+	elems := c.elems.Clone()
+	for _, sym := range ext {
+		elems.Add(sym, 1)
+	}
+	elems.Add(asym, 1)
+	return &cfg{
+		syms:  syms,
+		outs:  outs,
+		used:  used,
+		end:   s.f.Step(st, a.Input),
+		elems: elems,
+		dig:   dig.Add(trace.HashElem(n-1, asym, true)),
+		asn:   &asnNode{prev: c.asn, res: resIdx, k: n},
+	}
+}
+
+// checkStreaming is the breadth-engine one-shot path of Check
+// (WithWorkers(n > 1)): it feeds the whole trace through a Session.
+func checkStreaming(ctx context.Context, f adt.Folder, t trace.Trace, set check.Settings) (Result, error) {
+	s := newSessionSettings(ctx, f, set)
+	if err := s.FeedAll(t); err != nil {
+		return Result{Nodes: s.Nodes()}, err
+	}
+	return s.Result()
+}

@@ -1,0 +1,266 @@
+package lin
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/check"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// sessionTestTraces generates a randomized mix of clean and corrupted
+// traces across ADTs, mirroring the E8 workload.
+func sessionTestTraces(seed int64, n int) []struct {
+	f  adt.Folder
+	tr trace.Trace
+} {
+	r := rand.New(rand.NewSource(seed))
+	cases := []struct {
+		f      adt.Folder
+		inputs []trace.Value
+	}{
+		{adt.Consensus{}, []trace.Value{adt.ProposeInput("a"), adt.ProposeInput("b")}},
+		{adt.Register{}, []trace.Value{adt.WriteInput("x"), adt.ReadInput()}},
+		{adt.Counter{}, []trace.Value{adt.IncInput(), adt.GetInput()}},
+		{adt.Queue{}, []trace.Value{adt.EnqInput("x"), adt.DeqInput()}},
+	}
+	out := make([]struct {
+		f  adt.Folder
+		tr trace.Trace
+	}, n)
+	for i := range out {
+		tc := cases[i%len(cases)]
+		opts := workload.TraceOpts{
+			Clients: 2 + r.Intn(2), Ops: 3 + r.Intn(4), Inputs: tc.inputs,
+			PendingProb: 0.2, UniqueTags: i%3 != 0,
+		}
+		if i%2 == 1 {
+			opts.CorruptProb = 0.5
+		}
+		out[i].f = tc.f
+		out[i].tr = workload.Random(tc.f, r, opts)
+	}
+	return out
+}
+
+// TestSessionAgreesWithCheck is the incremental engine's property test:
+// feeding a randomized trace action by action must reproduce the one-shot
+// Check verdict on EVERY prefix, and a NotLinearizable session verdict
+// must be final.
+func TestSessionAgreesWithCheck(t *testing.T) {
+	ctx := context.Background()
+	for i, tc := range sessionTestTraces(71, 200) {
+		s := NewSession(ctx, tc.f)
+		sawNotLin := false
+		for k, a := range tc.tr {
+			if err := s.Feed(a); err != nil {
+				t.Fatalf("case %d feed %d: %v", i, k, err)
+			}
+			prefix := tc.tr[:k+1]
+			want, err := Check(ctx, tc.f, prefix)
+			if err != nil {
+				t.Fatalf("case %d prefix %d: %v", i, k+1, err)
+			}
+			got, err := s.Result()
+			if err != nil {
+				t.Fatalf("case %d prefix %d session: %v", i, k+1, err)
+			}
+			if got.OK != want.OK {
+				t.Fatalf("case %d prefix %d: session %v, one-shot %v\nprefix: %v",
+					i, k+1, got.OK, want.OK, prefix)
+			}
+			if sawNotLin && got.OK {
+				t.Fatalf("case %d prefix %d: NotLinearizable verdict was not final\nprefix: %v", i, k+1, prefix)
+			}
+			sawNotLin = sawNotLin || !got.OK
+			if got.OK && len(got.Witness) > 0 {
+				if err := VerifyWitness(tc.f, prefix, got.Witness); err != nil {
+					t.Fatalf("case %d prefix %d: session witness invalid: %v", i, k+1, err)
+				}
+			}
+		}
+	}
+}
+
+// TestWorkersAgree asserts the breadth engine (WithWorkers > 1) returns
+// the verdicts of the sequential engines on randomized traces, and that
+// its witnesses verify.
+func TestWorkersAgree(t *testing.T) {
+	ctx := context.Background()
+	for i, tc := range sessionTestTraces(172, 150) {
+		seq, err := Check(ctx, tc.f, tc.tr, check.WithWorkers(1))
+		if err != nil {
+			t.Fatalf("case %d sequential: %v", i, err)
+		}
+		for _, workers := range []int{2, 8} {
+			par, err := Check(ctx, tc.f, tc.tr, check.WithWorkers(workers))
+			if err != nil {
+				t.Fatalf("case %d workers=%d: %v", i, workers, err)
+			}
+			if par.OK != seq.OK {
+				t.Fatalf("case %d workers=%d: parallel %v, sequential %v\ntrace: %v",
+					i, workers, par.OK, seq.OK, tc.tr)
+			}
+			if par.OK {
+				if err := VerifyWitness(tc.f, tc.tr, par.Witness); err != nil {
+					t.Fatalf("case %d workers=%d: witness invalid: %v", i, workers, err)
+				}
+			}
+		}
+	}
+}
+
+// TestSessionBudgetExhaustion drives a session into budget exhaustion and
+// asserts the error is terminal with verdict Unknown.
+func TestSessionBudgetExhaustion(t *testing.T) {
+	in := adt.ProposeInput("a")
+	s := NewSession(context.Background(), adt.Consensus{}, check.WithBudget(1))
+	var err error
+	for c := 0; c < 8 && err == nil; c++ {
+		cid := trace.ClientID(rune('a' + c))
+		if err = s.Feed(trace.Invoke(cid, 1, in)); err != nil {
+			break
+		}
+		err = s.Feed(trace.Response(cid, 1, in, adt.DecideOutput("a")))
+	}
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("expected ErrBudget, got %v", err)
+	}
+	if v := s.Verdict(); v != check.Unknown {
+		t.Fatalf("verdict after budget exhaustion = %v, want Unknown", v)
+	}
+	if _, rerr := s.Result(); !errors.Is(rerr, ErrBudget) {
+		t.Fatalf("Result after exhaustion = %v, want ErrBudget", rerr)
+	}
+	// The error is sticky.
+	if ferr := s.Feed(trace.Invoke("z", 1, in)); !errors.Is(ferr, ErrBudget) {
+		t.Fatalf("Feed after exhaustion = %v, want ErrBudget", ferr)
+	}
+}
+
+// TestSessionCancellation cancels the session's context mid-stream and
+// asserts the session reports the context error and verdict Unknown.
+func TestSessionCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := NewSession(ctx, adt.Consensus{})
+	in := adt.ProposeInput("a")
+	if err := s.Feed(trace.Invoke("c1", 1, in)); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if err := s.Feed(trace.Response("c1", 1, in, adt.DecideOutput("a"))); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Feed after cancel = %v, want context.Canceled", err)
+	}
+	if v := s.Verdict(); v != check.Unknown {
+		t.Fatalf("verdict after cancel = %v, want Unknown", v)
+	}
+}
+
+// TestCheckCancellation cancels a one-shot check up front for both
+// engines.
+func TestCheckCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tcs := sessionTestTraces(3, 8)
+	for _, workers := range []int{1, 4} {
+		sawCancel := false
+		for _, tc := range tcs {
+			_, err := Check(ctx, tc.f, tc.tr, check.WithWorkers(workers))
+			if err != nil && !errors.Is(err, context.Canceled) {
+				t.Fatalf("workers=%d: unexpected error %v", workers, err)
+			}
+			sawCancel = sawCancel || errors.Is(err, context.Canceled)
+		}
+		if !sawCancel {
+			t.Fatalf("workers=%d: no check observed the cancelled context", workers)
+		}
+	}
+}
+
+// TestSessionMemoLimit asserts the frontier bound surfaces as ErrMemo.
+func TestSessionMemoLimit(t *testing.T) {
+	// Five distinct concurrent proposals plus a deciding response: every
+	// chain starting with "a" is a live configuration, so the frontier
+	// far exceeds the limit of 2.
+	var tr trace.Trace
+	for c, v := range []string{"a", "b", "c", "d", "e"} {
+		tr = append(tr, trace.Invoke(trace.ClientID(rune('a'+c)), 1, adt.ProposeInput(v)))
+	}
+	tr = append(tr,
+		trace.Invoke("f", 1, adt.ProposeInput("a")),
+		trace.Response("f", 1, adt.ProposeInput("a"), adt.DecideOutput("a")),
+	)
+	s := NewSession(context.Background(), adt.Consensus{}, check.WithMemoLimit(2))
+	var err error
+	for _, a := range tr {
+		if err = s.Feed(a); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrMemo) {
+		t.Fatalf("expected ErrMemo, got %v", err)
+	}
+}
+
+// TestSessionIllFormed asserts ill-formed feeds yield the one-shot
+// verdict (NotLinearizable, not an error) and stay final.
+func TestSessionIllFormed(t *testing.T) {
+	s := NewSession(context.Background(), adt.Consensus{})
+	in := adt.ProposeInput("a")
+	if err := s.Feed(trace.Response("c1", 1, in, adt.DecideOutput("a"))); err != nil {
+		t.Fatalf("ill-formed feed must not error: %v", err)
+	}
+	r, err := s.Result()
+	if err != nil || r.OK || r.Reason != "trace is not well-formed" {
+		t.Fatalf("got %+v, %v", r, err)
+	}
+	// Feeding well-formed actions afterwards cannot revive the verdict.
+	if err := s.Feed(trace.Invoke("c2", 1, in)); err != nil {
+		t.Fatal(err)
+	}
+	if v := s.Verdict(); v != check.NotLinearizable {
+		t.Fatalf("verdict = %v, want NotLinearizable", v)
+	}
+}
+
+// FuzzSessionAgreesWithCheck drives random action sequences (including
+// ill-formed ones) through a session and the one-shot checker.
+func FuzzSessionAgreesWithCheck(f *testing.F) {
+	f.Add(int64(1), uint8(6))
+	f.Add(int64(42), uint8(12))
+	f.Fuzz(func(t *testing.T, seed int64, n uint8) {
+		r := rand.New(rand.NewSource(seed))
+		inputs := []trace.Value{adt.ProposeInput("a"), adt.ProposeInput("b")}
+		outputs := []trace.Value{adt.DecideOutput("a"), adt.DecideOutput("b")}
+		clients := []trace.ClientID{"c1", "c2", "c3"}
+		var tr trace.Trace
+		for i := 0; i < int(n%24); i++ {
+			c := clients[r.Intn(len(clients))]
+			if r.Intn(2) == 0 {
+				tr = append(tr, trace.Invoke(c, 1, inputs[r.Intn(2)]))
+			} else {
+				tr = append(tr, trace.Response(c, 1, inputs[r.Intn(2)], outputs[r.Intn(2)]))
+			}
+		}
+		ctx := context.Background()
+		want, err := Check(ctx, adt.Consensus{}, tr)
+		if err != nil {
+			t.Skip() // budget-type errors: nothing to compare
+		}
+		s := NewSession(ctx, adt.Consensus{})
+		if err := s.FeedAll(tr); err != nil {
+			t.Fatalf("session error where one-shot succeeded: %v", err)
+		}
+		got, err := s.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.OK != want.OK {
+			t.Fatalf("session %v, one-shot %v on %v", got.OK, want.OK, tr)
+		}
+	})
+}

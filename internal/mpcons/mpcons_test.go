@@ -1,10 +1,12 @@
 package mpcons_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
 	"repro/internal/adt"
+	"repro/internal/check"
 	"repro/internal/lin"
 	"repro/internal/mpcons"
 	"repro/internal/msgnet"
@@ -43,7 +45,7 @@ func checkObject(t *testing.T, obj *mpcons.Object) {
 		t.Fatalf("trace not (1,3)-well-formed: %v", tr)
 	}
 	plain := tr.Project(func(a trace.Action) bool { return a.Kind != trace.Swi })
-	res, err := lin.Check(adt.Consensus{}, plain, lin.Options{})
+	res, err := lin.Check(context.Background(), adt.Consensus{}, plain)
 	if err != nil {
 		t.Fatalf("lin.Check: %v", err)
 	}
@@ -264,7 +266,7 @@ func TestPartitionForcesFallback(t *testing.T) {
 }
 
 // The SLin checker accepts the Quorum projection on conforming schedules
-// (temporal Abort-Order; see slin.Options), and the Backup projection
+// (temporal Abort-Order; see package slin), and the Backup projection
 // unconditionally.
 func TestPhaseProjectionsSpeculativelyLinearizable(t *testing.T) {
 	for seed := int64(1); seed <= 10; seed++ {
@@ -275,8 +277,8 @@ func TestPhaseProjectionsSpeculativelyLinearizable(t *testing.T) {
 		obj.Run(5000)
 		tr := obj.Trace()
 		first := tr.ProjectSig(1, 2)
-		res, err := slin.Check(adt.Consensus{}, slin.ConsensusRInit{}, 1, 2, first,
-			slin.Options{TemporalAbortOrder: true})
+		res, err := slin.Check(context.Background(), adt.Consensus{}, slin.ConsensusRInit{}, 1, 2, first,
+			check.WithTemporalAbortOrder(true))
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -284,7 +286,7 @@ func TestPhaseProjectionsSpeculativelyLinearizable(t *testing.T) {
 			t.Fatalf("seed %d: quorum projection not SLin: %s\n%v", seed, res.Reason, first)
 		}
 		second := tr.ProjectSig(2, 3)
-		res, err = slin.Check(adt.Consensus{}, slin.ConsensusRInit{}, 2, 3, second, slin.Options{})
+		res, err = slin.Check(context.Background(), adt.Consensus{}, slin.ConsensusRInit{}, 2, 3, second)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}

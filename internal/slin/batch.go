@@ -1,21 +1,29 @@
 package slin
 
 import (
+	"context"
+
 	"repro/internal/adt"
 	"repro/internal/check"
 	"repro/internal/trace"
 )
 
 // CheckAll decides SLin_T(m,n) for each trace independently, sharding the
-// batch across a worker pool of Options.Workers goroutines (GOMAXPROCS
-// when zero). Results are in trace order; each check gets its own budget
-// of Options.Budget nodes shared across its interpretation combinations.
-// The first error stops the batch and is returned with partial results.
+// batch across a worker pool of check.WithWorkers goroutines (GOMAXPROCS
+// when unset). Results are in trace order; each check gets its own budget
+// of check.WithBudget nodes shared across its interpretation
+// combinations. The first error (or a cancellation of ctx) stops the
+// batch and is returned with partial results. Inside a batch every
+// per-trace search runs the sequential depth-first engine; use a
+// single-trace Check with WithWorkers(n > 1) for intra-trace parallelism.
 //
 // Folder and RInit implementations must be safe for concurrent use; every
 // implementation in packages adt and slin is stateless and qualifies.
-func CheckAll(f adt.Folder, rinit RInit, m, n int, ts []trace.Trace, opts Options) ([]Result, error) {
-	return check.Parallel(ts, opts.Workers, func(_ int, t trace.Trace) (Result, error) {
-		return Check(f, rinit, m, n, t, opts)
+func CheckAll(ctx context.Context, f adt.Folder, rinit RInit, m, n int, ts []trace.Trace, opts ...check.Option) ([]Result, error) {
+	set := check.NewSettings(opts...)
+	perTrace := set
+	perTrace.Workers = 1
+	return check.Parallel(ctx, ts, set.Workers, func(_ int, t trace.Trace) (Result, error) {
+		return checkSettings(ctx, f, rinit, m, n, t, perTrace)
 	})
 }

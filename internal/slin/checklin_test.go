@@ -1,6 +1,7 @@
 package slin
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -27,11 +28,11 @@ func TestCheckLinAgainstLin(t *testing.T) {
 			opts.CorruptProb = 0.5
 		}
 		tr := workload.Random(adt.Universal{}, r, opts)
-		direct, err := lin.Check(adt.Universal{}, tr, lin.Options{})
+		direct, err := lin.Check(context.Background(), adt.Universal{}, tr)
 		if err != nil {
 			t.Fatal(err)
 		}
-		viaSLin, err := CheckLin(adt.Universal{}, tr, Options{})
+		viaSLin, err := CheckLin(context.Background(), adt.Universal{}, tr)
 		if err != nil {
 			t.Fatal(err)
 		}

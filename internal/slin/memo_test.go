@@ -1,11 +1,13 @@
 package slin
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
 
 	"repro/internal/adt"
+	"repro/internal/check"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -27,8 +29,8 @@ func TestHashedMemoAgreesWithReference(t *testing.T) {
 				opts.ViolateProb = 0.4
 			}
 			tr := workload.FirstPhase(r, opts)
-			sopts := Options{TemporalAbortOrder: i%4 < 2}
-			compareImpls(t, adt.Consensus{}, ConsensusRInit{Probe: i%5 == 0}, 1, 2, tr, sopts)
+			temporal := i%4 < 2
+			compareImpls(t, adt.Consensus{}, ConsensusRInit{Probe: i%5 == 0}, 1, 2, tr, temporal)
 		}
 	})
 	t.Run("second-phase", func(t *testing.T) {
@@ -39,8 +41,8 @@ func TestHashedMemoAgreesWithReference(t *testing.T) {
 				opts.ViolateProb = 0.4
 			}
 			tr := workload.SecondPhase(r, 2, opts)
-			sopts := Options{TemporalAbortOrder: i%4 < 2}
-			compareImpls(t, adt.Consensus{}, ConsensusRInit{Probe: i%5 == 0}, 2, 3, tr, sopts)
+			temporal := i%4 < 2
+			compareImpls(t, adt.Consensus{}, ConsensusRInit{Probe: i%5 == 0}, 2, 3, tr, temporal)
 		}
 	})
 	t.Run("switch-free", func(t *testing.T) {
@@ -54,24 +56,24 @@ func TestHashedMemoAgreesWithReference(t *testing.T) {
 				opts.CorruptProb = 0.5
 			}
 			tr := workload.Random(adt.Consensus{}, r, opts)
-			compareImpls(t, adt.Consensus{}, UniversalRInit{}, 1, 2, tr, Options{})
+			compareImpls(t, adt.Consensus{}, UniversalRInit{}, 1, 2, tr, false)
 		}
 	})
 }
 
-func compareImpls(t *testing.T, f adt.Folder, rinit RInit, m, n int, tr trace.Trace, opts Options) {
+func compareImpls(t *testing.T, f adt.Folder, rinit RInit, m, n int, tr trace.Trace, temporal bool) {
 	t.Helper()
-	got, err := Check(f, rinit, m, n, tr, opts)
+	got, err := Check(context.Background(), f, rinit, m, n, tr, check.WithTemporalAbortOrder(temporal))
 	if err != nil {
 		t.Fatalf("optimized: %v", err)
 	}
-	want, err := CheckReference(f, rinit, m, n, tr, opts)
+	want, err := CheckReference(f, rinit, m, n, tr, check.WithTemporalAbortOrder(temporal))
 	if err != nil {
 		t.Fatalf("reference: %v", err)
 	}
 	if got.OK != want.OK {
 		t.Fatalf("verdict mismatch on %v (m=%d n=%d temporal=%v): optimized %v, reference %v",
-			tr, m, n, opts.TemporalAbortOrder, got.OK, want.OK)
+			tr, m, n, temporal, got.OK, want.OK)
 	}
 	// Node counts are comparable only on negative verdicts of abort-free
 	// traces: a failed commit search explores the whole memoized DAG
@@ -90,7 +92,7 @@ func compareImpls(t *testing.T, f adt.Folder, rinit RInit, m, n int, tr trace.Tr
 	}
 	if got.OK {
 		for _, w := range got.Witnesses {
-			if err := VerifyWitness(f, rinit, m, n, tr, w, opts.TemporalAbortOrder); err != nil {
+			if err := VerifyWitness(f, rinit, m, n, tr, w, temporal); err != nil {
 				t.Fatalf("optimized witness invalid on %v: %v", tr, err)
 			}
 		}
@@ -119,7 +121,7 @@ func TestCheckAllocsRegression(t *testing.T) {
 	}
 	tr := slinTestTrace()
 	allocs := testing.AllocsPerRun(50, func() {
-		if _, err := Check(adt.Consensus{}, ConsensusRInit{}, 1, 2, tr, Options{}); err != nil {
+		if _, err := Check(context.Background(), adt.Consensus{}, ConsensusRInit{}, 1, 2, tr); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -141,7 +143,7 @@ func TestBudgetSharedAcrossInterpretations(t *testing.T) {
 	var tr trace.Trace
 	for i := 0; i < 50; i++ {
 		tr = workload.SecondPhase(r, 2, workload.PhaseOpts{Clients: 3})
-		res, err := Check(adt.Consensus{}, ConsensusRInit{Probe: true}, 2, 3, tr, Options{})
+		res, err := Check(context.Background(), adt.Consensus{}, ConsensusRInit{Probe: true}, 2, 3, tr)
 		if err != nil || !res.OK || len(res.Witnesses) < 2 {
 			continue
 		}
@@ -150,10 +152,10 @@ func TestBudgetSharedAcrossInterpretations(t *testing.T) {
 		if full.Nodes <= 0 {
 			t.Fatalf("expected positive node count, got %d", full.Nodes)
 		}
-		if _, err := Check(adt.Consensus{}, ConsensusRInit{Probe: true}, 2, 3, tr, Options{Budget: full.Nodes}); err != nil {
+		if _, err := Check(context.Background(), adt.Consensus{}, ConsensusRInit{Probe: true}, 2, 3, tr, check.WithBudget(full.Nodes)); err != nil {
 			t.Fatalf("budget == nodes should succeed, got %v", err)
 		}
-		if _, err := Check(adt.Consensus{}, ConsensusRInit{Probe: true}, 2, 3, tr, Options{Budget: full.Nodes - 1}); !errors.Is(err, ErrBudget) {
+		if _, err := Check(context.Background(), adt.Consensus{}, ConsensusRInit{Probe: true}, 2, 3, tr, check.WithBudget(full.Nodes-1)); !errors.Is(err, ErrBudget) {
 			t.Fatalf("budget == nodes-1 should exhaust, got %v", err)
 		}
 		return
@@ -163,10 +165,10 @@ func TestBudgetSharedAcrossInterpretations(t *testing.T) {
 
 // TestBudgetExhaustionSurfaces verifies a tiny budget yields ErrBudget.
 func TestBudgetExhaustionSurfaces(t *testing.T) {
-	if _, err := Check(adt.Consensus{}, ConsensusRInit{}, 1, 2, slinTestTrace(), Options{Budget: 1}); !errors.Is(err, ErrBudget) {
+	if _, err := Check(context.Background(), adt.Consensus{}, ConsensusRInit{}, 1, 2, slinTestTrace(), check.WithBudget(1)); !errors.Is(err, ErrBudget) {
 		t.Fatalf("expected ErrBudget, got %v", err)
 	}
-	if _, err := CheckReference(adt.Consensus{}, ConsensusRInit{}, 1, 2, slinTestTrace(), Options{Budget: 1}); !errors.Is(err, ErrBudget) {
+	if _, err := CheckReference(adt.Consensus{}, ConsensusRInit{}, 1, 2, slinTestTrace(), check.WithBudget(1)); !errors.Is(err, ErrBudget) {
 		t.Fatalf("reference: expected ErrBudget, got %v", err)
 	}
 }
@@ -185,14 +187,14 @@ func TestCheckAllMatchesSequential(t *testing.T) {
 	}
 	want := make([]bool, len(traces))
 	for i, tr := range traces {
-		res, err := Check(adt.Consensus{}, ConsensusRInit{}, 1, 2, tr, Options{})
+		res, err := Check(context.Background(), adt.Consensus{}, ConsensusRInit{}, 1, 2, tr)
 		if err != nil {
 			t.Fatal(err)
 		}
 		want[i] = res.OK
 	}
 	for _, workers := range []int{0, 1, 4} {
-		got, err := CheckAll(adt.Consensus{}, ConsensusRInit{}, 1, 2, traces, Options{Workers: workers})
+		got, err := CheckAll(context.Background(), adt.Consensus{}, ConsensusRInit{}, 1, 2, traces, check.WithWorkers(workers))
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}

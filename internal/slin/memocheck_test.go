@@ -3,11 +3,13 @@
 package slin
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
 
 	"repro/internal/adt"
+	"repro/internal/check"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -28,8 +30,8 @@ func TestMemoDigestCollisionsZero(t *testing.T) {
 			ViolateProb: 0.2,
 		})
 		for _, temporal := range []bool{false, true} {
-			if _, err := Check(adt.Consensus{}, ConsensusRInit{}, 1, 2, tr,
-				Options{TemporalAbortOrder: temporal}); err != nil {
+			if _, err := Check(context.Background(), adt.Consensus{}, ConsensusRInit{}, 1, 2, tr,
+				check.WithTemporalAbortOrder(temporal)); err != nil {
 				t.Fatalf("trace %d temporal=%v: %v", i, temporal, err)
 			}
 			checks++
@@ -51,7 +53,7 @@ func TestMemoDigestCollisionsZero(t *testing.T) {
 			hard = append(hard, trace.Switch(c, 2, in, fmt.Sprintf("v%d", i)))
 		}
 	}
-	res, err := Check(adt.Consensus{}, ConsensusRInit{}, 1, 2, hard, Options{Budget: 50_000_000})
+	res, err := Check(context.Background(), adt.Consensus{}, ConsensusRInit{}, 1, 2, hard, check.WithBudget(50_000_000))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,10 +1,12 @@
 package slin
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
 	"repro/internal/adt"
+	"repro/internal/check"
 	"repro/internal/lin"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -29,9 +31,7 @@ func TestInvariantsImplyFirstPhaseSLin(t *testing.T) {
 		if err := FirstPhaseInvariants(tr, 1, 2); err != nil {
 			t.Fatalf("generator violated invariants: %v on %v", err, tr)
 		}
-		res, err := Check(adt.Consensus{}, ConsensusRInit{}, 1, 2, tr, Options{
-			TemporalAbortOrder: !strict,
-		})
+		res, err := Check(context.Background(), adt.Consensus{}, ConsensusRInit{}, 1, 2, tr, check.WithTemporalAbortOrder(!strict))
 		if err != nil {
 			t.Fatalf("Check: %v on %v", err, tr)
 		}
@@ -59,7 +59,7 @@ func TestInvariantsImplySecondPhaseSLin(t *testing.T) {
 		if err := SecondPhaseInvariants(tr, 2, 3); err != nil {
 			t.Fatalf("generator violated invariants: %v on %v", err, tr)
 		}
-		res, err := Check(adt.Consensus{}, ConsensusRInit{}, 2, 3, tr, Options{})
+		res, err := Check(context.Background(), adt.Consensus{}, ConsensusRInit{}, 2, 3, tr)
 		if err != nil {
 			t.Fatalf("Check: %v on %v", err, tr)
 		}
@@ -84,7 +84,7 @@ func TestViolationsRejected(t *testing.T) {
 	for i := 0; i < 300; i++ {
 		tr := workload.FirstPhase(r, workload.PhaseOpts{ViolateProb: 0.4, NoLateOps: true})
 		invErr := FirstPhaseInvariants(tr, 1, 2)
-		res, err := Check(adt.Consensus{}, ConsensusRInit{}, 1, 2, tr, Options{})
+		res, err := Check(context.Background(), adt.Consensus{}, ConsensusRInit{}, 1, 2, tr)
 		if err != nil {
 			t.Fatalf("Check: %v on %v", err, tr)
 		}
@@ -120,11 +120,11 @@ func TestTheorem2AgainstLin(t *testing.T) {
 			opts.CorruptProb = 0.5
 		}
 		tr := workload.Random(adt.Consensus{}, r, opts)
-		linRes, err := lin.Check(adt.Consensus{}, tr, lin.Options{})
+		linRes, err := lin.Check(context.Background(), adt.Consensus{}, tr)
 		if err != nil {
 			t.Fatal(err)
 		}
-		slinRes, err := Check(adt.Consensus{}, ConsensusRInit{}, 1, 2, tr, Options{})
+		slinRes, err := Check(context.Background(), adt.Consensus{}, ConsensusRInit{}, 1, 2, tr)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -150,11 +150,11 @@ func TestCompositionTheoremGenerated(t *testing.T) {
 		comp := composedTrace(r)
 		first := comp.ProjectSig(1, 2)
 		second := comp.ProjectSig(2, 3)
-		r1, err := Check(adt.Consensus{}, ConsensusRInit{}, 1, 2, first, Options{})
+		r1, err := Check(context.Background(), adt.Consensus{}, ConsensusRInit{}, 1, 2, first)
 		if err != nil {
 			t.Fatal(err)
 		}
-		r2, err := Check(adt.Consensus{}, ConsensusRInit{}, 2, 3, second, Options{})
+		r2, err := Check(context.Background(), adt.Consensus{}, ConsensusRInit{}, 2, 3, second)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -162,7 +162,7 @@ func TestCompositionTheoremGenerated(t *testing.T) {
 			continue // theorem's hypotheses not met; nothing to check
 		}
 		checked++
-		rc, err := Check(adt.Consensus{}, ConsensusRInit{}, 1, 3, comp, Options{})
+		rc, err := Check(context.Background(), adt.Consensus{}, ConsensusRInit{}, 1, 3, comp)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,10 +1,12 @@
 package slin
 
 import (
+	"context"
 	"strconv"
 	"strings"
 
 	"repro/internal/adt"
+	"repro/internal/check"
 	"repro/internal/trace"
 )
 
@@ -14,15 +16,16 @@ import (
 // undo); the equivalence property tests assert the two return identical
 // verdicts on randomized phase traces. Budget accounting matches Check:
 // one budget shared across all init-interpretation combinations,
-// decremented once per recursive search step.
-func CheckReference(f adt.Folder, rinit RInit, m, n int, t trace.Trace, opts Options) (Result, error) {
-	return checkWith(f, rinit, m, n, t, opts, refExistsWitness)
+// decremented once per recursive search step. Being a specification it
+// takes no context and ignores the workers and memo-limit options.
+func CheckReference(f adt.Folder, rinit RInit, m, n int, t trace.Trace, opts ...check.Option) (Result, error) {
+	return checkWith(context.Background(), f, rinit, m, n, t, check.NewSettings(opts...), refExistsWitness)
 }
 
 // refExistsWitness is the reference implementation of the existential part
 // of Definition 19 for a fixed init interpretation; see existsWitness for
 // the shared search structure.
-func refExistsWitness(f adt.Folder, rinit RInit, m, n int, t trace.Trace, finit map[int]trace.History, opts Options, sp *spender) (bool, Witness, error) {
+func refExistsWitness(f adt.Folder, rinit RInit, m, n int, t trace.Trace, finit map[int]trace.History, set check.Settings, sp *spender) (bool, Witness, error) {
 	s := &refSearcher{
 		f:         f,
 		rinit:     rinit,
@@ -30,7 +33,7 @@ func refExistsWitness(f adt.Folder, rinit RInit, m, n int, t trace.Trace, finit 
 		n:         n,
 		t:         t,
 		sp:        sp,
-		temporal:  opts.TemporalAbortOrder,
+		temporal:  set.TemporalAbortOrder,
 		failed:    map[string]bool{},
 		commitLen: map[int]int{},
 		abortHist: map[int]trace.History{},

@@ -1,6 +1,7 @@
 package slin
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/adt"
@@ -102,7 +103,7 @@ func TestPrefixRInitMiddlePhase(t *testing.T) {
 		trace.Switch("c2", 2, "z", EncodeHistory(initH)),
 		trace.Switch("c2", 3, "z", EncodeHistory(trace.History{"x", "y"})),
 	}
-	res, err := Check(adt.Universal{}, PrefixRInit{}, 2, 3, tr, Options{})
+	res, err := Check(context.Background(), adt.Universal{}, PrefixRInit{}, 2, 3, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestPrefixRInitMiddlePhase(t *testing.T) {
 	// is exactly [x y]; the abort must still cover the commit [x y] — it
 	// does — but c2's pending input z is not in the abort history, which
 	// is allowed. Sanity: the singleton relation also accepts here.
-	res, err = Check(adt.Universal{}, UniversalRInit{}, 2, 3, tr, Options{})
+	res, err = Check(context.Background(), adt.Universal{}, UniversalRInit{}, 2, 3, tr)
 	if err != nil {
 		t.Fatal(err)
 	}

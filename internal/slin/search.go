@@ -2,6 +2,7 @@ package slin
 
 import (
 	"repro/internal/adt"
+	"repro/internal/check"
 	"repro/internal/trace"
 )
 
@@ -26,7 +27,7 @@ import (
 // mutates one chain in place with undo on backtrack (DESIGN.md, decision
 // 7). CheckReference retains the original string-keyed search; property
 // tests assert the two agree.
-func existsWitness(f adt.Folder, rinit RInit, m, n int, t trace.Trace, finit map[int]trace.History, opts Options, sp *spender) (bool, Witness, error) {
+func existsWitness(f adt.Folder, rinit RInit, m, n int, t trace.Trace, finit map[int]trace.History, set check.Settings, sp *spender) (bool, Witness, error) {
 	s := &searcher{
 		f:         f,
 		rinit:     rinit,
@@ -34,7 +35,8 @@ func existsWitness(f adt.Folder, rinit RInit, m, n int, t trace.Trace, finit map
 		n:         n,
 		t:         t,
 		sp:        sp,
-		temporal:  opts.TemporalAbortOrder,
+		temporal:  set.TemporalAbortOrder,
+		memoLimit: set.MemoLimit,
 		in:        trace.NewInterner(),
 		failed:    make(map[slinKey]struct{}),
 		commitLen: map[int]int{},
@@ -109,6 +111,9 @@ func existsWitness(f adt.Folder, rinit RInit, m, n int, t trace.Trace, finit map
 	if err != nil || !ok {
 		return ok, Witness{}, err
 	}
+	if !set.Witness {
+		return true, Witness{}, nil
+	}
 	w := Witness{
 		Init:    map[int]trace.History{},
 		Commits: map[int]trace.History{},
@@ -152,6 +157,7 @@ type searcher struct {
 	t           trace.Trace
 	sp          *spender
 	temporal    bool
+	memoLimit   int
 	failed      map[slinKey]struct{}
 	initOrder   bool
 	L           trace.History
@@ -325,9 +331,11 @@ func (s *searcher) run(i int) (bool, error) {
 		return false, err
 	}
 	if !ok {
-		s.failed[key] = struct{}{}
-		if memocheckEnabled {
-			s.auditInsert(key)
+		if s.memoLimit <= 0 || len(s.failed) < s.memoLimit {
+			s.failed[key] = struct{}{}
+			if memocheckEnabled {
+				s.auditInsert(key)
+			}
 		}
 	}
 	return ok, nil

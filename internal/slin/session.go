@@ -1,0 +1,678 @@
+package slin
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/adt"
+	"repro/internal/check"
+	"repro/internal/trace"
+)
+
+// Session is an incremental SLin(m,n) checker (checker API v2, DESIGN.md
+// decision 11): actions are fed one at a time, and the growing trace's
+// verdict is recomputed from the persistent search state instead of from
+// scratch.
+//
+// The engine is the breadth counterpart of Check's depth-first search,
+// run once per init-interpretation combination (the ∀ of Definition 19):
+// each combination carries the frontier of reachable commit-chain
+// configurations after the actions fed so far, anchored at that
+// combination's Init-Order baseline L, together with its running
+// valid-inputs multiset vi (snapshotted at every index an abort
+// obligation refers back to). Responses replace a frontier by its
+// successor set — claims of unused prefix lengths beyond L plus
+// Validity-respecting chain extensions, exactly Check's branch set —
+// deduplicated by the chains' incremental digests.
+//
+// Two SLin-specific wrinkles distinguish the session from lin.Session:
+//
+//   - Init actions change global anchors: a new init interpretation both
+//     multiplies the combination set and can shrink every combination's
+//     L (the LCP of more histories), which re-anchors chains
+//     retroactively. Feeding an init action therefore rebuilds the
+//     combinations and replays the fed trace through fresh frontiers
+//     (init actions are rare — one per client per phase — so the
+//     amortized cost stays incremental). For the same reason a
+//     NotLinearizable verdict is *not* final before the trace's init
+//     actions have all been fed: only lin.Session's verdicts are.
+//   - Abort obligations are discharged at verdict time (Verdict/Result)
+//     against the surviving configurations under the literal Abort-Order
+//     semantics, mirroring Check's end-of-trace discharge; under
+//     WithTemporalAbortOrder they filter the frontier inline, mirroring
+//     Check's inline discharge.
+//
+// One budget spans the session (replays and verdict-time discharges
+// included); the breadth engine does not assemble Witnesses.
+type Session struct {
+	ctx    context.Context
+	f      adt.Folder
+	rinit  RInit
+	m, n   int
+	set    check.Settings
+	budget int
+	nodes  atomic.Int64
+
+	t        trace.Trace
+	phase    map[trace.ClientID]*phaseTrack
+	notWF    string
+	err      error
+	initIdx  []int
+	initReps [][]trace.History
+	combos   []*combo
+
+	// verdict cache: verAt is the fed length verRes was computed for
+	// (-1 when stale).
+	verAt  int
+	verRes Result
+}
+
+// phaseTrack is the incremental per-client state machine of Definition 34
+// ((m,n)-well-formed client sub-traces), mirroring trace.PhaseWellFormed.
+type phaseTrack struct {
+	state   int // 0 idle, 1 pending, 2 ready, 3 done
+	pending trace.Value
+}
+
+// combo is the session state of one init-interpretation combination.
+type combo struct {
+	finit   map[int]trace.History
+	L       trace.History
+	in      *trace.Interner
+	ivi     trace.Multiset
+	invoked trace.Multiset
+	// vi is the current symbolized valid-inputs multiset; a fresh
+	// snapshot is taken whenever it changes, so abort obligations can
+	// alias the snapshot current at their index.
+	vi          *trace.SymMultiset
+	obligations []sobl
+	frontier    []*scfg
+}
+
+// sobl is an abort obligation: the pending input's interned symbol, the
+// switch value to interpret, and the valid-inputs snapshot of the abort's
+// trace index.
+type sobl struct {
+	sym   trace.Sym
+	value trace.Value
+	vi    *trace.SymMultiset
+}
+
+// scfg is one frontier configuration: a commit-history chain anchored at
+// the combination's L (prefix lengths ≤ base are never claimable).
+// Configurations are immutable once constructed.
+type scfg struct {
+	syms  []trace.Sym
+	outs  []trace.Value
+	used  []bool
+	nused int
+	base  int
+	end   adt.State
+	elems trace.SymMultiset
+	dig   trace.Digest
+}
+
+// NewSession starts an incremental SLin(m,n) check of an initially empty
+// trace. It validates the phase range like Check.
+func NewSession(ctx context.Context, f adt.Folder, rinit RInit, m, n int, opts ...check.Option) (*Session, error) {
+	return newSessionSettings(ctx, f, rinit, m, n, check.NewSettings(opts...))
+}
+
+func (s *Session) spend(n int) error {
+	if n <= 0 {
+		return nil
+	}
+	v := s.nodes.Add(int64(n))
+	if v > int64(s.budget) {
+		return ErrBudget
+	}
+	if v&ctxPollMask < int64(n) {
+		if err := s.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len returns the number of actions fed so far.
+func (s *Session) Len() int { return len(s.t) }
+
+// Nodes returns the cumulative number of search nodes spent.
+func (s *Session) Nodes() int { return int(s.nodes.Load()) }
+
+// Feed appends action a to the trace under check. Errors (budget or memo
+// exhaustion, cancellation, actions outside sig(m,n), switch values
+// without interpretations) are terminal; (m,n)-ill-formed traces yield a
+// NotLinearizable verdict instead, matching Check.
+func (s *Session) Feed(a trace.Action) error {
+	if s.err != nil {
+		return s.err
+	}
+	if err := s.ctx.Err(); err != nil {
+		s.err = err
+		return err
+	}
+	if !trace.InSig(a, s.m, s.n) {
+		s.err = fmt.Errorf("slin: action %v outside sig(%d,%d)", a, s.m, s.n)
+		return s.err
+	}
+	idx := len(s.t)
+	s.t = append(s.t, a)
+	s.verAt = -1
+	if s.notWF != "" {
+		return nil // verdict already final
+	}
+	s.trackWF(a)
+	if s.notWF != "" {
+		return nil
+	}
+	if a.IsInit(s.m) && s.m != 1 {
+		reps := s.rinit.Representatives(a.SwitchValue)
+		if len(reps) == 0 {
+			s.err = fmt.Errorf("slin: switch value %q has no interpretations", a.SwitchValue)
+			return s.err
+		}
+		s.initIdx = append(s.initIdx, idx)
+		s.initReps = append(s.initReps, reps)
+		if err := s.rebuild(); err != nil {
+			s.err = err
+			return err
+		}
+		return nil
+	}
+	for _, cb := range s.combos {
+		if err := s.step(cb, a, idx); err != nil {
+			s.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// FeedAll feeds every action of t in order, stopping at the first
+// terminal error.
+func (s *Session) FeedAll(t trace.Trace) error {
+	for _, a := range t {
+		if err := s.Feed(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// trackWF advances the per-client (m,n)-well-formedness state machine
+// over the actions of the client's (m,n)-sub-trace (interior switches are
+// projected away, as in Definition 33).
+func (s *Session) trackWF(a trace.Action) {
+	if a.Kind == trace.Swi && !a.IsInit(s.m) && !a.IsAbort(s.n) {
+		return // interior switch: not part of any client sub-trace
+	}
+	p := s.phase[a.Client]
+	if p == nil {
+		p = &phaseTrack{}
+		s.phase[a.Client] = p
+	}
+	bad := func() { s.notWF = fmt.Sprintf("trace is not (%d,%d)-well-formed", s.m, s.n) }
+	switch {
+	case a.Kind == trace.Inv:
+		switch p.state {
+		case 0:
+			if s.m != 1 {
+				bad()
+				return
+			}
+		case 2: // ready: next operation
+		default:
+			bad()
+			return
+		}
+		p.state, p.pending = 1, a.Input
+	case a.IsInit(s.m):
+		if s.m == 1 || p.state != 0 {
+			bad()
+			return
+		}
+		p.state, p.pending = 1, a.Input
+	case a.Kind == trace.Res:
+		if p.state != 1 || a.Input != p.pending {
+			bad()
+			return
+		}
+		p.state = 2
+	case a.IsAbort(s.n):
+		if p.state != 1 || a.Input != p.pending {
+			bad()
+			return
+		}
+		p.state = 3
+	}
+}
+
+// rebuild recomputes the init-interpretation combinations (the
+// mixed-radix product over the representatives of every fed init action)
+// and replays the fed trace through a fresh frontier per combination.
+func (s *Session) rebuild() error {
+	s.combos = nil
+	combo := make([]int, len(s.initIdx))
+	for {
+		finit := map[int]trace.History{}
+		for k, i := range s.initIdx {
+			finit[i] = s.initReps[k][combo[k]]
+		}
+		cb := s.newCombo(finit)
+		for idx, a := range s.t {
+			if err := s.step(cb, a, idx); err != nil {
+				return err
+			}
+		}
+		s.combos = append(s.combos, cb)
+		k := 0
+		for ; k < len(combo); k++ {
+			combo[k]++
+			if combo[k] < len(s.initReps[k]) {
+				break
+			}
+			combo[k] = 0
+		}
+		if k == len(combo) {
+			break
+		}
+	}
+	return nil
+}
+
+// newCombo builds the initial state of one combination: the L anchor, an
+// empty valid-inputs multiset and the single L-anchored configuration.
+func (s *Session) newCombo(finit map[int]trace.History) *combo {
+	cb := &combo{
+		finit:   finit,
+		in:      trace.NewInterner(),
+		ivi:     trace.Multiset{},
+		invoked: trace.Multiset{},
+	}
+	if s.m != 1 {
+		var hists []trace.History
+		for _, h := range finit {
+			hists = append(hists, h)
+		}
+		cb.L = trace.LCP(hists)
+	}
+	for _, h := range finit {
+		for _, in := range h {
+			cb.in.Sym(in)
+		}
+	}
+	cb.refreshVi()
+	root := &scfg{base: len(cb.L), end: s.f.Empty(), elems: trace.NewSymMultiset(cb.in.Len())}
+	for _, in := range cb.L {
+		sym := cb.in.Sym(in)
+		root.dig = root.dig.Add(trace.HashElem(len(root.syms), sym, false))
+		root.syms = append(root.syms, sym)
+		root.outs = append(root.outs, s.f.Out(root.end, in))
+		root.used = append(root.used, false)
+		root.elems.Add(sym, 1)
+		root.end = s.f.Step(root.end, in)
+	}
+	cb.frontier = []*scfg{root}
+	return cb
+}
+
+// refreshVi snapshots the combination's symbolized valid-inputs multiset.
+func (cb *combo) refreshVi() {
+	m := cb.ivi.Sum(cb.invoked)
+	sm := trace.NewSymMultiset(cb.in.Len())
+	for v, n := range m {
+		sm.Add(cb.in.Sym(v), n)
+	}
+	cb.vi = &sm
+}
+
+// step advances one combination by action a at trace index idx,
+// mirroring the depth-first run's per-action dispatch.
+func (s *Session) step(cb *combo, a trace.Action, idx int) error {
+	switch {
+	case a.Kind == trace.Inv:
+		cb.invoked.Add(a.Input, 1)
+		cb.refreshVi()
+		return s.spend(len(cb.frontier))
+	case a.Kind == trace.Res:
+		return s.stepRes(cb, a)
+	case a.IsInit(s.m) && s.m != 1:
+		contrib := cb.finit[idx].Elems().Union(trace.NewMultiset(a.Input))
+		cb.ivi = cb.ivi.Union(contrib)
+		cb.refreshVi()
+		return s.spend(len(cb.frontier))
+	case a.IsAbort(s.n):
+		ob := sobl{sym: cb.in.Sym(a.Input), value: a.SwitchValue, vi: cb.vi}
+		if s.set.TemporalAbortOrder {
+			// Temporal Abort-Order: the abort history covers only commits
+			// made so far, so dischargeability filters the frontier now.
+			var keep []*scfg
+			for _, c := range cb.frontier {
+				if err := s.spend(1); err != nil {
+					return err
+				}
+				ok, err := s.discharge(cb, c, ob)
+				if err != nil {
+					return err
+				}
+				if ok {
+					keep = append(keep, c)
+				}
+			}
+			cb.frontier = keep
+			return nil
+		}
+		cb.obligations = append(cb.obligations, ob)
+		return s.spend(len(cb.frontier))
+	default:
+		// Interior switches carry no search choice.
+		return s.spend(len(cb.frontier))
+	}
+}
+
+// stepRes replaces the combination's frontier by its successor set under
+// response a: claims of unused prefix lengths beyond the L anchor plus
+// Validity-respecting chain extensions closing with the response's input,
+// pruned by compatibility with the abort obligations seen so far.
+func (s *Session) stepRes(cb *combo, a trace.Action) error {
+	asym := cb.in.Sym(a.Input)
+	expandOne := func(c *scfg, emit func(*scfg)) error {
+		// Option 1: claim an existing unused prefix length beyond base.
+		for k := c.base; k < len(c.syms); k++ {
+			if !c.used[k] && c.syms[k] == asym && c.outs[k] == a.Output {
+				emit(claimS(c, k))
+			}
+		}
+		// Option 2: extend the chain. The whole extended history must
+		// satisfy Validity at this index: elems ⊆ vi.
+		if !c.elems.SubsetOf(cb.vi) {
+			return nil
+		}
+		avail := cb.vi.Clone()
+		avail.SubtractAll(&c.elems)
+		if avail.Size() == 0 {
+			return nil
+		}
+		visited := make(map[trace.Digest]struct{}, 8)
+		return s.extendS(cb, c, a, asym, &avail, visited, nil, nil, c.end, c.dig, emit)
+	}
+	next, err := check.ExpandFrontier(s.ctx, cb.frontier, s.set, s.spend,
+		func(c *scfg) trace.Digest { return c.dig }, expandOne)
+	if err != nil {
+		if errors.Is(err, check.ErrFrontierLimit) {
+			return ErrMemo
+		}
+		return err
+	}
+	cb.frontier = next
+	return nil
+}
+
+// claimS returns c with prefix length k+1 marked claimed.
+func claimS(c *scfg, k int) *scfg {
+	used := append([]bool(nil), c.used...)
+	used[k] = true
+	return &scfg{
+		syms:  c.syms,
+		outs:  c.outs,
+		used:  used,
+		nused: c.nused + 1,
+		base:  c.base,
+		end:   c.end,
+		elems: c.elems,
+		dig:   c.dig.Sub(trace.HashElem(k, c.syms[k], false)).Add(trace.HashElem(k, c.syms[k], true)),
+	}
+}
+
+// extendS explores chain extensions of c drawn from avail, emitting a
+// successor whenever the extension closes with the response's input and
+// the extended chain remains compatible with every abort obligation seen
+// so far (the eager Abort-Order pruning of the depth-first engine).
+func (s *Session) extendS(cb *combo, c *scfg, a trace.Action, asym trace.Sym,
+	avail *trace.SymMultiset, visited map[trace.Digest]struct{},
+	ext []trace.Sym, extOuts []trace.Value, st adt.State, dig trace.Digest, emit func(*scfg)) error {
+
+	if err := s.spend(1); err != nil {
+		return err
+	}
+	if _, hit := visited[dig]; hit {
+		return nil
+	}
+	visited[dig] = struct{}{}
+
+	// Close the extension with the response's own input.
+	if avail.Count(asym) > 0 && s.f.Out(st, a.Input) == a.Output {
+		n := len(c.syms) + len(ext) + 1
+		elems := c.elems.Clone()
+		for _, sym := range ext {
+			elems.Add(sym, 1)
+		}
+		elems.Add(asym, 1)
+		if s.commitCompatible(cb, &elems) {
+			syms := make([]trace.Sym, 0, n)
+			syms = append(append(append(syms, c.syms...), ext...), asym)
+			outs := make([]trace.Value, 0, n)
+			outs = append(append(append(outs, c.outs...), extOuts...), a.Output)
+			used := make([]bool, n)
+			copy(used, c.used)
+			used[n-1] = true
+			emit(&scfg{
+				syms:  syms,
+				outs:  outs,
+				used:  used,
+				nused: c.nused + 1,
+				base:  c.base,
+				end:   s.f.Step(st, a.Input),
+				elems: elems,
+				dig:   dig.Add(trace.HashElem(n-1, asym, true)),
+			})
+		}
+	}
+	// Append any available input as an intermediate element.
+	for sym := trace.Sym(0); int(sym) < avail.NumSyms(); sym++ {
+		if avail.Count(sym) <= 0 {
+			continue
+		}
+		avail.Add(sym, -1)
+		in := cb.in.Value(sym)
+		pos := len(c.syms) + len(ext)
+		err := s.extendS(cb, c, a, asym, avail, visited,
+			append(ext, sym), append(extOuts, s.f.Out(st, in)),
+			s.f.Step(st, in), dig.Add(trace.HashElem(pos, sym, false)), emit)
+		avail.Add(sym, 1)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// commitCompatible reports whether a chain with the given element
+// multiset can still be covered by every pending abort obligation
+// (elems ⊆ vi at each obligation's index); no-op under temporal
+// Abort-Order, whose obligations were discharged inline.
+func (s *Session) commitCompatible(cb *combo, elems *trace.SymMultiset) bool {
+	for _, ob := range cb.obligations {
+		if !elems.SubsetOf(ob.vi) {
+			return false
+		}
+	}
+	return true
+}
+
+// discharge decides whether configuration c admits an abort history for
+// obligation ob: a strict-when-required extension of c's chain by inputs
+// valid at the obligation's index that r_init admits for the switch
+// value. Mirrors the depth-first dischargeAt.
+func (s *Session) discharge(cb *combo, c *scfg, ob sobl) (bool, error) {
+	vi := ob.vi
+	if vi.Count(ob.sym) < 1 {
+		return false, nil
+	}
+	if !c.elems.SubsetOf(vi) {
+		return false, nil
+	}
+	budget := vi.Clone()
+	budget.SubtractAll(&c.elems)
+	hist := make(trace.History, len(c.syms))
+	var dig trace.Digest
+	for p, sym := range c.syms {
+		hist[p] = cb.in.Value(sym)
+		dig = dig.Add(trace.HashElem(p, sym, false))
+	}
+	needStrict := s.m != 1 && c.nused == 0
+	visited := map[trace.Digest]struct{}{}
+	var rec func(h trace.History, dig trace.Digest, needStrict bool) (bool, error)
+	rec = func(h trace.History, dig trace.Digest, needStrict bool) (bool, error) {
+		if err := s.spend(1); err != nil {
+			return false, err
+		}
+		if _, hit := visited[dig]; hit {
+			return false, nil
+		}
+		visited[dig] = struct{}{}
+		if !needStrict && s.rinit.Admits(ob.value, h) {
+			return true, nil
+		}
+		for sym := trace.Sym(0); int(sym) < budget.NumSyms(); sym++ {
+			if budget.Count(sym) <= 0 {
+				continue
+			}
+			budget.Add(sym, -1)
+			ok, err := rec(h.Append(cb.in.Value(sym)), dig.Add(trace.HashElem(len(h), sym, false)), false)
+			budget.Add(sym, 1)
+			if err != nil || ok {
+				return ok, err
+			}
+		}
+		return false, nil
+	}
+	return rec(hist, dig, needStrict)
+}
+
+// Verdict reports the current three-valued verdict for the trace fed so
+// far (Unknown after a terminal error). Under the literal Abort-Order it
+// discharges the pending abort obligations, so it can consume budget;
+// results are cached per fed length.
+func (s *Session) Verdict() check.Verdict {
+	r, err := s.evaluate()
+	switch {
+	case err != nil:
+		return check.Unknown
+	case r.OK:
+		return check.Linearizable
+	default:
+		return check.NotLinearizable
+	}
+}
+
+// Result returns the verdict for the trace fed so far in Check's Result
+// form (without Witnesses — the breadth engine does not assemble them),
+// or the session's terminal error.
+func (s *Session) Result() (Result, error) {
+	return s.evaluate()
+}
+
+func (s *Session) evaluate() (Result, error) {
+	if s.err != nil {
+		return Result{Nodes: s.Nodes()}, s.err
+	}
+	if s.verAt == len(s.t) {
+		return s.verRes, nil
+	}
+	res, err := s.evaluateNow()
+	if err != nil {
+		s.err = err
+		return Result{Nodes: s.Nodes()}, err
+	}
+	s.verAt = len(s.t)
+	s.verRes = res
+	return res, nil
+}
+
+func (s *Session) evaluateNow() (Result, error) {
+	if s.notWF != "" {
+		return Result{OK: false, Reason: s.notWF, Nodes: s.Nodes()}, nil
+	}
+	for _, cb := range s.combos {
+		ok, err := s.comboOK(cb)
+		if err != nil {
+			return Result{}, err
+		}
+		if !ok {
+			finit := map[int]trace.History{}
+			for i, h := range cb.finit {
+				finit[i] = h.Clone()
+			}
+			return Result{
+				OK:         false,
+				Reason:     "no speculative linearization function for some init interpretation",
+				FailedInit: finit,
+				Nodes:      s.Nodes(),
+			}, nil
+		}
+	}
+	return Result{OK: true, Nodes: s.Nodes()}, nil
+}
+
+// comboOK reports whether some surviving configuration of the combination
+// also discharges every pending abort obligation.
+func (s *Session) comboOK(cb *combo) (bool, error) {
+	for _, c := range cb.frontier {
+		all := true
+		for _, ob := range cb.obligations {
+			ok, err := s.discharge(cb, c, ob)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// checkStreaming is the breadth-engine one-shot path of Check
+// (WithWorkers(n > 1)): it feeds the whole trace through a Session.
+func checkStreaming(ctx context.Context, f adt.Folder, rinit RInit, m, n int, t trace.Trace, set check.Settings) (Result, error) {
+	s, err := newSessionSettings(ctx, f, rinit, m, n, set)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := s.FeedAll(t); err != nil {
+		return Result{Nodes: s.Nodes()}, err
+	}
+	return s.Result()
+}
+
+func newSessionSettings(ctx context.Context, f adt.Folder, rinit RInit, m, n int, set check.Settings) (*Session, error) {
+	if m >= n || m < 1 {
+		return nil, fmt.Errorf("slin: invalid phase range (%d,%d)", m, n)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s := &Session{
+		ctx:    ctx,
+		f:      f,
+		rinit:  rinit,
+		m:      m,
+		n:      n,
+		set:    set,
+		budget: set.BudgetOr(DefaultBudget),
+		phase:  map[trace.ClientID]*phaseTrack{},
+		verAt:  -1,
+	}
+	if err := s.rebuild(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

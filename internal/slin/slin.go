@@ -1,59 +1,59 @@
 package slin
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"repro/internal/adt"
+	"repro/internal/check"
 	"repro/internal/trace"
 )
 
 // ErrBudget is returned when a check exceeds its search budget.
 var ErrBudget = errors.New("slin: search budget exhausted")
 
+// ErrMemo is returned by the breadth (frontier) engine — Sessions and
+// checks with check.WithWorkers(n > 1) — when a frontier exceeds the
+// configured check.WithMemoLimit; the depth-first engine instead stops
+// inserting memo entries beyond the limit.
+var ErrMemo = errors.New("slin: memo limit exceeded")
+
 // DefaultBudget bounds the number of search nodes explored per check.
 const DefaultBudget = 2_000_000
 
-// Options configures a check.
-type Options struct {
-	// Budget bounds the total number of search nodes per Check call,
-	// shared across all init-interpretation combinations; 0 means
-	// DefaultBudget. A search node is one recursive step of the search
-	// (the granularity is uniform with lin.Check and lin.CheckClassical:
-	// every recursive descent — trace step, chain extension, abort-history
-	// extension — spends one node).
-	Budget int
-	// Workers bounds the worker pool used by CheckAll; 0 means
-	// GOMAXPROCS. Single-trace checks ignore it.
-	Workers int
-	// TemporalAbortOrder weakens Abort-Order (Definition 32) to constrain
-	// only commit histories of responses occurring before the abort action
-	// in the trace.
-	//
-	// The literal Definition 32 quantifies over all commit histories, and
-	// combined with abort Validity (Definition 28, evaluated at the abort's
-	// own index) it forbids a phase from committing new operations after
-	// any abort has been issued — matching the §6 specification automaton,
-	// whose hist "does not grow anymore" once aborting begins. The paper's
-	// Quorum example violates this on schedules where a client decides
-	// after another client's switch using an input invoked in between; the
-	// paper's informal §2.4 proof does not check abort Validity and misses
-	// this. Experiment E6b documents the divergence: Quorum traces always
-	// satisfy the temporal variant, but adversarial schedules fail the
-	// literal one. The intra-object composition theorem is proved for the
-	// literal semantics (and checked there by E7); for consensus-like ADTs
-	// whose interpretation classes depend only on the winning value, the
-	// temporal variant still yields linearizable compositions, which E2/E3
-	// verify end-to-end.
-	TemporalAbortOrder bool
-}
+// ctxPollMask throttles context polling in the search hot loops: the
+// context is consulted once every ctxPollMask+1 spent nodes.
+const ctxPollMask = 0x3ff
 
-func (o Options) budget() int {
-	if o.Budget <= 0 {
-		return DefaultBudget
-	}
-	return o.Budget
-}
+// Checks are configured with the shared functional options of package
+// check (checker API v2, DESIGN.md decision 11): WithBudget bounds the
+// search (one budget per Check call, shared across all
+// init-interpretation combinations, spent one node per recursive step —
+// uniform with lin.Check and lin.CheckClassical), WithWorkers(n > 1)
+// runs the breadth engine inside a single check, WithMemoLimit bounds
+// the memo tables, and WithTemporalAbortOrder selects the temporal
+// Abort-Order reading documented below.
+//
+// TemporalAbortOrder weakens Abort-Order (Definition 32) to constrain
+// only commit histories of responses occurring before the abort action
+// in the trace.
+//
+// The literal Definition 32 quantifies over all commit histories, and
+// combined with abort Validity (Definition 28, evaluated at the abort's
+// own index) it forbids a phase from committing new operations after
+// any abort has been issued — matching the §6 specification automaton,
+// whose hist "does not grow anymore" once aborting begins. The paper's
+// Quorum example violates this on schedules where a client decides
+// after another client's switch using an input invoked in between; the
+// paper's informal §2.4 proof does not check abort Validity and misses
+// this. Experiment E6b documents the divergence: Quorum traces always
+// satisfy the temporal variant, but adversarial schedules fail the
+// literal one. The intra-object composition theorem is proved for the
+// literal semantics (and checked there by E7); for consensus-like ADTs
+// whose interpretation classes depend only on the winning value, the
+// temporal variant still yields linearizable compositions, which E2/E3
+// verify end-to-end.
 
 // Witness is one instance of Definition 19's existential content for a
 // fixed init interpretation: a speculative linearization function g on
@@ -92,6 +92,7 @@ type Result struct {
 // spender is the per-call search budget, shared by every interpretation
 // combination and sub-search of one Check call.
 type spender struct {
+	ctx    context.Context
 	nodes  int
 	budget int
 }
@@ -101,26 +102,48 @@ func (sp *spender) spend() error {
 	if sp.nodes > sp.budget {
 		return ErrBudget
 	}
+	if sp.nodes&ctxPollMask == 0 && sp.ctx != nil {
+		if err := sp.ctx.Err(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
 // existsFn is the signature shared by the optimized and reference
 // implementations of Definition 19's existential part.
-type existsFn func(f adt.Folder, rinit RInit, m, n int, t trace.Trace, finit map[int]trace.History, opts Options, sp *spender) (bool, Witness, error)
+type existsFn func(f adt.Folder, rinit RInit, m, n int, t trace.Trace, finit map[int]trace.History, set check.Settings, sp *spender) (bool, Witness, error)
 
 // Check decides whether t satisfies SLin_T(m,n) (Definition 36) for the
 // ADT f and the phase-agreed relation rinit. Switch actions with phase
 // parameter m are init actions, those with parameter n abort actions;
 // switch actions with interior parameters (m < o < n) may occur in
 // composed traces and are ignored, mirroring Definition 33's projection.
-func Check(f adt.Folder, rinit RInit, m, n int, t trace.Trace, opts Options) (Result, error) {
-	return checkWith(f, rinit, m, n, t, opts, existsWitness)
+//
+// The check is context-aware: cancellation of ctx aborts the search with
+// ctx's error. With check.WithWorkers(n > 1) it runs on the breadth
+// (frontier) engine — the same engine Sessions use — which parallelizes
+// inside the single check but does not assemble Witnesses.
+func Check(ctx context.Context, f adt.Folder, rinit RInit, m, n int, t trace.Trace, opts ...check.Option) (Result, error) {
+	return checkSettings(ctx, f, rinit, m, n, t, check.NewSettings(opts...))
+}
+
+func checkSettings(ctx context.Context, f adt.Folder, rinit RInit, m, n int, t trace.Trace, set check.Settings) (Result, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+	}
+	if set.Workers > 1 {
+		return checkStreaming(ctx, f, rinit, m, n, t, set)
+	}
+	return checkWith(ctx, f, rinit, m, n, t, set, existsWitness)
 }
 
 // checkWith is the common driver for Check and CheckReference: it
 // enumerates init-interpretation combinations and delegates the
 // existential search, with one budget shared across the whole call.
-func checkWith(f adt.Folder, rinit RInit, m, n int, t trace.Trace, opts Options, exists existsFn) (Result, error) {
+func checkWith(ctx context.Context, f adt.Folder, rinit RInit, m, n int, t trace.Trace, set check.Settings, exists existsFn) (Result, error) {
 	if m >= n || m < 1 {
 		return Result{}, fmt.Errorf("slin: invalid phase range (%d,%d)", m, n)
 	}
@@ -151,15 +174,15 @@ func checkWith(f adt.Folder, rinit RInit, m, n int, t trace.Trace, opts Options,
 
 	combo := make([]int, len(initIdx))
 	var witnesses []Witness
-	sp := &spender{budget: opts.budget()}
+	sp := &spender{ctx: ctx, budget: set.BudgetOr(DefaultBudget)}
 	for {
 		finit := map[int]trace.History{}
 		for k, i := range initIdx {
 			finit[i] = choices[k][combo[k]]
 		}
-		ok, w, err := exists(f, rinit, m, n, t, finit, opts, sp)
+		ok, w, err := exists(f, rinit, m, n, t, finit, set, sp)
 		if err != nil {
-			return Result{}, err
+			return Result{Nodes: sp.nodes}, err
 		}
 		if !ok {
 			return Result{
@@ -169,7 +192,9 @@ func checkWith(f adt.Folder, rinit RInit, m, n int, t trace.Trace, opts Options,
 				Nodes:      sp.nodes,
 			}, nil
 		}
-		witnesses = append(witnesses, w)
+		if set.Witness {
+			witnesses = append(witnesses, w)
+		}
 		// Advance the mixed-radix counter over representative choices.
 		k := 0
 		for ; k < len(combo); k++ {
@@ -190,6 +215,6 @@ func checkWith(f adt.Folder, rinit RInit, m, n int, t trace.Trace, opts Options,
 // SLin machinery with m = 1: by Theorem 2, SLin_T(1, n) restricted to
 // sig_T coincides with Lin_T. Tests use it to validate Theorem 2 against
 // package lin.
-func CheckLin(f adt.Folder, t trace.Trace, opts Options) (Result, error) {
-	return Check(f, UniversalRInit{}, 1, 2, t, opts)
+func CheckLin(ctx context.Context, f adt.Folder, t trace.Trace, opts ...check.Option) (Result, error) {
+	return Check(ctx, f, UniversalRInit{}, 1, 2, t, opts...)
 }

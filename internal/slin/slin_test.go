@@ -1,27 +1,30 @@
 package slin
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/adt"
+	"repro/internal/check"
 	"repro/internal/trace"
 )
 
 func p(v string) trace.Value { return adt.ProposeInput(v) }
 func d(v string) trace.Value { return adt.DecideOutput(v) }
 
-func mustCheck(t *testing.T, rinit RInit, m, n int, tr trace.Trace, opts Options) Result {
+func mustCheck(t *testing.T, rinit RInit, m, n int, tr trace.Trace, opts ...check.Option) Result {
 	t.Helper()
-	r, err := Check(adt.Consensus{}, rinit, m, n, tr, opts)
+	r, err := Check(context.Background(), adt.Consensus{}, rinit, m, n, tr, opts...)
 	if err != nil {
 		t.Fatalf("Check: %v", err)
 	}
+	temporal := check.NewSettings(opts...).TemporalAbortOrder
 	if r.OK {
 		if len(r.Witnesses) == 0 {
 			t.Fatal("positive verdict without witnesses")
 		}
 		for _, w := range r.Witnesses {
-			if err := VerifyWitness(adt.Consensus{}, rinit, m, n, tr, w, opts.TemporalAbortOrder); err != nil {
+			if err := VerifyWitness(adt.Consensus{}, rinit, m, n, tr, w, temporal); err != nil {
 				t.Fatalf("checker produced an invalid witness: %v\ntrace: %v\nwitness: %+v", err, tr, w)
 			}
 		}
@@ -38,7 +41,7 @@ func TestFirstPhaseAllDecide(t *testing.T) {
 		trace.Invoke("c2", 1, p("w")),
 		trace.Response("c2", 1, p("w"), d("v")),
 	}
-	if r := mustCheck(t, ConsensusRInit{}, 1, 2, tr, Options{}); !r.OK {
+	if r := mustCheck(t, ConsensusRInit{}, 1, 2, tr); !r.OK {
 		t.Fatalf("all-decide trace must be SLin(1,2): %s", r.Reason)
 	}
 	if err := FirstPhaseInvariants(tr, 1, 2); err != nil {
@@ -54,7 +57,7 @@ func TestFirstPhaseDecideThenSwitch(t *testing.T) {
 		trace.Invoke("c2", 1, p("w")),
 		trace.Switch("c2", 2, p("w"), "v"),
 	}
-	if r := mustCheck(t, ConsensusRInit{}, 1, 2, tr, Options{}); !r.OK {
+	if r := mustCheck(t, ConsensusRInit{}, 1, 2, tr); !r.OK {
 		t.Fatalf("decide-then-switch trace must be SLin(1,2): %s", r.Reason)
 	}
 	if err := FirstPhaseInvariants(tr, 1, 2); err != nil {
@@ -72,7 +75,7 @@ func TestFirstPhaseSwitchValueMismatch(t *testing.T) {
 		trace.Invoke("c2", 1, p("w")),
 		trace.Switch("c2", 2, p("w"), "w"),
 	}
-	if r := mustCheck(t, ConsensusRInit{}, 1, 2, tr, Options{}); r.OK {
+	if r := mustCheck(t, ConsensusRInit{}, 1, 2, tr); r.OK {
 		t.Fatal("switch value contradicting the decision must fail SLin")
 	}
 	if err := FirstPhaseInvariants(tr, 1, 2); err == nil {
@@ -88,7 +91,7 @@ func TestFirstPhaseAllSwitch(t *testing.T) {
 		trace.Switch("c1", 2, p("a"), "a"),
 		trace.Switch("c2", 2, p("b"), "b"),
 	}
-	if r := mustCheck(t, ConsensusRInit{}, 1, 2, tr, Options{}); !r.OK {
+	if r := mustCheck(t, ConsensusRInit{}, 1, 2, tr); !r.OK {
 		t.Fatalf("all-switch contention trace must be SLin(1,2): %s", r.Reason)
 	}
 }
@@ -99,7 +102,7 @@ func TestFirstPhaseSwitchUnproposedValue(t *testing.T) {
 		trace.Invoke("c1", 1, p("a")),
 		trace.Switch("c1", 2, p("a"), "z"),
 	}
-	if r := mustCheck(t, ConsensusRInit{}, 1, 2, tr, Options{}); r.OK {
+	if r := mustCheck(t, ConsensusRInit{}, 1, 2, tr); r.OK {
 		t.Fatal("switching with an unproposed value must fail SLin")
 	}
 	if err := FirstPhaseInvariants(tr, 1, 2); err == nil {
@@ -115,7 +118,7 @@ func TestSecondPhaseCommonValue(t *testing.T) {
 		trace.Response("c1", 2, p("x"), d("v")),
 		trace.Response("c2", 2, p("y"), d("v")),
 	}
-	if r := mustCheck(t, ConsensusRInit{}, 2, 3, tr, Options{}); !r.OK {
+	if r := mustCheck(t, ConsensusRInit{}, 2, 3, tr); !r.OK {
 		t.Fatalf("backup trace must be SLin(2,3): %s", r.Reason)
 	}
 	if err := SecondPhaseInvariants(tr, 2, 3); err != nil {
@@ -123,7 +126,7 @@ func TestSecondPhaseCommonValue(t *testing.T) {
 	}
 	// With probe representatives the check still passes (longer init
 	// interpretations bring their own elements into ivi).
-	if r := mustCheck(t, ConsensusRInit{Probe: true}, 2, 3, tr, Options{}); !r.OK {
+	if r := mustCheck(t, ConsensusRInit{Probe: true}, 2, 3, tr); !r.OK {
 		t.Fatalf("backup trace must be SLin(2,3) under probe reps: %s", r.Reason)
 	}
 }
@@ -138,7 +141,7 @@ func TestSecondPhaseMixedValues(t *testing.T) {
 			trace.Response("c1", 2, p("x"), d(decide)),
 			trace.Response("c2", 2, p("y"), d(decide)),
 		}
-		if r := mustCheck(t, ConsensusRInit{}, 2, 3, tr, Options{}); !r.OK {
+		if r := mustCheck(t, ConsensusRInit{}, 2, 3, tr); !r.OK {
 			t.Fatalf("backup deciding %q must be SLin(2,3): %s", decide, r.Reason)
 		}
 	}
@@ -152,7 +155,7 @@ func TestSecondPhaseSplitDecisions(t *testing.T) {
 		trace.Response("c1", 2, p("x"), d("a")),
 		trace.Response("c2", 2, p("y"), d("b")),
 	}
-	if r := mustCheck(t, ConsensusRInit{}, 2, 3, tr, Options{}); r.OK {
+	if r := mustCheck(t, ConsensusRInit{}, 2, 3, tr); r.OK {
 		t.Fatal("split decisions must fail SLin(2,3)")
 	}
 	if err := SecondPhaseInvariants(tr, 2, 3); err == nil {
@@ -166,7 +169,7 @@ func TestSecondPhaseUnsubmittedDecision(t *testing.T) {
 		trace.Switch("c1", 2, p("x"), "a"),
 		trace.Response("c1", 2, p("x"), d("z")),
 	}
-	if r := mustCheck(t, ConsensusRInit{}, 2, 3, tr, Options{}); r.OK {
+	if r := mustCheck(t, ConsensusRInit{}, 2, 3, tr); r.OK {
 		t.Fatal("unsubmitted decision must fail SLin(2,3)")
 	}
 	if err := SecondPhaseInvariants(tr, 2, 3); err == nil {
@@ -187,13 +190,13 @@ func TestCompositionScenario(t *testing.T) {
 	}
 	first := comp.ProjectSig(1, 2)
 	second := comp.ProjectSig(2, 3)
-	if r := mustCheck(t, ConsensusRInit{}, 1, 2, first, Options{}); !r.OK {
+	if r := mustCheck(t, ConsensusRInit{}, 1, 2, first); !r.OK {
 		t.Fatalf("first projection must be SLin(1,2): %s", r.Reason)
 	}
-	if r := mustCheck(t, ConsensusRInit{}, 2, 3, second, Options{}); !r.OK {
+	if r := mustCheck(t, ConsensusRInit{}, 2, 3, second); !r.OK {
 		t.Fatalf("second projection must be SLin(2,3): %s", r.Reason)
 	}
-	if r := mustCheck(t, ConsensusRInit{}, 1, 3, comp, Options{}); !r.OK {
+	if r := mustCheck(t, ConsensusRInit{}, 1, 3, comp); !r.OK {
 		t.Fatalf("composite must be SLin(1,3): %s", r.Reason)
 	}
 }
@@ -210,10 +213,10 @@ func TestAbortOrderDivergence(t *testing.T) {
 		trace.Invoke("c2", 1, p("b")),
 		trace.Response("c2", 1, p("b"), d("a")),
 	}
-	if r := mustCheck(t, ConsensusRInit{}, 1, 2, tr, Options{}); r.OK {
+	if r := mustCheck(t, ConsensusRInit{}, 1, 2, tr); r.OK {
 		t.Fatal("literal Abort-Order must reject post-switch commits over fresh inputs")
 	}
-	if r := mustCheck(t, ConsensusRInit{}, 1, 2, tr, Options{TemporalAbortOrder: true}); !r.OK {
+	if r := mustCheck(t, ConsensusRInit{}, 1, 2, tr, check.WithTemporalAbortOrder(true)); !r.OK {
 		t.Fatalf("temporal Abort-Order must accept the Quorum-style trace: %s", r.Reason)
 	}
 	// The paper's invariants hold on the trace either way.
@@ -227,25 +230,25 @@ func TestIllFormedRejected(t *testing.T) {
 	tr := trace.Trace{
 		trace.Switch("c1", 2, p("a"), "a"), // abort without a pending op
 	}
-	if r := mustCheck(t, ConsensusRInit{}, 1, 2, tr, Options{}); r.OK {
+	if r := mustCheck(t, ConsensusRInit{}, 1, 2, tr); r.OK {
 		t.Fatal("ill-formed trace accepted")
 	}
 	// Init action in a phase with m == 1 is also ill-formed.
 	tr = trace.Trace{trace.Switch("c1", 1, p("a"), "a")}
-	if _, err := Check(adt.Consensus{}, ConsensusRInit{}, 1, 2, tr, Options{}); err != nil {
+	if _, err := Check(context.Background(), adt.Consensus{}, ConsensusRInit{}, 1, 2, tr); err != nil {
 		t.Fatalf("signature validation should pass for swi phase 1: %v", err)
 	}
-	if r := mustCheck(t, ConsensusRInit{}, 1, 2, tr, Options{}); r.OK {
+	if r := mustCheck(t, ConsensusRInit{}, 1, 2, tr); r.OK {
 		t.Fatal("init action with m == 1 must be ill-formed")
 	}
 }
 
 func TestActionOutsideSignature(t *testing.T) {
 	tr := trace.Trace{trace.Invoke("c1", 3, p("a"))}
-	if _, err := Check(adt.Consensus{}, ConsensusRInit{}, 1, 2, tr, Options{}); err == nil {
+	if _, err := Check(context.Background(), adt.Consensus{}, ConsensusRInit{}, 1, 2, tr); err == nil {
 		t.Fatal("action outside sig(1,2) must error")
 	}
-	if _, err := Check(adt.Consensus{}, ConsensusRInit{}, 0, 2, trace.Trace{}, Options{}); err == nil {
+	if _, err := Check(context.Background(), adt.Consensus{}, ConsensusRInit{}, 0, 2, trace.Trace{}); err == nil {
 		t.Fatal("invalid phase range must error")
 	}
 }
@@ -259,7 +262,7 @@ func TestTheorem2SwitchFree(t *testing.T) {
 		trace.Invoke("c1", 1, u),
 		trace.Response("c1", 1, u, adt.HistoryOutput(trace.History{u})),
 	}
-	r, err := Check(adt.Universal{}, UniversalRInit{}, 1, 2, tr, Options{})
+	r, err := Check(context.Background(), adt.Universal{}, UniversalRInit{}, 1, 2, tr)
 	if err != nil || !r.OK {
 		t.Fatalf("switch-free universal trace must pass: %+v %v", r, err)
 	}
@@ -267,7 +270,7 @@ func TestTheorem2SwitchFree(t *testing.T) {
 		trace.Invoke("c1", 1, u),
 		trace.Response("c1", 1, u, adt.HistoryOutput(trace.History{"phantom", u})),
 	}
-	r, err = Check(adt.Universal{}, UniversalRInit{}, 1, 2, bad, Options{})
+	r, err = Check(context.Background(), adt.Universal{}, UniversalRInit{}, 1, 2, bad)
 	if err != nil || r.OK {
 		t.Fatalf("phantom-input history must fail: %+v %v", r, err)
 	}
@@ -281,7 +284,7 @@ func TestUniversalSecondPhase(t *testing.T) {
 		trace.Switch("c1", 2, "y", EncodeHistory(initH)),
 		trace.Response("c1", 2, "y", adt.HistoryOutput(trace.History{"x", "y"})),
 	}
-	r, err := Check(adt.Universal{}, UniversalRInit{}, 2, 3, tr, Options{})
+	r, err := Check(context.Background(), adt.Universal{}, UniversalRInit{}, 2, 3, tr)
 	if err != nil || !r.OK {
 		t.Fatalf("universal second phase must pass: %+v %v", r, err)
 	}
@@ -290,7 +293,7 @@ func TestUniversalSecondPhase(t *testing.T) {
 		trace.Switch("c1", 2, "y", EncodeHistory(initH)),
 		trace.Response("c1", 2, "y", adt.HistoryOutput(trace.History{"y"})),
 	}
-	r, err = Check(adt.Universal{}, UniversalRInit{}, 2, 3, bad, Options{})
+	r, err = Check(context.Background(), adt.Universal{}, UniversalRInit{}, 2, 3, bad)
 	if err != nil || r.OK {
 		t.Fatalf("dropping the init prefix must fail: %+v %v", r, err)
 	}
@@ -303,7 +306,7 @@ func TestMiddlePhaseInitAndAbort(t *testing.T) {
 		trace.Switch("c1", 2, p("x"), "v"), // init with value v
 		trace.Switch("c1", 3, p("x"), "v"), // abort onward with v
 	}
-	if r := mustCheck(t, ConsensusRInit{}, 2, 3, tr, Options{}); !r.OK {
+	if r := mustCheck(t, ConsensusRInit{}, 2, 3, tr); !r.OK {
 		t.Fatalf("pass-through middle phase must be SLin(2,3): %s", r.Reason)
 	}
 	// Aborting with a different value than the only init value: the abort
@@ -312,16 +315,16 @@ func TestMiddlePhaseInitAndAbort(t *testing.T) {
 		trace.Switch("c1", 2, p("x"), "v"),
 		trace.Switch("c1", 3, p("x"), "w"),
 	}
-	if r := mustCheck(t, ConsensusRInit{}, 2, 3, bad, Options{}); r.OK {
+	if r := mustCheck(t, ConsensusRInit{}, 2, 3, bad); r.OK {
 		t.Fatal("abort value contradicting the init LCP must fail")
 	}
 }
 
 func TestEmptyTrace(t *testing.T) {
-	if r := mustCheck(t, ConsensusRInit{}, 1, 2, trace.Trace{}, Options{}); !r.OK {
+	if r := mustCheck(t, ConsensusRInit{}, 1, 2, trace.Trace{}); !r.OK {
 		t.Fatalf("empty trace must be SLin: %s", r.Reason)
 	}
-	if r := mustCheck(t, ConsensusRInit{}, 2, 3, trace.Trace{}, Options{}); !r.OK {
+	if r := mustCheck(t, ConsensusRInit{}, 2, 3, trace.Trace{}); !r.OK {
 		t.Fatalf("empty trace must be SLin(2,3): %s", r.Reason)
 	}
 }
@@ -331,7 +334,7 @@ func TestBudgetError(t *testing.T) {
 		trace.Invoke("c1", 1, p("a")),
 		trace.Response("c1", 1, p("a"), d("a")),
 	}
-	if _, err := Check(adt.Consensus{}, ConsensusRInit{}, 1, 2, tr, Options{Budget: 1}); err != ErrBudget {
+	if _, err := Check(context.Background(), adt.Consensus{}, ConsensusRInit{}, 1, 2, tr, check.WithBudget(1)); err != ErrBudget {
 		t.Fatalf("expected ErrBudget, got %v", err)
 	}
 }
@@ -343,7 +346,7 @@ func TestInitPendingInputAvailability(t *testing.T) {
 		trace.Switch("c1", 2, p("w"), "v"),
 		trace.Response("c1", 2, p("w"), d("v")),
 	}
-	if r := mustCheck(t, ConsensusRInit{}, 2, 3, tr, Options{}); !r.OK {
+	if r := mustCheck(t, ConsensusRInit{}, 2, 3, tr); !r.OK {
 		t.Fatalf("init pending input must be consumable: %s", r.Reason)
 	}
 }
@@ -359,12 +362,12 @@ func TestIviMaxUnionCollapsesDuplicates(t *testing.T) {
 		trace.Switch("c2", 2, p("w"), "v"),
 		trace.Response("c1", 2, p("w"), d("v")),
 	}
-	if r := mustCheck(t, ConsensusRInit{}, 2, 3, ok, Options{}); !r.OK {
+	if r := mustCheck(t, ConsensusRInit{}, 2, 3, ok); !r.OK {
 		t.Fatalf("single response must pass: %s", r.Reason)
 	}
 	bad := ok.Clone()
 	bad = append(bad, trace.Response("c2", 2, p("w"), d("v")))
-	if r := mustCheck(t, ConsensusRInit{}, 2, 3, bad, Options{}); r.OK {
+	if r := mustCheck(t, ConsensusRInit{}, 2, 3, bad); r.OK {
 		t.Fatal("duplicate pending inputs collapse under max-union; both responses must fail")
 	}
 }

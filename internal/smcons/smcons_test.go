@@ -1,6 +1,7 @@
 package smcons_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -46,7 +47,7 @@ func oracle(sys *smcons.System) error {
 	}
 	// Linearizability of the switch-free projection.
 	plain := tr.Project(func(a trace.Action) bool { return a.Kind != trace.Swi })
-	res, err := lin.Check(adt.Consensus{}, plain, lin.Options{})
+	res, err := lin.Check(context.Background(), adt.Consensus{}, plain)
 	if err != nil {
 		return err
 	}
@@ -61,17 +62,16 @@ func oracle(sys *smcons.System) error {
 		return fmt.Errorf("%w in %v", err, tr)
 	}
 	// Speculative linearizability of the projections (temporal
-	// Abort-Order for the first phase; see slin.Options).
-	sres, err := slin.Check(adt.Consensus{}, slin.ConsensusRInit{}, 1, 2, tr.ProjectSig(1, 2),
-		slin.Options{TemporalAbortOrder: true})
+	// Abort-Order for the first phase; see package slin).
+	sres, err := slin.Check(context.Background(), adt.Consensus{}, slin.ConsensusRInit{}, 1, 2, tr.ProjectSig(1, 2),
+		check.WithTemporalAbortOrder(true))
 	if err != nil {
 		return err
 	}
 	if !sres.OK {
 		return fmt.Errorf("RCons projection not SLin: %s: %v", sres.Reason, tr)
 	}
-	sres, err = slin.Check(adt.Consensus{}, slin.ConsensusRInit{}, 2, 3, tr.ProjectSig(2, 3),
-		slin.Options{})
+	sres, err = slin.Check(context.Background(), adt.Consensus{}, slin.ConsensusRInit{}, 2, 3, tr.ProjectSig(2, 3))
 	if err != nil {
 		return err
 	}
@@ -141,7 +141,7 @@ func TestE6ExhaustiveUnfoldedLight(t *testing.T) {
 	light := func(s *smcons.System) error {
 		tr := s.Trace()
 		plain := tr.Project(func(a trace.Action) bool { return a.Kind != trace.Swi })
-		res, err := lin.Check(adt.Consensus{}, plain, lin.Options{})
+		res, err := lin.Check(context.Background(), adt.Consensus{}, plain)
 		if err != nil {
 			return err
 		}
@@ -269,7 +269,7 @@ func TestNativeComposedObject(t *testing.T) {
 		}
 		tr := obj.Trace()
 		plain := tr.Project(func(a trace.Action) bool { return a.Kind != trace.Swi })
-		res, err := lin.Check(adt.Consensus{}, plain, lin.Options{})
+		res, err := lin.Check(context.Background(), adt.Consensus{}, plain)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,9 +1,11 @@
 package smr
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/adt"
+	"repro/internal/check"
 	"repro/internal/lin"
 	"repro/internal/msgnet"
 	"repro/internal/trace"
@@ -19,6 +21,24 @@ type ShardedConfig struct {
 	// default: million-command sweeps only need the running aggregates
 	// in Stats.
 	RetainResults bool
+	// OnlineCheck streams every per-key register history through an
+	// incremental checker session (lin.Session) as commands land, so
+	// linearizability checking overlaps the simulation instead of
+	// buffering whole histories for a post-hoc pass: the raw per-key
+	// traces are not retained (KeyTraces returns none) and
+	// CheckLinearizable reads the sessions' verdicts. Combined with log
+	// compaction this keeps run memory bounded by the compaction window
+	// plus the sessions' live frontiers rather than the full history
+	// length (checker API v2, DESIGN.md decision 11).
+	OnlineCheck bool
+	// CheckBudget bounds each per-key session's cumulative search nodes
+	// when OnlineCheck is set (0: lin.DefaultBudget).
+	CheckBudget int
+	// CheckContext, when non-nil, is the context the streaming per-key
+	// sessions run under (OnlineCheck only): cancellation or deadline
+	// expiry terminates the sessions mid-run, surfacing as an error from
+	// CheckLinearizable. Nil means context.Background().
+	CheckContext context.Context
 }
 
 // ShardedStats aggregates submission outcomes across all shards.
@@ -251,7 +271,9 @@ func (sc *ShardedCluster) CheckConsistency() error {
 // KeyTraces returns shard k's recorded per-key histories: one trace per
 // key, each a well-formed register history (writes for sets, tagged
 // reads for gets) in real-time order. The returned traces alias the
-// recorder's buffers and must not be mutated.
+// recorder's buffers and must not be mutated. With OnlineCheck the raw
+// histories are not retained (they stream through checker sessions
+// instead) and KeyTraces returns an empty slice.
 func (sc *ShardedCluster) KeyTraces(k int) []trace.Trace {
 	rec := sc.recs[k]
 	out := make([]trace.Trace, len(rec.traces))
@@ -265,17 +287,43 @@ type HistoryCheck struct {
 	Traces int   // per-key histories checked
 	Ops    int64 // total operations across all histories
 	Nodes  int64 // total search nodes spent
+	// Online is true when the verdicts came from the streaming per-key
+	// sessions rather than a post-hoc batch pass.
+	Online bool
 }
 
-// CheckLinearizable feeds every shard's per-key histories through
-// lin.CheckAll (per-key register ADT), sharding each batch across
-// Options.Workers (GOMAXPROCS by default). It returns an error for the
-// first non-linearizable history or checker failure.
-func (sc *ShardedCluster) CheckLinearizable(opts lin.Options) (HistoryCheck, error) {
-	sum := HistoryCheck{Shards: len(sc.shards)}
+// CheckLinearizable verifies every per-key history (checker API v2:
+// context-aware, functional options). Post hoc — the default — it feeds
+// every shard's recorded histories through lin.CheckAll (per-key register
+// ADT), sharding each batch across check.WithWorkers workers (GOMAXPROCS
+// by default). With ShardedConfig.OnlineCheck the histories were already
+// checked incrementally while the simulation ran, and this collects the
+// sessions' verdicts (the options apply to the sessions at Build time,
+// not here). It returns an error for the first non-linearizable history
+// or checker failure.
+func (sc *ShardedCluster) CheckLinearizable(ctx context.Context, opts ...check.Option) (HistoryCheck, error) {
+	sum := HistoryCheck{Shards: len(sc.shards), Online: sc.cfg.OnlineCheck}
+	if sc.cfg.OnlineCheck {
+		for k, rec := range sc.recs {
+			for i, sess := range rec.sessions {
+				r, err := sess.Result()
+				sum.Nodes += int64(r.Nodes)
+				if err != nil {
+					return sum, fmt.Errorf("smr: shard %d key %q online check: %w", k, rec.keys[i], err)
+				}
+				if !r.OK {
+					return sum, fmt.Errorf("smr: shard %d key %q history not linearizable: %s",
+						k, rec.keys[i], r.Reason)
+				}
+				sum.Traces++
+				sum.Ops += int64(sess.Len()) / 2
+			}
+		}
+		return sum, nil
+	}
 	for k := range sc.shards {
 		ts := sc.KeyTraces(k)
-		rs, err := lin.CheckAll(adt.Register{}, ts, opts)
+		rs, err := lin.CheckAll(ctx, adt.Register{}, ts, opts...)
 		if err != nil {
 			return sum, fmt.Errorf("smr: shard %d history check: %w", k, err)
 		}
@@ -386,10 +434,13 @@ type shardRecorder struct {
 	keyState map[string]adt.State
 	slotOut  map[int]slotReplay
 
-	// Per-key histories in real-time order.
-	traces []trace.Trace
-	keys   []string
-	keyIdx map[string]int
+	// Per-key histories in real-time order (post-hoc mode), or the
+	// per-key incremental checker sessions fed in real-time order
+	// (OnlineCheck mode — the traces slices stay empty then).
+	traces   []trace.Trace
+	sessions []*lin.Session
+	keys     []string
+	keyIdx   map[string]int
 }
 
 // slotEntry is a decided command with its KV projection, parsed once at
@@ -437,7 +488,9 @@ func (rec *shardRecorder) submit(cmd Command) {
 	rec.subSlot[cmd] = -1
 }
 
-// start records the invocation of a keyed command's register operation.
+// start records the invocation of a keyed command's register operation:
+// appended to the per-key history buffer, or — under OnlineCheck — fed
+// straight into the key's incremental checker session.
 func (rec *shardRecorder) start(c msgnet.ProcID, cmd Command, at msgnet.Time) {
 	key, in, ok := RegisterInput(cmd)
 	if !ok {
@@ -445,12 +498,24 @@ func (rec *shardRecorder) start(c msgnet.ProcID, cmd Command, at msgnet.Time) {
 	}
 	i, seen := rec.keyIdx[key]
 	if !seen {
-		i = len(rec.traces)
+		i = len(rec.keys)
 		rec.keyIdx[key] = i
-		rec.traces = append(rec.traces, nil)
 		rec.keys = append(rec.keys, key)
+		if rec.sc.cfg.OnlineCheck {
+			rec.sessions = append(rec.sessions, lin.NewSession(rec.sc.cfg.CheckContext, rec.reg,
+				check.WithBudget(rec.sc.cfg.CheckBudget), check.WithWitness(false)))
+		} else {
+			rec.traces = append(rec.traces, nil)
+		}
 	}
-	rec.traces[i] = append(rec.traces[i], trace.Invoke(trace.ClientID(c), 1, in))
+	a := trace.Invoke(trace.ClientID(c), 1, in)
+	if rec.sc.cfg.OnlineCheck {
+		// Terminal session errors (budget exhaustion) surface through
+		// CheckLinearizable; feeding a dead session is a no-op.
+		_ = rec.sessions[i].Feed(a)
+		return
+	}
+	rec.traces[i] = append(rec.traces[i], a)
 }
 
 // learn runs the online consistency checks for one (client, slot,
@@ -543,5 +608,10 @@ func (rec *shardRecorder) land(r SubmitResult) {
 		return // command has no register projection (e.g. del); no trace
 	}
 	i := rec.keyIdx[rp.key]
-	rec.traces[i] = append(rec.traces[i], trace.Response(trace.ClientID(r.Client), 1, rp.in, rp.out))
+	a := trace.Response(trace.ClientID(r.Client), 1, rp.in, rp.out)
+	if rec.sc.cfg.OnlineCheck {
+		_ = rec.sessions[i].Feed(a)
+		return
+	}
+	rec.traces[i] = append(rec.traces[i], a)
 }

@@ -1,12 +1,12 @@
 package smr
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
 
-	"repro/internal/lin"
 	"repro/internal/msgnet"
 	"repro/internal/workload"
 )
@@ -58,7 +58,7 @@ func TestShardedPropertyLinearizablePerKey(t *testing.T) {
 				if err := sc.CheckConsistency(); err != nil {
 					t.Fatalf("%s: %v", name, err)
 				}
-				sum, err := sc.CheckLinearizable(lin.Options{})
+				sum, err := sc.CheckLinearizable(context.Background())
 				if err != nil {
 					t.Fatalf("%s: %v", name, err)
 				}
@@ -138,7 +138,7 @@ func TestShardedCrashTolerance(t *testing.T) {
 	if err := sc.CheckConsistency(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sc.CheckLinearizable(lin.Options{}); err != nil {
+	if _, err := sc.CheckLinearizable(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -174,7 +174,7 @@ func TestShardedCompaction(t *testing.T) {
 	if err := sc.CheckConsistency(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sc.CheckLinearizable(lin.Options{}); err != nil {
+	if _, err := sc.CheckLinearizable(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Replica slot state is bounded by the compaction window, not the log.
@@ -340,5 +340,83 @@ func TestKeyedCommandCodecs(t *testing.T) {
 				t.Fatalf("RegisterInput(%q) input = %q", tc.cmd, in)
 			}
 		}
+	}
+}
+
+// runShardedCfg is runSharded with full control over the ShardedConfig.
+func runShardedCfg(t *testing.T, seed int64, scfg ShardedConfig, wl workload.KeyedOpts) *ShardedCluster {
+	t.Helper()
+	w := msgnet.New(msgnet.Config{Seed: seed, MinDelay: 1, MaxDelay: 2})
+	clients := ids("c", wl.Clients)
+	sc, err := BuildSharded(w, clients, ids("s", 3), scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := workload.Keyed(rand.New(rand.NewSource(seed)), wl)
+	perClient := make([][]Command, wl.Clients)
+	for _, op := range ops {
+		perClient[op.Client] = append(perClient[op.Client], cmdOf(op))
+	}
+	for i, c := range clients {
+		sc.SubmitManyAt(c, perClient[i], 0)
+	}
+	sc.Run(100_000_000)
+	return sc
+}
+
+// TestOnlineCheckAgreesWithPostHoc runs identical workloads with post-hoc
+// and online (streaming per-key session) checking: the simulated schedule
+// must be identical, verdicts must agree, and the online cluster must not
+// retain raw per-key histories.
+func TestOnlineCheckAgreesWithPostHoc(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		wl := workload.KeyedOpts{Clients: 3, Ops: 300, Keys: 24, ReadFrac: 0.4}
+		cfg := Config{FastPath: true, QuorumTimeout: 8, Retransmit: 6}
+
+		post := runShardedCfg(t, seed, ShardedConfig{Config: cfg, Shards: 2}, wl)
+		online := runShardedCfg(t, seed, ShardedConfig{Config: cfg, Shards: 2, OnlineCheck: true}, wl)
+
+		if p, o := post.Stats(), online.Stats(); p.Landed != o.Landed || p.Switches != o.Switches {
+			t.Fatalf("seed %d: online checking perturbed the simulation: %+v vs %+v", seed, p, o)
+		}
+		if err := online.CheckConsistency(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		psum, err := post.CheckLinearizable(context.Background())
+		if err != nil {
+			t.Fatalf("seed %d post-hoc: %v", seed, err)
+		}
+		osum, err := online.CheckLinearizable(context.Background())
+		if err != nil {
+			t.Fatalf("seed %d online: %v", seed, err)
+		}
+		if !osum.Online || psum.Online {
+			t.Fatalf("seed %d: Online flags wrong: post %v, online %v", seed, psum.Online, osum.Online)
+		}
+		if osum.Traces != psum.Traces || osum.Ops != psum.Ops {
+			t.Fatalf("seed %d: online checked %d histories/%d ops, post-hoc %d/%d",
+				seed, osum.Traces, osum.Ops, psum.Traces, psum.Ops)
+		}
+		for k := 0; k < online.Shards(); k++ {
+			if got := online.KeyTraces(k); len(got) != 0 {
+				t.Fatalf("seed %d: online cluster retained %d raw histories in shard %d", seed, len(got), k)
+			}
+		}
+	}
+}
+
+// TestOnlineCheckBudgetSurfaces: a starvation budget on the streaming
+// sessions must surface as an error from CheckLinearizable, not a wrong
+// verdict.
+func TestOnlineCheckBudgetSurfaces(t *testing.T) {
+	wl := workload.KeyedOpts{Clients: 3, Ops: 200, Keys: 4, ReadFrac: 0.4}
+	sc := runShardedCfg(t, 1, ShardedConfig{
+		Config:      Config{FastPath: true, QuorumTimeout: 8, Retransmit: 6},
+		Shards:      2,
+		OnlineCheck: true,
+		CheckBudget: 1,
+	}, wl)
+	if _, err := sc.CheckLinearizable(context.Background()); err == nil {
+		t.Fatal("expected a budget error from the starved online sessions")
 	}
 }

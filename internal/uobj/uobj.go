@@ -17,10 +17,12 @@
 package uobj
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 
 	"repro/internal/adt"
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/lin"
 	"repro/internal/msgnet"
@@ -127,7 +129,14 @@ func (o *Object) Results() []OpResult { return append([]OpResult{}, o.results...
 func (o *Object) Trace() trace.Trace { return o.rec.Trace() }
 
 // CheckLinearizable verifies the recorded trace against the ADT with the
-// exact checker.
-func (o *Object) CheckLinearizable(opts lin.Options) (lin.Result, error) {
-	return lin.Check(o.f, o.Trace(), opts)
+// exact checker (checker API v2: context-aware, functional options).
+func (o *Object) CheckLinearizable(ctx context.Context, opts ...check.Option) (lin.Result, error) {
+	return lin.Check(ctx, o.f, o.Trace(), opts...)
+}
+
+// NewCheckSession opens an incremental checker session over the object's
+// ADT; callers can stream the recorded trace through it as operations
+// land instead of re-checking post hoc.
+func (o *Object) NewCheckSession(ctx context.Context, opts ...check.Option) *lin.Session {
+	return lin.NewSession(ctx, o.f, opts...)
 }

@@ -1,6 +1,7 @@
 package uobj
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -32,7 +33,7 @@ func buildObj(t *testing.T, f adt.Folder, seed int64, jitter msgnet.Time, client
 
 func mustLinearizable(t *testing.T, o *Object, seed int64) {
 	t.Helper()
-	res, err := o.CheckLinearizable(lin.Options{})
+	res, err := o.CheckLinearizable(context.Background())
 	if err != nil {
 		t.Fatalf("seed %d: %v", seed, err)
 	}

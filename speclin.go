@@ -4,21 +4,57 @@
 // The package re-exports the building blocks a user composes:
 //
 //   - the trace model (Trace, Action, History) and abstract data types;
-//   - the linearizability checkers (the paper's new definition and the
-//     classical one) and the speculative linearizability checker
-//     SLin(m,n) with its r_init interpretation relations;
+//   - the unified checking surface (checker API v2): one context-aware
+//     Check(ctx, CheckSpec, trace, ...Option) deciding the paper's new
+//     definition of linearizability, the classical one, or SLin(m,n),
+//     plus incremental Sessions fed one action at a time;
 //   - the phase-composition runtime (Phase, Composer) with the shared
 //     memory phases of Figures 2 and 3 ready to plug in;
 //   - the message-passing stack: simulated network, the Quorum fast path,
 //     the Paxos backup, composed consensus objects and SMR clusters.
 //
+// # Checking a trace
+//
+// Name the ADT and property in a CheckSpec and call Check:
+//
+//	rep, err := speclin.Check(ctx,
+//		speclin.CheckSpec{Folder: speclin.ConsensusADT}, tr,
+//		speclin.WithBudget(1_000_000))
+//	if err != nil { ... }                       // budget/cancellation: verdict Unknown
+//	ok := rep.Verdict == speclin.Linearizable
+//
+// For SLin(m,n) set Mode, RInit and the phase range:
+//
+//	rep, err = speclin.Check(ctx, speclin.CheckSpec{
+//		Folder: speclin.ConsensusADT, Mode: speclin.SLin,
+//		RInit: speclin.ConsensusRInit, M: 2, N: 3,
+//	}, tr.ProjectSig(2, 3))
+//
+// A Session checks a growing trace incrementally — feed actions as the
+// system produces them instead of buffering a post-hoc history:
+//
+//	sess, _ := speclin.NewSession(ctx, speclin.CheckSpec{Folder: speclin.RegisterADT})
+//	for _, a := range actions { _ = sess.Feed(a) }
+//	rep, _ := sess.Report()
+//
+// WithWorkers(n) for n > 1 parallelizes inside one check; WithMemoLimit
+// bounds checker memory. The v1 entry points (CheckLinearizable,
+// CheckClassicallyLinearizable, CheckSpeculativelyLinearizable) remain as
+// deprecated shims over this surface.
+//
 // See the examples/ directory for runnable end-to-end programs and
-// DESIGN.md for the map from the paper's sections to packages.
+// DESIGN.md for the map from the paper's sections to packages (decision
+// 11 records the API-v2 rationale and deprecation policy).
 package speclin
 
 import (
+	"context"
+	"fmt"
+	"time"
+
 	"repro/internal/adt"
 	"repro/internal/cascons"
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/lin"
 	"repro/internal/mpcons"
@@ -88,51 +124,154 @@ var (
 	TagInput = adt.Tag
 )
 
-// Linearizability checking (§4, Appendix A).
+// Checking (checker API v2; §4, §5, Appendix A — DESIGN.md, decision 11).
+//
+// One context-aware entry point, Check, decides all three properties; a
+// CheckSpec names the ADT and the property (Mode), functional options
+// tune the search, and every call returns one Report. NewSession opens an
+// incremental check that is fed actions one at a time.
+
+// Mode selects the property a Check decides.
+type Mode int
+
+const (
+	// Lin is the paper's new definition of linearizability
+	// (Definitions 5–15).
+	Lin Mode = iota
+	// ClassicalLin is the classical Herlihy–Wing definition as
+	// formalized in Appendix A; by Theorem 1 it agrees with Lin on
+	// unique-input traces.
+	ClassicalLin
+	// SLin is speculative linearizability SLin(m,n) (Definition 36);
+	// the CheckSpec must carry RInit and the phase range M, N.
+	SLin
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case Lin:
+		return "lin"
+	case ClassicalLin:
+		return "classical"
+	case SLin:
+		return "slin"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// CheckSpec names what a Check decides: the ADT, the property mode, and —
+// for SLin — the interpretation relation and phase range.
+type CheckSpec struct {
+	// Folder is the ADT the trace is checked against.
+	Folder Folder
+	// Mode selects the property (Lin by default).
+	Mode Mode
+	// RInit is the r_init interpretation relation (SLin only).
+	RInit RInit
+	// M, N delimit the speculation phase range (SLin only; 1 ≤ M < N).
+	M, N int
+}
+
+// Functional options shared by Check, NewSession and the batch checkers.
+type Option = check.Option
+
+var (
+	// WithBudget bounds the search to n nodes; exhausting it yields
+	// verdict Unknown with ErrBudget/ErrSLinBudget.
+	WithBudget = check.WithBudget
+	// WithWorkers sets intra-check parallelism: n > 1 runs the breadth
+	// (frontier) engine — the engine Sessions use — with n workers
+	// inside one check, so a single pathological trace uses all cores.
+	// 0 or 1 keeps the sequential depth-first engine.
+	WithWorkers = check.WithWorkers
+	// WithWitness toggles witness assembly on positive verdicts
+	// (default on; the SLin breadth engine never assembles witnesses).
+	WithWitness = check.WithWitness
+	// WithMemoLimit bounds the checker's memo structures, in entries.
+	WithMemoLimit = check.WithMemoLimit
+	// WithTemporalAbortOrder selects the temporal Abort-Order reading
+	// of the SLin checker (see the slin package documentation).
+	WithTemporalAbortOrder = check.WithTemporalAbortOrder
+)
+
+// Verdict is the three-valued outcome of a check.
+type Verdict = check.Verdict
+
+// Verdict values.
+const (
+	// Linearizable: the property holds.
+	Linearizable = check.Linearizable
+	// NotLinearizable: the property was refuted.
+	NotLinearizable = check.NotLinearizable
+	// Unknown: the check did not complete (budget, memo limit,
+	// cancellation); reported only alongside an error.
+	Unknown = check.Unknown
+)
+
+// Report is the unified result of a Check or Session.
+type Report struct {
+	// Verdict is the three-valued outcome.
+	Verdict Verdict
+	// Reason documents a NotLinearizable verdict.
+	Reason string
+	// Witness holds a linearization function on positive Lin verdicts
+	// (commit histories by response index).
+	Witness LinWitness
+	// Sequential holds the reordering witness on positive ClassicalLin
+	// verdicts.
+	Sequential Linearization
+	// SLinWitnesses holds one witness per init-interpretation
+	// combination on positive SLin verdicts (depth-first engine only).
+	SLinWitnesses []SLinWitness
+	// FailedInit holds the failing init interpretation on negative SLin
+	// verdicts, when the failure is interpretation-specific.
+	FailedInit map[int]History
+	// Nodes is the number of search nodes spent (comparable across
+	// modes and engines).
+	Nodes int
+	// Wall is the wall-clock duration of the check.
+	Wall time.Duration
+}
+
+// Witness and result types of the underlying checkers.
 type (
-	// LinOptions configures the linearizability checkers.
-	LinOptions = lin.Options
-	// LinResult is a checker verdict with optional witness.
+	// LinWitness is a linearization function restricted to commit
+	// indices.
+	LinWitness = lin.Witness
+	// Linearization is the classical sequential-reordering witness.
+	Linearization = lin.Linearization
+	// SLinWitness is one SLin witness (init interpretation, commit
+	// histories, abort histories).
+	SLinWitness = slin.Witness
+	// LinResult is the lin checkers' native result form.
 	LinResult = lin.Result
+	// SLinResult is the SLin checker's native result form.
+	SLinResult = slin.Result
 )
 
 // Checker error sentinels (match with errors.Is).
 var (
 	// ErrBudget reports that a lin check exceeded its search budget:
-	// the verdict is unknown, and a larger LinOptions.Budget may decide
-	// it.
+	// the verdict is Unknown, and a larger WithBudget may decide it.
 	ErrBudget = lin.ErrBudget
-	// ErrTooManyOps reports that CheckClassicallyLinearizable was given
-	// a trace beyond its 63-operation representation cap; no budget
-	// helps — use CheckLinearizable, which has no cap.
+	// ErrMemo reports that a breadth-engine frontier exceeded
+	// WithMemoLimit.
+	ErrMemo = lin.ErrMemo
+	// ErrTooManyOps reports that a ClassicalLin check was given a trace
+	// beyond its 63-operation representation cap; no budget helps — use
+	// Lin, which has no cap.
 	ErrTooManyOps = lin.ErrTooManyOps
 	// ErrSLinBudget is ErrBudget's counterpart for the SLin checker.
 	ErrSLinBudget = slin.ErrBudget
-)
-
-// CheckLinearizable decides the paper's new definition of
-// linearizability (Definitions 5–15).
-func CheckLinearizable(f Folder, t Trace, opts LinOptions) (LinResult, error) {
-	return lin.Check(f, t, opts)
-}
-
-// CheckClassicallyLinearizable decides the classical definition
-// (Appendix A); by Theorem 1 the two agree on unique-input traces.
-func CheckClassicallyLinearizable(f Folder, t Trace, opts LinOptions) (LinResult, error) {
-	return lin.CheckClassical(f, t, opts)
-}
-
-// Speculative linearizability checking (§5).
-type (
-	// RInit is the r_init interpretation relation of §5.2.
-	RInit = slin.RInit
-	// SLinOptions configures the SLin checker.
-	SLinOptions = slin.Options
-	// SLinResult is the SLin checker verdict.
-	SLinResult = slin.Result
+	// ErrSLinMemo is ErrMemo's counterpart for the SLin checker.
+	ErrSLinMemo = slin.ErrMemo
 )
 
 // Interpretation relations for the built-in case studies.
+type RInit = slin.RInit
+
 var (
 	// ConsensusRInit interprets switch value v as histories starting
 	// with p(v) (§2.4).
@@ -141,9 +280,156 @@ var (
 	UniversalRInit = slin.UniversalRInit{}
 )
 
+// Check decides spec's property for trace t. It is context-aware —
+// cancellation or a context deadline aborts the search with the context's
+// error and verdict Unknown — and configured by functional options. On
+// budget or memo exhaustion the Report carries verdict Unknown alongside
+// the sentinel error.
+func Check(ctx context.Context, spec CheckSpec, t Trace, opts ...Option) (Report, error) {
+	start := time.Now()
+	var rep Report
+	var err error
+	switch spec.Mode {
+	case Lin:
+		var r lin.Result
+		r, err = lin.Check(ctx, spec.Folder, t, opts...)
+		rep = Report{Verdict: linVerdict(r, err), Reason: r.Reason, Witness: r.Witness, Nodes: r.Nodes}
+	case ClassicalLin:
+		var r lin.Result
+		r, err = lin.CheckClassical(ctx, spec.Folder, t, opts...)
+		rep = Report{Verdict: linVerdict(r, err), Reason: r.Reason, Sequential: r.Sequential, Nodes: r.Nodes}
+	case SLin:
+		var r slin.Result
+		r, err = slin.Check(ctx, spec.Folder, spec.RInit, spec.M, spec.N, t, opts...)
+		rep = Report{Verdict: linVerdict(lin.Result{OK: r.OK}, err), Reason: r.Reason,
+			SLinWitnesses: r.Witnesses, FailedInit: r.FailedInit, Nodes: r.Nodes}
+	default:
+		return Report{}, fmt.Errorf("speclin: unknown check mode %v", spec.Mode)
+	}
+	rep.Wall = time.Since(start)
+	return rep, err
+}
+
+// linVerdict maps a native result/error pair to the three-valued verdict.
+func linVerdict(r lin.Result, err error) Verdict {
+	switch {
+	case err != nil:
+		return Unknown
+	case r.OK:
+		return Linearizable
+	default:
+		return NotLinearizable
+	}
+}
+
+// Session is an incremental check: actions are fed one at a time and the
+// growing trace is re-checked from persistent search state instead of
+// from scratch (lin.Session / slin.Session document the engine). Sessions
+// exist for Lin and SLin; ClassicalLin has no per-action search structure
+// (use Lin — Theorem 1 gives agreement on unique-input traces).
+type Session struct {
+	mode  Mode
+	start time.Time
+	lin   *lin.Session
+	slin  *slin.Session
+}
+
+// NewSession opens an incremental check of an initially empty trace.
+func NewSession(ctx context.Context, spec CheckSpec, opts ...Option) (*Session, error) {
+	s := &Session{mode: spec.Mode, start: time.Now()}
+	switch spec.Mode {
+	case Lin:
+		s.lin = lin.NewSession(ctx, spec.Folder, opts...)
+	case SLin:
+		sl, err := slin.NewSession(ctx, spec.Folder, spec.RInit, spec.M, spec.N, opts...)
+		if err != nil {
+			return nil, err
+		}
+		s.slin = sl
+	case ClassicalLin:
+		return nil, fmt.Errorf("speclin: ClassicalLin has no incremental session; use Lin (Theorem 1)")
+	default:
+		return nil, fmt.Errorf("speclin: unknown check mode %v", spec.Mode)
+	}
+	return s, nil
+}
+
+// Feed appends one action to the trace under check. Errors (budget/memo
+// exhaustion, cancellation, out-of-signature actions) are terminal;
+// ill-formed traces yield a NotLinearizable verdict instead.
+func (s *Session) Feed(a Action) error {
+	if s.mode == Lin {
+		return s.lin.Feed(a)
+	}
+	return s.slin.Feed(a)
+}
+
+// Report returns the verdict for the trace fed so far.
+func (s *Session) Report() (Report, error) {
+	var rep Report
+	var err error
+	if s.mode == Lin {
+		var r lin.Result
+		r, err = s.lin.Result()
+		rep = Report{Verdict: linVerdict(r, err), Reason: r.Reason, Witness: r.Witness, Nodes: r.Nodes}
+	} else {
+		var r slin.Result
+		r, err = s.slin.Result()
+		rep = Report{Verdict: linVerdict(lin.Result{OK: r.OK}, err), Reason: r.Reason,
+			FailedInit: r.FailedInit, Nodes: r.Nodes}
+	}
+	rep.Wall = time.Since(s.start)
+	return rep, err
+}
+
+// Deprecated v1 surface. The three disjoint entry points below and their
+// Options structs are retained as thin shims over Check; new code should
+// use Check/NewSession with a CheckSpec and functional options. The shims
+// run with the same defaults as v1 (sequential engine, witnesses on).
+
+// LinOptions configures the v1 linearizability shims.
+//
+// Deprecated: use Check with WithBudget/WithWorkers.
+type LinOptions struct {
+	// Budget bounds the search; 0 means the checker default.
+	Budget int
+	// Workers sizes the batch worker pool of the v1 batch entry points;
+	// the single-trace shims ignore it.
+	Workers int
+}
+
+// SLinOptions configures the v1 SLin shim.
+//
+// Deprecated: use Check with WithBudget/WithWorkers and
+// WithTemporalAbortOrder.
+type SLinOptions struct {
+	Budget             int
+	Workers            int
+	TemporalAbortOrder bool
+}
+
+// CheckLinearizable decides the paper's new definition of
+// linearizability (Definitions 5–15).
+//
+// Deprecated: use Check(ctx, CheckSpec{Folder: f, Mode: Lin}, t, ...).
+func CheckLinearizable(f Folder, t Trace, opts LinOptions) (LinResult, error) {
+	return lin.Check(context.Background(), f, t, WithBudget(opts.Budget))
+}
+
+// CheckClassicallyLinearizable decides the classical definition
+// (Appendix A); by Theorem 1 the two agree on unique-input traces.
+//
+// Deprecated: use Check(ctx, CheckSpec{Folder: f, Mode: ClassicalLin}, t, ...).
+func CheckClassicallyLinearizable(f Folder, t Trace, opts LinOptions) (LinResult, error) {
+	return lin.CheckClassical(context.Background(), f, t, WithBudget(opts.Budget))
+}
+
 // CheckSpeculativelyLinearizable decides SLin(m,n) (Definition 36).
+//
+// Deprecated: use Check(ctx, CheckSpec{Folder: f, Mode: SLin, RInit: r, M: m, N: n}, t, ...).
 func CheckSpeculativelyLinearizable(f Folder, r RInit, m, n int, t Trace, opts SLinOptions) (SLinResult, error) {
-	return slin.Check(f, r, m, n, t, opts)
+	return slin.Check(context.Background(), f, r, m, n, t,
+		WithBudget(opts.Budget), WithTemporalAbortOrder(opts.TemporalAbortOrder))
 }
 
 // Phase composition runtime (§2.3, §5.1).
