@@ -29,22 +29,10 @@ import (
 	"repro/internal/workload"
 )
 
-// hardLinTrace is a wide concurrent split-decision trace: never
+// hardLinTrace is the wide concurrent split-decision workload: never
 // linearizable, so both checkers exhaust the identical memoized search
 // DAG (node counts match exactly).
-func hardLinTrace(n int) trace.Trace {
-	var tr trace.Trace
-	for i := 0; i < n; i++ {
-		c := trace.ClientID(fmt.Sprintf("h%d", i))
-		tr = append(tr, trace.Invoke(c, 1, adt.Tag(adt.ProposeInput(fmt.Sprintf("v%d", i)), string(c))))
-	}
-	for i := 0; i < n; i++ {
-		c := trace.ClientID(fmt.Sprintf("h%d", i))
-		in := adt.Tag(adt.ProposeInput(fmt.Sprintf("v%d", i)), string(c))
-		tr = append(tr, trace.Response(c, 1, in, adt.DecideOutput(fmt.Sprintf("v%d", i%2))))
-	}
-	return tr
-}
+func hardLinTrace(n int) trace.Trace { return workload.SplitDecision(n, "h") }
 
 func slinBenchTraces(n int) []trace.Trace {
 	r := rand.New(rand.NewSource(7))
@@ -60,11 +48,15 @@ func slinBenchTraces(n int) []trace.Trace {
 func BenchmarkMemoLinCheckers(b *testing.B) {
 	traces := e8Traces(256)
 	hard := hardLinTrace(6)
+	// POR off throughout: this benchmark isolates memoization cost on
+	// identical search trees (the reference has no reducer); the
+	// reduction itself is measured by E13 / BENCH_3.json.
 	opts := check.WithBudget(50_000_000)
+	noPOR := check.WithPOR(false)
 	b.Run("hashed", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := lin.Check(context.Background(), adt.Consensus{}, traces[i%len(traces)], opts); err != nil {
+			if _, err := lin.Check(context.Background(), adt.Consensus{}, traces[i%len(traces)], opts, noPOR); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -81,7 +73,7 @@ func BenchmarkMemoLinCheckers(b *testing.B) {
 		b.ReportAllocs()
 		var nodes int64
 		for i := 0; i < b.N; i++ {
-			res, err := lin.Check(context.Background(), adt.Consensus{}, hard, opts)
+			res, err := lin.Check(context.Background(), adt.Consensus{}, hard, opts, noPOR)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -108,7 +100,7 @@ func BenchmarkMemoSLinCheckers(b *testing.B) {
 	b.Run("hashed", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := slin.Check(context.Background(), adt.Consensus{}, slin.ConsensusRInit{}, 1, 2, traces[i%len(traces)]); err != nil {
+			if _, err := slin.Check(context.Background(), adt.Consensus{}, slin.ConsensusRInit{}, 1, 2, traces[i%len(traces)], check.WithPOR(false)); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -204,7 +196,11 @@ func TestWriteBench1JSON(t *testing.T) {
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
+	// The reducer off: this artifact isolates the memoization speedup on
+	// IDENTICAL search trees (the reference engines have no reducer).
+	// BENCH_3.json measures the partial-order reduction separately.
 	opts := check.WithBudget(50_000_000)
+	noPOR := check.WithPOR(false)
 
 	rows := []struct {
 		name      string
@@ -215,7 +211,7 @@ func TestWriteBench1JSON(t *testing.T) {
 		{
 			name: "lin-split-decision-6",
 			optimized: func() (int, error) {
-				r, err := lin.Check(context.Background(), adt.Consensus{}, hardLinTrace(6), opts)
+				r, err := lin.Check(context.Background(), adt.Consensus{}, hardLinTrace(6), opts, noPOR)
 				return r.Nodes, err
 			},
 			baseline: func() (int, error) {
@@ -227,7 +223,7 @@ func TestWriteBench1JSON(t *testing.T) {
 		{
 			name: "slin-contended-first-phase",
 			optimized: func() (int, error) {
-				r, err := slin.Check(context.Background(), adt.Consensus{}, slin.ConsensusRInit{}, 1, 2, hardSLinTrace(), check.WithBudget(50_000_000))
+				r, err := slin.Check(context.Background(), adt.Consensus{}, slin.ConsensusRInit{}, 1, 2, hardSLinTrace(), check.WithBudget(50_000_000), noPOR)
 				return r.Nodes, err
 			},
 			baseline: func() (int, error) {
@@ -284,12 +280,12 @@ func TestWriteBench1JSON(t *testing.T) {
 		traces[i] = hardLinTrace(5)
 	}
 	start := time.Now()
-	if _, err := lin.CheckAll(context.Background(), adt.Consensus{}, traces, check.WithWorkers(1), check.WithBudget(50_000_000)); err != nil {
+	if _, err := lin.CheckAll(context.Background(), adt.Consensus{}, traces, check.WithWorkers(1), check.WithBudget(50_000_000), noPOR); err != nil {
 		t.Fatal(err)
 	}
 	seq := time.Since(start)
 	start = time.Now()
-	if _, err := lin.CheckAll(context.Background(), adt.Consensus{}, traces, check.WithBudget(50_000_000)); err != nil {
+	if _, err := lin.CheckAll(context.Background(), adt.Consensus{}, traces, check.WithBudget(50_000_000), noPOR); err != nil {
 		t.Fatal(err)
 	}
 	par := time.Since(start)

@@ -10,6 +10,7 @@
 //	slin-check -adt consensus -check-workers 8 big.json  # parallel inside one check
 //	slin-check -adt register -stream trace.json          # incremental Session
 //	slin-check -timeout 30s trace.json                   # context deadline
+//	slin-check -por=false trace.json                     # unreduced reference engine
 //
 // With more than one trace file the independent checks are sharded across
 // a worker pool (-workers, default GOMAXPROCS) and one verdict line is
@@ -75,6 +76,7 @@ func main() {
 	m := flag.Int("m", 1, "slin: lower phase bound m")
 	n := flag.Int("n", 2, "slin: upper phase bound n")
 	temporal := flag.Bool("temporal", false, "slin: use the temporal Abort-Order variant")
+	por := flag.Bool("por", true, "sleep-set partial-order reduction over extension branches (false = unreduced reference engines)")
 	budget := flag.Int("budget", 0, "search budget (0 = default)")
 	workers := flag.Int("workers", 0, "worker pool size for multi-file batches (0 = GOMAXPROCS)")
 	inWorkers := flag.Int("check-workers", 0, "intra-trace workers: >1 runs the breadth engine inside each check")
@@ -125,7 +127,7 @@ func main() {
 	// Shard the independent checks across the worker pool (checker API
 	// v2: context-aware, functional options); verdicts come back in file
 	// order.
-	opts := []check.Option{check.WithBudget(*budget), check.WithWorkers(*inWorkers)}
+	opts := []check.Option{check.WithBudget(*budget), check.WithWorkers(*inWorkers), check.WithPOR(*por)}
 	verdicts, err := check.Parallel(ctx, traces, *workers, func(i int, t trace.Trace) (verdict, error) {
 		switch *mode {
 		case "lin", "classical":

@@ -1,0 +1,200 @@
+// Package diffcheck is the differential testing harness of the checker
+// engines (DESIGN.md, decision 12): it runs the reduced and unreduced
+// (check.WithPOR) variants of the depth-first and breadth/frontier
+// engines on the SAME trace and fails loudly on any disagreement —
+// verdicts, witness validity, or prefix-verdict agreement of incremental
+// sessions.
+//
+// The harness exists because a soundness bug in a partial-order reducer
+// does not crash: it silently turns the checker into a liar, accepting
+// non-linearizable traces (missed dependent orders are invisible) or
+// rejecting linearizable ones (over-pruning kills the witnessing order).
+// Every property test and fuzz target of the reducer therefore routes
+// through this package, so the unreduced engines serve as executable
+// specifications of the reduced ones on every explored trace shape.
+//
+// All entry points return nil when every engine variant agrees, an
+// *Disagreement when two variants differ, and the underlying checker
+// error (budget exhaustion, cancellation, ...) unchanged when any
+// variant cannot decide — callers with ample budgets treat that as a
+// hard failure, fuzz targets skip it.
+package diffcheck
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/adt"
+	"repro/internal/check"
+	"repro/internal/lin"
+	"repro/internal/slin"
+	"repro/internal/trace"
+)
+
+// Disagreement reports two engine variants deciding the same trace
+// differently (or an engine producing an invalid witness).
+type Disagreement struct {
+	// Trace is the input both engines saw.
+	Trace trace.Trace
+	// Detail describes the disagreement.
+	Detail string
+}
+
+// Error implements error.
+func (d *Disagreement) Error() string {
+	return fmt.Sprintf("diffcheck: %s\ntrace: %v", d.Detail, d.Trace)
+}
+
+func disagree(t trace.Trace, format string, args ...any) error {
+	return &Disagreement{Trace: t, Detail: fmt.Sprintf(format, args...)}
+}
+
+// variant names one engine configuration of the lin matrix.
+type variant struct {
+	name string
+	opts []check.Option
+}
+
+// linMatrix is the engine × reduction matrix every Lin trace runs
+// through: the sequential depth-first search and the breadth (frontier)
+// engine (WithWorkers(2)), each with the reducer on and off.
+func linMatrix(extra ...check.Option) []variant {
+	mk := func(name string, opts ...check.Option) variant {
+		return variant{name: name, opts: append(append([]check.Option{}, extra...), opts...)}
+	}
+	return []variant{
+		mk("depth/por", check.WithPOR(true)),
+		mk("depth/nopor", check.WithPOR(false)),
+		mk("frontier/por", check.WithPOR(true), check.WithWorkers(2)),
+		mk("frontier/nopor", check.WithPOR(false), check.WithWorkers(2)),
+	}
+}
+
+// Lin cross-checks the four lin engine variants (depth vs frontier ×
+// reduced vs unreduced) on t: all verdicts must agree, every positive
+// verdict's witness must satisfy lin.VerifyWitness, the unreduced
+// variants must report zero pruned branches, and the reduced depth
+// engine must not spend more nodes than the unreduced one. extra options
+// (budgets, deadlines) apply to every variant.
+func Lin(ctx context.Context, f adt.Folder, t trace.Trace, extra ...check.Option) error {
+	type outcome struct {
+		name string
+		res  lin.Result
+	}
+	var got []outcome
+	for _, v := range linMatrix(extra...) {
+		res, err := lin.Check(ctx, f, t, v.opts...)
+		if err != nil {
+			return fmt.Errorf("diffcheck %s: %w", v.name, err)
+		}
+		if res.OK && len(res.Witness) > 0 {
+			if werr := lin.VerifyWitness(f, t, res.Witness); werr != nil {
+				return disagree(t, "%s produced an invalid witness: %v", v.name, werr)
+			}
+		}
+		got = append(got, outcome{v.name, res})
+	}
+	base := got[0]
+	for _, o := range got[1:] {
+		if o.res.OK != base.res.OK {
+			return disagree(t, "verdict disagreement: %s=%v, %s=%v",
+				base.name, base.res.OK, o.name, o.res.OK)
+		}
+	}
+	for _, o := range got {
+		switch o.name {
+		case "depth/nopor", "frontier/nopor":
+			if o.res.Pruned != 0 {
+				return disagree(t, "%s pruned %d branches with the reducer off", o.name, o.res.Pruned)
+			}
+		}
+	}
+	if dp, dn := got[0].res, got[1].res; dp.Nodes > dn.Nodes {
+		return disagree(t, "reduced depth engine spent MORE nodes than unreduced: %d > %d", dp.Nodes, dn.Nodes)
+	}
+	return nil
+}
+
+// LinPrefixes cross-checks the incremental session against one-shot
+// Check on EVERY prefix of t, for the reducer on and off: the session's
+// running verdict after k actions must equal Check's verdict of t[:k]
+// (both reduced — sessions default to the reducer — and unreduced).
+func LinPrefixes(ctx context.Context, f adt.Folder, t trace.Trace, extra ...check.Option) error {
+	for _, por := range []bool{true, false} {
+		opts := append(append([]check.Option{}, extra...), check.WithPOR(por))
+		sess := lin.NewSession(ctx, f, opts...)
+		for k, a := range t {
+			if err := sess.Feed(a); err != nil {
+				return fmt.Errorf("diffcheck session(por=%v) feed %d: %w", por, k, err)
+			}
+			got, err := sess.Result()
+			if err != nil {
+				return fmt.Errorf("diffcheck session(por=%v) prefix %d: %w", por, k+1, err)
+			}
+			want, err := lin.Check(ctx, f, t[:k+1], opts...)
+			if err != nil {
+				return fmt.Errorf("diffcheck one-shot(por=%v) prefix %d: %w", por, k+1, err)
+			}
+			if got.OK != want.OK {
+				return disagree(t[:k+1], "session(por=%v) prefix %d: session=%v, one-shot=%v",
+					por, k+1, got.OK, want.OK)
+			}
+			if got.OK && len(got.Witness) > 0 {
+				if werr := lin.VerifyWitness(f, t[:k+1], got.Witness); werr != nil {
+					return disagree(t[:k+1], "session(por=%v) prefix %d witness invalid: %v", por, k+1, werr)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// SLin cross-checks the SLin engine variants on t: the depth-first
+// search and the breadth (session-backed, WithWorkers(2)) engine, each
+// with the reducer on and off. All verdicts must agree, every witness of
+// the positive depth-first runs must satisfy slin.VerifyWitness, and on
+// traces containing abort actions the DEPTH reducer must have pruned
+// nothing (it sees the whole trace and disables itself up front; the
+// session engine may prune before the first abort arrives and then
+// discards the pruned frontiers by an unreduced replay, so its
+// cumulative counter stays non-zero by design — the verdict agreement
+// assertions cover that path).
+func SLin(ctx context.Context, f adt.Folder, rinit slin.RInit, m, n int, t trace.Trace, temporal bool, extra ...check.Option) error {
+	hasAbort := false
+	for _, a := range t {
+		if a.IsAbort(n) {
+			hasAbort = true
+			break
+		}
+	}
+	type outcome struct {
+		name string
+		res  slin.Result
+	}
+	var got []outcome
+	for _, v := range linMatrix(append(extra, check.WithTemporalAbortOrder(temporal))...) {
+		res, err := slin.Check(ctx, f, rinit, m, n, t, v.opts...)
+		if err != nil {
+			return fmt.Errorf("diffcheck %s: %w", v.name, err)
+		}
+		if res.OK {
+			for _, w := range res.Witnesses {
+				if werr := slin.VerifyWitness(f, rinit, m, n, t, w, temporal); werr != nil {
+					return disagree(t, "%s produced an invalid witness: %v", v.name, werr)
+				}
+			}
+		}
+		if hasAbort && v.name == "depth/por" && res.Pruned != 0 {
+			return disagree(t, "%s pruned %d branches on an abort-carrying trace", v.name, res.Pruned)
+		}
+		got = append(got, outcome{v.name, res})
+	}
+	base := got[0]
+	for _, o := range got[1:] {
+		if o.res.OK != base.res.OK {
+			return disagree(t, "verdict disagreement (m=%d n=%d temporal=%v): %s=%v, %s=%v",
+				m, n, temporal, base.name, base.res.OK, o.name, o.res.OK)
+		}
+	}
+	return nil
+}

@@ -68,16 +68,25 @@ type Settings struct {
 	// checker's Abort-Order (slin package documentation); ignored by the
 	// lin checkers.
 	TemporalAbortOrder bool
+	// POR enables the sleep-set partial-order reduction over the chain
+	// extension branch sets of the lin and SLin engines (DESIGN.md,
+	// decision 12): commuting extension inputs are explored in only one
+	// order. NewSettings defaults it to true; WithPOR(false) retains the
+	// unreduced reference searches. The reduction is verdict- and
+	// witness-preserving; it changes only Nodes (fewer) and Pruned
+	// (skipped branches). The classical checker has no extension branch
+	// structure and ignores it.
+	POR bool
 }
 
 // Option mutates one Settings field; checker entry points accept a
 // variadic ...Option.
 type Option func(*Settings)
 
-// NewSettings resolves opts over the defaults (Witness on, everything
-// else zero).
+// NewSettings resolves opts over the defaults (Witness and POR on,
+// everything else zero).
 func NewSettings(opts ...Option) Settings {
-	s := Settings{Witness: true}
+	s := Settings{Witness: true, POR: true}
 	for _, o := range opts {
 		if o != nil {
 			o(&s)
@@ -115,3 +124,9 @@ func WithMemoLimit(n int) Option { return func(s *Settings) { s.MemoLimit = n } 
 func WithTemporalAbortOrder(on bool) Option {
 	return func(s *Settings) { s.TemporalAbortOrder = on }
 }
+
+// WithPOR toggles the sleep-set partial-order reduction (see
+// Settings.POR; default on). WithPOR(false) runs the unreduced reference
+// search — the differential tests cross-check the two on every trace
+// shape.
+func WithPOR(on bool) Option { return func(s *Settings) { s.POR = on } }

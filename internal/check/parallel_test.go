@@ -3,6 +3,8 @@ package check
 import (
 	"context"
 	"errors"
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -113,5 +115,49 @@ func TestShardedSet(t *testing.T) {
 	}
 	if s.Len() != 1000 {
 		t.Fatalf("Len = %d, want 1000", s.Len())
+	}
+}
+
+// TestShardedSetClaimStress exercises the claim accounting with far more
+// workers than GOMAXPROCS — the oversubscribed regime no other test
+// reached (ISSUE 4 satellite). Every key is contended by every worker;
+// exactly one claim per key may win, and Len must equal the distinct key
+// count once the workers join. Run under -race in CI, this also pins the
+// absence of data races in TryInsert's lock-then-count protocol.
+func TestShardedSetClaimStress(t *testing.T) {
+	const keys = 5000
+	workers := 4*runtime.GOMAXPROCS(0) + 7
+	s := NewShardedSet(func(k uint64) uint64 { return k * 0x9e3779b97f4a7c15 })
+	var wins atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			// Each worker walks the key space at its own offset so lock
+			// stripes are hit in different orders.
+			for i := 0; i < keys; i++ {
+				k := uint64((i + w*37) % keys)
+				if s.TryInsert(k) {
+					wins.Add(1)
+				}
+			}
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+	if wins.Load() != keys {
+		t.Fatalf("%d claims won for %d distinct keys (duplicate or lost claims)", wins.Load(), keys)
+	}
+	if s.Len() != keys {
+		t.Fatalf("Len = %d after join, want %d", s.Len(), keys)
+	}
+	// Post-join, every key is a duplicate.
+	for i := uint64(0); i < 100; i++ {
+		if s.TryInsert(i) {
+			t.Fatalf("key %d claimed twice", i)
+		}
 	}
 }

@@ -1,0 +1,93 @@
+package check
+
+import (
+	"math/bits"
+
+	"repro/internal/adt"
+	"repro/internal/trace"
+)
+
+// This file implements the partial-order reduction (POR) vocabulary of
+// the lin/slin search engines (DESIGN.md, decision 12): a state-dependent
+// independence relation between candidate chain-extension inputs, and the
+// sleep sets that prune commuting extension orders so each commuting pair
+// is explored in only one order.
+//
+// Two extension inputs are independent at a chain state when appending
+// them in either order reaches the same state AND leaves each input's
+// output unchanged — "non-conflicting commit-chain effects". The output
+// conditions matter beyond plain state commutation: a chain prefix is
+// claimable by a response exactly when its end element carries the
+// response's (input, output) pair, so swapping two appended elements must
+// preserve the (symbol, output) labelling of every prefix end for the
+// claim bijection of decision 12 to exist. Under that relation, swapping
+// two adjacent independent elements yields a chain with the same end
+// state, the same element multiset and a claimable-prefix set that is a
+// bijection preserving end symbols and outputs — which is exactly why
+// witnesses survive the reduction.
+
+// Independent reports whether inputs a and b commute at chain state st
+// under folder f: appending them in either order reaches the same state,
+// and neither changes the other's output. It is irreflexive by
+// convention (a branch set never contains the same symbol twice, so
+// reflexivity is never consulted); callers pass distinct inputs.
+func Independent(f adt.Folder, st adt.State, a, b trace.Value) bool {
+	sa := f.Step(st, a)
+	sb := f.Step(st, b)
+	if f.Step(sa, b) != f.Step(sb, a) {
+		return false
+	}
+	return f.Out(st, a) == f.Out(sb, a) && f.Out(st, b) == f.Out(sa, b)
+}
+
+// SleepSet is a sleep set over interned symbols, represented as a 64-bit
+// bitset. Symbol spaces of single traces are small (one symbol per
+// distinct input), so 64 bits almost always cover them; symbols ≥ 64
+// simply never sleep, which loses pruning but never soundness (the
+// reduction only ever skips branches, and skipping fewer is always
+// sound). The zero value is the empty sleep set.
+type SleepSet uint64
+
+// sleepSetBits is the symbol capacity of a SleepSet.
+const sleepSetBits = 64
+
+// Has reports whether sym is asleep.
+func (s SleepSet) Has(sym trace.Sym) bool {
+	return sym < sleepSetBits && s&(1<<sym) != 0
+}
+
+// Add returns the set with sym asleep (no-op for symbols ≥ 64).
+func (s SleepSet) Add(sym trace.Sym) SleepSet {
+	if sym >= sleepSetBits {
+		return s
+	}
+	return s | 1<<sym
+}
+
+// FilterIndependent keeps the sleeping symbols that are independent with
+// the branch input `in` at chain state st — the sleep set a child node
+// inherits after its parent appends `in` (Godefroid's conditional sleep
+// set propagation). Dependent symbols wake up: extension orders putting
+// them after `in` are genuinely different and must be explored.
+//
+// It inlines Independent with the branch-constant folder calls
+// (Step/Out of `in` at st) hoisted out of the loop — this runs at every
+// non-pruned branch of the search hot paths.
+func (s SleepSet) FilterIndependent(f adt.Folder, it *trace.Interner, st adt.State, in trace.Value) SleepSet {
+	if s == 0 {
+		return 0
+	}
+	sIn := f.Step(st, in)
+	outIn := f.Out(st, in)
+	var out SleepSet
+	for rest := s; rest != 0; rest &= rest - 1 {
+		sym := trace.Sym(bits.TrailingZeros64(uint64(rest)))
+		a := it.Value(sym)
+		sa := f.Step(st, a)
+		if f.Step(sa, in) == f.Step(sIn, a) &&
+			f.Out(st, a) == f.Out(sIn, a) && outIn == f.Out(sa, in) {
+			out |= 1 << sym
+		}
+	}
+	return out
+}

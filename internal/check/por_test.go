@@ -1,0 +1,106 @@
+package check
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/trace"
+)
+
+// TestSleepSetOps pins the bitset semantics, including the ≥64-symbol
+// overflow rule (never sleeps — loses pruning, not soundness).
+func TestSleepSetOps(t *testing.T) {
+	var s SleepSet
+	if s.Has(0) || s.Has(63) {
+		t.Fatal("empty set has members")
+	}
+	s = s.Add(0).Add(5).Add(63)
+	for _, sym := range []trace.Sym{0, 5, 63} {
+		if !s.Has(sym) {
+			t.Fatalf("symbol %d not asleep after Add", sym)
+		}
+	}
+	if s.Has(1) {
+		t.Fatal("unrelated symbol asleep")
+	}
+	if s.Add(64) != s || s.Add(200) != s {
+		t.Fatal("symbols ≥ 64 must be Add no-ops")
+	}
+	if s.Has(64) || s.Has(200) {
+		t.Fatal("symbols ≥ 64 must never sleep")
+	}
+}
+
+// TestFilterIndependentMatchesIndependent is the anti-divergence pin:
+// FilterIndependent inlines Independent with branch-constant folder
+// calls hoisted, and this property test asserts the two stay the same
+// relation — for every sleeping symbol s,
+// FilterIndependent(...).Has(s) == Independent(f, st, value(s), in) —
+// across random states and inputs of the four ADTs.
+func TestFilterIndependentMatchesIndependent(t *testing.T) {
+	cases := []struct {
+		f      adt.Folder
+		inputs []trace.Value
+	}{
+		{adt.Consensus{}, []trace.Value{adt.ProposeInput("a"), adt.ProposeInput("b"), adt.ProposeInput("c")}},
+		{adt.Register{}, []trace.Value{adt.WriteInput("x"), adt.WriteInput("y"), adt.ReadInput()}},
+		{adt.Counter{}, []trace.Value{adt.IncInput(), adt.GetInput()}},
+		{adt.Queue{}, []trace.Value{adt.EnqInput("x"), adt.EnqInput("y"), adt.DeqInput()}},
+	}
+	r := rand.New(rand.NewSource(64))
+	for _, tc := range cases {
+		in := trace.NewInterner()
+		for _, v := range tc.inputs {
+			in.Sym(v)
+		}
+		for iter := 0; iter < 200; iter++ {
+			// A random reachable state: fold a short random history.
+			st := tc.f.Empty()
+			for k, n := 0, r.Intn(4); k < n; k++ {
+				st = tc.f.Step(st, tc.inputs[r.Intn(len(tc.inputs))])
+			}
+			branch := tc.inputs[r.Intn(len(tc.inputs))]
+			var sleep SleepSet
+			for sym := trace.Sym(0); int(sym) < in.Len(); sym++ {
+				if r.Intn(2) == 0 && in.Value(sym) != branch {
+					sleep = sleep.Add(sym)
+				}
+			}
+			got := sleep.FilterIndependent(tc.f, in, st, branch)
+			for sym := trace.Sym(0); int(sym) < in.Len(); sym++ {
+				want := sleep.Has(sym) && Independent(tc.f, st, in.Value(sym), branch)
+				if got.Has(sym) != want {
+					t.Fatalf("%s: FilterIndependent diverges from Independent at state %q, sleep %q vs branch %q: got %v want %v",
+						tc.f.Name(), st, in.Value(sym), branch, got.Has(sym), want)
+				}
+			}
+		}
+	}
+}
+
+// TestIndependentSpotChecks pins the relation on known pairs: commuting
+// (reads, post-decision proposals) and conflicting (writes, increments,
+// pre-decision proposals).
+func TestIndependentSpotChecks(t *testing.T) {
+	reg, cons, ctr := adt.Register{}, adt.Consensus{}, adt.Counter{}
+	if !Independent(reg, reg.Empty(), adt.ReadInput(), adt.Tag(adt.ReadInput(), "2")) {
+		t.Fatal("two reads must commute")
+	}
+	if Independent(reg, reg.Empty(), adt.WriteInput("x"), adt.WriteInput("y")) {
+		t.Fatal("writes of different values must conflict")
+	}
+	if Independent(reg, reg.Empty(), adt.WriteInput("x"), adt.ReadInput()) {
+		t.Fatal("a write and a read of ⊥ must conflict")
+	}
+	if Independent(cons, cons.Empty(), adt.ProposeInput("a"), adt.ProposeInput("b")) {
+		t.Fatal("proposals at the undecided state must conflict")
+	}
+	decided := cons.Step(cons.Empty(), adt.ProposeInput("a"))
+	if !Independent(cons, decided, adt.ProposeInput("b"), adt.ProposeInput("c")) {
+		t.Fatal("proposals after a decision must commute")
+	}
+	if Independent(ctr, ctr.Empty(), adt.IncInput(), adt.Tag(adt.IncInput(), "2")) {
+		t.Fatal("two fetch-and-increments must conflict (outputs order-sensitive)")
+	}
+}

@@ -1,5 +1,5 @@
 // Package experiments regenerates every experiment table of
-// EXPERIMENTS.md (the E1–E12 index of DESIGN.md). Each experiment is a
+// EXPERIMENTS.md (the E1–E13 index of DESIGN.md). Each experiment is a
 // function returning a Table; cmd/experiments prints them and the root
 // benchmarks wrap the same primitives in testing.B loops.
 //
@@ -64,6 +64,7 @@ func All() []Experiment {
 		{"E10", E10PhaseChain},
 		{"E11", E11UniversalConstruction},
 		{"E12", E12ShardSweep},
+		{"E13", E13PORReduction},
 	}
 }
 

@@ -83,6 +83,12 @@ type Result struct {
 	// Nodes is the number of search nodes the check spent (always at most
 	// the budget; comparable across Check, CheckClassical and slin.Check).
 	Nodes int
+	// Pruned is the number of extension branches the sleep-set
+	// partial-order reduction skipped (check.WithPOR, on by default;
+	// DESIGN.md decision 12). Always 0 with the reduction off, so
+	// Nodes+Pruned accounting makes the reduction benchmarkable: every
+	// pruned branch is a subtree the unreduced search would have entered.
+	Pruned int
 }
 
 // Check decides linearizability of t with respect to f under the paper's
@@ -115,12 +121,12 @@ func checkSettings(ctx context.Context, f adt.Folder, t trace.Trace, set check.S
 	s := newSearcher(ctx, f, t, set)
 	ok, err := s.run(0)
 	if err != nil {
-		return Result{Nodes: s.nodes}, err
+		return Result{Nodes: s.nodes, Pruned: s.pruned}, err
 	}
 	if !ok {
-		return Result{OK: false, Reason: "no linearization function exists", Nodes: s.nodes}, nil
+		return Result{OK: false, Reason: "no linearization function exists", Nodes: s.nodes, Pruned: s.pruned}, nil
 	}
-	r := Result{OK: true, Nodes: s.nodes}
+	r := Result{OK: true, Nodes: s.nodes, Pruned: s.pruned}
 	if set.Witness {
 		w := Witness{}
 		for i, k := range s.assigned {
@@ -212,7 +218,11 @@ type searcher struct {
 	budget    int
 	memoLimit int
 	nodes     int
-	in        *trace.Interner
+	// por enables the sleep-set reduction over extension branch sets;
+	// pruned counts the branches it skipped (DESIGN.md, decision 12).
+	por    bool
+	pruned int
+	in     *trace.Interner
 	// isyms[i] is the interned symbol of t[i].Input.
 	isyms  []trace.Sym
 	failed map[memoKey]struct{}
@@ -238,6 +248,7 @@ func newSearcher(ctx context.Context, f adt.Folder, t trace.Trace, set check.Set
 		t:         t,
 		budget:    set.BudgetOr(DefaultBudget),
 		memoLimit: set.MemoLimit,
+		por:       set.POR,
 		in:        trace.NewInterner(),
 		isyms:     make([]trace.Sym, len(t)),
 		failed:    make(map[memoKey]struct{}),
@@ -343,8 +354,11 @@ func (s *searcher) commit(i int, a trace.Action) (bool, error) {
 	// Option 2: extend the chain with fresh inputs from avail, the last
 	// being the response's own input. Intermediate appended elements
 	// create new (unused) prefix lengths that later commits may claim.
+	// The extension search starts with an empty sleep set: sleep sets are
+	// local to one response's extension enumeration, so the verdict of a
+	// run node stays a function of its (i, chain, avail) memo key.
 	visited := s.visitedPool.Get()
-	ok, err := s.extendAndCommit(i, a, asym, visited)
+	ok, err := s.extendAndCommit(i, a, asym, visited, 0)
 	s.visitedPool.Put(visited)
 	return ok, err
 }
@@ -358,7 +372,16 @@ type visKey struct{ c, a trace.Digest }
 // (if the output matches) or append any other available input and
 // continue. visited prunes permutations reaching identical (chain, avail)
 // configurations within this response.
-func (s *searcher) extendAndCommit(i int, a trace.Action, asym trace.Sym, visited map[visKey]struct{}) (bool, error) {
+//
+// sleep is the sleep set of the partial-order reduction (DESIGN.md,
+// decision 12): appending a sleeping symbol here is skipped because the
+// same extension, with that symbol commuted to the front, was already
+// explored under an earlier sibling branch. After a branch's subtree is
+// exhausted its symbol goes to sleep for the later siblings; a child
+// inherits the sleeping symbols that are independent with the branch it
+// was reached by (dependent ones wake up). The close branch never sleeps
+// — claiming the response's own input conflicts with every reordering.
+func (s *searcher) extendAndCommit(i int, a trace.Action, asym trace.Sym, visited map[visKey]struct{}, sleep check.SleepSet) (bool, error) {
 	if err := s.spend(); err != nil {
 		return false, err
 	}
@@ -391,9 +414,18 @@ func (s *searcher) extendAndCommit(i int, a trace.Action, asym trace.Sym, visite
 		if s.avail.Count(sym) <= 0 {
 			continue
 		}
+		if s.por && sleep.Has(sym) {
+			s.pruned++
+			continue
+		}
+		in := s.in.Value(sym)
+		childSleep := check.SleepSet(0)
+		if s.por {
+			childSleep = sleep.FilterIndependent(s.f, s.in, s.chain.state(), in)
+		}
 		s.avail.Add(sym, -1)
-		s.chain.push(s.in.Value(sym), sym)
-		ok, err := s.extendAndCommit(i, a, asym, visited)
+		s.chain.push(in, sym)
+		ok, err := s.extendAndCommit(i, a, asym, visited, childSleep)
 		s.chain.pop()
 		s.avail.Add(sym, 1)
 		if err != nil {
@@ -401,6 +433,9 @@ func (s *searcher) extendAndCommit(i int, a trace.Action, asym trace.Sym, visite
 		}
 		if ok {
 			return true, nil
+		}
+		if s.por {
+			sleep = sleep.Add(sym)
 		}
 	}
 	return false, nil

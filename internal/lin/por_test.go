@@ -1,0 +1,217 @@
+package lin
+
+// Tests for the sleep-set partial-order reduction (check.WithPOR,
+// DESIGN.md decision 12): pruned-branch accounting, the ErrTooManyOps /
+// budget / cancellation sentinels' independence from the reducer, and
+// worker-count independence of verdicts beyond GOMAXPROCS.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/check"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// commutingTrace is the split-decision consensus workload with w
+// concurrent proposals: after the first chain element every remaining
+// proposal is a no-op on the decided state, so the unreduced search
+// enumerates factorially many extension orders the reducer collapses.
+func commutingTrace(w int) trace.Trace { return workload.SplitDecision(w, "p") }
+
+// TestPORAccounting pins the Nodes/Pruned bookkeeping: the reducer must
+// actually prune on a commuting workload (and never with WithPOR(false)),
+// spend no more nodes than the unreduced search, and agree on the
+// verdict.
+func TestPORAccounting(t *testing.T) {
+	ctx := context.Background()
+	tr := commutingTrace(6)
+	on, err := Check(ctx, adt.Consensus{}, tr, check.WithBudget(50_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := Check(ctx, adt.Consensus{}, tr, check.WithBudget(50_000_000), check.WithPOR(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.OK != off.OK {
+		t.Fatalf("verdicts disagree: por=%v nopor=%v", on.OK, off.OK)
+	}
+	if off.Pruned != 0 {
+		t.Fatalf("unreduced search reported %d pruned branches", off.Pruned)
+	}
+	if on.Pruned == 0 {
+		t.Fatal("reducer pruned nothing on a maximally commuting trace")
+	}
+	if on.Nodes >= off.Nodes {
+		t.Fatalf("reduced search spent %d nodes, unreduced %d — no reduction", on.Nodes, off.Nodes)
+	}
+	if off.Nodes < 2*on.Nodes {
+		t.Fatalf("expected ≥2x node reduction on the commuting trace, got %d vs %d", off.Nodes, on.Nodes)
+	}
+	t.Logf("commuting trace: %d nodes unreduced, %d reduced (%.1fx), %d pruned",
+		off.Nodes, on.Nodes, float64(off.Nodes)/float64(on.Nodes), on.Pruned)
+}
+
+// TestTooManyOpsUnaffectedByPOR: the classical checker's 63-operation
+// representation cap is orthogonal to the reducer (the classical search
+// has no extension branch sets); the sentinel fires identically with the
+// reducer on and off.
+func TestTooManyOpsUnaffectedByPOR(t *testing.T) {
+	var tr trace.Trace
+	for i := 0; i < 64; i++ {
+		c := trace.ClientID(fmt.Sprintf("c%d", i))
+		in := adt.Tag(adt.IncInput(), fmt.Sprintf("%d", i))
+		tr = append(tr, trace.Invoke(c, 1, in), trace.Response(c, 1, in, adt.CountOutput(i+1)))
+	}
+	for _, por := range []bool{true, false} {
+		res, err := CheckClassical(context.Background(), adt.Counter{}, tr, check.WithPOR(por))
+		if !errors.Is(err, ErrTooManyOps) {
+			t.Fatalf("por=%v: expected ErrTooManyOps, got %v", por, err)
+		}
+		if errors.Is(err, ErrBudget) {
+			t.Fatalf("por=%v: cap must stay distinct from the budget sentinel", por)
+		}
+		if res.OK {
+			t.Fatalf("por=%v: capped check must not report a verdict", por)
+		}
+		// The new-definition checker has no cap: the same trace decides.
+		ok, err := Check(context.Background(), adt.Counter{}, tr, check.WithPOR(por))
+		if err != nil {
+			t.Fatalf("por=%v: Check on 64 ops: %v", por, err)
+		}
+		if !ok.OK {
+			t.Fatalf("por=%v: sequential 64-op trace must be linearizable", por)
+		}
+	}
+}
+
+// TestBudgetInterplayWithPOR: exhausting the budget yields ErrBudget with
+// Nodes ≤ budget regardless of the reducer, on both engines; and a budget
+// sufficient for the reduced search but not the unreduced one
+// demonstrates the interplay is per-engine, not per-option.
+func TestBudgetInterplayWithPOR(t *testing.T) {
+	ctx := context.Background()
+	tr := commutingTrace(6)
+	for _, por := range []bool{true, false} {
+		for _, workers := range []int{1, 2} {
+			res, err := Check(ctx, adt.Consensus{}, tr,
+				check.WithBudget(50), check.WithPOR(por), check.WithWorkers(workers))
+			if !errors.Is(err, ErrBudget) {
+				t.Fatalf("por=%v workers=%d: expected ErrBudget, got %v", por, workers, err)
+			}
+			if res.OK {
+				t.Fatalf("por=%v workers=%d: exhausted check must not decide", por, workers)
+			}
+			if res.Nodes > 50+1 {
+				t.Fatalf("por=%v workers=%d: %d nodes spent beyond the budget", por, workers, res.Nodes)
+			}
+		}
+	}
+	// A budget between the two costs: the reduced search completes, the
+	// unreduced one exhausts — the reduction enlarges the decidable set.
+	on, err := Check(ctx, adt.Consensus{}, tr, check.WithBudget(50_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := on.Nodes + 1
+	if _, err := Check(ctx, adt.Consensus{}, tr, check.WithBudget(mid)); err != nil {
+		t.Fatalf("reduced search must fit in %d nodes: %v", mid, err)
+	}
+	if _, err := Check(ctx, adt.Consensus{}, tr, check.WithBudget(mid), check.WithPOR(false)); !errors.Is(err, ErrBudget) {
+		t.Fatalf("unreduced search in %d nodes: expected ErrBudget, got %v", mid, err)
+	}
+}
+
+// TestCancellationUnderPOR: a cancelled context aborts reduced searches
+// with the context error, on the depth, frontier and session engines.
+func TestCancellationUnderPOR(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tr := commutingTrace(6)
+	for _, workers := range []int{1, 2} {
+		_, err := Check(ctx, adt.Consensus{}, tr, check.WithWorkers(workers))
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: expected context.Canceled, got %v", workers, err)
+		}
+	}
+	s := NewSession(ctx, adt.Consensus{})
+	var err error
+	for _, a := range tr {
+		if err = s.Feed(a); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("session: expected context.Canceled, got %v", err)
+	}
+	if v := s.Verdict(); v != check.Unknown {
+		t.Fatalf("session verdict after cancel = %v, want Unknown", v)
+	}
+}
+
+// TestSessionPrunedAccounting: the frontier engine's pruned counter is
+// live during a session and lands in its Result.
+func TestSessionPrunedAccounting(t *testing.T) {
+	s := NewSession(context.Background(), adt.Consensus{}, check.WithBudget(50_000_000))
+	for _, a := range commutingTrace(5) {
+		if err := s.Feed(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := s.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pruned == 0 || res.Pruned != s.Pruned() {
+		t.Fatalf("session pruned accounting: Result.Pruned=%d, Session.Pruned()=%d (want equal, non-zero)",
+			res.Pruned, s.Pruned())
+	}
+}
+
+// TestWorkerCountIndependence pins verdict independence of the worker
+// count beyond GOMAXPROCS: the sharded claim set must give the same
+// verdicts when workers heavily oversubscribe the cores (the >GOMAXPROCS
+// regime the ShardedSet stress test exercises at the structure level).
+func TestWorkerCountIndependence(t *testing.T) {
+	ctx := context.Background()
+	over := 2*runtime.GOMAXPROCS(0) + 3
+	r := workerIndependenceTraces()
+	for i, tc := range r {
+		want, err := Check(ctx, tc.f, tc.tr, check.WithWorkers(1))
+		if err != nil {
+			t.Fatalf("case %d sequential: %v", i, err)
+		}
+		for _, workers := range []int{2, over} {
+			for _, por := range []bool{true, false} {
+				got, err := Check(ctx, tc.f, tc.tr, check.WithWorkers(workers), check.WithPOR(por))
+				if err != nil {
+					t.Fatalf("case %d workers=%d por=%v: %v", i, workers, por, err)
+				}
+				if got.OK != want.OK {
+					t.Fatalf("case %d workers=%d por=%v: verdict %v, sequential %v\ntrace: %v",
+						i, workers, por, got.OK, want.OK, tc.tr)
+				}
+			}
+		}
+	}
+}
+
+func workerIndependenceTraces() []struct {
+	f  adt.Folder
+	tr trace.Trace
+} {
+	out := sessionTestTraces(911, 60)
+	// Include the wide commuting trace: a large frontier actually spreads
+	// over the oversubscribed workers.
+	out = append(out, struct {
+		f  adt.Folder
+		tr trace.Trace
+	}{adt.Consensus{}, commutingTrace(5)})
+	return out
+}

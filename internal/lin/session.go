@@ -59,7 +59,11 @@ type Session struct {
 
 	frontier []*cfg
 	nodes    atomic.Int64
-	fed      int
+	// pruned counts extension branches the sleep-set reduction skipped
+	// (check.WithPOR; atomic because expansion workers prune
+	// concurrently).
+	pruned atomic.Int64
+	fed    int
 
 	err   error  // terminal error, sticky
 	notWF string // non-empty once the fed trace went ill-formed, sticky
@@ -139,6 +143,10 @@ func (s *Session) Len() int { return s.fed }
 
 // Nodes returns the cumulative number of search nodes spent.
 func (s *Session) Nodes() int { return int(s.nodes.Load()) }
+
+// Pruned returns the cumulative number of extension branches the
+// partial-order reduction skipped (0 with check.WithPOR(false)).
+func (s *Session) Pruned() int { return int(s.pruned.Load()) }
 
 // Feed appends action a to the trace under check and advances the
 // frontier. The returned error is terminal (budget or memo exhaustion,
@@ -220,15 +228,15 @@ func (s *Session) Verdict() check.Verdict {
 // or the session's terminal error.
 func (s *Session) Result() (Result, error) {
 	if s.err != nil {
-		return Result{Nodes: s.Nodes()}, s.err
+		return Result{Nodes: s.Nodes(), Pruned: s.Pruned()}, s.err
 	}
 	if s.notWF != "" {
-		return Result{OK: false, Reason: s.notWF, Nodes: s.Nodes()}, nil
+		return Result{OK: false, Reason: s.notWF, Nodes: s.Nodes(), Pruned: s.Pruned()}, nil
 	}
 	if len(s.frontier) == 0 {
-		return Result{OK: false, Reason: "no linearization function exists", Nodes: s.Nodes()}, nil
+		return Result{OK: false, Reason: "no linearization function exists", Nodes: s.Nodes(), Pruned: s.Pruned()}, nil
 	}
-	r := Result{OK: true, Nodes: s.Nodes()}
+	r := Result{OK: true, Nodes: s.Nodes(), Pruned: s.Pruned()}
 	if s.set.Witness {
 		r.Witness = s.witness(s.frontier[0])
 	}
@@ -289,7 +297,7 @@ func (s *Session) expandCfg(c *cfg, a trace.Action, asym trace.Sym, resIdx int, 
 		return nil
 	}
 	visited := make(map[trace.Digest]struct{}, 8)
-	return s.extend(c, a, asym, resIdx, &avail, visited, nil, nil, c.end, c.dig, emit)
+	return s.extend(c, a, asym, resIdx, &avail, visited, nil, nil, c.end, c.dig, 0, emit)
 }
 
 // claim returns c with prefix length k+1 marked claimed by resIdx.
@@ -316,9 +324,16 @@ func (s *Session) claim(c *cfg, k, resIdx int) *cfg {
 // chains, mirroring the depth-first engine's per-response visited set
 // (the availability is derived from the chain, so the chain digest alone
 // identifies the configuration).
+//
+// sleep carries the sleep set of the partial-order reduction exactly as
+// in the depth-first engine (DESIGN.md, decision 12): a pruned successor
+// always has an emitted permutation-equivalent successor whose future
+// behaviour maps one-to-one, so frontier emptiness — the session's
+// verdict — is preserved.
 func (s *Session) extend(c *cfg, a trace.Action, asym trace.Sym, resIdx int,
 	avail *trace.SymMultiset, visited map[trace.Digest]struct{},
-	ext []trace.Sym, extOuts []trace.Value, st adt.State, dig trace.Digest, emit func(*cfg)) error {
+	ext []trace.Sym, extOuts []trace.Value, st adt.State, dig trace.Digest,
+	sleep check.SleepSet, emit func(*cfg)) error {
 
 	if err := s.spend(1); err != nil {
 		return err
@@ -337,15 +352,26 @@ func (s *Session) extend(c *cfg, a trace.Action, asym trace.Sym, resIdx int,
 		if avail.Count(sym) <= 0 {
 			continue
 		}
-		avail.Add(sym, -1)
+		if s.set.POR && sleep.Has(sym) {
+			s.pruned.Add(1)
+			continue
+		}
 		in := s.in.Value(sym)
+		childSleep := check.SleepSet(0)
+		if s.set.POR {
+			childSleep = sleep.FilterIndependent(s.f, s.in, st, in)
+		}
+		avail.Add(sym, -1)
 		pos := len(c.syms) + len(ext)
 		err := s.extend(c, a, asym, resIdx, avail, visited,
 			append(ext, sym), append(extOuts, s.f.Out(st, in)),
-			s.f.Step(st, in), dig.Add(trace.HashElem(pos, sym, false)), emit)
+			s.f.Step(st, in), dig.Add(trace.HashElem(pos, sym, false)), childSleep, emit)
 		avail.Add(sym, 1)
 		if err != nil {
 			return err
+		}
+		if s.set.POR {
+			sleep = sleep.Add(sym)
 		}
 	}
 	return nil
@@ -385,7 +411,7 @@ func (s *Session) closeExt(c *cfg, ext []trace.Sym, extOuts []trace.Value,
 func checkStreaming(ctx context.Context, f adt.Folder, t trace.Trace, set check.Settings) (Result, error) {
 	s := newSessionSettings(ctx, f, set)
 	if err := s.FeedAll(t); err != nil {
-		return Result{Nodes: s.Nodes()}, err
+		return Result{Nodes: s.Nodes(), Pruned: s.Pruned()}, err
 	}
 	return s.Result()
 }

@@ -1,0 +1,150 @@
+package slin
+
+// Tests for the SLin side of the partial-order reduction (DESIGN.md,
+// decision 12): the depth engine disables itself on abort-carrying
+// traces, the session engine disables-and-rebuilds at the first fed
+// abort, and budgets/cancellation keep their sentinels under the
+// reducer.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/check"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// commutingSLinTrace is the switch-free split-decision workload (never
+// SLin(1,2) by Theorem 2), maximally commuting after the first chain
+// element.
+func commutingSLinTrace(w int) trace.Trace { return workload.SplitDecision(w, "p") }
+
+// TestSLinPORAccounting: on switch-free traces the reducer is active and
+// cuts nodes ≥2x on the commuting shape; with WithPOR(false) nothing is
+// pruned.
+func TestSLinPORAccounting(t *testing.T) {
+	ctx := context.Background()
+	tr := commutingSLinTrace(5)
+	on, err := Check(ctx, adt.Consensus{}, UniversalRInit{}, 1, 2, tr, check.WithBudget(50_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := Check(ctx, adt.Consensus{}, UniversalRInit{}, 1, 2, tr, check.WithBudget(50_000_000), check.WithPOR(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.OK != off.OK {
+		t.Fatalf("verdicts disagree: por=%v nopor=%v", on.OK, off.OK)
+	}
+	if off.Pruned != 0 || on.Pruned == 0 {
+		t.Fatalf("pruned accounting: on=%d (want >0), off=%d (want 0)", on.Pruned, off.Pruned)
+	}
+	if off.Nodes < 2*on.Nodes {
+		t.Fatalf("expected ≥2x reduction, got %d vs %d nodes", off.Nodes, on.Nodes)
+	}
+	t.Logf("switch-free slin: %d nodes unreduced, %d reduced (%.1fx), %d pruned",
+		off.Nodes, on.Nodes, float64(off.Nodes)/float64(on.Nodes), on.Pruned)
+}
+
+// TestSLinPORDisabledOnAborts: any abort action disables the depth
+// reducer outright — identical node counts and zero pruning with the
+// option on and off.
+func TestSLinPORDisabledOnAborts(t *testing.T) {
+	ctx := context.Background()
+	tr := slinTestTrace() // has a switch (abort) action
+	hasAbort := false
+	for _, a := range tr {
+		if a.IsAbort(2) {
+			hasAbort = true
+		}
+	}
+	if !hasAbort {
+		t.Fatal("fixture lost its abort action")
+	}
+	on, err := Check(ctx, adt.Consensus{}, ConsensusRInit{}, 1, 2, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := Check(ctx, adt.Consensus{}, ConsensusRInit{}, 1, 2, tr, check.WithPOR(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Pruned != 0 {
+		t.Fatalf("reducer pruned %d branches on an abort-carrying trace", on.Pruned)
+	}
+	if on.OK != off.OK || on.Nodes != off.Nodes {
+		t.Fatalf("disabled reducer must be a no-op: on=(%v,%d nodes) off=(%v,%d nodes)",
+			on.OK, on.Nodes, off.OK, off.Nodes)
+	}
+}
+
+// TestSLinSessionAbortRebuild: a session that pruned while abort-free
+// must, at the first fed abort, rebuild unreduced frontiers and keep
+// agreeing with one-shot Check on every subsequent prefix.
+func TestSLinSessionAbortRebuild(t *testing.T) {
+	ctx := context.Background()
+	// Commuting switch-free prefix (pruning happens), then a late switch.
+	var tr trace.Trace
+	for i := 0; i < 4; i++ {
+		c := trace.ClientID(fmt.Sprintf("p%d", i))
+		tr = append(tr, trace.Invoke(c, 1, adt.Tag(adt.ProposeInput("a"), string(c))))
+	}
+	for i := 0; i < 3; i++ {
+		c := trace.ClientID(fmt.Sprintf("p%d", i))
+		in := adt.Tag(adt.ProposeInput("a"), string(c))
+		tr = append(tr, trace.Response(c, 1, in, adt.DecideOutput("a")))
+	}
+	tr = append(tr, trace.Switch("p3", 2, adt.Tag(adt.ProposeInput("a"), "p3"), "a"))
+
+	s, err := NewSession(ctx, adt.Consensus{}, ConsensusRInit{}, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prunedBeforeAbort := 0
+	for k, a := range tr {
+		if a.IsAbort(2) {
+			prunedBeforeAbort = s.Pruned()
+		}
+		if err := s.Feed(a); err != nil {
+			t.Fatalf("feed %d: %v", k, err)
+		}
+		got, err := s.Result()
+		if err != nil {
+			t.Fatalf("prefix %d: %v", k+1, err)
+		}
+		want, err := Check(ctx, adt.Consensus{}, ConsensusRInit{}, 1, 2, tr[:k+1])
+		if err != nil {
+			t.Fatalf("one-shot prefix %d: %v", k+1, err)
+		}
+		if got.OK != want.OK {
+			t.Fatalf("prefix %d: session %v, one-shot %v", k+1, got.OK, want.OK)
+		}
+	}
+	if prunedBeforeAbort == 0 {
+		t.Fatal("fixture did not prune before the abort; the rebuild path was not exercised")
+	}
+}
+
+// TestSLinBudgetAndCancelUnderPOR: sentinels survive the reducer.
+func TestSLinBudgetAndCancelUnderPOR(t *testing.T) {
+	tr := commutingSLinTrace(5)
+	for _, por := range []bool{true, false} {
+		res, err := Check(context.Background(), adt.Consensus{}, UniversalRInit{}, 1, 2, tr,
+			check.WithBudget(30), check.WithPOR(por))
+		if !errors.Is(err, ErrBudget) {
+			t.Fatalf("por=%v: expected ErrBudget, got %v", por, err)
+		}
+		if res.OK {
+			t.Fatalf("por=%v: exhausted check must not decide", por)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Check(ctx, adt.Consensus{}, UniversalRInit{}, 1, 2, tr); !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+}

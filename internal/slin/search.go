@@ -106,6 +106,14 @@ func existsWitness(f adt.Folder, rinit RInit, m, n int, t trace.Trace, finit map
 		}
 	}
 
+	// Partial-order reduction (DESIGN.md, decision 12): sound only when
+	// no abort obligation exists — abort histories must extend the commit
+	// chain as a SEQUENCE and r_init may distinguish orders of commuting
+	// elements (e.g. ConsensusRInit keys on the first element), so any
+	// abort makes every extension order observable. Abort-free traces
+	// (including every Theorem-2 / CheckLin use) get the full reduction.
+	s.por = set.POR && len(s.obligations) == 0
+
 	s.newChain()
 	ok, err := s.run(0)
 	if err != nil || !ok {
@@ -158,6 +166,7 @@ type searcher struct {
 	sp          *spender
 	temporal    bool
 	memoLimit   int
+	por         bool
 	failed      map[slinKey]struct{}
 	initOrder   bool
 	L           trace.History
@@ -371,7 +380,7 @@ func (s *searcher) commit(i int, a trace.Action) (bool, error) {
 	avail := s.getScratch(vi)
 	avail.SubtractAll(&s.chain.elems)
 	visited := s.visitedPool.Get()
-	ok, err := s.extendAndCommit(i, a, asym, avail, visited)
+	ok, err := s.extendAndCommit(i, a, asym, avail, visited, 0)
 	s.visitedPool.Put(visited)
 	s.putScratch(avail)
 	return ok, err
@@ -380,7 +389,11 @@ func (s *searcher) commit(i int, a trace.Action) (bool, error) {
 // extendAndCommit explores chain extensions whose last element is the
 // response's input. Intermediate appended elements create new unclaimed
 // prefix lengths that later commits may claim.
-func (s *searcher) extendAndCommit(i int, a trace.Action, asym trace.Sym, avail *trace.SymMultiset, visited map[visKey]struct{}) (bool, error) {
+//
+// sleep carries the sleep set of the partial-order reduction, active only
+// on abort-free traces (see existsWitness); the propagation mirrors
+// lin.(*searcher).extendAndCommit exactly.
+func (s *searcher) extendAndCommit(i int, a trace.Action, asym trace.Sym, avail *trace.SymMultiset, visited map[visKey]struct{}, sleep check.SleepSet) (bool, error) {
 	if err := s.sp.spend(); err != nil {
 		return false, err
 	}
@@ -416,13 +429,25 @@ func (s *searcher) extendAndCommit(i int, a trace.Action, asym trace.Sym, avail 
 		if avail.Count(sym) <= 0 {
 			continue
 		}
+		if s.por && sleep.Has(sym) {
+			s.sp.pruned++
+			continue
+		}
+		in := s.in.Value(sym)
+		childSleep := check.SleepSet(0)
+		if s.por {
+			childSleep = sleep.FilterIndependent(s.f, s.in, s.chain.state(), in)
+		}
 		avail.Add(sym, -1)
-		s.chain.push(s.in.Value(sym), sym)
-		ok, err := s.extendAndCommit(i, a, asym, avail, visited)
+		s.chain.push(in, sym)
+		ok, err := s.extendAndCommit(i, a, asym, avail, visited, childSleep)
 		s.chain.pop()
 		avail.Add(sym, 1)
 		if err != nil || ok {
 			return ok, err
+		}
+		if s.por {
+			sleep = sleep.Add(sym)
 		}
 	}
 	return false, nil

@@ -54,6 +54,16 @@ type Session struct {
 	set    check.Settings
 	budget int
 	nodes  atomic.Int64
+	// por is the live state of the partial-order reduction: it starts as
+	// set.POR and flips off permanently at the first abort action fed —
+	// abort histories extend chains as sequences, so pruned extension
+	// orders become observable (Result.Pruned documents the rationale).
+	// If pruning already happened by then, the frontiers are rebuilt by
+	// an unreduced replay, so every verdict equals the one-shot Check of
+	// the fed prefix. pruned counts skipped branches (atomic: expansion
+	// workers prune concurrently).
+	por    bool
+	pruned atomic.Int64
 
 	t        trace.Trace
 	phase    map[trace.ClientID]*phaseTrack
@@ -142,6 +152,11 @@ func (s *Session) Len() int { return len(s.t) }
 // Nodes returns the cumulative number of search nodes spent.
 func (s *Session) Nodes() int { return int(s.nodes.Load()) }
 
+// Pruned returns the cumulative number of extension branches the
+// partial-order reduction skipped, including branches of frontiers later
+// discarded by an unreduced replay (0 with check.WithPOR(false)).
+func (s *Session) Pruned() int { return int(s.pruned.Load()) }
+
 // Feed appends action a to the trace under check. Errors (budget or memo
 // exhaustion, cancellation, actions outside sig(m,n), switch values
 // without interpretations) are terminal; (m,n)-ill-formed traces yield a
@@ -181,6 +196,20 @@ func (s *Session) Feed(a trace.Action) error {
 			return err
 		}
 		return nil
+	}
+	if a.IsAbort(s.n) && s.por {
+		// First abort fed: the reduction stops being sound from here on
+		// (see the por field). If it already pruned configurations, the
+		// surviving frontiers under-approximate the unreduced ones, so
+		// replay the fed trace — including this abort — unreduced.
+		s.por = false
+		if s.pruned.Load() > 0 {
+			if err := s.rebuild(); err != nil {
+				s.err = err
+				return err
+			}
+			return nil
+		}
 	}
 	for _, cb := range s.combos {
 		if err := s.step(cb, a, idx); err != nil {
@@ -397,7 +426,7 @@ func (s *Session) stepRes(cb *combo, a trace.Action) error {
 			return nil
 		}
 		visited := make(map[trace.Digest]struct{}, 8)
-		return s.extendS(cb, c, a, asym, &avail, visited, nil, nil, c.end, c.dig, emit)
+		return s.extendS(cb, c, a, asym, &avail, visited, nil, nil, c.end, c.dig, 0, emit)
 	}
 	next, err := check.ExpandFrontier(s.ctx, cb.frontier, s.set, s.spend,
 		func(c *scfg) trace.Digest { return c.dig }, expandOne)
@@ -431,9 +460,14 @@ func claimS(c *scfg, k int) *scfg {
 // successor whenever the extension closes with the response's input and
 // the extended chain remains compatible with every abort obligation seen
 // so far (the eager Abort-Order pruning of the depth-first engine).
+//
+// sleep carries the sleep set of the partial-order reduction; s.por
+// guarantees no abort has been fed yet whenever pruning fires (the
+// reduction disables itself at the first abort, rebuilding if needed).
 func (s *Session) extendS(cb *combo, c *scfg, a trace.Action, asym trace.Sym,
 	avail *trace.SymMultiset, visited map[trace.Digest]struct{},
-	ext []trace.Sym, extOuts []trace.Value, st adt.State, dig trace.Digest, emit func(*scfg)) error {
+	ext []trace.Sym, extOuts []trace.Value, st adt.State, dig trace.Digest,
+	sleep check.SleepSet, emit func(*scfg)) error {
 
 	if err := s.spend(1); err != nil {
 		return err
@@ -476,15 +510,26 @@ func (s *Session) extendS(cb *combo, c *scfg, a trace.Action, asym trace.Sym,
 		if avail.Count(sym) <= 0 {
 			continue
 		}
-		avail.Add(sym, -1)
+		if s.por && sleep.Has(sym) {
+			s.pruned.Add(1)
+			continue
+		}
 		in := cb.in.Value(sym)
+		childSleep := check.SleepSet(0)
+		if s.por {
+			childSleep = sleep.FilterIndependent(s.f, cb.in, st, in)
+		}
+		avail.Add(sym, -1)
 		pos := len(c.syms) + len(ext)
 		err := s.extendS(cb, c, a, asym, avail, visited,
 			append(ext, sym), append(extOuts, s.f.Out(st, in)),
-			s.f.Step(st, in), dig.Add(trace.HashElem(pos, sym, false)), emit)
+			s.f.Step(st, in), dig.Add(trace.HashElem(pos, sym, false)), childSleep, emit)
 		avail.Add(sym, 1)
 		if err != nil {
 			return err
+		}
+		if s.por {
+			sleep = sleep.Add(sym)
 		}
 	}
 	return nil
@@ -578,7 +623,7 @@ func (s *Session) Result() (Result, error) {
 
 func (s *Session) evaluate() (Result, error) {
 	if s.err != nil {
-		return Result{Nodes: s.Nodes()}, s.err
+		return Result{Nodes: s.Nodes(), Pruned: s.Pruned()}, s.err
 	}
 	if s.verAt == len(s.t) {
 		return s.verRes, nil
@@ -586,7 +631,7 @@ func (s *Session) evaluate() (Result, error) {
 	res, err := s.evaluateNow()
 	if err != nil {
 		s.err = err
-		return Result{Nodes: s.Nodes()}, err
+		return Result{Nodes: s.Nodes(), Pruned: s.Pruned()}, err
 	}
 	s.verAt = len(s.t)
 	s.verRes = res
@@ -595,7 +640,7 @@ func (s *Session) evaluate() (Result, error) {
 
 func (s *Session) evaluateNow() (Result, error) {
 	if s.notWF != "" {
-		return Result{OK: false, Reason: s.notWF, Nodes: s.Nodes()}, nil
+		return Result{OK: false, Reason: s.notWF, Nodes: s.Nodes(), Pruned: s.Pruned()}, nil
 	}
 	for _, cb := range s.combos {
 		ok, err := s.comboOK(cb)
@@ -612,10 +657,11 @@ func (s *Session) evaluateNow() (Result, error) {
 				Reason:     "no speculative linearization function for some init interpretation",
 				FailedInit: finit,
 				Nodes:      s.Nodes(),
+				Pruned:     s.Pruned(),
 			}, nil
 		}
 	}
-	return Result{OK: true, Nodes: s.Nodes()}, nil
+	return Result{OK: true, Nodes: s.Nodes(), Pruned: s.Pruned()}, nil
 }
 
 // comboOK reports whether some surviving configuration of the combination
@@ -648,7 +694,7 @@ func checkStreaming(ctx context.Context, f adt.Folder, rinit RInit, m, n int, t 
 		return Result{}, err
 	}
 	if err := s.FeedAll(t); err != nil {
-		return Result{Nodes: s.Nodes()}, err
+		return Result{Nodes: s.Nodes(), Pruned: s.Pruned()}, err
 	}
 	return s.Result()
 }
@@ -668,6 +714,7 @@ func newSessionSettings(ctx context.Context, f adt.Folder, rinit RInit, m, n int
 		n:      n,
 		set:    set,
 		budget: set.BudgetOr(DefaultBudget),
+		por:    set.POR,
 		phase:  map[trace.ClientID]*phaseTrack{},
 		verAt:  -1,
 	}

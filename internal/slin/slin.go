@@ -87,14 +87,28 @@ type Result struct {
 	// interpretation combinations (always at most the budget; comparable
 	// with lin.Result.Nodes).
 	Nodes int
+	// Pruned is the number of extension branches the sleep-set
+	// partial-order reduction skipped (check.WithPOR, on by default;
+	// always 0 on WithPOR(false) runs). The SLin reducer conservatively
+	// disables itself on traces containing abort actions — abort
+	// histories extend the chain as a sequence, and r_init may be
+	// order-sensitive — so the depth-first engine reports 0 there. The
+	// breadth engine (Sessions, WithWorkers(n > 1)) cannot see aborts
+	// coming: it may prune on an abort-free prefix, then discard the
+	// pruned frontiers by an unreduced replay at the first abort while
+	// keeping the cumulative counter, so its Pruned can stay non-zero on
+	// abort-carrying traces (the verdict is still unreduced-exact).
+	Pruned int
 }
 
 // spender is the per-call search budget, shared by every interpretation
-// combination and sub-search of one Check call.
+// combination and sub-search of one Check call; it also accumulates the
+// pruned-branch count of the partial-order reduction across combinations.
 type spender struct {
 	ctx    context.Context
 	nodes  int
 	budget int
+	pruned int
 }
 
 func (sp *spender) spend() error {
@@ -182,7 +196,7 @@ func checkWith(ctx context.Context, f adt.Folder, rinit RInit, m, n int, t trace
 		}
 		ok, w, err := exists(f, rinit, m, n, t, finit, set, sp)
 		if err != nil {
-			return Result{Nodes: sp.nodes}, err
+			return Result{Nodes: sp.nodes, Pruned: sp.pruned}, err
 		}
 		if !ok {
 			return Result{
@@ -190,6 +204,7 @@ func checkWith(ctx context.Context, f adt.Folder, rinit RInit, m, n int, t trace
 				Reason:     "no speculative linearization function for some init interpretation",
 				FailedInit: finit,
 				Nodes:      sp.nodes,
+				Pruned:     sp.pruned,
 			}, nil
 		}
 		if set.Witness {
@@ -208,7 +223,7 @@ func checkWith(ctx context.Context, f adt.Folder, rinit RInit, m, n int, t trace
 			break
 		}
 	}
-	return Result{OK: true, Witnesses: witnesses, Nodes: sp.nodes}, nil
+	return Result{OK: true, Witnesses: witnesses, Nodes: sp.nodes, Pruned: sp.pruned}, nil
 }
 
 // CheckLin decides plain linearizability of a switch-free trace via the

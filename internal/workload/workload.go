@@ -144,3 +144,25 @@ func corruptOutput(f adt.Folder, r *rand.Rand, opts TraceOpts, out trace.Value) 
 	}
 	return alt
 }
+
+// SplitDecision builds the canonical hard exhaustive workload: w
+// concurrent tagged proposals answered by alternating split decisions.
+// The trace is never linearizable, so exact checkers exhaust their full
+// memoized DAGs on it (deterministic node counts), and after the first
+// chain element every remaining proposal commutes — making it both the
+// throughput workload of BENCH_1 and the best case of the E13
+// partial-order reduction. clientPrefix names the clients ("h" yields
+// h0, h1, ...).
+func SplitDecision(w int, clientPrefix string) trace.Trace {
+	var t trace.Trace
+	for i := 0; i < w; i++ {
+		c := trace.ClientID(clientPrefix + strconv.Itoa(i))
+		t = append(t, trace.Invoke(c, 1, adt.Tag(adt.ProposeInput("v"+strconv.Itoa(i)), string(c))))
+	}
+	for i := 0; i < w; i++ {
+		c := trace.ClientID(clientPrefix + strconv.Itoa(i))
+		in := adt.Tag(adt.ProposeInput("v"+strconv.Itoa(i)), string(c))
+		t = append(t, trace.Response(c, 1, in, adt.DecideOutput("v"+strconv.Itoa(i%2))))
+	}
+	return t
+}

@@ -38,7 +38,10 @@
 //	rep, _ := sess.Report()
 //
 // WithWorkers(n) for n > 1 parallelizes inside one check; WithMemoLimit
-// bounds checker memory. The v1 entry points (CheckLinearizable,
+// bounds checker memory; WithPOR (on by default) toggles the sleep-set
+// partial-order reduction over the search's extension branches, with
+// Report.Pruned accounting for the skipped work (DESIGN.md, decision
+// 12). The v1 entry points (CheckLinearizable,
 // CheckClassicallyLinearizable, CheckSpeculativelyLinearizable) remain as
 // deprecated shims over this surface.
 //
@@ -194,6 +197,12 @@ var (
 	// WithTemporalAbortOrder selects the temporal Abort-Order reading
 	// of the SLin checker (see the slin package documentation).
 	WithTemporalAbortOrder = check.WithTemporalAbortOrder
+	// WithPOR toggles the sleep-set partial-order reduction over the
+	// engines' extension branch sets (default on; DESIGN.md decision
+	// 12). The reduction is verdict- and witness-preserving; turning it
+	// off retains the unreduced reference searches, which the
+	// differential tests cross-check against the reduced ones.
+	WithPOR = check.WithPOR
 )
 
 // Verdict is the three-valued outcome of a check.
@@ -229,8 +238,14 @@ type Report struct {
 	// verdicts, when the failure is interpretation-specific.
 	FailedInit map[int]History
 	// Nodes is the number of search nodes spent (comparable across
-	// modes and engines).
+	// modes and engines). Together with Pruned it accounts for the
+	// partial-order reduction: every pruned branch is a subtree the
+	// unreduced search would have spent nodes on.
 	Nodes int
+	// Pruned is the number of extension branches the partial-order
+	// reduction skipped (0 with WithPOR(false); always 0 for
+	// ClassicalLin, whose search has no extension branch structure).
+	Pruned int
 	// Wall is the wall-clock duration of the check.
 	Wall time.Duration
 }
@@ -293,7 +308,7 @@ func Check(ctx context.Context, spec CheckSpec, t Trace, opts ...Option) (Report
 	case Lin:
 		var r lin.Result
 		r, err = lin.Check(ctx, spec.Folder, t, opts...)
-		rep = Report{Verdict: linVerdict(r, err), Reason: r.Reason, Witness: r.Witness, Nodes: r.Nodes}
+		rep = Report{Verdict: linVerdict(r, err), Reason: r.Reason, Witness: r.Witness, Nodes: r.Nodes, Pruned: r.Pruned}
 	case ClassicalLin:
 		var r lin.Result
 		r, err = lin.CheckClassical(ctx, spec.Folder, t, opts...)
@@ -302,7 +317,7 @@ func Check(ctx context.Context, spec CheckSpec, t Trace, opts ...Option) (Report
 		var r slin.Result
 		r, err = slin.Check(ctx, spec.Folder, spec.RInit, spec.M, spec.N, t, opts...)
 		rep = Report{Verdict: linVerdict(lin.Result{OK: r.OK}, err), Reason: r.Reason,
-			SLinWitnesses: r.Witnesses, FailedInit: r.FailedInit, Nodes: r.Nodes}
+			SLinWitnesses: r.Witnesses, FailedInit: r.FailedInit, Nodes: r.Nodes, Pruned: r.Pruned}
 	default:
 		return Report{}, fmt.Errorf("speclin: unknown check mode %v", spec.Mode)
 	}
@@ -371,12 +386,12 @@ func (s *Session) Report() (Report, error) {
 	if s.mode == Lin {
 		var r lin.Result
 		r, err = s.lin.Result()
-		rep = Report{Verdict: linVerdict(r, err), Reason: r.Reason, Witness: r.Witness, Nodes: r.Nodes}
+		rep = Report{Verdict: linVerdict(r, err), Reason: r.Reason, Witness: r.Witness, Nodes: r.Nodes, Pruned: r.Pruned}
 	} else {
 		var r slin.Result
 		r, err = s.slin.Result()
 		rep = Report{Verdict: linVerdict(lin.Result{OK: r.OK}, err), Reason: r.Reason,
-			FailedInit: r.FailedInit, Nodes: r.Nodes}
+			FailedInit: r.FailedInit, Nodes: r.Nodes, Pruned: r.Pruned}
 	}
 	rep.Wall = time.Since(s.start)
 	return rep, err
