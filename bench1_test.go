@@ -157,7 +157,19 @@ type bench1Summary struct {
 	GOARCH      string      `json:"goarch"`
 	GOMAXPROCS  int         `json:"gomaxprocs"`
 	Rows        []bench1Row `json:"checker_benchmarks"`
-	Batch       struct {
+	// ClassicalFastPath records the decision-13 parity claim: classical
+	// checks of ≤63 operations stay on the single-word placed-bitmask
+	// fast path, so their throughput must match the retained bitmask
+	// reference within noise (identical search trees; the sparse engine
+	// additionally precomputes real-time precedence, so it is usually
+	// slightly faster).
+	ClassicalFastPath struct {
+		Nodes            int     `json:"nodes_per_check"`
+		ReferenceNodesPS float64 `json:"reference_nodes_per_sec"`
+		SparseNodesPS    float64 `json:"fast_path_nodes_per_sec"`
+		Ratio            float64 `json:"fast_path_throughput_ratio"`
+	} `json:"classical_fast_path"`
+	Batch struct {
 		Traces       int     `json:"traces"`
 		Workers      int     `json:"workers"`
 		SequentialMs float64 `json:"sequential_ms"`
@@ -272,6 +284,40 @@ func TestWriteBench1JSON(t *testing.T) {
 		if r.Speedup < 2 {
 			t.Errorf("%s: node-throughput speedup %.2fx below the 2x acceptance bar", r.Name, r.Speedup)
 		}
+	}
+
+	// Classical fast-path parity (DESIGN.md, decision 13): ≤63-op
+	// classical checks stay on the single-word placed bitmask, so the
+	// uncapped engine must hold the reference's throughput. Node counts
+	// must match exactly (same candidate order ⇒ identical trees); the
+	// throughput bar is a generous noise band, and the nightly
+	// bench-regression guard tracks the recorded per-sec numbers.
+	refNs, refNps, refNodes, err := timeChecks(60, func() (int, error) {
+		r, err := lin.CheckClassicalReference(context.Background(), adt.Consensus{}, hardLinTrace(6), opts)
+		return r.Nodes, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparseNs, sparseNps, sparseNodes, err := timeChecks(60, func() (int, error) {
+		r, err := lin.CheckClassical(context.Background(), adt.Consensus{}, hardLinTrace(6), opts)
+		return r.Nodes, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refNodes != sparseNodes {
+		t.Fatalf("classical fast path diverged from the bitmask reference: %d vs %d nodes", sparseNodes, refNodes)
+	}
+	sum.ClassicalFastPath.Nodes = sparseNodes
+	sum.ClassicalFastPath.ReferenceNodesPS = refNps
+	sum.ClassicalFastPath.SparseNodesPS = sparseNps
+	sum.ClassicalFastPath.Ratio = sparseNps / refNps
+	t.Logf("classical fast path: %.0f nodes/s vs reference %.0f (%.2fx, %.0f vs %.0f ns/op)",
+		sparseNps, refNps, sum.ClassicalFastPath.Ratio, sparseNs, refNs)
+	if sum.ClassicalFastPath.Ratio < 0.7 {
+		t.Errorf("classical fast path fell to %.2fx of the bitmask reference throughput — the ≤63-op path regressed",
+			sum.ClassicalFastPath.Ratio)
 	}
 
 	// Parallel batch: shard independent traces across GOMAXPROCS cores.

@@ -1,0 +1,265 @@
+// Command benchguard is the bench-regression gate of the nightly CI job
+// (ISSUE 5): it parses freshly regenerated BENCH_*.json artifacts
+// against the committed baselines and exits non-zero when a performance
+// metric regresses beyond tolerance.
+//
+// Metrics are discovered structurally, so the guard needs no schema per
+// artifact; each numeric leaf's key sorts it into one of four classes,
+// compared at the same JSON path (array elements carrying a "name" field
+// are matched by name, not index, so reordering or appending rows never
+// mispairs baselines):
+//
+//   - counts — keys containing "nodes" or "pruned" (but not "per_sec"):
+//     exact search-tree sizes of deterministic seeded measurements, the
+//     repo's primary perf metric (EXPERIMENTS.md). Guarded near-exactly
+//     (-count-tolerance 0.02): they only move when engine behaviour
+//     changes, in which case the regenerated artifacts belong in the
+//     same commit.
+//   - ratios — "speedup", "reduction", "rate", "ratio": engine-vs-engine
+//     comparisons measured interleaved in one process, so machine noise
+//     largely cancels. Guarded at -tolerance 0.25, skipped below the
+//     -min-ratio 1.5 floor (a 1.1x speedup regressing to 0.9x is noise;
+//     a 2.8x reduction collapsing is a signal).
+//   - absolute throughput — "per_sec": machine- and load-dependent
+//     (sustained-load runs swing severalfold on shared runners), so
+//     gated only as an order-of-magnitude tripwire via -time-tolerance.
+//   - times — "_ms", "ns_per_op", "latency": like absolutes, gated via
+//     -time-tolerance; baselines under -min-ms 50 are skipped entirely
+//     (sub-50ms timings swing severalfold between identical runs).
+//
+// When the guard fires after an intentional engine or perf change — or
+// on a fresh runner class whose absolute numbers genuinely differ —
+// refresh the baselines by committing the regenerated BENCH_*.json (the
+// nightly job uploads them as artifacts).
+//
+// Usage:
+//
+//	benchguard -baseline .bench-baseline -fresh . BENCH_1.json BENCH_3.json BENCH_4.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// metricClass sorts guarded leaves by how they may be compared (see the
+// package comment).
+type metricClass int
+
+const (
+	classCount metricClass = iota
+	classRatio
+	classAbsolute
+	classTime
+)
+
+type metric struct {
+	val   float64
+	class metricClass
+}
+
+// classify reports whether key names a guarded perf metric and its
+// class.
+func classify(key string) (metricClass, bool) {
+	k := strings.ToLower(key)
+	switch {
+	case strings.Contains(k, "per_sec"):
+		return classAbsolute, true
+	case strings.Contains(k, "nodes"), strings.Contains(k, "pruned"):
+		return classCount, true
+	case strings.Contains(k, "speedup"), strings.Contains(k, "reduction"),
+		strings.Contains(k, "rate"), strings.Contains(k, "ratio"):
+		return classRatio, true
+	case strings.HasSuffix(k, "_ms"), strings.Contains(k, "ns_per_op"),
+		strings.Contains(k, "latency"):
+		return classTime, true
+	}
+	return 0, false
+}
+
+// collect walks a decoded JSON value, recording guarded metrics by path.
+func collect(v any, path string, out map[string]metric) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, e := range x {
+			p := k
+			if path != "" {
+				p = path + "." + k
+			}
+			if f, isNum := e.(float64); isNum {
+				if class, ok := classify(k); ok {
+					out[p] = metric{val: f, class: class}
+				}
+				continue
+			}
+			collect(e, p, out)
+		}
+	case []any:
+		for i, e := range x {
+			seg := fmt.Sprintf("[%d]", i)
+			if m, isObj := e.(map[string]any); isObj {
+				if id := rowID(m); id != "" {
+					seg = "[" + id + "]"
+				}
+			}
+			collect(e, path+seg, out)
+		}
+	}
+}
+
+// rowID derives a stable identity for an array row from its identifying
+// fields, so reordering or inserting rows never mispairs baselines:
+// "name" (+"ops") covers the BENCH_1/3/4 schemas, "shards" (+
+// "distribution", "commands") the BENCH_2 shard sweep. Rows with none of
+// these fall back to positional pairing.
+func rowID(m map[string]any) string {
+	var parts []string
+	if name, ok := m["name"].(string); ok {
+		parts = append(parts, name)
+	}
+	for _, k := range []string{"ops", "shards", "commands"} {
+		if v, ok := m[k].(float64); ok {
+			parts = append(parts, fmt.Sprintf("%s=%g", k, v))
+		}
+	}
+	if dist, ok := m["distribution"].(string); ok {
+		parts = append(parts, dist)
+	}
+	return strings.Join(parts, "/")
+}
+
+type guardOpts struct {
+	tolerance      float64
+	timeTolerance  float64
+	countTolerance float64
+	minMs          float64
+	minRatio       float64
+}
+
+// guard compares one artifact's fresh metrics against its baseline and
+// returns regression messages plus the number of metrics checked.
+func guard(name string, baseData, freshData []byte, opts guardOpts) (regressions []string, checked int, err error) {
+	var base, fresh any
+	if err := json.Unmarshal(baseData, &base); err != nil {
+		return nil, 0, fmt.Errorf("%s baseline: %w", name, err)
+	}
+	if err := json.Unmarshal(freshData, &fresh); err != nil {
+		return nil, 0, fmt.Errorf("%s fresh: %w", name, err)
+	}
+	bm, fm := map[string]metric{}, map[string]metric{}
+	collect(base, "", bm)
+	collect(fresh, "", fm)
+	for path, b := range bm {
+		if b.class == classTime && b.val < opts.minMs {
+			continue
+		}
+		if b.class == classRatio && b.val < opts.minRatio {
+			continue
+		}
+		f, present := fm[path]
+		if !present {
+			// A renamed or dropped row is a baseline-refresh situation,
+			// not a regression; report it so the log explains itself.
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %s present in baseline but missing from fresh artifact (refresh the baseline?)", name, path))
+			continue
+		}
+		checked++
+		report := func(sign string, delta, tol float64) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %s regressed %.4g → %.4g (%s%.0f%%, tolerance %.0f%%)",
+					name, path, b.val, f.val, sign, 100*delta, 100*tol))
+		}
+		switch b.class {
+		case classCount:
+			// Deterministic measurements: drift in either direction means
+			// the engines changed without the artifacts being recommitted.
+			if b.val == 0 && f.val == 0 {
+				continue
+			}
+			if f.val < b.val*(1-opts.countTolerance) || f.val > b.val*(1+opts.countTolerance) {
+				report("±", f.val/b.val-1, opts.countTolerance)
+			}
+		case classRatio:
+			if f.val < b.val*(1-opts.tolerance) {
+				report("−", 1-f.val/b.val, opts.tolerance)
+			}
+		case classAbsolute:
+			// Machine/load-dependent: only an order-of-magnitude drop
+			// (the -time-tolerance knob, inverted) fires.
+			if f.val < b.val/(1+opts.timeTolerance) {
+				report("−", 1-f.val/b.val, opts.timeTolerance)
+			}
+		case classTime:
+			if f.val > b.val*(1+opts.timeTolerance) {
+				report("+", f.val/b.val-1, opts.timeTolerance)
+			}
+		}
+	}
+	return regressions, checked, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", ".bench-baseline", "directory holding the committed baseline artifacts")
+	fresh := flag.String("fresh", ".", "directory holding the freshly regenerated artifacts")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional drop for interleaved ratio metrics (speedup/reduction)")
+	timeTolerance := flag.Float64("time-tolerance", 0.60, "allowed fractional growth for wall-time metrics (inverted for absolute per_sec drops)")
+	countTolerance := flag.Float64("count-tolerance", 0.02, "allowed fractional drift, either direction, for deterministic node/pruned counts")
+	minMs := flag.Float64("min-ms", 50, "skip time metrics whose baseline is below this (noise floor)")
+	minRatio := flag.Float64("min-ratio", 1.5, "skip ratio metrics whose baseline is below this (near-1x ratios are noise)")
+	flag.Parse()
+
+	files := flag.Args()
+	if len(files) == 0 {
+		matches, err := filepath.Glob(filepath.Join(*baseline, "BENCH_*.json"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		for _, m := range matches {
+			files = append(files, filepath.Base(m))
+		}
+	}
+	if len(files) == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: no BENCH_*.json baselines under %s\n", *baseline)
+		os.Exit(2)
+	}
+
+	opts := guardOpts{tolerance: *tolerance, timeTolerance: *timeTolerance,
+		countTolerance: *countTolerance, minMs: *minMs, minRatio: *minRatio}
+	failed := false
+	for _, f := range files {
+		baseData, err := os.ReadFile(filepath.Join(*baseline, f))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v (no baseline — skipping new artifact)\n", err)
+			continue
+		}
+		freshData, err := os.ReadFile(filepath.Join(*fresh, f))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v (baseline exists but artifact was not regenerated)\n", err)
+			failed = true
+			continue
+		}
+		regs, checked, err := guard(f, baseData, freshData, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			failed = true
+			continue
+		}
+		for _, r := range regs {
+			fmt.Fprintln(os.Stderr, "benchguard: REGRESSION:", r)
+		}
+		if len(regs) > 0 {
+			failed = true
+		} else {
+			fmt.Printf("benchguard: %s ok (%d metrics within tolerance)\n", f, checked)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

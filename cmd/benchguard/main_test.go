@@ -1,0 +1,161 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+var opts = guardOpts{tolerance: 0.25, timeTolerance: 0.60, countTolerance: 0.02, minMs: 1.0, minRatio: 1.5}
+
+const baseArtifact = `{
+  "description": "fixture",
+  "gomaxprocs": 1,
+  "rows": [
+    {"name": "alpha", "nodes": 1000, "optimized_nodes_per_sec": 4000000, "wall_ms": 120.0, "node_count_reduction": 2.8, "fast_path_rate": 0.95},
+    {"name": "beta", "ops": 128, "nodes": 50, "optimized_nodes_per_sec": 1000000, "wall_ms": 0.4}
+  ],
+  "parallel": {"batch_speedup": 3.0}
+}`
+
+func run(t *testing.T, fresh string) ([]string, int) {
+	t.Helper()
+	regs, checked, err := guard("FIXTURE.json", []byte(baseArtifact), []byte(fresh), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return regs, checked
+}
+
+// TestGuardPassesWithinTolerance: drift inside each class's tolerance
+// passes — absolute per_sec may sag well past the ratio tolerance (it is
+// load-dependent), ratios under the 1.5x noise floor (fast_path_rate)
+// are exempt however far they move, and unguarded leaves (gomaxprocs,
+// description) may change freely.
+func TestGuardPassesWithinTolerance(t *testing.T) {
+	fresh := `{
+  "description": "fixture",
+  "gomaxprocs": 8,
+  "rows": [
+    {"name": "beta", "ops": 128, "nodes": 50, "optimized_nodes_per_sec": 700000, "wall_ms": 9.9},
+    {"name": "alpha", "nodes": 1010, "optimized_nodes_per_sec": 2600000, "wall_ms": 180.0, "node_count_reduction": 2.2, "fast_path_rate": 0.5}
+  ],
+  "parallel": {"batch_speedup": 2.4}
+}`
+	regs, checked := run(t, fresh)
+	if len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+	// alpha: nodes + per_sec + wall_ms + reduction (rate is under the
+	// ratio floor); beta: nodes + per_sec (its wall_ms baseline 0.4 is
+	// under the noise floor); parallel: speedup.
+	if checked != 7 {
+		t.Fatalf("checked %d metrics, want 7", checked)
+	}
+}
+
+// TestGuardCatchesCountDrift: node counts are deterministic seeded
+// measurements, so drift in either direction beyond the near-exact
+// tolerance fires (the engines changed without recommitted artifacts).
+func TestGuardCatchesCountDrift(t *testing.T) {
+	fresh := strings.Replace(baseArtifact, `"nodes": 1000`, `"nodes": 1100`, 1)
+	regs, _ := run(t, fresh)
+	if len(regs) != 1 || !strings.Contains(regs[0], "rows[alpha].nodes") {
+		t.Fatalf("want one alpha count regression, got %v", regs)
+	}
+}
+
+// TestGuardCatchesRatioRegression: a >25% drop of an interleaved ratio
+// fires, matched by row name even after reordering.
+func TestGuardCatchesRatioRegression(t *testing.T) {
+	fresh := strings.Replace(baseArtifact, `"batch_speedup": 3.0`, `"batch_speedup": 2.0`, 1)
+	regs, _ := run(t, fresh)
+	if len(regs) != 1 || !strings.Contains(regs[0], "parallel.batch_speedup") {
+		t.Fatalf("want one speedup regression, got %v", regs)
+	}
+}
+
+// TestGuardCatchesAbsoluteCollapse: absolute throughput is gated only as
+// an order-of-magnitude tripwire (inverted -time-tolerance): −35% passes
+// where a ratio would fire, −75% trips.
+func TestGuardCatchesAbsoluteCollapse(t *testing.T) {
+	fresh := strings.Replace(baseArtifact, `"optimized_nodes_per_sec": 4000000`, `"optimized_nodes_per_sec": 1000000`, 1)
+	regs, _ := run(t, fresh)
+	if len(regs) != 1 || !strings.Contains(regs[0], "rows[alpha].optimized_nodes_per_sec") {
+		t.Fatalf("want one alpha absolute-throughput regression, got %v", regs)
+	}
+}
+
+// TestGuardCatchesWallTimeRegression: a >60% wall-time growth fails; the
+// sub-millisecond row stays exempt however much it grows relatively.
+func TestGuardCatchesWallTimeRegression(t *testing.T) {
+	fresh := strings.Replace(baseArtifact, `"wall_ms": 120.0`, `"wall_ms": 200.0`, 1)
+	fresh = strings.Replace(fresh, `"wall_ms": 0.4`, `"wall_ms": 0.9`, 1)
+	regs, _ := run(t, fresh)
+	if len(regs) != 1 || !strings.Contains(regs[0], "rows[alpha].wall_ms") {
+		t.Fatalf("want one alpha wall-time regression, got %v", regs)
+	}
+}
+
+// TestGuardReportsMissingRows: dropping a baselined row is reported once
+// per guarded metric (the baseline needs a refresh; silently ignoring it
+// would hide removals).
+func TestGuardReportsMissingRows(t *testing.T) {
+	fresh := `{"rows": [{"name": "alpha", "nodes": 1000, "optimized_nodes_per_sec": 4000000, "wall_ms": 120.0, "node_count_reduction": 2.8, "fast_path_rate": 0.95}], "parallel": {"batch_speedup": 3.0}}`
+	regs, _ := run(t, fresh)
+	if len(regs) != 2 {
+		t.Fatalf("want two missing-row reports (beta nodes + per_sec; its wall_ms is under the noise floor), got %v", regs)
+	}
+	for _, r := range regs {
+		if !strings.Contains(r, "rows[beta/ops=128].") {
+			t.Fatalf("missing-row report names the wrong path: %v", regs)
+		}
+	}
+}
+
+// TestGuardRealArtifacts: identical fresh and baseline artifacts (the
+// exact files this repo commits) always pass — the guard must hold on
+// current baselines.
+func TestGuardRealArtifacts(t *testing.T) {
+	for _, f := range []string{"../../BENCH_1.json", "../../BENCH_2.json", "../../BENCH_3.json", "../../BENCH_4.json"} {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatalf("%s: %v (regenerate with go test -run TestWriteBench .)", f, err)
+		}
+		regs, checked, err := guard(f, data, data, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(regs) != 0 {
+			t.Fatalf("%s: self-comparison regressed: %v", f, regs)
+		}
+		if checked == 0 {
+			t.Fatalf("%s: no guarded metrics found — classifier out of sync with the artifact schema", f)
+		}
+	}
+}
+
+// TestGuardPairsUnnamedRowsByFields: BENCH_2-style rows carry no "name",
+// so identity comes from shards/commands/distribution — inserting a new
+// shard count mid-sweep must not shift the pairing of later rows.
+func TestGuardPairsUnnamedRowsByFields(t *testing.T) {
+	base := `{"shard_sweep": [
+	  {"shards": 1, "commands": 62500, "distribution": "uniform", "check_nodes": 188476, "wall_ms": 1655.0},
+	  {"shards": 16, "commands": 1000000, "distribution": "uniform", "check_nodes": 3015616, "wall_ms": 26000.0}
+	]}`
+	fresh := `{"shard_sweep": [
+	  {"shards": 1, "commands": 62500, "distribution": "uniform", "check_nodes": 188476, "wall_ms": 1700.0},
+	  {"shards": 8, "commands": 500000, "distribution": "uniform", "check_nodes": 1507808, "wall_ms": 13000.0},
+	  {"shards": 16, "commands": 1000000, "distribution": "uniform", "check_nodes": 3015616, "wall_ms": 25000.0}
+	]}`
+	regs, checked, err := guard("FIXTURE2.json", []byte(base), []byte(fresh), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("inserted row mispaired the sweep: %v", regs)
+	}
+	if checked != 4 {
+		t.Fatalf("checked %d metrics, want 4 (check_nodes + wall_ms per baselined row)", checked)
+	}
+}

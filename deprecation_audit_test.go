@@ -55,3 +55,51 @@ func TestDeprecatedShimsOnlyInFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestErrTooManyOpsNeverFires is the decision-13 deprecation audit: the
+// classical checker is uncapped, so the ErrTooManyOps sentinel must not
+// be returned or consulted anywhere — it survives only as a deprecated
+// alias so external errors.Is guards keep compiling. Allowed mentions:
+// its declaration (internal/lin/lin.go), the facade re-export
+// (speclin.go), and the boundary tests asserting it does NOT fire.
+func TestErrTooManyOpsNeverFires(t *testing.T) {
+	allowed := map[string]bool{
+		"speclin.go":                            true, // re-exports the deprecated alias
+		"internal/lin/lin.go":                   true, // declares the deprecated alias
+		"internal/lin/classical_sparse_test.go": true, // asserts the sentinel stays silent
+		"deprecation_audit_test.go":             true, // this audit
+	}
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if strings.HasPrefix(d.Name(), ".") && path != "." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || allowed[filepath.ToSlash(path)] {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			// Prose may explain the deprecation; only code may not
+			// consult the sentinel.
+			if c := strings.Index(line, "//"); c >= 0 {
+				line = line[:c]
+			}
+			if strings.Contains(line, "ErrTooManyOps") {
+				t.Errorf("%s:%d touches the deprecated ErrTooManyOps sentinel (it never fires): %s",
+					path, i+1, strings.TrimSpace(line))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+package check
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestBitSetOps pins membership, popcount and digest maintenance,
+// including growth past the first word and the add/remove strictness
+// panics.
+func TestBitSetOps(t *testing.T) {
+	b := NewBitSet(10)
+	if b.Len() != 0 || b.Has(0) || b.Has(9) || b.Has(1000) {
+		t.Fatal("fresh set not empty")
+	}
+	empty := b.Digest()
+	for _, i := range []int{0, 9, 63, 64, 200} {
+		b.Add(i)
+	}
+	if b.Len() != 5 {
+		t.Fatalf("Len = %d after 5 adds", b.Len())
+	}
+	for _, i := range []int{0, 9, 63, 64, 200} {
+		if !b.Has(i) {
+			t.Fatalf("member %d missing", i)
+		}
+	}
+	for _, i := range []int{1, 8, 62, 65, 199, 201} {
+		if b.Has(i) {
+			t.Fatalf("non-member %d present", i)
+		}
+	}
+	for _, i := range []int{200, 0, 64, 9, 63} {
+		b.Remove(i)
+	}
+	if b.Len() != 0 || b.Digest() != empty {
+		t.Fatalf("remove-all did not restore the empty digest: len=%d", b.Len())
+	}
+	assertPanics(t, "double add", func() { b.Add(3); b.Add(3) })
+	assertPanics(t, "absent remove", func() { b.Remove(7) })
+}
+
+func assertPanics(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", name)
+		}
+	}()
+	fn()
+}
+
+// TestBitSetDigestCanonical: the digest is a canonical function of the
+// membership set — any add/remove path reaching the same set reaches the
+// same digest, and distinct sets seen along a random walk get distinct
+// digests (the decision-7 collision assumption at test scale).
+func TestBitSetDigestCanonical(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	var b BitSet // zero value grows on demand
+	have := map[int]bool{}
+	seen := map[trace.Digest]string{}
+	enc := func() string {
+		s := make([]byte, 300)
+		for i := range s {
+			s[i] = '0'
+		}
+		for i, ok := range have {
+			if ok {
+				s[i] = '1'
+			}
+		}
+		return string(s)
+	}
+	for step := 0; step < 5000; step++ {
+		i := r.Intn(300)
+		if have[i] {
+			b.Remove(i)
+		} else {
+			b.Add(i)
+		}
+		have[i] = !have[i]
+		key := enc()
+		if prev, dup := seen[b.Digest()]; dup && prev != key {
+			t.Fatalf("digest collision between %q and %q", prev, key)
+		}
+		seen[b.Digest()] = key
+	}
+	// Replay the final membership in a fresh set in sorted order: same
+	// digest (path independence).
+	var c BitSet
+	for i := 0; i < 300; i++ {
+		if have[i] {
+			c.Add(i)
+		}
+	}
+	if c.Digest() != b.Digest() || c.Len() != b.Len() {
+		t.Fatal("digest depends on the mutation path")
+	}
+}

@@ -40,54 +40,53 @@ func Independent(f adt.Folder, st adt.State, a, b trace.Value) bool {
 	return f.Out(st, a) == f.Out(sb, a) && f.Out(st, b) == f.Out(sa, b)
 }
 
-// SleepSet is a sleep set over interned symbols, represented as a 64-bit
-// bitset. Symbol spaces of single traces are small (one symbol per
-// distinct input), so 64 bits almost always cover them; symbols ≥ 64
-// simply never sleep, which loses pruning but never soundness (the
-// reduction only ever skips branches, and skipping fewer is always
-// sound). The zero value is the empty sleep set.
-type SleepSet uint64
-
-// sleepSetBits is the symbol capacity of a SleepSet.
-const sleepSetBits = 64
-
-// Has reports whether sym is asleep.
-func (s SleepSet) Has(sym trace.Sym) bool {
-	return sym < sleepSetBits && s&(1<<sym) != 0
-}
-
-// Add returns the set with sym asleep (no-op for symbols ≥ 64).
-func (s SleepSet) Add(sym trace.Sym) SleepSet {
-	if sym >= sleepSetBits {
-		return s
-	}
-	return s | 1<<sym
-}
-
 // FilterIndependent keeps the sleeping symbols that are independent with
 // the branch input `in` at chain state st — the sleep set a child node
 // inherits after its parent appends `in` (Godefroid's conditional sleep
 // set propagation). Dependent symbols wake up: extension orders putting
 // them after `in` are genuinely different and must be explored.
 //
-// It inlines Independent with the branch-constant folder calls
-// (Step/Out of `in` at st) hoisted out of the loop — this runs at every
-// non-pruned branch of the search hot paths.
-func (s SleepSet) FilterIndependent(f adt.Folder, it *trace.Interner, st adt.State, in trace.Value) SleepSet {
-	if s == 0 {
-		return 0
+// stIn and outIn are f.Step(st, in) and f.Out(st, in), precomputed by
+// the caller: every branch site needs the pair anyway to push `in` onto
+// its chain (the push-variant chain APIs take it), so threading it here
+// inlines Independent with the branch-constant folder calls hoisted AND
+// stops the reduced searches computing the pair twice per branch — this
+// runs at every non-pruned branch of the search hot paths.
+func (s SleepSet) FilterIndependent(f adt.Folder, it *trace.Interner, st adt.State, in trace.Value, stIn adt.State, outIn trace.Value) SleepSet {
+	if s.Empty() {
+		return SleepSet{}
 	}
-	sIn := f.Step(st, in)
-	outIn := f.Out(st, in)
 	var out SleepSet
-	for rest := s; rest != 0; rest &= rest - 1 {
-		sym := trace.Sym(bits.TrailingZeros64(uint64(rest)))
+	keep := func(sym trace.Sym) bool {
 		a := it.Value(sym)
 		sa := f.Step(st, a)
-		if f.Step(sa, in) == f.Step(sIn, a) &&
-			f.Out(st, a) == f.Out(sIn, a) && outIn == f.Out(sa, in) {
-			out |= 1 << sym
+		return f.Step(sa, in) == f.Step(stIn, a) &&
+			f.Out(st, a) == f.Out(stIn, a) && outIn == f.Out(sa, in)
+	}
+	for rest := s.lo; rest != 0; rest &= rest - 1 {
+		sym := trace.Sym(bits.TrailingZeros64(rest))
+		if keep(sym) {
+			out.lo |= 1 << sym
 		}
+	}
+	// Spill words are fresh here (never shared), so building in place is
+	// safe; attach them only if a high symbol actually survived.
+	var hi []uint64
+	any := false
+	for w, word := range s.hi {
+		for rest := word; rest != 0; rest &= rest - 1 {
+			b := bits.TrailingZeros64(rest)
+			if keep(trace.Sym(bitsPerWord + w*bitsPerWord + b)) {
+				if hi == nil {
+					hi = make([]uint64, len(s.hi))
+				}
+				hi[w] |= 1 << b
+				any = true
+			}
+		}
+	}
+	if any {
+		out.hi = hi
 	}
 	return out
 }

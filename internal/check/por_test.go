@@ -9,26 +9,48 @@ import (
 )
 
 // TestSleepSetOps pins the bitset semantics, including the ≥64-symbol
-// overflow rule (never sleeps — loses pruning, not soundness).
+// spill representation (decision 13: high symbols sleep too; the former
+// uint64 representation silently never slept them).
 func TestSleepSetOps(t *testing.T) {
 	var s SleepSet
-	if s.Has(0) || s.Has(63) {
-		t.Fatal("empty set has members")
+	if !s.Empty() || s.Has(0) || s.Has(63) || s.Has(64) || s.Has(1000) {
+		t.Fatal("zero value must be the empty set")
 	}
-	s = s.Add(0).Add(5).Add(63)
-	for _, sym := range []trace.Sym{0, 5, 63} {
+	s = s.Add(0).Add(5).Add(63).Add(64).Add(200)
+	for _, sym := range []trace.Sym{0, 5, 63, 64, 200} {
 		if !s.Has(sym) {
 			t.Fatalf("symbol %d not asleep after Add", sym)
 		}
 	}
-	if s.Has(1) {
-		t.Fatal("unrelated symbol asleep")
+	for _, sym := range []trace.Sym{1, 62, 65, 199, 201, 1 << 20} {
+		if s.Has(sym) {
+			t.Fatalf("unrelated symbol %d asleep", sym)
+		}
 	}
-	if s.Add(64) != s || s.Add(200) != s {
-		t.Fatal("symbols ≥ 64 must be Add no-ops")
+	if s.Empty() {
+		t.Fatal("populated set reports Empty")
 	}
-	if s.Has(64) || s.Has(200) {
-		t.Fatal("symbols ≥ 64 must never sleep")
+	// Value semantics survive the spill: adding a high symbol to a copy
+	// must not leak into the original (copy-on-write words).
+	base := s
+	grown := base.Add(300)
+	if base.Has(300) {
+		t.Fatal("Add mutated a shared spill word")
+	}
+	if !grown.Has(300) || !grown.Has(200) || !grown.Has(5) {
+		t.Fatal("grown copy lost members")
+	}
+	// forEach enumerates exactly the members, in increasing order.
+	var got []trace.Sym
+	grown.forEach(func(sym trace.Sym) { got = append(got, sym) })
+	want := []trace.Sym{0, 5, 63, 64, 200, 300}
+	if len(got) != len(want) {
+		t.Fatalf("forEach visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("forEach visited %v, want %v", got, want)
+		}
 	}
 }
 
@@ -38,6 +60,10 @@ func TestSleepSetOps(t *testing.T) {
 // relation — for every sleeping symbol s,
 // FilterIndependent(...).Has(s) == Independent(f, st, value(s), in) —
 // across random states and inputs of the four ADTs.
+//
+// The offset variant pads the interner with dummy symbols first, placing
+// every real input in the ≥64 spill range, so the property also pins the
+// decision-13 spill path.
 func TestFilterIndependentMatchesIndependent(t *testing.T) {
 	cases := []struct {
 		f      adt.Folder
@@ -49,30 +75,37 @@ func TestFilterIndependentMatchesIndependent(t *testing.T) {
 		{adt.Queue{}, []trace.Value{adt.EnqInput("x"), adt.EnqInput("y"), adt.DeqInput()}},
 	}
 	r := rand.New(rand.NewSource(64))
-	for _, tc := range cases {
-		in := trace.NewInterner()
-		for _, v := range tc.inputs {
-			in.Sym(v)
-		}
-		for iter := 0; iter < 200; iter++ {
-			// A random reachable state: fold a short random history.
-			st := tc.f.Empty()
-			for k, n := 0, r.Intn(4); k < n; k++ {
-				st = tc.f.Step(st, tc.inputs[r.Intn(len(tc.inputs))])
+	for _, offset := range []int{0, 70} {
+		for _, tc := range cases {
+			in := trace.NewInterner()
+			for pad := 0; pad < offset; pad++ {
+				in.Sym(adt.Tag(tc.inputs[0], "pad"+string(rune('A'+pad))))
 			}
-			branch := tc.inputs[r.Intn(len(tc.inputs))]
-			var sleep SleepSet
-			for sym := trace.Sym(0); int(sym) < in.Len(); sym++ {
-				if r.Intn(2) == 0 && in.Value(sym) != branch {
-					sleep = sleep.Add(sym)
+			lowSyms := in.Len()
+			for _, v := range tc.inputs {
+				in.Sym(v)
+			}
+			for iter := 0; iter < 200; iter++ {
+				// A random reachable state: fold a short random history.
+				st := tc.f.Empty()
+				for k, n := 0, r.Intn(4); k < n; k++ {
+					st = tc.f.Step(st, tc.inputs[r.Intn(len(tc.inputs))])
 				}
-			}
-			got := sleep.FilterIndependent(tc.f, in, st, branch)
-			for sym := trace.Sym(0); int(sym) < in.Len(); sym++ {
-				want := sleep.Has(sym) && Independent(tc.f, st, in.Value(sym), branch)
-				if got.Has(sym) != want {
-					t.Fatalf("%s: FilterIndependent diverges from Independent at state %q, sleep %q vs branch %q: got %v want %v",
-						tc.f.Name(), st, in.Value(sym), branch, got.Has(sym), want)
+				branch := tc.inputs[r.Intn(len(tc.inputs))]
+				var sleep SleepSet
+				for sym := trace.Sym(lowSyms); int(sym) < in.Len(); sym++ {
+					if r.Intn(2) == 0 && in.Value(sym) != branch {
+						sleep = sleep.Add(sym)
+					}
+				}
+				stIn, outIn := tc.f.Step(st, branch), tc.f.Out(st, branch)
+				got := sleep.FilterIndependent(tc.f, in, st, branch, stIn, outIn)
+				for sym := trace.Sym(lowSyms); int(sym) < in.Len(); sym++ {
+					want := sleep.Has(sym) && Independent(tc.f, st, in.Value(sym), branch)
+					if got.Has(sym) != want {
+						t.Fatalf("%s (offset %d): FilterIndependent diverges from Independent at state %q, sleep %q vs branch %q: got %v want %v",
+							tc.f.Name(), offset, st, in.Value(sym), branch, got.Has(sym), want)
+					}
 				}
 			}
 		}

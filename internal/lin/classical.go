@@ -3,7 +3,6 @@ package lin
 import (
 	"context"
 	"fmt"
-	"math/bits"
 
 	"repro/internal/adt"
 	"repro/internal/check"
@@ -58,9 +57,13 @@ type Linearization []int
 // WitnessFromSequential converts it into a new-definition witness by
 // Lemma 2's construction.
 //
-// The search represents placed operations as a uint64 bitmask, so traces
-// with more than 63 operations return ErrTooManyOps (a representation
-// cap, distinct from ErrBudget's search cap).
+// The search accepts traces of any length (DESIGN.md, decision 13):
+// placed-operation sets use a single-word bitmask for traces of at most
+// 63 operations and spill to a sparse word-array set (check.BitSet) with
+// an incrementally-maintained 128-bit digest in the memo key beyond that.
+// The historical ErrTooManyOps representation cap no longer fires;
+// classicalRef retains the capped bitmask engine as the reference the
+// property tests diff against.
 //
 // The classical search is not structured per trace action, so it has no
 // breadth engine: check.WithWorkers is ignored for single-trace classical
@@ -81,9 +84,6 @@ func checkClassicalSettings(ctx context.Context, f adt.Folder, t trace.Trace, se
 		return Result{OK: false, Reason: "trace is not well-formed"}, nil
 	}
 	ops := collectOps(t)
-	if len(ops) > 63 {
-		return Result{}, ErrTooManyOps
-	}
 	s := &classicalSearcher{
 		ctx:       ctx,
 		f:         f,
@@ -93,8 +93,13 @@ func checkClassicalSettings(ctx context.Context, f adt.Folder, t trace.Trace, se
 		failed:    map[classicalKey]struct{}{},
 		stateIDs:  map[adt.State]uint32{},
 		order:     make([]int, len(ops)),
+		spill:     len(ops) > smallPlacedOps,
 	}
-	ok, err := s.run(0, f.Empty())
+	if s.spill {
+		s.placedSpill = check.NewBitSet(len(ops))
+	}
+	s.initPrecedence()
+	ok, err := s.run(f.Empty())
 	if err != nil {
 		return Result{}, err
 	}
@@ -104,12 +109,21 @@ func checkClassicalSettings(ctx context.Context, f adt.Folder, t trace.Trace, se
 	return Result{OK: true, Sequential: append(Linearization{}, s.order...), Nodes: s.nodes}, nil
 }
 
+// smallPlacedOps is the operation count up to which placed sets stay on
+// the single-word fast path: the memo key then carries the exact bitmask
+// (no digest involved), matching the pre-decision-13 engine bit for bit.
+const smallPlacedOps = 63
+
 // classicalKey is the fixed-size memoization key of the classical search:
-// the placed-operations bitmask and the interned folded ADT state. States
-// are interned to dense ids so the key carries no string and lookups do
-// not re-serialize the state.
+// the placed-operation set and the interned folded ADT state. On the
+// fast path w0 is the exact placed bitmask (w1 is 0); on the spill path
+// (w0, w1) is the placed BitSet's 128-bit digest, the decision-7
+// discipline extended to placed sets (a run uses one representation
+// throughout, so the two keyings never mix). States are interned to
+// dense ids so the key carries no string and lookups do not re-serialize
+// the state.
 type classicalKey struct {
-	placed  uint64
+	w0, w1  uint64
 	stateID uint32
 }
 
@@ -124,6 +138,58 @@ type classicalSearcher struct {
 	stateIDs  map[adt.State]uint32
 	// order[k] is the k-th linearized operation on the successful path.
 	order []int
+
+	// Real-time precedence (Definition 44) in O(n) space: operations are
+	// in invocation order, so the operations k must precede are exactly
+	// the suffix ops[first[k]:] (first[k] = first operation invoked after
+	// k's response; n for pending operations, which precede nothing).
+	// Operation j is then eligible iff j < min{first[k] : k unplaced,
+	// completed} — k's own first[k] is always > k, so j never blocks
+	// itself. curMin maintains that minimum incrementally over cnt (the
+	// multiset of first values of unplaced completed operations), and the
+	// candidate loop runs only up to it, replacing the former per-node
+	// O(n²) eligibility rescan with a scan of the open real-time window
+	// (load-bearing at decision-13 trace lengths).
+	first  []int32
+	cnt    []int32 // indexed by first value, 0..n
+	curMin int
+
+	// The placed set: placedSmall on the ≤63-op fast path, placedSpill
+	// (with its incremental digest) beyond.
+	spill       bool
+	placedSmall uint64
+	placedSpill check.BitSet
+	nplaced     int
+}
+
+// initPrecedence computes first[k] — the start of the suffix k must
+// precede, found by binary search on the (increasing) invocation indices
+// — and seeds the cnt multiset and its running minimum with every
+// completed operation unplaced.
+func (s *classicalSearcher) initPrecedence() {
+	n := len(s.ops)
+	s.first = make([]int32, n)
+	s.cnt = make([]int32, n+1)
+	s.curMin = n
+	for k, op := range s.ops {
+		s.first[k] = int32(n)
+		if op.res >= 0 {
+			lo, hi := k+1, n // ops[k].inv < ops[k].res, so the suffix starts past k
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if s.ops[mid].inv > op.res {
+					hi = mid
+				} else {
+					lo = mid + 1
+				}
+			}
+			s.first[k] = int32(lo)
+			s.cnt[lo]++
+			if lo < s.curMin {
+				s.curMin = lo
+			}
+		}
+	}
 }
 
 // stateID interns a folded ADT state to a dense id.
@@ -136,13 +202,70 @@ func (s *classicalSearcher) stateID(st adt.State) uint32 {
 	return id
 }
 
-// run linearizes operations one at a time. placed is the bitmask of
-// already-linearized operations and st the folded ADT state they produced.
-// An operation j may be linearized next iff every operation k whose
-// response precedes j's invocation in real time is already placed
-// (Definition 44), and — when j completed in the original trace — its
+func (s *classicalSearcher) isPlaced(j int) bool {
+	if s.spill {
+		return s.placedSpill.Has(j)
+	}
+	return s.placedSmall&(1<<uint(j)) != 0
+}
+
+// place marks operation j linearized, updating the placed set (and its
+// digest on the spill path) and the eligibility window: removing a
+// completed operation from the cnt multiset may advance curMin forward
+// past emptied slots. unplace undoes it on backtrack — re-adding first[j]
+// restores the exact minimum in O(1), so curMin is always the true
+// minimum of the multiset.
+func (s *classicalSearcher) place(j int) {
+	if s.spill {
+		s.placedSpill.Add(j)
+	} else {
+		s.placedSmall |= 1 << uint(j)
+	}
+	s.nplaced++
+	if s.ops[j].res >= 0 {
+		f := int(s.first[j])
+		s.cnt[f]--
+		if f == s.curMin {
+			for s.curMin < len(s.ops) && s.cnt[s.curMin] == 0 {
+				s.curMin++
+			}
+		}
+	}
+}
+
+func (s *classicalSearcher) unplace(j int) {
+	if s.spill {
+		s.placedSpill.Remove(j)
+	} else {
+		s.placedSmall &^= 1 << uint(j)
+	}
+	s.nplaced--
+	if s.ops[j].res >= 0 {
+		f := int(s.first[j])
+		s.cnt[f]++
+		if f < s.curMin {
+			s.curMin = f
+		}
+	}
+}
+
+func (s *classicalSearcher) key(st adt.State) classicalKey {
+	id := s.stateID(st)
+	if s.spill {
+		d := s.placedSpill.Digest()
+		return classicalKey{w0: d[0], w1: d[1], stateID: id}
+	}
+	return classicalKey{w0: s.placedSmall, stateID: id}
+}
+
+// run linearizes operations one at a time against the searcher's placed
+// set; st is the folded ADT state the placed operations produced. An
+// operation j may be linearized next iff every operation whose response
+// precedes j's invocation in real time is already placed (Definition 44;
+// equivalently j < curMin — the candidate loop never looks past the open
+// real-time window), and — when j completed in the original trace — its
 // output matches the ADT's output at the current state.
-func (s *classicalSearcher) run(placed uint64, st adt.State) (bool, error) {
+func (s *classicalSearcher) run(st adt.State) (bool, error) {
 	s.nodes++
 	if s.nodes > s.budget {
 		return false, ErrBudget
@@ -152,43 +275,34 @@ func (s *classicalSearcher) run(placed uint64, st adt.State) (bool, error) {
 			return false, err
 		}
 	}
-	if placed == uint64(1)<<len(s.ops)-1 {
+	if s.nplaced == len(s.ops) {
 		return true, nil
 	}
-	key := classicalKey{placed: placed, stateID: s.stateID(st)}
+	key := s.key(st)
 	if _, hit := s.failed[key]; hit {
 		return false, nil
 	}
-	for j, op := range s.ops {
-		if placed&(1<<j) != 0 {
+	// Place/unplace pairs inside the loop restore cnt and curMin exactly,
+	// so the snapshot stays the eligibility bound for every iteration.
+	lim := s.curMin
+	for j := 0; j < lim; j++ {
+		if s.isPlaced(j) {
 			continue
 		}
-		// Real-time order: all operations completed before op's
-		// invocation must already be placed.
-		eligible := true
-		for k, other := range s.ops {
-			if placed&(1<<k) != 0 || k == j {
-				continue
-			}
-			if other.res >= 0 && other.res < op.inv {
-				eligible = false
-				break
-			}
-		}
-		if !eligible {
-			continue
-		}
+		op := &s.ops[j]
 		// ADT agreement for completed operations; pending operations take
 		// whatever output the completion assigns, so nothing to check.
 		if op.res >= 0 && s.f.Out(st, op.input) != op.output {
 			continue
 		}
-		ok, err := s.run(placed|1<<j, s.f.Step(st, op.input))
+		s.place(j)
+		ok, err := s.run(s.f.Step(st, op.input))
+		s.unplace(j)
 		if err != nil {
 			return false, err
 		}
 		if ok {
-			s.order[bits.OnesCount64(placed)] = j
+			s.order[s.nplaced] = j
 			return true, nil
 		}
 	}

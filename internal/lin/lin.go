@@ -12,7 +12,9 @@
 //     formalized in Appendix A (Definitions 37–46): a trace is
 //     linearizable* iff some completion can be reordered into a sequential
 //     trace that agrees with the ADT and preserves the order of
-//     non-overlapping operations.
+//     non-overlapping operations. It accepts traces of any length: placed
+//     sets spill from a single-word bitmask to a sparse word-array
+//     representation past 63 operations (DESIGN.md, decision 13).
 //
 // Theorem 1/4 states the two definitions coincide; experiment E8 validates
 // that this package's two checkers agree on randomly generated traces.
@@ -51,13 +53,16 @@ var ErrBudget = errors.New("lin: search budget exhausted")
 // entries instead, trading time for bounded memory).
 var ErrMemo = errors.New("lin: memo limit exceeded")
 
-// ErrTooManyOps is returned by CheckClassical for traces with more than
-// 63 operations: the classical search represents the placed-operation
-// set as a uint64 bitmask, a representation cap rather than a search
-// budget. Callers can distinguish "the search was too big" (ErrBudget —
-// retry with a larger Options.Budget) from "the trace cannot be
-// represented" (ErrTooManyOps — no budget helps; use Check, which has no
-// operation cap).
+// ErrTooManyOps was returned by CheckClassical for traces with more than
+// 63 operations, when the classical search represented the placed-
+// operation set as a uint64 bitmask.
+//
+// Deprecated: the classical checker is uncapped since the sparse
+// placed-set representation (DESIGN.md, decision 13) — placed sets spill
+// to a word-array bitset with a digest-keyed memo beyond 63 operations —
+// so this sentinel no longer fires from any checker entry point; the
+// deprecation audit pins that. It survives only so existing errors.Is
+// guards keep compiling (they now never match).
 var ErrTooManyOps = errors.New("lin: classical checker capped at 63 operations (bitmask representation)")
 
 // DefaultBudget bounds the number of search nodes explored per check.
@@ -173,11 +178,19 @@ func (c *chain) state() adt.State { return c.states[len(c.states)-1] }
 // push appends input in (interned as sym) to the chain.
 func (c *chain) push(in trace.Value, sym trace.Sym) {
 	st := c.state()
+	c.pushPre(in, sym, c.f.Step(st, in), c.f.Out(st, in))
+}
+
+// pushPre is push with the folder calls hoisted: stIn and out are
+// f.Step/f.Out of in at the current end state, already computed by the
+// caller (the reduced searches share the pair with the sleep-set
+// propagation instead of computing it twice per branch).
+func (c *chain) pushPre(in trace.Value, sym trace.Sym, stIn adt.State, out trace.Value) {
 	c.dig = c.dig.Add(trace.HashElem(len(c.hist), sym, false))
 	c.hist = append(c.hist, in)
 	c.syms = append(c.syms, sym)
-	c.states = append(c.states, c.f.Step(st, in))
-	c.outs = append(c.outs, c.f.Out(st, in))
+	c.states = append(c.states, stIn)
+	c.outs = append(c.outs, out)
 	c.used = append(c.used, false)
 }
 
@@ -358,7 +371,7 @@ func (s *searcher) commit(i int, a trace.Action) (bool, error) {
 	// local to one response's extension enumeration, so the verdict of a
 	// run node stays a function of its (i, chain, avail) memo key.
 	visited := s.visitedPool.Get()
-	ok, err := s.extendAndCommit(i, a, asym, visited, 0)
+	ok, err := s.extendAndCommit(i, a, asym, visited, check.SleepSet{})
 	s.visitedPool.Put(visited)
 	return ok, err
 }
@@ -419,12 +432,14 @@ func (s *searcher) extendAndCommit(i int, a trace.Action, asym trace.Sym, visite
 			continue
 		}
 		in := s.in.Value(sym)
-		childSleep := check.SleepSet(0)
+		st := s.chain.state()
+		stIn, outIn := s.f.Step(st, in), s.f.Out(st, in)
+		var childSleep check.SleepSet
 		if s.por {
-			childSleep = sleep.FilterIndependent(s.f, s.in, s.chain.state(), in)
+			childSleep = sleep.FilterIndependent(s.f, s.in, st, in, stIn, outIn)
 		}
 		s.avail.Add(sym, -1)
-		s.chain.push(in, sym)
+		s.chain.pushPre(in, sym, stIn, outIn)
 		ok, err := s.extendAndCommit(i, a, asym, visited, childSleep)
 		s.chain.pop()
 		s.avail.Add(sym, 1)

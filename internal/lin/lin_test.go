@@ -315,9 +315,10 @@ func TestLargeAgreeingTrace(t *testing.T) {
 	}
 }
 
-// CheckClassical distinguishes its 63-operation representation cap
-// (ErrTooManyOps) from search-budget exhaustion (ErrBudget).
-func TestClassicalTooManyOpsSentinel(t *testing.T) {
+// CheckClassical is uncapped (DESIGN.md, decision 13): a 64-operation
+// trace — beyond the former uint64 bitmask cap — decides with a verdict,
+// and search-budget exhaustion still reports ErrBudget.
+func TestClassicalUncappedAndBudget(t *testing.T) {
 	long := make(trace.Trace, 0, 128)
 	for i := 0; i < 64; i++ {
 		c := trace.ClientID(fmt.Sprintf("c%d", i))
@@ -325,17 +326,20 @@ func TestClassicalTooManyOpsSentinel(t *testing.T) {
 		long = append(long, trace.Invoke(c, 1, in))
 		long = append(long, trace.Response(c, 1, in, adt.DecideOutput("v")))
 	}
-	_, err := CheckClassical(context.Background(), adt.Consensus{}, long)
-	if !errors.Is(err, ErrTooManyOps) {
-		t.Fatalf("64-op trace: err = %v, want ErrTooManyOps", err)
+	res, err := CheckClassical(context.Background(), adt.Consensus{}, long)
+	if err != nil {
+		t.Fatalf("64-op trace: err = %v, want a verdict (the cap fell with decision 13)", err)
 	}
-	if errors.Is(err, ErrBudget) {
-		t.Fatal("ErrTooManyOps must not alias ErrBudget")
+	if !res.OK {
+		t.Fatalf("sequential 64-op trace must be linearizable*: %+v", res)
 	}
-	// 63 operations are representable: the same trace shape one
-	// operation shorter is decided (budget errors aside).
-	if _, err := CheckClassical(context.Background(), adt.Consensus{}, long[:63*2]); errors.Is(err, ErrTooManyOps) {
-		t.Fatalf("63-op trace rejected: %v", err)
+	if err := VerifySequential(adt.Consensus{}, long, res.Sequential); err != nil {
+		t.Fatal(err)
+	}
+	// The same shape one operation shorter stays on the single-word fast
+	// path and agrees.
+	if res, err := CheckClassical(context.Background(), adt.Consensus{}, long[:63*2]); err != nil || !res.OK {
+		t.Fatalf("63-op trace: %+v, %v", res, err)
 	}
 	// A representable but oversized search still reports ErrBudget.
 	hard := make(trace.Trace, 0, 40)

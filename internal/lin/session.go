@@ -297,7 +297,7 @@ func (s *Session) expandCfg(c *cfg, a trace.Action, asym trace.Sym, resIdx int, 
 		return nil
 	}
 	visited := make(map[trace.Digest]struct{}, 8)
-	return s.extend(c, a, asym, resIdx, &avail, visited, nil, nil, c.end, c.dig, 0, emit)
+	return s.extend(c, a, asym, resIdx, &avail, visited, nil, nil, c.end, c.dig, check.SleepSet{}, emit)
 }
 
 // claim returns c with prefix length k+1 marked claimed by resIdx.
@@ -357,15 +357,16 @@ func (s *Session) extend(c *cfg, a trace.Action, asym trace.Sym, resIdx int,
 			continue
 		}
 		in := s.in.Value(sym)
-		childSleep := check.SleepSet(0)
+		stIn, outIn := s.f.Step(st, in), s.f.Out(st, in)
+		var childSleep check.SleepSet
 		if s.set.POR {
-			childSleep = sleep.FilterIndependent(s.f, s.in, st, in)
+			childSleep = sleep.FilterIndependent(s.f, s.in, st, in, stIn, outIn)
 		}
 		avail.Add(sym, -1)
 		pos := len(c.syms) + len(ext)
 		err := s.extend(c, a, asym, resIdx, avail, visited,
-			append(ext, sym), append(extOuts, s.f.Out(st, in)),
-			s.f.Step(st, in), dig.Add(trace.HashElem(pos, sym, false)), childSleep, emit)
+			append(ext, sym), append(extOuts, outIn),
+			stIn, dig.Add(trace.HashElem(pos, sym, false)), childSleep, emit)
 		avail.Add(sym, 1)
 		if err != nil {
 			return err

@@ -261,12 +261,19 @@ func (c *schain) state() adt.State { return c.states[len(c.states)-1] }
 
 func (c *schain) push(in trace.Value, sym trace.Sym) {
 	st := c.state()
+	c.pushPre(in, sym, c.f.Step(st, in), c.f.Out(st, in))
+}
+
+// pushPre is push with the folder calls hoisted (see lin.(*chain).pushPre):
+// stIn and out are f.Step/f.Out of in at the current end state, shared
+// with the sleep-set propagation by the reduced searches.
+func (c *schain) pushPre(in trace.Value, sym trace.Sym, stIn adt.State, out trace.Value) {
 	c.dig = c.dig.Add(trace.HashElem(len(c.hist), sym, false))
 	c.elems.Add(sym, 1)
 	c.hist = append(c.hist, in)
 	c.syms = append(c.syms, sym)
-	c.states = append(c.states, c.f.Step(st, in))
-	c.outs = append(c.outs, c.f.Out(st, in))
+	c.states = append(c.states, stIn)
+	c.outs = append(c.outs, out)
 	c.used = append(c.used, false)
 }
 
@@ -380,7 +387,7 @@ func (s *searcher) commit(i int, a trace.Action) (bool, error) {
 	avail := s.getScratch(vi)
 	avail.SubtractAll(&s.chain.elems)
 	visited := s.visitedPool.Get()
-	ok, err := s.extendAndCommit(i, a, asym, avail, visited, 0)
+	ok, err := s.extendAndCommit(i, a, asym, avail, visited, check.SleepSet{})
 	s.visitedPool.Put(visited)
 	s.putScratch(avail)
 	return ok, err
@@ -434,12 +441,14 @@ func (s *searcher) extendAndCommit(i int, a trace.Action, asym trace.Sym, avail 
 			continue
 		}
 		in := s.in.Value(sym)
-		childSleep := check.SleepSet(0)
+		st := s.chain.state()
+		stIn, outIn := s.f.Step(st, in), s.f.Out(st, in)
+		var childSleep check.SleepSet
 		if s.por {
-			childSleep = sleep.FilterIndependent(s.f, s.in, s.chain.state(), in)
+			childSleep = sleep.FilterIndependent(s.f, s.in, st, in, stIn, outIn)
 		}
 		avail.Add(sym, -1)
-		s.chain.push(in, sym)
+		s.chain.pushPre(in, sym, stIn, outIn)
 		ok, err := s.extendAndCommit(i, a, asym, avail, visited, childSleep)
 		s.chain.pop()
 		avail.Add(sym, 1)

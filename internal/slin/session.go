@@ -426,7 +426,7 @@ func (s *Session) stepRes(cb *combo, a trace.Action) error {
 			return nil
 		}
 		visited := make(map[trace.Digest]struct{}, 8)
-		return s.extendS(cb, c, a, asym, &avail, visited, nil, nil, c.end, c.dig, 0, emit)
+		return s.extendS(cb, c, a, asym, &avail, visited, nil, nil, c.end, c.dig, check.SleepSet{}, emit)
 	}
 	next, err := check.ExpandFrontier(s.ctx, cb.frontier, s.set, s.spend,
 		func(c *scfg) trace.Digest { return c.dig }, expandOne)
@@ -515,15 +515,16 @@ func (s *Session) extendS(cb *combo, c *scfg, a trace.Action, asym trace.Sym,
 			continue
 		}
 		in := cb.in.Value(sym)
-		childSleep := check.SleepSet(0)
+		stIn, outIn := s.f.Step(st, in), s.f.Out(st, in)
+		var childSleep check.SleepSet
 		if s.por {
-			childSleep = sleep.FilterIndependent(s.f, cb.in, st, in)
+			childSleep = sleep.FilterIndependent(s.f, cb.in, st, in, stIn, outIn)
 		}
 		avail.Add(sym, -1)
 		pos := len(c.syms) + len(ext)
 		err := s.extendS(cb, c, a, asym, avail, visited,
-			append(ext, sym), append(extOuts, s.f.Out(st, in)),
-			s.f.Step(st, in), dig.Add(trace.HashElem(pos, sym, false)), childSleep, emit)
+			append(ext, sym), append(extOuts, outIn),
+			stIn, dig.Add(trace.HashElem(pos, sym, false)), childSleep, emit)
 		avail.Add(sym, 1)
 		if err != nil {
 			return err

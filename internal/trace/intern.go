@@ -99,6 +99,15 @@ func HashCount(s Sym, count int) Digest {
 	return hash2(uint64(s)<<32 | uint64(uint32(count)) | 1<<63)
 }
 
+// HashBit hashes set-membership of index i, the component hash of the
+// word-array bitsets whose digests are maintained incrementally by
+// popcount-style add/remove (check.BitSet; the classical checker's
+// sparse placed sets fold it into their memo keys). The high tag bit
+// separates the component space from HashElem and HashCount.
+func HashBit(i int) Digest {
+	return hash2(uint64(uint32(i)) | 1<<62)
+}
+
 // HashString hashes an arbitrary string to a 128-bit digest: two
 // independently-seeded FNV-1a lanes, each finished with the splitmix64
 // avalanche and mixed with the length. The model checker's state

@@ -143,7 +143,9 @@ const (
 	Lin Mode = iota
 	// ClassicalLin is the classical Herlihy–Wing definition as
 	// formalized in Appendix A; by Theorem 1 it agrees with Lin on
-	// unique-input traces.
+	// unique-input traces. Checks are uncapped: traces of any length
+	// decide (the former 63-operation representation cap fell with the
+	// sparse placed-set engine, DESIGN.md decision 13).
 	ClassicalLin
 	// SLin is speculative linearizability SLin(m,n) (Definition 36);
 	// the CheckSpec must carry RInit and the phase range M, N.
@@ -274,9 +276,12 @@ var (
 	// ErrMemo reports that a breadth-engine frontier exceeded
 	// WithMemoLimit.
 	ErrMemo = lin.ErrMemo
-	// ErrTooManyOps reports that a ClassicalLin check was given a trace
-	// beyond its 63-operation representation cap; no budget helps — use
-	// Lin, which has no cap.
+	// ErrTooManyOps reported a ClassicalLin trace beyond the former
+	// 63-operation representation cap.
+	//
+	// Deprecated: ClassicalLin checks are uncapped since the sparse
+	// placed-set engine (DESIGN.md, decision 13); the sentinel never
+	// fires and survives only so external errors.Is guards compile.
 	ErrTooManyOps = lin.ErrTooManyOps
 	// ErrSLinBudget is ErrBudget's counterpart for the SLin checker.
 	ErrSLinBudget = slin.ErrBudget
