@@ -35,6 +35,7 @@
 // Usage:
 //
 //	benchguard -baseline .bench-baseline -fresh . BENCH_1.json BENCH_3.json BENCH_4.json
+//	benchguard -baseline .bench-baseline -fresh . -update-baselines
 package main
 
 import (
@@ -114,8 +115,10 @@ func collect(v any, path string, out map[string]metric) {
 // rowID derives a stable identity for an array row from its identifying
 // fields, so reordering or inserting rows never mispairs baselines:
 // "name" (+"ops") covers the BENCH_1/3/4 schemas, "shards" (+
-// "distribution", "commands") the BENCH_2 shard sweep. Rows with none of
-// these fall back to positional pairing.
+// "distribution", "commands") the BENCH_2 shard sweep, and
+// "faults_injected" splits the BENCH_5 baseline/chaos pair (same shard
+// and command counts, different fault plans). Rows with none of these
+// fall back to positional pairing.
 func rowID(m map[string]any) string {
 	var parts []string
 	if name, ok := m["name"].(string); ok {
@@ -128,6 +131,9 @@ func rowID(m map[string]any) string {
 	}
 	if dist, ok := m["distribution"].(string); ok {
 		parts = append(parts, dist)
+	}
+	if fi, ok := m["faults_injected"].(bool); ok {
+		parts = append(parts, fmt.Sprintf("faults=%t", fi))
 	}
 	return strings.Join(parts, "/")
 }
@@ -203,9 +209,32 @@ func guard(name string, baseData, freshData []byte, opts guardOpts) (regressions
 	return regressions, checked, nil
 }
 
+// updateBaselines copies the named fresh artifacts over the committed
+// baselines — the blessed path after an intentional engine or perf
+// change (see the package comment). It creates the baseline directory
+// if needed and returns the files it wrote; a missing fresh artifact is
+// an error (an update must never silently keep a stale baseline).
+func updateBaselines(baselineDir, freshDir string, files []string) (updated []string, err error) {
+	if err := os.MkdirAll(baselineDir, 0o755); err != nil {
+		return nil, err
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(filepath.Join(freshDir, f))
+		if err != nil {
+			return updated, fmt.Errorf("update-baselines: %w", err)
+		}
+		if err := os.WriteFile(filepath.Join(baselineDir, f), data, 0o644); err != nil {
+			return updated, err
+		}
+		updated = append(updated, f)
+	}
+	return updated, nil
+}
+
 func main() {
 	baseline := flag.String("baseline", ".bench-baseline", "directory holding the committed baseline artifacts")
 	fresh := flag.String("fresh", ".", "directory holding the freshly regenerated artifacts")
+	update := flag.Bool("update-baselines", false, "copy the fresh artifacts over the baselines instead of guarding (after an intentional perf change)")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional drop for interleaved ratio metrics (speedup/reduction)")
 	timeTolerance := flag.Float64("time-tolerance", 0.60, "allowed fractional growth for wall-time metrics (inverted for absolute per_sec drops)")
 	countTolerance := flag.Float64("count-tolerance", 0.02, "allowed fractional drift, either direction, for deterministic node/pruned counts")
@@ -215,7 +244,14 @@ func main() {
 
 	files := flag.Args()
 	if len(files) == 0 {
-		matches, err := filepath.Glob(filepath.Join(*baseline, "BENCH_*.json"))
+		// Guarding defaults to whatever is baselined; updating defaults to
+		// whatever was freshly regenerated (so new artifacts get baselined
+		// on their first update).
+		globDir := *baseline
+		if *update {
+			globDir = *fresh
+		}
+		matches, err := filepath.Glob(filepath.Join(globDir, "BENCH_*.json"))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
@@ -225,8 +261,20 @@ func main() {
 		}
 	}
 	if len(files) == 0 {
-		fmt.Fprintf(os.Stderr, "benchguard: no BENCH_*.json baselines under %s\n", *baseline)
+		fmt.Fprintf(os.Stderr, "benchguard: no BENCH_*.json artifacts to work on\n")
 		os.Exit(2)
+	}
+
+	if *update {
+		updated, err := updateBaselines(*baseline, *fresh, files)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(1)
+		}
+		for _, f := range updated {
+			fmt.Printf("benchguard: baselined %s\n", f)
+		}
+		return
 	}
 
 	opts := guardOpts{tolerance: *tolerance, timeTolerance: *timeTolerance,

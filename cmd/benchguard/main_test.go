@@ -117,7 +117,7 @@ func TestGuardReportsMissingRows(t *testing.T) {
 // exact files this repo commits) always pass — the guard must hold on
 // current baselines.
 func TestGuardRealArtifacts(t *testing.T) {
-	for _, f := range []string{"../../BENCH_1.json", "../../BENCH_2.json", "../../BENCH_3.json", "../../BENCH_4.json"} {
+	for _, f := range []string{"../../BENCH_1.json", "../../BENCH_2.json", "../../BENCH_3.json", "../../BENCH_4.json", "../../BENCH_5.json"} {
 		data, err := os.ReadFile(f)
 		if err != nil {
 			t.Fatalf("%s: %v (regenerate with go test -run TestWriteBench .)", f, err)
@@ -157,5 +157,62 @@ func TestGuardPairsUnnamedRowsByFields(t *testing.T) {
 	}
 	if checked != 4 {
 		t.Fatalf("checked %d metrics, want 4 (check_nodes + wall_ms per baselined row)", checked)
+	}
+}
+
+// TestUpdateBaselines: -update-baselines copies fresh artifacts over the
+// baselines (creating the directory on first use), refuses to proceed
+// past a missing fresh artifact, and leaves already-copied files in
+// place when it fails partway.
+func TestUpdateBaselines(t *testing.T) {
+	freshDir := t.TempDir()
+	baseDir := freshDir + "/baselines/nested" // must be created
+	if err := os.WriteFile(freshDir+"/BENCH_1.json", []byte(`{"a": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(freshDir+"/BENCH_2.json", []byte(`{"b": 2}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	updated, err := updateBaselines(baseDir, freshDir, []string{"BENCH_1.json", "BENCH_2.json"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(updated) != 2 {
+		t.Fatalf("updated %v, want both artifacts", updated)
+	}
+	for f, want := range map[string]string{"BENCH_1.json": `{"a": 1}`, "BENCH_2.json": `{"b": 2}`} {
+		got, err := os.ReadFile(baseDir + "/" + f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != want {
+			t.Fatalf("%s: baselined %q, want %q", f, got, want)
+		}
+	}
+
+	// Overwrites on a second run with changed fresh data.
+	if err := os.WriteFile(freshDir+"/BENCH_1.json", []byte(`{"a": 9}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := updateBaselines(baseDir, freshDir, []string{"BENCH_1.json"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(baseDir + "/BENCH_1.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != `{"a": 9}` {
+		t.Fatalf("baseline not overwritten: %q", got)
+	}
+
+	// A missing fresh artifact is an error; the files before it were
+	// still copied so the caller can see how far it got.
+	updated, err = updateBaselines(baseDir, freshDir, []string{"BENCH_2.json", "BENCH_9.json"})
+	if err == nil {
+		t.Fatal("missing fresh artifact did not error")
+	}
+	if len(updated) != 1 || updated[0] != "BENCH_2.json" {
+		t.Fatalf("partial update reported %v, want [BENCH_2.json]", updated)
 	}
 }

@@ -11,6 +11,8 @@
 //	smr-bench -sweep 1,2,4,8,16 -per-shard 62500 -json BENCH.json
 //	smr-bench -zipf 1.2 -read-frac 0.5 -pace 0   # skewed, closed-loop
 //	smr-bench -online                  # check per-key histories during the run
+//	smr-bench -faults -online          # E15 chaos plan: rolling restarts,
+//	                                   # partition, duplicating links (BENCH_5.json)
 package main
 
 import (
@@ -43,6 +45,9 @@ func main() {
 		budget   = flag.Int("budget", 0, "per-history check budget (0: checker default)")
 		noCheck  = flag.Bool("skip-check", false, "skip the per-key linearizability check")
 		online   = flag.Bool("online", false, "stream per-key histories through incremental checker sessions during the run")
+		inject   = flag.Bool("faults", false, "inject the E15 chaos plan (rolling crash–recovery restarts, partition, duplicating links) and report fault metrics")
+		retryTO  = flag.Int64("retry-timeout", 0, "client per-command retry timeout in delays with -faults (0: default 400)")
+		dupProb  = flag.Float64("dup-prob", 0, "duplication probability of the faulty links with -faults (0: default 0.05)")
 		timeout  = flag.Duration("timeout", 0, "overall deadline for the run (0 = none)")
 		jsonOut  = flag.String("json", "", "write results as JSON to this file")
 	)
@@ -74,6 +79,44 @@ func main() {
 		Budget:       *budget,
 		SkipCheck:    *noCheck,
 		Online:       *online,
+	}
+
+	if *inject {
+		if *sweep != "" {
+			fmt.Fprintln(os.Stderr, "smr-bench: -faults and -sweep are mutually exclusive")
+			os.Exit(2)
+		}
+		ccfg := experiments.ChaosConfig{
+			ShardRunConfig: base,
+			RetryTimeout:   msgnet.Time(*retryTO),
+			DupProb:        *dupProb,
+			Faults:         true,
+		}
+		r, err := experiments.RunChaos(ctx, ccfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smr-bench: %v\n", err)
+			os.Exit(1)
+		}
+		report(r.ShardRunResult)
+		recover := fmt.Sprintf("%d delays", r.TimeToRecover)
+		if r.TimeToRecover < 0 {
+			recover = "never"
+		}
+		fmt.Printf("  faults: fast-path before/during/after %.1f/%.1f/%.1f%%  recover %s  "+
+			"retries=%d  dup msgs=%d\n",
+			100*r.FastPathBefore, 100*r.FastPathDuring, 100*r.FastPathAfter,
+			recover, r.Retries, r.DuplicatedMsgs)
+		if *jsonOut != "" {
+			out, err := json.MarshalIndent(r, "", "  ")
+			if err != nil {
+				fail(nil, err)
+			}
+			if err := os.WriteFile(*jsonOut, append(out, '\n'), 0o644); err != nil {
+				fail(nil, err)
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		return
 	}
 
 	var rows []experiments.ShardRunResult

@@ -1,0 +1,397 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/faults"
+	"repro/internal/msgnet"
+	"repro/internal/smr"
+	"repro/internal/workload"
+)
+
+// This file implements the E15 chaos experiment behind BENCH_5.json: the
+// sharded SMR cluster under a compound fault plan — rolling server
+// restarts with durable-snapshot recovery, a partition isolating one
+// server for ~30% of the feed (briefly compounding with a crash into a
+// total majority blackout), and message-duplicating links — with online
+// linearizability checking on throughout. The windowed fast-path rate
+// shows graceful degradation while the faults are active and recovery
+// after they heal; client retries carry submissions across the blackout
+// exactly once.
+
+// ChaosConfig parameterizes one chaos run. The embedded ShardRunConfig
+// carries the workload and cluster knobs (E12's); the chaos fields arm
+// the fault machinery. The machinery is armed even with Faults off —
+// recovery modeled, retry timers set on every attempt — which is what
+// the plan-free parity tests rely on: arming alone must not perturb the
+// schedule.
+type ChaosConfig struct {
+	ShardRunConfig
+	// RetryTimeout bounds each submission attempt (smr.Config.RetryTimeout);
+	// 0 defaults to 400 delays — far above fault-free latencies, so
+	// retries fire only under real faults.
+	RetryTimeout msgnet.Time
+	// WindowEvery is the stats window width; 0 defaults to 1/32 of the
+	// estimated feed span.
+	WindowEvery msgnet.Time
+	// Faults injects the canonical chaos plan (ChaosPlan). Off runs the
+	// same armed harness fault-free (the baseline row).
+	Faults bool
+	// DupProb is the duplication probability of the faulty client↔server
+	// links; 0 defaults to 0.05.
+	DupProb float64
+}
+
+func (c ChaosConfig) withDefaults() ChaosConfig {
+	c.ShardRunConfig = c.ShardRunConfig.withDefaults()
+	if c.RetryTimeout <= 0 {
+		c.RetryTimeout = 400
+	}
+	if c.DupProb == 0 {
+		c.DupProb = 0.05
+	}
+	if c.WindowEvery <= 0 {
+		if span := c.feedSpan(); span >= 32 {
+			c.WindowEvery = span / 32
+		} else {
+			c.WindowEvery = 1
+		}
+	}
+	return c
+}
+
+// feedSpan estimates the paced feed's duration: the length of one
+// (client, shard) stream times the pace. Fault times scale off it so one
+// plan shape covers every run size.
+func (c ChaosConfig) feedSpan() msgnet.Time {
+	if c.Pace <= 0 {
+		return 1
+	}
+	return msgnet.Time(c.Commands/(c.Clients*c.Shards)) * c.Pace
+}
+
+// ChaosResult reports one chaos run, JSON-ready for BENCH_5.json. It
+// embeds the standard sharded-run metrics and adds the fault story:
+// per-phase fast-path rates and the time the cluster took to regain the
+// fast path after the faults healed.
+type ChaosResult struct {
+	ShardRunResult
+	FaultsInjected bool  `json:"faults_injected"`
+	Retries        int64 `json:"retries"`
+	DuplicatedMsgs int64 `json:"duplicated_messages"`
+	// FaultStart and HealAt delimit the plan's active period (virtual
+	// time); the windowed rates below split on them.
+	FaultStart int64 `json:"fault_start_delays"`
+	HealAt     int64 `json:"heal_delays"`
+	// Fast-path rates before the first fault, while faults are active,
+	// and after every fault healed.
+	FastPathBefore float64 `json:"fast_path_before"`
+	FastPathDuring float64 `json:"fast_path_during"`
+	FastPathAfter  float64 `json:"fast_path_after"`
+	// TimeToRecover is the delay between the heal and the end of the
+	// first post-heal window whose fast-path rate reached 90% of the
+	// pre-fault rate (-1: never recovered; 0 with Faults off).
+	TimeToRecover int64 `json:"time_to_recover_delays"`
+}
+
+// ChaosPlan builds the canonical E15 fault schedule over one feed span:
+//
+//   - message duplication (dupProb) on every client↔server link for the
+//     whole run;
+//   - rolling server restarts at 20%, 35% and 50% of the span, each
+//     5% long, in an order chosen so the last crash overlaps the
+//     partition below (a brief total loss of the server majority — the
+//     client retry path's stress window);
+//   - a partition isolating the last server from everyone else over
+//     [45%, 75%) of the span, ~30% of the feed.
+func ChaosPlan(clients, servers []msgnet.ProcID, span msgnet.Time, dupProb float64) faults.Plan {
+	var p faults.Plan
+	dup := msgnet.LinkRule{DupProb: dupProb}
+	for _, c := range clients {
+		for _, s := range servers {
+			p.Links = append(p.Links,
+				faults.LinkFault{From: c, To: s, Rule: dup},
+				faults.LinkFault{From: s, To: c, Rule: dup})
+		}
+	}
+	// Restart order s1, s2, ..., s0: the first server's downtime lands at
+	// 50-55% of the span, inside the partition window, so the cluster
+	// briefly has no reachable majority.
+	order := append(append([]msgnet.ProcID{}, servers[1:]...), servers[0])
+	p.Crashes = faults.RollingRestart(order, span/5, span*3/20, span/20)
+	rest := append(append([]msgnet.ProcID{}, clients...), servers[:len(servers)-1]...)
+	p.Partitions = []faults.Partition{
+		faults.Split(rest, servers[len(servers)-1:], span*9/20, span*3/4),
+	}
+	return p
+}
+
+// RunChaos executes one chaos run and verifies it. The construction
+// sequence mirrors RunSharded exactly — same workload generation, same
+// network seed, same staggered paced feed — so a run with Faults off
+// replays the fault-free baseline schedule event for event (compare
+// ScheduleDigest against RunSharded's).
+func RunChaos(ctx context.Context, cfg ChaosConfig) (ChaosResult, error) {
+	cfg = cfg.withDefaults()
+	span := cfg.feedSpan()
+	faultStart, heal := span/5, span*3/4
+
+	wl := workload.KeyedOpts{
+		Clients:  cfg.Clients,
+		Ops:      cfg.Commands,
+		Keys:     cfg.Keys,
+		ReadFrac: cfg.ReadFrac,
+		ZipfS:    cfg.ZipfS,
+	}
+	ops := workload.Keyed(rand.New(rand.NewSource(cfg.Seed)), wl)
+	perClient := make([][]smr.Command, cfg.Clients)
+	for _, op := range ops {
+		var cmd smr.Command
+		if op.Read {
+			cmd = smr.GetCmd(op.Key, op.Value)
+		} else {
+			cmd = smr.SetCmd(op.Key, op.Value)
+		}
+		perClient[op.Client] = append(perClient[op.Client], cmd)
+	}
+	keys := map[string]bool{}
+	for _, op := range ops {
+		keys[op.Key] = true
+	}
+
+	res := ChaosResult{
+		ShardRunResult: ShardRunResult{
+			Shards:       cfg.Shards,
+			Commands:     cfg.Commands,
+			Keys:         len(keys),
+			Distribution: "uniform",
+			Online:       cfg.Online,
+		},
+		FaultsInjected: cfg.Faults,
+		FaultStart:     int64(faultStart),
+		HealAt:         int64(heal),
+	}
+	if cfg.ZipfS > 0 {
+		res.Distribution = fmt.Sprintf("zipf(%.2g)", cfg.ZipfS)
+	}
+
+	w := msgnet.New(msgnet.Config{Seed: cfg.Seed, MinDelay: 1, MaxDelay: 2})
+	clients := procIDs("c", cfg.Clients)
+	servers := procIDs("s", cfg.Servers)
+	sc, err := smr.BuildSharded(w, clients, servers, smr.ShardedConfig{
+		Config: smr.Config{
+			FastPath:      true,
+			QuorumTimeout: 8,
+			Retransmit:    6,
+			CompactEvery:  cfg.CompactEvery,
+			Recovery:      true,
+			RetryTimeout:  cfg.RetryTimeout,
+		},
+		Shards:       cfg.Shards,
+		OnlineCheck:  cfg.Online,
+		CheckBudget:  cfg.Budget,
+		CheckContext: ctx,
+		WindowEvery:  cfg.WindowEvery,
+	})
+	if err != nil {
+		return res, err
+	}
+	if cfg.Faults {
+		if err := ChaosPlan(clients, servers, span, cfg.DupProb).Apply(w); err != nil {
+			return res, err
+		}
+	}
+	start := time.Now()
+	for i, c := range clients {
+		offset := msgnet.Time(0)
+		if cfg.Pace > 0 {
+			offset = msgnet.Time(i) * cfg.Pace / msgnet.Time(cfg.Clients)
+		}
+		sc.SubmitPaced(c, perClient[i], offset, cfg.Pace)
+	}
+	end := sc.Run(1 << 40)
+	wall := time.Since(start)
+	res.ScheduleDigest = fmt.Sprintf("%016x", w.ScheduleDigest())
+	res.DuplicatedMsgs = w.Duplicated()
+
+	st := sc.Stats()
+	if st.Landed != int64(cfg.Commands) {
+		return res, fmt.Errorf("landed %d/%d commands", st.Landed, cfg.Commands)
+	}
+	res.SimTime = int64(end)
+	if end > 0 {
+		res.CmdsPerDelay = float64(st.Landed) / float64(end)
+	}
+	res.MeanLatency = st.MeanLatency()
+	res.FastPathRate = st.FastPathRate()
+	res.SwitchesPerCmd = float64(st.Switches) / float64(st.Landed)
+	res.WallMs = float64(wall.Microseconds()) / 1000
+	res.CmdsPerSecWall = float64(st.Landed) / wall.Seconds()
+	res.Retries = st.Retries
+
+	res.FastPathBefore, res.FastPathDuring, res.FastPathAfter, res.TimeToRecover =
+		windowPhases(st.Windows, faultStart, heal)
+	if !cfg.Faults {
+		res.TimeToRecover = 0
+	}
+
+	res.Consistent = sc.CheckConsistency() == nil
+	if !res.Consistent {
+		return res, fmt.Errorf("consistency: %v", sc.CheckConsistency())
+	}
+	if !cfg.SkipCheck {
+		cstart := time.Now()
+		sum, err := sc.CheckLinearizable(ctx, check.WithBudget(cfg.Budget))
+		res.CheckWallMs = float64(time.Since(cstart).Microseconds()) / 1000
+		if err != nil {
+			return res, err
+		}
+		res.Linearizable = true
+		res.KeyHistories = sum.Traces
+		res.CheckedOps = sum.Ops
+		res.CheckNodes = sum.Nodes
+	}
+	return res, nil
+}
+
+// windowPhases splits the windowed landings on the fault plan's active
+// period and computes the per-phase fast-path rates plus the time to
+// recover: the delay from the heal to the end of the first post-heal
+// window whose rate reached 90% of the pre-fault rate (-1 if none did).
+func windowPhases(ws []smr.WindowStat, faultStart, heal msgnet.Time) (before, during, after float64, ttr int64) {
+	var bl, bf, dl, df, al, af int64
+	ttr = -1
+	for _, w := range ws {
+		switch {
+		case w.End <= faultStart:
+			bl += w.Landed
+			bf += w.FastPath
+		case w.Start >= heal:
+			al += w.Landed
+			af += w.FastPath
+		default:
+			dl += w.Landed
+			df += w.FastPath
+		}
+	}
+	rate := func(fast, landed int64) float64 {
+		if landed == 0 {
+			return 0
+		}
+		return float64(fast) / float64(landed)
+	}
+	before, during, after = rate(bf, bl), rate(df, dl), rate(af, al)
+	for _, w := range ws {
+		if w.Start >= heal && w.Landed > 0 && w.FastPathRate() >= 0.9*before {
+			ttr = int64(w.End - heal)
+			break
+		}
+	}
+	return before, during, after, ttr
+}
+
+// E15Base is the canonical E15 configuration: the E12 cluster knobs at
+// 16 shards with online checking on, 12,500 commands per shard, and the
+// default chaos arming.
+var E15Base = ChaosConfig{
+	ShardRunConfig: ShardRunConfig{
+		Shards:       16,
+		Commands:     200_000,
+		Clients:      4,
+		Servers:      3,
+		Pace:         12,
+		ReadFrac:     0.3,
+		Seed:         1,
+		CompactEvery: 64,
+		Online:       true,
+	},
+}
+
+// E15Rows builds the E15 result pair — the fault-free baseline on the
+// armed harness, then the chaos run — at the given scale. The E15 table
+// and TestWriteBench5JSON (BENCH_5.json) share this builder so the
+// recorded artifact can never drift from the experiment.
+func E15Rows(ctx context.Context, shards, commands int) ([]ChaosResult, error) {
+	cfg := E15Base
+	cfg.Shards = shards
+	cfg.Commands = commands
+	baseline, err := RunChaos(ctx, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("E15 baseline: %w", err)
+	}
+	cfg.Faults = true
+	chaos, err := RunChaos(ctx, cfg)
+	if err != nil {
+		return []ChaosResult{baseline}, fmt.Errorf("E15 chaos: %w", err)
+	}
+	return []ChaosResult{baseline, chaos}, nil
+}
+
+// E15ChaosRecovery: the robustness claim — under rolling crash–recovery
+// restarts, a 30%-of-the-run partition (briefly compounding into a total
+// majority blackout) and duplicating links, the sharded cluster stays
+// linearizable and consistent, degrades gracefully to the robust path,
+// carries every submission exactly once through the retry machinery, and
+// regains the fast path after the faults heal. Reduced here in table
+// form; TestWriteBench5JSON runs the identical pair and records
+// BENCH_5.json.
+func E15ChaosRecovery(ctx context.Context) (Table, error) {
+	t := Table{
+		ID: "E15",
+		Title: "chaos: rolling restarts + partition + duplicating links " +
+			"(16 shards, 4 clients, 3 servers, online check on, seed 1)",
+		Header: []string{"mode", "commands", "fast-path", "before", "during", "after",
+			"recover (delays)", "retries", "dup msgs", "lin", "consistent"},
+		Notes: []string{
+			"Faults span 20–75% of the feed: rolling server restarts (durable-snapshot " +
+				"recovery), a partition isolating one server for 30% of the feed — " +
+				"overlapping one crash into a brief total majority blackout — and 5% " +
+				"message duplication on every client↔server link throughout. Retried " +
+				"submissions re-propose with capped exponential backoff and land exactly " +
+				"once (verified online); 'recover' is the delay from the heal to the first " +
+				"window back at ≥90% of the pre-fault fast-path rate. The baseline row runs " +
+				"the same armed harness fault-free and reproduces the plain sharded " +
+				"schedule digest. Machine-readable results: BENCH_5.json (TestWriteBench5JSON).",
+		},
+	}
+	rows, err := E15Rows(ctx, E15Base.Shards, E15Base.Commands)
+	if err != nil {
+		return t, err
+	}
+	for _, r := range rows {
+		mode := "baseline"
+		if r.FaultsInjected {
+			mode = "chaos"
+		}
+		lineariz := "yes"
+		if !r.Linearizable {
+			lineariz = "NO"
+		}
+		cons := "yes"
+		if !r.Consistent {
+			cons = "NO"
+		}
+		recover := fmt.Sprintf("%d", r.TimeToRecover)
+		if r.TimeToRecover < 0 {
+			recover = "never"
+		}
+		t.Rows = append(t.Rows, []string{
+			mode,
+			fmt.Sprintf("%d", r.Commands),
+			pct(int(r.FastPathRate*1000), 1000),
+			pct(int(r.FastPathBefore*1000), 1000),
+			pct(int(r.FastPathDuring*1000), 1000),
+			pct(int(r.FastPathAfter*1000), 1000),
+			recover,
+			fmt.Sprintf("%d", r.Retries),
+			fmt.Sprintf("%d", r.DuplicatedMsgs),
+			lineariz,
+			cons,
+		})
+	}
+	return t, nil
+}

@@ -93,6 +93,14 @@ type ShardRunResult struct {
 	CheckWallMs  float64 `json:"check_wall_ms"`
 	Linearizable bool    `json:"linearizable"`
 	Consistent   bool    `json:"consistent"`
+
+	// ScheduleDigest is the hex form of the network's effective-schedule
+	// digest (msgnet.Network.ScheduleDigest): two runs with equal digests
+	// executed the identical event schedule. A hex string rather than a
+	// number so 64-bit values survive JSON round-trips undamaged. The
+	// chaos harness (chaos.go) asserts its plan-free runs reproduce this
+	// digest event for event.
+	ScheduleDigest string `json:"schedule_digest"`
 }
 
 // RunSharded executes one sharded run and verifies it.
@@ -159,6 +167,7 @@ func RunSharded(ctx context.Context, cfg ShardRunConfig) (ShardRunResult, error)
 	}
 	end := sc.Run(1 << 40)
 	wall := time.Since(start)
+	res.ScheduleDigest = fmt.Sprintf("%016x", w.ScheduleDigest())
 
 	st := sc.Stats()
 	if st.Landed != int64(cfg.Commands) {

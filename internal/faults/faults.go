@@ -1,0 +1,210 @@
+// Package faults turns declarative fault plans into scheduled events on a
+// msgnet.Network. A Plan lists process crashes with optional restarts,
+// network partitions with healing times, and per-link fault rules (loss,
+// duplication, extra delay); Apply validates the plan and compiles it
+// onto the simulator's event queue. Because the compiled events ride the
+// same deterministic queue as protocol traffic, one seed plus one plan
+// reproduces the exact same schedule every run — and an empty plan
+// consumes no randomness, so a plan-free run replays the fault-free
+// baseline event for event.
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/msgnet"
+)
+
+// Crash takes a process down at At. If RestartAt is nonzero the process
+// recovers then (see msgnet.Network.Restart for recovery semantics);
+// zero means the crash is permanent.
+type Crash struct {
+	Proc      msgnet.ProcID
+	At        msgnet.Time
+	RestartAt msgnet.Time
+}
+
+// Partition splits the listed processes into connectivity groups during
+// [From, Until): messages between processes in different groups are
+// dropped, in both directions. Processes not listed keep all their
+// links. Until == 0 means the partition never heals.
+type Partition struct {
+	Groups [][]msgnet.ProcID
+	From   msgnet.Time
+	Until  msgnet.Time
+}
+
+// LinkFault applies Rule to the directed link From→To during
+// [Start, Until). Until == 0 means for the rest of the run.
+type LinkFault struct {
+	From, To msgnet.ProcID
+	Rule     msgnet.LinkRule
+	Start    msgnet.Time
+	Until    msgnet.Time
+}
+
+// Plan is a declarative fault schedule for one simulation run.
+type Plan struct {
+	Crashes    []Crash
+	Partitions []Partition
+	Links      []LinkFault
+}
+
+// Empty reports whether the plan schedules no faults at all.
+func (p Plan) Empty() bool {
+	return len(p.Crashes) == 0 && len(p.Partitions) == 0 && len(p.Links) == 0
+}
+
+// Split builds a two-group partition.
+func Split(a, b []msgnet.ProcID, from, until msgnet.Time) Partition {
+	return Partition{Groups: [][]msgnet.ProcID{a, b}, From: from, Until: until}
+}
+
+// RollingRestart crashes procs one at a time: procs[i] goes down at
+// start + i*every and comes back downFor later. With every > downFor at
+// most one process is ever down, the classic rolling-upgrade pattern.
+func RollingRestart(procs []msgnet.ProcID, start, every, downFor msgnet.Time) []Crash {
+	cs := make([]Crash, len(procs))
+	for i, p := range procs {
+		at := start + msgnet.Time(i)*every
+		cs[i] = Crash{Proc: p, At: at, RestartAt: at + downFor}
+	}
+	return cs
+}
+
+// Apply validates the plan against the network's registered processes
+// and compiles it onto the event queue. It only schedules events — the
+// faults take effect as the simulation runs. Call it any time before (or
+// during) Run; events whose time has already passed fire immediately on
+// the next step.
+func (p Plan) Apply(w *msgnet.Network) error {
+	if err := p.validate(w); err != nil {
+		return err
+	}
+	for _, c := range p.Crashes {
+		w.Crash(c.Proc, c.At)
+		if c.RestartAt > 0 {
+			w.Restart(c.Proc, c.RestartAt)
+		}
+	}
+	for _, part := range p.Partitions {
+		part := part
+		pairs := crossPairs(part.Groups)
+		w.At(part.From, func() {
+			for _, pr := range pairs {
+				w.Block(pr[0], pr[1])
+			}
+		})
+		if part.Until > 0 {
+			w.At(part.Until, func() {
+				for _, pr := range pairs {
+					w.Unblock(pr[0], pr[1])
+				}
+			})
+		}
+	}
+	for _, lf := range p.Links {
+		lf := lf
+		w.At(lf.Start, func() { w.SetLinkRule(lf.From, lf.To, lf.Rule) })
+		if lf.Until > 0 {
+			w.At(lf.Until, func() { w.ClearLinkRule(lf.From, lf.To) })
+		}
+	}
+	return nil
+}
+
+// crossPairs enumerates every directed cross-group link, in a
+// deterministic order.
+func crossPairs(groups [][]msgnet.ProcID) [][2]msgnet.ProcID {
+	var pairs [][2]msgnet.ProcID
+	for i := 0; i < len(groups); i++ {
+		for j := i + 1; j < len(groups); j++ {
+			for _, a := range groups[i] {
+				for _, b := range groups[j] {
+					pairs = append(pairs, [2]msgnet.ProcID{a, b}, [2]msgnet.ProcID{b, a})
+				}
+			}
+		}
+	}
+	return pairs
+}
+
+func (p Plan) validate(w *msgnet.Network) error {
+	known := map[msgnet.ProcID]bool{}
+	for _, id := range w.NodeIDs() {
+		known[id] = true
+	}
+	for i, c := range p.Crashes {
+		if !known[c.Proc] {
+			return fmt.Errorf("faults: crash %d: unknown process %q", i, c.Proc)
+		}
+		if c.At < 0 {
+			return fmt.Errorf("faults: crash %d: negative time %d", i, c.At)
+		}
+		if c.RestartAt != 0 && c.RestartAt <= c.At {
+			return fmt.Errorf("faults: crash %d: restart at %d not after crash at %d",
+				i, c.RestartAt, c.At)
+		}
+	}
+	for i, part := range p.Partitions {
+		if len(part.Groups) < 2 {
+			return fmt.Errorf("faults: partition %d: needs at least two groups", i)
+		}
+		if part.From < 0 {
+			return fmt.Errorf("faults: partition %d: negative start %d", i, part.From)
+		}
+		if part.Until != 0 && part.Until <= part.From {
+			return fmt.Errorf("faults: partition %d: heal at %d not after start at %d",
+				i, part.Until, part.From)
+		}
+		seen := map[msgnet.ProcID]bool{}
+		for _, g := range part.Groups {
+			for _, proc := range g {
+				if !known[proc] {
+					return fmt.Errorf("faults: partition %d: unknown process %q", i, proc)
+				}
+				if seen[proc] {
+					return fmt.Errorf("faults: partition %d: process %q in two groups", i, proc)
+				}
+				seen[proc] = true
+			}
+		}
+	}
+	// Two rules on the same directed link must not overlap in time:
+	// SetLinkRule replaces and ClearLinkRule clears unconditionally, so
+	// overlap would silently drop one fault's tail.
+	byLink := map[[2]msgnet.ProcID][]LinkFault{}
+	for i, lf := range p.Links {
+		if !known[lf.From] {
+			return fmt.Errorf("faults: link fault %d: unknown process %q", i, lf.From)
+		}
+		if !known[lf.To] {
+			return fmt.Errorf("faults: link fault %d: unknown process %q", i, lf.To)
+		}
+		if lf.Start < 0 {
+			return fmt.Errorf("faults: link fault %d: negative start %d", i, lf.Start)
+		}
+		if lf.Until != 0 && lf.Until <= lf.Start {
+			return fmt.Errorf("faults: link fault %d: end at %d not after start at %d",
+				i, lf.Until, lf.Start)
+		}
+		for _, pr := range []float64{lf.Rule.DropProb, lf.Rule.DupProb} {
+			if pr < 0 || pr > 1 {
+				return fmt.Errorf("faults: link fault %d: probability %v outside [0,1]", i, pr)
+			}
+		}
+		k := [2]msgnet.ProcID{lf.From, lf.To}
+		byLink[k] = append(byLink[k], lf)
+	}
+	for k, lfs := range byLink {
+		sort.Slice(lfs, func(i, j int) bool { return lfs[i].Start < lfs[j].Start })
+		for i := 1; i < len(lfs); i++ {
+			prev := lfs[i-1]
+			if prev.Until == 0 || lfs[i].Start < prev.Until {
+				return fmt.Errorf("faults: overlapping link faults on %s→%s", k[0], k[1])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+package faults_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/msgnet"
+)
+
+// echo records delivered payloads.
+type echo struct {
+	got []string
+}
+
+func (e *echo) Init(n *msgnet.Node) {}
+func (e *echo) OnMessage(n *msgnet.Node, from msgnet.ProcID, payload any) {
+	e.got = append(e.got, payload.(string))
+}
+func (e *echo) OnTimer(n *msgnet.Node, name string) {}
+
+type harness struct {
+	w     *msgnet.Network
+	hs    map[msgnet.ProcID]*echo
+	nodes map[msgnet.ProcID]*msgnet.Node
+}
+
+func build(seed int64, ids ...msgnet.ProcID) *harness {
+	h := &harness{
+		w:     msgnet.New(msgnet.Config{Seed: seed}),
+		hs:    map[msgnet.ProcID]*echo{},
+		nodes: map[msgnet.ProcID]*msgnet.Node{},
+	}
+	for _, id := range ids {
+		e := &echo{}
+		h.hs[id] = e
+		h.nodes[id] = h.w.AddNode(id, e)
+	}
+	return h
+}
+
+func (h *harness) sendAt(t msgnet.Time, from, to msgnet.ProcID, m string) {
+	h.w.At(t, func() { h.nodes[from].Send(to, m) })
+}
+
+func TestApplyValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		plan faults.Plan
+		want string
+	}{
+		{"unknown crash proc", faults.Plan{Crashes: []faults.Crash{{Proc: "x", At: 1}}}, "unknown process"},
+		{"restart before crash", faults.Plan{Crashes: []faults.Crash{{Proc: "a", At: 5, RestartAt: 3}}}, "not after crash"},
+		{"one group", faults.Plan{Partitions: []faults.Partition{{Groups: [][]msgnet.ProcID{{"a"}}, From: 1}}}, "two groups"},
+		{"proc in two groups", faults.Plan{Partitions: []faults.Partition{
+			{Groups: [][]msgnet.ProcID{{"a"}, {"a", "b"}}, From: 1, Until: 2}}}, "in two groups"},
+		{"heal before start", faults.Plan{Partitions: []faults.Partition{
+			{Groups: [][]msgnet.ProcID{{"a"}, {"b"}}, From: 5, Until: 5}}}, "not after start"},
+		{"unknown link proc", faults.Plan{Links: []faults.LinkFault{{From: "a", To: "nope", Start: 0, Until: 5}}}, "unknown process"},
+		{"bad probability", faults.Plan{Links: []faults.LinkFault{
+			{From: "a", To: "b", Rule: msgnet.LinkRule{DropProb: 1.5}, Start: 0, Until: 5}}}, "outside [0,1]"},
+		{"overlapping link faults", faults.Plan{Links: []faults.LinkFault{
+			{From: "a", To: "b", Start: 0, Until: 10},
+			{From: "a", To: "b", Start: 5, Until: 15}}}, "overlapping"},
+		{"open-ended then second", faults.Plan{Links: []faults.LinkFault{
+			{From: "a", To: "b", Start: 0},
+			{From: "a", To: "b", Start: 50, Until: 60}}}, "overlapping"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := build(1, "a", "b")
+			err := tc.plan.Apply(h.w)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Apply() = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCrashAndRestartSchedule(t *testing.T) {
+	h := build(1, "a", "b")
+	plan := faults.Plan{Crashes: []faults.Crash{{Proc: "b", At: 5, RestartAt: 20}}}
+	if err := plan.Apply(h.w); err != nil {
+		t.Fatal(err)
+	}
+	h.sendAt(2, "a", "b", "before") // delivered at 3
+	h.sendAt(10, "a", "b", "down")  // b crashed
+	h.sendAt(25, "a", "b", "after") // delivered post-restart
+	h.w.Run(100)
+	if got := h.hs["b"].got; len(got) != 2 || got[0] != "before" || got[1] != "after" {
+		t.Fatalf("b got %v", got)
+	}
+}
+
+func TestPartitionBlocksAndHeals(t *testing.T) {
+	h := build(1, "a", "b", "c")
+	plan := faults.Plan{Partitions: []faults.Partition{
+		faults.Split([]msgnet.ProcID{"a"}, []msgnet.ProcID{"b"}, 5, 20),
+	}}
+	if err := plan.Apply(h.w); err != nil {
+		t.Fatal(err)
+	}
+	h.sendAt(6, "a", "b", "cut-ab")  // dropped
+	h.sendAt(6, "b", "a", "cut-ba")  // dropped (both directions)
+	h.sendAt(6, "a", "c", "open-ac") // c not listed: unaffected
+	h.sendAt(6, "c", "b", "open-cb")
+	h.sendAt(25, "a", "b", "healed")
+	h.w.Run(100)
+	if got := h.hs["b"].got; len(got) != 2 || got[0] != "open-cb" || got[1] != "healed" {
+		t.Fatalf("b got %v", got)
+	}
+	if got := h.hs["a"].got; len(got) != 0 {
+		t.Fatalf("a got %v", got)
+	}
+	if got := h.hs["c"].got; len(got) != 1 || got[0] != "open-ac" {
+		t.Fatalf("c got %v", got)
+	}
+}
+
+func TestLinkFaultWindow(t *testing.T) {
+	h := build(1, "a", "b")
+	plan := faults.Plan{Links: []faults.LinkFault{
+		{From: "a", To: "b", Rule: msgnet.LinkRule{DropProb: 1}, Start: 5, Until: 20},
+	}}
+	if err := plan.Apply(h.w); err != nil {
+		t.Fatal(err)
+	}
+	h.sendAt(2, "a", "b", "before")
+	h.sendAt(10, "a", "b", "during")
+	h.sendAt(25, "a", "b", "after")
+	h.w.Run(100)
+	if got := h.hs["b"].got; len(got) != 2 || got[0] != "before" || got[1] != "after" {
+		t.Fatalf("b got %v", got)
+	}
+}
+
+func TestRollingRestart(t *testing.T) {
+	cs := faults.RollingRestart([]msgnet.ProcID{"a", "b", "c"}, 10, 8, 5)
+	want := []faults.Crash{
+		{Proc: "a", At: 10, RestartAt: 15},
+		{Proc: "b", At: 18, RestartAt: 23},
+		{Proc: "c", At: 26, RestartAt: 31},
+	}
+	if len(cs) != len(want) {
+		t.Fatalf("got %d crashes", len(cs))
+	}
+	for i := range cs {
+		if cs[i] != want[i] {
+			t.Fatalf("crash %d = %+v, want %+v", i, cs[i], want[i])
+		}
+	}
+}
+
+func TestPlanDeterminism(t *testing.T) {
+	run := func() uint64 {
+		h := build(42, "a", "b", "c")
+		plan := faults.Plan{
+			Crashes: faults.RollingRestart([]msgnet.ProcID{"b", "c"}, 10, 15, 6),
+			Partitions: []faults.Partition{
+				faults.Split([]msgnet.ProcID{"a"}, []msgnet.ProcID{"b", "c"}, 40, 55),
+			},
+			Links: []faults.LinkFault{
+				{From: "a", To: "b", Rule: msgnet.LinkRule{DropProb: 0.4, DupProb: 0.3, ExtraMaxDelay: 3}, Start: 0, Until: 70},
+			},
+		}
+		if err := plan.Apply(h.w); err != nil {
+			t.Fatal(err)
+		}
+		for i := msgnet.Time(0); i < 80; i += 2 {
+			h.sendAt(i, "a", "b", "m")
+			h.sendAt(i, "a", "c", "m")
+		}
+		h.w.Run(1000)
+		return h.w.ScheduleDigest()
+	}
+	if d0, d1 := run(), run(); d0 != d1 {
+		t.Fatalf("same seed+plan diverged: %x vs %x", d0, d1)
+	}
+}
+
+func TestEmptyPlanPreservesBaselineSchedule(t *testing.T) {
+	run := func(apply bool) uint64 {
+		h := build(7, "a", "b")
+		if apply {
+			if err := (faults.Plan{}).Apply(h.w); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := msgnet.Time(0); i < 30; i++ {
+			h.sendAt(i, "a", "b", "m")
+		}
+		h.w.Run(1000)
+		return h.w.ScheduleDigest()
+	}
+	if d0, d1 := run(false), run(true); d0 != d1 {
+		t.Fatalf("empty plan perturbed the schedule: %x vs %x", d0, d1)
+	}
+}

@@ -160,6 +160,10 @@ type classicalSearcher struct {
 	placedSmall uint64
 	placedSpill check.BitSet
 	nplaced     int
+
+	// audit shadows the spill-path memo with exact placed-set keys under
+	// -tags memocheck; a zero-size no-op otherwise (memocheck_off.go).
+	audit classicalAudit
 }
 
 // initPrecedence computes first[k] — the start of the suffix k must
@@ -280,6 +284,7 @@ func (s *classicalSearcher) run(st adt.State) (bool, error) {
 	}
 	key := s.key(st)
 	if _, hit := s.failed[key]; hit {
+		s.auditHit(key)
 		return false, nil
 	}
 	// Place/unplace pairs inside the loop restore cnt and curMin exactly,
@@ -308,6 +313,7 @@ func (s *classicalSearcher) run(st adt.State) (bool, error) {
 	}
 	if s.memoLimit <= 0 || len(s.failed) < s.memoLimit {
 		s.failed[key] = struct{}{}
+		s.auditInsert(key)
 	}
 	return false, nil
 }

@@ -19,3 +19,16 @@ func (s *searcher) auditHit(memoKey)    {}
 // always zero without the memocheck build tag (the audit is compiled
 // out).
 func MemoCollisions() uint64 { return 0 }
+
+// classicalAudit is the no-op audit table of the default build for the
+// classical checker's spill-path memo (decision 13's lossy BitSet
+// digest beyond 63 operations).
+type classicalAudit struct{}
+
+func (s *classicalSearcher) auditInsert(classicalKey) {}
+func (s *classicalSearcher) auditHit(classicalKey)    {}
+
+// ClassicalMemoCollisions reports digest collisions observed in the
+// classical checker's spill-path memo tables; always zero without the
+// memocheck build tag.
+func ClassicalMemoCollisions() uint64 { return 0 }

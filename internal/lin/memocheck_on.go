@@ -72,3 +72,55 @@ func (s *searcher) auditHit(k memoKey) {
 		memoCollisions.Add(1)
 	}
 }
+
+var classicalCollisions atomic.Uint64
+
+// ClassicalMemoCollisions reports digest collisions observed in the
+// classical checker's spill-path memo tables since process start.
+func ClassicalMemoCollisions() uint64 { return classicalCollisions.Load() }
+
+// classicalAudit shadows one classical searcher's failed-set with the
+// exact placed sets its spill digests stand for. Only the spill path is
+// audited: up to 63 operations the key carries the placed bitmask
+// verbatim, so it cannot collide; beyond that (w0, w1) is the lossy
+// 128-bit BitSet digest of decision 13.
+type classicalAudit struct {
+	keys map[classicalKey]string
+}
+
+// placedString is the exact placed set the spill digest stands for (the
+// stateID in the key is interned, not hashed, so it needs no shadow).
+func (s *classicalSearcher) placedString() string {
+	var b strings.Builder
+	for j := 0; j < len(s.ops); j++ {
+		if s.placedSpill.Has(j) {
+			b.WriteString(strconv.Itoa(j))
+			b.WriteByte(',')
+		}
+	}
+	return b.String()
+}
+
+func (s *classicalSearcher) auditInsert(k classicalKey) {
+	if !s.spill {
+		return
+	}
+	if s.audit.keys == nil {
+		s.audit.keys = map[classicalKey]string{}
+	}
+	full := s.placedString()
+	if prev, ok := s.audit.keys[k]; ok && prev != full {
+		classicalCollisions.Add(1)
+		return
+	}
+	s.audit.keys[k] = full
+}
+
+func (s *classicalSearcher) auditHit(k classicalKey) {
+	if !s.spill {
+		return
+	}
+	if prev, ok := s.audit.keys[k]; ok && prev != s.placedString() {
+		classicalCollisions.Add(1)
+	}
+}

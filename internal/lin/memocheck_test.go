@@ -74,3 +74,57 @@ func TestMemoDigestCollisionsZero(t *testing.T) {
 	}
 	t.Logf("0 collisions across %d checks", checks)
 }
+
+// TestClassicalSpillMemoCollisionsZero audits the classical checker's
+// spill-path memo (DESIGN.md decision 13: beyond 63 operations the key
+// carries a lossy 128-bit BitSet digest of the placed set instead of the
+// exact bitmask). Every digest insert and hit is re-derived against the
+// full placed set; the count of mismatches must stay zero.
+//
+// Run with: go test -tags memocheck ./internal/lin
+func TestClassicalSpillMemoCollisionsZero(t *testing.T) {
+	checks := 0
+	// Overlap-windowed spill traces: window w gives 2^(n/w)-ish reordering
+	// choice, and the corrupted variants force failing branches that
+	// re-converge on shared placed sets — the memo's hottest shape.
+	for _, n := range []int{64, 80, 128, 200} {
+		for _, window := range []int{2, 3, 4} {
+			for _, corrupt := range []int{-1, n / 2, n - 2} {
+				tr := seqTrace(n, window, corrupt)
+				res, err := CheckClassical(context.Background(), adt.Consensus{}, tr,
+					check.WithBudget(50_000_000))
+				if err != nil {
+					t.Fatalf("n=%d window=%d corrupt=%d: %v", n, window, corrupt, err)
+				}
+				if want := corrupt < 0; res.OK != want {
+					t.Fatalf("n=%d window=%d corrupt=%d: verdict %v, want %v", n, window, corrupt, res.OK, want)
+				}
+				checks++
+			}
+		}
+	}
+	// Random spill traces: pending tails and corrupted outputs over a
+	// denser overlap structure than the windowed builder produces.
+	r := rand.New(rand.NewSource(77))
+	for i := 0; i < 40; i++ {
+		opts := workload.TraceOpts{
+			Clients: 4, Ops: 64 + r.Intn(32),
+			Inputs:      []trace.Value{adt.IncInput(), adt.GetInput()},
+			PendingProb: 0.1, UniqueTags: true,
+		}
+		if i%2 == 1 {
+			opts.CorruptProb = 0.1
+		}
+		tr := workload.Random(adt.Counter{}, r, opts)
+		if _, err := CheckClassical(context.Background(), adt.Counter{}, tr,
+			check.WithBudget(50_000_000)); err != nil {
+			t.Fatalf("random spill trace %d: %v", i, err)
+		}
+		checks++
+	}
+
+	if n := ClassicalMemoCollisions(); n != 0 {
+		t.Fatalf("%d classical spill-digest collisions across %d checks (expected zero)", n, checks)
+	}
+	t.Logf("0 classical spill collisions across %d checks", checks)
+}

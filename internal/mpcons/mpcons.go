@@ -91,6 +91,33 @@ type PhaseProtocol interface {
 	NewServer(env ServerEnv) ServerPhase
 }
 
+// Durable is optionally implemented by server phase components whose
+// protocol state must survive crash–recovery. Snapshot captures the
+// component's complete state as an opaque value; Restore rebuilds a
+// freshly constructed component from one. A host that models durable
+// storage snapshots after every delivered message — within the same
+// atomic simulator event, i.e. write-ahead with respect to anything the
+// component sent — and restores on restart, so a recovered component is
+// indistinguishable from one that merely paused.
+type Durable interface {
+	Snapshot() any
+	Restore(snap any)
+}
+
+// BallotTracker is optionally implemented by client phase components
+// that burn through a totally ordered ballot/round space (Paxos
+// proposers). A host that abandons an in-flight component and starts a
+// fresh one for the same consensus instance — a client-side retry —
+// MUST carry the old component's Round into the new component's
+// SetRoundFloor: two proposers of the same client reusing a ballot can
+// split it across two values and break agreement.
+type BallotTracker interface {
+	// Round returns the highest round this component has used.
+	Round() int64
+	// SetRoundFloor makes the component start above r.
+	SetRoundFloor(r int64)
+}
+
 // envelope tags protocol messages with their phase index.
 type envelope struct {
 	phase   int

@@ -3,14 +3,20 @@
 // the paper's first case study (§2.1). It substitutes for a real cluster
 // (DESIGN.md, substitution 1): processes exchange messages over links with
 // configurable delay distributions, loss, duplication, link blocking
-// (partitions) and crash injection, all driven by a seeded RNG so that
-// every run is replayable bit-for-bit.
+// (partitions), crash injection and crash–recovery, all driven by seeded
+// RNGs so that every run is replayable bit-for-bit.
 //
 // Virtual time is measured in abstract delay units. With the default
 // unit-delay configuration, elapsed virtual time equals the number of
 // sequential message delays on the critical path, which is the latency
 // metric the paper uses ("Quorum decides in two message delays; Paxos has
 // a minimum latency of three").
+//
+// Fault injection uses two independent random streams: the base stream
+// (message delay, global drop/dup) and a fault stream consumed only by
+// per-link rules. A run with no link rules therefore replays the exact
+// event schedule of the same seed before any rules existed — the property
+// the experiments rely on to compare faulty and fault-free runs.
 package msgnet
 
 import (
@@ -37,6 +43,18 @@ type Handler interface {
 	OnTimer(n *Node, name string)
 }
 
+// RecoverableHandler is implemented by handlers that support crash–
+// recovery. When Network.Restart revives a crashed node, OnRestart runs
+// before any further delivery so the handler can discard volatile state
+// and rebuild from whatever it models as durable. Handlers that do not
+// implement it resume with their in-memory state intact, which models a
+// process whose entire state is durable (crash = long pause losing only
+// in-flight messages and timers).
+type RecoverableHandler interface {
+	Handler
+	OnRestart(n *Node)
+}
+
 // Config parameterizes the network.
 type Config struct {
 	// Seed drives all randomness; runs with equal seeds are identical.
@@ -60,6 +78,28 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// LinkRule is a per-link fault rule applied on top of the global Config
+// probabilities: extra loss, extra duplication and extra delay for
+// messages over one directed link. Rules draw from the dedicated fault
+// RNG stream, never from the base stream.
+type LinkRule struct {
+	// DropProb is the probability a message on the link is lost.
+	DropProb float64
+	// DupProb is the probability a message on the link is duplicated.
+	DupProb float64
+	// ExtraMinDelay and ExtraMaxDelay bound an additional delivery delay,
+	// drawn uniformly, added to the base delay (both zero = no extra).
+	ExtraMinDelay, ExtraMaxDelay Time
+}
+
+func (r LinkRule) extraDelay(rng *rand.Rand) Time {
+	d := r.ExtraMinDelay
+	if r.ExtraMaxDelay > r.ExtraMinDelay {
+		d += Time(rng.Int63n(int64(r.ExtraMaxDelay - r.ExtraMinDelay + 1)))
+	}
+	return d
+}
+
 type eventKind uint8
 
 const (
@@ -78,8 +118,9 @@ type event struct {
 	from    ProcID
 	payload any
 
-	timerName string
-	timerGen  int64
+	timerName  string
+	timerGen   int64
+	timerEpoch int64
 
 	call func()
 }
@@ -108,29 +149,41 @@ func (h *eventHeap) Pop() any {
 // then Run.
 type Network struct {
 	cfg   Config
-	rng   *rand.Rand
+	rng   *rand.Rand // base stream: delay, global drop/dup
+	frng  *rand.Rand // fault stream: per-link rules only
 	now   Time
 	seq   int64
 	queue eventHeap
 	nodes map[ProcID]*Node
 	order []*Node // insertion order, for deterministic Init
-	// blocked links (directed); messages over blocked links are dropped.
-	blocked map[[2]ProcID]bool
+	// blocked links (directed), counted so overlapping partitions nest:
+	// a link is open only when its count is zero.
+	blocked map[[2]ProcID]int
+	rules   map[[2]ProcID]LinkRule
+
+	// dig is a running FNV-1a digest of the dispatched event schedule.
+	dig uint64
 
 	// Statistics.
-	sent      int64
-	delivered int64
-	dropped   int64
+	sent       int64
+	delivered  int64
+	dropped    int64
+	duplicated int64
 }
 
 // New creates an empty network.
 func New(cfg Config) *Network {
 	cfg = cfg.withDefaults()
 	return &Network{
-		cfg:     cfg,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		// Distinct derived seed: the fault stream must differ from the base
+		// stream yet stay a pure function of cfg.Seed.
+		frng:    rand.New(rand.NewSource(cfg.Seed ^ 0x5eedfa17)),
 		nodes:   map[ProcID]*Node{},
-		blocked: map[[2]ProcID]bool{},
+		blocked: map[[2]ProcID]int{},
+		rules:   map[[2]ProcID]LinkRule{},
+		dig:     fnvOffset,
 	}
 }
 
@@ -141,8 +194,10 @@ type Node struct {
 	handler     Handler
 	crashed     bool
 	initialized bool
-	// timerGen invalidates outstanding timers per name when reset.
+	// timerGen invalidates outstanding timers per name when reset; epoch
+	// invalidates every timer armed before the node's last crash.
 	timerGen map[string]int64
+	epoch    int64
 }
 
 // AddNode registers a process. It panics if the ID is duplicated (a
@@ -160,6 +215,15 @@ func (w *Network) AddNode(id ProcID, h Handler) *Node {
 // Procs returns the number of registered processes.
 func (w *Network) Procs() int { return len(w.nodes) }
 
+// NodeIDs returns all registered process IDs in insertion order.
+func (w *Network) NodeIDs() []ProcID {
+	ids := make([]ProcID, len(w.order))
+	for i, n := range w.order {
+		ids[i] = n.id
+	}
+	return ids
+}
+
 // At schedules fn to run at absolute virtual time t (or now, if t is in
 // the past). Used to script workloads and fault injections.
 func (w *Network) At(t Time, fn func()) {
@@ -170,21 +234,64 @@ func (w *Network) At(t Time, fn func()) {
 }
 
 // Crash schedules process id to crash at time t: from then on it receives
-// no messages or timers and sends nothing.
+// no messages or timers and sends nothing, until (and unless) Restart
+// revives it. Crashing discards all timer bookkeeping — a crashed process
+// loses its timers, and stale in-flight timer events can never fire into
+// a post-restart incarnation (each crash advances the node's epoch).
 func (w *Network) Crash(id ProcID, t Time) {
 	w.At(t, func() {
-		if n := w.nodes[id]; n != nil {
+		if n := w.nodes[id]; n != nil && !n.crashed {
 			n.crashed = true
+			n.epoch++
+			// Drop, don't leak: outstanding names would otherwise pin one
+			// map entry each forever on a node that can no longer fire them.
+			for name := range n.timerGen {
+				delete(n.timerGen, name)
+			}
 		}
 	})
 }
 
-// Block drops all messages from a to b until Unblock. Blocking both
-// directions of every pair across a cut simulates a partition.
-func (w *Network) Block(a, b ProcID) { w.blocked[[2]ProcID{a, b}] = true }
+// Restart schedules process id to recover at time t. A node that is not
+// crashed at that time is left untouched. The revived node receives
+// messages sent after the restart; messages and timers from before the
+// crash are gone. If the handler implements RecoverableHandler its
+// OnRestart hook runs first, so it can rebuild from durable state.
+func (w *Network) Restart(id ProcID, t Time) {
+	w.At(t, func() {
+		n := w.nodes[id]
+		if n == nil || !n.crashed {
+			return
+		}
+		n.crashed = false
+		if rh, ok := n.handler.(RecoverableHandler); ok {
+			rh.OnRestart(n)
+		}
+	})
+}
 
-// Unblock re-enables the link from a to b.
-func (w *Network) Unblock(a, b ProcID) { delete(w.blocked, [2]ProcID{a, b}) }
+// Block drops all messages from a to b until a matching Unblock. Blocking
+// both directions of every pair across a cut simulates a partition.
+// Blocks nest: a link blocked twice needs two Unblocks to reopen, so
+// overlapping fault plans compose.
+func (w *Network) Block(a, b ProcID) { w.blocked[[2]ProcID{a, b}]++ }
+
+// Unblock undoes one Block of the link from a to b.
+func (w *Network) Unblock(a, b ProcID) {
+	k := [2]ProcID{a, b}
+	if w.blocked[k] <= 1 {
+		delete(w.blocked, k)
+	} else {
+		w.blocked[k]--
+	}
+}
+
+// SetLinkRule installs (or replaces) the fault rule for the directed link
+// from a to b, effective for messages sent from now on.
+func (w *Network) SetLinkRule(a, b ProcID, r LinkRule) { w.rules[[2]ProcID{a, b}] = r }
+
+// ClearLinkRule removes the fault rule for the directed link from a to b.
+func (w *Network) ClearLinkRule(a, b ProcID) { delete(w.rules, [2]ProcID{a, b}) }
 
 // Now returns current virtual time.
 func (w *Network) Now() Time { return w.now }
@@ -194,6 +301,41 @@ func (w *Network) Stats() (sent, delivered, dropped int64) {
 	return w.sent, w.delivered, w.dropped
 }
 
+// Duplicated returns the number of extra message copies scheduled by
+// duplication (global DupProb or link rules).
+func (w *Network) Duplicated() int64 { return w.duplicated }
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime }
+
+func fnvUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(v>>(8*i)))
+	}
+	return h
+}
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = fnvByte(h, s[i])
+	}
+	return fnvByte(h, 0xff) // terminator: "ab","c" ≠ "a","bc"
+}
+
+// ScheduleDigest returns a digest of the effective event schedule so
+// far: every event that reached a handler (or scheduled call), with its
+// time, kind and endpoints, in dispatch order. Cancelled timers and
+// deliveries to crashed nodes are excluded — they are queue residue, not
+// behavior. Two runs with equal digests executed the same schedule event
+// for event: the determinism oracle for fault-plan replay tests, and the
+// reason a run that merely *arms* extra (never-firing) timers still
+// digests identically to one that doesn't.
+func (w *Network) ScheduleDigest() uint64 { return w.dig }
+
 func (w *Network) push(e *event) {
 	e.seq = w.seq
 	w.seq++
@@ -201,7 +343,11 @@ func (w *Network) push(e *event) {
 }
 
 // Run processes events until the queue is empty or virtual time would
-// exceed maxTime. It returns the virtual time of the last processed event.
+// exceed maxTime. It returns the virtual time of the last effective
+// event: queue residue (cancelled timers, deliveries to crashed nodes)
+// neither advances the clock nor counts as behavior, so a run that armed
+// timers which never fire ends at the same virtual time as one that
+// never armed them.
 func (w *Network) Run(maxTime Time) Time {
 	for _, n := range w.order {
 		if !n.initialized {
@@ -215,33 +361,56 @@ func (w *Network) Run(maxTime Time) Time {
 			break
 		}
 		heap.Pop(&w.queue)
+		if w.dead(e) {
+			continue
+		}
 		w.now = e.at
 		w.dispatch(e)
 	}
 	return w.now
 }
 
+// dead reports whether a popped event is queue residue with no
+// observable effect: a cancelled or superseded timer, a timer armed
+// before its node's last crash, or a delivery or timer for a crashed or
+// unknown node. Dead events do not advance virtual time and are excluded
+// from the schedule digest.
+func (w *Network) dead(e *event) bool {
+	switch e.kind {
+	case evDeliver:
+		n := w.nodes[e.to]
+		return n == nil || n.crashed
+	case evTimer:
+		n := w.nodes[e.to]
+		return n == nil || n.crashed ||
+			n.epoch != e.timerEpoch || n.timerGen[e.timerName] != e.timerGen
+	}
+	return false
+}
+
 func (w *Network) dispatch(e *event) {
 	switch e.kind {
 	case evCall:
+		w.digest(e)
 		e.call()
 	case evDeliver:
-		n := w.nodes[e.to]
-		if n == nil || n.crashed {
-			return
-		}
+		w.digest(e)
 		w.delivered++
+		n := w.nodes[e.to]
 		n.handler.OnMessage(n, e.from, e.payload)
 	case evTimer:
+		w.digest(e)
 		n := w.nodes[e.to]
-		if n == nil || n.crashed {
-			return
-		}
-		if n.timerGen[e.timerName] != e.timerGen {
-			return // cancelled or reset
-		}
 		n.handler.OnTimer(n, e.timerName)
 	}
+}
+
+func (w *Network) digest(e *event) {
+	h := fnvUint64(w.dig, uint64(e.at))
+	h = fnvByte(h, byte(e.kind))
+	h = fnvString(h, string(e.to))
+	h = fnvString(h, string(e.from))
+	w.dig = h
 }
 
 // ID returns the node's process ID.
@@ -254,14 +423,20 @@ func (n *Node) Now() Time { return n.net.now }
 func (n *Node) Crashed() bool { return n.crashed }
 
 // Send queues a message to the destination, subject to delay, loss and
-// duplication. Sends from crashed nodes are ignored.
+// duplication (global and per-link). Sends from crashed nodes are
+// ignored.
 func (n *Node) Send(to ProcID, payload any) {
 	w := n.net
 	if n.crashed {
 		return
 	}
 	w.sent++
-	if w.blocked[[2]ProcID{n.id, to}] {
+	if w.blocked[[2]ProcID{n.id, to}] > 0 {
+		w.dropped++
+		return
+	}
+	rule, ruled := w.rules[[2]ProcID{n.id, to}]
+	if ruled && rule.DropProb > 0 && w.frng.Float64() < rule.DropProb {
 		w.dropped++
 		return
 	}
@@ -274,10 +449,18 @@ func (n *Node) Send(to ProcID, payload any) {
 		if w.cfg.MaxDelay > w.cfg.MinDelay {
 			d += Time(w.rng.Int63n(int64(w.cfg.MaxDelay - w.cfg.MinDelay + 1)))
 		}
+		if ruled {
+			d += rule.extraDelay(w.frng)
+		}
 		w.push(&event{at: w.now + d, kind: evDeliver, to: to, from: n.id, payload: payload})
 	}
 	deliver()
+	if ruled && rule.DupProb > 0 && w.frng.Float64() < rule.DupProb {
+		w.duplicated++
+		deliver()
+	}
 	if w.cfg.DupProb > 0 && w.rng.Float64() < w.cfg.DupProb {
+		w.duplicated++
 		deliver()
 	}
 }
@@ -287,11 +470,12 @@ func (n *Node) Send(to ProcID, payload any) {
 func (n *Node) SetTimer(name string, d Time) {
 	n.timerGen[name]++
 	n.net.push(&event{
-		at:        n.net.now + d,
-		kind:      evTimer,
-		to:        n.id,
-		timerName: name,
-		timerGen:  n.timerGen[name],
+		at:         n.net.now + d,
+		kind:       evTimer,
+		to:         n.id,
+		timerName:  name,
+		timerGen:   n.timerGen[name],
+		timerEpoch: n.epoch,
 	})
 }
 
@@ -303,7 +487,8 @@ func (n *Node) CancelTimer(name string) { n.timerGen[name]++ }
 // timer name for the node's lifetime; handlers that scope timer names to
 // short-lived instances (e.g. one replicated-log slot) release the names
 // when the instance retires so memory stays proportional to live
-// instances. A released name must never be armed again: a stale
-// in-flight event of the old name could then fire against the fresh
-// generation counter.
+// instances. A released name must never be armed again within one
+// incarnation: a stale in-flight event of the old name could then fire
+// against the fresh generation counter. (Crossing a crash is safe — the
+// epoch guard invalidates pre-crash timers wholesale.)
 func (n *Node) ReleaseTimer(name string) { delete(n.timerGen, name) }

@@ -212,6 +212,203 @@ func TestRunHonorsMaxTime(t *testing.T) {
 	}
 }
 
+// recHandler is a pingPong that supports crash–recovery and counts
+// OnRestart invocations.
+type recHandler struct {
+	pingPong
+	restarts int
+}
+
+func (r *recHandler) OnRestart(n *Node) { r.restarts++ }
+
+func TestRestartRevivesNode(t *testing.T) {
+	w := New(Config{Seed: 1})
+	a := &pingPong{}
+	b := &recHandler{}
+	w.AddNode("a", a)
+	w.AddNode("b", b)
+	w.Crash("b", 5)
+	w.Restart("b", 20)
+	w.At(10, func() { w.nodes["a"].Send("b", "while-down") })
+	w.At(30, func() { w.nodes["a"].Send("b", "after-up") })
+	w.Run(100)
+	if len(b.got) != 1 || b.got[0] != "after-up" {
+		t.Fatalf("b got %v", b.got)
+	}
+	if b.restarts != 1 {
+		t.Fatalf("OnRestart ran %d times", b.restarts)
+	}
+	if w.nodes["b"].Crashed() {
+		t.Fatal("b still crashed after restart")
+	}
+}
+
+func TestRestartOfLiveNodeIsNoop(t *testing.T) {
+	w := New(Config{Seed: 1})
+	b := &recHandler{}
+	w.AddNode("b", b)
+	w.Restart("b", 5)
+	w.Run(100)
+	if b.restarts != 0 {
+		t.Fatalf("OnRestart ran on a node that never crashed")
+	}
+}
+
+func TestCrashClearsTimerBookkeeping(t *testing.T) {
+	// Regression: Crash used to leave timerGen entries behind forever.
+	w := New(Config{Seed: 1})
+	a := &pingPong{}
+	w.AddNode("a", a)
+	w.At(0, func() {
+		n := w.nodes["a"]
+		n.SetTimer("t1", 50)
+		n.SetTimer("t2", 60)
+	})
+	w.Crash("a", 5)
+	w.Run(10)
+	if got := len(w.nodes["a"].timerGen); got != 0 {
+		t.Fatalf("crash leaked %d timerGen entries", got)
+	}
+}
+
+func TestStaleTimerCannotFireAcrossRestart(t *testing.T) {
+	// A timer armed before a crash must not fire into the post-restart
+	// incarnation even if the restarted handler re-arms the same name and
+	// the generation counters collide (both restart at 1).
+	w := New(Config{Seed: 1})
+	a := &pingPong{}
+	w.AddNode("a", a)
+	w.At(0, func() { w.nodes["a"].SetTimer("t", 50) }) // gen 1, epoch 0
+	w.Crash("a", 5)
+	w.Restart("a", 10)
+	w.At(10, func() { w.nodes["a"].SetTimer("t", 50) }) // gen 1 again, epoch 1
+	w.Run(200)
+	if len(a.got) != 1 || a.got[0] != "timer:t" || a.gotTimes[0] != 60 {
+		t.Fatalf("timer firings: %v at %v (want one firing at 60)", a.got, a.gotTimes)
+	}
+}
+
+func TestLinkRuleDropAndClear(t *testing.T) {
+	w := New(Config{Seed: 2})
+	a := &pingPong{}
+	b := &pingPong{}
+	w.AddNode("a", a)
+	w.AddNode("b", b)
+	w.SetLinkRule("a", "b", LinkRule{DropProb: 1})
+	w.At(1, func() { w.nodes["a"].Send("b", "x") })
+	w.At(2, func() { w.nodes["b"].Send("a", "y") }) // reverse link unruled
+	w.Run(100)
+	if len(b.got) != 0 {
+		t.Fatalf("ruled link delivered: %v", b.got)
+	}
+	if len(a.got) != 1 {
+		t.Fatalf("reverse link affected: %v", a.got)
+	}
+	w.ClearLinkRule("a", "b")
+	w.At(10, func() { w.nodes["a"].Send("b", "z") })
+	w.Run(100)
+	if len(b.got) != 1 || b.got[0] != "z" {
+		t.Fatalf("cleared rule still dropping: %v", b.got)
+	}
+}
+
+func TestLinkRuleDupAndDelay(t *testing.T) {
+	w := New(Config{Seed: 2})
+	a := &pingPong{}
+	b := &pingPong{}
+	w.AddNode("a", a)
+	w.AddNode("b", b)
+	w.SetLinkRule("a", "b", LinkRule{DupProb: 1, ExtraMinDelay: 10, ExtraMaxDelay: 10})
+	w.At(1, func() { w.nodes["a"].Send("b", "m") })
+	w.Run(100)
+	if len(b.got) != 2 {
+		t.Fatalf("expected duplicate delivery, got %v", b.got)
+	}
+	if b.gotTimes[0] != 12 || b.gotTimes[1] != 12 {
+		t.Fatalf("extra delay not applied: %v", b.gotTimes)
+	}
+	if w.Duplicated() != 1 {
+		t.Fatalf("Duplicated() = %d", w.Duplicated())
+	}
+}
+
+func TestIdleLinkRulesPreserveSchedule(t *testing.T) {
+	// Link rules draw from a dedicated fault stream, so rules on links
+	// that carry no traffic must not perturb the base schedule — the
+	// property that lets fault-free fault-plan runs replay the baseline.
+	run := func(withRules bool) uint64 {
+		w := New(Config{Seed: 9, MinDelay: 1, MaxDelay: 4, DropProb: 0.1, DupProb: 0.1})
+		a := &pingPong{peer: "b", starter: true}
+		b := &pingPong{peer: "a"}
+		w.AddNode("a", a)
+		w.AddNode("b", b)
+		w.AddNode("c", &pingPong{})
+		if withRules {
+			w.SetLinkRule("c", "a", LinkRule{DropProb: 0.9, DupProb: 0.9, ExtraMaxDelay: 7})
+		}
+		for i := Time(0); i < 40; i += 2 {
+			w.At(i, func() { w.nodes["a"].Send("b", "ping") })
+		}
+		w.Run(1000)
+		return w.ScheduleDigest()
+	}
+	if d0, d1 := run(false), run(true); d0 != d1 {
+		t.Fatalf("idle link rule changed schedule: %x vs %x", d0, d1)
+	}
+}
+
+func TestScheduleDigestDeterminism(t *testing.T) {
+	run := func(seed int64) uint64 {
+		w := New(Config{Seed: seed, MinDelay: 1, MaxDelay: 3, DropProb: 0.2, DupProb: 0.2})
+		a := &pingPong{peer: "b", starter: true}
+		w.AddNode("a", a)
+		w.AddNode("b", &pingPong{peer: "a"})
+		for i := Time(0); i < 30; i++ {
+			w.At(i, func() { w.nodes["a"].Send("b", "ping") })
+		}
+		w.Run(1000)
+		return w.ScheduleDigest()
+	}
+	if run(4) != run(4) {
+		t.Fatal("same seed produced different schedule digests")
+	}
+	if run(4) == run(5) {
+		t.Fatal("different seeds produced equal schedule digests (suspicious)")
+	}
+}
+
+func TestBlockNesting(t *testing.T) {
+	w := New(Config{Seed: 1})
+	b := &pingPong{}
+	w.AddNode("a", &pingPong{})
+	w.AddNode("b", b)
+	w.Block("a", "b")
+	w.Block("a", "b")
+	w.Unblock("a", "b")
+	w.At(1, func() { w.nodes["a"].Send("b", "x") })
+	w.Run(100)
+	if len(b.got) != 0 {
+		t.Fatalf("nested block reopened early: %v", b.got)
+	}
+	w.Unblock("a", "b")
+	w.At(10, func() { w.nodes["a"].Send("b", "y") })
+	w.Run(100)
+	if len(b.got) != 1 {
+		t.Fatalf("fully unblocked link still closed: %v", b.got)
+	}
+}
+
+func TestNodeIDsOrder(t *testing.T) {
+	w := New(Config{Seed: 1})
+	w.AddNode("z", &pingPong{})
+	w.AddNode("a", &pingPong{})
+	w.AddNode("m", &pingPong{})
+	ids := w.NodeIDs()
+	if len(ids) != 3 || ids[0] != "z" || ids[1] != "a" || ids[2] != "m" {
+		t.Fatalf("NodeIDs() = %v (want insertion order)", ids)
+	}
+}
+
 func TestDuplicateNodePanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -194,12 +194,52 @@ func (pr *proposer) learn(v trace.Value) {
 	}
 }
 
+// Round implements mpcons.BallotTracker.
+func (pr *proposer) Round() int64 { return pr.round }
+
+// SetRoundFloor implements mpcons.BallotTracker: the proposer's next
+// ballot will use a round above r. Hosts call it when replacing an
+// abandoned proposer so the successor never reuses a ballot the
+// predecessor may have driven to phase 2 (same-ballot proposals of
+// different values break agreement).
+func (pr *proposer) SetRoundFloor(r int64) {
+	if r > pr.round {
+		pr.round = r
+	}
+}
+
+var _ mpcons.BallotTracker = (*proposer)(nil)
+
 // acceptor is the server-side Paxos role.
 type acceptor struct {
 	env       mpcons.ServerEnv
 	promised  int64
 	acceptedB int64
 	acceptedV trace.Value
+}
+
+var _ mpcons.Durable = (*acceptor)(nil)
+
+// acceptorState is the durable snapshot of an acceptor: its promise and
+// accepted pair. Classic Paxos requires these to survive crashes — an
+// acceptor that forgets a promise can promise a lower ballot, and one
+// that forgets an accepted value can let a stale proposer overturn a
+// chosen value.
+type acceptorState struct {
+	Promised  int64
+	AcceptedB int64
+	AcceptedV trace.Value
+}
+
+// Snapshot implements mpcons.Durable.
+func (a *acceptor) Snapshot() any {
+	return acceptorState{Promised: a.promised, AcceptedB: a.acceptedB, AcceptedV: a.acceptedV}
+}
+
+// Restore implements mpcons.Durable.
+func (a *acceptor) Restore(snap any) {
+	st := snap.(acceptorState)
+	a.promised, a.acceptedB, a.acceptedV = st.Promised, st.AcceptedB, st.AcceptedV
 }
 
 func (a *acceptor) OnMessage(from msgnet.ProcID, payload any) {

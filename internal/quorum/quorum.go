@@ -160,6 +160,27 @@ type server struct {
 	has      bool
 }
 
+var _ mpcons.Durable = (*server)(nil)
+
+// serverState is the durable snapshot of a Quorum server: the
+// first-received proposal it is committed to accepting forever. It must
+// survive crash–recovery — a recovered server re-accepting a different
+// first value could complete a second unanimous quorum and split the
+// fast path's decision.
+type serverState struct {
+	Accepted trace.Value
+	Has      bool
+}
+
+// Snapshot implements mpcons.Durable.
+func (s *server) Snapshot() any { return serverState{Accepted: s.accepted, Has: s.has} }
+
+// Restore implements mpcons.Durable.
+func (s *server) Restore(snap any) {
+	st := snap.(serverState)
+	s.accepted, s.has = st.Accepted, st.Has
+}
+
 func (s *server) OnMessage(from msgnet.ProcID, payload any) {
 	prop, ok := payload.(proposeMsg)
 	if !ok {

@@ -39,6 +39,11 @@ type ShardedConfig struct {
 	// expiry terminates the sessions mid-run, surfacing as an error from
 	// CheckLinearizable. Nil means context.Background().
 	CheckContext context.Context
+	// WindowEvery, when positive, buckets landed submissions into
+	// fixed-width virtual-time windows (ShardedStats.Windows), keyed by
+	// landing time. Fault experiments read fast-path rate per window to
+	// see degradation and recovery around injected faults.
+	WindowEvery msgnet.Time
 }
 
 // ShardedStats aggregates submission outcomes across all shards.
@@ -49,9 +54,31 @@ type ShardedStats struct {
 	Switches     int64
 	Attempts     int64
 	// FastPath counts submissions that resolved without a single phase
-	// switch (every attempted slot decided on the fast path).
-	FastPath       int64
+	// switch or retry (every attempted slot decided on the fast path).
+	FastPath int64
+	// Retries counts timeout/restart re-proposals across all clients.
+	Retries        int64
 	PerShardLanded []int64
+	// Windows holds per-window landing aggregates (WindowEvery only).
+	Windows []WindowStat
+}
+
+// WindowStat aggregates the submissions that landed in one virtual-time
+// window [Start, End).
+type WindowStat struct {
+	Start, End msgnet.Time
+	Landed     int64
+	FastPath   int64 // landed with no switch and no retry
+	Retried    int64 // landed after at least one retry
+}
+
+// FastPathRate returns the fraction of the window's landings that never
+// left the fast path.
+func (w WindowStat) FastPathRate() float64 {
+	if w.Landed == 0 {
+		return 0
+	}
+	return float64(w.FastPath) / float64(w.Landed)
 }
 
 // MeanLatency returns the mean end-to-end latency in message delays.
@@ -228,6 +255,13 @@ func (sc *ShardedCluster) Run(maxTime msgnet.Time) msgnet.Time { return sc.net.R
 func (sc *ShardedCluster) Stats() ShardedStats {
 	s := sc.stats
 	s.PerShardLanded = append([]int64{}, sc.stats.PerShardLanded...)
+	s.Windows = append([]WindowStat{}, sc.stats.Windows...)
+	s.Retries = 0
+	for _, sh := range sc.shards {
+		for _, id := range sc.clients {
+			s.Retries += sh.byID[id].retries
+		}
+	}
 	return s
 }
 
@@ -363,11 +397,25 @@ func (r *router) OnMessage(n *msgnet.Node, from msgnet.ProcID, payload any) {
 }
 
 func (r *router) OnTimer(n *msgnet.Node, name string) {
+	if shard, ok := splitRetryTimer(name); ok {
+		if shard >= 0 && shard < len(r.perShard) {
+			r.perShard[shard].onRetryTimer()
+		}
+		return
+	}
 	shard, slot, phase, rest, ok := splitSlotTimer(name)
 	if !ok || shard < 0 || shard >= len(r.perShard) {
 		return
 	}
 	r.perShard[shard].handleTimer(slot, phase, rest)
+}
+
+// OnRestart implements msgnet.RecoverableHandler: each shard-local
+// client engine re-drives its in-flight submission.
+func (r *router) OnRestart(n *msgnet.Node) {
+	for _, c := range r.perShard {
+		c.onRestart()
+	}
 }
 
 // serverMux is the server-side node handler: one replica engine per
@@ -401,6 +449,15 @@ func (m *serverMux) OnTimer(n *msgnet.Node, name string) {
 		return
 	}
 	m.perShard[shard].handleTimer(slot, phase, rest)
+}
+
+// OnRestart implements msgnet.RecoverableHandler: each shard-local
+// replica drops its volatile phase state and rebuilds from the durable
+// store (Config.Recovery; a no-op in the full-durability model).
+func (m *serverMux) OnRestart(n *msgnet.Node) {
+	for _, r := range m.perShard {
+		r.recover()
+	}
 }
 
 // shardRecorder observes one shard through its hooks: it records per-key
@@ -567,10 +624,26 @@ func (rec *shardRecorder) land(r SubmitResult) {
 	st.TotalLatency += int64(r.Latency())
 	st.Switches += int64(r.Switches)
 	st.Attempts += int64(r.Attempts)
-	if r.Switches == 0 {
+	fast := r.Switches == 0 && r.Retries == 0
+	if fast {
 		st.FastPath++
 	}
 	st.PerShardLanded[rec.sh.id]++
+	if we := rec.sc.cfg.WindowEvery; we > 0 {
+		b := int(r.End / we)
+		for len(st.Windows) <= b {
+			s := msgnet.Time(len(st.Windows)) * we
+			st.Windows = append(st.Windows, WindowStat{Start: s, End: s + we})
+		}
+		ws := &st.Windows[b]
+		ws.Landed++
+		if fast {
+			ws.FastPath++
+		}
+		if r.Retries > 0 {
+			ws.Retried++
+		}
+	}
 
 	for rec.applied <= r.Slot {
 		e, ok := rec.pending[rec.applied]

@@ -47,6 +47,43 @@ type Config struct {
 	QuorumTimeout msgnet.Time
 	Retransmit    msgnet.Time
 	PaxosRetry    msgnet.Time
+	// Recovery models crash–recovery servers. With it on, every replica
+	// persists its server phase components' protocol state to a durable
+	// per-slot store after each delivered message — within the same
+	// atomic simulator event, i.e. write-ahead with respect to every
+	// reply the component sent — and a replica revived by
+	// msgnet.Network.Restart discards its live slot components and
+	// rebuilds them lazily from the store. Off (the default) a restarted
+	// replica resumes with its full in-memory state, modeling a process
+	// whose entire state is durable; tests assert the two models produce
+	// identical runs, which is what certifies the snapshots as complete.
+	// Client state (log, queue, in-flight submission) is durable in both
+	// models — clients are the log's learners and are assumed to persist
+	// what they learn; a restarted client re-drives its in-flight
+	// submission through the retry path (RetryTimeout).
+	Recovery bool
+	// RetryTimeout, when positive, bounds each submission attempt: a
+	// client whose in-flight command has not resolved within the timeout
+	// abandons the attempt's slot instance and re-proposes the same
+	// command at its current frontier slot, from the first phase. It
+	// must restart at phase 0 — a retry that entered the robust phase
+	// directly would propose its own command into Paxos, and only values
+	// derived from quorum accepts are safe there (a still-live fast path
+	// can reach unanimity on another client's value and split the slot);
+	// the quorum phase's own conflict/timeout switch rules degrade the
+	// fresh attempt to the robust phase with a safe value, and the
+	// re-broadcast doubles as a retransmission. The command itself is
+	// the stable retry identity — command encodings are unique, the
+	// dense-frontier discipline ensures a client passes a slot only
+	// after learning its decision, and the sharded recorder's
+	// duplicate-slot check verifies online that no retry ever lands
+	// twice. Successive retries of one submission back off exponentially
+	// (capped at RetryBackoffCap) with a small deterministic per-client
+	// jitter.
+	RetryTimeout msgnet.Time
+	// RetryBackoffCap caps the exponential retry backoff (default
+	// 8×RetryTimeout).
+	RetryBackoffCap msgnet.Time
 	// CompactEvery enables log compaction when positive: every time a
 	// client's learned watermark (its first unknown slot) advances by
 	// this many slots it broadcasts the watermark to the servers and
@@ -81,6 +118,7 @@ type SubmitResult struct {
 	End      msgnet.Time
 	Attempts int // slots tried (including the winning one)
 	Switches int // phase switches across all attempts
+	Retries  int // timeout/restart re-proposals across all attempts
 }
 
 // Latency returns the submission's end-to-end latency.
@@ -215,6 +253,9 @@ type client struct {
 	queue         []Command
 	submittedCmds []Command
 	current       *submission
+	// retries counts timeout/restart re-proposals across all submissions
+	// (for stats).
+	retries int64
 }
 
 type submission struct {
@@ -222,7 +263,12 @@ type submission struct {
 	start    msgnet.Time
 	attempts int
 	switches int
+	retries  int
 	slot     int // slot currently attempted
+	// roundFloor carries the highest Paxos round any abandoned attempt of
+	// this submission used, so retry attempts never reuse a ballot (see
+	// mpcons.BallotTracker).
+	roundFloor int64
 }
 
 type slotInstance struct {
@@ -245,6 +291,9 @@ func (c *client) enqueue(cmd Command) {
 func (c *client) startNext() {
 	if len(c.queue) == 0 {
 		c.current = nil
+		if c.sh.cfg.RetryTimeout > 0 {
+			c.node.CancelTimer(retryTimerName(c.sh.id))
+		}
 		// Going idle: an idle client learns no further slots, so its last
 		// report would pin the servers' compaction floor until new
 		// submissions arrive. Flush at a quarter of the usual window —
@@ -263,7 +312,11 @@ func (c *client) startNext() {
 	c.attempt(c.frontier)
 }
 
-// attempt proposes the current command in slot s.
+// attempt proposes the current command in slot s, starting at the fast
+// path (phase 0). Retries also restart at phase 0: only switch values
+// derived from quorum accepts may enter the robust phase (see
+// Config.RetryTimeout), so the fresh attempt relies on the quorum
+// phase's own conflict/timeout rules to degrade safely.
 func (c *client) attempt(s int) {
 	c.current.attempts++
 	c.current.slot = s
@@ -274,9 +327,91 @@ func (c *client) attempt(s int) {
 		env := &slotClientEnv{client: c, slot: s, phase: k}
 		inst.envs[k] = env
 		inst.comps[k] = p.NewClient(env)
+		if bt, ok := inst.comps[k].(mpcons.BallotTracker); ok && c.current.roundFloor > 0 {
+			bt.SetRoundFloor(c.current.roundFloor)
+		}
 	}
 	c.slots[s] = inst
 	inst.comps[0].Propose(c.current.cmd)
+	c.armRetry()
+}
+
+// armRetry (re)arms the submission-progress timer with exponential
+// backoff and deterministic jitter. One timer per (client, shard): it
+// always covers the newest attempt of the current submission.
+func (c *client) armRetry() {
+	rt := c.sh.cfg.RetryTimeout
+	if rt <= 0 {
+		return
+	}
+	maxBackoff := c.sh.cfg.RetryBackoffCap
+	if maxBackoff <= 0 {
+		maxBackoff = 8 * rt
+	}
+	d := rt
+	for i := 0; i < c.current.retries && d < maxBackoff; i++ {
+		d *= 2
+	}
+	if d > maxBackoff {
+		d = maxBackoff
+	}
+	// Deterministic jitter in [0, rt/4]: a pure function of the client,
+	// shard and retry count — never the simulator's RNG streams, so
+	// arming retries cannot perturb message scheduling.
+	if span := int64(rt/4) + 1; span > 1 {
+		h := uint64(c.index+1)*0x9e3779b97f4a7c15 + uint64(c.retries)*0x85ebca6b + uint64(c.sh.id)
+		h ^= h >> 33
+		d += msgnet.Time(int64(h % uint64(span)))
+	}
+	c.node.SetTimer(retryTimerName(c.sh.id), d)
+}
+
+// onRetryTimer abandons the in-flight attempt and re-proposes the
+// current command at the frontier. Safe by construction: the abandoned
+// instance is retired (its late messages are dropped), the replacement
+// never reuses a Paxos ballot (roundFloor), and the command cannot land
+// twice because the client only passes a slot after learning its
+// decision.
+func (c *client) onRetryTimer() {
+	if c.current == nil || c.sh.cfg.RetryTimeout <= 0 {
+		return
+	}
+	c.redoAttempt()
+}
+
+// redoAttempt is the shared retry/restart path: retire the in-flight
+// slot instance (carrying its Paxos round floor) and re-propose at the
+// frontier. The replacement reuses the retired instance's timer names,
+// so a stale in-flight timer event can fire into it despite the
+// generation bookkeeping; that is benign — both phase protocols are
+// timing-insensitive for safety, so a spurious timeout or retry tick
+// only accelerates a switch or a new ballot. Late accept replies to the
+// retired attempt reach the replacement's quorum component instead,
+// which is sound: an accept carries the server's immutable
+// first-received value, independent of which proposal solicited it.
+func (c *client) redoAttempt() {
+	c.retries++
+	c.current.retries++
+	if inst := c.slots[c.current.slot]; inst != nil {
+		for _, comp := range inst.comps {
+			if bt, ok := comp.(mpcons.BallotTracker); ok && bt.Round() > c.current.roundFloor {
+				c.current.roundFloor = bt.Round()
+			}
+		}
+		c.retire(c.current.slot, inst)
+	}
+	c.attempt(c.frontier)
+}
+
+// onRestart re-drives the in-flight submission after a client process
+// restart: the crash cleared every timer and dropped in-flight replies,
+// so the attempt would stall forever without a re-proposal. Client
+// durable state (log, queue, current submission) survives by the
+// recovery model (Config.Recovery).
+func (c *client) onRestart() {
+	if c.current != nil {
+		c.redoAttempt()
+	}
 }
 
 // decide resolves slot s with value v (called from a phase component).
@@ -305,6 +440,7 @@ func (c *client) decide(s, phase int, v Command) {
 			End:      c.node.Now(),
 			Attempts: c.current.attempts,
 			Switches: c.current.switches,
+			Retries:  c.current.retries,
 		}
 		if c.sh.keepResults {
 			c.sh.results = append(c.sh.results, result)
@@ -416,12 +552,22 @@ func (c *client) OnMessage(n *msgnet.Node, from msgnet.ProcID, payload any) {
 }
 
 func (c *client) OnTimer(n *msgnet.Node, name string) {
+	if shard, ok := splitRetryTimer(name); ok {
+		if shard == c.sh.id {
+			c.onRetryTimer()
+		}
+		return
+	}
 	shard, slot, phase, rest, ok := splitSlotTimer(name)
 	if !ok || shard != c.sh.id {
 		return
 	}
 	c.handleTimer(slot, phase, rest)
 }
+
+// OnRestart implements msgnet.RecoverableHandler for the single-shard
+// deployment.
+func (c *client) OnRestart(n *msgnet.Node) { c.onRestart() }
 
 // slotClientEnv adapts a client to one slot and phase. It records the
 // timer names the phase component uses so retire can release them.
@@ -466,11 +612,23 @@ func (e *slotClientEnv) CancelTimer(name string) {
 
 // replica is the per-shard SMR server engine: per-slot phase server
 // components, created lazily and freed below the compaction floor.
+//
+// Crash–recovery (Config.Recovery) splits the replica's state into a
+// volatile part — the live phase components in slots — and a durable
+// part: the per-slot snapshots in durable, the compaction watermarks and
+// the floor. Snapshots are written after every delivered message, inside
+// the same simulator event, so nothing a component said is ever ahead of
+// what the store remembers; a restart wipes slots and components rebuild
+// lazily from the snapshots, which makes a recovered replica
+// indistinguishable from one that merely paused.
 type replica struct {
 	sh    *Shard
 	id    msgnet.ProcID
 	node  *msgnet.Node
 	slots map[int][]mpcons.ServerPhase
+	// durable holds per-slot phase snapshots (Recovery only), bounded by
+	// the compaction window like slots.
+	durable map[int][]any
 	// wm holds per-client learned watermarks; slots below their minimum
 	// are freed and refused (gcFloor). Compaction only.
 	wm      map[msgnet.ProcID]int
@@ -480,9 +638,11 @@ type replica struct {
 func (r *replica) Init(n *msgnet.Node) { r.node = n }
 
 // components returns the slot's server phases, creating them on first
-// touch. It returns nil for slots retired by compaction: no correct
-// client proposes there anymore, so late (duplicated/delayed) messages
-// are dropped rather than resurrecting state.
+// touch — restored from the durable snapshots when recovery is modeled
+// and the slot has history. It returns nil for slots retired by
+// compaction: no correct client proposes there anymore, so late
+// (duplicated/delayed) messages are dropped rather than resurrecting
+// state.
 func (r *replica) components(slot int) []mpcons.ServerPhase {
 	if slot < r.gcFloor {
 		return nil
@@ -491,11 +651,53 @@ func (r *replica) components(slot int) []mpcons.ServerPhase {
 		return comps
 	}
 	comps := make([]mpcons.ServerPhase, len(r.sh.protos))
+	snaps := r.durable[slot]
 	for k, p := range r.sh.protos {
 		comps[k] = p.NewServer(&slotServerEnv{replica: r, slot: slot, phase: k})
+		if snaps != nil && snaps[k] != nil {
+			comps[k].(mpcons.Durable).Restore(snaps[k])
+		}
 	}
 	r.slots[slot] = comps
 	return comps
+}
+
+// persist snapshots the slot's phase state into the durable store
+// (Recovery only). Called after every delivered message or timer for the
+// slot, before the event ends — write-ahead relative to any reply the
+// components sent within the event, since nothing leaves the simulator
+// mid-event.
+func (r *replica) persist(slot int) {
+	if !r.sh.cfg.Recovery {
+		return
+	}
+	comps := r.slots[slot]
+	if comps == nil {
+		return
+	}
+	snaps := r.durable[slot]
+	if snaps == nil {
+		snaps = make([]any, len(comps))
+		if r.durable == nil {
+			r.durable = map[int][]any{}
+		}
+		r.durable[slot] = snaps
+	}
+	for k, comp := range comps {
+		if d, ok := comp.(mpcons.Durable); ok {
+			snaps[k] = d.Snapshot()
+		}
+	}
+}
+
+// recover discards the volatile phase components after a restart; they
+// rebuild lazily from the durable store. Without Recovery the whole
+// replica is modeled as durable and a restart keeps its state.
+func (r *replica) recover() {
+	if !r.sh.cfg.Recovery {
+		return
+	}
+	r.slots = map[int][]mpcons.ServerPhase{}
 }
 
 func (r *replica) handleEnvelope(from msgnet.ProcID, env slotEnvelope) {
@@ -504,6 +706,7 @@ func (r *replica) handleEnvelope(from msgnet.ProcID, env slotEnvelope) {
 		return
 	}
 	comps[env.phase].OnMessage(from, env.payload)
+	r.persist(env.slot)
 }
 
 // handleLearned advances the compaction floor: once every client has
@@ -524,6 +727,7 @@ func (r *replica) handleLearned(from msgnet.ProcID, w int) {
 	}
 	for s := r.gcFloor; s < min; s++ {
 		delete(r.slots, s)
+		delete(r.durable, s)
 	}
 	if min > r.gcFloor {
 		r.gcFloor = min
@@ -536,6 +740,7 @@ func (r *replica) handleTimer(slot, phase int, rest string) {
 		return
 	}
 	comps[phase].OnTimer(rest)
+	r.persist(slot)
 }
 
 // OnMessage/OnTimer implement msgnet.Handler for the single-shard
@@ -561,6 +766,10 @@ func (r *replica) OnTimer(n *msgnet.Node, name string) {
 	r.handleTimer(slot, phase, rest)
 }
 
+// OnRestart implements msgnet.RecoverableHandler for the single-shard
+// deployment.
+func (r *replica) OnRestart(n *msgnet.Node) { r.recover() }
+
 type slotServerEnv struct {
 	replica *replica
 	slot    int
@@ -576,6 +785,17 @@ func (e *slotServerEnv) Send(to msgnet.ProcID, p any) {
 }
 func (e *slotServerEnv) SetTimer(name string, d msgnet.Time) {
 	e.replica.node.SetTimer(slotTimerName(e.replica.sh.id, e.slot, e.phase, name), d)
+}
+
+// retryTimerName is the per-(client, shard) submission-progress timer.
+func retryTimerName(shard int) string { return "r" + strconv.Itoa(shard) }
+
+func splitRetryTimer(full string) (shard int, ok bool) {
+	if !strings.HasPrefix(full, "r") {
+		return 0, false
+	}
+	shard, err := strconv.Atoi(full[1:])
+	return shard, err == nil
 }
 
 func slotTimerName(shard, slot, phase int, name string) string {
