@@ -9,6 +9,8 @@
 //	slin-check -adt consensus a.json b.json c.json       # batch, parallel
 //	slin-check -adt consensus -check-workers 8 big.json  # parallel inside one check
 //	slin-check -adt register -stream trace.json          # incremental Session
+//	slin-check -adt register -exact trace.json           # force the exact engine
+//	                                                     # (no ADT fast path)
 //	slin-check -timeout 30s trace.json                   # context deadline
 //	slin-check -por=false trace.json                     # unreduced reference engine
 //
@@ -82,6 +84,7 @@ func main() {
 	inWorkers := flag.Int("check-workers", 0, "intra-trace workers: >1 runs the breadth engine inside each check")
 	timeout := flag.Duration("timeout", 0, "overall deadline; exceeded checks report unknown (exit 2)")
 	stream := flag.Bool("stream", false, "lin mode: feed each trace through an incremental Session instead of one-shot Check")
+	exact := flag.Bool("exact", false, "force the exact search engines (skip the ADT-specialized fast-path checkers)")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -127,7 +130,8 @@ func main() {
 	// Shard the independent checks across the worker pool (checker API
 	// v2: context-aware, functional options); verdicts come back in file
 	// order.
-	opts := []check.Option{check.WithBudget(*budget), check.WithWorkers(*inWorkers), check.WithPOR(*por)}
+	opts := []check.Option{check.WithBudget(*budget), check.WithWorkers(*inWorkers),
+		check.WithPOR(*por), check.WithExact(*exact)}
 	verdicts, err := check.Parallel(ctx, traces, *workers, func(i int, t trace.Trace) (verdict, error) {
 		switch *mode {
 		case "lin", "classical":
@@ -137,12 +141,12 @@ func main() {
 			case *mode == "lin" && *stream:
 				// Incremental session: one action at a time, same verdict
 				// as the one-shot check on every prefix.
-				sess := lin.NewSession(ctx, f, opts...)
+				sess := lin.NewSessionFast(ctx, f, opts...)
 				if err = sess.FeedAll(t); err == nil {
 					res, err = sess.Result()
 				}
 			case *mode == "lin":
-				res, err = lin.Check(ctx, f, t, opts...)
+				res, err = lin.CheckFast(ctx, f, t, opts...)
 			default:
 				res, err = lin.CheckClassical(ctx, f, t, opts...)
 			}

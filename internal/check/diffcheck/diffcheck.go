@@ -149,6 +149,101 @@ func LinPrefixes(ctx context.Context, f adt.Folder, t trace.Trace, extra ...chec
 	return nil
 }
 
+// Fastpath cross-checks the ADT-specialized fast-path checkers
+// (DESIGN.md, decision 15) against the exact engines on t: one-shot
+// lin.CheckFast vs lin.Check (verdicts must agree; a positive fast
+// verdict's witness must satisfy lin.VerifyWitness), then the fast
+// session's running verdict against the exact one-shot on every prefix.
+// Traces outside the specialized fragments exercise the transparent
+// fallback paths and must agree identically. extra options (budgets,
+// deadlines) apply to every variant; budgets must be ample — the fast
+// path spends none, so only the exact side can exhaust one.
+func Fastpath(ctx context.Context, f adt.Folder, t trace.Trace, extra ...check.Option) error {
+	// lin.VerifyWitness validates inputs through f.Apply, which rejects
+	// grammar-invalid inputs that the search engines happily fold (they
+	// never call ValidInput); witnesses are only checkable on the prefix
+	// of the trace whose inputs all parse.
+	verifiable := make([]bool, len(t)+1)
+	verifiable[0] = true
+	for i, a := range t {
+		verifiable[i+1] = verifiable[i] && (a.Kind != trace.Inv || f.ValidInput(a.Input))
+	}
+	fast, err := lin.CheckFast(ctx, f, t, extra...)
+	if err != nil {
+		return fmt.Errorf("diffcheck fastpath one-shot: %w", err)
+	}
+	exact, err := lin.Check(ctx, f, t, extra...)
+	if err != nil {
+		return fmt.Errorf("diffcheck exact one-shot: %w", err)
+	}
+	if fast.OK != exact.OK {
+		return disagree(t, "fastpath verdict disagreement: fast=%v (%s), exact=%v (%s)",
+			fast.OK, fast.Reason, exact.OK, exact.Reason)
+	}
+	if fast.OK && len(fast.Witness) > 0 && verifiable[len(t)] {
+		if werr := lin.VerifyWitness(f, t, fast.Witness); werr != nil {
+			return disagree(t, "fastpath produced an invalid witness: %v", werr)
+		}
+	}
+	sess := lin.NewSessionFast(ctx, f, extra...)
+	for k, a := range t {
+		if err := sess.Feed(a); err != nil {
+			return fmt.Errorf("diffcheck fast session feed %d: %w", k, err)
+		}
+		got, err := sess.Result()
+		if err != nil {
+			return fmt.Errorf("diffcheck fast session prefix %d: %w", k+1, err)
+		}
+		want, err := lin.Check(ctx, f, t[:k+1], extra...)
+		if err != nil {
+			return fmt.Errorf("diffcheck exact prefix %d: %w", k+1, err)
+		}
+		if got.OK != want.OK {
+			return disagree(t[:k+1], "fast session prefix %d: session=%v (%s), one-shot=%v (%s)",
+				k+1, got.OK, got.Reason, want.OK, want.Reason)
+		}
+		if got.OK && len(got.Witness) > 0 && verifiable[k+1] {
+			if werr := lin.VerifyWitness(f, t[:k+1], got.Witness); werr != nil {
+				return disagree(t[:k+1], "fast session prefix %d witness invalid: %v", k+1, werr)
+			}
+		}
+	}
+	return nil
+}
+
+// FastpathSLin cross-checks the SLin(1,n) fast-path session — sound by
+// Theorem 2, which collapses SLin(1,n) restricted to sig onto Lin —
+// against the exact slin engines: the fast session's running verdict
+// after k actions must equal the exact one-shot slin.Check of t[:k+1].
+// Traces with switch actions exercise the session's fall-back-and-replay
+// path and must agree identically. extra options apply to every variant;
+// budgets must be ample — the fast path spends none, so only the exact
+// side can exhaust one.
+func FastpathSLin(ctx context.Context, f adt.Folder, rinit slin.RInit, n int, t trace.Trace, extra ...check.Option) error {
+	sess, err := slin.NewSessionFast(ctx, f, rinit, 1, n, extra...)
+	if err != nil {
+		return fmt.Errorf("diffcheck slin fast session: %w", err)
+	}
+	for k, a := range t {
+		if err := sess.Feed(a); err != nil {
+			return fmt.Errorf("diffcheck slin fast session feed %d: %w", k, err)
+		}
+		got, err := sess.Result()
+		if err != nil {
+			return fmt.Errorf("diffcheck slin fast session prefix %d: %w", k+1, err)
+		}
+		want, err := slin.Check(ctx, f, rinit, 1, n, t[:k+1], extra...)
+		if err != nil {
+			return fmt.Errorf("diffcheck slin exact prefix %d: %w", k+1, err)
+		}
+		if got.OK != want.OK {
+			return disagree(t[:k+1], "slin fast session prefix %d: session=%v (%s), one-shot=%v (%s)",
+				k+1, got.OK, got.Reason, want.OK, want.Reason)
+		}
+	}
+	return nil
+}
+
 // SLin cross-checks the SLin engine variants on t: the depth-first
 // search and the breadth (session-backed, WithWorkers(2)) engine, each
 // with the reducer on and off. All verdicts must agree, every witness of
@@ -158,7 +253,10 @@ func LinPrefixes(ctx context.Context, f adt.Folder, t trace.Trace, extra ...chec
 // session engine may prune before the first abort arrives and then
 // discards the pruned frontiers by an unreduced replay, so its
 // cumulative counter stays non-zero by design — the verdict agreement
-// assertions cover that path).
+// assertions cover that path). Relations declaring their Admits
+// predicate order-insensitive (slin.OrderInsensitive) keep the reducer
+// on across aborts, so for them the pruned-nothing assertion is waived
+// and the verdict agreement assertions carry the soundness burden.
 func SLin(ctx context.Context, f adt.Folder, rinit slin.RInit, m, n int, t trace.Trace, temporal bool, extra ...check.Option) error {
 	hasAbort := false
 	for _, a := range t {
@@ -166,6 +264,9 @@ func SLin(ctx context.Context, f adt.Folder, rinit slin.RInit, m, n int, t trace
 			hasAbort = true
 			break
 		}
+	}
+	if slin.IsOrderInsensitive(rinit) {
+		hasAbort = false // the reducer legitimately prunes across aborts
 	}
 	type outcome struct {
 		name string

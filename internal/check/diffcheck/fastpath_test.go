@@ -1,0 +1,553 @@
+package diffcheck
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/check"
+	"repro/internal/lin"
+	"repro/internal/slin"
+	"repro/internal/trace"
+)
+
+// This file polices the ADT-specialized fast-path checkers (DESIGN.md,
+// decision 15) with the exact engines as the oracle: hand-built
+// adversarial traces at the fragment boundary, randomized sweeps, and
+// the FuzzFastpathVsExact native fuzz target.
+
+// fastBudget is ample for every trace shape in this file; only the
+// exact side spends it (the fast path spends no budget by design).
+const fastBudget = 2_000_000
+
+func inv(c string, in trace.Value) trace.Action { return trace.Invoke(trace.ClientID(c), 1, in) }
+func res(c string, in, out trace.Value) trace.Action {
+	return trace.Response(trace.ClientID(c), 1, in, out)
+}
+
+// TestFastpathRegisterBoundary drives the register core across its
+// fragment boundary: in-fragment accepts and rejects, pending
+// operations, duplicate values and inputs (fallback), semantically
+// impossible outputs, and ill-formed shapes.
+func TestFastpathRegisterBoundary(t *testing.T) {
+	rd := func(tag string) trace.Value { return adt.Tag(adt.ReadInput(), tag) }
+	cases := []struct {
+		name string
+		tr   trace.Trace
+	}{
+		{"sequential write read", trace.Trace{
+			inv("c1", adt.WriteInput("a")), res("c1", adt.WriteInput("a"), adt.WriteOutput()),
+			inv("c2", rd("1")), res("c2", rd("1"), adt.ReadOutput("a")),
+		}},
+		{"bottom read before write", trace.Trace{
+			inv("c2", rd("1")), res("c2", rd("1"), adt.ReadOutput(adt.Bottom)),
+			inv("c1", adt.WriteInput("a")), res("c1", adt.WriteInput("a"), adt.WriteOutput()),
+		}},
+		{"bottom read after closed write rejects", trace.Trace{
+			inv("c1", adt.WriteInput("a")), res("c1", adt.WriteInput("a"), adt.WriteOutput()),
+			inv("c2", rd("1")), res("c2", rd("1"), adt.ReadOutput(adt.Bottom)),
+		}},
+		{"stale read after intervening write rejects", trace.Trace{
+			inv("c1", adt.WriteInput("a")), res("c1", adt.WriteInput("a"), adt.WriteOutput()),
+			inv("c1", adt.WriteInput("b")), res("c1", adt.WriteInput("b"), adt.WriteOutput()),
+			inv("c2", rd("1")), res("c2", rd("1"), adt.ReadOutput("a")),
+		}},
+		{"concurrent writes allow either read order", trace.Trace{
+			inv("c1", adt.WriteInput("a")),
+			inv("c2", adt.WriteInput("b")),
+			inv("c3", rd("1")), res("c3", rd("1"), adt.ReadOutput("b")),
+			res("c1", adt.WriteInput("a"), adt.WriteOutput()),
+			res("c2", adt.WriteInput("b"), adt.WriteOutput()),
+			inv("c3", rd("2")), res("c3", rd("2"), adt.ReadOutput("a")),
+		}},
+		{"pending write observed by read", trace.Trace{
+			inv("c1", adt.WriteInput("a")),
+			inv("c2", rd("1")), res("c2", rd("1"), adt.ReadOutput("a")),
+		}},
+		{"read of never-written value rejects", trace.Trace{
+			inv("c1", adt.WriteInput("a")), res("c1", adt.WriteInput("a"), adt.WriteOutput()),
+			inv("c2", rd("1")), res("c2", rd("1"), adt.ReadOutput("z")),
+		}},
+		{"write answered as read rejects", trace.Trace{
+			inv("c1", adt.WriteInput("a")), res("c1", adt.WriteInput("a"), adt.ReadOutput("a")),
+		}},
+		{"duplicate write value falls back", trace.Trace{
+			inv("c1", adt.WriteInput("a")), res("c1", adt.WriteInput("a"), adt.WriteOutput()),
+			inv("c2", adt.Tag(adt.WriteInput("a"), "2")), res("c2", adt.Tag(adt.WriteInput("a"), "2"), adt.WriteOutput()),
+			inv("c3", rd("1")), res("c3", rd("1"), adt.ReadOutput("a")),
+		}},
+		{"duplicate untagged reads fall back", trace.Trace{
+			inv("c1", adt.ReadInput()), res("c1", adt.ReadInput(), adt.ReadOutput(adt.Bottom)),
+			inv("c2", adt.ReadInput()), res("c2", adt.ReadInput(), adt.ReadOutput(adt.Bottom)),
+		}},
+		{"grammar-invalid input falls back", trace.Trace{
+			inv("c1", "zap:q"), res("c1", "zap:q", adt.ReadOutput(adt.Bottom)),
+		}},
+		{"write of bottom falls back", trace.Trace{
+			inv("c1", adt.WriteInput(adt.Bottom)), res("c1", adt.WriteInput(adt.Bottom), adt.WriteOutput()),
+		}},
+		{"crossing blocks reject", trace.Trace{
+			inv("c1", adt.WriteInput("a")), res("c1", adt.WriteInput("a"), adt.WriteOutput()),
+			inv("c2", adt.WriteInput("b")), res("c2", adt.WriteInput("b"), adt.WriteOutput()),
+			inv("c3", rd("1")), res("c3", rd("1"), adt.ReadOutput("a")),
+		}},
+		{"late-joining reads stay linearizable", trace.Trace{
+			inv("c1", adt.WriteInput("a")),
+			inv("c2", rd("1")), res("c2", rd("1"), adt.ReadOutput("a")),
+			res("c1", adt.WriteInput("a"), adt.WriteOutput()),
+			inv("c2", adt.WriteInput("b")), res("c2", adt.WriteInput("b"), adt.WriteOutput()),
+			inv("c3", rd("2")), res("c3", rd("2"), adt.ReadOutput("b")),
+			inv("c1", rd("3")), res("c1", rd("3"), adt.ReadOutput("b")),
+		}},
+		{"response without invocation is ill-formed", trace.Trace{
+			res("c1", adt.WriteInput("a"), adt.WriteOutput()),
+		}},
+		{"double invocation is ill-formed", trace.Trace{
+			inv("c1", adt.WriteInput("a")), inv("c1", adt.WriteInput("b")),
+		}},
+		{"switch action is ill-formed", trace.Trace{
+			inv("c1", adt.WriteInput("a")),
+			trace.Switch(trace.ClientID("c1"), 1, adt.WriteInput("a"), "a"),
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := Fastpath(context.Background(), adt.Register{}, tc.tr, check.WithBudget(fastBudget)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestFastpathQueueBoundary drives the one-shot queue core across its
+// fragment boundary (the queue has no streaming core, so the session
+// side of the harness exercises the exact engine).
+func TestFastpathQueueBoundary(t *testing.T) {
+	dq := func(tag string) trace.Value { return adt.Tag(adt.DeqInput(), tag) }
+	cases := []struct {
+		name string
+		tr   trace.Trace
+	}{
+		{"fifo order accepted", trace.Trace{
+			inv("c1", adt.EnqInput("a")), res("c1", adt.EnqInput("a"), adt.WriteOutput()),
+			inv("c1", adt.EnqInput("b")), res("c1", adt.EnqInput("b"), adt.WriteOutput()),
+			inv("c2", dq("1")), res("c2", dq("1"), adt.ReadOutput("a")),
+			inv("c2", dq("2")), res("c2", dq("2"), adt.ReadOutput("b")),
+		}},
+		{"fifo inversion rejects", trace.Trace{
+			inv("c1", adt.EnqInput("a")), res("c1", adt.EnqInput("a"), adt.WriteOutput()),
+			inv("c1", adt.EnqInput("b")), res("c1", adt.EnqInput("b"), adt.WriteOutput()),
+			inv("c2", dq("1")), res("c2", dq("1"), adt.ReadOutput("b")),
+			inv("c2", dq("2")), res("c2", dq("2"), adt.ReadOutput("a")),
+		}},
+		{"overlapping enqueues dequeue either way", trace.Trace{
+			inv("c1", adt.EnqInput("a")),
+			inv("c2", adt.EnqInput("b")),
+			res("c1", adt.EnqInput("a"), adt.WriteOutput()),
+			res("c2", adt.EnqInput("b"), adt.WriteOutput()),
+			inv("c3", dq("1")), res("c3", dq("1"), adt.ReadOutput("b")),
+			inv("c3", dq("2")), res("c3", dq("2"), adt.ReadOutput("a")),
+		}},
+		{"undequeued front blocks rejects", trace.Trace{
+			inv("c1", adt.EnqInput("a")), res("c1", adt.EnqInput("a"), adt.WriteOutput()),
+			inv("c1", adt.EnqInput("b")), res("c1", adt.EnqInput("b"), adt.WriteOutput()),
+			inv("c2", dq("1")), res("c2", dq("1"), adt.ReadOutput("b")),
+		}},
+		{"dequeue before enqueue rejects", trace.Trace{
+			inv("c2", dq("1")), res("c2", dq("1"), adt.ReadOutput("a")),
+			inv("c1", adt.EnqInput("a")), res("c1", adt.EnqInput("a"), adt.WriteOutput()),
+		}},
+		{"dequeue of never-enqueued value rejects", trace.Trace{
+			inv("c1", adt.EnqInput("a")), res("c1", adt.EnqInput("a"), adt.WriteOutput()),
+			inv("c2", dq("1")), res("c2", dq("1"), adt.ReadOutput("z")),
+		}},
+		{"empty dequeue falls back", trace.Trace{
+			inv("c2", dq("1")), res("c2", dq("1"), adt.ReadOutput(adt.Bottom)),
+			inv("c1", adt.EnqInput("a")), res("c1", adt.EnqInput("a"), adt.WriteOutput()),
+		}},
+		{"pending operation falls back", trace.Trace{
+			inv("c1", adt.EnqInput("a")), res("c1", adt.EnqInput("a"), adt.WriteOutput()),
+			inv("c2", dq("1")),
+		}},
+		{"duplicate enqueue value falls back", trace.Trace{
+			inv("c1", adt.EnqInput("a")), res("c1", adt.EnqInput("a"), adt.WriteOutput()),
+			inv("c2", adt.Tag(adt.EnqInput("a"), "2")), res("c2", adt.Tag(adt.EnqInput("a"), "2"), adt.WriteOutput()),
+			inv("c3", dq("1")), res("c3", dq("1"), adt.ReadOutput("a")),
+		}},
+		{"double dequeue of one value rejects", trace.Trace{
+			inv("c1", adt.EnqInput("a")), res("c1", adt.EnqInput("a"), adt.WriteOutput()),
+			inv("c2", dq("1")), res("c2", dq("1"), adt.ReadOutput("a")),
+			inv("c2", dq("2")), res("c2", dq("2"), adt.ReadOutput("a")),
+		}},
+		{"enqueue answered as dequeue rejects", trace.Trace{
+			inv("c1", adt.EnqInput("a")), res("c1", adt.EnqInput("a"), adt.ReadOutput("a")),
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := Fastpath(context.Background(), adt.Queue{}, tc.tr, check.WithBudget(fastBudget)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestFastpathConsensusBoundary drives the consensus core: agreement,
+// split decisions, unproposed decisions, and fallback on grammar exits.
+func TestFastpathConsensusBoundary(t *testing.T) {
+	p := func(v trace.Value, tag string) trace.Value { return adt.Tag(adt.ProposeInput(v), tag) }
+	cases := []struct {
+		name string
+		tr   trace.Trace
+	}{
+		{"first proposal decided by all", trace.Trace{
+			inv("c1", p("a", "1")), res("c1", p("a", "1"), adt.DecideOutput("a")),
+			inv("c2", p("b", "2")), res("c2", p("b", "2"), adt.DecideOutput("a")),
+		}},
+		{"split decision rejects", trace.Trace{
+			inv("c1", p("a", "1")), res("c1", p("a", "1"), adt.DecideOutput("a")),
+			inv("c2", p("b", "2")), res("c2", p("b", "2"), adt.DecideOutput("b")),
+		}},
+		{"decision of unproposed value rejects", trace.Trace{
+			inv("c1", p("a", "1")), res("c1", p("a", "1"), adt.DecideOutput("b")),
+		}},
+		{"concurrent proposals decide the later one", trace.Trace{
+			inv("c1", p("a", "1")),
+			inv("c2", p("b", "2")),
+			res("c2", p("b", "2"), adt.DecideOutput("b")),
+			res("c1", p("a", "1"), adt.DecideOutput("b")),
+		}},
+		{"decision proposed only after first response rejects", trace.Trace{
+			inv("c1", p("a", "1")), res("c1", p("a", "1"), adt.DecideOutput("b")),
+			inv("c2", p("b", "2")), res("c2", p("b", "2"), adt.DecideOutput("b")),
+		}},
+		{"same value proposed twice stays in fragment", trace.Trace{
+			inv("c1", p("a", "1")), res("c1", p("a", "1"), adt.DecideOutput("a")),
+			inv("c2", p("a", "2")), res("c2", p("a", "2"), adt.DecideOutput("a")),
+		}},
+		{"pending proposal decided by others", trace.Trace{
+			inv("c1", p("a", "1")),
+			inv("c2", p("b", "2")), res("c2", p("b", "2"), adt.DecideOutput("a")),
+		}},
+		{"grammar-invalid proposal falls back", trace.Trace{
+			inv("c1", "q:a"), res("c1", "q:a", adt.DecideOutput("a")),
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := Fastpath(context.Background(), adt.Consensus{}, tc.tr, check.WithBudget(fastBudget)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestFastpathRandomizedAgreement sweeps seeded random traces — mixing
+// in-fragment, fallback and ill-formed shapes — through the full
+// fast-vs-exact harness for all three specialized folders.
+func TestFastpathRandomizedAgreement(t *testing.T) {
+	folders := []struct {
+		name    string
+		f       adt.Folder
+		inputs  func(r *rand.Rand, i int) trace.Value
+		outputs []trace.Value
+	}{
+		{
+			name: "register",
+			f:    adt.Register{},
+			inputs: func(r *rand.Rand, i int) trace.Value {
+				switch r.Intn(4) {
+				case 0:
+					return adt.WriteInput(trace.Value("v" + strconv.Itoa(r.Intn(6))))
+				case 1: // untagged read: duplicates force fallback
+					return adt.ReadInput()
+				default:
+					return adt.Tag(adt.ReadInput(), strconv.Itoa(i))
+				}
+			},
+			outputs: []trace.Value{adt.WriteOutput(), adt.ReadOutput(adt.Bottom),
+				adt.ReadOutput("v0"), adt.ReadOutput("v1"), adt.ReadOutput("v2")},
+		},
+		{
+			name: "queue",
+			f:    adt.Queue{},
+			inputs: func(r *rand.Rand, i int) trace.Value {
+				switch r.Intn(4) {
+				case 0, 1:
+					return adt.EnqInput(trace.Value("v" + strconv.Itoa(r.Intn(6))))
+				default:
+					return adt.Tag(adt.DeqInput(), strconv.Itoa(i))
+				}
+			},
+			outputs: []trace.Value{adt.WriteOutput(), adt.ReadOutput(adt.Bottom),
+				adt.ReadOutput("v0"), adt.ReadOutput("v1"), adt.ReadOutput("v2")},
+		},
+		{
+			name: "consensus",
+			f:    adt.Consensus{},
+			inputs: func(r *rand.Rand, i int) trace.Value {
+				return adt.Tag(adt.ProposeInput(trace.Value("v"+strconv.Itoa(r.Intn(3)))), strconv.Itoa(i))
+			},
+			outputs: []trace.Value{adt.DecideOutput("v0"), adt.DecideOutput("v1"), adt.DecideOutput("v2")},
+		},
+	}
+	clients := []trace.ClientID{"c1", "c2", "c3"}
+	for _, fc := range folders {
+		t.Run(fc.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(0x5ca1ab1e))
+			for iter := 0; iter < 300; iter++ {
+				n := 2 + r.Intn(13)
+				pending := map[trace.ClientID]trace.Value{}
+				var tr trace.Trace
+				for i := 0; i < n; i++ {
+					c := clients[r.Intn(len(clients))]
+					if in, busy := pending[c]; busy && r.Intn(5) > 0 {
+						if r.Intn(12) == 0 {
+							in = fc.inputs(r, 1000+i) // mismatched response: ill-formed
+						}
+						tr = append(tr, trace.Response(c, 1, in, fc.outputs[r.Intn(len(fc.outputs))]))
+						delete(pending, c)
+					} else if !busy {
+						in := fc.inputs(r, i)
+						tr = append(tr, trace.Invoke(c, 1, in))
+						pending[c] = in
+					}
+				}
+				// Half the traces are completed so the queue core sees
+				// complete histories often.
+				if r.Intn(2) == 0 {
+					for c, in := range pending {
+						tr = append(tr, trace.Response(c, 1, in, fc.outputs[r.Intn(len(fc.outputs))]))
+					}
+				}
+				if err := Fastpath(context.Background(), fc.f, tr, check.WithBudget(fastBudget)); err != nil {
+					var d *Disagreement
+					if errors.As(err, &d) {
+						t.Fatalf("iter %d: %v", iter, err)
+					}
+					t.Skipf("iter %d: exact engine gave up: %v", iter, err)
+				}
+				// Every few iterations, the same trace through the
+				// SLin(1,2) fast session against the exact slin engine
+				// (Theorem 2 grounds the comparison; the queue has no
+				// streaming core, so its sessions are exact anyway).
+				if iter%5 == 0 && fc.name != "queue" {
+					if err := FastpathSLin(context.Background(), fc.f, slin.UniversalRInit{}, 2, tr, check.WithBudget(fastBudget)); err != nil {
+						var d *Disagreement
+						if errors.As(err, &d) {
+							t.Fatalf("iter %d (slin): %v", iter, err)
+						}
+						t.Skipf("iter %d (slin): exact engine gave up: %v", iter, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFastpathLongRegisterSession pins the fast session on a long
+// in-fragment register history (the SMR per-key shape): verdict
+// positive, witness valid, and no budget spend even far past a budget
+// an exact session would exhaust.
+// TestFastpathSLinSessionBoundary drives the SLin(1,n) fast session
+// across its fragment boundary: in-fragment accepts and rejects,
+// fragment exits, and — specific to slin — switch actions, which force
+// the fall-back-and-replay through the exact frontiers (Theorem 2's sig
+// restriction excludes them from the fast fragment).
+func TestFastpathSLinSessionBoundary(t *testing.T) {
+	w := adt.WriteInput("a")
+	rd := adt.Tag(adt.ReadInput(), "1")
+	pa := adt.Tag(adt.ProposeInput("a"), "q1")
+	pb := adt.Tag(adt.ProposeInput("b"), "q2")
+	cases := []struct {
+		name  string
+		f     adt.Folder
+		rinit slin.RInit
+		tr    trace.Trace
+	}{
+		{"register in-fragment accept", adt.Register{}, slin.UniversalRInit{}, trace.Trace{
+			inv("c1", w), res("c1", w, adt.WriteOutput()),
+			inv("c2", rd), res("c2", rd, adt.ReadOutput("a")),
+		}},
+		{"register in-fragment reject", adt.Register{}, slin.UniversalRInit{}, trace.Trace{
+			inv("c1", w), res("c1", w, adt.WriteOutput()),
+			inv("c2", rd), res("c2", rd, adt.ReadOutput("z")),
+		}},
+		{"register duplicate write falls back", adt.Register{}, slin.UniversalRInit{}, trace.Trace{
+			inv("c1", w), res("c1", w, adt.WriteOutput()),
+			inv("c2", adt.Tag(adt.WriteInput("a"), "2")), res("c2", adt.Tag(adt.WriteInput("a"), "2"), adt.WriteOutput()),
+		}},
+		{"register abort switch falls back", adt.Register{}, slin.UniversalRInit{}, trace.Trace{
+			inv("c1", w), res("c1", w, adt.WriteOutput()),
+			inv("c2", rd),
+			trace.Switch("c2", 2, rd, slin.EncodeHistory(trace.History{w, rd})),
+		}},
+		{"consensus in-fragment accept", adt.Consensus{}, slin.ConsensusRInit{}, trace.Trace{
+			inv("q1", pa), res("q1", pa, adt.DecideOutput("a")),
+			inv("q2", pb), res("q2", pb, adt.DecideOutput("a")),
+		}},
+		{"consensus abort switch falls back", adt.Consensus{}, slin.ConsensusRInit{}, trace.Trace{
+			inv("q1", pa), inv("q2", pb),
+			res("q1", pa, adt.DecideOutput("a")),
+			trace.Switch("q2", 2, pb, "a"),
+		}},
+		{"consensus reject then abort switch", adt.Consensus{}, slin.ConsensusRInit{}, trace.Trace{
+			inv("q1", pa), res("q1", pa, adt.DecideOutput("a")),
+			inv("q2", pb), res("q2", pb, adt.DecideOutput("b")),
+			inv("q3", adt.Tag(adt.ProposeInput("c"), "q3")),
+			trace.Switch("q3", 2, adt.Tag(adt.ProposeInput("c"), "q3"), "c"),
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := FastpathSLin(context.Background(), tc.f, tc.rinit, 2, tc.tr, check.WithBudget(fastBudget)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestFastpathSLinLongSession is TestFastpathLongRegisterSession's slin
+// twin: the fast SLin(1,2) session must spend no budget while the trace
+// stays in the register fragment.
+func TestFastpathSLinLongSession(t *testing.T) {
+	const ops = 2_000
+	sess, err := slin.NewSessionFast(context.Background(), adt.Register{}, slin.UniversalRInit{}, 1, 2, check.WithBudget(ops/10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := trace.Value(adt.Bottom)
+	for i := 0; i < ops; i++ {
+		var in trace.Value
+		out := adt.WriteOutput()
+		if i%3 == 0 {
+			in = adt.WriteInput(trace.Value("v" + strconv.Itoa(i)))
+			cur = trace.Value("v" + strconv.Itoa(i))
+		} else {
+			in = adt.Tag(adt.ReadInput(), strconv.Itoa(i))
+			out = adt.ReadOutput(cur)
+		}
+		if err := sess.Feed(trace.Invoke("c1", 1, in)); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		if err := sess.Feed(trace.Response("c1", 1, in, out)); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	got, err := sess.Result()
+	if err != nil {
+		t.Fatalf("fast slin session spent budget on an in-fragment trace: %v", err)
+	}
+	if !got.OK {
+		t.Fatalf("long register history rejected: %s", got.Reason)
+	}
+	if got.Nodes != 2*ops {
+		t.Fatalf("fast slin session accounting: %d nodes for %d actions", got.Nodes, 2*ops)
+	}
+}
+
+func TestFastpathLongRegisterSession(t *testing.T) {
+	const ops = 5_000
+	sess := lin.NewSessionFast(context.Background(), adt.Register{}, check.WithBudget(ops/10))
+	cur := trace.Value("")
+	var tr trace.Trace
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < ops; i++ {
+		c := trace.ClientID("c1")
+		if r.Intn(3) == 0 {
+			in := adt.WriteInput(trace.Value("v" + strconv.Itoa(i)))
+			tr = append(tr, trace.Invoke(c, 1, in), trace.Response(c, 1, in, adt.WriteOutput()))
+			cur = trace.Value("v" + strconv.Itoa(i))
+		} else {
+			in := adt.Tag(adt.ReadInput(), strconv.Itoa(i))
+			out := adt.ReadOutput(cur)
+			if cur == "" {
+				out = adt.ReadOutput(adt.Bottom)
+			}
+			tr = append(tr, trace.Invoke(c, 1, in), trace.Response(c, 1, in, out))
+		}
+	}
+	if err := sess.FeedAll(tr); err != nil {
+		t.Fatalf("fast session spent budget on an in-fragment trace: %v", err)
+	}
+	got, err := sess.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.OK {
+		t.Fatalf("long register history rejected: %s", got.Reason)
+	}
+	if err := lin.VerifyWitness(adt.Register{}, tr, got.Witness); err != nil {
+		t.Fatalf("invalid witness on long history: %v", err)
+	}
+}
+
+// FuzzFastpathVsExact fuzzes the specialized checkers against the exact
+// engines: byte-decoded register/queue/consensus traces (the queue
+// replacing the counter of the sibling targets' ADT selector, plus a
+// completion bit so the queue core's complete-trace fragment is hit)
+// must agree on verdict, and fast witnesses must verify.
+func FuzzFastpathVsExact(f *testing.F) {
+	f.Add(uint8(1), []byte{0x00, 0x00, 0x04, 0x00, 0x89, 0x00, 0x8d, 0x02, 0x92, 0x00, 0x96, 0x04})
+	f.Add(uint8(0), []byte{0x00, 0x00, 0x01, 0x00, 0x04, 0x00, 0x05, 0x02, 0x02, 0x01})
+	f.Add(uint8(2), []byte{0x80, 0x00, 0x84, 0x02, 0x88, 0x04, 0x8c, 0x06, 0x01})
+	f.Add(uint8(2), []byte{0x00, 0x00, 0x04, 0x00, 0x08, 0x03, 0x0c, 0x05, 0x01})
+	f.Fuzz(func(t *testing.T, sel uint8, data []byte) {
+		folder, inputs, outputs := fastFuzzADT(sel)
+		tr := decodeTrace(folder, inputs, outputs, data)
+		if len(data) > 0 && data[len(data)-1]&1 == 1 {
+			tr = completeTrace(tr, outputs)
+		}
+		err := Fastpath(context.Background(), folder, tr, check.WithBudget(fuzzBudget))
+		if err == nil {
+			return
+		}
+		var d *Disagreement
+		if errors.As(err, &d) {
+			t.Fatal(err)
+		}
+		t.Skip() // budget exhaustion on the exact side: nothing to compare
+	})
+}
+
+// fastFuzzADT is fuzzADT with the queue in place of the counter (the
+// counter has no fast path; the queue fragment needs dedicated pools).
+func fastFuzzADT(sel uint8) (adt.Folder, []trace.Value, []trace.Value) {
+	if sel%3 == 2 {
+		return adt.Queue{},
+			[]trace.Value{adt.EnqInput("x"), adt.EnqInput("y"), adt.DeqInput()},
+			[]trace.Value{adt.WriteOutput(), adt.ReadOutput(adt.Bottom), adt.ReadOutput("x"), adt.ReadOutput("y")}
+	}
+	return fuzzADT(sel)
+}
+
+// completeTrace responds every pending invocation of tr (in a
+// deterministic client order) with outputs cycled from the pool, so
+// fuzz inputs reach the queue core's complete-trace fragment.
+func completeTrace(tr trace.Trace, outputs []trace.Value) trace.Trace {
+	pending := map[trace.ClientID]trace.Value{}
+	var order []trace.ClientID
+	for _, a := range tr {
+		switch a.Kind {
+		case trace.Inv:
+			if _, busy := pending[a.Client]; !busy {
+				pending[a.Client] = a.Input
+				order = append(order, a.Client)
+			}
+		case trace.Res:
+			delete(pending, a.Client)
+		}
+	}
+	out := append(trace.Trace(nil), tr...)
+	i := 0
+	for _, c := range order {
+		if in, busy := pending[c]; busy {
+			out = append(out, trace.Response(c, 1, in, outputs[i%len(outputs)]))
+			i++
+		}
+	}
+	return out
+}

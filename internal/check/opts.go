@@ -77,6 +77,12 @@ type Settings struct {
 	// (skipped branches). The classical checker has no extension branch
 	// structure and ignores it.
 	POR bool
+	// Exact forces the exact search engines on entry points that would
+	// otherwise dispatch to an ADT-specialized fast-path checker
+	// (DESIGN.md, decision 15): lin.CheckFast, the fast Sessions and the
+	// speclin facade honour it; the plain lin/slin entry points are
+	// always exact and ignore it. Off by default.
+	Exact bool
 }
 
 // Option mutates one Settings field; checker entry points accept a
@@ -130,3 +136,8 @@ func WithTemporalAbortOrder(on bool) Option {
 // search — the differential tests cross-check the two on every trace
 // shape.
 func WithPOR(on bool) Option { return func(s *Settings) { s.POR = on } }
+
+// WithExact forces the exact search engines on entry points that would
+// otherwise dispatch to an ADT-specialized fast-path checker (see
+// Settings.Exact; DESIGN.md, decision 15).
+func WithExact(on bool) Option { return func(s *Settings) { s.Exact = on } }

@@ -246,7 +246,7 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (ChaosResult, error) {
 	if !cfg.SkipCheck {
 		cstart := time.Now()
 		sum, err := sc.CheckLinearizable(ctx, check.WithBudget(cfg.Budget))
-		res.CheckWallMs = float64(time.Since(cstart).Microseconds()) / 1000
+		res.CheckWallMs = float64((time.Since(cstart) + sum.FeedWall).Microseconds()) / 1000
 		if err != nil {
 			return res, err
 		}

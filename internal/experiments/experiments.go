@@ -1,5 +1,5 @@
 // Package experiments regenerates every experiment table of
-// EXPERIMENTS.md (the E1–E15 index of DESIGN.md). Each experiment is a
+// EXPERIMENTS.md (the E1–E16 index of DESIGN.md). Each experiment is a
 // function returning a Table; cmd/experiments prints them and the root
 // benchmarks wrap the same primitives in testing.B loops.
 //
@@ -67,6 +67,7 @@ func All() []Experiment {
 		{"E13", E13PORReduction},
 		{"E14", E14LongTraceSweep},
 		{"E15", E15ChaosRecovery},
+		{"E16", E16FastpathCheckers},
 	}
 }
 

@@ -50,6 +50,11 @@ type ShardRunConfig struct {
 	// buffering them for a post-hoc pass; CheckLinearizable then
 	// collects the sessions' verdicts.
 	Online bool
+	// Exact forces the exact frontier engine on the online per-key
+	// sessions (smr.ShardedConfig.ExactCheck). The default dispatches
+	// them to the register fast-path checker — per-key histories are in
+	// its fragment by construction (DESIGN.md, decision 15).
+	Exact bool
 }
 
 func (c ShardRunConfig) withDefaults() ShardRunConfig {
@@ -86,10 +91,16 @@ type ShardRunResult struct {
 	WallMs         float64 `json:"wall_ms"`
 	CmdsPerSecWall float64 `json:"commands_per_sec_wall"`
 
-	Online       bool    `json:"online_check"`
-	KeyHistories int     `json:"key_histories_checked"`
-	CheckedOps   int64   `json:"checked_ops"`
-	CheckNodes   int64   `json:"check_nodes"`
+	Online       bool  `json:"online_check"`
+	KeyHistories int   `json:"key_histories_checked"`
+	CheckedOps   int64 `json:"checked_ops"`
+	CheckNodes   int64 `json:"check_nodes"`
+	// CheckWallMs is the full linearizability-checking wall: post hoc,
+	// the batch pass over the recorded histories; online, the cumulative
+	// time spent inside the sessions' Feed calls during the run
+	// (smr.HistoryCheck.FeedWall — timed per feed, since the overhead is
+	// far too small a fraction of WallMs to recover from run deltas)
+	// plus the final verdict collection.
 	CheckWallMs  float64 `json:"check_wall_ms"`
 	Linearizable bool    `json:"linearizable"`
 	Consistent   bool    `json:"consistent"`
@@ -105,6 +116,14 @@ type ShardRunResult struct {
 
 // RunSharded executes one sharded run and verifies it.
 func RunSharded(ctx context.Context, cfg ShardRunConfig) (ShardRunResult, error) {
+	_, res, err := runShardedCluster(ctx, cfg)
+	return res, err
+}
+
+// runShardedCluster is RunSharded exposing the finished cluster, so the
+// E16 fast-path experiment (fastpath.go) can lift the recorded per-key
+// traces for its one-shot engine comparison.
+func runShardedCluster(ctx context.Context, cfg ShardRunConfig) (*smr.ShardedCluster, ShardRunResult, error) {
 	cfg = cfg.withDefaults()
 	wl := workload.KeyedOpts{
 		Clients:  cfg.Clients,
@@ -153,9 +172,10 @@ func RunSharded(ctx context.Context, cfg ShardRunConfig) (ShardRunResult, error)
 		OnlineCheck:  cfg.Online,
 		CheckBudget:  cfg.Budget,
 		CheckContext: ctx,
+		ExactCheck:   cfg.Exact,
 	})
 	if err != nil {
-		return res, err
+		return nil, res, err
 	}
 	start := time.Now()
 	for i, c := range clients {
@@ -171,7 +191,7 @@ func RunSharded(ctx context.Context, cfg ShardRunConfig) (ShardRunResult, error)
 
 	st := sc.Stats()
 	if st.Landed != int64(cfg.Commands) {
-		return res, fmt.Errorf("landed %d/%d commands", st.Landed, cfg.Commands)
+		return sc, res, fmt.Errorf("landed %d/%d commands", st.Landed, cfg.Commands)
 	}
 	res.SimTime = int64(end)
 	if end > 0 {
@@ -185,21 +205,21 @@ func RunSharded(ctx context.Context, cfg ShardRunConfig) (ShardRunResult, error)
 
 	res.Consistent = sc.CheckConsistency() == nil
 	if !res.Consistent {
-		return res, fmt.Errorf("consistency: %v", sc.CheckConsistency())
+		return sc, res, fmt.Errorf("consistency: %v", sc.CheckConsistency())
 	}
 	if !cfg.SkipCheck {
 		cstart := time.Now()
 		sum, err := sc.CheckLinearizable(ctx, check.WithBudget(cfg.Budget))
-		res.CheckWallMs = float64(time.Since(cstart).Microseconds()) / 1000
+		res.CheckWallMs = float64((time.Since(cstart) + sum.FeedWall).Microseconds()) / 1000
 		if err != nil {
-			return res, err
+			return sc, res, err
 		}
 		res.Linearizable = true
 		res.KeyHistories = sum.Traces
 		res.CheckedOps = sum.Ops
 		res.CheckNodes = sum.Nodes
 	}
-	return res, nil
+	return sc, res, nil
 }
 
 // ShardSweep runs RunSharded across shard counts with a fixed per-shard

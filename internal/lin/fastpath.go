@@ -1,0 +1,268 @@
+package lin
+
+import (
+	"context"
+
+	"repro/internal/adt"
+	"repro/internal/check"
+	"repro/internal/trace"
+)
+
+// This file is the dispatch layer of the ADT-specialized fast-path
+// checkers (DESIGN.md, decision 15): linear/near-linear linearizability
+// checkers for the register, queue and consensus folders, obtained by
+// reducing the Lin check inside a syntactic trace fragment to a
+// per-ADT reachability condition (Bouajjani–Emmi–Enea–Hamza; Gibbons–
+// Korach for the register). The exact search engines stay authoritative:
+// every fast-path entry point falls back to them transparently the
+// moment a trace leaves the specialized fragment, and the diffcheck
+// harness plus FuzzFastpathVsExact keep the two in verdict agreement.
+//
+// Fragment, per folder (anything else falls back to exact):
+//
+//   - register — grammar-valid inputs whose full input strings are
+//     pairwise distinct and whose untagged written values are pairwise
+//     distinct. SMR per-key histories satisfy this by construction
+//     (writes encode the command value, reads carry unique tags).
+//   - consensus — grammar-valid proposals with pairwise-distinct input
+//     strings (equal untagged proposal values are fine).
+//   - queue — complete traces (no pending operations) with
+//     grammar-valid, pairwise-distinct inputs, pairwise-distinct
+//     untagged enqueue values and no empty-dequeue outputs; one-shot
+//     only (CheckFast), no streaming core.
+//
+// Inside the fragment the cores decide the verdict exactly; semantic
+// violations (an output no linearization could explain) are final
+// NotLinearizable verdicts, never fallbacks. The register and consensus
+// cores also assemble Lin witnesses that pass VerifyWitness; the queue
+// core proves the verdict but assembles no witness (the one-shot
+// Result carries an empty Witness, like the SLin breadth engine).
+
+// FastStatus is the per-action outcome of a streaming FastChecker.
+type FastStatus uint8
+
+const (
+	// FastOK means the action stayed inside the fragment and the fed
+	// trace remains linearizable.
+	FastOK FastStatus = iota
+	// FastReject means the fed trace is not linearizable; the verdict is
+	// final (the exact engines agree, so no fallback is needed).
+	FastReject
+	// FastExit means the action left the specialized fragment; the
+	// caller must fall back to an exact engine, replaying the whole
+	// trace fed so far.
+	FastExit
+)
+
+// FastChecker is a streaming ADT-specialized linearizability core. The
+// caller owns well-formedness: Inv and Res must describe a per-client
+// alternating Inv/Res stream, with idx the action's trace index and
+// invIdx the trace index of the response's matching invocation. After
+// FastReject or FastExit the core must not be fed further.
+type FastChecker interface {
+	Inv(in trace.Value, idx int) FastStatus
+	Res(in, out trace.Value, invIdx, idx int) FastStatus
+	// Witness assembles the linearization function of the (linearizable)
+	// trace fed so far, or nil when the core does not produce witnesses.
+	Witness() Witness
+}
+
+// HasFastpath reports whether CheckFast has a specialized checker for
+// folder f. The streaming Session fast path additionally excludes the
+// queue (its reduction needs the complete trace).
+func HasFastpath(f adt.Folder) bool {
+	switch f.(type) {
+	case adt.Register, adt.Queue, adt.Consensus:
+		return true
+	}
+	return false
+}
+
+// NewFastChecker returns the streaming specialized core for folder f,
+// or nil when f has none (the queue fast path is one-shot only).
+func NewFastChecker(f adt.Folder) FastChecker {
+	switch f.(type) {
+	case adt.Register:
+		return newFastRegister()
+	case adt.Consensus:
+		return newFastConsensus()
+	}
+	return nil
+}
+
+// CheckFast is Check with fast-path dispatch: when folder f has a
+// specialized checker and the trace stays inside its fragment, the
+// verdict is decided in near-linear time; otherwise — unsupported
+// folder, fragment exit, or check.WithExact — the call falls through to
+// the exact Check engines. Verdicts and reasons agree with Check
+// everywhere; Result.Nodes counts fed actions on the fast path (no
+// budget is spent, so the fast path never returns ErrBudget), and the
+// queue fast path reports positive verdicts without a witness.
+func CheckFast(ctx context.Context, f adt.Folder, t trace.Trace, opts ...check.Option) (Result, error) {
+	set := check.NewSettings(opts...)
+	if !set.Exact {
+		if r, ok, err := fastCheckSettings(ctx, f, t, set); ok || err != nil {
+			return r, err
+		}
+	}
+	return checkSettings(ctx, f, t, set)
+}
+
+// fastCheckSettings runs the one-shot fast path. ok reports whether the
+// trace was decided (false means fall back to exact); a non-nil error
+// (context cancellation) is terminal either way.
+func fastCheckSettings(ctx context.Context, f adt.Folder, t trace.Trace, set check.Settings) (Result, bool, error) {
+	if _, isQueue := f.(adt.Queue); isQueue {
+		return fastQueueCheck(ctx, t, set)
+	}
+	core := NewFastChecker(f)
+	if core == nil {
+		return Result{}, false, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, true, err
+	}
+	pending := map[trace.ClientID]fastPending{}
+	for idx, a := range t {
+		if idx&ctxPollMask == ctxPollMask {
+			if err := ctx.Err(); err != nil {
+				return Result{Nodes: idx}, true, err
+			}
+		}
+		var res FastStatus
+		switch a.Kind {
+		case trace.Inv:
+			if pending[a.Client].pending {
+				// Ill-formedness is final and folder-independent; no fallback.
+				return Result{OK: false, Reason: "trace is not well-formed", Nodes: idx + 1}, true, nil
+			}
+			if res = core.Inv(a.Input, idx); res == FastOK {
+				pending[a.Client] = fastPending{pending: true, input: a.Input, idx: idx}
+			}
+		case trace.Res:
+			st := pending[a.Client]
+			if !st.pending || st.input != a.Input {
+				return Result{OK: false, Reason: "trace is not well-formed", Nodes: idx + 1}, true, nil
+			}
+			if res = core.Res(a.Input, a.Output, st.idx, idx); res == FastOK {
+				pending[a.Client] = fastPending{}
+			}
+		default:
+			return Result{OK: false, Reason: "trace is not well-formed", Nodes: idx + 1}, true, nil
+		}
+		switch res {
+		case FastReject:
+			return Result{OK: false, Reason: "no linearization function exists", Nodes: idx + 1}, true, nil
+		case FastExit:
+			return Result{}, false, nil
+		}
+	}
+	r := Result{OK: true, Nodes: len(t)}
+	if set.Witness {
+		r.Witness = core.Witness()
+	}
+	return r, true, nil
+}
+
+// fastPending tracks one client's pending invocation for the fast
+// path's well-formedness bookkeeping (the streaming twin of Check's
+// WellFormed precheck, annotated with invocation indices for the
+// cores).
+type fastPending struct {
+	pending bool
+	input   trace.Value
+	idx     int
+}
+
+// maxTree is an append-only segment tree over int values supporting
+// point increase-updates and range-maximum queries, used by the
+// register core to query the maximum block start among closed blocks
+// while excluding one position. Capacity doubles by rebuilding (ops
+// stay O(log n) amortized); absent positions report -1.
+type maxTree struct {
+	size int   // leaves in use
+	cap_ int   // leaf capacity, power of two (0 until first append)
+	node []int // 1-based segment tree over cap_ leaves, len 2*cap_
+}
+
+// Append adds value v at position t.size.
+func (t *maxTree) Append(v int) {
+	if t.size == t.cap_ {
+		ncap := t.cap_ * 2
+		if ncap == 0 {
+			ncap = 1
+		}
+		old := t.node
+		t.node = make([]int, 2*ncap)
+		for i := range t.node {
+			t.node[i] = -1
+		}
+		for i := 0; i < t.size; i++ {
+			t.node[ncap+i] = old[t.cap_+i]
+		}
+		t.cap_ = ncap
+		for i := ncap - 1; i >= 1; i-- {
+			t.node[i] = maxInt(t.node[2*i], t.node[2*i+1])
+		}
+	}
+	t.Update(t.size, v)
+	t.size++
+}
+
+// Update raises position pos to value v (values only ever grow).
+func (t *maxTree) Update(pos, v int) {
+	i := t.cap_ + pos
+	if t.node[i] >= v {
+		return
+	}
+	t.node[i] = v
+	for i > 1 {
+		i /= 2
+		m := maxInt(t.node[2*i], t.node[2*i+1])
+		if t.node[i] == m {
+			break
+		}
+		t.node[i] = m
+	}
+}
+
+// Max returns the maximum value over positions [lo, hi), or -1 when the
+// range is empty.
+func (t *maxTree) Max(lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > t.size {
+		hi = t.size
+	}
+	res := -1
+	l, r := t.cap_+lo, t.cap_+hi
+	for l < r {
+		if l&1 == 1 {
+			res = maxInt(res, t.node[l])
+			l++
+		}
+		if r&1 == 1 {
+			r--
+			res = maxInt(res, t.node[r])
+		}
+		l /= 2
+		r /= 2
+	}
+	return res
+}
+
+// MaxExcluding returns the maximum over positions [0, hi) skipping pos.
+func (t *maxTree) MaxExcluding(hi, pos int) int {
+	if pos < 0 || pos >= hi {
+		return t.Max(0, hi)
+	}
+	return maxInt(t.Max(0, pos), t.Max(pos+1, hi))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

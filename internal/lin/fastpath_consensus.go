@@ -1,0 +1,97 @@
+package lin
+
+import (
+	"repro/internal/adt"
+	"repro/internal/trace"
+)
+
+// fastConsensus is the streaming consensus fast path (DESIGN.md,
+// decision 15). Inside the distinct-inputs, grammar-valid fragment the
+// ADT collapses the check to one condition: every responded operation
+// must output d(w) for a single value w that some proposal invoked
+// before the first deciding response carries. Sufficiency is witnessed
+// constructively — linearize the earliest-invoked proposal of w first
+// (the head), then every other responded operation in response order;
+// the head drives the state to w, every later operation outputs d(w),
+// and Validity holds because the head is invoked before the first
+// response and each member before its own.
+type fastConsensus struct {
+	seen    map[trace.Value]struct{} // every invocation input (distinctness)
+	props   map[trace.Value]conProp  // untagged proposal value -> earliest propose
+	decided bool
+	val     trace.Value // the decided value, once decided
+	headIn  trace.Value // input of the linearization head
+	resps   []conMember // responded operations, response order
+}
+
+type conProp struct {
+	in trace.Value
+}
+
+type conMember struct {
+	in  trace.Value
+	res int
+}
+
+func newFastConsensus() *fastConsensus {
+	return &fastConsensus{
+		seen:  map[trace.Value]struct{}{},
+		props: map[trace.Value]conProp{},
+	}
+}
+
+// Inv implements FastChecker.
+func (c *fastConsensus) Inv(in trace.Value, idx int) FastStatus {
+	if _, dup := c.seen[in]; dup {
+		return FastExit
+	}
+	c.seen[in] = struct{}{}
+	v, ok := adt.ProposalOf(adt.Untag(in))
+	if !ok {
+		return FastExit // grammar-invalid proposal; exact semantics differ
+	}
+	if _, have := c.props[v]; !have {
+		c.props[v] = conProp{in: in}
+	}
+	return FastOK
+}
+
+// Res implements FastChecker.
+func (c *fastConsensus) Res(in, out trace.Value, invIdx, idx int) FastStatus {
+	w, ok := adt.DecisionOf(out)
+	if !ok {
+		return FastReject // proposals can only ever output "d:x"
+	}
+	if !c.decided {
+		p, proposed := c.props[w]
+		if !proposed {
+			// The linearization head must be a proposal of w invoked
+			// before the first deciding response; none exists.
+			return FastReject
+		}
+		c.decided, c.val, c.headIn = true, w, p.in
+	} else if w != c.val {
+		return FastReject // two distinct decisions defeat any single head
+	}
+	c.resps = append(c.resps, conMember{in: in, res: idx})
+	return FastOK
+}
+
+// Witness implements FastChecker (see the type comment for the
+// construction).
+func (c *fastConsensus) Witness() Witness {
+	w := Witness{}
+	if !c.decided {
+		return w
+	}
+	hist := trace.History{c.headIn}
+	for _, m := range c.resps {
+		if m.in == c.headIn {
+			w[m.res] = hist[:1].Clone()
+			continue
+		}
+		hist = append(hist, m.in)
+		w[m.res] = hist.Clone()
+	}
+	return w
+}

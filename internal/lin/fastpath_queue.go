@@ -1,0 +1,184 @@
+package lin
+
+import (
+	"context"
+	"sort"
+	"strings"
+
+	"repro/internal/adt"
+	"repro/internal/check"
+	"repro/internal/trace"
+)
+
+// fastQueueCheck is the one-shot FIFO-queue fast path (DESIGN.md,
+// decision 15), following the matched enqueue/dequeue segment analysis
+// of Bouajjani–Emmi–Enea–Hamza. Its fragment is stricter than the
+// streaming cores': the trace must be complete (every operation
+// responded), inputs pairwise distinct, untagged enqueue values
+// pairwise distinct, and no dequeue may report empty — anything else
+// falls back to the exact engines. Inside the fragment, with distinct
+// values, a linearization exists iff
+//
+//	(a) every dequeued value was enqueued exactly once, dequeued at
+//	    most once, and its dequeue does not respond before its enqueue
+//	    is invoked;
+//	(b) no pair of dequeued values u, v has enq(u) responding before
+//	    enq(v) is invoked while deq(v) responds before deq(u) is
+//	    invoked — FIFO would need u out first, real time forbids it;
+//	(c) no value enqueued-and-responded but never dequeued precedes
+//	    (enqueue response before enqueue invocation) a dequeued value —
+//	    the undequeued value would block the dequeued one forever.
+//
+// Condition (b) is checked with an O(n log n) sweep: values sorted by
+// enqueue invocation, a pointer over enqueue responses maintaining the
+// running maximum dequeue invocation. The core decides the verdict
+// only; it assembles no witness (the fast Result reports OK with an
+// empty Witness, like the SLin breadth engine — FuzzFastpathVsExact
+// keeps the verdicts honest against the exact search).
+func fastQueueCheck(ctx context.Context, t trace.Trace, set check.Settings) (Result, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, true, err
+	}
+	notWF := func(idx int) (Result, bool, error) {
+		return Result{OK: false, Reason: "trace is not well-formed", Nodes: idx + 1}, true, nil
+	}
+	reject := Result{OK: false, Reason: "no linearization function exists", Nodes: len(t)}
+
+	// Pass 1: well-formedness, fragment membership, operation intervals.
+	type queueOp struct {
+		enq      bool
+		arg      string // untagged enqueue value
+		inv, res int
+		out      trace.Value
+	}
+	var ops []*queueOp
+	open := map[trace.ClientID]*queueOp{}
+	seen := map[trace.Value]struct{}{}
+	enqs := map[string]*queueOp{}
+	for idx, a := range t {
+		if idx&ctxPollMask == ctxPollMask {
+			if err := ctx.Err(); err != nil {
+				return Result{Nodes: idx}, true, err
+			}
+		}
+		switch a.Kind {
+		case trace.Inv:
+			if open[a.Client] != nil {
+				return notWF(idx)
+			}
+			if _, dup := seen[a.Input]; dup {
+				return Result{}, false, nil
+			}
+			seen[a.Input] = struct{}{}
+			op, arg, ok := strings.Cut(string(adt.Untag(a.Input)), ":")
+			o := &queueOp{inv: idx, res: -1}
+			switch {
+			case !ok:
+				return Result{}, false, nil
+			case op == "enq":
+				if arg == "" || arg == string(adt.Bottom) || strings.ContainsRune(arg, '\x00') {
+					return Result{}, false, nil
+				}
+				if _, dup := enqs[arg]; dup {
+					return Result{}, false, nil // duplicate enqueue value
+				}
+				o.enq, o.arg = true, arg
+				enqs[arg] = o
+			case op == "deq" && arg == "":
+			default:
+				return Result{}, false, nil
+			}
+			ops = append(ops, o)
+			open[a.Client] = o
+		case trace.Res:
+			o := open[a.Client]
+			if o == nil || t[o.inv].Input != a.Input {
+				return notWF(idx)
+			}
+			o.res, o.out = idx, a.Output
+			open[a.Client] = nil
+		default:
+			return notWF(idx)
+		}
+	}
+	if len(open) > 0 {
+		for _, o := range open {
+			if o != nil {
+				return Result{}, false, nil // pending operation: incomplete trace
+			}
+		}
+	}
+
+	// Pass 2: per-operation semantics — conditions (a) and the output
+	// grammar. matched maps a dequeued value to its dequeue.
+	matched := map[string]*queueOp{}
+	for _, o := range ops {
+		if o.enq {
+			if o.out != adt.WriteOutput() {
+				return reject, true, nil
+			}
+			continue
+		}
+		vop, varg, ok := strings.Cut(string(o.out), ":")
+		if !ok || vop != "v" {
+			return reject, true, nil // dequeues can only ever output "v:x"
+		}
+		if varg == string(adt.Bottom) {
+			return Result{}, false, nil // empty dequeue: outside the fragment
+		}
+		e := enqs[varg]
+		if e == nil {
+			return reject, true, nil // value never enqueued
+		}
+		if _, dup := matched[varg]; dup {
+			return reject, true, nil // distinct values dequeue at most once
+		}
+		if o.res < e.inv {
+			return reject, true, nil // dequeued before its enqueue existed
+		}
+		matched[varg] = o
+	}
+
+	// Pass 3: condition (b). For each dequeued value v, the largest
+	// dequeue invocation among values whose enqueue responded before
+	// enq(v) was invoked must not exceed deq(v)'s response.
+	type pair struct{ e, d *queueOp }
+	var pairs []pair
+	for varg, d := range matched {
+		pairs = append(pairs, pair{e: enqs[varg], d: d})
+	}
+	byEnqInv := append([]pair(nil), pairs...)
+	sort.Slice(byEnqInv, func(i, j int) bool { return byEnqInv[i].e.inv < byEnqInv[j].e.inv })
+	byEnqRes := append([]pair(nil), pairs...)
+	sort.Slice(byEnqRes, func(i, j int) bool { return byEnqRes[i].e.res < byEnqRes[j].e.res })
+	maxDeqInv, ptr := -1, 0
+	for _, p := range byEnqInv {
+		for ptr < len(byEnqRes) && byEnqRes[ptr].e.res < p.e.inv {
+			if byEnqRes[ptr].d.inv > maxDeqInv {
+				maxDeqInv = byEnqRes[ptr].d.inv
+			}
+			ptr++
+		}
+		if maxDeqInv >= 0 && p.d.res < maxDeqInv {
+			return reject, true, nil
+		}
+	}
+
+	// Condition (c): an enqueued-but-never-dequeued value must not
+	// wholly precede any dequeued value's enqueue.
+	minUnmatchedRes, maxMatchedInv := -1, -1
+	for varg, e := range enqs {
+		if _, ok := matched[varg]; ok {
+			if e.inv > maxMatchedInv {
+				maxMatchedInv = e.inv
+			}
+		} else if minUnmatchedRes < 0 || e.res < minUnmatchedRes {
+			minUnmatchedRes = e.res
+		}
+	}
+	if minUnmatchedRes >= 0 && minUnmatchedRes < maxMatchedInv {
+		return reject, true, nil
+	}
+
+	return Result{OK: true, Nodes: len(t)}, true, nil
+}

@@ -1,0 +1,198 @@
+package lin
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/adt"
+	"repro/internal/trace"
+)
+
+// fastRegister is the streaming register fast path (DESIGN.md, decision
+// 15): a Gibbons–Korach-style interval analysis specialized to the
+// distinct-writes fragment. Each written value v induces a block — the
+// write of v plus every read returning v — summarized by two indices:
+//
+//	closedAt(B) — the trace index of the block's first response, fixed
+//	              when the block "closes";
+//	maxStart(B) — the maximum invocation index over the block's
+//	              responded members, growing as reads join.
+//
+// In any linearization all members of a block are consecutive (reads
+// return v only between the write of v and the next write), so blocks
+// are totally ordered; an unordered block pair {A, B} is unserializable
+// iff closedAt(A) < maxStart(B) and closedAt(B) < maxStart(A) — each
+// must finish an operation before the other starts one, so neither can
+// be placed entirely first. With pairwise-distinct inputs, one such
+// pair already defeats every linearization (Validity pins each read to
+// its unique write), so the trace is linearizable iff no pair violates.
+//
+// Only two event kinds can create a violating pair, which keeps the
+// check near-linear: a read joining an already-closed block B with
+// invocation index s violates iff some other closed block A has
+// closedAt(A) < s and maxStart(A) > closedAt(B) — a range-maximum query
+// over the closed-block array (closedAt-ascending by construction)
+// through maxTree, excluding B itself; and a ⊥-read with invocation
+// index s violates iff any block closed before s (⊥-reads must precede
+// every write). Block closes never violate (the closing index exceeds
+// every recorded start), and writes create their block unconditionally.
+//
+// Witness: concatenate the accepted ⊥-reads (response order), then the
+// closed blocks sorted by key(B) = max(closedAt(B), maxStart(B))
+// ascending, each block as [write, reads in response order]; every
+// response claims the prefix of this history ending at its own input.
+// If key-earlier A had maxStart(A) > closedAt(B) for some later B, the
+// non-violation of {A, B} would force maxStart(B) < closedAt(A) and
+// hence key(A) > key(B) — contradiction; so every element of an
+// earlier block is invoked before every response of a later one, which
+// is exactly Validity.
+type fastRegister struct {
+	seen     map[trace.Value]struct{} // every invocation input (distinctness)
+	blocks   map[string]*regBlock     // by untagged written value
+	closed   []*regBlock              // close order = closedAt ascending
+	tree     maxTree                  // maxStart per closed position
+	botReads []regMember              // accepted ⊥-reads, response order
+}
+
+type regBlock struct {
+	val      string      // untagged written value
+	wIn      trace.Value // the write's full input
+	wRes     int         // write response index, -1 while pending
+	maxStart int
+	closedAt int // -1 while open
+	pos      int // position in closed array, -1 while open
+	reads    []regMember
+}
+
+type regMember struct {
+	in  trace.Value
+	res int
+}
+
+func newFastRegister() *fastRegister {
+	return &fastRegister{
+		seen:   map[trace.Value]struct{}{},
+		blocks: map[string]*regBlock{},
+	}
+}
+
+// regParse splits an untagged register input into op and argument.
+func regParse(in trace.Value) (op, arg string, ok bool) {
+	op, arg, ok = strings.Cut(string(adt.Untag(in)), ":")
+	return op, arg, ok
+}
+
+// Inv implements FastChecker.
+func (r *fastRegister) Inv(in trace.Value, idx int) FastStatus {
+	if _, dup := r.seen[in]; dup {
+		return FastExit
+	}
+	r.seen[in] = struct{}{}
+	op, arg, ok := regParse(in)
+	switch {
+	case !ok:
+		return FastExit
+	case op == "w":
+		if arg == "" || arg == string(adt.Bottom) {
+			return FastExit // grammar-invalid write; exact semantics differ
+		}
+		if _, dup := r.blocks[arg]; dup {
+			return FastExit // duplicate written value
+		}
+		r.blocks[arg] = &regBlock{val: arg, wIn: in, wRes: -1, maxStart: idx, closedAt: -1, pos: -1}
+		return FastOK
+	case op == "r" && arg == "":
+		return FastOK // reads act at their response
+	}
+	return FastExit
+}
+
+// Res implements FastChecker.
+func (r *fastRegister) Res(in, out trace.Value, invIdx, idx int) FastStatus {
+	op, arg, _ := regParse(in) // Inv already validated the shape
+	if op == "w" {
+		if out != adt.WriteOutput() {
+			return FastReject
+		}
+		b := r.blocks[arg]
+		if b.closedAt < 0 {
+			r.close(b, idx)
+		}
+		b.wRes = idx
+		return FastOK
+	}
+	vop, varg, ok := strings.Cut(string(out), ":")
+	if !ok || vop != "v" {
+		return FastReject // reads can only ever output "v:x"
+	}
+	if varg == string(adt.Bottom) {
+		// A ⊥-read must precede every write: it violates iff any block
+		// closed before it was invoked.
+		if len(r.closed) > 0 && r.closed[0].closedAt < invIdx {
+			return FastReject
+		}
+		r.botReads = append(r.botReads, regMember{in: in, res: idx})
+		return FastOK
+	}
+	b := r.blocks[varg]
+	if b == nil {
+		return FastReject // value never written by any invocation so far
+	}
+	if b.closedAt < 0 {
+		if invIdx > b.maxStart {
+			b.maxStart = invIdx
+		}
+		r.close(b, idx)
+		b.reads = append(b.reads, regMember{in: in, res: idx})
+		return FastOK
+	}
+	// Joining a closed block: query the other blocks closed before this
+	// read was invoked for a start after b's close.
+	cnt := sort.Search(len(r.closed), func(i int) bool {
+		return r.closed[i].closedAt >= invIdx
+	})
+	if r.tree.MaxExcluding(cnt, b.pos) > b.closedAt {
+		return FastReject
+	}
+	if invIdx > b.maxStart {
+		b.maxStart = invIdx
+		r.tree.Update(b.pos, invIdx)
+	}
+	b.reads = append(b.reads, regMember{in: in, res: idx})
+	return FastOK
+}
+
+// close records block b's first response at index idx.
+func (r *fastRegister) close(b *regBlock, idx int) {
+	b.closedAt = idx
+	b.pos = len(r.closed)
+	r.closed = append(r.closed, b)
+	r.tree.Append(b.maxStart)
+}
+
+// Witness implements FastChecker (see the type comment for the
+// construction and its correctness argument).
+func (r *fastRegister) Witness() Witness {
+	order := append([]*regBlock(nil), r.closed...)
+	sort.Slice(order, func(i, j int) bool {
+		return maxInt(order[i].closedAt, order[i].maxStart) <
+			maxInt(order[j].closedAt, order[j].maxStart)
+	})
+	w := Witness{}
+	var hist trace.History
+	for _, m := range r.botReads {
+		hist = append(hist, m.in)
+		w[m.res] = hist.Clone()
+	}
+	for _, b := range order {
+		hist = append(hist, b.wIn)
+		if b.wRes >= 0 {
+			w[b.wRes] = hist.Clone()
+		}
+		for _, m := range b.reads {
+			hist = append(hist, m.in)
+			w[m.res] = hist.Clone()
+		}
+	}
+	return w
+}

@@ -67,11 +67,27 @@ type Session struct {
 
 	err   error  // terminal error, sticky
 	notWF string // non-empty once the fed trace went ill-formed, sticky
+
+	// fast, when non-nil, is the ADT-specialized streaming core the
+	// session delegates to instead of the frontier engine (DESIGN.md,
+	// decision 15; NewSessionFast). The fed trace is recorded in rec so
+	// that a fragment exit can fall back by replaying it through a fresh
+	// exact session — after which the session is indistinguishable from
+	// an exact one fed the same actions (frontier, budget spend and
+	// verdicts included). Fast-path work never spends the budget; it is
+	// accounted separately in fastNodes (one per fed action).
+	fast      FastChecker
+	fastRej   bool // core rejected: NotLinearizable, final
+	fastNodes int
+	rec       trace.Trace
 }
 
 type pendingInv struct {
 	pending bool
 	input   trace.Value
+	// idx is the invocation's trace index; maintained (and used) only by
+	// the fast-path delegate.
+	idx int
 }
 
 // cfg is one frontier configuration: a commit-history chain with its
@@ -102,6 +118,25 @@ type asnNode struct {
 // against ADT f. See Session for the engine and option semantics.
 func NewSession(ctx context.Context, f adt.Folder, opts ...check.Option) *Session {
 	return newSessionSettings(ctx, f, check.NewSettings(opts...))
+}
+
+// NewSessionFast is NewSession with fast-path dispatch (DESIGN.md,
+// decision 15): when folder f has a streaming specialized core
+// (register, consensus) and check.WithExact was not requested, Feed
+// costs O(1) amortized per action instead of a frontier expansion, and
+// no budget is spent while the trace stays inside the core's fragment
+// (Nodes then counts fed actions). The first action outside the
+// fragment falls back transparently: the recorded trace is replayed
+// through the exact frontier engine — spending budget as an exact
+// session would — and the session continues exactly. Verdicts agree
+// with NewSession on every prefix either way.
+func NewSessionFast(ctx context.Context, f adt.Folder, opts ...check.Option) *Session {
+	set := check.NewSettings(opts...)
+	s := newSessionSettings(ctx, f, set)
+	if !set.Exact {
+		s.fast = NewFastChecker(f)
+	}
+	return s
 }
 
 func newSessionSettings(ctx context.Context, f adt.Folder, set check.Settings) *Session {
@@ -141,8 +176,10 @@ func (s *Session) spend(n int) error {
 // Len returns the number of actions fed so far.
 func (s *Session) Len() int { return s.fed }
 
-// Nodes returns the cumulative number of search nodes spent.
-func (s *Session) Nodes() int { return int(s.nodes.Load()) }
+// Nodes returns the cumulative number of search nodes spent, plus — for
+// fast-path sessions — one node per action the specialized core
+// processed (fast-path nodes are not charged against the budget).
+func (s *Session) Nodes() int { return int(s.nodes.Load()) + s.fastNodes }
 
 // Pruned returns the cumulative number of extension branches the
 // partial-order reduction skipped (0 with check.WithPOR(false)).
@@ -160,6 +197,9 @@ func (s *Session) Feed(a trace.Action) error {
 	if err := s.ctx.Err(); err != nil {
 		s.err = err
 		return err
+	}
+	if s.fast != nil {
+		return s.feedFast(a)
 	}
 	idx := s.fed
 	s.fed++
@@ -198,6 +238,81 @@ func (s *Session) Feed(a trace.Action) error {
 	return nil
 }
 
+// feedFast is Feed's fast-path delegate: the same well-formedness
+// bookkeeping as the frontier path, with the core deciding the verdict
+// and FastExit triggering the fallback replay. A rejected (or
+// ill-formed) verdict is final, but subsequent actions still maintain
+// the well-formedness state so reasons keep matching the exact session.
+func (s *Session) feedFast(a trace.Action) error {
+	idx := s.fed
+	s.fed++
+	s.rec = append(s.rec, a)
+	if s.notWF != "" {
+		return nil // verdict already final
+	}
+	switch a.Kind {
+	case trace.Inv:
+		st := s.pending[a.Client]
+		if st.pending {
+			s.notWF = "trace is not well-formed"
+			return nil
+		}
+		if !s.fastRej {
+			switch s.fast.Inv(a.Input, idx) {
+			case FastExit:
+				return s.fastFallback()
+			case FastReject:
+				s.fastRej = true
+			}
+		}
+		s.fastNodes++
+		s.pending[a.Client] = pendingInv{pending: true, input: a.Input, idx: idx}
+	case trace.Res:
+		st := s.pending[a.Client]
+		if !st.pending || st.input != a.Input {
+			s.notWF = "trace is not well-formed"
+			return nil
+		}
+		if !s.fastRej {
+			switch s.fast.Res(a.Input, a.Output, st.idx, idx) {
+			case FastExit:
+				return s.fastFallback()
+			case FastReject:
+				s.fastRej = true
+			}
+		}
+		s.fastNodes++
+		s.pending[a.Client] = pendingInv{}
+	default:
+		// Switch actions do not belong to sig_T; Check classifies such
+		// traces as ill-formed.
+		s.notWF = "trace is not well-formed"
+	}
+	return nil
+}
+
+// fastFallback replays the recorded trace through a fresh exact session
+// and adopts its entire state, so every later Feed (and the current
+// verdict) behaves as if the session had been exact from the start. The
+// replay spends budget from zero, exactly as an exact session fed the
+// same actions would have.
+func (s *Session) fastFallback() error {
+	rec := s.rec
+	s.fast, s.rec = nil, nil
+	ex := newSessionSettings(s.ctx, s.f, s.set)
+	err := ex.FeedAll(rec)
+	s.in = ex.in
+	s.invoked = ex.invoked
+	s.pending = ex.pending
+	s.frontier = ex.frontier
+	s.nodes.Store(ex.nodes.Load())
+	s.pruned.Store(ex.pruned.Load())
+	s.fed = ex.fed
+	s.err = ex.err
+	s.notWF = ex.notWF
+	return err
+}
+
 // FeedAll feeds every action of t in order, stopping at the first
 // terminal error.
 func (s *Session) FeedAll(t trace.Trace) error {
@@ -216,7 +331,14 @@ func (s *Session) Verdict() check.Verdict {
 	switch {
 	case s.err != nil:
 		return check.Unknown
-	case s.notWF != "" || len(s.frontier) == 0:
+	case s.notWF != "":
+		return check.NotLinearizable
+	case s.fast != nil:
+		if s.fastRej {
+			return check.NotLinearizable
+		}
+		return check.Linearizable
+	case len(s.frontier) == 0:
 		return check.NotLinearizable
 	default:
 		return check.Linearizable
@@ -232,6 +354,16 @@ func (s *Session) Result() (Result, error) {
 	}
 	if s.notWF != "" {
 		return Result{OK: false, Reason: s.notWF, Nodes: s.Nodes(), Pruned: s.Pruned()}, nil
+	}
+	if s.fast != nil {
+		if s.fastRej {
+			return Result{OK: false, Reason: "no linearization function exists", Nodes: s.Nodes()}, nil
+		}
+		r := Result{OK: true, Nodes: s.Nodes()}
+		if s.set.Witness {
+			r.Witness = s.fast.Witness()
+		}
+		return r, nil
 	}
 	if len(s.frontier) == 0 {
 		return Result{OK: false, Reason: "no linearization function exists", Nodes: s.Nodes(), Pruned: s.Pruned()}, nil

@@ -23,6 +23,40 @@ import (
 // element.
 func commutingSLinTrace(w int) trace.Trace { return workload.SplitDecision(w, "p") }
 
+// orderSensitive strips any OrderInsensitive declaration off the wrapped
+// relation (interface embedding promotes only RInit's methods), so tests
+// can exercise the reducer's disable-on-abort path with relations whose
+// production form declares order insensitivity.
+type orderSensitive struct{ RInit }
+
+// commutingAbortTrace is an abort-carrying fixture whose commuting
+// same-value proposals give the reducer something to prune: w tagged
+// proposals of "a", all but the last responded, the last aborting.
+func commutingAbortTrace(w int) trace.Trace {
+	var tr trace.Trace
+	for i := 0; i < w; i++ {
+		c := trace.ClientID(fmt.Sprintf("p%d", i))
+		tr = append(tr, trace.Invoke(c, 1, adt.Tag(adt.ProposeInput("a"), string(c))))
+	}
+	for i := 0; i < w-1; i++ {
+		c := trace.ClientID(fmt.Sprintf("p%d", i))
+		in := adt.Tag(adt.ProposeInput("a"), string(c))
+		tr = append(tr, trace.Response(c, 1, in, adt.DecideOutput("a")))
+	}
+	last := trace.ClientID(fmt.Sprintf("p%d", w-1))
+	return append(tr, trace.Switch(last, 2, adt.Tag(adt.ProposeInput("a"), string(last)), "a"))
+}
+
+// splitAbortTrace is the split-decision workload plus one aborting
+// client: never SLin(1,2), so the depth-first search explores (and the
+// reducer prunes) the full commuting extension space before rejecting.
+func splitAbortTrace(w int) trace.Trace {
+	tr := workload.SplitDecision(w, "p")
+	in := adt.Tag(adt.ProposeInput("v0"), "pa")
+	tr = append(tr, trace.Invoke("pa", 1, in))
+	return append(tr, trace.Switch("pa", 2, in, "v0"))
+}
+
 // TestSLinPORAccounting: on switch-free traces the reducer is active and
 // cuts nodes ≥2x on the commuting shape; with WithPOR(false) nothing is
 // pruned.
@@ -50,9 +84,11 @@ func TestSLinPORAccounting(t *testing.T) {
 		off.Nodes, on.Nodes, float64(off.Nodes)/float64(on.Nodes), on.Pruned)
 }
 
-// TestSLinPORDisabledOnAborts: any abort action disables the depth
-// reducer outright — identical node counts and zero pruning with the
-// option on and off.
+// TestSLinPORDisabledOnAborts: with an order-sensitive relation, any
+// abort action disables the depth reducer outright — identical node
+// counts and zero pruning with the option on and off. (ConsensusRInit
+// itself declares order insensitivity, so the fixture wraps it to strip
+// the declaration.)
 func TestSLinPORDisabledOnAborts(t *testing.T) {
 	ctx := context.Background()
 	tr := slinTestTrace() // has a switch (abort) action
@@ -65,11 +101,12 @@ func TestSLinPORDisabledOnAborts(t *testing.T) {
 	if !hasAbort {
 		t.Fatal("fixture lost its abort action")
 	}
-	on, err := Check(ctx, adt.Consensus{}, ConsensusRInit{}, 1, 2, tr)
+	rinit := orderSensitive{ConsensusRInit{}}
+	on, err := Check(ctx, adt.Consensus{}, rinit, 1, 2, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	off, err := Check(ctx, adt.Consensus{}, ConsensusRInit{}, 1, 2, tr, check.WithPOR(false))
+	off, err := Check(ctx, adt.Consensus{}, rinit, 1, 2, tr, check.WithPOR(false))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,25 +119,69 @@ func TestSLinPORDisabledOnAborts(t *testing.T) {
 	}
 }
 
+// TestSLinPORSurvivesAborts: a relation declaring its Admits predicate
+// order-insensitive (ConsensusRInit) keeps the depth reducer enabled on
+// abort-carrying traces — pruning happens, verdicts agree with the
+// unreduced search, and the reduced run never spends more nodes.
+func TestSLinPORSurvivesAborts(t *testing.T) {
+	ctx := context.Background()
+	tr := splitAbortTrace(4)
+	on, err := Check(ctx, adt.Consensus{}, ConsensusRInit{}, 1, 2, tr, check.WithBudget(50_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := Check(ctx, adt.Consensus{}, ConsensusRInit{}, 1, 2, tr, check.WithBudget(50_000_000), check.WithPOR(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Pruned == 0 {
+		t.Fatal("reducer pruned nothing; the fixture no longer exercises the abort-surviving reduction")
+	}
+	if on.OK != off.OK {
+		t.Fatalf("verdicts disagree across the abort: por=%v nopor=%v", on.OK, off.OK)
+	}
+	if on.Nodes > off.Nodes {
+		t.Fatalf("reduced search spent MORE nodes than unreduced: %d > %d", on.Nodes, off.Nodes)
+	}
+	// The same declaration keeps the session engine reduced across the
+	// abort: no disable-and-rebuild, prefix verdicts agreeing throughout.
+	s, err := NewSession(ctx, adt.Consensus{}, ConsensusRInit{}, 1, 2, check.WithBudget(50_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, a := range tr {
+		if err := s.Feed(a); err != nil {
+			t.Fatalf("feed %d: %v", k, err)
+		}
+		got, err := s.Result()
+		if err != nil {
+			t.Fatalf("prefix %d: %v", k+1, err)
+		}
+		want, err := Check(ctx, adt.Consensus{}, ConsensusRInit{}, 1, 2, tr[:k+1], check.WithBudget(50_000_000))
+		if err != nil {
+			t.Fatalf("one-shot prefix %d: %v", k+1, err)
+		}
+		if got.OK != want.OK {
+			t.Fatalf("prefix %d: session %v, one-shot %v", k+1, got.OK, want.OK)
+		}
+	}
+	if s.Pruned() == 0 {
+		t.Fatal("session reducer pruned nothing across the abort")
+	}
+}
+
 // TestSLinSessionAbortRebuild: a session that pruned while abort-free
 // must, at the first fed abort, rebuild unreduced frontiers and keep
-// agreeing with one-shot Check on every subsequent prefix.
+// agreeing with one-shot Check on every subsequent prefix. (Wrapped
+// order-sensitive: ConsensusRInit's own declaration would keep the
+// reducer on instead — TestSLinPORSurvivesAborts covers that path.)
 func TestSLinSessionAbortRebuild(t *testing.T) {
 	ctx := context.Background()
+	rinit := orderSensitive{ConsensusRInit{}}
 	// Commuting switch-free prefix (pruning happens), then a late switch.
-	var tr trace.Trace
-	for i := 0; i < 4; i++ {
-		c := trace.ClientID(fmt.Sprintf("p%d", i))
-		tr = append(tr, trace.Invoke(c, 1, adt.Tag(adt.ProposeInput("a"), string(c))))
-	}
-	for i := 0; i < 3; i++ {
-		c := trace.ClientID(fmt.Sprintf("p%d", i))
-		in := adt.Tag(adt.ProposeInput("a"), string(c))
-		tr = append(tr, trace.Response(c, 1, in, adt.DecideOutput("a")))
-	}
-	tr = append(tr, trace.Switch("p3", 2, adt.Tag(adt.ProposeInput("a"), "p3"), "a"))
+	tr := commutingAbortTrace(4)
 
-	s, err := NewSession(ctx, adt.Consensus{}, ConsensusRInit{}, 1, 2)
+	s, err := NewSession(ctx, adt.Consensus{}, rinit, 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +197,7 @@ func TestSLinSessionAbortRebuild(t *testing.T) {
 		if err != nil {
 			t.Fatalf("prefix %d: %v", k+1, err)
 		}
-		want, err := Check(ctx, adt.Consensus{}, ConsensusRInit{}, 1, 2, tr[:k+1])
+		want, err := Check(ctx, adt.Consensus{}, rinit, 1, 2, tr[:k+1])
 		if err != nil {
 			t.Fatalf("one-shot prefix %d: %v", k+1, err)
 		}

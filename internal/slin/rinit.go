@@ -36,6 +36,32 @@ type RInit interface {
 	Admits(v trace.Value, h trace.History) bool
 }
 
+// OrderInsensitive is an optional declaration an RInit can make about
+// its Admits predicate: membership is invariant under the reorderings
+// the sleep-set partial-order reduction prunes — swapping adjacent
+// history elements that are independent under the checked folder
+// (identical composite state and outputs either way) never changes
+// Admits. The checkers consult it through IsOrderInsensitive to keep
+// the reduction enabled on abort-carrying traces, whose histories the
+// relation would otherwise be free to distinguish by order; declaring
+// it wrongly makes the reduced search unsound, so the differential
+// harness cross-checks reduced against unreduced verdicts on every
+// abort-carrying trace shape.
+type OrderInsensitive interface {
+	// AdmitsOrderInsensitive reports that Admits never distinguishes
+	// independence-equivalent histories.
+	AdmitsOrderInsensitive() bool
+}
+
+// IsOrderInsensitive reports whether r declares its Admits predicate
+// order-insensitive (see OrderInsensitive); absent a declaration the
+// checkers assume order sensitivity and disable the reduction around
+// aborts.
+func IsOrderInsensitive(r RInit) bool {
+	oi, ok := r.(OrderInsensitive)
+	return ok && oi.AdmitsOrderInsensitive()
+}
+
 // ConsensusRInit is the mapping used by the paper's consensus case studies
 // (§2.4): a switch value v is interpreted by the histories that start with
 // the proposal p(v) and contain only proposals.
@@ -70,6 +96,15 @@ func (r ConsensusRInit) Representatives(v trace.Value) []trace.History {
 	}
 	return []trace.History{min, min.Append(adt.Tag(adt.ProposeInput(ProbeValue), InitTag))}
 }
+
+// AdmitsOrderInsensitive implements OrderInsensitive: Admits examines
+// only the untagged first element and the all-proposals property. The
+// latter is permutation-invariant outright; the former survives every
+// reduction-pruned swap because two proposals are independent at the
+// undecided consensus state only when their untagged values coincide
+// (distinct values decide distinct outputs), so a pruned swap at the
+// head never changes the untagged head.
+func (ConsensusRInit) AdmitsOrderInsensitive() bool { return true }
 
 // Admits implements RInit: h starts with a proposal of v (any occurrence
 // tag) and contains only proposals.

@@ -106,13 +106,16 @@ func existsWitness(f adt.Folder, rinit RInit, m, n int, t trace.Trace, finit map
 		}
 	}
 
-	// Partial-order reduction (DESIGN.md, decision 12): sound only when
-	// no abort obligation exists — abort histories must extend the commit
-	// chain as a SEQUENCE and r_init may distinguish orders of commuting
-	// elements (e.g. ConsensusRInit keys on the first element), so any
-	// abort makes every extension order observable. Abort-free traces
-	// (including every Theorem-2 / CheckLin use) get the full reduction.
-	s.por = set.POR && len(s.obligations) == 0
+	// Partial-order reduction (DESIGN.md, decision 12): abort histories
+	// must extend the commit chain as a SEQUENCE and r_init is in
+	// general free to distinguish orders of commuting elements, so any
+	// abort obligation makes every pruned extension order observable —
+	// unless the relation declares its Admits predicate invariant under
+	// exactly those reorderings (OrderInsensitive; ConsensusRInit does),
+	// which keeps the reduction sound on abort-carrying traces too.
+	// Abort-free traces (including every Theorem-2 / CheckLin use) get
+	// the full reduction regardless.
+	s.por = set.POR && (len(s.obligations) == 0 || IsOrderInsensitive(rinit))
 
 	s.newChain()
 	ok, err := s.run(0)

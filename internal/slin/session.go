@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/adt"
 	"repro/internal/check"
+	"repro/internal/lin"
 	"repro/internal/trace"
 )
 
@@ -57,7 +58,9 @@ type Session struct {
 	// por is the live state of the partial-order reduction: it starts as
 	// set.POR and flips off permanently at the first abort action fed —
 	// abort histories extend chains as sequences, so pruned extension
-	// orders become observable (Result.Pruned documents the rationale).
+	// orders become observable (Result.Pruned documents the rationale) —
+	// unless the RInit declares its Admits predicate order-insensitive
+	// (OrderInsensitive), which keeps the reduction on across aborts.
 	// If pruning already happened by then, the frontiers are rebuilt by
 	// an unreduced replay, so every verdict equals the one-shot Check of
 	// the fed prefix. pruned counts skipped branches (atomic: expansion
@@ -77,6 +80,19 @@ type Session struct {
 	// (-1 when stale).
 	verAt  int
 	verRes Result
+
+	// fast, when non-nil, is the ADT-specialized streaming core the
+	// session delegates to instead of the combination frontiers
+	// (DESIGN.md, decision 15; NewSessionFast). Sound only for m == 1,
+	// where SLin(1,n) restricted to sig coincides with Lin (Theorem 2):
+	// any switch action falls back to the exact engine by replaying the
+	// fed trace (s.t) through fresh frontiers, exactly like an init
+	// rebuild. Fast-path work never spends the budget; it is accounted
+	// separately in fastNodes (one per fed action).
+	fast      lin.FastChecker
+	fastRej   bool // core rejected: NotLinearizable, final
+	fastNodes int
+	fastPend  map[trace.ClientID]int // client -> pending invocation's trace index
 }
 
 // phaseTrack is the incremental per-client state machine of Definition 34
@@ -130,6 +146,29 @@ func NewSession(ctx context.Context, f adt.Folder, rinit RInit, m, n int, opts .
 	return newSessionSettings(ctx, f, rinit, m, n, check.NewSettings(opts...))
 }
 
+// NewSessionFast is NewSession with fast-path dispatch (DESIGN.md,
+// decision 15): for m == 1 — where SLin(1,n) restricted to sig coincides
+// with Lin (Theorem 2) — and a folder with a streaming specialized core
+// (register, consensus), Feed costs O(1) amortized per action and spends
+// no budget while the trace stays inside the core's fragment. The first
+// action outside the fragment — including any switch action, which
+// Theorem 2's sig restriction excludes — falls back transparently by
+// replaying the fed trace through the exact frontiers. check.WithExact,
+// m > 1, or a folder without a streaming core all yield a plain exact
+// session. Verdicts agree with NewSession on every prefix either way.
+func NewSessionFast(ctx context.Context, f adt.Folder, rinit RInit, m, n int, opts ...check.Option) (*Session, error) {
+	set := check.NewSettings(opts...)
+	s, err := newSessionSettings(ctx, f, rinit, m, n, set)
+	if err != nil {
+		return nil, err
+	}
+	if m == 1 && !set.Exact {
+		s.fast = lin.NewFastChecker(f)
+		s.fastPend = map[trace.ClientID]int{}
+	}
+	return s, nil
+}
+
 func (s *Session) spend(n int) error {
 	if n <= 0 {
 		return nil
@@ -149,8 +188,10 @@ func (s *Session) spend(n int) error {
 // Len returns the number of actions fed so far.
 func (s *Session) Len() int { return len(s.t) }
 
-// Nodes returns the cumulative number of search nodes spent.
-func (s *Session) Nodes() int { return int(s.nodes.Load()) }
+// Nodes returns the cumulative number of search nodes spent, plus — for
+// fast-path sessions — one node per action the specialized core
+// processed (fast-path nodes are not charged against the budget).
+func (s *Session) Nodes() int { return int(s.nodes.Load()) + s.fastNodes }
 
 // Pruned returns the cumulative number of extension branches the
 // partial-order reduction skipped, including branches of frontiers later
@@ -173,6 +214,15 @@ func (s *Session) Feed(a trace.Action) error {
 		s.err = fmt.Errorf("slin: action %v outside sig(%d,%d)", a, s.m, s.n)
 		return s.err
 	}
+	if s.fast != nil {
+		return s.feedFast(a)
+	}
+	return s.feedExact(a)
+}
+
+// feedExact is Feed's frontier-engine path (every session without an
+// active fast-path delegate).
+func (s *Session) feedExact(a trace.Action) error {
 	idx := len(s.t)
 	s.t = append(s.t, a)
 	s.verAt = -1
@@ -197,11 +247,14 @@ func (s *Session) Feed(a trace.Action) error {
 		}
 		return nil
 	}
-	if a.IsAbort(s.n) && s.por {
+	if a.IsAbort(s.n) && s.por && !IsOrderInsensitive(s.rinit) {
 		// First abort fed: the reduction stops being sound from here on
-		// (see the por field). If it already pruned configurations, the
-		// surviving frontiers under-approximate the unreduced ones, so
-		// replay the fed trace — including this abort — unreduced.
+		// (see the por field) — unless the relation declares its Admits
+		// predicate order-insensitive, in which case the pruned orders
+		// stay unobservable and the reduction survives the abort. If it
+		// already pruned configurations, the surviving frontiers
+		// under-approximate the unreduced ones, so replay the fed trace
+		// — including this abort — unreduced.
 		s.por = false
 		if s.pruned.Load() > 0 {
 			if err := s.rebuild(); err != nil {
@@ -216,6 +269,74 @@ func (s *Session) Feed(a trace.Action) error {
 			s.err = err
 			return err
 		}
+	}
+	return nil
+}
+
+// feedFast is Feed's fast-path delegate (m == 1): the same
+// (1,n)-well-formedness bookkeeping as the exact path, with the
+// specialized core deciding the verdict. Switch actions — outside
+// Theorem 2's sig restriction — and fragment exits fall back by
+// replaying the fed trace through fresh frontiers (the init-rebuild
+// machinery), after which the session is exact. A rejected (or
+// ill-formed) verdict is final, but subsequent actions still maintain
+// the well-formedness state so reasons keep matching the exact session.
+func (s *Session) feedFast(a trace.Action) error {
+	if a.Kind == trace.Swi {
+		s.fast, s.fastPend = nil, nil
+		if s.notWF == "" {
+			if err := s.rebuild(); err != nil {
+				s.err = err
+				return err
+			}
+		}
+		return s.feedExact(a)
+	}
+	idx := len(s.t)
+	s.t = append(s.t, a)
+	s.verAt = -1
+	if s.notWF != "" {
+		return nil // verdict already final
+	}
+	s.trackWF(a)
+	if s.notWF != "" {
+		return nil
+	}
+	switch a.Kind {
+	case trace.Inv:
+		if !s.fastRej {
+			switch s.fast.Inv(a.Input, idx) {
+			case lin.FastExit:
+				return s.fastFallback()
+			case lin.FastReject:
+				s.fastRej = true
+			}
+		}
+		s.fastNodes++
+		s.fastPend[a.Client] = idx
+	case trace.Res:
+		if !s.fastRej {
+			switch s.fast.Res(a.Input, a.Output, s.fastPend[a.Client], idx) {
+			case lin.FastExit:
+				return s.fastFallback()
+			case lin.FastReject:
+				s.fastRej = true
+			}
+		}
+		s.fastNodes++
+	}
+	return nil
+}
+
+// fastFallback abandons the fast-path delegate after a fragment exit:
+// the fed trace (which already includes the triggering action) is
+// replayed through fresh frontiers, spending budget from zero, after
+// which the session behaves as an exact one fed the same actions.
+func (s *Session) fastFallback() error {
+	s.fast, s.fastPend = nil, nil
+	if err := s.rebuild(); err != nil {
+		s.err = err
+		return err
 	}
 	return nil
 }
@@ -642,6 +763,21 @@ func (s *Session) evaluate() (Result, error) {
 func (s *Session) evaluateNow() (Result, error) {
 	if s.notWF != "" {
 		return Result{OK: false, Reason: s.notWF, Nodes: s.Nodes(), Pruned: s.Pruned()}, nil
+	}
+	if s.fast != nil {
+		// Fast-path delegate active: no switch action has been fed, so
+		// there is a single combination with the empty init
+		// interpretation, and the core's verdict is the combination's.
+		if s.fastRej {
+			return Result{
+				OK:         false,
+				Reason:     "no speculative linearization function for some init interpretation",
+				FailedInit: map[int]trace.History{},
+				Nodes:      s.Nodes(),
+				Pruned:     s.Pruned(),
+			}, nil
+		}
+		return Result{OK: true, Nodes: s.Nodes(), Pruned: s.Pruned()}, nil
 	}
 	for _, cb := range s.combos {
 		ok, err := s.comboOK(cb)

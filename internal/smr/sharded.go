@@ -3,6 +3,7 @@ package smr
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/adt"
 	"repro/internal/check"
@@ -39,6 +40,13 @@ type ShardedConfig struct {
 	// expiry terminates the sessions mid-run, surfacing as an error from
 	// CheckLinearizable. Nil means context.Background().
 	CheckContext context.Context
+	// ExactCheck forces the exact frontier engine on the per-key sessions
+	// (OnlineCheck only). By default the sessions dispatch to the
+	// register fast path (DESIGN.md, decision 15) — per-key histories are
+	// in its fragment by construction (writes carry unique command
+	// values, reads unique tags), making Feed O(1) amortized and the
+	// check budget-free; the verdicts are identical either way.
+	ExactCheck bool
 	// WindowEvery, when positive, buckets landed submissions into
 	// fixed-width virtual-time windows (ShardedStats.Windows), keyed by
 	// landing time. Fault experiments read fast-path rate per window to
@@ -324,6 +332,15 @@ type HistoryCheck struct {
 	// Online is true when the verdicts came from the streaming per-key
 	// sessions rather than a post-hoc batch pass.
 	Online bool
+	// FeedWall is the cumulative wall-clock time the run spent inside
+	// the sessions' Feed calls (Online only; zero post hoc): the true
+	// checking overhead embedded in the simulation wall, measured per
+	// feed. The ~100ns of clock reads per op is negligible against a
+	// simulated event but a few percent of a fast-path feed, so any
+	// engine speedup computed from this figure is biased conservatively
+	// low. Populated even when a session erred (budget exhaustion):
+	// the time was spent regardless of the verdict.
+	FeedWall time.Duration
 }
 
 // CheckLinearizable verifies every per-key history (checker API v2:
@@ -338,6 +355,9 @@ type HistoryCheck struct {
 func (sc *ShardedCluster) CheckLinearizable(ctx context.Context, opts ...check.Option) (HistoryCheck, error) {
 	sum := HistoryCheck{Shards: len(sc.shards), Online: sc.cfg.OnlineCheck}
 	if sc.cfg.OnlineCheck {
+		for _, rec := range sc.recs {
+			sum.FeedWall += rec.feedWall
+		}
 		for k, rec := range sc.recs {
 			for i, sess := range rec.sessions {
 				r, err := sess.Result()
@@ -498,6 +518,11 @@ type shardRecorder struct {
 	sessions []*lin.Session
 	keys     []string
 	keyIdx   map[string]int
+	// feedWall accumulates the wall-clock time spent inside session
+	// Feed calls (OnlineCheck only) — the checking overhead embedded in
+	// the run, timed per feed because it is far too small a fraction of
+	// the simulation wall to recover from run-to-run deltas.
+	feedWall time.Duration
 }
 
 // slotEntry is a decided command with its KV projection, parsed once at
@@ -559,8 +584,9 @@ func (rec *shardRecorder) start(c msgnet.ProcID, cmd Command, at msgnet.Time) {
 		rec.keyIdx[key] = i
 		rec.keys = append(rec.keys, key)
 		if rec.sc.cfg.OnlineCheck {
-			rec.sessions = append(rec.sessions, lin.NewSession(rec.sc.cfg.CheckContext, rec.reg,
-				check.WithBudget(rec.sc.cfg.CheckBudget), check.WithWitness(false)))
+			rec.sessions = append(rec.sessions, lin.NewSessionFast(rec.sc.cfg.CheckContext, rec.reg,
+				check.WithBudget(rec.sc.cfg.CheckBudget), check.WithWitness(false),
+				check.WithExact(rec.sc.cfg.ExactCheck)))
 		} else {
 			rec.traces = append(rec.traces, nil)
 		}
@@ -569,7 +595,9 @@ func (rec *shardRecorder) start(c msgnet.ProcID, cmd Command, at msgnet.Time) {
 	if rec.sc.cfg.OnlineCheck {
 		// Terminal session errors (budget exhaustion) surface through
 		// CheckLinearizable; feeding a dead session is a no-op.
+		t := time.Now()
 		_ = rec.sessions[i].Feed(a)
+		rec.feedWall += time.Since(t)
 		return
 	}
 	rec.traces[i] = append(rec.traces[i], a)
@@ -683,7 +711,9 @@ func (rec *shardRecorder) land(r SubmitResult) {
 	i := rec.keyIdx[rp.key]
 	a := trace.Response(trace.ClientID(r.Client), 1, rp.in, rp.out)
 	if rec.sc.cfg.OnlineCheck {
+		t := time.Now()
 		_ = rec.sessions[i].Feed(a)
+		rec.feedWall += time.Since(t)
 		return
 	}
 	rec.traces[i] = append(rec.traces[i], a)

@@ -407,7 +407,9 @@ func TestOnlineCheckAgreesWithPostHoc(t *testing.T) {
 
 // TestOnlineCheckBudgetSurfaces: a starvation budget on the streaming
 // sessions must surface as an error from CheckLinearizable, not a wrong
-// verdict.
+// verdict — under ExactCheck, because the default register fast path
+// spends no budget at all on in-fragment histories (the second half
+// pins exactly that: same starved budget, fast path, clean verdict).
 func TestOnlineCheckBudgetSurfaces(t *testing.T) {
 	wl := workload.KeyedOpts{Clients: 3, Ops: 200, Keys: 4, ReadFrac: 0.4}
 	sc := runShardedCfg(t, 1, ShardedConfig{
@@ -415,8 +417,22 @@ func TestOnlineCheckBudgetSurfaces(t *testing.T) {
 		Shards:      2,
 		OnlineCheck: true,
 		CheckBudget: 1,
+		ExactCheck:  true,
 	}, wl)
 	if _, err := sc.CheckLinearizable(context.Background()); err == nil {
 		t.Fatal("expected a budget error from the starved online sessions")
+	}
+	fast := runShardedCfg(t, 1, ShardedConfig{
+		Config:      Config{FastPath: true, QuorumTimeout: 8, Retransmit: 6},
+		Shards:      2,
+		OnlineCheck: true,
+		CheckBudget: 1,
+	}, wl)
+	sum, err := fast.CheckLinearizable(context.Background())
+	if err != nil {
+		t.Fatalf("fast-path sessions must not spend the starved budget: %v", err)
+	}
+	if !sum.Online || sum.Traces == 0 {
+		t.Fatalf("fast-path online check summarized nothing: %+v", sum)
 	}
 }

@@ -168,6 +168,24 @@ func (m Mode) String() string {
 
 // CheckSpec names what a Check decides: the ADT, the property mode, and —
 // for SLin — the interpretation relation and phase range.
+//
+// ADT-specialized fast paths (DESIGN.md, decision 15). For some folders
+// Check and NewSession dispatch to near-linear specialized checkers
+// instead of the exact search engines, transparently falling back to
+// the exact engines the moment a trace leaves the specialized fragment
+// (verdicts agree either way; WithExact forces the exact engines):
+//
+//   - RegisterADT — one-shot Lin checks and Lin/SLin(1,n) sessions
+//     (Gibbons–Korach interval analysis; distinct write values and
+//     distinct input strings).
+//   - ConsensusADT — one-shot Lin checks and Lin/SLin(1,n) sessions
+//     (single-decision analysis; distinct input strings).
+//   - QueueADT — one-shot Lin checks only (matched enqueue/dequeue
+//     segments; complete traces, distinct enqueue values, no empty
+//     dequeues), reported without a witness.
+//
+// Everything else — other folders, SLin with M > 1, ClassicalLin, SLin
+// one-shot checks — always runs the exact engines.
 type CheckSpec struct {
 	// Folder is the ADT the trace is checked against.
 	Folder Folder
@@ -205,6 +223,12 @@ var (
 	// off retains the unreduced reference searches, which the
 	// differential tests cross-check against the reduced ones.
 	WithPOR = check.WithPOR
+	// WithExact forces the exact search engines on entry points that
+	// would otherwise dispatch to an ADT-specialized fast-path checker
+	// (see CheckSpec; DESIGN.md decision 15). Verdicts never depend on
+	// it — it trades the fast paths' speed for the exact engines' node
+	// accounting and witness generality.
+	WithExact = check.WithExact
 )
 
 // Verdict is the three-valued outcome of a check.
@@ -312,7 +336,7 @@ func Check(ctx context.Context, spec CheckSpec, t Trace, opts ...Option) (Report
 	switch spec.Mode {
 	case Lin:
 		var r lin.Result
-		r, err = lin.Check(ctx, spec.Folder, t, opts...)
+		r, err = lin.CheckFast(ctx, spec.Folder, t, opts...)
 		rep = Report{Verdict: linVerdict(r, err), Reason: r.Reason, Witness: r.Witness, Nodes: r.Nodes, Pruned: r.Pruned}
 	case ClassicalLin:
 		var r lin.Result
@@ -359,9 +383,9 @@ func NewSession(ctx context.Context, spec CheckSpec, opts ...Option) (*Session, 
 	s := &Session{mode: spec.Mode, start: time.Now()}
 	switch spec.Mode {
 	case Lin:
-		s.lin = lin.NewSession(ctx, spec.Folder, opts...)
+		s.lin = lin.NewSessionFast(ctx, spec.Folder, opts...)
 	case SLin:
-		sl, err := slin.NewSession(ctx, spec.Folder, spec.RInit, spec.M, spec.N, opts...)
+		sl, err := slin.NewSessionFast(ctx, spec.Folder, spec.RInit, spec.M, spec.N, opts...)
 		if err != nil {
 			return nil, err
 		}
