@@ -1,0 +1,134 @@
+// The machine-readable summary for the runtime capture harness
+// (ISSUE 8): TestWriteBench7JSON runs the E17 capture hunt — real
+// concurrent Go structures (sync.Map, sync.Mutex, lazy-list set,
+// Michael–Scott queue) stressed under recording goroutines, their
+// captured histories checked live, every seeded-bug mutant flagged
+// non-linearizable — plus the capture-overhead measurement, and records
+// BENCH_7.json.
+package speclin_test
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// bench7Full opts into the full-scale E17 hunt (and the artifact
+// write). The nightly bench job passes it; plain `go test .` runs a
+// scaled-down smoke with the same assertions.
+var bench7Full = flag.Bool("bench7-full", false,
+	"run the full-scale E17 capture hunt and write BENCH_7.json")
+
+type bench7Summary struct {
+	Issue       int    `json:"issue"`
+	Description string `json:"description"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	Config      struct {
+		Goroutines  int `json:"goroutines"`
+		Ops         int `json:"ops_per_goroutine"`
+		Keys        int `json:"keys"`
+		Rounds      int `json:"mutant_rounds"`
+		OverheadOps int `json:"overhead_ops_per_goroutine"`
+	} `json:"config"`
+	Hunts    []experiments.CaptureHuntRow     `json:"capture_hunt"`
+	Overhead []experiments.CaptureOverheadRow `json:"capture_overhead"`
+}
+
+// checkHuntRows asserts the E17 invariants at any scale: clean
+// structures check linearizable live (with the classical cross-check
+// agreeing when run), mutants are caught, and the queue records no
+// empty dequeues on clean runs.
+func checkHuntRows(t *testing.T, rows []experiments.CaptureHuntRow, classical bool) {
+	t.Helper()
+	if len(rows) != 8 {
+		t.Fatalf("got %d hunt rows, want 8 (4 structures × clean+mutant)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Mutant == "" {
+			if !r.Linearizable {
+				t.Errorf("%s: clean run not linearizable", r.Name)
+			}
+			if classical && !r.ClassicalAgrees {
+				t.Errorf("%s: classical pass disagrees with live verdict", r.Name)
+			}
+			if r.EmptyDeqs != 0 {
+				t.Errorf("%s: %d empty dequeues on a clean run", r.Name, r.EmptyDeqs)
+			}
+		} else if !r.Caught {
+			t.Errorf("%s: mutant not caught", r.Name)
+		}
+	}
+}
+
+// TestWriteBench7JSON regenerates BENCH_7.json under -bench7-full. By
+// default — and always under -short or the race detector — it runs a
+// scaled-down smoke hunt with the same verdict assertions and leaves
+// the recorded artifact untouched.
+func TestWriteBench7JSON(t *testing.T) {
+	ctx := context.Background()
+	if !*bench7Full || raceEnabled || testing.Short() {
+		rows, err := experiments.E17HuntRows(ctx, 8, 300, 8, experiments.E17Rounds, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkHuntRows(t, rows, true)
+		t.Log("smoke mode (no -bench7-full): BENCH_7.json left untouched")
+		return
+	}
+
+	g := experiments.E17Goroutines()
+	hunts, err := experiments.E17HuntRows(ctx, g, experiments.E17Ops, experiments.E17Keys,
+		experiments.E17Rounds, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkHuntRows(t, hunts, true)
+	if g < 4*runtime.GOMAXPROCS(0) {
+		t.Errorf("hunted with %d goroutines (acceptance floor 4×GOMAXPROCS = %d)",
+			g, 4*runtime.GOMAXPROCS(0))
+	}
+	overhead, err := experiments.E17OverheadRows(g, experiments.E17OverheadOps, experiments.E17Keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range overhead {
+		if o.RawNsPerOp <= 0 || o.CapturedNsPerOp <= 0 || o.CaptureThroughputRatio <= 0 {
+			t.Errorf("%s: implausible overhead row %+v", o.Name, o)
+		}
+		t.Logf("%-14s raw %.0f ns/op, captured %.0f ns/op, ratio %.3f",
+			o.Name, o.RawNsPerOp, o.CapturedNsPerOp, o.CaptureThroughputRatio)
+	}
+
+	sum := bench7Summary{
+		Issue: 8,
+		Description: "Runtime capture harness: real concurrent Go structures stressed under " +
+			"recording goroutines, captured histories checked linearizable live, seeded-bug " +
+			"mutants flagged non-linearizable, recording overhead vs uninstrumented loops",
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Hunts:      hunts,
+		Overhead:   overhead,
+	}
+	sum.Config.Goroutines = g
+	sum.Config.Ops = experiments.E17Ops
+	sum.Config.Keys = experiments.E17Keys
+	sum.Config.Rounds = experiments.E17Rounds
+	sum.Config.OverheadOps = experiments.E17OverheadOps
+
+	data, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_7.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Log("wrote BENCH_7.json")
+}

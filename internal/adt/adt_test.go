@@ -174,6 +174,29 @@ var folderADTs = []struct {
 	{Universal{}, func(r *rand.Rand) trace.Value {
 		return trace.Value([]byte{byte('a' + r.Intn(3))})
 	}},
+	{Mutex{}, func(r *rand.Rand) trace.Value {
+		if r.Intn(2) == 0 {
+			return LockInput()
+		}
+		return UnlockInput()
+	}},
+	{Stack{}, func(r *rand.Rand) trace.Value {
+		if r.Intn(2) == 0 {
+			return PopInput()
+		}
+		return PushInput(trace.Value([]byte{byte('a' + r.Intn(3))}))
+	}},
+	{Set{}, func(r *rand.Rand) trace.Value {
+		v := trace.Value([]byte{byte('a' + r.Intn(3))})
+		switch r.Intn(3) {
+		case 0:
+			return AddInput(v)
+		case 1:
+			return RemoveInput(v)
+		default:
+			return HasInput(v)
+		}
+	}},
 }
 
 // TestFolderCoherence checks the Folder laws: folding a history and asking
@@ -210,6 +233,102 @@ func TestFolderCoherence(t *testing.T) {
 				t.Fatal(err)
 			}
 		})
+	}
+}
+
+func TestMutexSemantics(t *testing.T) {
+	m := Mutex{}
+	tests := []struct {
+		name string
+		h    trace.History
+		want trace.Value
+	}{
+		{"lock free", trace.History{LockInput()}, WriteOutput()},
+		{"relock held", trace.History{LockInput(), LockInput()}, ErrOutput("held")},
+		{"unlock held", trace.History{LockInput(), UnlockInput()}, WriteOutput()},
+		{"unlock free", trace.History{UnlockInput()}, ErrOutput("free")},
+		{"illegal op leaves state", trace.History{LockInput(), LockInput(), UnlockInput()}, WriteOutput()},
+		{"alternation", trace.History{LockInput(), UnlockInput(), LockInput()}, WriteOutput()},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := m.Apply(tt.h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.want {
+				t.Errorf("Apply(%v) = %q, want %q", tt.h, got, tt.want)
+			}
+		})
+	}
+	if m.ValidInput("lock:x") {
+		t.Error("lock with an argument must be invalid")
+	}
+	if !m.ValidInput(Tag(UnlockInput(), "7")) {
+		t.Error("tagged unlock must stay valid")
+	}
+}
+
+func TestStackSemantics(t *testing.T) {
+	s := Stack{}
+	tests := []struct {
+		name string
+		h    trace.History
+		want trace.Value
+	}{
+		{"pop empty", trace.History{PopInput()}, ReadOutput(Bottom)},
+		{"lifo order", trace.History{PushInput("a"), PushInput("b"), PopInput()}, ReadOutput("b")},
+		{"second pop", trace.History{PushInput("a"), PushInput("b"), PopInput(), PopInput()}, ReadOutput("a")},
+		{"drain then empty", trace.History{PushInput("a"), PopInput(), PopInput()}, ReadOutput(Bottom)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := s.Apply(tt.h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.want {
+				t.Errorf("Apply(%v) = %q, want %q", tt.h, got, tt.want)
+			}
+		})
+	}
+	if s.ValidInput(PushInput(Bottom)) || s.ValidInput("pop:x") {
+		t.Error("grammar-invalid stack inputs accepted")
+	}
+}
+
+func TestSetSemantics(t *testing.T) {
+	s := Set{}
+	tests := []struct {
+		name string
+		h    trace.History
+		want trace.Value
+	}{
+		{"has empty", trace.History{HasInput("a")}, BoolOutput(false)},
+		{"fresh add", trace.History{AddInput("a")}, BoolOutput(true)},
+		{"duplicate add", trace.History{AddInput("a"), AddInput("a")}, BoolOutput(false)},
+		{"has member", trace.History{AddInput("a"), HasInput("a")}, BoolOutput(true)},
+		{"has other", trace.History{AddInput("a"), HasInput("b")}, BoolOutput(false)},
+		{"remove member", trace.History{AddInput("a"), RemoveInput("a")}, BoolOutput(true)},
+		{"remove absent", trace.History{RemoveInput("a")}, BoolOutput(false)},
+		{"re-add after remove", trace.History{AddInput("a"), RemoveInput("a"), AddInput("a")}, BoolOutput(true)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := s.Apply(tt.h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.want {
+				t.Errorf("Apply(%v) = %q, want %q", tt.h, got, tt.want)
+			}
+		})
+	}
+	// State canonicality: insertion order must not matter.
+	h1 := trace.History{AddInput("b"), AddInput("a"), AddInput("c")}
+	h2 := trace.History{AddInput("c"), AddInput("a"), AddInput("b")}
+	if Fold(s, h1) != Fold(s, h2) {
+		t.Fatal("set states must be insertion-order canonical")
 	}
 }
 

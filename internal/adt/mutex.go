@@ -1,0 +1,69 @@
+package adt
+
+import "repro/internal/trace"
+
+// Mutex is a binary lock ADT, the spec behind the capture harness's
+// sync.Mutex reference structure (ISSUE 8). Inputs are "lock:" and
+// "unlock:"; a legal transition outputs "ok:", an illegal one —
+// locking a held lock or unlocking a free one — outputs "err:held" or
+// "err:free" and leaves the state unchanged. Well-synchronized lock
+// users never observe the error outputs, which is exactly what makes
+// them useful to the checker: a captured history whose operations all
+// returned "ok:" is linearizable iff some alternation of the lock and
+// unlock intervals exists.
+type Mutex struct{}
+
+var _ Folder = Mutex{}
+
+// LockInput returns the acquire input.
+func LockInput() trace.Value { return "lock:" }
+
+// UnlockInput returns the release input.
+func UnlockInput() trace.Value { return "unlock:" }
+
+// ErrOutput returns the output of an illegal mutex transition.
+func ErrOutput(why string) trace.Value { return trace.Value("err:" + why) }
+
+// Name implements ADT.
+func (Mutex) Name() string { return "mutex" }
+
+// ValidInput implements ADT.
+func (Mutex) ValidInput(in trace.Value) bool {
+	in = Untag(in)
+	return in == LockInput() || in == UnlockInput()
+}
+
+// The mutex state is "u" (unlocked) or "l" (locked).
+
+// Empty implements Folder.
+func (Mutex) Empty() State { return "u" }
+
+// Step implements Folder: illegal transitions leave the state unchanged.
+func (Mutex) Step(s State, in trace.Value) State {
+	switch {
+	case Untag(in) == LockInput() && s == "u":
+		return "l"
+	case Untag(in) == UnlockInput() && s == "l":
+		return "u"
+	}
+	return s
+}
+
+// Out implements Folder.
+func (Mutex) Out(s State, in trace.Value) trace.Value {
+	if Untag(in) == LockInput() {
+		if s == "u" {
+			return WriteOutput()
+		}
+		return ErrOutput("held")
+	}
+	if s == "l" {
+		return WriteOutput()
+	}
+	return ErrOutput("free")
+}
+
+// Apply implements ADT.
+func (m Mutex) Apply(h trace.History) (trace.Value, error) {
+	return ApplyFolded(m, h)
+}

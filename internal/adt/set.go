@@ -1,0 +1,99 @@
+package adt
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Set is a mathematical-set ADT, the spec behind the capture harness's
+// lazy-list set reference structure (the Lazy Set of PAPERS.md, whose
+// non-fixed linearization points are exactly what the exact search
+// engines handle and the fast paths do not). Inputs are "add:v",
+// "rm:v" and "has:v"; outputs are "b:1"/"b:0" — whether the add newly
+// inserted, the remove actually removed, or the membership test found
+// the element.
+type Set struct{}
+
+var _ Folder = Set{}
+
+// AddInput returns the input add(v).
+func AddInput(v trace.Value) trace.Value { return "add:" + v }
+
+// RemoveInput returns the input remove(v).
+func RemoveInput(v trace.Value) trace.Value { return "rm:" + v }
+
+// HasInput returns the input contains(v).
+func HasInput(v trace.Value) trace.Value { return "has:" + v }
+
+// BoolOutput returns the boolean output of a set operation.
+func BoolOutput(b bool) trace.Value {
+	if b {
+		return "b:1"
+	}
+	return "b:0"
+}
+
+// Name implements ADT.
+func (Set) Name() string { return "set" }
+
+// ValidInput implements ADT.
+func (Set) ValidInput(in trace.Value) bool {
+	op, arg, has := split2(Untag(in))
+	if !has {
+		return false
+	}
+	switch op {
+	case "add", "rm", "has":
+		return arg != "" && arg != string(Bottom) && !strings.ContainsRune(arg, '\x00')
+	default:
+		return false
+	}
+}
+
+// The set state is the sorted distinct elements joined by NUL bytes; the
+// empty set is the empty state.
+
+// Empty implements Folder.
+func (Set) Empty() State { return "" }
+
+func setHas(elems []string, arg string) (int, bool) {
+	i := sort.SearchStrings(elems, arg)
+	return i, i < len(elems) && elems[i] == arg
+}
+
+// Step implements Folder.
+func (Set) Step(s State, in trace.Value) State {
+	op, arg, _ := split2(Untag(in))
+	elems := queueElems(s)
+	i, ok := setHas(elems, arg)
+	switch {
+	case op == "add" && !ok:
+		elems = append(elems, "")
+		copy(elems[i+1:], elems[i:])
+		elems[i] = arg
+	case op == "rm" && ok:
+		elems = append(elems[:i], elems[i+1:]...)
+	}
+	return queueState(elems)
+}
+
+// Out implements Folder.
+func (Set) Out(s State, in trace.Value) trace.Value {
+	op, arg, _ := split2(Untag(in))
+	_, ok := setHas(queueElems(s), arg)
+	switch op {
+	case "add":
+		return BoolOutput(!ok)
+	case "rm":
+		return BoolOutput(ok)
+	default:
+		return BoolOutput(ok)
+	}
+}
+
+// Apply implements ADT.
+func (s Set) Apply(h trace.History) (trace.Value, error) {
+	return ApplyFolded(s, h)
+}

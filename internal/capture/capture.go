@@ -1,0 +1,241 @@
+// Package capture is the runtime instrumentation front-end of the
+// checker (ISSUE 8): it records invocation/response histories from
+// actual concurrent Go code and streams them — merged into one
+// totalizable trace — through the incremental checker sessions, so real
+// data structures (sync.Map, sync.Mutex, a lazy-list set, a
+// Michael–Scott queue) are checked linearizable live, and seeded-bug
+// mutants of each are flagged non-linearizable under stress.
+//
+// The capture model (DESIGN.md, decision 16) in brief:
+//
+//   - One Proc per goroutine. Each proc owns a lock-free single-producer
+//     event buffer (a chunked list linked by atomic pointers) and
+//     records an event before invoking an operation on the structure
+//     under test and another after it returns. Recording never blocks
+//     and never allocates on the hot path outside chunk boundaries.
+//   - Timestamps come from one monotonic clock (time.Since of a common
+//     origin; tests inject a deterministic clock). Per proc, timestamps
+//     are made strictly increasing by bumping sub-resolution collisions
+//     by 1ns — the bump only reorders events the clock could not
+//     distinguish anyway, so it stays within measurement precision.
+//   - The drainer merges the per-proc buffers into a single totally
+//     ordered action sequence with the comparator (T, kind with Inv
+//     before Res, proc). Invocations sort before responses at equal
+//     timestamps because a tie leaves the true order unknown: placing
+//     the invocation first only widens operation intervals, which can
+//     hide a real-time precedence but can never manufacture one — the
+//     merged trace under-approximates the real-time order, so a
+//     NotLinearizable verdict on it is trustworthy.
+//   - The gate protocol makes live draining safe without locks: a proc
+//     publishes an event and then advances its gate to the event's
+//     timestamp, promising every later event a strictly larger one. The
+//     drainer's watermark is the minimum gate over all procs; published
+//     events below the watermark are in their final merge position and
+//     can be fed to the checker sessions immediately.
+package capture
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Event is one recorded action: an invocation (Out empty) or a response.
+type Event struct {
+	T    int64
+	Kind trace.Kind
+	In   trace.Value
+	Out  trace.Value
+}
+
+// chunkSize sizes the per-proc buffer chunks. Recording allocates only
+// at chunk boundaries; 1024 events ≈ one allocation per 512 operations.
+const chunkSize = 1024
+
+type chunk struct {
+	next atomic.Pointer[chunk]
+	ev   [chunkSize]Event
+}
+
+// Proc is one goroutine's recording handle: a single-producer event
+// buffer plus the gate the drainer's watermark is computed from. Inv,
+// Res and Close must be called from a single goroutine; the drainer may
+// run concurrently with all of them.
+type Proc struct {
+	id     int
+	client trace.ClientID
+	clock  func() int64
+
+	gate      atomic.Int64
+	published atomic.Int64
+
+	// Producer-owned.
+	tail   *chunk
+	tailN  int
+	last   int64
+	total  int64
+	closed bool
+	mute   bool
+
+	// Drainer-owned.
+	head    *chunk
+	headN   int
+	drained int64
+	next    Event // merge head, valid when primed
+	primed  bool
+}
+
+// Client returns the client ID the proc's actions carry ("g0", "g1", …).
+func (p *Proc) Client() trace.ClientID { return p.client }
+
+// Inv records the invocation of in.
+func (p *Proc) Inv(in trace.Value) { p.record(trace.Inv, in, "") }
+
+// Res records the response out of the operation invoked with in.
+func (p *Proc) Res(in, out trace.Value) { p.record(trace.Res, in, out) }
+
+func (p *Proc) record(k trace.Kind, in, out trace.Value) {
+	if p.mute {
+		return
+	}
+	if p.closed {
+		panic("capture: record on closed Proc")
+	}
+	t := p.clock()
+	if t <= p.last {
+		t = p.last + 1
+	}
+	p.last = t
+	if p.tailN == chunkSize {
+		c := &chunk{}
+		p.tail.next.Store(c)
+		p.tail = c
+		p.tailN = 0
+	}
+	p.tail.ev[p.tailN] = Event{T: t, Kind: k, In: in, Out: out}
+	p.tailN++
+	p.total++
+	// Publish the slot, then advance the gate: a drainer that observes
+	// gate ≥ t has, by the release/acquire pairing on published, already
+	// seen every event with timestamp ≤ t.
+	p.published.Store(p.total)
+	p.gate.Store(t)
+}
+
+// Close marks the proc finished: its gate moves to +∞ so it no longer
+// holds back the watermark. Recording after Close panics.
+func (p *Proc) Close() {
+	p.closed = true
+	p.gate.Store(math.MaxInt64)
+}
+
+// Recorder owns the per-proc buffers and the merge. The drain side
+// (Watermark, Drain) must be used from a single goroutine at a time;
+// the record side is one goroutine per Proc.
+type Recorder struct {
+	clock func() int64
+	procs []*Proc
+}
+
+// Option configures a Recorder.
+type Option func(*Recorder)
+
+// WithClock injects the timestamp source (monotonic nanoseconds).
+// Tests use a deterministic counter; the default is time.Since of the
+// Recorder's creation instant.
+func WithClock(clock func() int64) Option {
+	return func(r *Recorder) { r.clock = clock }
+}
+
+// NewRecorder creates a recorder with procs recording goroutines.
+func NewRecorder(procs int, opts ...Option) *Recorder {
+	r := &Recorder{}
+	for _, o := range opts {
+		o(r)
+	}
+	if r.clock == nil {
+		start := time.Now()
+		r.clock = func() int64 { return int64(time.Since(start)) }
+	}
+	r.procs = make([]*Proc, procs)
+	for i := range r.procs {
+		c := &chunk{}
+		r.procs[i] = &Proc{
+			id:     i,
+			client: trace.ClientID(fmt.Sprintf("g%d", i)),
+			clock:  r.clock,
+			tail:   c,
+			head:   c,
+		}
+	}
+	return r
+}
+
+// Proc returns recording handle i.
+func (r *Recorder) Proc(i int) *Proc { return r.procs[i] }
+
+// Procs returns the number of procs.
+func (r *Recorder) Procs() int { return len(r.procs) }
+
+// Watermark returns the merge-safe bound: every event with T strictly
+// below it has been published and is in its final merge position.
+func (r *Recorder) Watermark() int64 {
+	w := int64(math.MaxInt64)
+	for _, p := range r.procs {
+		if g := p.gate.Load(); g < w {
+			w = g
+		}
+	}
+	return w
+}
+
+// Drain appends to dst all not-yet-drained events with T < limit,
+// merged across procs by (T, Inv before Res, proc), as actions of phase
+// 1. Pass r.Watermark() for a live drain or math.MaxInt64 after every
+// proc closed. Single-goroutine only.
+func (r *Recorder) Drain(limit int64, dst trace.Trace) trace.Trace {
+	type tagged struct {
+		ev   Event
+		proc int
+	}
+	var batch []tagged
+	for _, p := range r.procs {
+		avail := p.published.Load()
+		for p.drained < avail {
+			if p.headN == chunkSize {
+				p.head = p.head.next.Load()
+				p.headN = 0
+			}
+			ev := p.head.ev[p.headN]
+			if ev.T >= limit {
+				break
+			}
+			batch = append(batch, tagged{ev: ev, proc: p.id})
+			p.headN++
+			p.drained++
+		}
+	}
+	sort.Slice(batch, func(i, j int) bool {
+		a, b := batch[i], batch[j]
+		if a.ev.T != b.ev.T {
+			return a.ev.T < b.ev.T
+		}
+		if a.ev.Kind != b.ev.Kind {
+			return a.ev.Kind == trace.Inv
+		}
+		return a.proc < b.proc
+	})
+	for _, e := range batch {
+		c := r.procs[e.proc].client
+		if e.ev.Kind == trace.Inv {
+			dst = append(dst, trace.Invoke(c, 1, e.ev.In))
+		} else {
+			dst = append(dst, trace.Response(c, 1, e.ev.In, e.ev.Out))
+		}
+	}
+	return dst
+}

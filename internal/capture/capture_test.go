@@ -1,0 +1,201 @@
+package capture
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/trace"
+)
+
+// fakeClock is a deterministic injectable clock for recorder tests.
+type fakeClock struct{ now int64 }
+
+func (c *fakeClock) fn() func() int64 { return func() int64 { return c.now } }
+
+// TestMergeOrder pins the merge comparator: timestamps first, then Inv
+// before Res on ties, then proc id.
+func TestMergeOrder(t *testing.T) {
+	clk := &fakeClock{}
+	rec := NewRecorder(2, WithClock(clk.fn()))
+	p0, p1 := rec.Proc(0), rec.Proc(1)
+
+	clk.now = 10
+	p0.Inv("w:a")
+	clk.now = 20
+	p1.Inv("r:")
+	clk.now = 30
+	p0.Res("w:a", "ok:")
+	clk.now = 30 // tie with p0's response: the invocation must sort first
+	p1.Inv("w:b")
+	clk.now = 40
+	p1.Res("w:b", "ok:")
+	p0.Close()
+	p1.Close()
+
+	got := rec.Drain(math.MaxInt64, nil)
+	// p1's second action ("w:b" inv at t=30) ties with p0's response at
+	// t=30; Inv sorts first. p1's pending "r:" never responds.
+	want := trace.Trace{
+		trace.Invoke("g0", 1, "w:a"),
+		trace.Invoke("g1", 1, "r:"),
+		trace.Invoke("g1", 1, "w:b"),
+		trace.Response("g0", 1, "w:a", "ok:"),
+		trace.Response("g1", 1, "w:b", "ok:"),
+	}
+	if len(got) != len(want) {
+		t.Fatalf("drained %d actions, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("action %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestPerProcBump: a stuck clock still yields strictly increasing
+// per-proc timestamps, so program order survives the merge.
+func TestPerProcBump(t *testing.T) {
+	clk := &fakeClock{now: 5}
+	rec := NewRecorder(1, WithClock(clk.fn()))
+	p := rec.Proc(0)
+	for i := 0; i < 10; i++ {
+		p.Inv(trace.Value("r:" + string(rune('a'+i))))
+		p.Res(trace.Value("r:"+string(rune('a'+i))), "v:⊥")
+	}
+	p.Close()
+	got := rec.Drain(math.MaxInt64, nil)
+	if len(got) != 20 {
+		t.Fatalf("drained %d actions, want 20", len(got))
+	}
+	for i := 0; i < 20; i += 2 {
+		if got[i].Kind != trace.Inv || got[i+1].Kind != trace.Res || got[i].Input != got[i+1].Input {
+			t.Fatalf("program order lost at %d: %+v %+v", i, got[i], got[i+1])
+		}
+	}
+}
+
+// TestGateWatermark pins the gate protocol: a proc that has not
+// advanced its gate holds back the watermark, and only events strictly
+// below the watermark drain.
+func TestGateWatermark(t *testing.T) {
+	clk := &fakeClock{}
+	rec := NewRecorder(2, WithClock(clk.fn()))
+	p0, p1 := rec.Proc(0), rec.Proc(1)
+
+	clk.now = 100
+	p0.Inv("w:a")
+	if w := rec.Watermark(); w != 0 {
+		t.Fatalf("watermark %d with p1 silent, want 0", w)
+	}
+	if got := rec.Drain(rec.Watermark(), nil); len(got) != 0 {
+		t.Fatalf("drained %d actions below watermark 0", len(got))
+	}
+
+	clk.now = 50
+	p1.Inv("r:")
+	if w := rec.Watermark(); w != 50 {
+		t.Fatalf("watermark %d, want 50", w)
+	}
+	// Only events with T < 50 are safe: none (p0's is at 100, p1's at 50).
+	if got := rec.Drain(rec.Watermark(), nil); len(got) != 0 {
+		t.Fatalf("drained %d actions below watermark 50", len(got))
+	}
+
+	clk.now = 200
+	p1.Res("r:", "v:⊥")
+	if w := rec.Watermark(); w != 100 {
+		t.Fatalf("watermark %d, want min(gates)=100", w)
+	}
+	got := rec.Drain(rec.Watermark(), nil)
+	if len(got) != 1 || got[0] != trace.Invoke("g1", 1, "r:") {
+		t.Fatalf("drain below 100: got %v, want just g1's invocation at t=50", got)
+	}
+
+	p0.Close()
+	p1.Close()
+	rest := rec.Drain(math.MaxInt64, nil)
+	if len(rest) != 2 {
+		t.Fatalf("final drain: got %d actions, want the remaining 2", len(rest))
+	}
+}
+
+// TestIncrementalDrainsEqualFullDrain is the drain-protocol property
+// test: any sequence of intermediate watermark drains concatenates to
+// exactly the one-shot full merge.
+func TestIncrementalDrainsEqualFullDrain(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 200; iter++ {
+		procs := 1 + r.Intn(4)
+		steps := 1 + r.Intn(60)
+
+		run := func(drainEvery int) trace.Trace {
+			clk := &fakeClock{}
+			rec := NewRecorder(procs, WithClock(clk.fn()))
+			rr := rand.New(rand.NewSource(int64(iter)))
+			pending := make([]trace.Value, procs)
+			var out trace.Trace
+			seq := 0
+			for s := 0; s < steps; s++ {
+				clk.now += int64(rr.Intn(3)) // frequent cross-proc ties
+				p := rr.Intn(procs)
+				if pending[p] == "" {
+					seq++
+					in := adt.Tag(adt.ReadInput(), itoa(seq))
+					rec.Proc(p).Inv(in)
+					pending[p] = in
+				} else {
+					rec.Proc(p).Res(pending[p], adt.ReadOutput(adt.Bottom))
+					pending[p] = ""
+				}
+				if drainEvery > 0 && s%drainEvery == 0 {
+					out = rec.Drain(rec.Watermark(), out)
+				}
+			}
+			for p := 0; p < procs; p++ {
+				rec.Proc(p).Close()
+			}
+			return rec.Drain(math.MaxInt64, out)
+		}
+
+		full := run(0)
+		inc := run(1 + r.Intn(5))
+		if len(full) != len(inc) {
+			t.Fatalf("iter %d: incremental drain lost actions: %d vs %d", iter, len(inc), len(full))
+		}
+		for i := range full {
+			if full[i] != inc[i] {
+				t.Fatalf("iter %d action %d: incremental %+v vs full %+v", iter, i, inc[i], full[i])
+			}
+		}
+	}
+}
+
+// TestDrainWellFormed: concurrent recording through real goroutines and
+// the real clock merges into a well-formed trace (per-client Inv/Res
+// alternation with matching inputs).
+func TestDrainWellFormed(t *testing.T) {
+	rep, err := Run(t.Context(), Config{Structure: StructMap, Goroutines: 8, Ops: 200, Keys: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Actions == 0 {
+		t.Fatal("no actions captured")
+	}
+	if rep.Actions != int64(8*200*2) {
+		t.Fatalf("captured %d actions, want %d", rep.Actions, 8*200*2)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

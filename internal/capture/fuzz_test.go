@@ -1,0 +1,131 @@
+package capture
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	speclin "repro"
+	"repro/internal/adt"
+	"repro/internal/trace"
+)
+
+const fuzzBudget = 200_000
+
+// FuzzCaptureVsExact drives a deterministic capture schedule (injected
+// clock, interleaved recording across three procs, randomized
+// intermediate watermark drains) from the fuzz input, streams the
+// merged actions into a checker session, and asserts (a) the merged
+// trace is well-formed, and (b) the streamed session verdict equals a
+// one-shot Check over the same merged trace. Responses are drawn from a
+// pool that includes wrong values, so both verdicts are exercised.
+func FuzzCaptureVsExact(f *testing.F) {
+	f.Add([]byte{0x00, 0x00, 0x00, 0x04, 0x01, 0x01, 0x01, 0x05})
+	f.Add([]byte{0x10, 0x00, 0x21, 0x01, 0x10, 0x32, 0x21, 0x09, 0x42, 0x30})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x30, 0x01, 0x01, 0x00, 0x04, 0x01, 0x31})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const procs = 3
+		var now int64
+		rec := NewRecorder(procs, WithClock(func() int64 { return now }))
+		ctx := context.Background()
+		spec := speclin.CheckSpec{Folder: speclin.RegisterADT}
+		sess, err := speclin.NewSession(ctx, spec, speclin.WithBudget(fuzzBudget))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var merged trace.Trace
+		var feedErr error
+		drain := func(limit int64) {
+			start := len(merged)
+			merged = rec.Drain(limit, merged)
+			for _, a := range merged[start:] {
+				if feedErr == nil {
+					feedErr = sess.Feed(a)
+				}
+			}
+		}
+
+		pending := make([]trace.Value, procs)
+		writes := 0
+		var lastW trace.Value = adt.Bottom
+		for i := 0; i+1 < len(data); i += 2 {
+			b, c := data[i], data[i+1]
+			now += int64(b >> 4) // clock advance 0–15, ties included
+			p := int(b) % procs
+			pr := rec.Proc(p)
+			if pending[p] == "" {
+				var in trace.Value
+				if c%3 == 0 {
+					writes++
+					lastW = trace.Value("v" + itoa(writes))
+					in = adt.WriteInput(lastW)
+				} else {
+					in = adt.Tag(adt.ReadInput(), "r"+itoa(i))
+				}
+				pr.Inv(in)
+				pending[p] = in
+			} else {
+				var out trace.Value
+				if adt.Untag(pending[p])[0] == 'w' {
+					out = adt.WriteOutput()
+				} else {
+					switch (c >> 5) % 4 {
+					case 0:
+						out = adt.ReadOutput(adt.Bottom)
+					case 1, 2:
+						out = adt.ReadOutput(lastW)
+					default:
+						out = adt.ReadOutput("zz") // never written
+					}
+				}
+				pr.Res(pending[p], out)
+				pending[p] = ""
+			}
+			if c&0x08 != 0 {
+				drain(rec.Watermark())
+			}
+		}
+		for p := 0; p < procs; p++ {
+			rec.Proc(p).Close()
+		}
+		drain(math.MaxInt64)
+
+		assertWellFormed(t, merged)
+
+		srep, serr := sess.Report()
+		orep, oerr := speclin.Check(ctx, spec, merged, speclin.WithBudget(fuzzBudget))
+		if serr != nil || oerr != nil {
+			if (serr == nil) != (oerr == nil) {
+				t.Fatalf("error disagreement: session %v, one-shot %v", serr, oerr)
+			}
+			return // both budget-exhausted: no verdict to compare
+		}
+		if srep.Verdict != orep.Verdict {
+			t.Fatalf("streamed session says %v, one-shot Check says %v (%d actions)\ntrace: %v",
+				srep.Verdict, orep.Verdict, len(merged), merged)
+		}
+	})
+}
+
+// assertWellFormed checks per-client Inv/Res alternation with matching
+// inputs — the shape the checker requires of every captured trace.
+func assertWellFormed(t *testing.T, tr trace.Trace) {
+	t.Helper()
+	open := map[trace.ClientID]trace.Value{}
+	for i, a := range tr {
+		switch a.Kind {
+		case trace.Inv:
+			if _, busy := open[a.Client]; busy {
+				t.Fatalf("action %d: client %s invokes while pending", i, a.Client)
+			}
+			open[a.Client] = a.Input
+		case trace.Res:
+			in, busy := open[a.Client]
+			if !busy || in != a.Input {
+				t.Fatalf("action %d: client %s responds to %q, pending %q", i, a.Client, a.Input, in)
+			}
+			delete(open, a.Client)
+		}
+	}
+}

@@ -1,0 +1,470 @@
+// The hunt: stress one structure under test with concurrent recording
+// goroutines, drain the capture buffers live into checker sessions, and
+// report the verdict (plus optional ClassicalLin one-shots and the
+// capture-overhead measurement). cmd/lin-hunt and the nightly hunt job
+// drive this; mutants are expected to come back NotLinearizable.
+package capture
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"math/rand"
+
+	speclin "repro"
+	"repro/internal/adt"
+	"repro/internal/trace"
+)
+
+// Config parameterizes one hunt run.
+type Config struct {
+	// Structure is one of Structures; Mutant is "" (unmutated) or the
+	// structure's entry in Mutants.
+	Structure string
+	Mutant    string
+	// Goroutines is the recording worker count (default 4×GOMAXPROCS,
+	// the acceptance floor for clean runs).
+	Goroutines int
+	// Ops bounds each worker's operation count (mutex workers count a
+	// lock/unlock pair as one). Ignored when Duration is set.
+	Ops int
+	// Duration, when positive, bounds the run by wall clock instead.
+	Duration time.Duration
+	// Seed derives the per-worker RNGs (worker i uses Seed + i·7919).
+	Seed int64
+	// Keys sizes the key space of the map and set workloads.
+	Keys int
+	// Budget bounds each checker session (and each one-shot check).
+	Budget int
+	// Exact forces the exact engines (check.WithExact) on the sessions.
+	Exact bool
+	// Classical additionally runs the uncapped ClassicalLin checker
+	// one-shot over every captured per-key history after the run.
+	Classical bool
+	// RetryEmpty bounds a queue worker's dequeue retry loop; an
+	// exhausted loop records an empty dequeue (clean runs never do: a
+	// dequeue is only attempted against a completed enqueue's token).
+	RetryEmpty int
+
+	clock func() int64 // test hook
+}
+
+func (c Config) withDefaults() Config {
+	if c.Goroutines <= 0 {
+		c.Goroutines = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.Ops <= 0 {
+		c.Ops = 1_000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Keys <= 0 {
+		c.Keys = 16
+	}
+	if c.Budget <= 0 {
+		c.Budget = 5_000_000
+	}
+	if c.RetryEmpty <= 0 {
+		c.RetryEmpty = 2_000
+	}
+	return c
+}
+
+// Report is one hunt run's outcome.
+type Report struct {
+	Structure  string
+	Mutant     string
+	Goroutines int
+	// Actions is the merged trace length (2 per completed operation).
+	Actions int64
+	// EmptyDeqs counts queue dequeues that exhausted their retry loop.
+	EmptyDeqs int64
+	// Live is the streaming verdict (per-key sessions; the queue's is
+	// its post-run one-shot fast-path check).
+	Live RouteReport
+	// ClassicalReport is the optional post-run ClassicalLin pass.
+	Classical *RouteReport
+	// Wall is the stress run's wall clock (drain and live checking
+	// included, post-run one-shots excluded).
+	Wall time.Duration
+}
+
+// huntState shares the structure under test and counters between the
+// workers.
+type huntState struct {
+	cfg       Config
+	sut       any
+	scratch   atomic.Int64 // mutex critical-section work
+	tokens    atomic.Int64 // queue: completed-enqueue claims
+	emptyDeqs atomic.Int64
+}
+
+// Run stresses the configured structure and checks the captured trace
+// live. The returned Report carries the verdict; err is reserved for
+// configuration errors, not negative verdicts.
+func Run(ctx context.Context, cfg Config) (Report, error) {
+	cfg = cfg.withDefaults()
+	sut, err := newStructure(cfg.Structure, cfg.Mutant, true)
+	if err != nil {
+		return Report{}, err
+	}
+	h := &huntState{cfg: cfg, sut: sut}
+	var recOpts []Option
+	if cfg.clock != nil {
+		recOpts = append(recOpts, WithClock(cfg.clock))
+	}
+	rec := NewRecorder(cfg.Goroutines, recOpts...)
+
+	opts := []speclin.Option{speclin.WithBudget(cfg.Budget), speclin.WithWitness(false)}
+	if cfg.Exact {
+		opts = append(opts, speclin.WithExact(true))
+	}
+	var rt *router
+	switch cfg.Structure {
+	case StructMap:
+		rt = newRouter(ctx, speclin.CheckSpec{Folder: speclin.RegisterADT}, mapKeyOf, true, opts...)
+	case StructMutex:
+		rt = newRouter(ctx, speclin.CheckSpec{Folder: speclin.MutexADT}, nil, true, opts...)
+	case StructSet:
+		// The set folder has no fast path, and the exact session engine
+		// degenerates on capture-shaped histories (its breadth frontier
+		// keeps every commit-order permutation of overlapping ops alive,
+		// where the one-shot DFS prunes them) — so the set's per-key
+		// histories are retained and checked one-shot after the run,
+		// like the queue's.
+		rt = newRouter(ctx, speclin.CheckSpec{Folder: speclin.SetADT}, setKeyOf, false, opts...)
+	case StructQueue:
+		// The queue fast path is one-shot: retain the trace, check after.
+		rt = newRouter(ctx, speclin.CheckSpec{Folder: speclin.QueueADT}, nil, false, opts...)
+	}
+
+	start := time.Now()
+	if cfg.Structure == StructQueue {
+		h.prefill(rec.Proc(0))
+	}
+
+	done := make(chan struct{})
+	if cfg.Duration > 0 {
+		timer := time.AfterFunc(cfg.Duration, func() { close(done) })
+		defer timer.Stop()
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h.worker(rec.Proc(i), i, done)
+		}(i)
+	}
+	finished := make(chan struct{})
+	go func() { wg.Wait(); close(finished) }()
+
+	// The live drain loop: merge everything below the watermark and
+	// feed it onward until the workers finish, then a final full drain.
+	var pending trace.Trace
+	running := true
+	for running {
+		select {
+		case <-finished:
+			running = false
+		case <-time.After(time.Millisecond):
+		}
+		limit := rec.Watermark()
+		if !running {
+			limit = math.MaxInt64
+		}
+		pending = rec.Drain(limit, pending[:0])
+		for _, a := range pending {
+			rt.feed(a)
+		}
+	}
+
+	rep := Report{
+		Structure:  cfg.Structure,
+		Mutant:     cfg.Mutant,
+		Goroutines: cfg.Goroutines,
+		EmptyDeqs:  h.emptyDeqs.Load(),
+	}
+	if rt.sessions {
+		rep.Live = rt.reports()
+	} else {
+		rep.Live = rt.oneShot(ctx, speclin.Lin, opts...)
+	}
+	rep.Actions = rep.Live.Actions
+	rep.Wall = time.Since(start)
+	if cfg.Classical {
+		cl := rt.oneShot(ctx, speclin.ClassicalLin, opts...)
+		rep.Classical = &cl
+	}
+	return rep, nil
+}
+
+// worker runs one recording goroutine's operation loop.
+func (h *huntState) worker(p *Proc, i int, done <-chan struct{}) {
+	defer p.Close()
+	r := rand.New(rand.NewSource(h.cfg.Seed + int64(i)*7919))
+	op := h.opFunc(p)
+	for seq := 0; ; seq++ {
+		if h.cfg.Duration > 0 {
+			select {
+			case <-done:
+				return
+			default:
+			}
+		} else if seq >= h.cfg.Ops {
+			return
+		}
+		op(r, seq)
+	}
+}
+
+// opFunc returns the per-operation closure for the configured
+// structure, recording through p.
+func (h *huntState) opFunc(p *Proc) func(r *rand.Rand, seq int) {
+	client := string(p.Client())
+	uniq := func(seq int) string { return client + "-" + strconv.Itoa(seq) }
+	switch h.cfg.Structure {
+	case StructMap:
+		m := h.sut.(MapSUT)
+		return func(r *rand.Rand, seq int) {
+			key := "k" + strconv.Itoa(r.Intn(h.cfg.Keys))
+			u := uniq(seq)
+			if r.Intn(2) == 0 {
+				in := mapWriteInput(key, u)
+				p.Inv(in)
+				m.Store(key, u)
+				p.Res(in, adt.WriteOutput())
+			} else {
+				in := mapReadInput(key, u)
+				p.Inv(in)
+				v, ok := m.Load(key)
+				out := adt.ReadOutput(adt.Bottom)
+				if ok {
+					out = adt.ReadOutput(trace.Value(v))
+				}
+				p.Res(in, out)
+			}
+		}
+	case StructMutex:
+		l := h.sut.(LockSUT)
+		return func(r *rand.Rand, seq int) {
+			u := uniq(seq)
+			lin := adt.Tag(adt.LockInput(), u)
+			p.Inv(lin)
+			l.Lock()
+			p.Res(lin, adt.WriteOutput())
+			for k := 0; k < 8; k++ { // hold the lock across a little work
+				h.scratch.Add(1)
+			}
+			// Yield while holding: legal on a correct mutex (the holder may
+			// be delayed arbitrarily), and the overlap a broken one then
+			// admits lands inside the captured critical section.
+			runtime.Gosched()
+			uin := adt.Tag(adt.UnlockInput(), u)
+			p.Inv(uin)
+			l.Unlock()
+			p.Res(uin, adt.WriteOutput())
+		}
+	case StructSet:
+		s := h.sut.(SetSUT)
+		return func(r *rand.Rand, seq int) {
+			v := r.Intn(h.cfg.Keys)
+			vs := trace.Value(strconv.Itoa(v))
+			var in trace.Value
+			var out trace.Value
+			switch r.Intn(4) {
+			case 0:
+				in = adt.Tag(adt.AddInput(vs), uniq(seq))
+				p.Inv(in)
+				out = adt.BoolOutput(s.Add(v))
+			case 1:
+				in = adt.Tag(adt.RemoveInput(vs), uniq(seq))
+				p.Inv(in)
+				out = adt.BoolOutput(s.Remove(v))
+			default:
+				in = adt.Tag(adt.HasInput(vs), uniq(seq))
+				p.Inv(in)
+				out = adt.BoolOutput(s.Contains(v))
+			}
+			p.Res(in, out)
+		}
+	case StructQueue:
+		q := h.sut.(QueueSUT)
+		return func(r *rand.Rand, seq int) {
+			u := uniq(seq)
+			// Enqueue-biased mix; dequeues only run against a token
+			// deposited by a completed enqueue, so on a correct queue
+			// every granted dequeue finds an element.
+			deq := r.Intn(100) < 45
+			if deq && h.tokens.Add(-1) < 0 {
+				h.tokens.Add(1)
+				deq = false
+			}
+			if !deq {
+				in := adt.EnqInput(trace.Value(u))
+				p.Inv(in)
+				q.Enqueue(u)
+				p.Res(in, adt.WriteOutput())
+				h.tokens.Add(1)
+				return
+			}
+			in := adt.Tag(adt.DeqInput(), u)
+			p.Inv(in)
+			out := adt.ReadOutput(adt.Bottom)
+			for tries := 0; tries < h.cfg.RetryEmpty; tries++ {
+				if v, ok := q.Dequeue(); ok {
+					out = adt.ReadOutput(trace.Value(v))
+					break
+				}
+				runtime.Gosched()
+			}
+			if out == adt.ReadOutput(adt.Bottom) {
+				h.emptyDeqs.Add(1)
+				h.tokens.Add(1) // hand the claim back
+			}
+			p.Res(in, out)
+		}
+	}
+	panic("capture: unknown structure " + h.cfg.Structure)
+}
+
+// prefill seeds the queue with 2×Goroutines elements through proc 0
+// before the workers start, so the trace stays inside the no-empty-
+// dequeue fast fragment from the first operation.
+func (h *huntState) prefill(p *Proc) {
+	q := h.sut.(QueueSUT)
+	for i := 0; i < 2*h.cfg.Goroutines; i++ {
+		u := "pre-" + strconv.Itoa(i)
+		in := adt.EnqInput(trace.Value(u))
+		p.Inv(in)
+		q.Enqueue(u)
+		p.Res(in, adt.WriteOutput())
+		h.tokens.Add(1)
+	}
+}
+
+// OverheadReport measures recording cost: the same worker loop run
+// uninstrumented (no recording, no merge) and captured (recording plus
+// a live drain, no checking).
+type OverheadReport struct {
+	Structure    string
+	Goroutines   int
+	RawOps       int64
+	RawWall      time.Duration
+	CapturedOps  int64
+	CapturedWall time.Duration
+}
+
+// RawNsPerOp is the uninstrumented cost per operation.
+func (o OverheadReport) RawNsPerOp() float64 {
+	return float64(o.RawWall.Nanoseconds()) / float64(o.RawOps)
+}
+
+// CapturedNsPerOp is the recorded-and-merged cost per operation.
+func (o OverheadReport) CapturedNsPerOp() float64 {
+	return float64(o.CapturedWall.Nanoseconds()) / float64(o.CapturedOps)
+}
+
+// ThroughputRatio is captured ops/sec over raw ops/sec (≤ 1 when
+// recording costs anything; higher is better).
+func (o OverheadReport) ThroughputRatio() float64 {
+	raw := float64(o.RawOps) / float64(o.RawWall.Nanoseconds())
+	inst := float64(o.CapturedOps) / float64(o.CapturedWall.Nanoseconds())
+	return inst / raw
+}
+
+// Overhead measures capture overhead on the unmutated structure:
+// identical op loops, one muted (recording skipped at the source), one
+// recording with a live drain that discards the merge.
+func Overhead(cfg Config) (OverheadReport, error) {
+	cfg.Duration = 0 // ops-bounded only: the op counts must match
+	cfg = cfg.withDefaults()
+	out := OverheadReport{Structure: cfg.Structure, Goroutines: cfg.Goroutines}
+	for _, captured := range []bool{false, true} {
+		// No perturbation: the measurement isolates recording cost, not
+		// scheduler churn.
+		sut, err := newStructure(cfg.Structure, cfg.Mutant, false)
+		if err != nil {
+			return OverheadReport{}, err
+		}
+		h := &huntState{cfg: cfg, sut: sut}
+		rec := NewRecorder(cfg.Goroutines)
+		if !captured {
+			for i := 0; i < cfg.Goroutines; i++ {
+				rec.Proc(i).mute = true
+			}
+		}
+		if cfg.Structure == StructQueue {
+			h.prefill(rec.Proc(0))
+		}
+		start := time.Now()
+		var wg sync.WaitGroup
+		for i := 0; i < cfg.Goroutines; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				h.worker(rec.Proc(i), i, nil)
+			}(i)
+		}
+		finished := make(chan struct{})
+		go func() { wg.Wait(); close(finished) }()
+		var sink trace.Trace
+		if captured {
+			running := true
+			for running {
+				select {
+				case <-finished:
+					running = false
+				case <-time.After(time.Millisecond):
+				}
+				limit := rec.Watermark()
+				if !running {
+					limit = math.MaxInt64
+				}
+				sink = rec.Drain(limit, sink[:0])
+			}
+		} else {
+			<-finished
+		}
+		wall := time.Since(start)
+		ops := int64(cfg.Goroutines) * int64(cfg.Ops)
+		if captured {
+			out.CapturedOps, out.CapturedWall = ops, wall
+		} else {
+			out.RawOps, out.RawWall = ops, wall
+		}
+	}
+	return out, nil
+}
+
+// String renders the report for the CLI.
+func (r Report) String() string {
+	mut := r.Mutant
+	if mut == "" {
+		mut = "clean"
+	}
+	s := fmt.Sprintf("%-5s %-17s g=%-3d actions=%-7d keys=%-3d verdict=%v nodes=%d wall=%v",
+		r.Structure, mut, r.Goroutines, r.Actions, r.Live.Keys, r.Live.Verdict, r.Live.Nodes,
+		r.Wall.Round(time.Millisecond))
+	if r.Live.Verdict == speclin.NotLinearizable {
+		s += fmt.Sprintf("\n      reason: %s", r.Live.Reason)
+	}
+	if r.EmptyDeqs > 0 {
+		s += fmt.Sprintf("\n      empty dequeues: %d", r.EmptyDeqs)
+	}
+	if r.Classical != nil {
+		s += fmt.Sprintf("\n      classical: verdict=%v nodes=%d wall=%v",
+			r.Classical.Verdict, r.Classical.Nodes, r.Classical.Wall.Round(time.Millisecond))
+		if r.Classical.Verdict == speclin.NotLinearizable {
+			s += fmt.Sprintf(" reason: %s", r.Classical.Reason)
+		}
+	}
+	return s
+}

@@ -1,0 +1,391 @@
+// The reference structures the capture harness checks live, each with a
+// seeded-bug mutant the checker must flag non-linearizable under stress
+// (ISSUE 8). Every mutant is race-free by construction — the bugs are
+// linearizability violations, not data races — so the nightly hunt can
+// run them under -race and the only failure signal is the checker's.
+package capture
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Structure mutant names. The empty mutant is the unmutated structure.
+const (
+	// MutantStaleRead is the keyed map bug: every few loads return the
+	// key's previous value even though the overwrite completed long
+	// before the load began.
+	MutantStaleRead = "stale-read"
+	// MutantMisplacedUnlock is the spin-lock bug: the release that
+	// belongs in Unlock is misplaced into the tail of Lock, so the lock
+	// frees itself right after acquiring and mutual exclusion fails.
+	MutantMisplacedUnlock = "misplaced-unlock"
+	// MutantSkipValidation is the lazy-list bug: the post-lock
+	// validation (pred unmarked, cur unmarked, pred.next == cur) is
+	// skipped, so updates race with removals and get lost.
+	MutantSkipValidation = "skip-validation"
+	// MutantDroppedRetry is the Michael–Scott queue bug: a failed
+	// dequeue head-CAS returns the read value anyway instead of
+	// retrying, so two dequeues can return the same element.
+	MutantDroppedRetry = "dropped-retry"
+)
+
+// Mutants maps each structure to its seeded bug.
+var Mutants = map[string]string{
+	StructMap:   MutantStaleRead,
+	StructMutex: MutantMisplacedUnlock,
+	StructSet:   MutantSkipValidation,
+	StructQueue: MutantDroppedRetry,
+}
+
+// Structure names.
+const (
+	StructMap   = "map"
+	StructMutex = "mutex"
+	StructSet   = "set"
+	StructQueue = "queue"
+)
+
+// Structures lists the checkable structures in canonical order.
+var Structures = []string{StructMap, StructMutex, StructSet, StructQueue}
+
+// nop replaces a structure's pause hook after its first-attempt yield.
+func nop() {}
+
+// MapSUT is a keyed string map under test (each key a register).
+type MapSUT interface {
+	Load(key string) (string, bool)
+	Store(key, value string)
+}
+
+// LockSUT is a mutual-exclusion lock under test.
+type LockSUT interface {
+	Lock()
+	Unlock()
+}
+
+// SetSUT is an integer membership set under test.
+type SetSUT interface {
+	Add(v int) bool
+	Remove(v int) bool
+	Contains(v int) bool
+}
+
+// QueueSUT is a FIFO queue under test.
+type QueueSUT interface {
+	Enqueue(v string)
+	Dequeue() (string, bool)
+}
+
+// --- map: sync.Map, and the stale-read mutant ---
+
+type syncMap struct{ m sync.Map }
+
+func (s *syncMap) Load(k string) (string, bool) {
+	v, ok := s.m.Load(k)
+	if !ok {
+		return "", false
+	}
+	return v.(string), true
+}
+
+func (s *syncMap) Store(k, v string) { s.m.Store(k, v) }
+
+// staleMap keeps each key's previous value in a second sync.Map and
+// serves it on every eighth load: a read returning a value whose
+// overwrite completed before the read began, which no linearization
+// can explain. All state lives in sync.Maps and one atomic counter, so
+// the bug is invisible to the race detector.
+type staleMap struct {
+	cur   sync.Map
+	prev  sync.Map
+	loads atomic.Int64
+}
+
+func (s *staleMap) Load(k string) (string, bool) {
+	if s.loads.Add(1)%8 == 0 {
+		if v, ok := s.prev.Load(k); ok {
+			return v.(string), true
+		}
+	}
+	v, ok := s.cur.Load(k)
+	if !ok {
+		return "", false
+	}
+	return v.(string), true
+}
+
+func (s *staleMap) Store(k, v string) {
+	if old, ok := s.cur.Load(k); ok {
+		s.prev.Store(k, old)
+	}
+	s.cur.Store(k, v)
+}
+
+// --- mutex: sync.Mutex, and the misplaced-unlock mutant ---
+
+type stdMutex struct{ mu sync.Mutex }
+
+func (m *stdMutex) Lock()   { m.mu.Lock() }
+func (m *stdMutex) Unlock() { m.mu.Unlock() }
+
+// spinMutex is a CAS spin lock whose Lock ends with the Store(0) that
+// belongs in Unlock — the misplaced release frees the lock the moment
+// it is acquired, so any number of goroutines hold it concurrently.
+// Purely atomic state: no data race, only a broken history.
+type spinMutex struct{ state atomic.Int32 }
+
+func (m *spinMutex) Lock() {
+	for !m.state.CompareAndSwap(0, 1) {
+		runtime.Gosched()
+	}
+	m.state.Store(0) // the seeded bug: release misplaced from Unlock
+}
+
+func (m *spinMutex) Unlock() { m.state.Store(0) }
+
+// --- set: hand-over-hand lazy list, and the skip-validation mutant ---
+
+// lazyNode is one lazy-list node. next and marked are atomic so the
+// wait-free traversals race with locked updates without data races.
+type lazyNode struct {
+	key    int
+	next   atomic.Pointer[lazyNode]
+	marked atomic.Bool
+	mu     sync.Mutex
+}
+
+// lazyList is the lazy concurrent list-based set (Heller et al.;
+// Abraham's course notes follow the same design): sorted singly-linked
+// list with ±∞ sentinels, unsynchronized locate, then lock pred and
+// cur hand-over-hand and validate before mutating. When validate is
+// false (the skip-validation mutant), updates proceed on a possibly
+// stale window — an add can link its node behind an already-removed
+// pred, publishing an element no traversal will ever see again.
+//
+// pause is the schedule-perturbation hook, called in the window the
+// validation protects (after the unsynchronized locate, before the
+// locks). A correct lazy list tolerates arbitrary delay there — that is
+// what validation is for — so perturbation cannot create a false
+// positive; it only widens the mutant's stale window enough to manifest
+// on any core count (without it the window is a few nanoseconds and
+// GOMAXPROCS=1 in particular never preempts inside it).
+type lazyList struct {
+	head     *lazyNode
+	validate bool
+	pause    func()
+}
+
+func newLazyList(validate bool, pause func()) *lazyList {
+	tail := &lazyNode{key: int(^uint(0) >> 1)} // MaxInt sentinel
+	head := &lazyNode{key: -int(^uint(0)>>1) - 1}
+	head.next.Store(tail)
+	return &lazyList{head: head, validate: validate, pause: pause}
+}
+
+func (l *lazyList) locate(v int) (pred, cur *lazyNode) {
+	pred = l.head
+	cur = pred.next.Load()
+	for cur.key < v {
+		pred = cur
+		cur = cur.next.Load()
+	}
+	return pred, cur
+}
+
+func (l *lazyList) valid(pred, cur *lazyNode) bool {
+	if !l.validate {
+		return true // the seeded bug
+	}
+	return !pred.marked.Load() && !cur.marked.Load() && pred.next.Load() == cur
+}
+
+func (l *lazyList) Add(v int) bool {
+	// Perturb only the first attempt: one yield per operation keeps the
+	// captured intervals short (a retry storm that pauses every round
+	// would stretch one op across hundreds of others and blow up the
+	// exact per-key frontier), and the mutant never retries anyway.
+	for pause := l.pause; ; pause = nop {
+		pred, cur := l.locate(v)
+		pause()
+		pred.mu.Lock()
+		cur.mu.Lock()
+		if !l.valid(pred, cur) {
+			cur.mu.Unlock()
+			pred.mu.Unlock()
+			continue
+		}
+		ok := cur.key != v
+		if ok {
+			n := &lazyNode{key: v}
+			n.next.Store(cur)
+			pred.next.Store(n)
+		}
+		cur.mu.Unlock()
+		pred.mu.Unlock()
+		return ok
+	}
+}
+
+func (l *lazyList) Remove(v int) bool {
+	for pause := l.pause; ; pause = nop {
+		pred, cur := l.locate(v)
+		pause()
+		pred.mu.Lock()
+		cur.mu.Lock()
+		if !l.valid(pred, cur) {
+			cur.mu.Unlock()
+			pred.mu.Unlock()
+			continue
+		}
+		ok := cur.key == v
+		if ok {
+			cur.marked.Store(true)
+			pred.next.Store(cur.next.Load())
+		}
+		cur.mu.Unlock()
+		pred.mu.Unlock()
+		return ok
+	}
+}
+
+func (l *lazyList) Contains(v int) bool {
+	cur := l.head.next.Load()
+	for cur.key < v {
+		cur = cur.next.Load()
+	}
+	return cur.key == v && !cur.marked.Load()
+}
+
+// --- queue: Michael–Scott, and the dropped-retry mutant ---
+
+type msNode struct {
+	val  string
+	next atomic.Pointer[msNode]
+}
+
+// msQueue is the lock-free Michael–Scott queue: head points at a dummy
+// node, tail at the last (or second-to-last) node; enqueue CASes the
+// tail's next link then swings tail, dequeue CASes head forward. With
+// retryDeq false (the dropped-retry mutant) a dequeue whose head-CAS
+// loses the race returns its value read anyway — the value the winner
+// also returns.
+//
+// pause is the schedule-perturbation hook, called between reading the
+// candidate value and the head-CAS that claims it. A lock-free queue is
+// correct under arbitrary delay at every step, so perturbing a correct
+// run only makes the CAS fail and retry; in the mutant it widens the
+// lose-the-race window from a few nanoseconds to a scheduler quantum,
+// making the duplicate delivery manifest on any core count.
+type msQueue struct {
+	head     atomic.Pointer[msNode]
+	tail     atomic.Pointer[msNode]
+	retryDeq bool
+	pause    func()
+}
+
+func newMSQueue(retryDeq bool, pause func()) *msQueue {
+	d := &msNode{}
+	q := &msQueue{retryDeq: retryDeq, pause: pause}
+	q.head.Store(d)
+	q.tail.Store(d)
+	return q
+}
+
+func (q *msQueue) Enqueue(v string) {
+	n := &msNode{val: v}
+	for {
+		tail := q.tail.Load()
+		next := tail.next.Load()
+		if tail != q.tail.Load() {
+			continue
+		}
+		if next != nil {
+			q.tail.CompareAndSwap(tail, next) // help the lagging tail
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, n) {
+			q.tail.CompareAndSwap(tail, n)
+			return
+		}
+	}
+}
+
+func (q *msQueue) Dequeue() (string, bool) {
+	for pause := q.pause; ; pause = nop {
+		head := q.head.Load()
+		tail := q.tail.Load()
+		next := head.next.Load()
+		if head != q.head.Load() {
+			continue
+		}
+		if next == nil {
+			return "", false // empty
+		}
+		if head == tail {
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		v := next.val
+		pause()
+		if q.head.CompareAndSwap(head, next) {
+			return v, true
+		}
+		if !q.retryDeq {
+			return v, true // the seeded bug: lost the CAS race, return anyway
+		}
+	}
+}
+
+// newStructure builds the named structure with the named mutant (empty
+// for the unmutated reference). With perturb set, the lazy list and
+// Michael–Scott queue yield the scheduler at their race-critical steps
+// — sound for the correct algorithms (which must tolerate arbitrary
+// delay anywhere) and necessary for the mutants' sub-microsecond bug
+// windows to manifest regardless of GOMAXPROCS.
+func newStructure(structure, mutant string, perturb bool) (any, error) {
+	pause := func() {}
+	if perturb {
+		pause = runtime.Gosched
+	}
+	bad := func() error {
+		return fmt.Errorf("capture: structure %q has no mutant %q", structure, mutant)
+	}
+	switch structure {
+	case StructMap:
+		switch mutant {
+		case "":
+			return &syncMap{}, nil
+		case MutantStaleRead:
+			return &staleMap{}, nil
+		}
+		return nil, bad()
+	case StructMutex:
+		switch mutant {
+		case "":
+			return &stdMutex{}, nil
+		case MutantMisplacedUnlock:
+			return &spinMutex{}, nil
+		}
+		return nil, bad()
+	case StructSet:
+		switch mutant {
+		case "":
+			return newLazyList(true, pause), nil
+		case MutantSkipValidation:
+			return newLazyList(false, pause), nil
+		}
+		return nil, bad()
+	case StructQueue:
+		switch mutant {
+		case "":
+			return newMSQueue(true, pause), nil
+		case MutantDroppedRetry:
+			return newMSQueue(false, pause), nil
+		}
+		return nil, bad()
+	}
+	return nil, fmt.Errorf("capture: unknown structure %q", structure)
+}

@@ -195,6 +195,153 @@ func TestFastpathQueueBoundary(t *testing.T) {
 	}
 }
 
+// TestFastpathMutexBoundary drives the streaming mutex core: legal
+// alternations, the counting rejects, helper consumption, and the
+// fragment exits (error outputs, duplicate inputs, stuck greedy).
+func TestFastpathMutexBoundary(t *testing.T) {
+	lk := func(tag string) trace.Value { return adt.Tag(adt.LockInput(), tag) }
+	ul := func(tag string) trace.Value { return adt.Tag(adt.UnlockInput(), tag) }
+	cases := []struct {
+		name string
+		tr   trace.Trace
+	}{
+		{"sequential lock unlock accepted", trace.Trace{
+			inv("c1", lk("1")), res("c1", lk("1"), adt.WriteOutput()),
+			inv("c1", ul("1")), res("c1", ul("1"), adt.WriteOutput()),
+		}},
+		{"contended handoff accepted", trace.Trace{
+			inv("c1", lk("1")), res("c1", lk("1"), adt.WriteOutput()),
+			inv("c2", lk("2")),
+			inv("c1", ul("1")), res("c1", ul("1"), adt.WriteOutput()),
+			res("c2", lk("2"), adt.WriteOutput()),
+		}},
+		{"two closed acquires without release reject", trace.Trace{
+			inv("c1", lk("1")), res("c1", lk("1"), adt.WriteOutput()),
+			inv("c2", lk("2")), res("c2", lk("2"), adt.WriteOutput()),
+		}},
+		{"acquires overlapping a pending release accept", trace.Trace{
+			inv("c1", lk("1")), res("c1", lk("1"), adt.WriteOutput()),
+			inv("c3", ul("1")),
+			inv("c2", lk("2")), res("c2", lk("2"), adt.WriteOutput()),
+			res("c3", ul("1"), adt.WriteOutput()),
+		}},
+		{"release before any acquire rejects", trace.Trace{
+			inv("c1", ul("1")), res("c1", ul("1"), adt.WriteOutput()),
+		}},
+		{"release overlapping a pending acquire accepts", trace.Trace{
+			inv("c2", lk("1")),
+			inv("c1", ul("1")), res("c1", ul("1"), adt.WriteOutput()),
+			res("c2", lk("1"), adt.WriteOutput()),
+		}},
+		{"double release of one acquire rejects", trace.Trace{
+			inv("c1", lk("1")), res("c1", lk("1"), adt.WriteOutput()),
+			inv("c1", ul("1")), res("c1", ul("1"), adt.WriteOutput()),
+			inv("c2", ul("2")), res("c2", ul("2"), adt.WriteOutput()),
+		}},
+		{"held error output falls back", trace.Trace{
+			inv("c1", lk("1")), res("c1", lk("1"), adt.ErrOutput("held")),
+		}},
+		{"free error output falls back", trace.Trace{
+			inv("c1", lk("1")), res("c1", lk("1"), adt.WriteOutput()),
+			inv("c2", lk("2")), res("c2", lk("2"), adt.ErrOutput("held")),
+			inv("c1", ul("1")), res("c1", ul("1"), adt.WriteOutput()),
+		}},
+		{"duplicate untagged locks fall back", trace.Trace{
+			inv("c1", adt.LockInput()), res("c1", adt.LockInput(), adt.WriteOutput()),
+			inv("c2", adt.LockInput()), res("c2", adt.LockInput(), adt.WriteOutput()),
+		}},
+		{"grammar-invalid input falls back", trace.Trace{
+			inv("c1", "zap:q"), res("c1", "zap:q", adt.WriteOutput()),
+		}},
+		{"pending acquire never responding accepted", trace.Trace{
+			inv("c1", lk("1")), res("c1", lk("1"), adt.WriteOutput()),
+			inv("c2", lk("2")),
+			inv("c1", ul("1")), res("c1", ul("1"), adt.WriteOutput()),
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := Fastpath(context.Background(), adt.Mutex{}, tc.tr, check.WithBudget(fastBudget)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestFastpathStackBoundary drives the streaming stack core: LIFO
+// accepts, value-based rejects, helper pops, and the fragment exits
+// (empty pops, wrong helper guesses, stuck greedy).
+func TestFastpathStackBoundary(t *testing.T) {
+	pp := func(tag string) trace.Value { return adt.Tag(adt.PopInput(), tag) }
+	cases := []struct {
+		name string
+		tr   trace.Trace
+	}{
+		{"lifo order accepted", trace.Trace{
+			inv("c1", adt.PushInput("a")), res("c1", adt.PushInput("a"), adt.WriteOutput()),
+			inv("c1", adt.PushInput("b")), res("c1", adt.PushInput("b"), adt.WriteOutput()),
+			inv("c2", pp("1")), res("c2", pp("1"), adt.ReadOutput("b")),
+			inv("c2", pp("2")), res("c2", pp("2"), adt.ReadOutput("a")),
+		}},
+		{"fifo pop order exits and rejects", trace.Trace{
+			inv("c1", adt.PushInput("a")), res("c1", adt.PushInput("a"), adt.WriteOutput()),
+			inv("c1", adt.PushInput("b")), res("c1", adt.PushInput("b"), adt.WriteOutput()),
+			inv("c2", pp("1")), res("c2", pp("1"), adt.ReadOutput("a")),
+			inv("c2", pp("2")), res("c2", pp("2"), adt.ReadOutput("b")),
+		}},
+		{"pop of never-pushed value rejects", trace.Trace{
+			inv("c1", adt.PushInput("a")), res("c1", adt.PushInput("a"), adt.WriteOutput()),
+			inv("c2", pp("1")), res("c2", pp("1"), adt.ReadOutput("z")),
+		}},
+		{"double pop of one value rejects", trace.Trace{
+			inv("c1", adt.PushInput("a")), res("c1", adt.PushInput("a"), adt.WriteOutput()),
+			inv("c2", pp("1")), res("c2", pp("1"), adt.ReadOutput("a")),
+			inv("c2", pp("2")), res("c2", pp("2"), adt.ReadOutput("a")),
+		}},
+		{"empty pop falls back", trace.Trace{
+			inv("c2", pp("1")), res("c2", pp("1"), adt.ReadOutput(adt.Bottom)),
+			inv("c1", adt.PushInput("a")), res("c1", adt.PushInput("a"), adt.WriteOutput()),
+		}},
+		{"pending push popped", trace.Trace{
+			inv("c1", adt.PushInput("a")),
+			inv("c2", pp("1")), res("c2", pp("1"), adt.ReadOutput("a")),
+			res("c1", adt.PushInput("a"), adt.WriteOutput()),
+		}},
+		{"helper pop uncovers lower value", trace.Trace{
+			inv("c1", adt.PushInput("a")), res("c1", adt.PushInput("a"), adt.WriteOutput()),
+			inv("c1", adt.PushInput("b")), res("c1", adt.PushInput("b"), adt.WriteOutput()),
+			inv("c2", pp("1")),
+			inv("c3", pp("2")), res("c3", pp("2"), adt.ReadOutput("a")),
+			res("c2", pp("1"), adt.ReadOutput("b")),
+		}},
+		{"wrong helper guess exits and rejects", trace.Trace{
+			inv("c1", adt.PushInput("a")), res("c1", adt.PushInput("a"), adt.WriteOutput()),
+			inv("c1", adt.PushInput("b")), res("c1", adt.PushInput("b"), adt.WriteOutput()),
+			inv("c2", pp("1")),
+			inv("c3", pp("2")), res("c3", pp("2"), adt.ReadOutput("a")),
+			res("c2", pp("1"), adt.ReadOutput("a")),
+		}},
+		{"push answered as pop rejects", trace.Trace{
+			inv("c1", adt.PushInput("a")), res("c1", adt.PushInput("a"), adt.ReadOutput("a")),
+		}},
+		{"duplicate push value falls back", trace.Trace{
+			inv("c1", adt.PushInput("a")), res("c1", adt.PushInput("a"), adt.WriteOutput()),
+			inv("c2", adt.Tag(adt.PushInput("a"), "2")), res("c2", adt.Tag(adt.PushInput("a"), "2"), adt.WriteOutput()),
+			inv("c3", pp("1")), res("c3", pp("1"), adt.ReadOutput("a")),
+		}},
+		{"grammar-invalid input falls back", trace.Trace{
+			inv("c1", "zap:q"), res("c1", "zap:q", adt.WriteOutput()),
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := Fastpath(context.Background(), adt.Stack{}, tc.tr, check.WithBudget(fastBudget)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
 // TestFastpathConsensusBoundary drives the consensus core: agreement,
 // split decisions, unproposed decisions, and fallback on grammar exits.
 func TestFastpathConsensusBoundary(t *testing.T) {
@@ -247,7 +394,7 @@ func TestFastpathConsensusBoundary(t *testing.T) {
 
 // TestFastpathRandomizedAgreement sweeps seeded random traces — mixing
 // in-fragment, fallback and ill-formed shapes — through the full
-// fast-vs-exact harness for all three specialized folders.
+// fast-vs-exact harness for every specialized folder.
 func TestFastpathRandomizedAgreement(t *testing.T) {
 	folders := []struct {
 		name    string
@@ -292,6 +439,36 @@ func TestFastpathRandomizedAgreement(t *testing.T) {
 				return adt.Tag(adt.ProposeInput(trace.Value("v"+strconv.Itoa(r.Intn(3)))), strconv.Itoa(i))
 			},
 			outputs: []trace.Value{adt.DecideOutput("v0"), adt.DecideOutput("v1"), adt.DecideOutput("v2")},
+		},
+		{
+			name: "mutex",
+			f:    adt.Mutex{},
+			inputs: func(r *rand.Rand, i int) trace.Value {
+				switch r.Intn(6) {
+				case 0: // untagged: duplicates force fallback
+					return adt.LockInput()
+				case 1, 2:
+					return adt.Tag(adt.UnlockInput(), strconv.Itoa(i))
+				default:
+					return adt.Tag(adt.LockInput(), strconv.Itoa(i))
+				}
+			},
+			outputs: []trace.Value{adt.WriteOutput(), adt.WriteOutput(), adt.WriteOutput(),
+				adt.ErrOutput("held"), adt.ErrOutput("free")},
+		},
+		{
+			name: "stack",
+			f:    adt.Stack{},
+			inputs: func(r *rand.Rand, i int) trace.Value {
+				switch r.Intn(4) {
+				case 0, 1:
+					return adt.PushInput(trace.Value("v" + strconv.Itoa(r.Intn(6))))
+				default:
+					return adt.Tag(adt.PopInput(), strconv.Itoa(i))
+				}
+			},
+			outputs: []trace.Value{adt.WriteOutput(), adt.ReadOutput(adt.Bottom),
+				adt.ReadOutput("v0"), adt.ReadOutput("v1"), adt.ReadOutput("v2")},
 		},
 	}
 	clients := []trace.ClientID{"c1", "c2", "c3"}
@@ -486,15 +663,18 @@ func TestFastpathLongRegisterSession(t *testing.T) {
 }
 
 // FuzzFastpathVsExact fuzzes the specialized checkers against the exact
-// engines: byte-decoded register/queue/consensus traces (the queue
-// replacing the counter of the sibling targets' ADT selector, plus a
-// completion bit so the queue core's complete-trace fragment is hit)
-// must agree on verdict, and fast witnesses must verify.
+// engines: byte-decoded register/queue/consensus/mutex/stack traces
+// (the selector extending the sibling targets' fuzzADT with the three
+// fast-path containers, plus a completion bit so the queue core's
+// complete-trace fragment is hit) must agree on verdict, and fast
+// witnesses must verify.
 func FuzzFastpathVsExact(f *testing.F) {
 	f.Add(uint8(1), []byte{0x00, 0x00, 0x04, 0x00, 0x89, 0x00, 0x8d, 0x02, 0x92, 0x00, 0x96, 0x04})
 	f.Add(uint8(0), []byte{0x00, 0x00, 0x01, 0x00, 0x04, 0x00, 0x05, 0x02, 0x02, 0x01})
 	f.Add(uint8(2), []byte{0x80, 0x00, 0x84, 0x02, 0x88, 0x04, 0x8c, 0x06, 0x01})
 	f.Add(uint8(2), []byte{0x00, 0x00, 0x04, 0x00, 0x08, 0x03, 0x0c, 0x05, 0x01})
+	f.Add(uint8(3), []byte{0x00, 0x00, 0x04, 0x00, 0x09, 0x00, 0x0d, 0x00})
+	f.Add(uint8(4), []byte{0x00, 0x00, 0x04, 0x00, 0x8a, 0x03, 0x8e, 0x02, 0x01})
 	f.Fuzz(func(t *testing.T, sel uint8, data []byte) {
 		folder, inputs, outputs := fastFuzzADT(sel)
 		tr := decodeTrace(folder, inputs, outputs, data)
@@ -513,12 +693,25 @@ func FuzzFastpathVsExact(f *testing.F) {
 	})
 }
 
-// fastFuzzADT is fuzzADT with the queue in place of the counter (the
-// counter has no fast path; the queue fragment needs dedicated pools).
+// fastFuzzADT is fuzzADT with the fast-path containers in place of the
+// counter (the counter has no fast path): the selector keeps fuzzADT's
+// consensus/register slots and adds queue, mutex and stack pools with
+// enough tagged variants to reach the distinct-inputs fragments.
 func fastFuzzADT(sel uint8) (adt.Folder, []trace.Value, []trace.Value) {
-	if sel%3 == 2 {
+	switch sel % 5 {
+	case 2:
 		return adt.Queue{},
 			[]trace.Value{adt.EnqInput("x"), adt.EnqInput("y"), adt.DeqInput()},
+			[]trace.Value{adt.WriteOutput(), adt.ReadOutput(adt.Bottom), adt.ReadOutput("x"), adt.ReadOutput("y")}
+	case 3:
+		return adt.Mutex{},
+			[]trace.Value{adt.Tag(adt.LockInput(), "1"), adt.Tag(adt.UnlockInput(), "1"),
+				adt.Tag(adt.LockInput(), "2"), adt.Tag(adt.UnlockInput(), "2")},
+			[]trace.Value{adt.WriteOutput(), adt.WriteOutput(), adt.ErrOutput("held"), adt.ErrOutput("free")}
+	case 4:
+		return adt.Stack{},
+			[]trace.Value{adt.PushInput("x"), adt.PushInput("y"),
+				adt.Tag(adt.PopInput(), "1"), adt.Tag(adt.PopInput(), "2")},
 			[]trace.Value{adt.WriteOutput(), adt.ReadOutput(adt.Bottom), adt.ReadOutput("x"), adt.ReadOutput("y")}
 	}
 	return fuzzADT(sel)

@@ -30,13 +30,23 @@ import (
 //     grammar-valid, pairwise-distinct inputs, pairwise-distinct
 //     untagged enqueue values and no empty-dequeue outputs; one-shot
 //     only (CheckFast), no streaming core.
+//   - mutex — grammar-valid inputs with pairwise-distinct input strings
+//     whose outputs are all "ok:" (an "err:*" output is explainable by
+//     the ADT, so it falls back rather than rejecting).
+//   - stack — grammar-valid inputs with pairwise-distinct input
+//     strings, pairwise-distinct untagged push values and no
+//     empty-pop outputs.
 //
 // Inside the fragment the cores decide the verdict exactly; semantic
 // violations (an output no linearization could explain) are final
-// NotLinearizable verdicts, never fallbacks. The register and consensus
-// cores also assemble Lin witnesses that pass VerifyWitness; the queue
-// core proves the verdict but assembles no witness (the one-shot
-// Result carries an empty Witness, like the SLin breadth engine).
+// NotLinearizable verdicts, never fallbacks. The mutex and stack cores
+// additionally exit the fragment — instead of rejecting — when their
+// greedy simulations get stuck without a certain violation, so their
+// rejects never rest on a completeness argument. All cores assemble
+// Lin witnesses that pass VerifyWitness; the one-shot queue core's
+// witness is capped at fastQueueWitnessCap dequeued values (beyond it
+// the positive Result carries an empty Witness, like the SLin breadth
+// engine).
 
 // FastStatus is the per-action outcome of a streaming FastChecker.
 type FastStatus uint8
@@ -72,7 +82,7 @@ type FastChecker interface {
 // queue (its reduction needs the complete trace).
 func HasFastpath(f adt.Folder) bool {
 	switch f.(type) {
-	case adt.Register, adt.Queue, adt.Consensus:
+	case adt.Register, adt.Queue, adt.Consensus, adt.Mutex, adt.Stack:
 		return true
 	}
 	return false
@@ -86,6 +96,10 @@ func NewFastChecker(f adt.Folder) FastChecker {
 		return newFastRegister()
 	case adt.Consensus:
 		return newFastConsensus()
+	case adt.Mutex:
+		return newFastMutex()
+	case adt.Stack:
+		return newFastStack()
 	}
 	return nil
 }

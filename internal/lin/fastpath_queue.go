@@ -31,10 +31,11 @@ import (
 //
 // Condition (b) is checked with an O(n log n) sweep: values sorted by
 // enqueue invocation, a pointer over enqueue responses maintaining the
-// running maximum dequeue invocation. The core decides the verdict
-// only; it assembles no witness (the fast Result reports OK with an
-// empty Witness, like the SLin breadth engine — FuzzFastpathVsExact
-// keeps the verdicts honest against the exact search).
+// running maximum dequeue invocation. On a positive verdict the core
+// assembles a Lin witness (queueWitness) up to fastQueueWitnessCap
+// dequeued values; beyond the cap the Result carries an empty Witness,
+// like the SLin breadth engine — FuzzFastpathVsExact keeps verdicts
+// and witnesses honest against the exact search.
 func fastQueueCheck(ctx context.Context, t trace.Trace, set check.Settings) (Result, bool, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, true, err
@@ -45,12 +46,6 @@ func fastQueueCheck(ctx context.Context, t trace.Trace, set check.Settings) (Res
 	reject := Result{OK: false, Reason: "no linearization function exists", Nodes: len(t)}
 
 	// Pass 1: well-formedness, fragment membership, operation intervals.
-	type queueOp struct {
-		enq      bool
-		arg      string // untagged enqueue value
-		inv, res int
-		out      trace.Value
-	}
 	var ops []*queueOp
 	open := map[trace.ClientID]*queueOp{}
 	seen := map[trace.Value]struct{}{}
@@ -71,7 +66,7 @@ func fastQueueCheck(ctx context.Context, t trace.Trace, set check.Settings) (Res
 			}
 			seen[a.Input] = struct{}{}
 			op, arg, ok := strings.Cut(string(adt.Untag(a.Input)), ":")
-			o := &queueOp{inv: idx, res: -1}
+			o := &queueOp{in: a.Input, inv: idx, res: -1}
 			switch {
 			case !ok:
 				return Result{}, false, nil
@@ -180,5 +175,140 @@ func fastQueueCheck(ctx context.Context, t trace.Trace, set check.Settings) (Res
 		return reject, true, nil
 	}
 
-	return Result{OK: true, Nodes: len(t)}, true, nil
+	r := Result{OK: true, Nodes: len(t)}
+	if set.Witness {
+		r.Witness = queueWitness(ops, enqs, matched)
+	}
+	return r, true, nil
+}
+
+// queueOp is one queue operation's interval summary (fastQueueCheck
+// pass 1): trace indices of its invocation and response, and — for
+// enqueues — its untagged value.
+type queueOp struct {
+	enq      bool
+	arg      string      // untagged enqueue value
+	in       trace.Value // full (tagged) input
+	inv, res int
+	out      trace.Value
+}
+
+// fastQueueWitnessCap bounds the queue core's witness assembly: the
+// linear-extension step below is quadratic in the dequeued-value
+// count, so past the cap a positive verdict reports an empty Witness
+// (documented at the dispatch layer; large hunt runs disable witnesses
+// anyway).
+const fastQueueWitnessCap = 4096
+
+// queueWitness assembles a Lin witness for a trace fastQueueCheck has
+// already proven linearizable. The matched values are ordered by a
+// common linear extension τ of the three forced precedences —
+// res(enq u) < inv(enq v), res(deq u) < inv(deq v), and
+// res(deq u) < inv(enq v) each force u before v in FIFO order — via
+// Kahn's algorithm (a linearization exists, so the union digraph is
+// acyclic); unmatched values follow all matched ones, sorted by
+// enqueue invocation (condition (c) makes that placement real-time
+// consistent). A single sweep over the responses in trace order then
+// linearizes lazily: each operation at its own response, forced
+// helpers — τ-earlier enqueues and dequeues still in flight — just
+// before, every linearization point provably inside its operation's
+// interval. Returns nil past fastQueueWitnessCap (or, defensively, if
+// no extension is found).
+func queueWitness(ops []*queueOp, enqs, matched map[string]*queueOp) Witness {
+	if len(enqs) > fastQueueWitnessCap {
+		return nil
+	}
+	type val struct {
+		arg  string
+		e, d *queueOp
+	}
+	rem := make([]*val, 0, len(matched))
+	for arg, d := range matched {
+		rem = append(rem, &val{arg: arg, e: enqs[arg], d: d})
+	}
+	sort.Slice(rem, func(i, j int) bool { return rem[i].e.inv < rem[j].e.inv })
+	tau := make([]*val, 0, len(rem))
+	for len(rem) > 0 {
+		pick := -1
+		for i, v := range rem {
+			free := true
+			for _, u := range rem {
+				if u == v {
+					continue
+				}
+				if u.e.res < v.e.inv || u.d.res < v.d.inv || u.d.res < v.e.inv {
+					free = false
+					break
+				}
+			}
+			if free {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 {
+			return nil // defensive: the verdict proved an extension exists
+		}
+		tau = append(tau, rem[pick])
+		rem = append(rem[:pick], rem[pick+1:]...)
+	}
+
+	// Enqueue linearization order: τ's matched values, then the
+	// unmatched ones by invocation.
+	enqOrder := make([]*queueOp, 0, len(enqs))
+	tauPos := make(map[string]int, len(tau))
+	deqVal := make(map[*queueOp]string, len(tau))
+	for i, v := range tau {
+		enqOrder = append(enqOrder, v.e)
+		tauPos[v.arg] = i
+		deqVal[v.d] = v.arg
+	}
+	var unmatched []*queueOp
+	for _, e := range enqs {
+		if _, ok := matched[e.arg]; !ok {
+			unmatched = append(unmatched, e)
+		}
+	}
+	sort.Slice(unmatched, func(i, j int) bool { return unmatched[i].inv < unmatched[j].inv })
+	enqOrder = append(enqOrder, unmatched...)
+	enqPos := make(map[string]int, len(enqOrder))
+	for i, e := range enqOrder {
+		enqPos[e.arg] = i
+	}
+
+	// Sweep the responses in trace order; pos[op] is the claimed chain
+	// prefix once the op linearizes.
+	byRes := append([]*queueOp(nil), ops...)
+	sort.Slice(byRes, func(i, j int) bool { return byRes[i].res < byRes[j].res })
+	var chain trace.History
+	pos := make(map[*queueOp]int, len(ops))
+	eptr, dptr := 0, 0
+	linEnqsThrough := func(target int) {
+		for eptr <= target {
+			e := enqOrder[eptr]
+			chain = append(chain, e.in)
+			pos[e] = len(chain)
+			eptr++
+		}
+	}
+	w := Witness{}
+	for _, o := range byRes {
+		if o.enq {
+			linEnqsThrough(enqPos[o.arg])
+		} else {
+			target, ok := tauPos[deqVal[o]]
+			if !ok {
+				return nil // defensive: pass 2 matched every dequeue
+			}
+			for dptr <= target {
+				v := tau[dptr]
+				linEnqsThrough(enqPos[v.arg])
+				chain = append(chain, v.d.in)
+				pos[v.d] = len(chain)
+				dptr++
+			}
+		}
+		w[o.res] = chain[:pos[o]].Clone()
+	}
+	return w
 }

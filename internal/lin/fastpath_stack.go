@@ -1,0 +1,191 @@
+package lin
+
+import (
+	"strings"
+
+	"repro/internal/adt"
+	"repro/internal/trace"
+)
+
+// fastStack is the streaming stack fast path (DESIGN.md, decision 15):
+// a lazy greedy LIFO simulation over the distinct-pushes fragment —
+// grammar-valid inputs with pairwise-distinct input strings and
+// pairwise-distinct untagged push values, and no empty pops (a "v:⊥"
+// pop output exits to the exact engines, like the queue core).
+//
+// The simulated stack holds linearized-but-unpopped values; operations
+// linearize as late as possible. A push linearizes at its own response
+// (or earlier, as a helper, when a pop returns its value first). A pop
+// response returning x forces x to the top: values above x are popped
+// by helper pops — the oldest-invoked unassigned pending pops, each
+// assigned the value it is expected to return — and a still-pending
+// push of x is linearized first if needed. Accepts are certain (the
+// simulation is a legal stack execution with every point inside its
+// operation's interval; Witness replays it) and so are the value-based
+// rejects: a pop output no invoked push has supplied, a second pop of
+// a distinct value, or a push answered by anything but "ok:" defeats
+// every linearization. Everything else the greedy cannot place — no
+// pending pop available to clear the stack above x, or an assigned
+// helper whose real response later disagrees with its expected value —
+// exits the fragment, so rejects never depend on the greedy's
+// completeness; FuzzFastpathVsExact and the diffcheck boundary tests
+// keep the three outcomes honest against the exact search.
+type fastStack struct {
+	seen   map[trace.Value]struct{}
+	ops    map[int]*stackOp     // by invocation trace index
+	vals   map[string]*stackVal // by untagged push value
+	pool   []int                // unassigned pending pop invIdxs, oldest first
+	poolLo int
+	stack  []*stackVal // simulated stack, top last
+	chain  trace.History
+	marks  []resMark
+}
+
+type stackOp struct {
+	push     bool
+	in       trace.Value
+	val      *stackVal // the pushed value (pushes only)
+	assigned bool
+	done     bool
+	pos      int    // claimed chain prefix once linearized
+	expected string // assigned pops: the value the helper must return
+}
+
+type stackVal struct {
+	val    string
+	pushOp *stackOp
+	state  uint8 // 0 pending push, 1 on the simulated stack, 2 popped
+}
+
+const (
+	valPending = iota
+	valOnStack
+	valPopped
+)
+
+func newFastStack() *fastStack {
+	return &fastStack{
+		seen: map[trace.Value]struct{}{},
+		ops:  map[int]*stackOp{},
+		vals: map[string]*stackVal{},
+	}
+}
+
+// Inv implements FastChecker.
+func (s *fastStack) Inv(in trace.Value, idx int) FastStatus {
+	if _, dup := s.seen[in]; dup {
+		return FastExit
+	}
+	s.seen[in] = struct{}{}
+	op, arg, ok := strings.Cut(string(adt.Untag(in)), ":")
+	o := &stackOp{in: in}
+	switch {
+	case !ok:
+		return FastExit
+	case op == "push":
+		if arg == "" || arg == string(adt.Bottom) || strings.ContainsRune(arg, '\x00') {
+			return FastExit
+		}
+		if _, dup := s.vals[arg]; dup {
+			return FastExit // duplicate push value
+		}
+		o.push = true
+		o.val = &stackVal{val: arg, pushOp: o}
+		s.vals[arg] = o.val
+	case op == "pop" && arg == "":
+		s.pool = append(s.pool, idx)
+	default:
+		return FastExit
+	}
+	s.ops[idx] = o
+	return FastOK
+}
+
+// Res implements FastChecker.
+func (s *fastStack) Res(in, out trace.Value, invIdx, idx int) FastStatus {
+	o := s.ops[invIdx]
+	o.done = true
+	if o.push {
+		if out != adt.WriteOutput() {
+			return FastReject // pushes can only ever output "ok:"
+		}
+		if !o.assigned {
+			s.linPush(o)
+		}
+		s.marks = append(s.marks, resMark{res: idx, k: o.pos})
+		return FastOK
+	}
+	vop, varg, ok := strings.Cut(string(out), ":")
+	if !ok || vop != "v" {
+		return FastReject // pops can only ever output "v:x"
+	}
+	if varg == string(adt.Bottom) {
+		return FastExit // empty pop: outside the fragment
+	}
+	if o.assigned {
+		if varg != o.expected {
+			return FastExit // the helper guess was wrong; exact engines decide
+		}
+		s.marks = append(s.marks, resMark{res: idx, k: o.pos})
+		return FastOK
+	}
+	v := s.vals[varg]
+	if v == nil {
+		return FastReject // value never pushed by any invocation so far
+	}
+	if v.state == valPopped {
+		return FastReject // distinct values pop at most once
+	}
+	if v.state == valPending {
+		s.linPush(v.pushOp) // the push is in flight: linearize it now
+	}
+	// Clear the simulated stack above v with helper pops, oldest first.
+	for s.stack[len(s.stack)-1] != v {
+		h := s.takeOldestPop()
+		if h == nil {
+			return FastExit // nothing pending can uncover v
+		}
+		top := s.stack[len(s.stack)-1]
+		h.assigned, h.expected = true, top.val
+		s.chain = append(s.chain, h.in)
+		h.pos = len(s.chain)
+		top.state = valPopped
+		s.stack = s.stack[:len(s.stack)-1]
+	}
+	s.chain = append(s.chain, o.in)
+	o.pos = len(s.chain)
+	v.state = valPopped
+	s.stack = s.stack[:len(s.stack)-1]
+	s.marks = append(s.marks, resMark{res: idx, k: o.pos})
+	return FastOK
+}
+
+// linPush linearizes push o: its value joins the simulated stack top.
+func (s *fastStack) linPush(o *stackOp) {
+	s.chain = append(s.chain, o.in)
+	o.pos = len(s.chain)
+	o.assigned = true
+	o.val.state = valOnStack
+	s.stack = append(s.stack, o.val)
+}
+
+// takeOldestPop pops the oldest unassigned still-pending pop, or nil.
+func (s *fastStack) takeOldestPop() *stackOp {
+	for s.poolLo < len(s.pool) {
+		o := s.ops[s.pool[s.poolLo]]
+		s.poolLo++
+		if !o.assigned && !o.done {
+			return o
+		}
+	}
+	return nil
+}
+
+// Witness implements FastChecker.
+func (s *fastStack) Witness() Witness {
+	w := Witness{}
+	for _, mk := range s.marks {
+		w[mk.res] = s.chain[:mk.k].Clone()
+	}
+	return w
+}

@@ -113,6 +113,12 @@ var (
 	CounterADT = adt.Counter{}
 	// QueueADT is a FIFO queue.
 	QueueADT = adt.Queue{}
+	// MutexADT is a mutual-exclusion lock.
+	MutexADT = adt.Mutex{}
+	// StackADT is a LIFO stack.
+	StackADT = adt.Stack{}
+	// SetADT is an add/remove/has membership set.
+	SetADT = adt.Set{}
 	// UniversalADT is §6's identity-output ADT.
 	UniversalADT = adt.Universal{}
 )
@@ -182,7 +188,13 @@ func (m Mode) String() string {
 //     (single-decision analysis; distinct input strings).
 //   - QueueADT — one-shot Lin checks only (matched enqueue/dequeue
 //     segments; complete traces, distinct enqueue values, no empty
-//     dequeues), reported without a witness.
+//     dequeues); positive verdicts carry a witness up to a size cap.
+//   - MutexADT — one-shot Lin checks and Lin/SLin(1,n) sessions
+//     (greedy alternation simulation plus counting rejects; distinct
+//     input strings, all-"ok:" outputs).
+//   - StackADT — one-shot Lin checks and Lin/SLin(1,n) sessions
+//     (greedy LIFO simulation; distinct push values and input strings,
+//     no empty pops).
 //
 // Everything else — other folders, SLin with M > 1, ClassicalLin, SLin
 // one-shot checks — always runs the exact engines.
