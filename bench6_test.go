@@ -108,16 +108,26 @@ func TestWriteBench6JSON(t *testing.T) {
 	if uni.Commands < 1_000_000 {
 		t.Errorf("uniform configuration landed %d commands (want ≥ 1,000,000)", uni.Commands)
 	}
-	// The headline E16 acceptance: online checking an order of magnitude
-	// under the exact frontier engine at the 1M-command scale. When the
-	// exact sessions starve their budget the recorded ratio is a strict
-	// lower bound (OnlineSpeedupLB) — the gate holds either way.
-	if uni.OnlineSpeedup < 10 {
-		t.Errorf("uniform online check speedup %.1fx (want ≥ 10x)", uni.OnlineSpeedup)
+	// The uniform E16 acceptance, post decision 17: the per-feed budget
+	// plus frontier compaction let the exact sessions finish the whole
+	// 1M-command run (they used to starve mid-run and forfeit the
+	// comparison), and the fast path still wins by a real, measured
+	// multiple on the completed runs — ~4x here, down from the starved
+	// ≥10x lower bound precisely because compaction made the exact
+	// engine an order of magnitude cheaper.
+	for _, r := range uni.Rows {
+		if r.Name == "session-exact" && r.BudgetExhausted {
+			t.Error("uniform session-exact starved its per-feed budget; decision 17 expects completion")
+		}
+	}
+	if uni.OnlineSpeedup < 2 {
+		t.Errorf("uniform online check speedup %.1fx (want ≥ 2x)", uni.OnlineSpeedup)
 	}
 	// On the skewed distribution the exact sessions must not merely be
-	// slower — the hot keys starve their search budget outright, while
-	// the fast sessions (which spend none) finish the same run.
+	// slower — a single hot-key feed blows the 2M-node budget even
+	// refreshed per feed, while the fast sessions (which spend none)
+	// finish the same run. That exhaustion is the Hamza complexity
+	// bound showing through, not a tuning artifact.
 	zipf := dists[1]
 	for _, r := range zipf.Rows {
 		switch r.Name {

@@ -1,0 +1,143 @@
+// The machine-readable summary for the streaming frontier engine
+// (ISSUE 9): TestWriteBench8JSON runs the E18 streaming-memory
+// experiment — one long-lived compacted exact session fed a
+// capture-shaped register stream, post-GC live-heap checkpoints flat
+// while the history grows by orders of magnitude, plus the
+// compacted-vs-uncompacted comparison arm — and records BENCH_8.json.
+package speclin_test
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// bench8Full opts into the full-scale (10M-op) E18 stream and the
+// artifact write. The nightly bench job passes it; plain `go test .`
+// runs a scaled-down smoke with the same flatness assertions.
+var bench8Full = flag.Bool("bench8-full", false,
+	"run the full-scale E18 streaming-memory experiment and write BENCH_8.json")
+
+type bench8Summary struct {
+	Issue       int    `json:"issue"`
+	Description string `json:"description"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	Config      struct {
+		StreamOps   int `json:"stream_ops"`
+		Checkpoints int `json:"checkpoints"`
+		CompareOps  int `json:"compare_ops"`
+	} `json:"config"`
+	Stream  []experiments.E18MemRow     `json:"stream_checkpoints"`
+	Compare []experiments.E18CompareRow `json:"compact_vs_uncompacted"`
+}
+
+// checkStreamRows asserts the E18 invariant at any scale: the live heap
+// at the last checkpoint stays within a small constant of the first —
+// no history-length-proportional session state — with a fixed slack
+// absorbing GC bookkeeping jitter at tiny smoke scales.
+func checkStreamRows(t *testing.T, rows []experiments.E18MemRow, checkpoints int) {
+	t.Helper()
+	if len(rows) != checkpoints {
+		t.Fatalf("got %d checkpoints, want %d", len(rows), checkpoints)
+	}
+	const slack = 1 << 20 // 1 MiB
+	first := rows[0].LiveHeapBytes
+	for _, r := range rows {
+		t.Logf("%-20s ops %9d  live heap %6.2f MiB  nodes %9d  wall %8.1f ms",
+			r.Name, r.Ops, float64(r.LiveHeapBytes)/(1<<20), r.Nodes, r.WallMs)
+		if r.LiveHeapBytes > 2*first+slack {
+			t.Errorf("%s: live heap %d bytes exceeds 2×first-checkpoint (%d) + 1MiB — "+
+				"session state growing with history length", r.Name, r.LiveHeapBytes, first)
+		}
+	}
+}
+
+// checkCompareRows asserts the comparison arm's shape: both engines
+// accept the clean stream, and the uncompacted reference retains at
+// least an order of magnitude more live heap than the compacted session
+// on the identical prefix.
+func checkCompareRows(t *testing.T, rows []experiments.E18CompareRow) {
+	t.Helper()
+	if len(rows) != 2 {
+		t.Fatalf("got %d comparison rows, want 2", len(rows))
+	}
+	comp, ref := rows[0], rows[1]
+	t.Logf("%-22s ops %6d  live heap %7.2f MiB  wall %8.1f ms",
+		comp.Name, comp.Ops, float64(comp.PeakRSSBytes)/(1<<20), comp.WallMs)
+	t.Logf("%-22s ops %6d  live heap %7.2f MiB  wall %8.1f ms",
+		ref.Name, ref.Ops, float64(ref.PeakRSSBytes)/(1<<20), ref.WallMs)
+	if ref.PeakRSSBytes < 10*comp.PeakRSSBytes {
+		t.Errorf("uncompacted reference holds %d bytes vs compacted %d: expected ≥10× — "+
+			"is the reference arm actually uncompacted?", ref.PeakRSSBytes, comp.PeakRSSBytes)
+	}
+}
+
+// TestWriteBench8JSON regenerates BENCH_8.json under -bench8-full. By
+// default — and always under -short or the race detector — it runs the
+// scaled-down smoke stream with the same flatness assertions and leaves
+// the recorded artifact untouched.
+func TestWriteBench8JSON(t *testing.T) {
+	ctx := context.Background()
+	if !*bench8Full || raceEnabled || testing.Short() {
+		streamOps, compareOps := experiments.E18SmokeOps, experiments.E18CompareOps
+		if raceEnabled || testing.Short() {
+			// The uncompacted comparison arm is quadratic in its op
+			// count; keep the race/short gate minutes-fast.
+			streamOps, compareOps = experiments.E18SmokeOps/5, experiments.E18CompareOps/4
+		}
+		rows, err := experiments.E18StreamMem(ctx, streamOps, experiments.E18Checkpoints)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkStreamRows(t, rows, experiments.E18Checkpoints)
+		cmp, err := experiments.E18CompactVsUncompacted(ctx, compareOps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkCompareRows(t, cmp)
+		t.Log("smoke mode (no -bench8-full): BENCH_8.json left untouched")
+		return
+	}
+
+	stream, err := experiments.E18StreamMem(ctx, experiments.E18FullOps, experiments.E18Checkpoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkStreamRows(t, stream, experiments.E18Checkpoints)
+	cmp, err := experiments.E18CompactVsUncompacted(ctx, experiments.E18CompareOps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCompareRows(t, cmp)
+
+	sum := bench8Summary{
+		Issue: 9,
+		Description: "Streaming frontier engine with bounded memory: one compacted exact session " +
+			"checks a 10M-op capture-shaped stream with flat post-GC live heap under the per-feed " +
+			"budget, vs the uncompacted reference session's O(history) retention on the same prefix",
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Stream:     stream,
+		Compare:    cmp,
+	}
+	sum.Config.StreamOps = experiments.E18FullOps
+	sum.Config.Checkpoints = experiments.E18Checkpoints
+	sum.Config.CompareOps = experiments.E18CompareOps
+
+	data, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_8.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Log("wrote BENCH_8.json")
+}

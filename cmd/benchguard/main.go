@@ -4,7 +4,7 @@
 // metric regresses beyond tolerance.
 //
 // Metrics are discovered structurally, so the guard needs no schema per
-// artifact; each numeric leaf's key sorts it into one of four classes,
+// artifact; each numeric leaf's key sorts it into one of five classes,
 // compared at the same JSON path (array elements carrying a "name" field
 // are matched by name, not index, so reordering or appending rows never
 // mispairs baselines):
@@ -26,6 +26,13 @@
 //   - times — "_ms", "ns_per_op", "latency": like absolutes, gated via
 //     -time-tolerance; baselines under -min-ms 50 are skipped entirely
 //     (sub-50ms timings swing severalfold between identical runs).
+//   - memory — "rss", "heap": post-GC live-heap bytes (BENCH_8's
+//     streaming checkpoints), a leak tripwire rather than a perf gate.
+//     Fires only when the fresh value clears both the -min-rss-mb 10
+//     noise floor and -rss-tolerance (fractional growth over baseline):
+//     a flat-memory streaming run that starts retaining O(history) state
+//     blows past both, while allocator jitter on tiny heaps never
+//     reaches the floor.
 //
 // When the guard fires after an intentional engine or perf change — or
 // on a fresh runner class whose absolute numbers genuinely differ —
@@ -56,6 +63,7 @@ const (
 	classRatio
 	classAbsolute
 	classTime
+	classRSS
 )
 
 type metric struct {
@@ -68,6 +76,10 @@ type metric struct {
 func classify(key string) (metricClass, bool) {
 	k := strings.ToLower(key)
 	switch {
+	// Memory first: "peak_rss"/"live_heap" keys must not fall through to
+	// a substring class a future key might also contain.
+	case strings.Contains(k, "rss"), strings.Contains(k, "heap"):
+		return classRSS, true
 	case strings.Contains(k, "per_sec"):
 		return classAbsolute, true
 	case strings.Contains(k, "nodes"), strings.Contains(k, "pruned"):
@@ -144,6 +156,8 @@ type guardOpts struct {
 	countTolerance float64
 	minMs          float64
 	minRatio       float64
+	rssTolerance   float64
+	minRSSBytes    float64
 }
 
 // guard compares one artifact's fresh metrics against its baseline and
@@ -204,6 +218,13 @@ func guard(name string, baseData, freshData []byte, opts guardOpts) (regressions
 			if f.val > b.val*(1+opts.timeTolerance) {
 				report("+", f.val/b.val-1, opts.timeTolerance)
 			}
+		case classRSS:
+			// Leak tripwire: both conditions must hold, so allocator
+			// jitter on heaps under the noise floor never fires however
+			// large it is relatively.
+			if f.val > opts.minRSSBytes && f.val > b.val*(1+opts.rssTolerance) {
+				report("+", f.val/b.val-1, opts.rssTolerance)
+			}
 		}
 	}
 	return regressions, checked, nil
@@ -240,6 +261,8 @@ func main() {
 	countTolerance := flag.Float64("count-tolerance", 0.02, "allowed fractional drift, either direction, for deterministic node/pruned counts")
 	minMs := flag.Float64("min-ms", 50, "skip time metrics whose baseline is below this (noise floor)")
 	minRatio := flag.Float64("min-ratio", 1.5, "skip ratio metrics whose baseline is below this (near-1x ratios are noise)")
+	rssTolerance := flag.Float64("rss-tolerance", 4.0, "allowed fractional growth for live-heap/RSS metrics (a leak tripwire, not a perf gate)")
+	minRSSMB := flag.Float64("min-rss-mb", 10, "memory metrics fire only when the fresh value exceeds this many MiB (noise floor)")
 	flag.Parse()
 
 	files := flag.Args()
@@ -278,7 +301,8 @@ func main() {
 	}
 
 	opts := guardOpts{tolerance: *tolerance, timeTolerance: *timeTolerance,
-		countTolerance: *countTolerance, minMs: *minMs, minRatio: *minRatio}
+		countTolerance: *countTolerance, minMs: *minMs, minRatio: *minRatio,
+		rssTolerance: *rssTolerance, minRSSBytes: *minRSSMB * (1 << 20)}
 	failed := false
 	for _, f := range files {
 		baseData, err := os.ReadFile(filepath.Join(*baseline, f))

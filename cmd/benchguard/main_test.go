@@ -6,13 +6,14 @@ import (
 	"testing"
 )
 
-var opts = guardOpts{tolerance: 0.25, timeTolerance: 0.60, countTolerance: 0.02, minMs: 1.0, minRatio: 1.5}
+var opts = guardOpts{tolerance: 0.25, timeTolerance: 0.60, countTolerance: 0.02, minMs: 1.0, minRatio: 1.5,
+	rssTolerance: 4.0, minRSSBytes: 10 << 20}
 
 const baseArtifact = `{
   "description": "fixture",
   "gomaxprocs": 1,
   "rows": [
-    {"name": "alpha", "nodes": 1000, "optimized_nodes_per_sec": 4000000, "wall_ms": 120.0, "node_count_reduction": 2.8, "fast_path_rate": 0.95},
+    {"name": "alpha", "nodes": 1000, "optimized_nodes_per_sec": 4000000, "wall_ms": 120.0, "node_count_reduction": 2.8, "fast_path_rate": 0.95, "peak_rss_bytes": 73000},
     {"name": "beta", "ops": 128, "nodes": 50, "optimized_nodes_per_sec": 1000000, "wall_ms": 0.4}
   ],
   "parallel": {"batch_speedup": 3.0}
@@ -38,7 +39,7 @@ func TestGuardPassesWithinTolerance(t *testing.T) {
   "gomaxprocs": 8,
   "rows": [
     {"name": "beta", "ops": 128, "nodes": 50, "optimized_nodes_per_sec": 700000, "wall_ms": 9.9},
-    {"name": "alpha", "nodes": 1010, "optimized_nodes_per_sec": 2600000, "wall_ms": 180.0, "node_count_reduction": 2.2, "fast_path_rate": 0.5}
+    {"name": "alpha", "nodes": 1010, "optimized_nodes_per_sec": 2600000, "wall_ms": 180.0, "node_count_reduction": 2.2, "fast_path_rate": 0.5, "peak_rss_bytes": 160000}
   ],
   "parallel": {"batch_speedup": 2.4}
 }`
@@ -46,11 +47,12 @@ func TestGuardPassesWithinTolerance(t *testing.T) {
 	if len(regs) != 0 {
 		t.Fatalf("unexpected regressions: %v", regs)
 	}
-	// alpha: nodes + per_sec + wall_ms + reduction (rate is under the
-	// ratio floor); beta: nodes + per_sec (its wall_ms baseline 0.4 is
-	// under the noise floor); parallel: speedup.
-	if checked != 7 {
-		t.Fatalf("checked %d metrics, want 7", checked)
+	// alpha: nodes + per_sec + wall_ms + reduction + peak_rss (a 2.2×
+	// heap growth passes because the fresh value is under the MiB floor;
+	// rate is under the ratio floor); beta: nodes + per_sec (its wall_ms
+	// baseline 0.4 is under the noise floor); parallel: speedup.
+	if checked != 8 {
+		t.Fatalf("checked %d metrics, want 8", checked)
 	}
 }
 
@@ -97,11 +99,23 @@ func TestGuardCatchesWallTimeRegression(t *testing.T) {
 	}
 }
 
+// TestGuardCatchesHeapBlowup: memory metrics are leak tripwires — a
+// fresh live heap that clears both the MiB noise floor and the growth
+// multiplier fires (a flat-memory streaming session starting to retain
+// O(history) state looks exactly like this).
+func TestGuardCatchesHeapBlowup(t *testing.T) {
+	fresh := strings.Replace(baseArtifact, `"peak_rss_bytes": 73000`, `"peak_rss_bytes": 120000000`, 1)
+	regs, _ := run(t, fresh)
+	if len(regs) != 1 || !strings.Contains(regs[0], "rows[alpha].peak_rss_bytes") {
+		t.Fatalf("want one alpha heap-blowup regression, got %v", regs)
+	}
+}
+
 // TestGuardReportsMissingRows: dropping a baselined row is reported once
 // per guarded metric (the baseline needs a refresh; silently ignoring it
 // would hide removals).
 func TestGuardReportsMissingRows(t *testing.T) {
-	fresh := `{"rows": [{"name": "alpha", "nodes": 1000, "optimized_nodes_per_sec": 4000000, "wall_ms": 120.0, "node_count_reduction": 2.8, "fast_path_rate": 0.95}], "parallel": {"batch_speedup": 3.0}}`
+	fresh := `{"rows": [{"name": "alpha", "nodes": 1000, "optimized_nodes_per_sec": 4000000, "wall_ms": 120.0, "node_count_reduction": 2.8, "fast_path_rate": 0.95, "peak_rss_bytes": 73000}], "parallel": {"batch_speedup": 3.0}}`
 	regs, _ := run(t, fresh)
 	if len(regs) != 2 {
 		t.Fatalf("want two missing-row reports (beta nodes + per_sec; its wall_ms is under the noise floor), got %v", regs)
@@ -117,7 +131,7 @@ func TestGuardReportsMissingRows(t *testing.T) {
 // exact files this repo commits) always pass — the guard must hold on
 // current baselines.
 func TestGuardRealArtifacts(t *testing.T) {
-	for _, f := range []string{"../../BENCH_1.json", "../../BENCH_2.json", "../../BENCH_3.json", "../../BENCH_4.json", "../../BENCH_5.json", "../../BENCH_6.json", "../../BENCH_7.json"} {
+	for _, f := range []string{"../../BENCH_1.json", "../../BENCH_2.json", "../../BENCH_3.json", "../../BENCH_4.json", "../../BENCH_5.json", "../../BENCH_6.json", "../../BENCH_7.json", "../../BENCH_8.json"} {
 		data, err := os.ReadFile(f)
 		if err != nil {
 			t.Fatalf("%s: %v (regenerate with go test -run TestWriteBench .)", f, err)

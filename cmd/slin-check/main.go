@@ -85,6 +85,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "overall deadline; exceeded checks report unknown (exit 2)")
 	stream := flag.Bool("stream", false, "lin mode: feed each trace through an incremental Session instead of one-shot Check")
 	exact := flag.Bool("exact", false, "force the exact search engines (skip the ADT-specialized fast-path checkers)")
+	compact := flag.Bool("compact", true, "frontier compaction in the streaming engines (false = uncompacted reference representation)")
+	feedBudget := flag.Bool("feed-budget", false, "stream mode: rebase the search budget at every fed action instead of one per-session budget")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -131,7 +133,8 @@ func main() {
 	// v2: context-aware, functional options); verdicts come back in file
 	// order.
 	opts := []check.Option{check.WithBudget(*budget), check.WithWorkers(*inWorkers),
-		check.WithPOR(*por), check.WithExact(*exact)}
+		check.WithPOR(*por), check.WithExact(*exact),
+		check.WithCompaction(*compact), check.WithFeedBudget(*feedBudget)}
 	verdicts, err := check.Parallel(ctx, traces, *workers, func(i int, t trace.Trace) (verdict, error) {
 		switch *mode {
 		case "lin", "classical":

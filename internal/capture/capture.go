@@ -15,9 +15,22 @@
 //     and never allocates on the hot path outside chunk boundaries.
 //   - Timestamps come from one monotonic clock (time.Since of a common
 //     origin; tests inject a deterministic clock). Per proc, timestamps
-//     are made strictly increasing by bumping sub-resolution collisions
-//     by 1ns — the bump only reorders events the clock could not
-//     distinguish anyway, so it stays within measurement precision.
+//     are strictly increasing, and the two event kinds reach that
+//     differently. A response that collides with the proc's previous
+//     timestamp is bumped by 1ns: the reading was taken after the
+//     operation returned, so a later value is still a sound post-return
+//     time — it only widens the operation's interval, which can hide a
+//     real-time precedence but never manufacture one. An invocation is
+//     never bumped: pushing an invocation later could move it past
+//     another proc's genuine response within the same clock granule,
+//     manufacturing a precedence the execution never had (a false
+//     NotLinearizable). Instead the invocation polls the clock until it
+//     advances past the previous timestamp, so every invocation carries
+//     a genuine pre-call reading. (No comparator can repair a fully
+//     stuck clock: two procs each recording response-then-invocation in
+//     one granule force a cross-proc cycle between the orders, so the
+//     clock advancing under polling is a hard requirement, not a
+//     convenience — see WithClock.)
 //   - The drainer merges the per-proc buffers into a single totally
 //     ordered action sequence with the comparator (T, kind with Inv
 //     before Res, proc). Invocations sort before responses at equal
@@ -107,7 +120,23 @@ func (p *Proc) record(k trace.Kind, in, out trace.Value) {
 	}
 	t := p.clock()
 	if t <= p.last {
-		t = p.last + 1
+		if k == trace.Inv {
+			// Never bump an invocation: a manufactured later timestamp
+			// could sort it past another proc's genuine response in the
+			// same clock granule, adding a real-time precedence the
+			// execution never had. Poll for a genuine fresh reading
+			// instead (WithClock requires the clock to advance under
+			// repeated polling).
+			for t <= p.last {
+				t = p.clock()
+			}
+		} else {
+			// A response reading was taken after the operation returned,
+			// so any later value is still a sound post-return time: the
+			// bump widens the interval, removing precedences but never
+			// adding one.
+			t = p.last + 1
+		}
 	}
 	p.last = t
 	if p.tailN == chunkSize {
@@ -144,9 +173,14 @@ type Recorder struct {
 // Option configures a Recorder.
 type Option func(*Recorder)
 
-// WithClock injects the timestamp source (monotonic nanoseconds).
-// Tests use a deterministic counter; the default is time.Since of the
-// Recorder's creation instant.
+// WithClock injects the timestamp source (monotonic nanoseconds). The
+// clock must advance under repeated polling: an invocation whose
+// reading does not exceed the proc's previous timestamp polls until it
+// does (see the package comment — bumping invocations is unsound, and
+// a clock stuck across two procs' operations can force a manufactured
+// cross-proc precedence no merge order avoids). Tests inject
+// deterministic counters that auto-advance under sustained polling;
+// the default is time.Since of the Recorder's creation instant.
 func WithClock(clock func() int64) Option {
 	return func(r *Recorder) { r.clock = clock }
 }

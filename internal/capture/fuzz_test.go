@@ -25,8 +25,8 @@ func FuzzCaptureVsExact(f *testing.F) {
 	f.Add([]byte{0x00, 0x00, 0x00, 0x30, 0x01, 0x01, 0x00, 0x04, 0x01, 0x31})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		const procs = 3
-		var now int64
-		rec := NewRecorder(procs, WithClock(func() int64 { return now }))
+		clk := &fakeClock{} // auto-advances under sustained polling (WithClock contract)
+		rec := NewRecorder(procs, WithClock(clk.fn()))
 		ctx := context.Background()
 		spec := speclin.CheckSpec{Folder: speclin.RegisterADT}
 		sess, err := speclin.NewSession(ctx, spec, speclin.WithBudget(fuzzBudget))
@@ -51,7 +51,7 @@ func FuzzCaptureVsExact(f *testing.F) {
 		var lastW trace.Value = adt.Bottom
 		for i := 0; i+1 < len(data); i += 2 {
 			b, c := data[i], data[i+1]
-			now += int64(b >> 4) // clock advance 0–15, ties included
+			clk.now += int64(b >> 4) // clock advance 0–15, ties included
 			p := int(b) % procs
 			pr := rec.Proc(p)
 			if pending[p] == "" {

@@ -122,7 +122,11 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 	}
 	rec := NewRecorder(cfg.Goroutines, recOpts...)
 
-	opts := []speclin.Option{speclin.WithBudget(cfg.Budget), speclin.WithWitness(false)}
+	// Per-feed budgets: a hunt session lives for the whole stress run, so
+	// one lifetime budget would starve late actions on long runs; each
+	// fed action instead gets the full budget for its frontier step.
+	opts := []speclin.Option{speclin.WithBudget(cfg.Budget), speclin.WithWitness(false),
+		speclin.WithFeedBudget(true)}
 	if cfg.Exact {
 		opts = append(opts, speclin.WithExact(true))
 	}
@@ -133,13 +137,15 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 	case StructMutex:
 		rt = newRouter(ctx, speclin.CheckSpec{Folder: speclin.MutexADT}, nil, true, opts...)
 	case StructSet:
-		// The set folder has no fast path, and the exact session engine
-		// degenerates on capture-shaped histories (its breadth frontier
-		// keeps every commit-order permutation of overlapping ops alive,
-		// where the one-shot DFS prunes them) — so the set's per-key
-		// histories are retained and checked one-shot after the run,
-		// like the queue's.
-		rt = newRouter(ctx, speclin.CheckSpec{Folder: speclin.SetADT}, setKeyOf, false, opts...)
+		// The set folder has no fast path, so its per-key sessions run the
+		// exact frontier engine. That engine used to degenerate on
+		// capture-shaped histories (the breadth frontier kept every
+		// commit-order permutation of overlapping ops alive, where the
+		// one-shot DFS prunes them cheaply); with frontier compaction
+		// dropping fully-claimed chain prefixes and the DAG-level sleep
+		// sets pruning equivalent commit orders, the set now checks live
+		// like the map and mutex do.
+		rt = newRouter(ctx, speclin.CheckSpec{Folder: speclin.SetADT}, setKeyOf, true, opts...)
 	case StructQueue:
 		// The queue fast path is one-shot: retain the trace, check after.
 		rt = newRouter(ctx, speclin.CheckSpec{Folder: speclin.QueueADT}, nil, false, opts...)

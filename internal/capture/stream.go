@@ -5,10 +5,11 @@
 // the Herlihy–Wing locality theorem (a history of a product object is
 // linearizable iff every per-component projection is). The map's
 // per-key registers and the mutex stream live through fast-path
-// sessions; the queue (one-shot fast path) and the set (no fast path —
-// and the exact session's breadth frontier degenerates on long
-// capture-shaped histories that the one-shot DFS prunes cheaply) retain
-// their traces and check one-shot after the run.
+// sessions; the set (no fast path) streams through exact sessions,
+// viable since frontier compaction and DAG-level sleep sets bound the
+// breadth engine on capture-shaped histories (decision 17); only the
+// queue retains its trace and checks one-shot after the run, because
+// its fast path is one-shot by construction.
 package capture
 
 import (

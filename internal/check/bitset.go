@@ -130,6 +130,32 @@ func (s SleepSet) Add(sym trace.Sym) SleepSet {
 	return s
 }
 
+// Intersect returns the set of symbols asleep in both s and o. The
+// frontier engines use it when two expansion paths reach the same
+// configuration digest while carrying different sleep sets (DESIGN.md,
+// decision 17): only a symbol slept on every path into the merged node
+// may stay asleep — the union would prune orders that some path still
+// owes — so intersection is the sound merge.
+func (s SleepSet) Intersect(o SleepSet) SleepSet {
+	out := SleepSet{lo: s.lo & o.lo}
+	n := len(s.hi)
+	if len(o.hi) < n {
+		n = len(o.hi)
+	}
+	// Trim trailing zero words so equal sets stay canonically equal.
+	for n > 0 && s.hi[n-1]&o.hi[n-1] == 0 {
+		n--
+	}
+	if n > 0 {
+		hi := make([]uint64, n)
+		for w := range hi {
+			hi[w] = s.hi[w] & o.hi[w]
+		}
+		out.hi = hi
+	}
+	return out
+}
+
 // forEach calls fn with every sleeping symbol in increasing order.
 func (s SleepSet) forEach(fn func(trace.Sym)) {
 	for rest := s.lo; rest != 0; rest &= rest - 1 {

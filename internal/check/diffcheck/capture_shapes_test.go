@@ -2,6 +2,7 @@ package diffcheck
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -100,4 +101,74 @@ func TestSessionCaptureShapes(t *testing.T) {
 			}
 		}
 	})
+}
+
+// TestCompactedFrontierCaptureShapes drives the compaction axis
+// (DESIGN.md, decision 17) through capture-shaped inputs: long
+// sequential-heavy traces whose fully-claimed chain prefixes are what
+// compaction drops, widened into equal-timestamp tie bursts by the
+// capture merge's transform, with overlap from several concurrent
+// clients and mid-stream drains at a third and two thirds of the
+// stream. The compacted session must agree with the uncompacted
+// reference session on every prefix and with the one-shot engine at
+// every drain, and drained compacted witnesses must verify — on clean
+// and corrupted traces alike.
+func TestCompactedFrontierCaptureShapes(t *testing.T) {
+	ctx := context.Background()
+	folders := []struct {
+		name   string
+		f      adt.Folder
+		inputs []trace.Value
+	}{
+		{"register", adt.Register{}, []trace.Value{
+			adt.WriteInput("a"), adt.WriteInput("b"), adt.ReadInput()}},
+		{"counter", adt.Counter{}, []trace.Value{
+			adt.IncInput(), adt.GetInput()}},
+		{"set", adt.Set{}, []trace.Value{
+			adt.AddInput("x"), adt.RemoveInput("x"), adt.HasInput("x")}},
+	}
+	for _, fd := range folders {
+		fd := fd
+		t.Run(fd.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(1703))
+			const iters = 30
+			exhausted := 0
+			for iter := 0; iter < iters; iter++ {
+				tr := workload.Random(fd.f, r, workload.TraceOpts{
+					// Few clients, moderately long streams: the
+					// sequential-heavy regime where claimed prefixes grow
+					// long enough to compact (compactMin), capped where the
+					// UNCOMPACTED reference — whose frontier keeps every
+					// commit-order permutation alive — still fits the
+					// budget. (That asymmetry is the point of decision 17;
+					// E18 measures it.)
+					Clients:     2 + r.Intn(3),
+					Ops:         14 + r.Intn(11),
+					Inputs:      fd.inputs,
+					PendingProb: 0.1,
+					CorruptProb: float64(iter%3) * 0.15, // 0, .15, .3
+					UniqueTags:  iter%2 == 0,
+				})
+				tr = widen(r, tr)
+				drains := []int{len(tr) / 3, 2 * len(tr) / 3}
+				err := Compaction(ctx, fd.f, tr, drains, check.WithBudget(fastBudget))
+				if err == nil {
+					continue
+				}
+				var d *Disagreement
+				if errors.As(err, &d) {
+					t.Fatalf("iter %d: %v", iter, err)
+				}
+				// The uncompacted reference (or a drain's one-shot) ran out
+				// of budget: the permutation blowup compaction exists to
+				// remove. Skip the iteration but insist the tail stays a
+				// tail — an engine regression that exhausts everywhere must
+				// not silently void the property.
+				exhausted++
+			}
+			if exhausted > iters/3 {
+				t.Fatalf("%d/%d iterations exhausted the reference budget", exhausted, iters)
+			}
+		})
+	}
 }

@@ -55,9 +55,13 @@ type variant struct {
 	opts []check.Option
 }
 
-// linMatrix is the engine × reduction matrix every Lin trace runs
-// through: the sequential depth-first search and the breadth (frontier)
-// engine (WithWorkers(2)), each with the reducer on and off.
+// linMatrix is the engine × reduction × compaction matrix every Lin
+// trace runs through: the sequential depth-first search and the breadth
+// (frontier) engine (WithWorkers(2)), each with the reducer on and off,
+// and the frontier variants additionally with compaction disabled (the
+// frontier engines compact by default, DESIGN.md decision 17 — the
+// uncompacted runs are the executable specification of the compacted
+// ones).
 func linMatrix(extra ...check.Option) []variant {
 	mk := func(name string, opts ...check.Option) variant {
 		return variant{name: name, opts: append(append([]check.Option{}, extra...), opts...)}
@@ -67,6 +71,8 @@ func linMatrix(extra ...check.Option) []variant {
 		mk("depth/nopor", check.WithPOR(false)),
 		mk("frontier/por", check.WithPOR(true), check.WithWorkers(2)),
 		mk("frontier/nopor", check.WithPOR(false), check.WithWorkers(2)),
+		mk("frontier/por/nocompact", check.WithPOR(true), check.WithWorkers(2), check.WithCompaction(false)),
+		mk("frontier/nopor/nocompact", check.WithPOR(false), check.WithWorkers(2), check.WithCompaction(false)),
 	}
 }
 
@@ -103,7 +109,7 @@ func Lin(ctx context.Context, f adt.Folder, t trace.Trace, extra ...check.Option
 	}
 	for _, o := range got {
 		switch o.name {
-		case "depth/nopor", "frontier/nopor":
+		case "depth/nopor", "frontier/nopor", "frontier/nopor/nocompact":
 			if o.res.Pruned != 0 {
 				return disagree(t, "%s pruned %d branches with the reducer off", o.name, o.res.Pruned)
 			}
@@ -143,6 +149,69 @@ func LinPrefixes(ctx context.Context, f adt.Folder, t trace.Trace, extra ...chec
 				if werr := lin.VerifyWitness(f, t[:k+1], got.Witness); werr != nil {
 					return disagree(t[:k+1], "session(por=%v) prefix %d witness invalid: %v", por, k+1, werr)
 				}
+			}
+		}
+	}
+	return nil
+}
+
+// Compaction cross-checks the compacted streaming session — the default
+// (DESIGN.md, decision 17) — against the uncompacted reference session
+// and the one-shot engine on t. The two sessions feed in lockstep and
+// their running verdicts must agree after every action. At each drain
+// index in drains (plus the end of the trace) both assemble full
+// Results: the verdicts must match each other and the one-shot check of
+// that prefix, and the compacted witness — which reconstructs the
+// dropped chain prefix from the retained digest-linked segments — must
+// satisfy lin.VerifyWitness. Draining mid-stream and continuing to feed
+// is deliberate: witness assembly must not corrupt the live frontier.
+// extra options (budgets, deadlines) apply to every variant.
+func Compaction(ctx context.Context, f adt.Folder, t trace.Trace, drains []int, extra ...check.Option) error {
+	mkOpts := func(compact bool) []check.Option {
+		return append(append([]check.Option{}, extra...), check.WithCompaction(compact))
+	}
+	comp := lin.NewSession(ctx, f, mkOpts(true)...)
+	ref := lin.NewSession(ctx, f, mkOpts(false)...)
+	drainAt := map[int]bool{len(t): true}
+	for _, d := range drains {
+		if d >= 1 && d <= len(t) {
+			drainAt[d] = true
+		}
+	}
+	for k, a := range t {
+		if err := comp.Feed(a); err != nil {
+			return fmt.Errorf("diffcheck compacted feed %d: %w", k, err)
+		}
+		if err := ref.Feed(a); err != nil {
+			return fmt.Errorf("diffcheck uncompacted feed %d: %w", k, err)
+		}
+		if cv, rv := comp.Verdict(), ref.Verdict(); cv != rv {
+			return disagree(t[:k+1], "prefix %d: compacted=%v, uncompacted=%v", k+1, cv, rv)
+		}
+		if !drainAt[k+1] {
+			continue
+		}
+		got, err := comp.Result()
+		if err != nil {
+			return fmt.Errorf("diffcheck compacted drain %d: %w", k+1, err)
+		}
+		want, err := ref.Result()
+		if err != nil {
+			return fmt.Errorf("diffcheck uncompacted drain %d: %w", k+1, err)
+		}
+		if got.OK != want.OK {
+			return disagree(t[:k+1], "drain %d: compacted=%v, uncompacted=%v", k+1, got.OK, want.OK)
+		}
+		one, err := lin.Check(ctx, f, t[:k+1], extra...)
+		if err != nil {
+			return fmt.Errorf("diffcheck one-shot drain %d: %w", k+1, err)
+		}
+		if got.OK != one.OK {
+			return disagree(t[:k+1], "drain %d: compacted session=%v, one-shot=%v", k+1, got.OK, one.OK)
+		}
+		if got.OK && len(got.Witness) > 0 {
+			if werr := lin.VerifyWitness(f, t[:k+1], got.Witness); werr != nil {
+				return disagree(t[:k+1], "drain %d compacted witness invalid: %v", k+1, werr)
 			}
 		}
 	}

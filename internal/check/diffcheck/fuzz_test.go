@@ -101,6 +101,29 @@ func FuzzCheckPORAgreement(f *testing.F) {
 	})
 }
 
+// FuzzCompactionVsExact fuzzes the frontier-compaction axis (DESIGN.md,
+// decision 17): the compacted streaming session must agree with the
+// uncompacted reference session after every fed action and with the
+// one-shot engine at a mid-stream drain and at the end, and drained
+// compacted witnesses must verify.
+func FuzzCompactionVsExact(f *testing.F) {
+	corpusSeeds(f)
+	f.Fuzz(func(t *testing.T, sel uint8, data []byte) {
+		folder, inputs, outputs := fuzzADT(sel)
+		tr := decodeTrace(folder, inputs, outputs, data)
+		err := Compaction(context.Background(), folder, tr, []int{len(tr) / 2},
+			check.WithBudget(fuzzBudget))
+		if err == nil {
+			return
+		}
+		var d *Disagreement
+		if errors.As(err, &d) {
+			t.Fatal(err)
+		}
+		t.Skip()
+	})
+}
+
 // FuzzSessionPrefixAgreement fuzzes the incremental engine: the session
 // verdict after every fed prefix must equal the one-shot verdict of that
 // prefix, reducer on and off.

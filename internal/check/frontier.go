@@ -18,10 +18,17 @@ var ErrFrontierLimit = errors.New("check: frontier exceeded memo limit")
 // claim set across Settings.Workers workers when parallel, a plain map
 // otherwise. spend charges search nodes (called once per source
 // configuration); expandOne emits every successor of one configuration.
-// Keeping the concurrency, deduplication and memo-limit semantics here
-// guarantees the two engines cannot drift.
+// merge, when non-nil, combines a duplicate emission into the kept
+// configuration of the same digest (the DAG-level sleep-set
+// intersection of decision 17) and may recycle the duplicate; it runs
+// on the sequential path only — the parallel path's sharded claim set
+// keeps first-insert-wins semantics, and its callers emit
+// merge-neutral configurations (empty carried sleep sets). Keeping the
+// concurrency, deduplication and memo-limit semantics here guarantees
+// the two engines cannot drift.
 func ExpandFrontier[C any](ctx context.Context, frontier []C, set Settings,
 	spend func(int) error, dig func(C) trace.Digest,
+	merge func(kept, dup C) C,
 	expandOne func(c C, emit func(C)) error) ([]C, error) {
 
 	var next []C
@@ -46,17 +53,20 @@ func ExpandFrontier[C any](ctx context.Context, frontier []C, set Settings,
 			next = append(next, p...)
 		}
 	} else {
-		seen := make(map[trace.Digest]struct{}, len(frontier))
+		seen := make(map[trace.Digest]int, len(frontier))
 		for _, c := range frontier {
 			if err := spend(1); err != nil {
 				return nil, err
 			}
 			err := expandOne(c, func(n C) {
 				d := dig(n)
-				if _, dup := seen[d]; dup {
+				if at, dup := seen[d]; dup {
+					if merge != nil {
+						next[at] = merge(next[at], n)
+					}
 					return
 				}
-				seen[d] = struct{}{}
+				seen[d] = len(next)
 				next = append(next, n)
 			})
 			if err != nil {

@@ -83,16 +83,35 @@ type Settings struct {
 	// speclin facade honour it; the plain lin/slin entry points are
 	// always exact and ignore it. Off by default.
 	Exact bool
+	// Compact enables frontier compaction in the breadth (frontier)
+	// engines (DESIGN.md, decision 17): configurations drop
+	// fully-claimed chain prefixes from storage, keeping a rolling
+	// digest and element summary so memo identity and availability stay
+	// exact, which bounds a streaming Session's memory by the
+	// overlap/alphabet of the trace instead of its length. NewSettings
+	// defaults it to true; WithCompaction(false) retains the uncompacted
+	// reference representation, which the differential tests cross-check
+	// against the compacted one. Verdict-preserving by construction; the
+	// one-shot depth engines have no frontier and ignore it.
+	Compact bool
+	// FeedBudget switches a Session's node budget from per-session
+	// lifetime to per-Feed: the spend counter is rebased at each Feed, so
+	// one heavy-tailed action cannot starve every later feed into
+	// spurious ErrBudget (the E16 `online_speedup_is_lower_bound`
+	// caveat). A single Feed exceeding the budget still returns the
+	// terminal ErrBudget. Off by default (lifetime budget); one-shot
+	// checks ignore it.
+	FeedBudget bool
 }
 
 // Option mutates one Settings field; checker entry points accept a
 // variadic ...Option.
 type Option func(*Settings)
 
-// NewSettings resolves opts over the defaults (Witness and POR on,
-// everything else zero).
+// NewSettings resolves opts over the defaults (Witness, POR and Compact
+// on, everything else zero).
 func NewSettings(opts ...Option) Settings {
-	s := Settings{Witness: true, POR: true}
+	s := Settings{Witness: true, POR: true, Compact: true}
 	for _, o := range opts {
 		if o != nil {
 			o(&s)
@@ -141,3 +160,13 @@ func WithPOR(on bool) Option { return func(s *Settings) { s.POR = on } }
 // otherwise dispatch to an ADT-specialized fast-path checker (see
 // Settings.Exact; DESIGN.md, decision 15).
 func WithExact(on bool) Option { return func(s *Settings) { s.Exact = on } }
+
+// WithCompaction toggles frontier compaction in the breadth engines (see
+// Settings.Compact; default on). WithCompaction(false) runs the
+// uncompacted reference representation — the differential tests
+// cross-check the two on every trace shape.
+func WithCompaction(on bool) Option { return func(s *Settings) { s.Compact = on } }
+
+// WithFeedBudget switches a Session's budget to per-Feed instead of
+// per-session lifetime (see Settings.FeedBudget; default off).
+func WithFeedBudget(on bool) Option { return func(s *Settings) { s.FeedBudget = on } }

@@ -1,5 +1,5 @@
 // Package experiments regenerates every experiment table of
-// EXPERIMENTS.md (the E1–E17 index of DESIGN.md). Each experiment is a
+// EXPERIMENTS.md (the E1–E18 index of DESIGN.md). Each experiment is a
 // function returning a Table; cmd/experiments prints them and the root
 // benchmarks wrap the same primitives in testing.B loops.
 //
@@ -69,6 +69,7 @@ func All() []Experiment {
 		{"E15", E15ChaosRecovery},
 		{"E16", E16FastpathCheckers},
 		{"E17", E17CaptureHunt},
+		{"E18", E18StreamMemTable},
 	}
 }
 

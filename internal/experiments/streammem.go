@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/adt"
+	"repro/internal/check"
+	"repro/internal/lin"
+	"repro/internal/trace"
+)
+
+// This file implements the E18 streaming-memory experiment behind
+// BENCH_8.json: a single long-lived exact Session fed a deterministic
+// capture-shaped register stream (ISSUE 9). The compacted frontier
+// (DESIGN.md, decision 17) plus the per-feed budget
+// (check.WithFeedBudget) are what make the run possible at all — the
+// live heap must stay flat while the history grows by orders of
+// magnitude, and the comparison arm shows the uncompacted reference
+// session's heap growing linearly (and its wall time quadratically) on
+// the identical stream prefix.
+
+// E18 canonical scales.
+const (
+	// E18FullOps is the streamed operation count of the full run
+	// (bench8 -bench8-full, nightly).
+	E18FullOps = 10_000_000
+	// E18SmokeOps is the scaled-down stream for CI smoke and the
+	// EXPERIMENTS.md table.
+	E18SmokeOps = 500_000
+	// E18CompareOps caps the compacted-vs-uncompacted arm: the
+	// uncompacted reference copies O(history) chain state per response,
+	// so its wall time is quadratic and larger streams are infeasible —
+	// which is the result.
+	E18CompareOps = 20_000
+	// E18Checkpoints is the number of evenly spaced heap samples taken
+	// over the stream.
+	E18Checkpoints = 8
+)
+
+// e18Gen deterministically emits the capture-shaped register stream:
+// sequential-heavy (runs of write "a" / read-back pairs, the regime
+// where fully-claimed chain prefixes grow and compaction bites) with a
+// periodic two-client overlap burst (a read spanning a concurrent
+// write, the shape the capture merge's timestamp ties produce). All
+// action values are hoisted so steady-state emission allocates nothing
+// besides what the session retains — the generator never materializes
+// the trace.
+type e18Gen struct {
+	step               int
+	wA, wB, rd         trace.Value
+	wOut, rOutA, rOutB trace.Value
+	last               trace.Value
+}
+
+func newE18Gen() *e18Gen {
+	return &e18Gen{
+		wA:    adt.WriteInput("a"),
+		wB:    adt.WriteInput("b"),
+		rd:    adt.ReadInput(),
+		wOut:  adt.WriteOutput(),
+		rOutA: adt.ReadOutput("a"),
+		rOutB: adt.ReadOutput("b"),
+	}
+}
+
+// emit feeds the next operation(s) into feed and returns how many
+// operations (invoke/response pairs) it emitted: 2 for the overlap
+// burst, 1 otherwise.
+func (g *e18Gen) emit(feed func(trace.Action) error) (int, error) {
+	m := g.step % 16
+	g.step++
+	switch {
+	case m == 14:
+		// Overlap burst: client p's read spans client q's write of "b",
+		// so the read must observe it.
+		if err := feed(trace.Invoke("p", 1, g.rd)); err != nil {
+			return 0, err
+		}
+		if err := feed(trace.Invoke("q", 1, g.wB)); err != nil {
+			return 0, err
+		}
+		if err := feed(trace.Response("q", 1, g.wB, g.wOut)); err != nil {
+			return 0, err
+		}
+		if err := feed(trace.Response("p", 1, g.rd, g.rOutB)); err != nil {
+			return 0, err
+		}
+		g.last = g.rOutB
+		return 2, nil
+	case m%2 == 0:
+		if err := feed(trace.Invoke("p", 1, g.wA)); err != nil {
+			return 0, err
+		}
+		if err := feed(trace.Response("p", 1, g.wA, g.wOut)); err != nil {
+			return 0, err
+		}
+		g.last = g.rOutA
+		return 1, nil
+	default:
+		if err := feed(trace.Invoke("p", 1, g.rd)); err != nil {
+			return 0, err
+		}
+		if err := feed(trace.Response("p", 1, g.rd, g.last)); err != nil {
+			return 0, err
+		}
+		return 1, nil
+	}
+}
+
+// liveHeap forces a collection and returns the post-GC live heap. Peak
+// RSS proper is monotone per process and platform-dependent; the post-GC
+// HeapAlloc is the machine-independent proxy the bench guard can
+// compare across runs.
+func liveHeap() uint64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.HeapAlloc
+}
+
+// E18MemRow is one heap checkpoint of the streaming run, JSON-ready for
+// BENCH_8.json. Nodes is deterministic (seedless deterministic
+// generator, sequential engine); heap bytes are post-GC live heap and
+// stable to well within the guard's order-of-magnitude tripwire.
+type E18MemRow struct {
+	Name          string  `json:"name"`
+	Ops           int     `json:"ops"`
+	LiveHeapBytes uint64  `json:"live_heap_bytes"`
+	Nodes         int     `json:"nodes"`
+	WallMs        float64 `json:"wall_ms"`
+}
+
+// E18StreamMem drives one compacted exact register session through n
+// capture-shaped operations and samples the live heap at `checkpoints`
+// evenly spaced points. The session runs with the per-feed budget: the
+// stream's cumulative node count exceeds any fixed budget by design,
+// while each individual Feed stays far under it.
+func E18StreamMem(ctx context.Context, n, checkpoints int) ([]E18MemRow, error) {
+	s := lin.NewSession(ctx, adt.Register{},
+		check.WithWitness(false), check.WithFeedBudget(true))
+	g := newE18Gen()
+	rows := make([]E18MemRow, 0, checkpoints)
+	per := n / checkpoints
+	if per < 1 {
+		per = 1
+	}
+	done := 0
+	start := time.Now()
+	for len(rows) < checkpoints && done < n {
+		target := done + per
+		if len(rows) == checkpoints-1 || target > n {
+			target = n
+		}
+		for done < target {
+			d, err := g.emit(s.Feed)
+			if err != nil {
+				return nil, fmt.Errorf("E18 op %d: %w", done, err)
+			}
+			done += d
+		}
+		rows = append(rows, E18MemRow{
+			Name:          fmt.Sprintf("stream-checkpoint-%d", len(rows)+1),
+			Ops:           done,
+			LiveHeapBytes: liveHeap(),
+			Nodes:         s.Nodes(),
+			WallMs:        float64(time.Since(start).Microseconds()) / 1000,
+		})
+	}
+	r, err := s.Result()
+	if err != nil {
+		return nil, fmt.Errorf("E18 result: %w", err)
+	}
+	if !r.OK {
+		return nil, fmt.Errorf("E18 clean stream judged non-linearizable: %s", r.Reason)
+	}
+	runtime.KeepAlive(s)
+	return rows, nil
+}
+
+// E18CompareRow contrasts the compacted session against the uncompacted
+// reference on the identical stream prefix, JSON-ready for
+// BENCH_8.json. PeakRSSBytes is the post-GC live heap with the session
+// still reachable — for the uncompacted arm this is dominated by the
+// O(history) chain state every frontier configuration retains.
+type E18CompareRow struct {
+	Name         string  `json:"name"`
+	Ops          int     `json:"ops"`
+	PeakRSSBytes uint64  `json:"peak_rss_bytes"`
+	Nodes        int     `json:"nodes"`
+	WallMs       float64 `json:"wall_ms"`
+}
+
+// E18CompactVsUncompacted runs both engines over the first n operations
+// of the E18 stream. n is capped (E18CompareOps) because the
+// uncompacted arm's per-response chain copying makes its wall time
+// quadratic in n; the compacted arm at full E18 scale is E18StreamMem.
+func E18CompactVsUncompacted(ctx context.Context, n int) ([]E18CompareRow, error) {
+	rows := make([]E18CompareRow, 0, 2)
+	for _, arm := range []struct {
+		name    string
+		compact bool
+	}{{"compare-compacted", true}, {"compare-uncompacted", false}} {
+		s := lin.NewSession(ctx, adt.Register{},
+			check.WithWitness(false), check.WithFeedBudget(true),
+			check.WithCompaction(arm.compact))
+		g := newE18Gen()
+		start := time.Now()
+		for done := 0; done < n; {
+			d, err := g.emit(s.Feed)
+			if err != nil {
+				return nil, fmt.Errorf("E18 %s op %d: %w", arm.name, done, err)
+			}
+			done += d
+		}
+		wall := float64(time.Since(start).Microseconds()) / 1000
+		r, err := s.Result()
+		if err != nil {
+			return nil, fmt.Errorf("E18 %s result: %w", arm.name, err)
+		}
+		if !r.OK {
+			return nil, fmt.Errorf("E18 %s judged non-linearizable: %s", arm.name, r.Reason)
+		}
+		rows = append(rows, E18CompareRow{
+			Name:         arm.name,
+			Ops:          n,
+			PeakRSSBytes: liveHeap(),
+			Nodes:        s.Nodes(),
+			WallMs:       wall,
+		})
+		runtime.KeepAlive(s)
+	}
+	return rows, nil
+}
+
+// E18StreamMemTable renders the experiment at smoke scale for
+// EXPERIMENTS.md; the full-scale run is bench8 -bench8-full
+// (BENCH_8.json).
+func E18StreamMemTable(ctx context.Context) (Table, error) {
+	mem, err := E18StreamMem(ctx, E18SmokeOps, E18Checkpoints)
+	if err != nil {
+		return Table{}, err
+	}
+	cmp, err := E18CompactVsUncompacted(ctx, E18CompareOps)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:     "E18",
+		Title:  fmt.Sprintf("Streaming memory: %d capture-shaped ops through one compacted session", E18SmokeOps),
+		Header: []string{"arm", "ops", "live heap MiB", "nodes", "wall ms"},
+	}
+	for _, r := range mem {
+		t.Rows = append(t.Rows, []string{
+			r.Name, fmt.Sprintf("%d", r.Ops), f2(float64(r.LiveHeapBytes) / (1 << 20)),
+			fmt.Sprintf("%d", r.Nodes), f2(r.WallMs)})
+	}
+	for _, r := range cmp {
+		t.Rows = append(t.Rows, []string{
+			r.Name, fmt.Sprintf("%d", r.Ops), f2(float64(r.PeakRSSBytes) / (1 << 20)),
+			fmt.Sprintf("%d", r.Nodes), f2(r.WallMs)})
+	}
+	first, last := mem[0].LiveHeapBytes, mem[len(mem)-1].LiveHeapBytes
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("Flatness: checkpoint heap %s → %s MiB over a %d× history growth; "+
+			"the uncompacted reference at %d ops already holds %s MiB.",
+			f2(float64(first)/(1<<20)), f2(float64(last)/(1<<20)), E18Checkpoints,
+			E18CompareOps, f2(float64(cmp[1].PeakRSSBytes)/(1<<20))),
+		"Full scale (10M ops) is BENCH_8.json via `go test -run TestWriteBench8JSON . -args -bench8-full`.")
+	return t, nil
+}

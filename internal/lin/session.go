@@ -36,14 +36,42 @@ import (
 // every prefix (the session property tests assert this on randomized
 // traces).
 //
+// Streaming memory bound (DESIGN.md, decision 17). With compaction on
+// (check.WithCompaction, the default) a configuration's fully-claimed
+// chain prefix — inert under every future transition, since claims only
+// set marks and extension only appends — is dropped from storage and
+// replaced by a trace.ChainPrefix summary carrying its length and (with
+// witnesses) its values. Configuration identity is keyed on
+// future-relevant content only: the chain's end state, the full-chain
+// element multiset (availability is invoked minus it), and the retained
+// suffix entries — symbol, claim mark and output, at suffix-relative
+// positions. A dropped prefix's order therefore leaves the identity:
+// configurations that committed the same operations in different orders
+// merge at deduplication once their prefixes compact. That merge is
+// what bounds the frontier on capture-shaped histories (long runs of
+// overlapping operations), where order-distinct identities would keep
+// every commit-order permutation alive; it is sound because a
+// configuration's future transitions — claims check suffix entries,
+// extensions fold from the end state over the availability — are fully
+// determined by the keyed content, and the verdict is existential.
+// Session memory is then bounded by the trace's symbol alphabet and
+// operation overlap instead of its length; configuration structs and
+// mark slices are pooled across feeds to keep steady-state allocation
+// flat. With check.WithWitness the dropped input values are retained
+// (shared, once per summary) so witness assembly still reconstructs
+// full commit histories; bounded-memory streaming runs switch witnesses
+// off.
+//
 // One budget (check.WithBudget) spans the whole session, spent with the
-// same per-step granularity as Check; check.WithMemoLimit bounds the
-// frontier size (exceeding it returns ErrMemo — frontier configurations
-// are live state and cannot be dropped soundly). check.WithWorkers(n > 1)
-// expands each response's frontier on n workers over a sharded
-// deduplication set. Errors (budget, memo limit, context cancellation,
-// non-sig actions) are terminal: the session sticks to the error and
-// reports verdict Unknown.
+// same per-step granularity as Check — or, with check.WithFeedBudget,
+// is rebased at every Feed so a heavy-tailed action cannot starve later
+// feeds; check.WithMemoLimit bounds the frontier size (exceeding it
+// returns ErrMemo — frontier configurations are live state and cannot
+// be dropped soundly). check.WithWorkers(n > 1) expands each response's
+// frontier on n workers over a sharded deduplication set. Errors
+// (budget, memo limit, context cancellation, non-sig actions) are
+// terminal: the session sticks to the error and reports verdict
+// Unknown.
 //
 // A Session is not safe for concurrent use by multiple goroutines (its
 // workers parallelize internally).
@@ -52,6 +80,18 @@ type Session struct {
 	f      adt.Folder
 	set    check.Settings
 	budget int
+	// pooled gates the configuration/mark-slice pools and the
+	// per-expansion scratch: they are single-threaded caches, so
+	// parallel expansion (Workers > 1) allocates instead.
+	pooled bool
+	// dagSleep gates the DAG-level sleep-set carry (decision 17): the
+	// sleep set a configuration was emitted with seeds the next
+	// response's extension search, so the decision-12 reduction also
+	// prunes orders split across responses. Duplicate emissions merge
+	// by sleep-set intersection, which the parallel path's sharded
+	// first-wins deduplication cannot do — so the carry is sequential
+	// (and POR) only.
+	dagSleep bool
 
 	in      *trace.Interner
 	invoked trace.SymMultiset
@@ -59,6 +99,11 @@ type Session struct {
 
 	frontier []*cfg
 	nodes    atomic.Int64
+	// feedBase is the nodes value at the current Feed's entry; spend
+	// charges against nodes−feedBase when FeedBudget is set (always 0
+	// with the default lifetime budget). Written only between
+	// expansions, so concurrent spend calls read it race-free.
+	feedBase int64
 	// pruned counts extension branches the sleep-set reduction skipped
 	// (check.WithPOR; atomic because expansion workers prune
 	// concurrently).
@@ -67,6 +112,14 @@ type Session struct {
 
 	err   error  // terminal error, sticky
 	notWF string // non-empty once the fed trace went ill-formed, sticky
+
+	// Recycled search state (pooled sessions only): configuration
+	// structs and used-mark slices retired when a frontier is replaced,
+	// per-response visited sets, and the availability scratch multiset.
+	cfgPool  []*cfg
+	usedPool [][]bool
+	visPool  trace.SetPool[trace.Digest]
+	availBuf trace.SymMultiset
 
 	// fast, when non-nil, is the ADT-specialized streaming core the
 	// session delegates to instead of the frontier engine (DESIGN.md,
@@ -91,20 +144,35 @@ type pendingInv struct {
 }
 
 // cfg is one frontier configuration: a commit-history chain with its
-// claimed-prefix marks. Configurations are immutable once constructed —
-// successors copy what they change and share the rest — and are
-// identified by the same (position, symbol, claimed)-digest as Check's
-// chain, which (together with the session-global invoked multiset)
-// determines the derived availability multiset too.
+// claimed-prefix marks. Configurations are immutable once installed in
+// a frontier — successors copy what they change and share the rest —
+// and are identified by their behavioral digest: end state, full-chain
+// element multiset, and the retained suffix's (relative position,
+// symbol, claim mark, output) entries. Everything a future transition
+// can observe is in the digest and nothing else is, so deduplication
+// merges exactly the configurations with identical futures — in
+// particular, compacted configurations whose dropped prefixes committed
+// the same operations in different orders.
+//
+// pre, when non-nil, summarizes a compacted fully-claimed chain prefix
+// (trace.ChainPrefix): suffix index k is absolute chain position
+// pre.N + k (witness assembly needs the absolute claimed lengths);
+// elems always counts the full chain, prefix included.
 type cfg struct {
+	pre   *trace.ChainPrefix
 	syms  []trace.Sym
 	outs  []trace.Value
 	used  []bool
 	end   adt.State
 	elems trace.SymMultiset
 	dig   trace.Digest
+	// sleep is the carried sleep set of the DAG-level reduction: the
+	// sleep set in force when this configuration was emitted, seeding
+	// the next response's extension search (zero unless dagSleep).
+	sleep check.SleepSet
 	// asn is the assignment trail (response index -> claimed prefix
-	// length) that produced this configuration, for witness assembly.
+	// length) that produced this configuration, for witness assembly;
+	// nil when witnesses are off.
 	asn *asnNode
 }
 
@@ -113,6 +181,20 @@ type asnNode struct {
 	res  int
 	k    int
 }
+
+// compactMin is the fully-claimed prefix length a configuration must
+// accumulate before compaction absorbs it. It is deliberately small:
+// permutation-equivalent configurations only merge once the entries
+// they ordered differently leave the retained suffix, so an eagerly
+// compacted window is what keeps the frontier overlap-bounded on
+// capture-shaped histories. The remaining chunking just amortizes
+// summary construction; the suffix copy itself is within a constant of
+// the claim path's mark copy.
+const compactMin = 4
+
+// maxPool bounds the retired-configuration pools, as a backstop against
+// a transiently huge frontier parking unbounded free lists.
+const maxPool = 4096
 
 // NewSession starts an incremental check of an initially empty trace
 // against ADT f. See Session for the engine and option semantics.
@@ -148,21 +230,23 @@ func newSessionSettings(ctx context.Context, f adt.Folder, set check.Settings) *
 		f:        f,
 		set:      set,
 		budget:   set.BudgetOr(DefaultBudget),
+		pooled:   set.Workers <= 1,
+		dagSleep: set.POR && set.Workers <= 1,
 		in:       trace.NewInterner(),
 		pending:  map[trace.ClientID]pendingInv{},
-		frontier: []*cfg{{end: f.Empty()}},
+		frontier: []*cfg{{end: f.Empty(), dig: trace.HashString(string(f.Empty()))}},
 	}
 }
 
-// spend charges n search nodes against the session budget and polls the
-// context at ctxPollMask boundaries. Safe for concurrent use by expansion
-// workers.
+// spend charges n search nodes against the session budget (rebased per
+// Feed under FeedBudget) and polls the context at ctxPollMask
+// boundaries. Safe for concurrent use by expansion workers.
 func (s *Session) spend(n int) error {
 	if n <= 0 {
 		return nil
 	}
 	v := s.nodes.Add(int64(n))
-	if v > int64(s.budget) {
+	if v-s.feedBase > int64(s.budget) {
 		return ErrBudget
 	}
 	if v&ctxPollMask < int64(n) {
@@ -197,6 +281,9 @@ func (s *Session) Feed(a trace.Action) error {
 	if err := s.ctx.Err(); err != nil {
 		s.err = err
 		return err
+	}
+	if s.set.FeedBudget {
+		s.feedBase = s.nodes.Load()
 	}
 	if s.fast != nil {
 		return s.feedFast(a)
@@ -306,10 +393,13 @@ func (s *Session) fastFallback() error {
 	s.pending = ex.pending
 	s.frontier = ex.frontier
 	s.nodes.Store(ex.nodes.Load())
+	s.feedBase = ex.feedBase
 	s.pruned.Store(ex.pruned.Load())
 	s.fed = ex.fed
 	s.err = ex.err
 	s.notWF = ex.notWF
+	s.cfgPool, s.usedPool = ex.cfgPool, ex.usedPool
+	s.visPool, s.availBuf = ex.visPool, ex.availBuf
 	return err
 }
 
@@ -376,12 +466,18 @@ func (s *Session) Result() (Result, error) {
 }
 
 // witness reconstructs the linearization function of one surviving
-// configuration: its chain is the maximal commit history, and the
-// assignment trail maps each response index to its claimed prefix length.
+// configuration: its chain (compacted prefix values plus retained
+// suffix) is the maximal commit history, and the assignment trail maps
+// each response index to its claimed prefix length (absolute, so
+// compaction never shifts it).
 func (s *Session) witness(c *cfg) Witness {
-	hist := make(trace.History, len(c.syms))
+	preN := c.pre.Len()
+	hist := make(trace.History, preN+len(c.syms))
+	if preN > 0 {
+		copy(hist, c.pre.Vals)
+	}
 	for i, sym := range c.syms {
-		hist[i] = s.in.Value(sym)
+		hist[preN+i] = s.in.Value(sym)
 	}
 	w := Witness{}
 	for n := c.asn; n != nil; n = n.prev {
@@ -391,10 +487,27 @@ func (s *Session) witness(c *cfg) Witness {
 }
 
 // expand replaces the frontier by its successor set under response a.
+// Retired source configurations (and merged duplicates) return to the
+// session pools; with compaction on, every successor's fully-claimed
+// prefix is absorbed into a shared summary before installation.
 func (s *Session) expand(a trace.Action, resIdx int) error {
 	asym := s.in.Sym(a.Input)
-	next, err := check.ExpandFrontier(s.ctx, s.frontier, s.set, s.spend,
+	var merge func(kept, dup *cfg) *cfg
+	if s.dagSleep {
+		// Two expansion paths reached the same configuration digest with
+		// possibly different carried sleep sets: only symbols slept on
+		// both stay asleep (union would prune orders one path still
+		// owes). The duplicate's struct and marks recycle.
+		merge = func(kept, dup *cfg) *cfg {
+			kept.sleep = kept.sleep.Intersect(dup.sleep)
+			s.putCfg(dup)
+			return kept
+		}
+	}
+	old := s.frontier
+	next, err := check.ExpandFrontier(s.ctx, old, s.set, s.spend,
 		func(c *cfg) trace.Digest { return c.dig },
+		merge,
 		func(c *cfg, emit func(*cfg)) error {
 			return s.expandCfg(c, a, asym, resIdx, emit)
 		})
@@ -403,6 +516,19 @@ func (s *Session) expand(a trace.Action, resIdx int) error {
 			return ErrMemo
 		}
 		return err
+	}
+	if s.set.Compact {
+		s.compactFrontier(next)
+		// Compaction re-keys identities, so configurations distinct at
+		// expansion time may coincide now — merge them immediately rather
+		// than letting duplicates double the next response's work.
+		next = s.dedupFrontier(next)
+	}
+	// Successors never alias a source's struct or marks (claims copy the
+	// marks, closures build fresh arrays), so the replaced frontier's
+	// configurations recycle wholesale.
+	for _, c := range old {
+		s.putCfg(c)
 	}
 	s.frontier = next
 	return nil
@@ -414,54 +540,89 @@ func (s *Session) expand(a trace.Action, resIdx int) error {
 // exactly the branch set of the depth-first commit handler, enumerated
 // exhaustively instead of short-circuiting on the first success.
 func (s *Session) expandCfg(c *cfg, a trace.Action, asym trace.Sym, resIdx int, emit func(*cfg)) error {
-	// Option 1: claim an existing unused prefix length.
+	// Option 1: claim an existing unused prefix length (compacted
+	// positions are all claimed, so scanning the suffix is exhaustive).
 	for k, sym := range c.syms {
 		if !c.used[k] && sym == asym && c.outs[k] == a.Output {
 			emit(s.claim(c, k, resIdx))
 		}
 	}
 	// Option 2: extend the chain with fresh inputs from the derived
-	// availability multiset (invoked inputs minus chain elements), the
-	// last being the response's own input.
-	avail := s.invoked.Clone()
+	// availability multiset (invoked inputs minus the full-chain element
+	// multiset), the last being the response's own input.
+	var avail *trace.SymMultiset
+	if s.pooled {
+		s.availBuf.CopyFrom(&s.invoked)
+		avail = &s.availBuf
+	} else {
+		cl := s.invoked.Clone()
+		avail = &cl
+	}
 	avail.SubtractAll(&c.elems)
 	if avail.Size() == 0 {
 		return nil
 	}
-	visited := make(map[trace.Digest]struct{}, 8)
-	return s.extend(c, a, asym, resIdx, &avail, visited, nil, nil, c.end, c.dig, check.SleepSet{}, emit)
+	var visited map[trace.Digest]struct{}
+	if s.pooled {
+		visited = s.visPool.Get()
+		defer s.visPool.Put(visited)
+	} else {
+		visited = make(map[trace.Digest]struct{}, 8)
+	}
+	var seed check.SleepSet
+	if s.dagSleep {
+		seed = c.sleep
+	}
+	return s.extend(c, a, asym, resIdx, avail, visited, nil, nil, c.end, c.dig, seed, emit)
 }
 
-// claim returns c with prefix length k+1 marked claimed by resIdx.
+// claim returns c with suffix position k (absolute position pre.N + k,
+// which the witness trail records; the digest re-keys at the relative
+// position) marked claimed by resIdx. A claim only flips a mark on an
+// existing chain entry — it commutes with every extension append — so
+// the carried sleep set passes through unfiltered.
 func (s *Session) claim(c *cfg, k, resIdx int) *cfg {
-	used := append([]bool(nil), c.used...)
+	pos := c.pre.Len() + k
+	used := s.getUsed(len(c.used))
+	copy(used, c.used)
 	used[k] = true
-	return &cfg{
+	n := s.newCfg()
+	*n = cfg{
+		pre:   c.pre,
 		syms:  c.syms,
 		outs:  c.outs,
 		used:  used,
 		end:   c.end,
 		elems: c.elems,
 		dig:   c.dig.Sub(trace.HashElem(k, c.syms[k], false)).Add(trace.HashElem(k, c.syms[k], true)),
-		asn:   &asnNode{prev: c.asn, res: resIdx, k: k + 1},
 	}
+	if s.dagSleep {
+		n.sleep = c.sleep
+	}
+	if s.set.Witness {
+		n.asn = &asnNode{prev: c.asn, res: resIdx, k: pos + 1}
+	}
+	return n
 }
 
 // extend explores chain extensions of c drawn from avail, emitting a
 // successor whenever the extension can close with the response's input.
 // ext/extOuts are the appended symbols and their outputs along the
 // current search path (shared backing across siblings is safe: emit
-// snapshots copy them); st and dig track the extended chain's end state
-// and digest. visited prunes permutations reaching identical extended
-// chains, mirroring the depth-first engine's per-response visited set
-// (the availability is derived from the chain, so the chain digest alone
-// identifies the configuration).
+// snapshots copy them); st tracks the extended chain's end state, and
+// dig — the configuration digest extended per append at suffix-relative
+// positions — keys the visited set, pruning search paths that rebuilt
+// an identical extension (the emitted configuration's own identity is
+// recomputed over its final content in closeExt).
 //
 // sleep carries the sleep set of the partial-order reduction exactly as
 // in the depth-first engine (DESIGN.md, decision 12): a pruned successor
 // always has an emitted permutation-equivalent successor whose future
 // behaviour maps one-to-one, so frontier emptiness — the session's
-// verdict — is preserved.
+// verdict — is preserved. Under dagSleep the seed is the configuration's
+// carried set and each emitted successor records the set in force at its
+// closing append, filtered by independence with that append — extending
+// the same argument across response boundaries (decision 17).
 func (s *Session) extend(c *cfg, a trace.Action, asym trace.Sym, resIdx int,
 	avail *trace.SymMultiset, visited map[trace.Digest]struct{},
 	ext []trace.Sym, extOuts []trace.Value, st adt.State, dig trace.Digest,
@@ -477,7 +638,12 @@ func (s *Session) extend(c *cfg, a trace.Action, asym trace.Sym, resIdx int,
 
 	// Close: append the response's own input as a claimed element.
 	if avail.Count(asym) > 0 && s.f.Out(st, a.Input) == a.Output {
-		emit(s.closeExt(c, ext, extOuts, st, dig, asym, a, resIdx))
+		stIn := s.f.Step(st, a.Input)
+		var carry check.SleepSet
+		if s.dagSleep {
+			carry = sleep.FilterIndependent(s.f, s.in, st, a.Input, stIn, a.Output)
+		}
+		emit(s.closeExt(c, ext, extOuts, stIn, dig, asym, a, resIdx, carry))
 	}
 	// Continue: append any available input as an intermediate element.
 	for sym := trace.Sym(0); int(sym) < avail.NumSyms(); sym++ {
@@ -511,31 +677,198 @@ func (s *Session) extend(c *cfg, a trace.Action, asym trace.Sym, resIdx int,
 }
 
 // closeExt materializes the successor configuration that extends c by ext
-// and closes with the response's input, claimed by resIdx.
+// and closes with the response's input, claimed by resIdx; stEnd is the
+// chain's end state after the closing append and carry the sleep set the
+// successor carries into the next response. The successor's digest is
+// computed over its final content (behavDig) — the search-path digest
+// only served the visited set.
 func (s *Session) closeExt(c *cfg, ext []trace.Sym, extOuts []trace.Value,
-	st adt.State, dig trace.Digest, asym trace.Sym, a trace.Action, resIdx int) *cfg {
+	stEnd adt.State, dig trace.Digest, asym trace.Sym, a trace.Action, resIdx int,
+	carry check.SleepSet) *cfg {
 
 	n := len(c.syms) + len(ext) + 1
 	syms := make([]trace.Sym, 0, n)
 	syms = append(append(append(syms, c.syms...), ext...), asym)
 	outs := make([]trace.Value, 0, n)
 	outs = append(append(append(outs, c.outs...), extOuts...), a.Output)
-	used := make([]bool, n)
+	used := s.getUsed(n)
 	copy(used, c.used)
+	for i := len(c.used); i < n; i++ {
+		used[i] = false
+	}
 	used[n-1] = true
 	elems := c.elems.Clone()
 	for _, sym := range ext {
 		elems.Add(sym, 1)
 	}
 	elems.Add(asym, 1)
-	return &cfg{
+	abs := c.pre.Len() + n
+	cf := s.newCfg()
+	*cf = cfg{
+		pre:   c.pre,
 		syms:  syms,
 		outs:  outs,
 		used:  used,
-		end:   s.f.Step(st, a.Input),
+		end:   stEnd,
 		elems: elems,
-		dig:   dig.Add(trace.HashElem(n-1, asym, true)),
-		asn:   &asnNode{prev: c.asn, res: resIdx, k: n},
+		sleep: carry,
+	}
+	cf.dig = s.behavDig(cf)
+	if s.set.Witness {
+		cf.asn = &asnNode{prev: c.asn, res: resIdx, k: abs}
+	}
+	return cf
+}
+
+// behavDig computes c's behavioral identity digest from scratch: the
+// chain's end state, the full-chain element multiset, and each retained
+// suffix entry's (relative position, symbol, claim mark, output)
+// components. Incremental maintainers (claim's mark flip) and the
+// compaction re-key agree with it by construction.
+func (s *Session) behavDig(c *cfg) trace.Digest {
+	d := trace.HashString(string(c.end)).Add(c.elems.Digest())
+	for k, sym := range c.syms {
+		d = d.Add(trace.HashElem(k, sym, c.used[k]))
+		d = d.Add(trace.HashOutput(k, s.in.Sym(c.outs[k])))
+	}
+	return d
+}
+
+// compactFrontier absorbs each new configuration's fully-claimed chain
+// prefix (when at least compactMin long) into a shared ChainPrefix
+// summary. Compaction changes representation AND identity: suffix
+// positions shift, so the digest is recomputed over the retained
+// content — after which configurations whose dropped prefixes ordered
+// the same operations differently carry equal digests and merge at the
+// next response's deduplication. The per-pass cache shares summaries
+// between configurations compacting through an identical prefix (keyed
+// by the prefix's order-sensitive content digest — summaries carry
+// ordered values, so only truly identical prefixes may share; the
+// same collision trust as the memo maps).
+func (s *Session) compactFrontier(next []*cfg) {
+	var cache map[trace.Digest]*trace.ChainPrefix
+	for _, c := range next {
+		run := 0
+		for run < len(c.syms) && c.used[run] {
+			run++
+		}
+		if run < compactMin {
+			continue
+		}
+		if cache == nil {
+			cache = map[trace.Digest]*trace.ChainPrefix{}
+		}
+		s.compactCfg(c, run, cache)
+	}
+}
+
+// compactCfg drops c's first run (all claimed) suffix entries into a
+// summary cumulative with any prior one. The retained suffix is copied
+// into right-sized arrays so the dropped storage is actually released —
+// re-slicing would pin the old backing arrays and void the memory bound.
+func (s *Session) compactCfg(c *cfg, run int, cache map[trace.Digest]*trace.ChainPrefix) {
+	preN := c.pre.Len()
+	var pd trace.Digest
+	if c.pre != nil {
+		pd = c.pre.Dig
+	}
+	for i := 0; i < run; i++ {
+		pd = pd.Add(trace.HashElem(preN+i, c.syms[i], true))
+		pd = pd.Add(trace.HashOutput(preN+i, s.in.Sym(c.outs[i])))
+	}
+	pre, ok := cache[pd]
+	if !ok {
+		var vals []trace.Value
+		if s.set.Witness {
+			vals = make([]trace.Value, 0, preN+run)
+			if c.pre != nil {
+				vals = append(vals, c.pre.Vals...)
+			}
+			for i := 0; i < run; i++ {
+				vals = append(vals, s.in.Value(c.syms[i]))
+			}
+		}
+		pre = &trace.ChainPrefix{N: preN + run, Dig: pd, Vals: vals}
+		cache[pd] = pre
+	}
+	// elems counts the full chain and stays exact across compaction; only
+	// the stored suffix (and with it the identity digest) changes.
+	c.pre = pre
+	c.syms = append([]trace.Sym(nil), c.syms[run:]...)
+	c.outs = append([]trace.Value(nil), c.outs[run:]...)
+	nu := s.getUsed(len(c.used) - run)
+	copy(nu, c.used[run:])
+	if s.pooled && len(s.usedPool) < maxPool {
+		s.usedPool = append(s.usedPool, c.used)
+	}
+	c.used = nu
+	c.dig = s.behavDig(c)
+}
+
+// dedupFrontier merges frontier entries whose digests coincided after
+// compaction re-keyed them, in place and order-preserving. Carried
+// sleep sets intersect exactly as ExpandFrontier's merge does; the
+// duplicates recycle.
+func (s *Session) dedupFrontier(next []*cfg) []*cfg {
+	seen := make(map[trace.Digest]int, len(next))
+	out := next[:0]
+	for _, c := range next {
+		if i, dup := seen[c.dig]; dup {
+			if s.dagSleep {
+				out[i].sleep = out[i].sleep.Intersect(c.sleep)
+			}
+			s.putCfg(c)
+			continue
+		}
+		seen[c.dig] = len(out)
+		out = append(out, c)
+	}
+	return out
+}
+
+// newCfg returns a zeroed configuration struct, recycled when pooled.
+func (s *Session) newCfg() *cfg {
+	if n := len(s.cfgPool); n > 0 {
+		c := s.cfgPool[n-1]
+		s.cfgPool = s.cfgPool[:n-1]
+		return c
+	}
+	return new(cfg)
+}
+
+// getUsed returns a mark slice of length n with unspecified contents
+// (callers fully initialize it), recycled from the pool when one with
+// sufficient capacity is near the top.
+func (s *Session) getUsed(n int) []bool {
+	if s.pooled {
+		stop := len(s.usedPool) - 4
+		for i := len(s.usedPool) - 1; i >= 0 && i >= stop; i-- {
+			if cap(s.usedPool[i]) >= n {
+				u := s.usedPool[i][:n]
+				last := len(s.usedPool) - 1
+				s.usedPool[i] = s.usedPool[last]
+				s.usedPool = s.usedPool[:last]
+				return u
+			}
+		}
+	}
+	return make([]bool, n)
+}
+
+// putCfg retires a configuration: its struct and mark slice return to
+// the session pools (never its chain arrays or element counts, which
+// successors may share). No-op for parallel sessions — the pools are
+// single-threaded caches.
+func (s *Session) putCfg(c *cfg) {
+	if !s.pooled {
+		return
+	}
+	if c.used != nil && len(s.usedPool) < maxPool {
+		s.usedPool = append(s.usedPool, c.used)
+	}
+	if len(s.cfgPool) < maxPool {
+		*c = cfg{}
+		s.cfgPool = append(s.cfgPool, c)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/adt"
@@ -142,6 +143,59 @@ func TestSessionBudgetExhaustion(t *testing.T) {
 	}
 }
 
+// TestSessionFeedBudget pins the per-feed budget semantics
+// (check.WithFeedBudget): the spend counter rebases at every Feed, so a
+// long stream of cheap increments never exhausts a budget that the same
+// stream blows through cumulatively — that is what lets one session
+// check an unbounded stream online — while a single Feed that overruns
+// the allowance is still the terminal ErrBudget.
+func TestSessionFeedBudget(t *testing.T) {
+	in := adt.ProposeInput("a")
+	feed := func(s *Session, pairs int) error {
+		for c := 0; c < pairs; c++ {
+			cid := trace.ClientID(rune('a' + c%26))
+			if err := s.Feed(trace.Invoke(cid, 1, in)); err != nil {
+				return err
+			}
+			if err := s.Feed(trace.Response(cid, 1, in, adt.DecideOutput("a"))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	const budget = 20
+	cum := NewSession(context.Background(), adt.Consensus{}, check.WithBudget(budget))
+	if err := feed(cum, 64); !errors.Is(err, ErrBudget) {
+		t.Fatalf("cumulative budget %d survived the stream: %v", budget, err)
+	}
+	per := NewSession(context.Background(), adt.Consensus{},
+		check.WithBudget(budget), check.WithFeedBudget(true))
+	if err := feed(per, 64); err != nil {
+		t.Fatalf("per-feed budget %d exhausted on cheap increments: %v", budget, err)
+	}
+	if r, err := per.Result(); err != nil || !r.OK {
+		t.Fatalf("per-feed session result = %+v, %v", r, err)
+	}
+	// One expensive Feed still exhausts: seven concurrent proposals make
+	// the deciding response's expansion overrun the per-feed allowance,
+	// and the error stays sticky.
+	wide := NewSession(context.Background(), adt.Consensus{},
+		check.WithBudget(4), check.WithFeedBudget(true))
+	var err error
+	for c := 0; c < 7 && err == nil; c++ {
+		err = wide.Feed(trace.Invoke(trace.ClientID(rune('a'+c)), 1, adt.ProposeInput(string(rune('a'+c)))))
+	}
+	if err == nil {
+		err = wide.Feed(trace.Response("a", 1, adt.ProposeInput("a"), adt.DecideOutput("a")))
+	}
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("expensive feed under per-feed budget = %v, want ErrBudget", err)
+	}
+	if ferr := wide.Feed(trace.Invoke("z", 1, in)); !errors.Is(ferr, ErrBudget) {
+		t.Fatalf("per-feed budget error not sticky: %v", ferr)
+	}
+}
+
 // TestSessionCancellation cancels the session's context mid-stream and
 // asserts the session reports the context error and verdict Unknown.
 func TestSessionCancellation(t *testing.T) {
@@ -224,6 +278,85 @@ func TestSessionIllFormed(t *testing.T) {
 	}
 	if v := s.Verdict(); v != check.NotLinearizable {
 		t.Fatalf("verdict = %v, want NotLinearizable", v)
+	}
+}
+
+// TestSessionStreamingAllocsFlat is the leak test for the compacted
+// streaming engine (DESIGN.md, decision 17): one long-lived exact
+// session fed three consecutive 100k-op capture-shaped segments —
+// sequential runs with a periodic two-client overlap burst — must
+// allocate at a flat per-op rate. A frontier, pool, or digest cache
+// that grows with history length shows up as a rising per-segment rate
+// long before it shows up as memory.
+func TestSessionStreamingAllocsFlat(t *testing.T) {
+	s := NewSession(context.Background(), adt.Register{}, check.WithWitness(false))
+	wA, wB := adt.WriteInput("a"), adt.WriteInput("b")
+	rd := adt.ReadInput()
+	last := trace.Value("a")
+	do := func(c trace.ClientID, in, out trace.Value) error {
+		if err := s.Feed(trace.Invoke(c, 1, in)); err != nil {
+			return err
+		}
+		return s.Feed(trace.Response(c, 1, in, out))
+	}
+	step := 0
+	feed := func(n int) error {
+		for i := 0; i < n; i++ {
+			m := step % 16
+			step++
+			switch {
+			case m == 14:
+				// Overlap burst: q's write overlaps p's read; the read
+				// observes it (linearizable: write before read).
+				if err := s.Feed(trace.Invoke("p", 1, rd)); err != nil {
+					return err
+				}
+				if err := do("q", wB, adt.WriteOutput()); err != nil {
+					return err
+				}
+				if err := s.Feed(trace.Response("p", 1, rd, adt.ReadOutput("b"))); err != nil {
+					return err
+				}
+				last = "b"
+			case m%2 == 0:
+				if err := do("p", wA, adt.WriteOutput()); err != nil {
+					return err
+				}
+				last = "a"
+			default:
+				if err := do("p", rd, adt.ReadOutput(last)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	segment := func(n int) float64 {
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		if err := feed(n); err != nil {
+			t.Fatalf("op %d: %v", step, err)
+		}
+		runtime.ReadMemStats(&m1)
+		return float64(m1.Mallocs-m0.Mallocs) / float64(n)
+	}
+	const opsPerSeg = 100_000
+	var rates [3]float64
+	for i := range rates {
+		rates[i] = segment(opsPerSeg)
+	}
+	if r, err := s.Result(); err != nil || !r.OK {
+		t.Fatalf("stream result = %+v, %v", r, err)
+	}
+	// Flatness, not absolute count: later segments must not allocate
+	// meaningfully more per op than the first (the +1 absorbs GC and
+	// map-rehash noise at near-zero rates).
+	for i := 1; i < len(rates); i++ {
+		if rates[i] > 2*rates[0]+1 {
+			t.Fatalf("allocs/op grew across segments: %.3f, %.3f, %.3f",
+				rates[0], rates[1], rates[2])
+		}
 	}
 }
 

@@ -45,8 +45,27 @@ import (
 //     WithTemporalAbortOrder they filter the frontier inline, mirroring
 //     Check's inline discharge.
 //
+// Streaming memory (DESIGN.md, decision 17). With compaction on
+// (check.WithCompaction, the default) a configuration's inert chain
+// prefix — the L anchor plus every leading claimed entry, untouchable
+// under all future transitions — is dropped from per-configuration
+// storage and replaced by a shared trace.ChainPrefix summary. The chain
+// digest is a commutative sum of per-position components, so compaction
+// preserves the configuration's memo identity. Unlike lin.Session, the
+// summary always retains the dropped input values (shared, once per
+// summary): abort discharge reconstructs full chain histories, so the
+// slin session's memory is bounded by one value sequence per distinct
+// compacted prefix plus the live suffixes, not fully flat. The fed
+// trace itself is recorded only while a replay can still need it (init
+// actions possible, fast path active, or the reduction still live on an
+// order-sensitive relation); pure streaming shapes drop it.
+//
 // One budget spans the session (replays and verdict-time discharges
-// included); the breadth engine does not assemble Witnesses.
+// included) — or, with check.WithFeedBudget, the spend counter is
+// rebased at every Feed so one heavy-tailed action cannot starve later
+// feeds. On positive verdicts Result assembles Witnesses (one per
+// init-interpretation combination) from the assignment trails of a
+// surviving configuration unless check.WithWitness(false).
 type Session struct {
 	ctx    context.Context
 	f      adt.Folder
@@ -55,6 +74,11 @@ type Session struct {
 	set    check.Settings
 	budget int
 	nodes  atomic.Int64
+	// feedBase is the nodes value at the current Feed's entry; spend
+	// charges against nodes−feedBase when FeedBudget is set (always 0
+	// with the default lifetime budget). Written only between
+	// expansions, so concurrent spend calls read it race-free.
+	feedBase int64
 	// por is the live state of the partial-order reduction: it starts as
 	// set.POR and flips off permanently at the first abort action fed —
 	// abort histories extend chains as sequences, so pruned extension
@@ -68,7 +92,15 @@ type Session struct {
 	por    bool
 	pruned atomic.Int64
 
-	t        trace.Trace
+	// t records the fed trace for replays (init rebuilds, fast-path
+	// fallback, POR-disable rebuilds); record is dropped — and t
+	// released — once no replay can ever be needed (m == 1, no fast
+	// delegate, reduction off or order-insensitive), bounding streaming
+	// memory. fed counts fed actions independently of t.
+	t      trace.Trace
+	record bool
+	fed    int
+
 	phase    map[trace.ClientID]*phaseTrack
 	notWF    string
 	err      error
@@ -118,27 +150,65 @@ type combo struct {
 }
 
 // sobl is an abort obligation: the pending input's interned symbol, the
-// switch value to interpret, and the valid-inputs snapshot of the abort's
-// trace index.
+// switch value to interpret, the valid-inputs snapshot of the abort's
+// trace index, and that index (keying the witness's abort history).
 type sobl struct {
 	sym   trace.Sym
 	value trace.Value
 	vi    *trace.SymMultiset
+	idx   int
 }
 
 // scfg is one frontier configuration: a commit-history chain anchored at
 // the combination's L (prefix lengths ≤ base are never claimable).
 // Configurations are immutable once constructed.
+//
+// pre, when non-nil, summarizes a compacted inert chain prefix
+// (trace.ChainPrefix): suffix index k is absolute chain position
+// pre.N + k, dig remains the full-chain digest, and pre.Vals always
+// holds the dropped values (abort discharge rebuilds full histories).
+// elems stays the FULL chain's element multiset — Validity and
+// discharge compare it against vi snapshots — so compaction never
+// adjusts it.
 type scfg struct {
+	pre   *trace.ChainPrefix
 	syms  []trace.Sym
 	outs  []trace.Value
 	used  []bool
 	nused int
-	base  int
+	base  int // absolute anchor length (len(L)); positions < base unclaimable
 	end   adt.State
 	elems trace.SymMultiset
 	dig   trace.Digest
+	// sleep is the carried sleep set of the DAG-level reduction
+	// (decision 17): the set in force when this configuration was
+	// emitted, seeding the next response's extension search. Zero
+	// unless the reduction is live and the expansion sequential.
+	sleep check.SleepSet
+	// asn is the assignment trail (response trace index -> absolute
+	// claimed chain length) along this configuration's lineage, for
+	// witness assembly; nil when witnesses are off.
+	asn *sasn
+	// abt records abort histories discharged inline under temporal
+	// Abort-Order along this lineage (witness assembly only).
+	abt *sabt
 }
+
+type sasn struct {
+	prev *sasn
+	res  int
+	k    int
+}
+
+type sabt struct {
+	prev *sabt
+	idx  int
+	h    trace.History
+}
+
+// scompactMin is the inert prefix length a configuration must accumulate
+// before compaction absorbs it (see lin's compactMin).
+const scompactMin = 32
 
 // NewSession starts an incremental SLin(m,n) check of an initially empty
 // trace. It validates the phase range like Check.
@@ -165,6 +235,7 @@ func NewSessionFast(ctx context.Context, f adt.Folder, rinit RInit, m, n int, op
 	if m == 1 && !set.Exact {
 		s.fast = lin.NewFastChecker(f)
 		s.fastPend = map[trace.ClientID]int{}
+		s.record = true // fallback replays the fed trace
 	}
 	return s, nil
 }
@@ -174,7 +245,7 @@ func (s *Session) spend(n int) error {
 		return nil
 	}
 	v := s.nodes.Add(int64(n))
-	if v > int64(s.budget) {
+	if v-s.feedBase > int64(s.budget) {
 		return ErrBudget
 	}
 	if v&ctxPollMask < int64(n) {
@@ -185,8 +256,31 @@ func (s *Session) spend(n int) error {
 	return nil
 }
 
+// dagSleep reports whether the DAG-level sleep-set carry is active:
+// sequential expansion only (the parallel path's first-insert-wins
+// deduplication cannot merge carried sets) and only while the reduction
+// itself is live.
+func (s *Session) dagSleep() bool { return s.por && s.set.Workers <= 1 }
+
+// recording reports whether a future Feed could still need to replay the
+// fed trace: init rebuilds (m > 1), fast-path fallback, or a
+// POR-disabling abort on an order-sensitive relation.
+func (s *Session) recording() bool {
+	return s.fast != nil || s.m != 1 || (s.por && !IsOrderInsensitive(s.rinit))
+}
+
+// refreshRecording drops the recorded trace once recording() turned
+// false; recording is monotone (por never re-enables, fast never
+// reattaches), so the release is permanent.
+func (s *Session) refreshRecording() {
+	if s.record && !s.recording() {
+		s.record = false
+		s.t = nil
+	}
+}
+
 // Len returns the number of actions fed so far.
-func (s *Session) Len() int { return len(s.t) }
+func (s *Session) Len() int { return s.fed }
 
 // Nodes returns the cumulative number of search nodes spent, plus — for
 // fast-path sessions — one node per action the specialized core
@@ -214,6 +308,9 @@ func (s *Session) Feed(a trace.Action) error {
 		s.err = fmt.Errorf("slin: action %v outside sig(%d,%d)", a, s.m, s.n)
 		return s.err
 	}
+	if s.set.FeedBudget {
+		s.feedBase = s.nodes.Load()
+	}
 	if s.fast != nil {
 		return s.feedFast(a)
 	}
@@ -223,8 +320,11 @@ func (s *Session) Feed(a trace.Action) error {
 // feedExact is Feed's frontier-engine path (every session without an
 // active fast-path delegate).
 func (s *Session) feedExact(a trace.Action) error {
-	idx := len(s.t)
-	s.t = append(s.t, a)
+	idx := s.fed
+	s.fed++
+	if s.record {
+		s.t = append(s.t, a)
+	}
 	s.verAt = -1
 	if s.notWF != "" {
 		return nil // verdict already final
@@ -261,8 +361,10 @@ func (s *Session) feedExact(a trace.Action) error {
 				s.err = err
 				return err
 			}
+			s.refreshRecording()
 			return nil
 		}
+		s.refreshRecording()
 	}
 	for _, cb := range s.combos {
 		if err := s.step(cb, a, idx); err != nil {
@@ -290,9 +392,12 @@ func (s *Session) feedFast(a trace.Action) error {
 				return err
 			}
 		}
-		return s.feedExact(a)
+		err := s.feedExact(a)
+		s.refreshRecording()
+		return err
 	}
-	idx := len(s.t)
+	idx := s.fed
+	s.fed++
 	s.t = append(s.t, a)
 	s.verAt = -1
 	if s.notWF != "" {
@@ -338,6 +443,7 @@ func (s *Session) fastFallback() error {
 		s.err = err
 		return err
 	}
+	s.refreshRecording()
 	return nil
 }
 
@@ -488,14 +594,14 @@ func (s *Session) step(cb *combo, a trace.Action, idx int) error {
 		cb.refreshVi()
 		return s.spend(len(cb.frontier))
 	case a.Kind == trace.Res:
-		return s.stepRes(cb, a)
+		return s.stepRes(cb, a, idx)
 	case a.IsInit(s.m) && s.m != 1:
 		contrib := cb.finit[idx].Elems().Union(trace.NewMultiset(a.Input))
 		cb.ivi = cb.ivi.Union(contrib)
 		cb.refreshVi()
 		return s.spend(len(cb.frontier))
 	case a.IsAbort(s.n):
-		ob := sobl{sym: cb.in.Sym(a.Input), value: a.SwitchValue, vi: cb.vi}
+		ob := sobl{sym: cb.in.Sym(a.Input), value: a.SwitchValue, vi: cb.vi, idx: idx}
 		if s.set.TemporalAbortOrder {
 			// Temporal Abort-Order: the abort history covers only commits
 			// made so far, so dischargeability filters the frontier now.
@@ -504,11 +610,14 @@ func (s *Session) step(cb *combo, a trace.Action, idx int) error {
 				if err := s.spend(1); err != nil {
 					return err
 				}
-				ok, err := s.discharge(cb, c, ob)
+				h, ok, err := s.discharge(cb, c, ob)
 				if err != nil {
 					return err
 				}
 				if ok {
+					if s.set.Witness {
+						c.abt = &sabt{prev: c.abt, idx: ob.idx, h: h.Clone()}
+					}
 					keep = append(keep, c)
 				}
 			}
@@ -526,14 +635,23 @@ func (s *Session) step(cb *combo, a trace.Action, idx int) error {
 // stepRes replaces the combination's frontier by its successor set under
 // response a: claims of unused prefix lengths beyond the L anchor plus
 // Validity-respecting chain extensions closing with the response's input,
-// pruned by compatibility with the abort obligations seen so far.
-func (s *Session) stepRes(cb *combo, a trace.Action) error {
+// pruned by compatibility with the abort obligations seen so far. With
+// compaction on, each successor's inert prefix is then absorbed into a
+// shared summary.
+func (s *Session) stepRes(cb *combo, a trace.Action, resIdx int) error {
 	asym := cb.in.Sym(a.Input)
+	dagSleep := s.dagSleep()
 	expandOne := func(c *scfg, emit func(*scfg)) error {
-		// Option 1: claim an existing unused prefix length beyond base.
-		for k := c.base; k < len(c.syms); k++ {
+		// Option 1: claim an existing unused prefix length beyond base
+		// (compacted positions are claimed or below base, so scanning the
+		// retained suffix is exhaustive).
+		start := c.base - c.pre.Len()
+		if start < 0 {
+			start = 0
+		}
+		for k := start; k < len(c.syms); k++ {
 			if !c.used[k] && c.syms[k] == asym && c.outs[k] == a.Output {
-				emit(claimS(c, k))
+				emit(s.claimS(c, k, resIdx))
 			}
 		}
 		// Option 2: extend the chain. The whole extended history must
@@ -546,26 +664,47 @@ func (s *Session) stepRes(cb *combo, a trace.Action) error {
 		if avail.Size() == 0 {
 			return nil
 		}
+		var seed check.SleepSet
+		if dagSleep {
+			seed = c.sleep
+		}
 		visited := make(map[trace.Digest]struct{}, 8)
-		return s.extendS(cb, c, a, asym, &avail, visited, nil, nil, c.end, c.dig, check.SleepSet{}, emit)
+		return s.extendS(cb, c, a, asym, resIdx, &avail, visited, nil, nil, c.end, c.dig, seed, emit)
+	}
+	var merge func(kept, dup *scfg) *scfg
+	if dagSleep {
+		// Two expansion paths reached the same configuration digest with
+		// possibly different carried sleep sets: only symbols slept on
+		// both stay asleep (union would prune orders one path still owes).
+		merge = func(kept, dup *scfg) *scfg {
+			kept.sleep = kept.sleep.Intersect(dup.sleep)
+			return kept
+		}
 	}
 	next, err := check.ExpandFrontier(s.ctx, cb.frontier, s.set, s.spend,
-		func(c *scfg) trace.Digest { return c.dig }, expandOne)
+		func(c *scfg) trace.Digest { return c.dig }, merge, expandOne)
 	if err != nil {
 		if errors.Is(err, check.ErrFrontierLimit) {
 			return ErrMemo
 		}
 		return err
 	}
+	if s.set.Compact {
+		s.compactS(cb, next)
+	}
 	cb.frontier = next
 	return nil
 }
 
-// claimS returns c with prefix length k+1 marked claimed.
-func claimS(c *scfg, k int) *scfg {
+// claimS returns c with suffix position k (absolute position pre.N + k)
+// marked claimed by resIdx. A claim only flips a mark — it commutes with
+// every extension append — so the carried sleep set passes through.
+func (s *Session) claimS(c *scfg, k, resIdx int) *scfg {
+	pos := c.pre.Len() + k
 	used := append([]bool(nil), c.used...)
 	used[k] = true
-	return &scfg{
+	n := &scfg{
+		pre:   c.pre,
 		syms:  c.syms,
 		outs:  c.outs,
 		used:  used,
@@ -573,8 +712,14 @@ func claimS(c *scfg, k int) *scfg {
 		base:  c.base,
 		end:   c.end,
 		elems: c.elems,
-		dig:   c.dig.Sub(trace.HashElem(k, c.syms[k], false)).Add(trace.HashElem(k, c.syms[k], true)),
+		dig:   c.dig.Sub(trace.HashElem(pos, c.syms[k], false)).Add(trace.HashElem(pos, c.syms[k], true)),
+		sleep: c.sleep,
+		abt:   c.abt,
 	}
+	if s.set.Witness {
+		n.asn = &sasn{prev: c.asn, res: resIdx, k: pos + 1}
+	}
+	return n
 }
 
 // extendS explores chain extensions of c drawn from avail, emitting a
@@ -582,10 +727,12 @@ func claimS(c *scfg, k int) *scfg {
 // the extended chain remains compatible with every abort obligation seen
 // so far (the eager Abort-Order pruning of the depth-first engine).
 //
-// sleep carries the sleep set of the partial-order reduction; s.por
-// guarantees no abort has been fed yet whenever pruning fires (the
-// reduction disables itself at the first abort, rebuilding if needed).
-func (s *Session) extendS(cb *combo, c *scfg, a trace.Action, asym trace.Sym,
+// sleep carries the sleep set of the partial-order reduction, seeded by
+// the configuration's carried set under the DAG-level carry (decision
+// 17); s.por guarantees no order-sensitive abort has been fed yet
+// whenever pruning fires (the reduction disables itself at the first
+// such abort, rebuilding if needed).
+func (s *Session) extendS(cb *combo, c *scfg, a trace.Action, asym trace.Sym, resIdx int,
 	avail *trace.SymMultiset, visited map[trace.Digest]struct{},
 	ext []trace.Sym, extOuts []trace.Value, st adt.State, dig trace.Digest,
 	sleep check.SleepSet, emit func(*scfg)) error {
@@ -601,12 +748,18 @@ func (s *Session) extendS(cb *combo, c *scfg, a trace.Action, asym trace.Sym,
 	// Close the extension with the response's own input.
 	if avail.Count(asym) > 0 && s.f.Out(st, a.Input) == a.Output {
 		n := len(c.syms) + len(ext) + 1
+		abs := c.pre.Len() + n
 		elems := c.elems.Clone()
 		for _, sym := range ext {
 			elems.Add(sym, 1)
 		}
 		elems.Add(asym, 1)
 		if s.commitCompatible(cb, &elems) {
+			stIn := s.f.Step(st, a.Input)
+			var carry check.SleepSet
+			if s.dagSleep() {
+				carry = sleep.FilterIndependent(s.f, cb.in, st, a.Input, stIn, a.Output)
+			}
 			syms := make([]trace.Sym, 0, n)
 			syms = append(append(append(syms, c.syms...), ext...), asym)
 			outs := make([]trace.Value, 0, n)
@@ -614,16 +767,23 @@ func (s *Session) extendS(cb *combo, c *scfg, a trace.Action, asym trace.Sym,
 			used := make([]bool, n)
 			copy(used, c.used)
 			used[n-1] = true
-			emit(&scfg{
+			nc := &scfg{
+				pre:   c.pre,
 				syms:  syms,
 				outs:  outs,
 				used:  used,
 				nused: c.nused + 1,
 				base:  c.base,
-				end:   s.f.Step(st, a.Input),
+				end:   stIn,
 				elems: elems,
-				dig:   dig.Add(trace.HashElem(n-1, asym, true)),
-			})
+				dig:   dig.Add(trace.HashElem(abs-1, asym, true)),
+				sleep: carry,
+				abt:   c.abt,
+			}
+			if s.set.Witness {
+				nc.asn = &sasn{prev: c.asn, res: resIdx, k: abs}
+			}
+			emit(nc)
 		}
 	}
 	// Append any available input as an intermediate element.
@@ -642,8 +802,8 @@ func (s *Session) extendS(cb *combo, c *scfg, a trace.Action, asym trace.Sym,
 			childSleep = sleep.FilterIndependent(s.f, cb.in, st, in, stIn, outIn)
 		}
 		avail.Add(sym, -1)
-		pos := len(c.syms) + len(ext)
-		err := s.extendS(cb, c, a, asym, avail, visited,
+		pos := c.pre.Len() + len(c.syms) + len(ext)
+		err := s.extendS(cb, c, a, asym, resIdx, avail, visited,
 			append(ext, sym), append(extOuts, outIn),
 			stIn, dig.Add(trace.HashElem(pos, sym, false)), childSleep, emit)
 		avail.Add(sym, 1)
@@ -655,6 +815,69 @@ func (s *Session) extendS(cb *combo, c *scfg, a trace.Action, asym trace.Sym,
 		}
 	}
 	return nil
+}
+
+// compactS absorbs each new configuration's inert chain prefix — the
+// leading run of positions that are below the L anchor or already
+// claimed, untouchable under every future transition — into a shared
+// ChainPrefix summary once the run reaches scompactMin. Compaction
+// changes only the representation: the digest (the memo identity)
+// already sums the dropped components at their final flags, elems stays
+// the full-chain multiset, and the summary's retained values let abort
+// discharge and witness assembly rebuild full histories. The per-pass
+// cache shares summaries between configurations compacting through an
+// identical prefix (keyed by the prefix digest, the same collision
+// trust as the memo maps).
+func (s *Session) compactS(cb *combo, next []*scfg) {
+	var cache map[trace.Digest]*trace.ChainPrefix
+	for _, c := range next {
+		preN := c.pre.Len()
+		run := 0
+		for run < len(c.syms) && (preN+run < c.base || c.used[run]) {
+			run++
+		}
+		if run < scompactMin {
+			continue
+		}
+		if cache == nil {
+			cache = map[trace.Digest]*trace.ChainPrefix{}
+		}
+		s.compactCfgS(cb, c, run, cache)
+	}
+}
+
+// compactCfgS drops c's first run suffix entries into a summary
+// cumulative with any prior one. The retained suffix is copied into
+// right-sized arrays so the dropped storage is actually released —
+// re-slicing would pin the old backing arrays.
+func (s *Session) compactCfgS(cb *combo, c *scfg, run int, cache map[trace.Digest]*trace.ChainPrefix) {
+	preN := c.pre.Len()
+	var pd trace.Digest
+	if c.pre != nil {
+		pd = c.pre.Dig
+	}
+	for i := 0; i < run; i++ {
+		pd = pd.Add(trace.HashElem(preN+i, c.syms[i], c.used[i]))
+	}
+	pre, ok := cache[pd]
+	if !ok {
+		var elems trace.SymMultiset
+		vals := make([]trace.Value, 0, preN+run)
+		if c.pre != nil {
+			elems = c.pre.Elems.Clone()
+			vals = append(vals, c.pre.Vals...)
+		}
+		for i := 0; i < run; i++ {
+			elems.Add(c.syms[i], 1)
+			vals = append(vals, cb.in.Value(c.syms[i]))
+		}
+		pre = &trace.ChainPrefix{N: preN + run, Elems: elems, Dig: pd, Vals: vals}
+		cache[pd] = pre
+	}
+	c.pre = pre
+	c.syms = append([]trace.Sym(nil), c.syms[run:]...)
+	c.outs = append([]trace.Value(nil), c.outs[run:]...)
+	c.used = append([]bool(nil), c.used[run:]...)
 }
 
 // commitCompatible reports whether a chain with the given element
@@ -673,49 +896,57 @@ func (s *Session) commitCompatible(cb *combo, elems *trace.SymMultiset) bool {
 // discharge decides whether configuration c admits an abort history for
 // obligation ob: a strict-when-required extension of c's chain by inputs
 // valid at the obligation's index that r_init admits for the switch
-// value. Mirrors the depth-first dischargeAt.
-func (s *Session) discharge(cb *combo, c *scfg, ob sobl) (bool, error) {
+// value. Mirrors the depth-first dischargeAt; on success it returns the
+// admitted history (the full chain — compacted prefix values included —
+// plus the found extension).
+func (s *Session) discharge(cb *combo, c *scfg, ob sobl) (trace.History, bool, error) {
 	vi := ob.vi
 	if vi.Count(ob.sym) < 1 {
-		return false, nil
+		return nil, false, nil
 	}
 	if !c.elems.SubsetOf(vi) {
-		return false, nil
+		return nil, false, nil
 	}
 	budget := vi.Clone()
 	budget.SubtractAll(&c.elems)
-	hist := make(trace.History, len(c.syms))
+	preN := c.pre.Len()
+	hist := make(trace.History, preN+len(c.syms))
+	if preN > 0 {
+		copy(hist, c.pre.Vals)
+	}
+	for i, sym := range c.syms {
+		hist[preN+i] = cb.in.Value(sym)
+	}
 	var dig trace.Digest
-	for p, sym := range c.syms {
-		hist[p] = cb.in.Value(sym)
-		dig = dig.Add(trace.HashElem(p, sym, false))
+	for p, v := range hist {
+		dig = dig.Add(trace.HashElem(p, cb.in.Sym(v), false))
 	}
 	needStrict := s.m != 1 && c.nused == 0
 	visited := map[trace.Digest]struct{}{}
-	var rec func(h trace.History, dig trace.Digest, needStrict bool) (bool, error)
-	rec = func(h trace.History, dig trace.Digest, needStrict bool) (bool, error) {
+	var rec func(h trace.History, dig trace.Digest, needStrict bool) (trace.History, bool, error)
+	rec = func(h trace.History, dig trace.Digest, needStrict bool) (trace.History, bool, error) {
 		if err := s.spend(1); err != nil {
-			return false, err
+			return nil, false, err
 		}
 		if _, hit := visited[dig]; hit {
-			return false, nil
+			return nil, false, nil
 		}
 		visited[dig] = struct{}{}
 		if !needStrict && s.rinit.Admits(ob.value, h) {
-			return true, nil
+			return h, true, nil
 		}
 		for sym := trace.Sym(0); int(sym) < budget.NumSyms(); sym++ {
 			if budget.Count(sym) <= 0 {
 				continue
 			}
 			budget.Add(sym, -1)
-			ok, err := rec(h.Append(cb.in.Value(sym)), dig.Add(trace.HashElem(len(h), sym, false)), false)
+			fh, ok, err := rec(h.Append(cb.in.Value(sym)), dig.Add(trace.HashElem(len(h), sym, false)), false)
 			budget.Add(sym, 1)
 			if err != nil || ok {
-				return ok, err
+				return fh, ok, err
 			}
 		}
-		return false, nil
+		return nil, false, nil
 	}
 	return rec(hist, dig, needStrict)
 }
@@ -737,8 +968,10 @@ func (s *Session) Verdict() check.Verdict {
 }
 
 // Result returns the verdict for the trace fed so far in Check's Result
-// form (without Witnesses — the breadth engine does not assemble them),
-// or the session's terminal error.
+// form, or the session's terminal error. Positive verdicts carry one
+// Witness per init-interpretation combination — assembled from the
+// assignment trail of a surviving configuration — unless
+// check.WithWitness(false).
 func (s *Session) Result() (Result, error) {
 	return s.evaluate()
 }
@@ -747,7 +980,7 @@ func (s *Session) evaluate() (Result, error) {
 	if s.err != nil {
 		return Result{Nodes: s.Nodes(), Pruned: s.Pruned()}, s.err
 	}
-	if s.verAt == len(s.t) {
+	if s.verAt == s.fed {
 		return s.verRes, nil
 	}
 	res, err := s.evaluateNow()
@@ -755,7 +988,7 @@ func (s *Session) evaluate() (Result, error) {
 		s.err = err
 		return Result{Nodes: s.Nodes(), Pruned: s.Pruned()}, err
 	}
-	s.verAt = len(s.t)
+	s.verAt = s.fed
 	s.verRes = res
 	return res, nil
 }
@@ -777,14 +1010,27 @@ func (s *Session) evaluateNow() (Result, error) {
 				Pruned:     s.Pruned(),
 			}, nil
 		}
-		return Result{OK: true, Nodes: s.Nodes(), Pruned: s.Pruned()}, nil
+		res := Result{OK: true, Nodes: s.Nodes(), Pruned: s.Pruned()}
+		if s.set.Witness {
+			w := Witness{
+				Init:    map[int]trace.History{},
+				Commits: map[int]trace.History{},
+				Aborts:  map[int]trace.History{},
+			}
+			for i, h := range s.fast.Witness() {
+				w.Commits[i] = h
+			}
+			res.Witnesses = []Witness{w}
+		}
+		return res, nil
 	}
+	var witnesses []Witness
 	for _, cb := range s.combos {
-		ok, err := s.comboOK(cb)
+		c, aborts, err := s.comboOK(cb)
 		if err != nil {
 			return Result{}, err
 		}
-		if !ok {
+		if c == nil {
 			finit := map[int]trace.History{}
 			for i, h := range cb.finit {
 				finit[i] = h.Clone()
@@ -797,30 +1043,77 @@ func (s *Session) evaluateNow() (Result, error) {
 				Pruned:     s.Pruned(),
 			}, nil
 		}
+		if s.set.Witness {
+			witnesses = append(witnesses, s.switness(cb, c, aborts))
+		}
 	}
-	return Result{OK: true, Nodes: s.Nodes(), Pruned: s.Pruned()}, nil
+	return Result{OK: true, Witnesses: witnesses, Nodes: s.Nodes(), Pruned: s.Pruned()}, nil
 }
 
-// comboOK reports whether some surviving configuration of the combination
-// also discharges every pending abort obligation.
-func (s *Session) comboOK(cb *combo) (bool, error) {
+// comboOK returns the first surviving configuration of the combination
+// that also discharges every pending abort obligation, together with the
+// discharged abort histories by trace index (nil configuration when none
+// survives).
+func (s *Session) comboOK(cb *combo) (*scfg, map[int]trace.History, error) {
 	for _, c := range cb.frontier {
+		var aborts map[int]trace.History
 		all := true
 		for _, ob := range cb.obligations {
-			ok, err := s.discharge(cb, c, ob)
+			h, ok, err := s.discharge(cb, c, ob)
 			if err != nil {
-				return false, err
+				return nil, nil, err
 			}
 			if !ok {
 				all = false
 				break
 			}
+			if aborts == nil {
+				aborts = map[int]trace.History{}
+			}
+			aborts[ob.idx] = h
 		}
 		if all {
-			return true, nil
+			return c, aborts, nil
 		}
 	}
-	return false, nil
+	return nil, nil, nil
+}
+
+// switness assembles the witness of one combination from a surviving
+// configuration: its full chain (compacted prefix values plus retained
+// suffix) is the longest commit history, the assignment trail maps each
+// response index to its absolute claimed length — compaction never
+// shifts it — and the abort histories come from verdict-time discharge
+// (literal semantics) or the inline-discharge trail (temporal).
+func (s *Session) switness(cb *combo, c *scfg, aborts map[int]trace.History) Witness {
+	preN := c.pre.Len()
+	hist := make(trace.History, preN+len(c.syms))
+	if preN > 0 {
+		copy(hist, c.pre.Vals)
+	}
+	for i, sym := range c.syms {
+		hist[preN+i] = cb.in.Value(sym)
+	}
+	w := Witness{
+		Init:    map[int]trace.History{},
+		Commits: map[int]trace.History{},
+		Aborts:  map[int]trace.History{},
+	}
+	for i, h := range cb.finit {
+		w.Init[i] = h.Clone()
+	}
+	for n := c.asn; n != nil; n = n.prev {
+		w.Commits[n.res] = hist[:n.k].Clone()
+	}
+	for i, h := range aborts {
+		w.Aborts[i] = h.Clone()
+	}
+	for n := c.abt; n != nil; n = n.prev {
+		if _, ok := w.Aborts[n.idx]; !ok {
+			w.Aborts[n.idx] = n.h.Clone()
+		}
+	}
+	return w
 }
 
 // checkStreaming is the breadth-engine one-shot path of Check
@@ -855,6 +1148,7 @@ func newSessionSettings(ctx context.Context, f adt.Folder, rinit RInit, m, n int
 		phase:  map[trace.ClientID]*phaseTrack{},
 		verAt:  -1,
 	}
+	s.record = s.recording()
 	if err := s.rebuild(); err != nil {
 		return nil, err
 	}

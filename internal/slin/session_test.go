@@ -3,6 +3,7 @@ package slin
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -128,6 +129,69 @@ func TestSLinSessionBudgetExhaustion(t *testing.T) {
 	}
 	if v := s.Verdict(); v != check.Unknown {
 		t.Fatalf("verdict = %v, want Unknown", v)
+	}
+}
+
+// TestSLinSessionFeedBudget pins the per-feed budget semantics for the
+// SLin engine (check.WithFeedBudget): a long sequential phase-1 stream
+// of cheap increments survives a budget the same stream exhausts
+// cumulatively, and exhaustion within one Feed stays terminal.
+func TestSLinSessionFeedBudget(t *testing.T) {
+	feed := func(s *Session, pairs int) error {
+		for c := 0; c < pairs; c++ {
+			cid := trace.ClientID(fmt.Sprintf("q%d", c))
+			in := adt.Tag(adt.ProposeInput("a"), string(cid))
+			if err := s.Feed(trace.Invoke(cid, 1, in)); err != nil {
+				return err
+			}
+			if err := s.Feed(trace.Response(cid, 1, in, adt.DecideOutput("a"))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	const budget = 30
+	cum, err := NewSession(context.Background(), adt.Consensus{}, ConsensusRInit{}, 1, 2,
+		check.WithBudget(budget))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ferr := feed(cum, 64); !errors.Is(ferr, ErrBudget) {
+		t.Fatalf("cumulative budget %d survived the stream: %v", budget, ferr)
+	}
+	per, err := NewSession(context.Background(), adt.Consensus{}, ConsensusRInit{}, 1, 2,
+		check.WithBudget(budget), check.WithFeedBudget(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ferr := feed(per, 64); ferr != nil {
+		t.Fatalf("per-feed budget %d exhausted on cheap increments: %v", budget, ferr)
+	}
+	if r, rerr := per.Result(); rerr != nil || !r.OK {
+		t.Fatalf("per-feed session result = %+v, %v", r, rerr)
+	}
+	// Exhaustion within a single Feed is still terminal and sticky.
+	wide, err := NewSession(context.Background(), adt.Consensus{}, ConsensusRInit{}, 1, 2,
+		check.WithBudget(1), check.WithFeedBudget(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ferr error
+	for c := 0; c < 6 && ferr == nil; c++ {
+		cid := trace.ClientID(fmt.Sprintf("q%d", c))
+		ferr = wide.Feed(trace.Invoke(cid, 1, adt.Tag(adt.ProposeInput(string(rune('a'+c))), string(cid))))
+	}
+	if ferr == nil {
+		ferr = wide.Feed(trace.Response("q0", 1, adt.Tag(adt.ProposeInput("a"), "q0"), adt.DecideOutput("a")))
+	}
+	if !errors.Is(ferr, ErrBudget) {
+		t.Fatalf("expensive feed under per-feed budget = %v, want ErrBudget", ferr)
+	}
+	if v := wide.Verdict(); v != check.Unknown {
+		t.Fatalf("verdict = %v, want Unknown", v)
+	}
+	if serr := wide.Feed(trace.Invoke("q9", 1, adt.Tag(adt.ProposeInput("a"), "q9"))); !errors.Is(serr, ErrBudget) {
+		t.Fatalf("per-feed budget error not sticky: %v", serr)
 	}
 }
 

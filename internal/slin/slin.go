@@ -137,7 +137,8 @@ type existsFn func(f adt.Folder, rinit RInit, m, n int, t trace.Trace, finit map
 // The check is context-aware: cancellation of ctx aborts the search with
 // ctx's error. With check.WithWorkers(n > 1) it runs on the breadth
 // (frontier) engine — the same engine Sessions use — which parallelizes
-// inside the single check but does not assemble Witnesses.
+// inside the single check; witnesses are assembled from the surviving
+// configurations' assignment trails, exactly as Sessions do.
 func Check(ctx context.Context, f adt.Folder, rinit RInit, m, n int, t trace.Trace, opts ...check.Option) (Result, error) {
 	return checkSettings(ctx, f, rinit, m, n, t, check.NewSettings(opts...))
 }

@@ -409,11 +409,16 @@ func (r *router) Init(n *msgnet.Node) {
 }
 
 func (r *router) OnMessage(n *msgnet.Node, from msgnet.ProcID, payload any) {
-	env, ok := payload.(slotEnvelope)
-	if !ok || env.shard < 0 || env.shard >= len(r.perShard) {
-		return
+	switch env := payload.(type) {
+	case slotEnvelope:
+		if env.shard >= 0 && env.shard < len(r.perShard) {
+			r.perShard[env.shard].handleEnvelope(from, env)
+		}
+	case gossipEnvelope:
+		if env.shard >= 0 && env.shard < len(r.perShard) {
+			r.perShard[env.shard].handleGossip(env)
+		}
 	}
-	r.perShard[env.shard].handleEnvelope(from, env)
 }
 
 func (r *router) OnTimer(n *msgnet.Node, name string) {
@@ -584,9 +589,13 @@ func (rec *shardRecorder) start(c msgnet.ProcID, cmd Command, at msgnet.Time) {
 		rec.keyIdx[key] = i
 		rec.keys = append(rec.keys, key)
 		if rec.sc.cfg.OnlineCheck {
+			// Per-feed budget: online sessions live as long as the run, so
+			// a cumulative budget would turn history length into a spurious
+			// failure mode; per-feed it bounds each increment's work, which
+			// is what the budget is for (DESIGN.md decision 17).
 			rec.sessions = append(rec.sessions, lin.NewSessionFast(rec.sc.cfg.CheckContext, rec.reg,
 				check.WithBudget(rec.sc.cfg.CheckBudget), check.WithWitness(false),
-				check.WithExact(rec.sc.cfg.ExactCheck)))
+				check.WithExact(rec.sc.cfg.ExactCheck), check.WithFeedBudget(true)))
 		} else {
 			rec.traces = append(rec.traces, nil)
 		}
@@ -608,11 +617,12 @@ func (rec *shardRecorder) start(c msgnet.ProcID, cmd Command, at msgnet.Time) {
 // The command is parsed exactly once, at first learn.
 //
 // slotVal/learns entries are freed once every client has learned the
-// slot and it has been replayed. If a client's stream ends early it
-// stops learning, so entries for later slots persist to the end of the
-// run (the same straggler residue that pins the server compaction
-// floor); the ROADMAP follow-on "passive decision gossip" would lift
-// both.
+// slot and it has been replayed. Under compaction the passive decision
+// gossip keeps idle clients learning (smr.go, gossipEnvelope) — their
+// gossip learns arrive through this same hook, so the entries drain
+// even when half the feeds end early; without compaction an idle
+// client stops learning and entries for later slots persist to the end
+// of the run.
 func (rec *shardRecorder) learn(c msgnet.ProcID, slot int, cmd Command) {
 	if prev, ok := rec.slotVal[slot]; ok {
 		if prev != cmd {

@@ -197,6 +197,67 @@ func TestShardedCompaction(t *testing.T) {
 	}
 }
 
+// Idle clients must not pin the compaction floor. Half the clients
+// submit a short feed and go idle early; the passive decision gossip
+// (gossipEnvelope) keeps them learning from the active clients'
+// watermark reports, so every replica's gcFloor — the minimum watermark
+// over ALL clients — keeps tracking the log tip instead of freezing at
+// the idle clients' last active slot.
+func TestShardedCompactionIdleClients(t *testing.T) {
+	const ce = 16
+	w := msgnet.New(msgnet.Config{Seed: 31, MinDelay: 1, MaxDelay: 2})
+	clients := ids("c", 4)
+	sc, err := BuildSharded(w, clients, ids("s", 3),
+		ShardedConfig{Config: Config{FastPath: true, QuorumTimeout: 8, Retransmit: 6, CompactEvery: ce}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c1/c2 submit 240 commands each; c3/c4 only 24, then idle.
+	counts := []int{240, 240, 24, 24}
+	total := 0
+	const period = 12
+	for i, c := range clients {
+		cmds := make([]Command, counts[i])
+		for j := range cmds {
+			cmds[j] = SetCmd(fmt.Sprintf("k%d", j%8), fmt.Sprintf("v%d-%d", i, j))
+		}
+		total += counts[i]
+		sc.SubmitPaced(c, cmds, msgnet.Time(i), period)
+	}
+	sc.Run(100_000_000)
+	if st := sc.Stats(); st.Landed != int64(total) {
+		t.Fatalf("landed %d/%d", st.Landed, total)
+	}
+	if err := sc.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.CheckLinearizable(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	sh := sc.shards[0]
+	// Without gossip the idle clients' watermarks freeze around slot
+	// ~100 (their 24 commands land interleaved with the active feeds),
+	// pinning gcFloor there; with it the floor must reach within a few
+	// compaction windows of the 528-slot log tip.
+	for _, rep := range sh.reps {
+		if rep.gcFloor < total-4*ce {
+			t.Fatalf("replica %s compaction floor pinned at %d of %d slots: idle clients stopped reporting",
+				rep.id, rep.gcFloor, total)
+		}
+		if len(rep.slots) > 8*ce {
+			t.Fatalf("replica %s retains %d slot states after compaction", rep.id, len(rep.slots))
+		}
+	}
+	// The idle clients' own logs stay trimmed too (they learn via gossip
+	// and keep trimming at the idle quarter-window).
+	for _, id := range clients[2:] {
+		c := sh.byID[id]
+		if len(c.log) > 4*ce {
+			t.Fatalf("idle client %s retains %d log entries", id, len(c.log))
+		}
+	}
+}
+
 // The N=1 sharded cluster reproduces the single-log Cluster exactly:
 // same seeds, same commands ⇒ same per-submission slots and latencies.
 // This mirrors E9's scenarios (sequential, contended, crashed server)

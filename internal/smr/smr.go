@@ -91,9 +91,12 @@ type Config struct {
 	// below the minimum watermark reported by all clients (no client can
 	// ever propose there again). This bounds memory by the compaction
 	// window instead of the log length, at the cost of extra (tiny)
-	// watermark messages. With compaction on, Log and the retained
-	// per-client logs only cover the untrimmed suffix; ShardedCluster
-	// checks log agreement online instead (sharded.go).
+	// watermark messages. Each report also gossips the trimmed decisions
+	// to the other clients (gossipEnvelope), so clients with drained
+	// queues keep learning — and keep reporting — instead of pinning the
+	// servers' floor at their last active slot. With compaction on, Log
+	// and the retained per-client logs only cover the untrimmed suffix;
+	// ShardedCluster checks log agreement online instead (sharded.go).
 	CompactEvery int
 }
 
@@ -231,6 +234,19 @@ type learnedEnvelope struct {
 	watermark int
 }
 
+// gossipEnvelope carries decided commands from one client to another
+// (compaction only): cmds[i] is the decision of slot first+i. A client
+// piggybacks the decisions it is about to trim onto every watermark
+// report, so clients with no in-flight submission — who otherwise learn
+// nothing, since decisions arrive only through live slot instances —
+// keep advancing their own watermarks instead of pinning the servers'
+// compaction floor at their last active slot.
+type gossipEnvelope struct {
+	shard int
+	first int
+	cmds  []Command
+}
+
 // client is the per-shard SMR client engine: it serializes submissions
 // and drives a consensus instance per attempted slot.
 type client struct {
@@ -294,12 +310,12 @@ func (c *client) startNext() {
 		if c.sh.cfg.RetryTimeout > 0 {
 			c.node.CancelTimer(retryTimerName(c.sh.id))
 		}
-		// Going idle: an idle client learns no further slots, so its last
-		// report would pin the servers' compaction floor until new
-		// submissions arrive. Flush at a quarter of the usual window —
-		// enough to keep the floor within O(CompactEvery) of the log tip
-		// without broadcasting per landed command when a paced feed
-		// briefly drains the queue between submissions.
+		// Going idle: flush at a quarter of the usual window so the floor
+		// stays within O(CompactEvery) of the log tip without broadcasting
+		// per landed command when a paced feed briefly drains the queue
+		// between submissions. From here on the client learns passively —
+		// other clients' watermark reports gossip the decisions it is
+		// missing (handleGossip), which keeps it reporting too.
 		c.reportWatermark(true)
 		return
 	}
@@ -483,9 +499,18 @@ func (c *client) advanceFrontier() {
 // reportWatermark broadcasts the client's learned watermark to the
 // servers and trims the local log below it (compaction only). Periodic
 // reports fire every CompactEvery slots of frontier progress; idle
-// reports (on queue drain) fire at a quarter of that window so an idle
-// client neither pins the compaction floor by a full window nor
-// broadcasts per landed command.
+// reports (on queue drain or a passively learned decision) fire at a
+// quarter of that window so an idle client neither pins the compaction
+// floor by a full window nor broadcasts per landed command.
+//
+// Each report also gossips the decisions it is about to trim to the
+// other clients (gossipEnvelope): an idle client learns no slots on its
+// own, so without the gossip its watermark — and therefore every
+// replica's compaction floor, which is the minimum over all clients —
+// would stay pinned at its last active slot for the rest of the run.
+// Gossip is rate-limited for free by riding the watermark reports, and
+// re-gossip cannot ping-pong: a receiver only reports (and re-gossips)
+// after its own frontier advances by at least a quarter window.
 func (c *client) reportWatermark(idle bool) {
 	ce := c.sh.cfg.CompactEvery
 	if ce <= 0 || c.frontier == c.reported {
@@ -502,10 +527,62 @@ func (c *client) reportWatermark(idle bool) {
 	for _, srv := range c.sh.servers {
 		c.node.Send(srv, learnedEnvelope{shard: c.sh.id, watermark: c.frontier})
 	}
+	if c.frontier > c.trimmed {
+		cmds := make([]Command, 0, c.frontier-c.trimmed)
+		for s := c.trimmed; s < c.frontier; s++ {
+			cmds = append(cmds, c.log[s])
+		}
+		env := gossipEnvelope{shard: c.sh.id, first: c.trimmed, cmds: cmds}
+		for _, peer := range c.sh.clients {
+			if peer != c.id {
+				c.node.Send(peer, env)
+			}
+		}
+	}
 	for s := c.trimmed; s < c.frontier; s++ {
 		delete(c.log, s)
 	}
 	c.trimmed = c.frontier
+}
+
+// handleGossip installs decisions learned passively from another
+// client's watermark report (compaction only). Slots the client already
+// knows (trimmed, or in its log) are skipped, as are slots it is
+// actively deciding — a live instance resolves through the normal
+// decide path, and double-learning a slot would double-count it in the
+// recorder's agreement bookkeeping. The rest enter the log exactly like
+// a learn: the frontier advances, the learn hook fires, and an idle
+// client re-reports at the quarter window so the servers' compaction
+// floor keeps tracking the log tip.
+func (c *client) handleGossip(env gossipEnvelope) {
+	if c.sh.cfg.CompactEvery <= 0 {
+		return
+	}
+	learned := false
+	for i, cmd := range env.cmds {
+		s := env.first + i
+		if s < c.frontier {
+			continue
+		}
+		if _, known := c.log[s]; known {
+			continue
+		}
+		if inst := c.slots[s]; inst != nil && inst.pending {
+			continue
+		}
+		c.log[s] = cmd
+		learned = true
+		if c.sh.onLearn != nil {
+			c.sh.onLearn(c.id, s, cmd)
+		}
+	}
+	if !learned {
+		return
+	}
+	c.advanceFrontier()
+	if c.current == nil {
+		c.reportWatermark(true)
+	}
 }
 
 func (c *client) switchTo(s, phase int, sv trace.Value) {
@@ -544,11 +621,16 @@ func (c *client) handleTimer(slot, phase int, rest string) {
 // OnMessage/OnTimer implement msgnet.Handler for the single-shard
 // deployment, where the client engine is the node handler itself.
 func (c *client) OnMessage(n *msgnet.Node, from msgnet.ProcID, payload any) {
-	env, ok := payload.(slotEnvelope)
-	if !ok || env.shard != c.sh.id {
-		return
+	switch env := payload.(type) {
+	case slotEnvelope:
+		if env.shard == c.sh.id {
+			c.handleEnvelope(from, env)
+		}
+	case gossipEnvelope:
+		if env.shard == c.sh.id {
+			c.handleGossip(env)
+		}
 	}
-	c.handleEnvelope(from, env)
 }
 
 func (c *client) OnTimer(n *msgnet.Node, name string) {

@@ -222,7 +222,7 @@ var (
 	// 0 or 1 keeps the sequential depth-first engine.
 	WithWorkers = check.WithWorkers
 	// WithWitness toggles witness assembly on positive verdicts
-	// (default on; the SLin breadth engine never assembles witnesses).
+	// (default on).
 	WithWitness = check.WithWitness
 	// WithMemoLimit bounds the checker's memo structures, in entries.
 	WithMemoLimit = check.WithMemoLimit
@@ -241,6 +241,20 @@ var (
 	// it — it trades the fast paths' speed for the exact engines' node
 	// accounting and witness generality.
 	WithExact = check.WithExact
+	// WithCompaction toggles frontier compaction in the streaming
+	// (Session) engines (default on; DESIGN.md decision 17):
+	// configurations drop fully-claimed chain prefixes from storage,
+	// keeping a rolling digest so memo identity is preserved, which
+	// bounds a session's memory by the trace's alphabet and operation
+	// overlap instead of its length. Verdict-preserving; turning it off
+	// retains the uncompacted reference representation, which the
+	// differential tests cross-check against the compacted one.
+	WithCompaction = check.WithCompaction
+	// WithFeedBudget rebases a Session's search budget at every Feed
+	// instead of spending one budget across the session's lifetime, so a
+	// heavy-tailed action cannot starve every later feed into spurious
+	// budget errors. One-shot checks ignore it.
+	WithFeedBudget = check.WithFeedBudget
 )
 
 // Verdict is the three-valued outcome of a check.
