@@ -127,16 +127,18 @@ func collect(v any, path string, out map[string]metric) {
 // rowID derives a stable identity for an array row from its identifying
 // fields, so reordering or inserting rows never mispairs baselines:
 // "name" (+"ops") covers the BENCH_1/3/4 schemas, "shards" (+
-// "distribution", "commands") the BENCH_2 shard sweep, and
-// "faults_injected" splits the BENCH_5 baseline/chaos pair (same shard
-// and command counts, different fault plans). Rows with none of these
-// fall back to positional pairing.
+// "distribution", "commands") the BENCH_2 shard sweep, "faults_injected"
+// splits the BENCH_5 baseline/chaos pair (same shard and command counts,
+// different fault plans), and "txn_frac" + "coordinator_crashes" split
+// the BENCH_9 transaction sweep (same shard count and distribution,
+// different transaction mix). Rows with none of these fall back to
+// positional pairing.
 func rowID(m map[string]any) string {
 	var parts []string
 	if name, ok := m["name"].(string); ok {
 		parts = append(parts, name)
 	}
-	for _, k := range []string{"ops", "shards", "commands"} {
+	for _, k := range []string{"ops", "shards", "commands", "txn_frac"} {
 		if v, ok := m[k].(float64); ok {
 			parts = append(parts, fmt.Sprintf("%s=%g", k, v))
 		}
@@ -146,6 +148,9 @@ func rowID(m map[string]any) string {
 	}
 	if fi, ok := m["faults_injected"].(bool); ok {
 		parts = append(parts, fmt.Sprintf("faults=%t", fi))
+	}
+	if cc, ok := m["coordinator_crashes"].(bool); ok {
+		parts = append(parts, fmt.Sprintf("txn_faults=%t", cc))
 	}
 	return strings.Join(parts, "/")
 }

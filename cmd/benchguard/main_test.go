@@ -131,7 +131,7 @@ func TestGuardReportsMissingRows(t *testing.T) {
 // exact files this repo commits) always pass — the guard must hold on
 // current baselines.
 func TestGuardRealArtifacts(t *testing.T) {
-	for _, f := range []string{"../../BENCH_1.json", "../../BENCH_2.json", "../../BENCH_3.json", "../../BENCH_4.json", "../../BENCH_5.json", "../../BENCH_6.json", "../../BENCH_7.json", "../../BENCH_8.json"} {
+	for _, f := range []string{"../../BENCH_1.json", "../../BENCH_2.json", "../../BENCH_3.json", "../../BENCH_4.json", "../../BENCH_5.json", "../../BENCH_6.json", "../../BENCH_7.json", "../../BENCH_8.json", "../../BENCH_9.json"} {
 		data, err := os.ReadFile(f)
 		if err != nil {
 			t.Fatalf("%s: %v (regenerate with go test -run TestWriteBench .)", f, err)

@@ -1,5 +1,5 @@
 // Command experiments regenerates the experiment tables of
-// EXPERIMENTS.md (the E1–E14 index of DESIGN.md).
+// EXPERIMENTS.md (the E1–E19 index of DESIGN.md).
 //
 // Usage:
 //

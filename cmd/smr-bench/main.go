@@ -15,6 +15,10 @@
 //	                                   # (default: register fast path, E16)
 //	smr-bench -faults -online          # E15 chaos plan: rolling restarts,
 //	                                   # partition, duplicating links (BENCH_5.json)
+//	smr-bench -txn-frac 0.2 -online    # mixed workload with multi-key
+//	                                   # transactions, component checking (E19)
+//	smr-bench -txn-frac 0.2 -txn-faults -zipf 1.2   # ... under rolling
+//	                                   # coordinator crash–restarts (BENCH_9.json)
 package main
 
 import (
@@ -53,6 +57,14 @@ func main() {
 		dupProb  = flag.Float64("dup-prob", 0, "duplication probability of the faulty links with -faults (0: default 0.05)")
 		timeout  = flag.Duration("timeout", 0, "overall deadline for the run (0 = none)")
 		jsonOut  = flag.String("json", "", "write results as JSON to this file")
+
+		txnFrac    = flag.Float64("txn-frac", 0, "fraction of items that are multi-key transactions; > 0 selects the mixed transactional run (E19)")
+		txnKeysMax = flag.Int("txn-keys-max", 0, "max keys per transaction (0: default 4)")
+		txnKeys    = flag.Int("txn-keys", 0, "transactional key range: txns draw from the first N keys (0: all keys)")
+		txnGroups  = flag.Int("txn-groups", 0, "key-groups partitioning the transactional range (0: one group)")
+		casFrac    = flag.Float64("cas-frac", 0, "fraction of transactions that are CAS read-modify-writes (0: default 0.3; negative: none)")
+		recoveryTO = flag.Int64("recovery-timeout", 0, "transaction recovery-watchdog timeout in delays (0: default 2000)")
+		txnFaults  = flag.Bool("txn-faults", false, "inject rolling coordinator crash–restarts into the transactional run")
 	)
 	flag.Parse()
 
@@ -83,6 +95,44 @@ func main() {
 		SkipCheck:    *noCheck,
 		Online:       *online,
 		Exact:        *exact,
+	}
+
+	if *txnFrac > 0 {
+		if *sweep != "" || *inject {
+			fmt.Fprintln(os.Stderr, "smr-bench: -txn-frac is mutually exclusive with -sweep and -faults")
+			os.Exit(2)
+		}
+		tcfg := experiments.TxnRunConfig{
+			ShardRunConfig:     base,
+			TxnFrac:            *txnFrac,
+			TxnKeysMax:         *txnKeysMax,
+			TxnKeys:            *txnKeys,
+			Groups:             *txnGroups,
+			CASFrac:            *casFrac,
+			RecoveryTimeout:    msgnet.Time(*recoveryTO),
+			CoordinatorCrashes: *txnFaults,
+		}
+		r, err := experiments.RunTxn(ctx, tcfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smr-bench: %v\n", err)
+			os.Exit(1)
+		}
+		report(r.ShardRunResult)
+		fmt.Printf("  txns: %d started  commit rate %.2f  aborts conflict/condition/recovery %d/%d/%d\n",
+			r.TxnsStarted, r.CommitRate, r.AbortedConflict, r.AbortedCondition, r.AbortedRecovery)
+		fmt.Printf("  components: %d merged histories (%d ops, largest %d) over %d entangled keys; %d fast-path keys\n",
+			r.Components, r.ComponentOps, r.LargestComponent, r.ComponentKeys, r.FastPathKeys)
+		if *jsonOut != "" {
+			out, err := json.MarshalIndent(r, "", "  ")
+			if err != nil {
+				fail(nil, err)
+			}
+			if err := os.WriteFile(*jsonOut, append(out, '\n'), 0o644); err != nil {
+				fail(nil, err)
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		return
 	}
 
 	if *inject {

@@ -1,0 +1,208 @@
+// The docs gate (ISSUE 10): the top-level markdown files cross-link
+// each other, name committed BENCH_*.json artifacts, and cite DESIGN.md
+// decisions and EXPERIMENTS.md experiment IDs by number. All of those
+// references rot silently — a renamed file, a renumbered decision, an
+// artifact that was never committed — so this test resolves every one
+// of them against the working tree. It runs in the ordinary test suite
+// and as its own step in the PR CI gate.
+package speclin_test
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// docFiles are the user-facing markdown files whose references are
+// linted. ISSUE.md, PAPER.md, PAPERS.md and SNIPPETS.md are inputs to
+// the growth process, not documentation of the repo, so they are
+// exempt.
+var docFiles = []string{
+	"README.md",
+	"ARCHITECTURE.md",
+	"DESIGN.md",
+	"EXPERIMENTS.md",
+	"ROADMAP.md",
+	"CHANGES.md",
+}
+
+var (
+	// [text](target) — inline markdown links. Images and bare URLs are
+	// rare enough here that one pattern covers the corpus.
+	mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+	// BENCH_3.json — artifact references by exact file name.
+	benchRef = regexp.MustCompile(`BENCH_[0-9]+\.json`)
+	// "DESIGN.md decision 17", "decisions 1–18" — decision citations.
+	decisionRef = regexp.MustCompile(`[Dd]ecisions? ([0-9]+)(?:[–-]([0-9]+))?`)
+	// Decision-log entries: "17. **title**" at the start of a line.
+	decisionDef = regexp.MustCompile(`(?m)^([0-9]+)\. \*\*`)
+	// E-IDs like E12 (E6b normalizes to E6 for existence purposes).
+	expRef = regexp.MustCompile(`\bE([0-9]+)b?\b`)
+	// Index rows: "| E12 | title | ..." in EXPERIMENTS.md.
+	expDef = regexp.MustCompile(`(?m)^\| (E[0-9]+b?) \|`)
+)
+
+func readDoc(t *testing.T, name string) string {
+	t.Helper()
+	b, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatalf("doc file missing: %v", err)
+	}
+	return string(b)
+}
+
+// stripCode removes fenced code blocks so command examples (which may
+// mention hypothetical paths) don't trip the link lint.
+func stripCode(s string) string {
+	var out strings.Builder
+	in := false
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			in = !in
+			continue
+		}
+		if !in {
+			out.WriteString(line)
+			out.WriteString("\n")
+		}
+	}
+	return out.String()
+}
+
+// TestDocLinksResolve checks every relative markdown link in the doc
+// files points at an existing file or directory in the repo.
+func TestDocLinksResolve(t *testing.T) {
+	for _, name := range docFiles {
+		body := stripCode(readDoc(t, name))
+		for _, m := range mdLink.FindAllStringSubmatch(body, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "#") {
+				continue // external URL or same-file anchor
+			}
+			target = strings.SplitN(target, "#", 2)[0] // drop anchors
+			if _, err := os.Stat(target); err != nil {
+				t.Errorf("%s: broken link target %q", name, m[1])
+			}
+		}
+	}
+}
+
+// TestDocBenchArtifactsExist checks every BENCH_*.json named anywhere
+// in the doc files is actually committed at the repo root, and
+// conversely that every committed artifact is documented in
+// EXPERIMENTS.md.
+func TestDocBenchArtifactsExist(t *testing.T) {
+	named := map[string][]string{}
+	for _, name := range docFiles {
+		for _, ref := range benchRef.FindAllString(readDoc(t, name), -1) {
+			named[ref] = append(named[ref], name)
+		}
+	}
+	for ref, srcs := range named {
+		if _, err := os.Stat(ref); err != nil {
+			t.Errorf("%s named in %s but not committed", ref, strings.Join(srcs, ", "))
+		}
+	}
+	matches, err := filepathGlob("BENCH_*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := readDoc(t, "EXPERIMENTS.md")
+	for _, f := range matches {
+		if !strings.Contains(exp, f) {
+			t.Errorf("committed artifact %s is not documented in EXPERIMENTS.md", f)
+		}
+	}
+}
+
+// filepathGlob is a tiny indirection so the test reads without an
+// import rename (path/filepath.Glob matches only the repo root here).
+func filepathGlob(pattern string) ([]string, error) {
+	ents, err := os.ReadDir(".")
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		if ok, _ := pathMatch(pattern, e.Name()); ok {
+			out = append(out, e.Name())
+		}
+	}
+	return out, nil
+}
+
+func pathMatch(pattern, name string) (bool, error) {
+	// pattern is BENCH_*.json; a prefix/suffix check is all we need and
+	// avoids path.Match's escaping rules.
+	pre, suf, _ := strings.Cut(pattern, "*")
+	return strings.HasPrefix(name, pre) && strings.HasSuffix(name, suf), nil
+}
+
+// TestDocDecisionRefsResolve checks every "DESIGN.md decision N"
+// citation (in docs and in Go sources) stays within the decision log.
+func TestDocDecisionRefsResolve(t *testing.T) {
+	design := readDoc(t, "DESIGN.md")
+	_, log, found := strings.Cut(design, "## Decisions")
+	if !found {
+		t.Fatal("DESIGN.md has no '## Decisions' section")
+	}
+	log, _, _ = strings.Cut(log, "## Ablations")
+	max := 0
+	for _, m := range decisionDef.FindAllStringSubmatch(log, -1) {
+		if n, _ := strconv.Atoi(m[1]); n > max {
+			max = n
+		}
+	}
+	if max == 0 {
+		t.Fatal("no numbered decisions found in DESIGN.md")
+	}
+	for _, name := range docFiles {
+		body := readDoc(t, name)
+		for _, m := range decisionRef.FindAllStringSubmatch(body, -1) {
+			for _, g := range m[1:] {
+				if g == "" {
+					continue
+				}
+				if n, _ := strconv.Atoi(g); n < 1 || n > max {
+					t.Errorf("%s cites decision %s; DESIGN.md has 1–%d", name, g, max)
+				}
+			}
+		}
+	}
+}
+
+// TestDocExperimentRefsResolve checks every E-ID cited in README and
+// ARCHITECTURE appears in the EXPERIMENTS.md index table.
+func TestDocExperimentRefsResolve(t *testing.T) {
+	exp := readDoc(t, "EXPERIMENTS.md")
+	defined := map[string]bool{}
+	maxE := 0
+	for _, m := range expDef.FindAllStringSubmatch(exp, -1) {
+		defined[m[1]] = true
+		if n, _ := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(m[1], "E"), "b")); n > maxE {
+			maxE = n
+		}
+	}
+	if len(defined) == 0 {
+		t.Fatal("no E-IDs found in the EXPERIMENTS.md index")
+	}
+	for _, name := range []string{"README.md", "ARCHITECTURE.md"} {
+		body := stripCode(readDoc(t, name))
+		for _, m := range expRef.FindAllStringSubmatch(body, -1) {
+			n, _ := strconv.Atoi(m[1])
+			if n < 1 || n > maxE {
+				t.Errorf("%s cites %s; EXPERIMENTS.md indexes up to E%d", name, m[0], maxE)
+			}
+		}
+	}
+	// The README promises an E1–E19-style index; make sure the ranges
+	// it quotes match reality so the quickstart never oversells.
+	readme := readDoc(t, "README.md")
+	want := fmt.Sprintf("E1–E%d", maxE)
+	if !strings.Contains(readme, want) {
+		t.Errorf("README.md does not mention the %s index (EXPERIMENTS.md tops out at E%d)", want, maxE)
+	}
+}

@@ -1,0 +1,294 @@
+package adt
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// TxnKV is a multi-key key-value map ADT: the product folder the
+// multi-object checker uses for histories whose keys are entangled by
+// cross-shard transactions (DESIGN.md, decision 18). Herlihy–Wing
+// locality lets per-key register checking cover single-key traffic, but a
+// transaction touching keys on several shards makes their merged history
+// the unit of correctness — TxnKV is that merged object.
+//
+// Inputs (occurrence tags attached via Tag are stripped first):
+//
+//	"w:" k FS v    single-key write            → "ok:"
+//	"r:" k         single-key read             → "v:x" (x = value or ⊥)
+//	"t:" ops       committed-style transaction → "c:" reads, or "a:"
+//	"n:" ops       aborted transaction (no-op) → "a:"
+//
+// where FS is TxnFieldSep and ops is a TxnOpSep-separated list of
+// operations, each "r" FS k (read), "w" FS k FS v (write), or
+// "c" FS k FS expect FS v (compare-and-swap: write v if the key's value
+// equals expect; expect ⊥ means "unset"). Keys within one transaction
+// must be distinct, so reads observe the pre-transaction state.
+//
+// A "t:" transaction commits exactly when every CAS condition holds on
+// the current state: it then applies all its writes atomically and
+// outputs "c:" followed by the read values (in operation order, joined
+// by FS); otherwise it applies nothing and outputs "a:". An "n:"
+// transaction never has an effect and always outputs "a:" — the SMR
+// layer records every abort (conflict, failed condition, or recovery
+// timeout) as "n:" so the checker verifies aborted transactions left no
+// per-key trace without having to predict why the run aborted them
+// (abort-on-conflict is scheduling-dependent, and Folder outputs must be
+// deterministic).
+type TxnKV struct{}
+
+var _ Folder = TxnKV{}
+
+const (
+	// TxnOpSep separates the operations of a transaction input.
+	TxnOpSep = "\x1e"
+	// TxnFieldSep separates the fields of one operation, the fields of a
+	// "w:" write input, and the read values of a commit output.
+	TxnFieldSep = "\x1f"
+)
+
+// TxnWriteInput returns the single-key write input for key k.
+func TxnWriteInput(k string, v trace.Value) trace.Value {
+	return trace.Value("w:" + k + TxnFieldSep + string(v))
+}
+
+// TxnReadInput returns the single-key read input for key k.
+func TxnReadInput(k string) trace.Value { return trace.Value("r:" + k) }
+
+// TxnOpRead encodes a transactional read of key k.
+func TxnOpRead(k string) string { return "r" + TxnFieldSep + k }
+
+// TxnOpWrite encodes a transactional write of v to key k.
+func TxnOpWrite(k string, v trace.Value) string {
+	return "w" + TxnFieldSep + k + TxnFieldSep + string(v)
+}
+
+// TxnOpCAS encodes a transactional compare-and-swap on key k: write v if
+// the key currently holds expect (Bottom for "unset").
+func TxnOpCAS(k string, expect, v trace.Value) string {
+	return "c" + TxnFieldSep + k + TxnFieldSep + string(expect) + TxnFieldSep + string(v)
+}
+
+// TxnInput assembles a transaction input from encoded operations.
+// aborted selects the "n:" no-op form.
+func TxnInput(ops []string, aborted bool) trace.Value {
+	kind := "t:"
+	if aborted {
+		kind = "n:"
+	}
+	return trace.Value(kind + strings.Join(ops, TxnOpSep))
+}
+
+// TxnCommitOutput returns the output of a committed transaction whose
+// reads observed the given values (in operation order).
+func TxnCommitOutput(reads []trace.Value) trace.Value {
+	out := "c:"
+	for i, v := range reads {
+		if i > 0 {
+			out += TxnFieldSep
+		}
+		out += string(v)
+	}
+	return trace.Value(out)
+}
+
+// TxnAbortOutput returns the output of an aborted transaction.
+func TxnAbortOutput() trace.Value { return "a:" }
+
+// txnOp is one parsed transactional operation.
+type txnOp struct {
+	kind   byte // 'r', 'w' or 'c'
+	key    string
+	expect string // CAS only
+	val    string // write/CAS only
+}
+
+// parseTxnOps parses a TxnOpSep-joined operation list; ok is false on any
+// grammar violation (including duplicate keys).
+func parseTxnOps(enc string) ([]txnOp, bool) {
+	if enc == "" {
+		return nil, false
+	}
+	parts := strings.Split(enc, TxnOpSep)
+	ops := make([]txnOp, 0, len(parts))
+	seen := make(map[string]bool, len(parts))
+	for _, p := range parts {
+		fs := strings.Split(p, TxnFieldSep)
+		var op txnOp
+		switch {
+		case len(fs) == 2 && fs[0] == "r":
+			op = txnOp{kind: 'r', key: fs[1]}
+		case len(fs) == 3 && fs[0] == "w":
+			op = txnOp{kind: 'w', key: fs[1], val: fs[2]}
+		case len(fs) == 4 && fs[0] == "c":
+			op = txnOp{kind: 'c', key: fs[1], expect: fs[2], val: fs[3]}
+		default:
+			return nil, false
+		}
+		if op.key == "" || seen[op.key] {
+			return nil, false
+		}
+		seen[op.key] = true
+		ops = append(ops, op)
+	}
+	return ops, true
+}
+
+// Name implements ADT.
+func (TxnKV) Name() string { return "txnkv" }
+
+// ValidInput implements ADT.
+func (TxnKV) ValidInput(in trace.Value) bool {
+	op, arg, has := split2(Untag(in))
+	if !has {
+		return false
+	}
+	switch op {
+	case "w":
+		k, v, ok := splitField(arg)
+		return ok && k != "" && v != ""
+	case "r":
+		return arg != "" && !strings.Contains(arg, TxnFieldSep)
+	case "t", "n":
+		_, ok := parseTxnOps(arg)
+		return ok
+	default:
+		return false
+	}
+}
+
+// splitField splits "a" FS "b" into its two fields.
+func splitField(s string) (a, b string, ok bool) {
+	i := strings.Index(s, TxnFieldSep)
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], s[i+1:], true
+}
+
+// kvState is the decoded map behind a TxnKV State.
+type kvState map[string]string
+
+func decodeKV(s State) kvState {
+	m := kvState{}
+	if s == "" {
+		return m
+	}
+	for _, pair := range strings.Split(string(s), TxnOpSep) {
+		k, v, ok := splitField(pair)
+		if ok {
+			m[k] = v
+		}
+	}
+	return m
+}
+
+func (m kvState) encode() State {
+	if len(m) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(TxnOpSep)
+		}
+		b.WriteString(k)
+		b.WriteString(TxnFieldSep)
+		b.WriteString(m[k])
+	}
+	return State(b.String())
+}
+
+// get reads a key, Bottom when unset.
+func (m kvState) get(k string) string {
+	if v, ok := m[k]; ok {
+		return v
+	}
+	return string(Bottom)
+}
+
+// conditionsHold reports whether every CAS condition of ops holds on m.
+// Reads observe m directly: keys within one transaction are distinct, so
+// pre-state and sequential within-transaction semantics coincide.
+func (m kvState) conditionsHold(ops []txnOp) bool {
+	for _, op := range ops {
+		if op.kind == 'c' && m.get(op.key) != op.expect {
+			return false
+		}
+	}
+	return true
+}
+
+// Empty implements Folder: the empty map.
+func (TxnKV) Empty() State { return "" }
+
+// Step implements Folder.
+func (TxnKV) Step(s State, in trace.Value) State {
+	op, arg, _ := split2(Untag(in))
+	switch op {
+	case "w":
+		k, v, ok := splitField(arg)
+		if !ok {
+			return s
+		}
+		m := decodeKV(s)
+		m[k] = v
+		return m.encode()
+	case "t":
+		ops, ok := parseTxnOps(arg)
+		if !ok {
+			return s
+		}
+		m := decodeKV(s)
+		if !m.conditionsHold(ops) {
+			return s
+		}
+		for _, o := range ops {
+			if o.kind == 'w' || o.kind == 'c' {
+				m[o.key] = o.val
+			}
+		}
+		return m.encode()
+	}
+	return s // reads and "n:" no-ops
+}
+
+// Out implements Folder.
+func (TxnKV) Out(s State, in trace.Value) trace.Value {
+	op, arg, _ := split2(Untag(in))
+	switch op {
+	case "w":
+		return WriteOutput()
+	case "r":
+		return ReadOutput(trace.Value(decodeKV(s).get(arg)))
+	case "t":
+		ops, ok := parseTxnOps(arg)
+		if !ok {
+			return TxnAbortOutput()
+		}
+		m := decodeKV(s)
+		if !m.conditionsHold(ops) {
+			return TxnAbortOutput()
+		}
+		var reads []trace.Value
+		for _, o := range ops {
+			if o.kind == 'r' {
+				reads = append(reads, trace.Value(m.get(o.key)))
+			}
+		}
+		return TxnCommitOutput(reads)
+	}
+	return TxnAbortOutput() // "n:"
+}
+
+// Apply implements ADT.
+func (t TxnKV) Apply(h trace.History) (trace.Value, error) {
+	return ApplyFolded(t, h)
+}

@@ -1,0 +1,90 @@
+package adt
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestTxnKVSinglesAndState(t *testing.T) {
+	kv := TxnKV{}
+	if got, _ := kv.Apply(trace.History{TxnReadInput("x")}); got != ReadOutput(Bottom) {
+		t.Fatalf("read of empty map = %q", got)
+	}
+	h := trace.History{TxnWriteInput("x", "1"), TxnWriteInput("y", "2"), TxnReadInput("x")}
+	if got, _ := kv.Apply(h); got != ReadOutput("1") {
+		t.Fatalf("read after writes = %q", got)
+	}
+	// State encoding is canonical: write order must not matter.
+	a := Fold(kv, trace.History{TxnWriteInput("x", "1"), TxnWriteInput("y", "2")})
+	b := Fold(kv, trace.History{TxnWriteInput("y", "2"), TxnWriteInput("x", "1")})
+	if a != b {
+		t.Fatalf("states differ for permuted writes: %q vs %q", a, b)
+	}
+}
+
+func TestTxnKVTransactions(t *testing.T) {
+	kv := TxnKV{}
+	put := TxnInput([]string{TxnOpWrite("x", "1"), TxnOpWrite("y", "2")}, false)
+	getBoth := TxnInput([]string{TxnOpRead("x"), TxnOpRead("y")}, false)
+
+	// MultiPut commits with no reads; MultiGet sees both its writes.
+	if got, _ := kv.Apply(trace.History{put}); got != TxnCommitOutput(nil) {
+		t.Fatalf("multiput output = %q", got)
+	}
+	if got, _ := kv.Apply(trace.History{put, getBoth}); got != TxnCommitOutput([]trace.Value{"1", "2"}) {
+		t.Fatalf("multiget output = %q", got)
+	}
+
+	// CAS commits when its condition holds (including expecting ⊥ on an
+	// unset key), aborts — applying nothing — when it does not.
+	casFresh := TxnInput([]string{TxnOpCAS("z", Bottom, "9"), TxnOpRead("x")}, false)
+	if got, _ := kv.Apply(trace.History{put, casFresh}); got != TxnCommitOutput([]trace.Value{"1"}) {
+		t.Fatalf("fresh CAS output = %q", got)
+	}
+	casStale := TxnInput([]string{TxnOpCAS("x", "0", "7")}, false)
+	if got, _ := kv.Apply(trace.History{put, casStale}); got != TxnAbortOutput() {
+		t.Fatalf("stale CAS output = %q", got)
+	}
+	if got, _ := kv.Apply(trace.History{put, casStale, TxnReadInput("x")}); got != ReadOutput("1") {
+		t.Fatalf("aborted CAS leaked a write: read = %q", got)
+	}
+
+	// "n:" no-op transactions always abort and never have an effect.
+	noop := TxnInput([]string{TxnOpWrite("x", "666")}, true)
+	if got, _ := kv.Apply(trace.History{put, noop}); got != TxnAbortOutput() {
+		t.Fatalf("no-op txn output = %q", got)
+	}
+	if s := Fold(kv, trace.History{put, noop}); s != Fold(kv, trace.History{put}) {
+		t.Fatalf("no-op txn changed state: %q", s)
+	}
+
+	// Occurrence tags are transparent.
+	if got, _ := kv.Apply(trace.History{Tag(put, "t1"), Tag(getBoth, "t2")}); got != TxnCommitOutput([]trace.Value{"1", "2"}) {
+		t.Fatalf("tagged txn output = %q", got)
+	}
+}
+
+func TestTxnKVValidInput(t *testing.T) {
+	kv := TxnKV{}
+	for _, good := range []trace.Value{
+		TxnWriteInput("x", "1"),
+		TxnReadInput("x"),
+		TxnInput([]string{TxnOpRead("x")}, false),
+		TxnInput([]string{TxnOpCAS("x", Bottom, "1"), TxnOpWrite("y", "2")}, true),
+		Tag(TxnReadInput("x"), "q"),
+	} {
+		if !kv.ValidInput(good) {
+			t.Errorf("ValidInput(%q) = false", good)
+		}
+	}
+	for _, bad := range []trace.Value{
+		"", "r:", "w:x", "t:", "n:", "q:x",
+		TxnInput([]string{TxnOpRead("x"), TxnOpWrite("x", "1")}, false), // duplicate key
+		TxnInput([]string{"z" + TxnFieldSep + "x"}, false),
+	} {
+		if kv.ValidInput(bad) {
+			t.Errorf("ValidInput(%q) = true", bad)
+		}
+	}
+}

@@ -1,10 +1,24 @@
-// Package check is a model checker for step systems: it explores
-// instruction-level interleavings of concurrent processes over shared
-// state and hands each complete run's trace (or each reachable state) to
-// an oracle. Experiment E6 uses it to validate the §2.5 shared-memory
-// case study against the lin/slin checkers and the paper's invariants.
+// Package check hosts the vocabulary shared by the lin and slin
+// checkers — the checker API v2 (DESIGN.md, decision 11) — plus a small
+// model checker for step systems.
 //
-// Three exploration modes:
+// The shared checker surface (opts.go, por.go, frontier.go,
+// parallel.go): the three-valued Verdict, the functional Option set
+// (WithBudget, WithWorkers, WithWitness, WithMemoLimit, WithPOR,
+// WithFeedBudget, ...) resolved into one Settings struct by every
+// one-shot check and incremental Session in lin and slin, the
+// sleep-set partial-order reduction over chain-extension inputs
+// (decision 12), and ExpandFrontier, the deduplicating expansion step
+// both packages' breadth (frontier) engines are built on (decision 17).
+// Keeping these here, in one place below both checker packages, is what
+// guarantees the engines cannot drift apart in semantics.
+//
+// The model checker (check.go): it explores instruction-level
+// interleavings of concurrent processes over shared state and hands
+// each complete run's trace (or each reachable state) to an oracle.
+// Experiment E6 uses it to validate the §2.5 shared-memory case study
+// against the lin/slin checkers and the paper's invariants. Three
+// exploration modes:
 //
 //   - ExhaustiveTraces enumerates every schedule (complete interleaving)
 //     of the system and visits each complete run — exact but exponential;

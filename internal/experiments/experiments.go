@@ -1,5 +1,5 @@
 // Package experiments regenerates every experiment table of
-// EXPERIMENTS.md (the E1–E18 index of DESIGN.md). Each experiment is a
+// EXPERIMENTS.md (the E1–E19 index of DESIGN.md). Each experiment is a
 // function returning a Table; cmd/experiments prints them and the root
 // benchmarks wrap the same primitives in testing.B loops.
 //
@@ -70,6 +70,7 @@ func All() []Experiment {
 		{"E16", E16FastpathCheckers},
 		{"E17", E17CaptureHunt},
 		{"E18", E18StreamMemTable},
+		{"E19", E19TxnSweep},
 	}
 }
 

@@ -1,0 +1,406 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/adt"
+	"repro/internal/check"
+	"repro/internal/faults"
+	"repro/internal/msgnet"
+	"repro/internal/smr"
+	"repro/internal/workload"
+)
+
+// This file implements the E19 transaction sweep: the cross-shard
+// atomic-transaction experiment behind BENCH_9.json. One run drives a
+// zipf-contended mixed workload — single-key operations plus multi-key
+// MultiPut/MultiGet/CAS transactions — through a TxnCluster (2PC layered
+// on the per-shard speculative logs, DESIGN.md decision 18), optionally
+// under rolling coordinator crash–restarts, then verifies per-shard log
+// agreement, every fast-path key's register history, and every
+// txn-connected component's merged history against the adt.TxnKV product
+// folder.
+
+// TxnRunConfig parameterizes one mixed transactional run. The embedded
+// ShardRunConfig fields keep their E12 meanings (Commands counts
+// workload items — a transaction is one item).
+type TxnRunConfig struct {
+	ShardRunConfig
+	// TxnFrac is the fraction of workload items that are multi-key
+	// transactions (workload.MixedOpts.TxnFrac).
+	TxnFrac float64
+	// TxnKeysMax bounds the keys per transaction (default 4).
+	TxnKeysMax int
+	// TxnKeys restricts transaction key draws to the first TxnKeys keys
+	// (default all): keys beyond the range stay on the register fast
+	// path.
+	TxnKeys int
+	// Groups partitions the transactional key range into key-groups,
+	// bounding txn-connected component sizes (workload.MixedOpts.Groups).
+	Groups int
+	// ReadTxnFrac and CASFrac split transactions into MultiGets, CAS
+	// read-modify-writes, and MultiPuts (workload defaults 0.3/0.3).
+	ReadTxnFrac float64
+	CASFrac     float64
+	// RecoveryTimeout arms the transaction recovery watchdog
+	// (smr.TxnConfig.RecoveryTimeout); zero disables it.
+	RecoveryTimeout msgnet.Time
+	// CoordinatorCrashes injects rolling crash–restarts across every
+	// client (each transaction coordinator crashes mid-run and restarts,
+	// staggered): CrashStart/CrashEvery/CrashDown parameterize
+	// faults.RollingRestart.
+	CoordinatorCrashes bool
+	CrashStart         msgnet.Time
+	CrashEvery         msgnet.Time
+	CrashDown          msgnet.Time
+}
+
+func (c TxnRunConfig) withDefaults() TxnRunConfig {
+	c.ShardRunConfig = c.ShardRunConfig.withDefaults()
+	if c.RecoveryTimeout <= 0 {
+		c.RecoveryTimeout = 2000
+	}
+	if c.CrashStart <= 0 {
+		c.CrashStart = 200
+	}
+	if c.CrashEvery <= 0 {
+		c.CrashEvery = 400
+	}
+	if c.CrashDown <= 0 {
+		c.CrashDown = 150
+	}
+	return c
+}
+
+// TxnRunResult reports one mixed transactional run, JSON-ready for
+// BENCH_9.json. The embedded ShardRunResult carries the throughput,
+// latency, and schedule-digest fields exactly as E12 records them
+// (CheckedOps counts workload items: each single-key operation and each
+// composite transaction once).
+type TxnRunResult struct {
+	ShardRunResult
+	TxnFrac            float64 `json:"txn_frac"`
+	CoordinatorCrashes bool    `json:"coordinator_crashes"`
+
+	TxnsStarted      int64   `json:"txns_started"`
+	TxnsCommitted    int64   `json:"txns_committed"`
+	AbortedConflict  int64   `json:"txns_aborted_conflict"`
+	AbortedCondition int64   `json:"txns_aborted_condition"`
+	AbortedRecovery  int64   `json:"txns_aborted_recovery"`
+	CommitRate       float64 `json:"commit_rate"`
+
+	// Components is the number of txn-connected components, each checked
+	// as one merged multi-key history over adt.TxnKV; FastPathKeys counts
+	// keys that stayed on the per-key register fast path.
+	Components       int   `json:"components"`
+	ComponentOps     int64 `json:"component_ops"`
+	LargestComponent int64 `json:"largest_component_ops"`
+	ComponentKeys    int   `json:"component_keys"`
+	FastPathKeys     int   `json:"fast_path_keys"`
+}
+
+// txnOf converts a generated workload transaction to the SMR layer's
+// form; the workload encodes "expect unset" as the empty string.
+func txnOf(s *workload.TxnSpec) *smr.Txn {
+	ops := make([]smr.TxnOp, len(s.Ops))
+	for i, o := range s.Ops {
+		switch {
+		case o.Read:
+			ops[i] = smr.TxnOp{Kind: smr.TxnRead, Key: o.Key}
+		case o.CAS:
+			exp := o.Expect
+			if exp == "" {
+				exp = string(adt.Bottom)
+			}
+			ops[i] = smr.TxnOp{Kind: smr.TxnCAS, Key: o.Key, Value: o.Value, Expect: exp}
+		default:
+			ops[i] = smr.TxnOp{Kind: smr.TxnWrite, Key: o.Key, Value: o.Value}
+		}
+	}
+	return &smr.Txn{ID: s.ID, Ops: ops}
+}
+
+// RunTxn executes one mixed transactional run and verifies it: every
+// submission lands, every transaction resolves, logs agree per shard,
+// and every history — fast-path register and merged component alike —
+// is linearizable.
+func RunTxn(ctx context.Context, cfg TxnRunConfig) (TxnRunResult, error) {
+	cfg = cfg.withDefaults()
+	wl := workload.MixedOpts{
+		KeyedOpts: workload.KeyedOpts{
+			Clients:  cfg.Clients,
+			Ops:      cfg.Commands,
+			Keys:     cfg.Keys,
+			ReadFrac: cfg.ReadFrac,
+			ZipfS:    cfg.ZipfS,
+		},
+		TxnFrac:     cfg.TxnFrac,
+		TxnKeysMax:  cfg.TxnKeysMax,
+		TxnKeys:     cfg.TxnKeys,
+		Groups:      cfg.Groups,
+		ReadTxnFrac: cfg.ReadTxnFrac,
+		CASFrac:     cfg.CASFrac,
+	}
+	ops := workload.Mixed(rand.New(rand.NewSource(cfg.Seed)), wl)
+	perClient := make([][]smr.MixedItem, cfg.Clients)
+	keys := map[string]bool{}
+	for _, op := range ops {
+		it := smr.MixedItem{}
+		if op.Txn != nil {
+			it.Txn = txnOf(op.Txn)
+			for _, o := range op.Txn.Ops {
+				keys[o.Key] = true
+			}
+		} else {
+			if op.Read {
+				it.Cmd = smr.GetCmd(op.Key, op.Value)
+			} else {
+				it.Cmd = smr.SetCmd(op.Key, op.Value)
+			}
+			keys[op.Key] = true
+		}
+		perClient[op.Client] = append(perClient[op.Client], it)
+	}
+
+	res := TxnRunResult{
+		ShardRunResult: ShardRunResult{
+			Shards:       cfg.Shards,
+			Commands:     cfg.Commands,
+			Keys:         len(keys),
+			Distribution: "uniform",
+			Online:       cfg.Online,
+		},
+		TxnFrac:            cfg.TxnFrac,
+		CoordinatorCrashes: cfg.CoordinatorCrashes,
+	}
+	if cfg.ZipfS > 0 {
+		res.Distribution = fmt.Sprintf("zipf(%.2g)", cfg.ZipfS)
+	}
+
+	w := msgnet.New(msgnet.Config{Seed: cfg.Seed, MinDelay: 1, MaxDelay: 2})
+	clients := procIDs("c", cfg.Clients)
+	tc, err := smr.BuildTxn(w, clients, procIDs("s", cfg.Servers), smr.ShardedConfig{
+		Config: smr.Config{
+			FastPath:      true,
+			QuorumTimeout: 8,
+			Retransmit:    6,
+			RetryTimeout:  60,
+			Recovery:      true,
+			CompactEvery:  cfg.CompactEvery,
+		},
+		Shards:       cfg.Shards,
+		OnlineCheck:  cfg.Online,
+		CheckBudget:  cfg.Budget,
+		CheckContext: ctx,
+		ExactCheck:   cfg.Exact,
+	}, smr.TxnConfig{RecoveryTimeout: cfg.RecoveryTimeout})
+	if err != nil {
+		return res, err
+	}
+	if cfg.CoordinatorCrashes {
+		plan := faults.Plan{Crashes: faults.RollingRestart(clients, cfg.CrashStart, cfg.CrashEvery, cfg.CrashDown)}
+		if err := plan.Apply(w); err != nil {
+			return res, err
+		}
+	}
+	start := time.Now()
+	for i, c := range clients {
+		offset := msgnet.Time(0)
+		if cfg.Pace > 0 {
+			offset = msgnet.Time(i) * cfg.Pace / msgnet.Time(cfg.Clients)
+		}
+		tc.SubmitMixedPaced(c, perClient[i], offset, cfg.Pace)
+	}
+	end := tc.Run(1 << 40)
+	wall := time.Since(start)
+	res.ScheduleDigest = fmt.Sprintf("%016x", w.ScheduleDigest())
+
+	st := tc.Stats()
+	if st.Landed != st.Submitted {
+		return res, fmt.Errorf("landed %d of %d submitted commands", st.Landed, st.Submitted)
+	}
+	ts := tc.TxnStats()
+	if ts.Resolved() != ts.Started {
+		return res, fmt.Errorf("resolved %d of %d transactions (pending: %v)",
+			ts.Resolved(), ts.Started, tc.PendingTxns())
+	}
+	if n := tc.UnresolvedShards(); n != 0 {
+		return res, fmt.Errorf("%d unresolved (txn, shard) pairs", n)
+	}
+	res.SimTime = int64(end)
+	if end > 0 {
+		res.CmdsPerDelay = float64(int64(cfg.Commands)) / float64(end)
+	}
+	res.MeanLatency = st.MeanLatency()
+	res.FastPathRate = st.FastPathRate()
+	res.SwitchesPerCmd = float64(st.Switches) / float64(st.Landed)
+	res.WallMs = float64(wall.Microseconds()) / 1000
+	res.CmdsPerSecWall = float64(int64(cfg.Commands)) / wall.Seconds()
+	res.TxnsStarted = ts.Started
+	res.TxnsCommitted = ts.Committed
+	res.AbortedConflict = ts.AbortedConflict
+	res.AbortedCondition = ts.AbortedCondition
+	res.AbortedRecovery = ts.AbortedRecovery
+	res.CommitRate = ts.CommitRate()
+
+	res.Consistent = tc.CheckConsistency() == nil
+	if !res.Consistent {
+		return res, fmt.Errorf("consistency: %v", tc.CheckConsistency())
+	}
+	if !cfg.SkipCheck {
+		cstart := time.Now()
+		sum, err := tc.CheckTxnLinearizable(ctx, check.WithBudget(cfg.Budget))
+		res.CheckWallMs = float64((time.Since(cstart) + sum.FeedWall).Microseconds()) / 1000
+		if err != nil {
+			return res, err
+		}
+		if sum.Ops != int64(cfg.Commands) {
+			return res, fmt.Errorf("checked %d ops of %d workload items", sum.Ops, cfg.Commands)
+		}
+		res.Linearizable = true
+		res.KeyHistories = sum.Traces
+		res.CheckedOps = sum.Ops
+		res.CheckNodes = sum.Nodes
+		res.Components = sum.Components
+		res.ComponentOps = sum.ComponentOps
+		res.LargestComponent = sum.LargestComponent
+		res.ComponentKeys = sum.ComponentKeys
+		res.FastPathKeys = sum.FastPathKeys
+	}
+	return res, nil
+}
+
+// E19Base is the canonical E19 configuration: 6 clients paced open-loop
+// over 8 shards, 3 servers, zipf(1.2)-skewed keys, transactions drawn
+// from the first 64 of 256 keys in 16 key-groups, online component
+// checking, compaction on.
+var E19Base = TxnRunConfig{
+	ShardRunConfig: ShardRunConfig{
+		Shards:       8,
+		Clients:      6,
+		Servers:      3,
+		Keys:         256,
+		ReadFrac:     0.4,
+		ZipfS:        1.2,
+		Pace:         12,
+		Seed:         1,
+		CompactEvery: 64,
+		Online:       true,
+	},
+	TxnKeys:         64,
+	Groups:          16,
+	RecoveryTimeout: 2000,
+}
+
+// E19 canonical scales: the sweep rows and the full-scale acceptance
+// row (100k+ workload items, 8 shards, 20% transactions, rolling
+// coordinator crash–restarts).
+const (
+	E19SweepCommands = 25_000
+	E19FullCommands  = 100_000
+	E19SmokeCommands = 2_000
+)
+
+// E19TxnFracs is the transaction-fraction sweep.
+var E19TxnFracs = []float64{0.05, 0.2}
+
+// E19Rows builds the E19 result set: the txn-frac × contention sweep
+// (uniform and zipf(1.2) keys) at sweepCommands items each, then the
+// full-scale faulted row — fullCommands items, 20% transactions, rolling
+// coordinator crash–restarts with the recovery watchdog armed. The E19
+// table and TestWriteBench9JSON (BENCH_9.json) share this builder so the
+// recorded artifact can never drift from the experiment.
+func E19Rows(ctx context.Context, sweepCommands, fullCommands int) ([]TxnRunResult, error) {
+	var out []TxnRunResult
+	for _, zipf := range []float64{0, 1.2} {
+		for _, frac := range E19TxnFracs {
+			cfg := E19Base
+			cfg.Commands = sweepCommands
+			cfg.ZipfS = zipf
+			cfg.TxnFrac = frac
+			r, err := RunTxn(ctx, cfg)
+			if err != nil {
+				return out, fmt.Errorf("E19 zipf=%v frac=%v: %w", zipf, frac, err)
+			}
+			out = append(out, r)
+		}
+	}
+	full := E19Base
+	full.Commands = fullCommands
+	full.TxnFrac = 0.2
+	full.CoordinatorCrashes = true
+	full.RecoveryTimeout = 500
+	// Stagger the rolling restarts across the whole run (simulated time
+	// is about 2× the item count at pace 12), not just its opening
+	// seconds, so mid-run transactions get orphaned too.
+	full.CrashStart = 500
+	full.CrashEvery = msgnet.Time(2 * fullCommands / full.Clients)
+	full.CrashDown = 300
+	r, err := RunTxn(ctx, full)
+	if err != nil {
+		return out, fmt.Errorf("E19 faulted: %w", err)
+	}
+	return append(out, r), nil
+}
+
+// E19TxnSweep: the cross-shard transaction claim — 2PC layered on the
+// per-shard speculative logs keeps every submission landing and every
+// transaction resolving (commit, conflict/condition abort, or recovery
+// abort) under contention and coordinator crash–restarts, while every
+// txn-connected component's merged history checks linearizable against
+// the adt.TxnKV product folder and untouched keys stay on the register
+// fast path. Reduced here only in table form; TestWriteBench9JSON runs
+// the identical sweep and records BENCH_9.json.
+func E19TxnSweep(ctx context.Context) (Table, error) {
+	t := Table{
+		ID: "E19",
+		Title: "cross-shard transaction sweep (8 shards, 6 clients, 3 servers, " +
+			"paced open-loop mixed KV, seed 1)",
+		Header: []string{"commands", "dist", "txn-frac", "faults", "commit rate",
+			"aborts (cfl/cnd/rcv)", "components", "largest", "fast-path keys", "lin", "consistent"},
+		Notes: []string{
+			"Transactions are MultiPut/MultiGet/CAS over 2–4 keys drawn within one of 16 " +
+				"key-groups of the 64-key transactional range; the remaining 192 keys only ever " +
+				"see single-key traffic. Each txn-connected component is checked as one merged " +
+				"history over adt.TxnKV (streamed online through incremental sessions); the " +
+				"faulted row crashes and restarts every coordinator on a rolling schedule with " +
+				"the recovery watchdog armed. Machine-readable results: BENCH_9.json " +
+				"(TestWriteBench9JSON).",
+		},
+	}
+	rows, err := E19Rows(ctx, E19SweepCommands, E19FullCommands)
+	if err != nil {
+		return t, err
+	}
+	for _, r := range rows {
+		faulted := "none"
+		if r.CoordinatorCrashes {
+			faulted = "rolling coord crash"
+		}
+		lineariz := "yes"
+		if !r.Linearizable {
+			lineariz = "NO"
+		}
+		cons := "yes"
+		if !r.Consistent {
+			cons = "NO"
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", r.Commands),
+			r.Distribution,
+			fmt.Sprintf("%.2f", r.TxnFrac),
+			faulted,
+			f2(r.CommitRate),
+			fmt.Sprintf("%d/%d/%d", r.AbortedConflict, r.AbortedCondition, r.AbortedRecovery),
+			fmt.Sprintf("%d", r.Components),
+			fmt.Sprintf("%d", r.LargestComponent),
+			fmt.Sprintf("%d", r.FastPathKeys),
+			lineariz,
+			cons,
+		})
+	}
+	return t, nil
+}

@@ -125,8 +125,13 @@ type ShardedCluster struct {
 	servers []msgnet.ProcID
 	shards  []*Shard
 	routers map[msgnet.ProcID]*router
+	nodes   map[msgnet.ProcID]*msgnet.Node
 	recs    []*shardRecorder
 	stats   ShardedStats
+	// txn is the transaction layer when the cluster was built through
+	// BuildTxn (txn.go): single-key commands on txn-entangled keys route
+	// into merged component histories instead of per-key sessions.
+	txn *TxnCluster
 }
 
 // BuildSharded wires a sharded SMR cluster into net.
@@ -143,6 +148,7 @@ func BuildSharded(net *msgnet.Network, clients, servers []msgnet.ProcID, cfg Sha
 		clients: clients,
 		servers: servers,
 		routers: map[msgnet.ProcID]*router{},
+		nodes:   map[msgnet.ProcID]*msgnet.Node{},
 	}
 	sc.stats.PerShardLanded = make([]int64, cfg.Shards)
 	for k := 0; k < cfg.Shards; k++ {
@@ -161,7 +167,7 @@ func BuildSharded(net *msgnet.Network, clients, servers []msgnet.ProcID, cfg Sha
 			r.perShard[k] = sh.byID[id]
 		}
 		sc.routers[id] = r
-		net.AddNode(id, r)
+		sc.nodes[id] = net.AddNode(id, r)
 	}
 	for _, id := range servers {
 		m := &serverMux{perShard: make([]*replica, cfg.Shards)}
@@ -176,9 +182,13 @@ func BuildSharded(net *msgnet.Network, clients, servers []msgnet.ProcID, cfg Sha
 // Shards returns the shard count.
 func (sc *ShardedCluster) Shards() int { return len(sc.shards) }
 
-// shardFor routes a command: by its KV key when it has one, by its whole
-// encoding otherwise (deterministic either way).
+// shardFor routes a command: transaction-protocol commands carry their
+// shard explicitly, KV commands hash their key, anything else hashes its
+// whole encoding (deterministic in every case).
 func (sc *ShardedCluster) shardFor(cmd Command) int {
+	if k, ok := txnCmdShard(cmd); ok && k >= 0 && k < len(sc.shards) {
+		return k
+	}
 	key, ok := CmdKey(cmd)
 	if !ok {
 		key = string(cmd)
@@ -516,6 +526,18 @@ type shardRecorder struct {
 	keyState map[string]adt.State
 	slotOut  map[int]slotReplay
 
+	// Transaction-layer replay state (txn.go). locks maps a key to the
+	// transaction holding it between its prepare's replay (yes vote) and
+	// its outcome marker's replay. Single-key operations on a locked key
+	// defer — the replay cursor itself never blocks: their slots park in
+	// waiting (per key, slot order) and deferred, their effects and
+	// outputs materialize at unlock, and a land that arrives while its
+	// slot is still deferred parks in landWait until then.
+	locks    map[string]string
+	waiting  map[string][]deferredSlot
+	deferred map[int]bool
+	landWait map[int]msgnet.ProcID
+
 	// Per-key histories in real-time order (post-hoc mode), or the
 	// per-key incremental checker sessions fed in real-time order
 	// (OnlineCheck mode — the traces slices stay empty then).
@@ -535,15 +557,33 @@ type shardRecorder struct {
 type slotEntry struct {
 	key string
 	in  trace.Value
-	reg bool // projects onto the per-key register (set/get)
+	reg bool // projects onto a checkable operation (set/get)
+	// comp marks keys merged into a txn-connected component: the
+	// projection is then an adt.TxnKV input, kind/arg carry the parsed
+	// command for replay, and cmd the raw command (it names the
+	// operation's synthetic checker process, compProc).
+	comp bool
+	kind string
+	arg  string
+	cmd  Command
+	// txn is set for transaction-protocol commands (prepare/outcome).
+	txn *txnSlot
+}
+
+// deferredSlot is a replayed-but-locked single-key operation awaiting
+// its key's unlock.
+type deferredSlot struct {
+	slot int
+	e    slotEntry
 }
 
 // slotReplay is a replayed slot awaiting its submitter's response.
 type slotReplay struct {
-	key string
-	in  trace.Value
-	out trace.Value
-	reg bool
+	key  string
+	in   trace.Value
+	out  trace.Value
+	reg  bool
+	comp bool
 }
 
 func newShardRecorder(sc *ShardedCluster, sh *Shard) *shardRecorder {
@@ -557,6 +597,10 @@ func newShardRecorder(sc *ShardedCluster, sh *Shard) *shardRecorder {
 		keyState: map[string]adt.State{},
 		slotOut:  map[int]slotReplay{},
 		keyIdx:   map[string]int{},
+		locks:    map[string]string{},
+		waiting:  map[string][]deferredSlot{},
+		deferred: map[int]bool{},
+		landWait: map[int]msgnet.ProcID{},
 	}
 }
 
@@ -575,11 +619,22 @@ func (rec *shardRecorder) submit(cmd Command) {
 	rec.subSlot[cmd] = -1
 }
 
-// start records the invocation of a keyed command's register operation:
-// appended to the per-key history buffer, or — under OnlineCheck — fed
-// straight into the key's incremental checker session.
+// start records the invocation of a keyed command's operation: appended
+// to the per-key history buffer, or — under OnlineCheck — fed straight
+// into the key's incremental checker session. Keys entangled by
+// transactions route into their component's merged TxnKV history
+// instead, at their replay points (txn.go, compProc — the
+// shrunken-interval soundness argument is made there), so nothing is
+// recorded for them at submission.
 func (rec *shardRecorder) start(c msgnet.ProcID, cmd Command, at msgnet.Time) {
-	key, in, ok := RegisterInput(cmd)
+	kind, key, arg, ok := cmdParts(cmd)
+	if !ok {
+		return
+	}
+	if tc := rec.sc.txn; tc != nil && tc.find(key) != "" {
+		return
+	}
+	in, ok := registerInput(kind, arg)
 	if !ok {
 		return
 	}
@@ -643,8 +698,18 @@ func (rec *shardRecorder) learn(c msgnet.ProcID, slot int, cmd Command) {
 			if want := ShardOf(key, len(rec.sc.shards)); want != rec.sh.id {
 				rec.fail("key %q (shard %d) leaked into shard %d", key, want, rec.sh.id)
 			}
-			entry.key = key
-			entry.in, entry.reg = registerInput(kind, arg)
+			entry.key, entry.kind, entry.arg = key, kind, arg
+			if tc := rec.sc.txn; tc != nil && tc.find(key) != "" {
+				entry.comp, entry.cmd = true, cmd
+				entry.in, entry.reg = txnSingleInput(kind, key, arg)
+			} else {
+				entry.in, entry.reg = registerInput(kind, arg)
+			}
+		} else if ts, ok := parseTxnCmd(cmd); ok {
+			if ts.shard != rec.sh.id {
+				rec.fail("transaction command for shard %d leaked into shard %d", ts.shard, rec.sh.id)
+			}
+			entry.txn = &ts
 		}
 		rec.pending[slot] = entry
 	}
@@ -691,16 +756,43 @@ func (rec *shardRecorder) land(r SubmitResult) {
 			rec.fail("hole at slot %d below landed slot %d", rec.applied, r.Slot)
 			return
 		}
-		rp := slotReplay{key: e.key, in: e.in, reg: e.reg}
-		if e.reg {
-			s, seen := rec.keyState[e.key]
-			if !seen {
-				s = rec.reg.Empty()
+		switch {
+		case e.txn != nil:
+			if tc := rec.sc.txn; tc != nil {
+				if e.txn.prep {
+					tc.prepReplayed(rec, e.txn)
+				} else {
+					tc.outcomeReplayed(rec, e.txn)
+				}
+			} else {
+				rec.fail("transaction command in slot %d without a transaction layer", rec.applied)
 			}
-			rp.out = rec.reg.Out(s, e.in)
-			rec.keyState[e.key] = rec.reg.Step(s, e.in)
+			rec.slotOut[rec.applied] = slotReplay{}
+		case e.reg && e.comp && rec.locks[e.key] != "":
+			// The key is locked by an in-flight transaction: park the
+			// operation — its effect and output materialize at unlock, in
+			// slot order, so the transaction stays atomic in this shard's
+			// total order. It enters the merged history at the unlock
+			// drain, not here (see compProc: a lock can stay held for a
+			// whole recovery timeout, and every parked operation held open
+			// across that window multiplies the frontier).
+			rec.waiting[e.key] = append(rec.waiting[e.key], deferredSlot{slot: rec.applied, e: e})
+			rec.deferred[rec.applied] = true
+		default:
+			rp := rec.replaySingle(e)
+			if e.comp && e.reg {
+				// An unparked component operation enters the merged
+				// history as an instantaneous pair at its replay point
+				// (see compProc): its output is computed from exactly
+				// this state, so it linearizes here by construction, and
+				// delayed land events (retries) cannot hold it open.
+				tc := rec.sc.txn
+				root := tc.find(e.key)
+				tc.feedComponent(root, trace.Invoke(compProc(e.cmd), 1, e.in))
+				tc.feedComponent(root, trace.Response(compProc(e.cmd), 1, e.in, rp.out))
+			}
+			rec.slotOut[rec.applied] = rp
 		}
-		rec.slotOut[rec.applied] = rp
 		delete(rec.pending, rec.applied)
 		if rec.learns[rec.applied] == len(rec.sh.clients) {
 			delete(rec.slotVal, rec.applied)
@@ -711,15 +803,97 @@ func (rec *shardRecorder) land(r SubmitResult) {
 
 	rp, ok := rec.slotOut[r.Slot]
 	if !ok {
+		if rec.deferred[r.Slot] {
+			// Landed while its slot is still parked behind a lock: the
+			// response is emitted when the transaction resolves.
+			rec.landWait[r.Slot] = r.Client
+			return
+		}
 		rec.fail("no replayed output for slot %d", r.Slot)
 		return
 	}
 	delete(rec.slotOut, r.Slot)
 	if !rp.reg {
-		return // command has no register projection (e.g. del); no trace
+		return // command has no checkable projection (del, txp/txo); no trace
+	}
+	rec.emitResponse(r.Client, rp)
+}
+
+// replaySingle applies one single-key operation to the shard's key
+// states and computes its output: through the register fold for
+// fast-path keys, directly on the stored value for component keys (the
+// TxnKV projection of a single-key command).
+func (rec *shardRecorder) replaySingle(e slotEntry) slotReplay {
+	rp := slotReplay{key: e.key, in: e.in, reg: e.reg, comp: e.comp}
+	if !e.reg {
+		return rp
+	}
+	if e.comp {
+		if e.kind == "set" {
+			rec.keyState[e.key] = adt.State(e.arg)
+			rp.out = adt.WriteOutput()
+		} else {
+			rp.out = adt.ReadOutput(rec.keyVal(e.key))
+		}
+		return rp
+	}
+	s, seen := rec.keyState[e.key]
+	if !seen {
+		s = rec.reg.Empty()
+	}
+	rp.out = rec.reg.Out(s, e.in)
+	rec.keyState[e.key] = rec.reg.Step(s, e.in)
+	return rp
+}
+
+// keyVal reads a key's current replayed value (adt.Bottom when unset).
+func (rec *shardRecorder) keyVal(key string) trace.Value {
+	if s, ok := rec.keyState[key]; ok {
+		return trace.Value(s)
+	}
+	return trace.Value(adt.Bottom)
+}
+
+// unlock releases a transaction's lock on key and drains the operations
+// parked behind it, in slot order: each applies now, and the ones whose
+// land already arrived respond immediately.
+func (rec *shardRecorder) unlock(key, id string) {
+	if rec.locks[key] != id {
+		rec.fail("unlock of %q by transaction %q but lock held by %q", key, id, rec.locks[key])
+		return
+	}
+	delete(rec.locks, key)
+	ds := rec.waiting[key]
+	delete(rec.waiting, key)
+	for _, d := range ds {
+		rp := rec.replaySingle(d.e)
+		// The parked operation enters the merged history as an
+		// instantaneous pair here, at the resolving transaction's
+		// unlock — the point where its effect and output actually
+		// materialize (see compProc).
+		tc := rec.sc.txn
+		root := tc.find(d.e.key)
+		tc.feedComponent(root, trace.Invoke(compProc(d.e.cmd), 1, d.e.in))
+		tc.feedComponent(root, trace.Response(compProc(d.e.cmd), 1, d.e.in, rp.out))
+		delete(rec.deferred, d.slot)
+		if c, landed := rec.landWait[d.slot]; landed {
+			delete(rec.landWait, d.slot)
+			rec.emitResponse(c, rp)
+		} else {
+			rec.slotOut[d.slot] = rp
+		}
+	}
+}
+
+// emitResponse records a replayed operation's response into the key's
+// per-key history. Component operations' histories were fully recorded
+// at replay/unlock (see compProc), so they are no-ops here.
+func (rec *shardRecorder) emitResponse(c msgnet.ProcID, rp slotReplay) {
+	if rp.comp {
+		return
 	}
 	i := rec.keyIdx[rp.key]
-	a := trace.Response(trace.ClientID(r.Client), 1, rp.in, rp.out)
+	a := trace.Response(trace.ClientID(c), 1, rp.in, rp.out)
 	if rec.sc.cfg.OnlineCheck {
 		t := time.Now()
 		_ = rec.sessions[i].Feed(a)

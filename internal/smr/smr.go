@@ -11,14 +11,21 @@
 // Cluster (cluster.go) deploys a single shard — the paper's §6 system
 // verbatim — while ShardedCluster (sharded.go) hash-partitions keyed
 // commands across N independent shards sharing one simulated network,
-// which is sound because linearizability is compositional per key and
-// keys never cross shards (DESIGN.md, decision 10).
+// which is sound for single-key traffic because linearizability is
+// compositional per key (DESIGN.md, decision 10). TxnCluster (txn.go)
+// layers cross-shard atomic transactions on top via two-phase commit
+// over the per-shard logs; keys entangled by a transaction lose
+// per-key locality, so the checker merges each txn-connected
+// component's history and checks it against the adt.TxnKV product
+// folder (decision 18).
 //
 // Clients submit commands; a submission repeatedly proposes the command
 // in the lowest slot the client does not know the decision of, advancing
 // past slots won by other clients, until the command lands. Phase
 // protocols are reused verbatim from packages quorum and paxos through
-// slot-scoped environment adapters.
+// slot-scoped environment adapters. Logs compact behind a learned
+// watermark (decision 14) and crashed processes replay from their
+// durable model on restart (recovery.go).
 package smr
 
 import (

@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"math/rand"
+	"strconv"
+)
+
+// TxnSpecOp is one operation of a generated transaction. Exactly one of
+// Read, CAS, or neither (a plain write) applies.
+type TxnSpecOp struct {
+	Key string
+	// Read selects a transactional read (MultiGet component).
+	Read bool
+	// CAS selects a compare-and-swap: write Value if the key currently
+	// holds Expect ("" for "never written").
+	CAS    bool
+	Expect string
+	// Value is the written value (write/CAS), unique across the workload.
+	Value string
+}
+
+// TxnSpec is a generated multi-key transaction with a workload-unique ID.
+type TxnSpec struct {
+	ID  string
+	Ops []TxnSpecOp
+}
+
+// MixedOp is one item of a mixed workload: the single-key operation
+// described by the embedded KeyedOp, or — when Txn is non-nil — a
+// multi-key transaction submitted by the same client.
+type MixedOp struct {
+	KeyedOp
+	Txn *TxnSpec
+}
+
+// MixedOpts configures Mixed. The embedded KeyedOpts fields keep their
+// meanings (Ops counts items — a transaction is one item).
+type MixedOpts struct {
+	KeyedOpts
+	// TxnFrac is the fraction of items that are multi-key transactions
+	// (zero: none — Mixed degenerates to Keyed).
+	TxnFrac float64
+	// TxnKeysMax bounds the keys per transaction: drawn uniformly in
+	// [2, TxnKeysMax] (default 4, minimum 2).
+	TxnKeysMax int
+	// ReadTxnFrac and CASFrac split transactions into MultiGets,
+	// CAS-style read-modify-writes, and MultiPuts (the remainder).
+	// Defaults 0.3 and 0.3; pass a negative value for zero.
+	ReadTxnFrac float64
+	CASFrac     float64
+	// TxnKeys restricts transaction key draws to the first TxnKeys keys
+	// (default all Keys): the transactional "hot entities". Keys beyond
+	// the range are only ever touched by single-key operations, so they
+	// stay on the checker's per-key register fast path.
+	TxnKeys int
+	// Groups partitions the transactional key range into key-groups (key
+	// k belongs to group k mod Groups) and draws each transaction's keys
+	// within one group — modeling related-entity transactions, and
+	// bounding how large a txn-connected component the checker must
+	// merge. Zero or one puts every key in one group.
+	Groups int
+}
+
+func (o MixedOpts) withDefaults() MixedOpts {
+	o.KeyedOpts = o.KeyedOpts.withDefaults()
+	if o.TxnKeysMax < 2 {
+		o.TxnKeysMax = 4
+	}
+	o.ReadTxnFrac = fracDefault(o.ReadTxnFrac, 0.3)
+	o.CASFrac = fracDefault(o.CASFrac, 0.3)
+	if o.TxnKeys < 1 || o.TxnKeys > o.Keys {
+		o.TxnKeys = o.Keys
+	}
+	if o.Groups < 1 {
+		o.Groups = 1
+	}
+	if o.Groups > o.TxnKeys {
+		o.Groups = o.TxnKeys
+	}
+	return o
+}
+
+func fracDefault(f, def float64) float64 {
+	switch {
+	case f == 0:
+		return def
+	case f < 0:
+		return 0
+	}
+	return f
+}
+
+// Mixed generates a mixed single-key/transactional workload: Ops items
+// assigned round-robin to clients, a TxnFrac fraction of them multi-key
+// transactions of 2–TxnKeysMax distinct keys drawn within one key-group,
+// the rest single-key operations exactly as Keyed generates them. CAS
+// expectations are the key's most recently generated write value — often
+// still current at execution time, so commit/abort rates reflect real
+// interleaving rather than doomed guesses. Write values, read tags and
+// transaction IDs are unique across the workload; the same seed
+// reproduces the same workload.
+func Mixed(r *rand.Rand, opts MixedOpts) []MixedOp {
+	opts = opts.withDefaults()
+	var zipf *rand.Zipf
+	if opts.ZipfS > 0 {
+		zipf = rand.NewZipf(r, opts.ZipfS, 1, uint64(opts.Keys-1))
+	}
+	drawKey := func() int {
+		if zipf != nil {
+			return int(zipf.Uint64())
+		}
+		return r.Intn(opts.Keys)
+	}
+	last := map[string]string{} // key -> most recently generated write value
+	ops := make([]MixedOp, opts.Ops)
+	for i := range ops {
+		ops[i].Client = i % opts.Clients
+		if r.Float64() >= opts.TxnFrac {
+			k := "k" + strconv.Itoa(drawKey())
+			v := "v" + strconv.Itoa(i)
+			ops[i].Key, ops[i].Value = k, v
+			ops[i].Read = r.Float64() < opts.ReadFrac
+			if !ops[i].Read {
+				last[k] = v
+			}
+			continue
+		}
+		// A transaction: distinct keys within the first key's group of
+		// the transactional key range.
+		group := drawKey() % opts.TxnKeys % opts.Groups
+		groupSize := (opts.TxnKeys-group-1)/opts.Groups + 1
+		nkeys := 2 + r.Intn(opts.TxnKeysMax-1)
+		if nkeys > groupSize {
+			nkeys = groupSize
+		}
+		keys := map[int]bool{}
+		spec := &TxnSpec{ID: "x" + strconv.Itoa(i)}
+		kind := r.Float64()
+		for j := 0; len(spec.Ops) < nkeys; j++ {
+			k := group + opts.Groups*r.Intn(groupSize)
+			if keys[k] {
+				continue
+			}
+			keys[k] = true
+			key := "k" + strconv.Itoa(k)
+			op := TxnSpecOp{Key: key}
+			switch {
+			case kind < opts.ReadTxnFrac:
+				op.Read = true
+			case kind < opts.ReadTxnFrac+opts.CASFrac:
+				op.CAS = true
+				op.Expect = last[key]
+				op.Value = "v" + strconv.Itoa(i) + "." + strconv.Itoa(len(spec.Ops))
+				last[key] = op.Value
+			default:
+				op.Value = "v" + strconv.Itoa(i) + "." + strconv.Itoa(len(spec.Ops))
+				last[key] = op.Value
+			}
+			spec.Ops = append(spec.Ops, op)
+		}
+		ops[i].Txn = spec
+	}
+	return ops
+}

@@ -1,8 +1,14 @@
-// Package workload generates random traces and schedules for the checker
-// experiments: well-formed concurrent traces that are linearizable by
-// construction (operations take effect at a chosen commit point between
-// invocation and response), optionally corrupted variants, and speculative
-// consensus phase traces in the shape of the paper's case studies.
+// Package workload generates random traces, schedules and command
+// streams for the checker experiments: well-formed concurrent traces
+// that are linearizable by construction (operations take effect at a
+// chosen commit point between invocation and response), optionally
+// corrupted variants, speculative consensus phase traces in the shape
+// of the paper's case studies, and the SMR-side workloads — Keyed
+// builds single-key KV command streams (uniform or zipf-skewed keys)
+// for the sharded cluster, and Mixed extends them with multi-key
+// MultiPut/MultiGet/CAS transactions drawn within key-groups for the
+// transaction layer (E12/E19). All generators are deterministic under
+// a caller-supplied rand source.
 package workload
 
 import (
